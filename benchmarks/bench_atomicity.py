@@ -1,0 +1,79 @@
+"""E14 (extension) — atomicity-violation prediction artifact + cost.
+
+The AVIO/Wang–Stoller serializability table over observed lock regions:
+exactly the four unserializable patterns are reported, gated on sync-only
+concurrency, independent of the observed schedule.
+"""
+
+from conftest import table
+
+from repro.analysis import find_atomicity_violations
+from repro.sched import FixedScheduler, Program, RandomScheduler, run_program
+from repro.sched.program import Acquire, Internal, Read, Release, Write, straightline
+
+
+def pattern_case(local_ops, remote_op):
+    threads = [
+        straightline([Acquire("L")] + local_ops + [Release("L")]),
+        straightline([remote_op]),
+    ]
+    p = Program(initial={"x": 0, "L": 0}, threads=threads)
+    return run_program(p, FixedScheduler([], strict=False))
+
+
+CASES = [
+    ("R-W-R", [Read("x"), Internal(), Read("x")], Write("x", 1), True),
+    ("W-W-R", [Write("x", 1), Internal(), Read("x")], Write("x", 2), True),
+    ("R-W-W", [Read("x"), Internal(), Write("x", 9)], Write("x", 1), True),
+    ("W-R-W", [Write("x", 1), Internal(), Write("x", 2)], Read("x"), True),
+    ("R-R-R", [Read("x"), Internal(), Read("x")], Read("x"), False),
+    ("W-R-R", [Write("x", 1), Internal(), Read("x")], Read("x"), False),
+    ("R-R-W", [Read("x"), Internal(), Write("x", 1)], Read("x"), False),
+]
+
+
+def test_serializability_table():
+    rows = []
+    for name, local_ops, remote, expect in CASES:
+        ex = pattern_case(local_ops, remote)
+        got = bool(find_atomicity_violations(ex))
+        rows.append((name, "unserializable" if expect else "serializable",
+                     "reported" if got else "silent"))
+        assert got == expect, name
+    table("E14 — AVIO serializability table", ["pattern", "class", "repro"],
+          rows)
+
+
+def test_schedule_independence():
+    counts = set()
+    for seed in range(8):
+        threads = [
+            straightline([Acquire("L"), Read("x"), Internal(), Read("x"),
+                          Release("L")]),
+            straightline([Write("x", 1)]),
+        ]
+        p = Program(initial={"x": 0, "L": 0}, threads=threads)
+        ex = run_program(p, RandomScheduler(seed))
+        counts.add(len(find_atomicity_violations(ex)))
+    assert counts == {1}
+
+
+def big_execution():
+    threads = []
+    for t in range(3):
+        ops = []
+        for k in range(10):
+            ops += [Acquire("L"), Read("x"), Write("x", t * 100 + k),
+                    Release("L"), Write("y", k)]
+        threads.append(straightline(ops))
+    p = Program(initial={"x": 0, "y": 0, "L": 0}, threads=threads)
+    return run_program(p, RandomScheduler(1))
+
+
+def test_atomicity_analysis_benchmark(benchmark):
+    ex = big_execution()
+    violations = benchmark(lambda: find_atomicity_violations(ex))
+    # the unlocked y-writes interleave with the locked x-regions only if
+    # they conflict — they don't (different variable); locked x-regions are
+    # mutually ordered by the lock: expect no reports, just the sweep cost
+    assert violations == []

@@ -1,0 +1,78 @@
+"""E16 (extension) — coverage of the schedule space, quantified.
+
+§1 motivates the whole technique with testing's "lack of coverage".  This
+bench measures it: behavior classes (distinct relevant traces over all
+interleavings), how many one observation's lattice covers, and how many
+random observations a flat-trace tool vs the predictive tool needs to cover
+everything.  It also pins the honest scope: prediction covers *ordering*
+variation; *data* variation (different values written) still needs its own
+observations.
+"""
+
+from conftest import table
+
+from repro.analysis import observations_to_cover, prediction_coverage
+from repro.sched import FixedScheduler, Program, run_program
+from repro.sched.program import Write, straightline
+from repro.workloads import (
+    LANDING_OBSERVED_SCHEDULE,
+    LANDING_PROPERTY,
+    XYZ_OBSERVED_SCHEDULE,
+    XYZ_PROPERTY,
+    landing_controller,
+    xyz_program,
+)
+
+
+def writers(k):
+    return Program(
+        initial={f"v{i}": 0 for i in range(k)},
+        threads=[straightline([Write(f"v{i}", 1)]) for i in range(k)],
+        name=f"writers-{k}",
+    )
+
+
+def test_one_observation_coverage():
+    rows = []
+    landing_ex = run_program(landing_controller(),
+                             FixedScheduler(LANDING_OBSERVED_SCHEDULE))
+    rep = prediction_coverage(landing_controller(), landing_ex,
+                              LANDING_PROPERTY)
+    rows.append(("landing", rep.total_classes, rep.covered_classes,
+                 f"{rep.covered_violating}/{rep.violating_classes}"))
+    assert rep.violating_fraction == 1.0
+
+    xyz_ex = run_program(xyz_program(), FixedScheduler(XYZ_OBSERVED_SCHEDULE))
+    rep2 = prediction_coverage(xyz_program(), xyz_ex, XYZ_PROPERTY)
+    rows.append(("xyz", rep2.total_classes, rep2.covered_classes,
+                 f"{rep2.covered_violating}/{rep2.violating_classes}"))
+
+    for k in (2, 3):
+        p = writers(k)
+        ex = run_program(p, FixedScheduler([], strict=False))
+        r = prediction_coverage(p, ex)
+        rows.append((p.name, r.total_classes, r.covered_classes, "-"))
+        assert r.fraction == 1.0  # pure ordering variation: full coverage
+
+    table("E16 — behavior classes covered by ONE observation",
+          ["program", "classes", "covered", "violating covered"], rows)
+
+
+def test_observations_to_full_coverage():
+    rows = []
+    for name, program in [("xyz", xyz_program()), ("writers-3", writers(3))]:
+        flat = observations_to_cover(program, predictive=False,
+                                     max_observations=400)
+        pred = observations_to_cover(program, predictive=True,
+                                     max_observations=400)
+        rows.append((name, flat, pred))
+        assert pred is not None and (flat is None or pred <= flat)
+    table("E16 — random observations needed for full class coverage",
+          ["program", "flat-trace tool", "predictive tool"], rows)
+
+
+def test_coverage_analysis_benchmark(benchmark):
+    ex = run_program(xyz_program(), FixedScheduler(XYZ_OBSERVED_SCHEDULE))
+    rep = benchmark(lambda: prediction_coverage(xyz_program(), ex,
+                                                XYZ_PROPERTY))
+    assert rep.covered_classes == 3

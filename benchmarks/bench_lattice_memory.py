@@ -1,0 +1,102 @@
+"""E5 — the paper's space optimization: "at most two consecutive levels in
+the computation lattice need to be stored at any moment."
+
+Compares peak resident cuts of the level-by-level analyzer against the full
+lattice size as concurrency grows, and times both constructions.  Shape
+expected: full size grows combinatorially with threads × events, peak
+resident stays bounded by the two widest levels (≪ full size for deep
+lattices).
+"""
+
+import random
+
+from conftest import table
+
+from repro.lattice import ComputationLattice, LevelByLevelBuilder
+from repro.sched import RandomScheduler, run_program
+from repro.workloads import random_program
+
+# independent writers to distinct variables -> maximal concurrency
+SHAPES = [(2, 4), (2, 8), (3, 4), (3, 6), (4, 4)]
+
+
+def writer_program(n_threads, writes_each):
+    from repro.sched.program import Program, Write, straightline
+
+    return Program(
+        initial={f"v{t}": 0 for t in range(n_threads)},
+        threads=[
+            straightline([Write(f"v{t}", k) for k in range(writes_each)])
+            for t in range(n_threads)
+        ],
+        name=f"writers-{n_threads}x{writes_each}",
+    )
+
+
+def run_shape(n_threads, writes_each):
+    program = writer_program(n_threads, writes_each)
+    ex = run_program(program, RandomScheduler(0))
+    variables = sorted(program.default_relevance_vars())
+    initial = {v: ex.initial_store[v] for v in variables}
+    full = ComputationLattice(n_threads, initial, ex.messages)
+    b = LevelByLevelBuilder(n_threads, initial, track_paths=False)
+    b.feed_many(ex.messages)
+    b.finish()
+    return len(full), b.stats.peak_resident_cuts
+
+
+def test_two_level_memory_bound():
+    rows = []
+    for n_threads, writes_each in SHAPES:
+        full_size, peak = run_shape(n_threads, writes_each)
+        rows.append((f"{n_threads}x{writes_each}", full_size, peak,
+                     f"{full_size / peak:.1f}x"))
+        assert peak <= full_size
+    table("E5 — full lattice vs resident cuts (level-by-level)",
+          ["threads x writes", "full lattice nodes", "peak resident cuts",
+           "savings"],
+          rows)
+    # deep two-thread lattice: savings must be substantial
+    full_size, peak = run_shape(2, 16)
+    assert peak * 3 <= full_size, (full_size, peak)
+
+
+def test_random_programs_memory_bound():
+    for seed in range(5):
+        program = random_program(random.Random(seed), n_threads=3, n_vars=6,
+                                 ops_per_thread=5, write_ratio=0.9)
+        ex = run_program(program, RandomScheduler(seed))
+        variables = sorted(program.default_relevance_vars())
+        initial = {v: ex.initial_store[v] for v in variables}
+        full = ComputationLattice(3, initial, ex.messages)
+        widths = [len(lv) for lv in full.levels()]
+        bound = max((widths[i] + widths[i + 1]
+                     for i in range(len(widths) - 1)),
+                    default=1)
+        b = LevelByLevelBuilder(3, initial, track_paths=False)
+        b.feed_many(ex.messages)
+        b.finish()
+        assert b.stats.peak_resident_cuts <= bound
+
+
+def test_full_lattice_benchmark(benchmark):
+    program = writer_program(3, 6)
+    ex = run_program(program, RandomScheduler(0))
+    initial = {v: ex.initial_store[v] for v in sorted(program.default_relevance_vars())}
+    lat = benchmark(lambda: ComputationLattice(3, initial, ex.messages))
+    assert len(lat) == 7 ** 3
+
+
+def test_level_by_level_benchmark(benchmark):
+    program = writer_program(3, 6)
+    ex = run_program(program, RandomScheduler(0))
+    initial = {v: ex.initial_store[v] for v in sorted(program.default_relevance_vars())}
+
+    def build():
+        b = LevelByLevelBuilder(3, initial, track_paths=False)
+        b.feed_many(ex.messages)
+        b.finish()
+        return b
+
+    b = benchmark(build)
+    assert b.stats.nodes_expanded == 7 ** 3

@@ -1,0 +1,72 @@
+"""E10 — "the computation lattice can grow quite large" (§4).
+
+Measures lattice node count and run count as a function of concurrency
+width (threads) and per-thread relevant events.  Shape expected: for k
+threads of m independent events, nodes = (m+1)^k and runs = the multinomial
+(km)! / (m!)^k — exponential in k, polynomial in m for fixed k.
+"""
+
+from math import factorial
+
+from conftest import table
+
+from repro.lattice import ComputationLattice
+from repro.sched import FixedScheduler, run_program
+from repro.sched.program import Program, Write, straightline
+
+
+def independent_writers(n_threads, writes_each):
+    return Program(
+        initial={f"v{t}": 0 for t in range(n_threads)},
+        threads=[
+            straightline([Write(f"v{t}", k) for k in range(writes_each)])
+            for t in range(n_threads)
+        ],
+        name=f"iw-{n_threads}x{writes_each}",
+    )
+
+
+def lattice_of(n_threads, writes_each):
+    program = independent_writers(n_threads, writes_each)
+    ex = run_program(program, FixedScheduler([], strict=False))
+    initial = {v: 0 for v in program.initial}
+    return ComputationLattice(n_threads, initial, ex.messages)
+
+
+def expected_nodes(k, m):
+    return (m + 1) ** k
+
+
+def expected_runs(k, m):
+    return factorial(k * m) // factorial(m) ** k
+
+
+def test_lattice_growth_shape():
+    rows = []
+    for k, m in [(1, 4), (2, 2), (2, 4), (3, 2), (3, 3), (4, 2)]:
+        lat = lattice_of(k, m)
+        nodes, runs = len(lat), lat.count_runs()
+        rows.append((f"{k}", f"{m}", nodes, expected_nodes(k, m),
+                     runs, expected_runs(k, m)))
+        assert nodes == expected_nodes(k, m)
+        assert runs == expected_runs(k, m)
+    table("E10 — lattice growth (independent writers)",
+          ["threads", "events/thread", "nodes", "nodes (closed form)",
+           "runs", "runs (closed form)"], rows)
+
+
+def test_exponential_in_threads():
+    sizes = [len(lattice_of(k, 2)) for k in (1, 2, 3, 4)]
+    # strictly geometric growth (3^k here)
+    ratios = [sizes[i + 1] / sizes[i] for i in range(3)]
+    assert all(r == 3 for r in ratios), sizes
+
+
+def test_lattice_construction_scaling_benchmark(benchmark):
+    benchmark(lambda: lattice_of(3, 4))
+
+
+def test_run_counting_benchmark(benchmark):
+    lat = lattice_of(3, 4)
+    runs = benchmark(lat.count_runs)
+    assert runs == expected_runs(3, 4)

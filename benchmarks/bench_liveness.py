@@ -1,0 +1,69 @@
+"""E9 — liveness prediction via u·vω lassos (§4).
+
+Times lasso search + Markey–Schnoebelen checking over lattices of looping
+programs, and asserts the qualitative artifact: the starvation loop is
+reported, satisfied liveness properties are not.
+"""
+
+from typing import Any, Generator
+
+from conftest import table
+
+from repro.analysis import find_lassos, predict_liveness_violations
+from repro.lattice import ComputationLattice
+from repro.sched import FixedScheduler, run_program
+from repro.sched.program import Internal, Op, Program, Write
+
+
+def toggler_program(cycles):
+    def toggler() -> Generator[Op, Any, None]:
+        for _ in range(cycles):
+            yield Write("busy", 1)
+            yield Internal()
+            yield Write("busy", 0)
+
+    def signaler() -> Generator[Op, Any, None]:
+        yield Internal()
+        yield Write("go", 1)
+
+    return Program(
+        initial={"busy": 0, "go": 0},
+        threads=[toggler, signaler],
+        relevant_vars=frozenset({"busy", "go"}),
+        name=f"toggler-{cycles}",
+    )
+
+
+def lattice_for(cycles):
+    ex = run_program(toggler_program(cycles), FixedScheduler([], strict=False))
+    return ComputationLattice(2, {"busy": 0, "go": 0}, ex.messages)
+
+
+def test_liveness_artifact():
+    rows = []
+    for cycles in (1, 2, 3):
+        lat = lattice_for(cycles)
+        lassos = list(find_lassos(lat, limit=500))
+        bad = predict_liveness_violations(lat, "eventually(go == 1)",
+                                          lasso_limit=500)
+        ok = predict_liveness_violations(lat, "eventually(busy == 0)",
+                                         lasso_limit=500)
+        rows.append((cycles, len(lat), len(lassos), len(bad), len(ok)))
+        if cycles >= 2:
+            assert bad, "starvation lasso must be reported"
+        assert not ok, "satisfied property must not be reported"
+    table("E9 — lasso search over toggler lattices",
+          ["cycles", "lattice nodes", "lassos", "violations(go)",
+           "false alarms(busy)"], rows)
+
+
+def test_lasso_search_benchmark(benchmark):
+    lat = lattice_for(3)
+    lassos = benchmark(lambda: list(find_lassos(lat, limit=1000)))
+    assert lassos
+
+
+def test_liveness_check_benchmark(benchmark):
+    lat = lattice_for(3)
+    benchmark(lambda: predict_liveness_violations(
+        lat, "always(eventually(go == 1))", lasso_limit=1000))

@@ -1,0 +1,123 @@
+"""E6 — instrumentation overhead ("All these can add significant delays to
+the normal execution of programs", §1), plus the MVC-kernel ablation.
+
+Reported series:
+
+* per-event cost of Algorithm A as the thread count n grows (clock width);
+* per-event cost as the variable count grows (clock table pressure);
+* instrumented vs uninstrumented execution of the same cooperative program;
+* list-backed MutableVectorClock vs numpy vectors for the in-place merge —
+  the DESIGN.md §4.1 ablation justifying the list kernel on the hot path.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from conftest import table
+
+from repro.core import AlgorithmA, EventKind
+from repro.core.vectorclock import MutableVectorClock
+from repro.sched import FixedScheduler, run_program
+from repro.workloads import random_program
+
+N_EVENTS = 2_000
+
+
+def drive_algorithm(n_threads, n_vars, n_events=N_EVENTS, seed=0):
+    rng = random.Random(seed)
+    algo = AlgorithmA(n_threads)
+    variables = [f"v{i}" for i in range(n_vars)]
+    for k in range(n_events):
+        t = rng.randrange(n_threads)
+        var = variables[k % n_vars]
+        if k % 2:
+            algo.on_write(t, var, k)
+        else:
+            algo.on_read(t, var)
+    return algo
+
+
+@pytest.mark.parametrize("n_threads", [2, 8, 32, 128])
+def test_per_event_cost_vs_threads(benchmark, n_threads):
+    benchmark.extra_info["n_threads"] = n_threads
+    algo = benchmark(lambda: drive_algorithm(n_threads, n_vars=8))
+    assert len(algo.emitted) == N_EVENTS // 2
+
+
+@pytest.mark.parametrize("n_vars", [1, 16, 256])
+def test_per_event_cost_vs_variables(benchmark, n_vars):
+    benchmark.extra_info["n_vars"] = n_vars
+    algo = benchmark(lambda: drive_algorithm(4, n_vars=n_vars))
+    assert algo.variables
+
+
+def test_instrumented_vs_plain_execution():
+    """End-to-end slowdown of running a program with Algorithm A attached
+    (the scheduler always attaches it; the 'plain' variant uses a
+    no-relevance predicate and measures the irreducible part)."""
+    import time
+
+    program = random_program(random.Random(1), n_threads=4, n_vars=4,
+                             ops_per_thread=400, write_ratio=0.5)
+
+    def run(relevance):
+        t0 = time.perf_counter()
+        run_program(program, FixedScheduler([], strict=False),
+                    relevance=relevance)
+        return time.perf_counter() - t0
+
+    full = min(run(lambda e: e.kind.is_write) for _ in range(5))
+    silent = min(run(lambda e: False) for _ in range(5))
+    table("E6 — execution time with/without message emission",
+          ["variant", "seconds"],
+          [("emitting writes", f"{full:.4f}"),
+           ("no relevant events", f"{silent:.4f}"),
+           ("ratio", f"{full / silent:.2f}x")])
+    # messages cost something, but the same order of magnitude
+    assert full < silent * 10
+
+
+def test_mvc_kernel_list_benchmark(benchmark):
+    """Ablation: in-place merge with Python int lists (the shipped kernel)."""
+    width = 32
+    a = MutableVectorClock([1] * width)
+    b = MutableVectorClock(list(range(width)))
+
+    def merge_loop():
+        for _ in range(1000):
+            a.merge(b)
+        return a
+
+    benchmark(merge_loop)
+
+
+def test_mvc_kernel_numpy_benchmark(benchmark):
+    """Ablation: the same merge through numpy maximum (per-call dispatch
+    dominates at small widths — this is why the list kernel ships)."""
+    width = 32
+    a = np.ones(width, dtype=np.int64)
+    b = np.arange(width, dtype=np.int64)
+
+    def merge_loop():
+        out = a
+        for _ in range(1000):
+            np.maximum(out, b, out=out)
+        return out
+
+    benchmark(merge_loop)
+
+
+def test_sync_only_mode_not_slower(benchmark):
+    """sync_only_clocks skips the variable-clock merges for data accesses;
+    it must never cost more than the full algorithm."""
+    def drive(sync_only):
+        algo = AlgorithmA(8, sync_only_clocks=sync_only)
+        for k in range(N_EVENTS):
+            if k % 2:
+                algo.on_write(k % 8, "x", k)
+            else:
+                algo.on_read(k % 8, "x")
+        return algo
+
+    benchmark(lambda: drive(True))

@@ -1,0 +1,92 @@
+"""E11 (extension) — global predicate modalities and deadlock prediction.
+
+§4: "one can start using standard techniques on debugging distributed
+systems, considering ... state predicates".  Times Possibly/Definitely
+sweeps over growing lattices and the lock-order analysis, and asserts the
+qualitative artifacts (dangerous state possible but not definite; the
+philosophers' cycle predicted from a clean run).
+"""
+
+from conftest import table
+
+from repro.analysis import definitely, find_potential_deadlocks, possibly
+from repro.lattice import ComputationLattice
+from repro.sched import FixedScheduler, run_program
+from repro.sched.program import Acquire, Program, Release, Write, straightline
+from repro.workloads import LANDING_VARS
+
+
+def writers_lattice(n_threads, writes_each):
+    program = Program(
+        initial={f"v{t}": 0 for t in range(n_threads)},
+        threads=[
+            straightline([Write(f"v{t}", k + 1) for k in range(writes_each)])
+            for t in range(n_threads)
+        ],
+    )
+    ex = run_program(program, FixedScheduler([], strict=False))
+    return ComputationLattice(n_threads, {v: 0 for v in program.initial},
+                              ex.messages)
+
+
+def philosophers(n, left_handed=False):
+    threads = []
+    for i in range(n):
+        left, right = f"fork{i}", f"fork{(i + 1) % n}"
+        if left_handed and i == n - 1:
+            left, right = right, left
+        threads.append(straightline([Acquire(left), Acquire(right),
+                                     Release(right), Release(left)]))
+    return Program(initial={f"fork{i}": 0 for i in range(n)}, threads=threads)
+
+
+def test_modalities_artifact(landing_execution):
+    initial = {v: landing_execution.initial_store[v] for v in LANDING_VARS}
+    lat = ComputationLattice(2, initial, landing_execution.messages)
+    # the pre-landing hazard window: approved with the radio already down
+    hazard = "approved == 1 and radio == 0 and landing == 0"
+    rows = [
+        ("possibly(hazard window)", True, possibly(lat, hazard).holds),
+        ("definitely(hazard window)", False, definitely(lat, hazard).holds),
+        ("definitely(final state)", True,
+         definitely(lat, "landing == 1 and radio == 0 and approved == 1").holds),
+        ("possibly(landing && !approved)", False,
+         possibly(lat, "landing == 1 and approved == 0").holds),
+    ]
+    table("E11 — modalities on the Fig. 5 lattice",
+          ["query", "expected", "measured"], rows)
+    for _q, want, got in rows:
+        assert want == got
+
+
+def test_deadlock_artifact():
+    rows = []
+    for n in (3, 4, 5):
+        ex = run_program(philosophers(n), FixedScheduler([], strict=False))
+        naive = find_potential_deadlocks(ex)
+        exf = run_program(philosophers(n, left_handed=True),
+                          FixedScheduler([], strict=False))
+        fixed = find_potential_deadlocks(exf)
+        rows.append((n, len(naive), len(fixed)))
+        assert len(naive) == 1 and not fixed
+    table("E11 — philosophers' deadlock prediction",
+          ["philosophers", "naive: cycles", "left-handed: cycles"], rows)
+
+
+def test_possibly_benchmark(benchmark):
+    lat = writers_lattice(3, 5)
+    # worst case: predicate never true -> full sweep
+    rep = benchmark(lambda: possibly(lat, "v0 + v1 + v2 == 99"))
+    assert not rep.holds
+
+
+def test_definitely_benchmark(benchmark):
+    lat = writers_lattice(3, 5)
+    rep = benchmark(lambda: definitely(lat, "v0 == 5 and v1 == 0"))
+    assert not rep.holds
+
+
+def test_deadlock_analysis_benchmark(benchmark):
+    ex = run_program(philosophers(6), FixedScheduler([], strict=False))
+    reports = benchmark(lambda: find_potential_deadlocks(ex))
+    assert len(reports) == 1

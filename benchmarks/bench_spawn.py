@@ -1,0 +1,91 @@
+"""E15 (extension) — dynamic thread creation (§2: variable thread counts).
+
+Measures the cost of Spawn/Join (clock growth, dummy-variable edges) and
+asserts the structural artifact: a fork/join fan-out of k children yields a
+lattice whose node count matches the independent-writer closed form, and
+every child write is bracketed by the spawn and the join in every run.
+"""
+
+from conftest import table
+
+from repro.core import CausalityIndex
+from repro.lattice import ComputationLattice
+from repro.sched import FixedScheduler, Join, Program, Spawn, Write, run_program
+
+
+def fanout_program(k):
+    def child(i):
+        def body():
+            yield Write(f"c{i}", 1)
+
+        return body
+
+    def parent():
+        yield Write("started", 1)
+        handles = []
+        for i in range(k):
+            h = yield Spawn(child(i))
+            handles.append(h)
+        for h in handles:
+            yield Join(h)
+        yield Write("finished", 1)
+
+    initial = {"started": 0, "finished": 0}
+    initial.update({f"c{i}": 0 for i in range(k)})
+    return Program(initial=initial, threads=[parent],
+                   relevant_vars=frozenset(initial), name=f"fanout-{k}")
+
+
+def run_fanout(k):
+    return run_program(fanout_program(k), FixedScheduler([], strict=False))
+
+
+def test_fanout_artifact():
+    rows = []
+    for k in (2, 3, 4):
+        ex = run_fanout(k)
+        assert ex.n_threads == k + 1
+        idx = CausalityIndex(ex.n_threads, ex.messages)
+        by = {m.event.label or str(m.event.var): m for m in ex.messages}
+        started = next(m for m in ex.messages if m.event.var == "started")
+        finished = next(m for m in ex.messages if m.event.var == "finished")
+        for i in range(k):
+            child = next(m for m in ex.messages if m.event.var == f"c{i}")
+            assert idx.precedes(started, child)
+            assert idx.precedes(child, finished)
+        # children mutually concurrent
+        kids = [m for m in ex.messages if str(m.event.var).startswith("c")]
+        for a in kids:
+            for b in kids:
+                if a is not b:
+                    assert idx.concurrent(a, b)
+        variables = sorted(ex.initial_store)
+        lat = ComputationLattice(ex.n_threads,
+                                 {v: 0 for v in variables}, ex.messages)
+        rows.append((k, ex.n_threads, len(lat), lat.count_runs()))
+        # k independent single-write children between two fixed writes:
+        # nodes = 2^k + 2, runs = k!
+        import math
+
+        assert len(lat) == 2 ** k + 2
+        assert lat.count_runs() == math.factorial(k)
+    table("E15 — fork/join fan-out lattices",
+          ["children", "threads", "lattice nodes", "runs"], rows)
+
+
+def test_spawn_execution_benchmark(benchmark):
+    benchmark(lambda: run_fanout(8))
+
+
+def test_static_equivalent_benchmark(benchmark):
+    """The same shape with static threads, for the spawn-overhead ratio."""
+    from repro.sched.program import straightline
+
+    def make():
+        threads = [straightline([Write(f"c{i}", 1)]) for i in range(8)]
+        initial = {f"c{i}": 0 for i in range(8)}
+        return Program(initial=initial, threads=threads,
+                       relevant_vars=frozenset(initial))
+
+    p = make()
+    benchmark(lambda: run_program(p, FixedScheduler([], strict=False)))

@@ -1,0 +1,80 @@
+"""E8 — synchronization events prune the lattice (§3.1).
+
+Locks become shared-variable writes, installing happens-before edges between
+critical sections; the lattice of the locked program must be dramatically
+smaller (fewer runs) than the unlocked one for the same workload shape, and
+all lock-violating interleavings must be gone.
+"""
+
+from conftest import table
+
+from repro.core import all_accesses
+from repro.lattice import ComputationLattice
+from repro.sched import FixedScheduler, run_program
+from repro.sched.program import Acquire, Program, Release, Write, straightline
+
+
+def cs_program(n_threads, writes_each, locked):
+    """Each thread writes its own variable `writes_each` times inside (or
+    not) a shared critical section — distinct variables keep the unlocked
+    version maximally concurrent."""
+    threads = []
+    for t in range(n_threads):
+        ops = []
+        if locked:
+            ops.append(Acquire("L"))
+        ops += [Write(f"v{t}", k) for k in range(writes_each)]
+        if locked:
+            ops.append(Release("L"))
+        threads.append(straightline(ops))
+    initial = {f"v{t}": 0 for t in range(n_threads)}
+    if locked:
+        initial["L"] = 0
+    return Program(initial=initial, threads=threads,
+                   name=f"cs-{'locked' if locked else 'free'}")
+
+
+def lattice_of(program):
+    ex = run_program(program, FixedScheduler([], strict=False),
+                     relevance=all_accesses(set(program.initial) - {"L"}))
+    variables = sorted(set(program.initial) - {"L"})
+    initial = {v: ex.initial_store[v] for v in variables}
+    return ComputationLattice(program.n_threads, initial, ex.messages)
+
+
+def test_sync_pruning_shape():
+    rows = []
+    for n_threads, writes in [(2, 2), (2, 3), (3, 2)]:
+        free = lattice_of(cs_program(n_threads, writes, locked=False))
+        locked = lattice_of(cs_program(n_threads, writes, locked=True))
+        rows.append((f"{n_threads}x{writes}",
+                     len(free), free.count_runs(),
+                     len(locked), locked.count_runs()))
+        # the locked lattice is a chain: exactly one run
+        assert locked.count_runs() == 1
+        assert free.count_runs() > 1
+    table("E8 — lattice size with and without lock events",
+          ["threads x writes", "free nodes", "free runs",
+           "locked nodes", "locked runs"], rows)
+
+
+def test_critical_sections_never_interleave_in_any_run():
+    locked = lattice_of(cs_program(3, 2, locked=True))
+    for run in locked.runs():
+        owners = [m.thread for m in run.messages]
+        # writes of each thread form one contiguous block
+        seen = []
+        for t in owners:
+            if not seen or seen[-1] != t:
+                seen.append(t)
+        assert len(seen) == 3, owners
+
+
+def test_unlocked_lattice_benchmark(benchmark):
+    p = cs_program(3, 3, locked=False)
+    benchmark(lambda: lattice_of(p))
+
+
+def test_locked_lattice_benchmark(benchmark):
+    p = cs_program(3, 3, locked=True)
+    benchmark(lambda: lattice_of(p))

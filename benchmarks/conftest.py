@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*.py`` regenerates one artifact of the paper's evaluation (see
+DESIGN.md §3 for the experiment index).  Shape claims are asserted; timings
+go through pytest-benchmark; the printed tables (run with ``-s`` to see
+them live) are the rows recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sched import FixedScheduler, run_program
+from repro.workloads import (
+    LANDING_OBSERVED_SCHEDULE,
+    XYZ_OBSERVED_SCHEDULE,
+    landing_controller,
+    xyz_program,
+)
+
+
+@pytest.fixture(scope="session")
+def landing_execution():
+    return run_program(landing_controller(), FixedScheduler(LANDING_OBSERVED_SCHEDULE))
+
+
+@pytest.fixture(scope="session")
+def xyz_execution():
+    return run_program(xyz_program(), FixedScheduler(XYZ_OBSERVED_SCHEDULE))
+
+
+def table(title: str, headers: list[str], rows: list[tuple]) -> None:
+    """Print an aligned table (visible with ``pytest -s``)."""
+    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+              for i, h in enumerate(headers)]
+    print(f"\n== {title} ==")
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    for r in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(r, widths)))

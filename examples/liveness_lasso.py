@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Liveness-violation prediction via ``u vω`` lassos (paper §4).
+
+The paper sketches an extension beyond safety: look for paths ``u`` and
+``uv`` in the computation lattice that reach the *same* global state; then
+the system could plausibly repeat ``v`` forever, so check the liveness
+property on the infinite word ``u vω`` (Markey–Schnoebelen [22]).
+
+Here a worker thread toggles a ``busy`` flag while a flaky controller may or
+may not deliver a ``go`` signal.  The liveness property "eventually go
+stays up" (``eventually(historically-free form: always(go == 1))`` on the
+repeated suffix) fails on the lasso in which the toggle loop repeats without
+``go`` ever being set.
+
+Run:  python examples/liveness_lasso.py
+"""
+
+from typing import Any, Generator
+
+from repro import FixedScheduler, run_program
+from repro.analysis import find_lassos, predict_liveness_violations
+from repro.lattice import ComputationLattice
+from repro.sched.program import Internal, Op, Program, Read, Write
+
+
+def toggling_program(cycles: int = 2) -> Program:
+    """T1 toggles busy 0→1→0…; T2 eventually raises go."""
+
+    def toggler() -> Generator[Op, Any, None]:
+        for _ in range(cycles):
+            yield Write("busy", 1)
+            yield Internal(label="work")
+            yield Write("busy", 0)
+
+    def signaler() -> Generator[Op, Any, None]:
+        yield Internal(label="think")
+        yield Write("go", 1)
+
+    return Program(
+        initial={"busy": 0, "go": 0},
+        threads=[toggler, signaler],
+        relevant_vars=frozenset({"busy", "go"}),
+        name="toggler",
+    )
+
+
+def main() -> None:
+    program = toggling_program(cycles=2)
+    execution = run_program(program, FixedScheduler([], strict=False))
+    initial = {"busy": 0, "go": 0}
+    lattice = ComputationLattice(2, initial, execution.messages)
+    print(f"lattice: {len(lattice)} states, {lattice.count_runs()} runs")
+
+    lassos = list(find_lassos(lattice, limit=50))
+    print(f"candidate lassos (repeated global state along a path): {len(lassos)}")
+    for lasso in lassos[:3]:
+        loop = [dict(s) for s in lasso.v_states]
+        print(f"  stem {len(lasso.u_states)} states, loop {loop}")
+
+    spec = "eventually(go == 1)"
+    violations = predict_liveness_violations(lattice, spec)
+    print(f"\nliveness property: {spec}")
+    print(f"lassos violating it: {len(violations)}")
+    for v in violations[:3]:
+        loop_labels = [m.event.label for m in v.lasso.v_messages]
+        print(f"  plausible divergence: repeat {loop_labels} forever "
+              f"before 'go' is ever written")
+    assert violations, "the toggle loop without 'go' must be reported"
+
+    spec_ok = "eventually(busy == 0)"
+    assert not predict_liveness_violations(lattice, spec_ok)
+    print(f"\n'{spec_ok}' holds on every lasso — no false alarm.")
+
+
+if __name__ == "__main__":
+    main()

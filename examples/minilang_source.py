@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""The paper's Fig. 1, as source code — instrumentation fully automatic.
+
+The original tool instruments Java bytecode so "the Java source code of the
+tested programs is not necessary"; the spirit is that the *tool*, not the
+programmer, inserts Algorithm A.  This example closes the loop in the other
+direction: the flight controller is written in MiniLang (a small C-like
+language bundled with this library, matching Fig. 1's pseudo-code almost
+token for token), and the compiler places every Read/Write event.
+
+Pipeline: source text → parse → compile (instrumentation inserted) →
+execute under a benign schedule → predictive analysis → both Fig. 5
+counterexamples.
+
+Run:  python examples/minilang_source.py
+"""
+
+from repro.analysis import detect, predict
+from repro.lang import compile_source
+from repro.lattice import ComputationLattice, render_lattice
+from repro.sched import FixedScheduler, run_program
+from repro.workloads import LANDING_PROPERTY, LANDING_VARS
+
+SOURCE = """
+// Fig. 1: a buggy implementation of a flight controller.
+shared int landing = 0, approved = 0, radio = 1;
+
+thread controller {
+    // askLandingApproval():
+    if (radio == 0) { approved = 0; } else { approved = 1; }
+    if (approved == 1) {
+        landing = 1;                // "Landing started"
+    }
+}
+
+thread watchdog {
+    // while (radio) { checkRadio(); }
+    local int checks = 0;
+    while (radio == 1 && checks < 3) {
+        skip;                       // checkRadio()
+        checks = checks + 1;
+        if (checks == 2) { radio = 0; }
+    }
+}
+"""
+
+
+def main() -> None:
+    program = compile_source(SOURCE, name="landing-minilang")
+    print(f"compiled {program.name}: {program.n_threads} threads, "
+          f"shared = {sorted(program.default_relevance_vars())}")
+
+    # benign schedule: the controller finishes before the radio drops
+    execution = run_program(program, FixedScheduler([0] * 8, strict=False))
+    print("\nmessages emitted by the compiled instrumentation:")
+    for m in execution.messages:
+        print(f"  {m.pretty()}")
+
+    assert detect(execution, LANDING_PROPERTY).ok
+    print("\nobserved run: OK (the bug does not show)")
+
+    report = predict(execution, LANDING_PROPERTY, mode="full")
+    print(f"lattice: {report.nodes} states, {report.n_runs} runs, "
+          f"{len(report.violations)} predicted violations")
+    assert report.nodes == 6 and len(report.violations) == 2
+
+    initial = {v: execution.initial_store[v] for v in LANDING_VARS}
+    lattice = ComputationLattice(2, initial, execution.messages)
+    print("\n" + render_lattice(lattice, LANDING_VARS, show_edges=False))
+    print("\nSame six states, same three runs, same two predicted bugs as "
+          "the hand-built workload — from source text alone.")
+
+
+if __name__ == "__main__":
+    main()

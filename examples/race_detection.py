@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Data-race detection with multithreaded vector clocks, on real threads.
+
+The paper motivates data races as the canonical schedule-dependent bug
+(§1).  This example instruments a *real* ``threading`` program two ways —
+an unprotected counter and a lock-protected one — and shows that:
+
+* the unprotected version contains happens-before races, reported from the
+  MVC messages alone (observer side, Theorem 3), whatever the OS scheduler
+  did in this particular run;
+* modeling lock acquire/release as writes of the lock's shared variable
+  (paper §3.1) removes every race in the protected version.
+
+Run:  python examples/race_detection.py
+"""
+
+from repro import (
+    InstrumentedRuntime,
+    find_races,
+    find_races_from_messages,
+    run_threads,
+    to_execution_result,
+)
+from repro.core import all_accesses
+
+
+def racy_worker(rt: InstrumentedRuntime) -> None:
+    for _ in range(3):
+        v = rt.read("counter")
+        rt.write("counter", v + 1)
+
+
+def locked_worker(rt: InstrumentedRuntime) -> None:
+    for _ in range(3):
+        with rt.lock("guard"):
+            v = rt.read("counter")
+            rt.write("counter", v + 1)
+
+
+def analyze(name: str, worker, n_threads: int = 3) -> int:
+    # Race detection needs reads in the event stream and sync-only clocks
+    # (under the full causal order, conflicting accesses are never
+    # concurrent — they are ordered by the very access edges under test).
+    rt = InstrumentedRuntime(
+        {"counter": 0},
+        relevance=all_accesses(),
+        sync_only_clocks=True,
+    )
+    run_threads(rt, [worker] * n_threads)
+    result = to_execution_result(rt, name)
+
+    oracle = find_races(result)
+    observer_side = find_races_from_messages(result.messages, result.n_threads)
+    assert {r.key for r in oracle} == {r.key for r in observer_side}, (
+        "Theorem 3 reconstruction must agree with ground truth"
+    )
+
+    print(f"{name}: final counter = {result.final_store['counter']}, "
+          f"{len(oracle)} racing pairs")
+    for race in oracle[:5]:
+        print(f"  {race.pretty()}")
+    if len(oracle) > 5:
+        print(f"  ... and {len(oracle) - 5} more")
+    return len(oracle)
+
+
+def main() -> None:
+    racy = analyze("racy-counter", racy_worker)
+    print()
+    locked = analyze("locked-counter", locked_worker)
+    assert racy > 0, "unprotected increments must race"
+    assert locked == 0, "lock events (§3.1) must order the critical sections"
+    print("\nLocks became shared-variable writes; the races disappeared.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,145 @@
+"""Predictive atomicity-violation detection (unserializable access patterns).
+
+A third bug class in the lineage of the paper's §1 motivation (alongside
+data races and deadlocks — the authors' later jPredictor made atomicity a
+headline analysis): a lock-protected region is *meant* to be atomic, but if
+a remote conflicting access is concurrent with the region under the
+synchronization-only happens-before order, some schedule interleaves it
+between two local accesses.  Whether that interleaving is harmful follows
+the classic serializability table (Lu et al.'s AVIO / Wang & Stoller): with
+``a1, a2`` consecutive local accesses of ``x`` inside the region and ``r``
+the remote access in between, the unserializable triples are::
+
+    R - W - R    non-repeatable read (the two local reads disagree)
+    W - W - R    the local read sees the remote write, local write lost
+    R - W - W    the remote write is silently overwritten
+    W - R - W    the remote read observes an intermediate value
+
+The other four triples are equivalent to a serial order and not reported.
+
+Like the race detector, this is *predictive*: the report is based on
+concurrency in the observed causal order, not on the interleaving actually
+having happened.  Requires the race-detection instrumentation
+(``all_accesses`` relevance is unnecessary — events suffice — but the
+execution must record events; any :class:`ExecutionResult` works).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.computation import Computation
+from ..core.events import Event, EventKind, VarName
+from ..sched.scheduler import ExecutionResult
+
+__all__ = ["AtomicRegion", "AtomicityViolation", "find_atomicity_violations"]
+
+#: The four unserializable (local, remote, local) kind-triples.
+_UNSERIALIZABLE = {
+    ("R", "W", "R"),
+    ("W", "W", "R"),
+    ("R", "W", "W"),
+    ("W", "R", "W"),
+}
+
+
+@dataclass(frozen=True)
+class AtomicRegion:
+    """One observed lock-protected span of a thread."""
+
+    thread: int
+    lock: VarName
+    #: Indices into the execution's event list (inclusive bounds).
+    start: int
+    end: int
+
+
+@dataclass(frozen=True)
+class AtomicityViolation:
+    """An unserializable pattern: a remote access can land between two
+    consecutive local accesses of an atomic region."""
+
+    var: VarName
+    region: AtomicRegion
+    first: Event
+    remote: Event
+    second: Event
+    pattern: tuple[str, str, str]
+
+    def pretty(self) -> str:
+        p = "-".join(self.pattern)
+        return (
+            f"atomicity violation on {self.var!r} in T{self.region.thread + 1}'s "
+            f"{self.region.lock!r} region: {p} "
+            f"({self.first.pretty()} .. {self.remote.pretty()} .. "
+            f"{self.second.pretty()})"
+        )
+
+
+def _kind(e: Event) -> str:
+    return "W" if e.kind.is_write else "R"
+
+
+def _regions(events: Sequence[Event]) -> list[AtomicRegion]:
+    """Maximal acquire..release spans per (thread, lock)."""
+    open_at: dict[tuple[int, VarName], int] = {}
+    out: list[AtomicRegion] = []
+    for i, e in enumerate(events):
+        if e.kind is EventKind.ACQUIRE:
+            open_at[(e.thread, e.var)] = i
+        elif e.kind is EventKind.RELEASE:
+            start = open_at.pop((e.thread, e.var), None)
+            if start is not None:
+                out.append(AtomicRegion(thread=e.thread, lock=e.var,
+                                        start=start, end=i))
+    return out
+
+
+def find_atomicity_violations(
+    execution: ExecutionResult | Sequence[Event],
+) -> list[AtomicityViolation]:
+    """Report every unserializable (local, remote, local) pattern whose
+    remote access is concurrent with both local accesses under the
+    synchronization-only happens-before order."""
+    events = execution.events if isinstance(execution, ExecutionResult) else list(execution)
+    comp = Computation(events, causality="sync")
+    regions = _regions(events)
+    # plain data accesses only (sync pseudo-writes are not region payload)
+    data = [
+        e for e in events
+        if e.kind in (EventKind.READ, EventKind.WRITE)
+    ]
+    by_var: dict[VarName, list[Event]] = {}
+    for e in data:
+        by_var.setdefault(e.var, []).append(e)
+
+    out: list[AtomicityViolation] = []
+    seen: set[tuple] = set()
+    for region in regions:
+        span = [
+            e for e in events[region.start: region.end + 1]
+            if e.thread == region.thread
+            and e.kind in (EventKind.READ, EventKind.WRITE)
+        ]
+        per_var: dict[VarName, list[Event]] = {}
+        for e in span:
+            per_var.setdefault(e.var, []).append(e)
+        for var, locals_ in per_var.items():
+            for a1, a2 in zip(locals_, locals_[1:]):
+                for r in by_var.get(var, ()):
+                    if r.thread == region.thread:
+                        continue
+                    pattern = (_kind(a1), _kind(r), _kind(a2))
+                    if pattern not in _UNSERIALIZABLE:
+                        continue
+                    if comp.concurrent(a1, r) and comp.concurrent(a2, r):
+                        key = (var, a1.eid, r.eid, a2.eid)
+                        if key not in seen:
+                            seen.add(key)
+                            out.append(AtomicityViolation(
+                                var=var, region=region,
+                                first=a1, remote=r, second=a2,
+                                pattern=pattern,
+                            ))
+    return out

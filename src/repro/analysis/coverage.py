@@ -1,0 +1,133 @@
+"""Prediction coverage: how much of the schedule space one run explains.
+
+The paper's pitch is coverage — "a major drawback of testing is its lack of
+coverage" (§1).  This module quantifies it.  Interleavings are grouped into
+*behavior classes* by their relevant trace (the sequence of relevant-event
+labels, which captures both ordering and data); the computation lattice of
+one observed execution covers every class whose trace is a linearization of
+that execution's causal order.
+
+Two measures:
+
+* :func:`prediction_coverage` — from ONE execution: which classes (and
+  which *violating* classes) its lattice covers, against the exhaustive
+  ground truth;
+* :func:`observations_to_cover` — how many observed executions a tool needs
+  before it has seen/covered every class: a flat-trace tool (JPaX) covers
+  one class per run, the predictive tool covers a whole lattice per run.
+  The gap is the paper's value proposition as a number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..lattice.full import ComputationLattice
+from ..logic.monitor import Monitor
+from ..sched.program import Program
+from ..sched.scheduler import ExecutionResult, RandomScheduler, explore_all, run_program
+from .detector import detect
+
+__all__ = ["CoverageReport", "prediction_coverage", "observations_to_cover"]
+
+TraceClass = tuple  # tuple of relevant-event labels
+
+
+def _trace_class(execution: ExecutionResult) -> TraceClass:
+    return tuple(m.event.label or m.event.pretty() for m in execution.messages)
+
+
+def _lattice_classes(execution: ExecutionResult) -> set[TraceClass]:
+    variables = sorted(map(str, execution.initial_store))
+    initial = dict(execution.initial_store)
+    lattice = ComputationLattice(execution.n_threads, initial,
+                                 execution.messages)
+    return {
+        tuple(m.event.label or m.event.pretty() for m in run.messages)
+        for run in lattice.runs()
+    }
+
+
+@dataclass
+class CoverageReport:
+    """Coverage of the interleaving space by one observed execution."""
+
+    program_name: str
+    #: Distinct relevant-trace classes over all interleavings.
+    total_classes: int
+    #: Classes covered by the observed execution's lattice.
+    covered_classes: int
+    #: Classes whose observed trace violates the spec (None: no spec given).
+    violating_classes: Optional[int] = None
+    #: Violating classes among the covered ones.
+    covered_violating: Optional[int] = None
+
+    @property
+    def fraction(self) -> float:
+        return self.covered_classes / self.total_classes if self.total_classes else 0.0
+
+    @property
+    def violating_fraction(self) -> Optional[float]:
+        if self.violating_classes in (None, 0):
+            return None
+        return (self.covered_violating or 0) / self.violating_classes
+
+
+def prediction_coverage(
+    program: Program,
+    execution: ExecutionResult,
+    spec: Optional[str | Monitor] = None,
+    max_executions: int = 100_000,
+) -> CoverageReport:
+    """Coverage of ``program``'s behavior classes by ``execution``'s lattice.
+
+    Exhaustively enumerates interleavings (ground truth — exponential) and
+    intersects their trace classes with the lattice's runs.
+    """
+    classes: dict[TraceClass, bool] = {}
+    monitor = None
+    if spec is not None:
+        monitor = spec if isinstance(spec, Monitor) else Monitor(spec)
+    for ex in explore_all(program, max_executions=max_executions):
+        key = _trace_class(ex)
+        if key not in classes:
+            classes[key] = bool(monitor) and not detect(ex, monitor).ok
+    covered = _lattice_classes(execution)
+    covered &= set(classes)
+    report = CoverageReport(
+        program_name=program.name,
+        total_classes=len(classes),
+        covered_classes=len(covered),
+    )
+    if monitor is not None:
+        report.violating_classes = sum(1 for bad in classes.values() if bad)
+        report.covered_violating = sum(1 for c in covered if classes[c])
+    return report
+
+
+def observations_to_cover(
+    program: Program,
+    predictive: bool,
+    max_observations: int = 500,
+    max_executions: int = 100_000,
+    seed0: int = 0,
+) -> Optional[int]:
+    """Observations (random-schedule runs) needed to cover every behavior
+    class — one class per run for a flat-trace tool, a lattice per run for
+    the predictive tool.  Returns ``None`` if not covered within the budget.
+    """
+    all_classes = {
+        _trace_class(ex)
+        for ex in explore_all(program, max_executions=max_executions)
+    }
+    seen: set[TraceClass] = set()
+    for k in range(max_observations):
+        ex = run_program(program, RandomScheduler(seed0 + k))
+        if predictive:
+            seen |= _lattice_classes(ex)
+        else:
+            seen.add(_trace_class(ex))
+        if all_classes <= seen:
+            return k + 1
+    return None

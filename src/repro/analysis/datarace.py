@@ -1,0 +1,136 @@
+"""Happens-before data-race detection on top of the same MVCs.
+
+The paper motivates data races as a canonical class of bugs that observing a
+single flat run rarely exposes (§1).  The causal partial order extracted by
+Algorithm A yields the classic happens-before race check for free: two
+accesses of the same shared variable, at least one a write, that are
+*concurrent* in ``≺``, constitute a race — some schedule orders them either
+way.
+
+Two independent engines (they must agree — tested):
+
+* :func:`find_races` — oracle-side, from the ground-truth
+  :class:`~repro.core.computation.Computation` of the full event list (works
+  whatever relevance predicate the execution ran with);
+* :func:`find_races_from_messages` — observer-side, from MVC messages alone
+  via Theorem 3 (requires the execution to have been instrumented with the
+  all-accesses relevance predicate so reads are emitted too).
+
+Lock acquire/release events are writes of the lock variable (§3.1), so
+accesses in different critical sections of the same lock are causally
+ordered and correctly *not* reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..core.causality import CausalityIndex
+from ..core.computation import Computation
+from ..core.events import Event, EventKind, Message, VarName
+from ..sched.scheduler import ExecutionResult
+
+__all__ = ["Race", "find_races", "find_races_from_messages"]
+
+# Synchronization pseudo-writes order critical sections; they are not
+# themselves racy accesses.
+_SYNC_KINDS = frozenset(
+    {EventKind.ACQUIRE, EventKind.RELEASE, EventKind.NOTIFY, EventKind.WAKE}
+)
+
+
+@dataclass(frozen=True)
+class Race:
+    """An unordered pair of concurrent conflicting accesses."""
+
+    var: VarName
+    first: Event
+    second: Event
+
+    def __post_init__(self) -> None:
+        if self.first.eid == self.second.eid:
+            raise ValueError("a race needs two distinct events")
+
+    @property
+    def key(self) -> tuple:
+        """Canonical unordered identity (for set semantics in reports)."""
+        a, b = sorted([self.first.eid, self.second.eid])
+        return (self.var, a, b)
+
+    def pretty(self) -> str:
+        return (
+            f"race on {self.var!r}: {self.first.pretty()} || {self.second.pretty()}"
+        )
+
+
+def _is_data_access(e: Event) -> bool:
+    return e.kind.is_access and e.kind not in _SYNC_KINDS
+
+
+def find_races(execution: ExecutionResult) -> list[Race]:
+    """Ground-truth race detection over the execution's full event list.
+
+    Uses the *sync-only* happens-before relation: program order plus edges
+    through lock/condition events.  (Under the paper's full ``≺`` every
+    conflicting pair is ordered by its own access edge, so no race would
+    ever surface — the relations answer different questions.)
+    """
+    comp = Computation(execution.events, causality="sync")
+    return _races_from_computation(comp)
+
+
+def _races_from_computation(comp: Computation) -> list[Race]:
+    events = [e for e in comp.events if _is_data_access(e)]
+    by_var: dict[VarName, list[Event]] = {}
+    for e in events:
+        by_var.setdefault(e.var, []).append(e)
+    out: list[Race] = []
+    seen: set[tuple] = set()
+    for var, accs in by_var.items():
+        for i, a in enumerate(accs):
+            for b in accs[i + 1:]:
+                if a.thread == b.thread:
+                    continue
+                if not (a.kind.is_write or b.kind.is_write):
+                    continue
+                if comp.concurrent(a, b):
+                    r = Race(var, a, b)
+                    if r.key not in seen:
+                        seen.add(r.key)
+                        out.append(r)
+    return out
+
+
+def find_races_from_messages(
+    messages: Iterable[Message], n_threads: int
+) -> list[Race]:
+    """Observer-side race detection from MVC messages alone (Theorem 3).
+
+    The execution must have been instrumented for race detection: relevance
+    ``repro.core.algorithm_a.all_accesses`` (so reads are emitted) *and*
+    ``AlgorithmA(..., sync_only_clocks=True)`` (so clocks encode sync-only
+    happens-before rather than the full ``≺``, under which conflicting
+    accesses are never concurrent).
+    """
+    idx = CausalityIndex(n_threads, messages)
+    msgs: Sequence[Message] = idx.messages
+    out: list[Race] = []
+    seen: set[tuple] = set()
+    by_var: dict[VarName, list[Message]] = {}
+    for m in msgs:
+        if _is_data_access(m.event):
+            by_var.setdefault(m.event.var, []).append(m)
+    for var, group in by_var.items():
+        for i, a in enumerate(group):
+            for b in group[i + 1:]:
+                if a.thread == b.thread:
+                    continue
+                if not (a.event.kind.is_write or b.event.kind.is_write):
+                    continue
+                if a.concurrent_with(b):
+                    r = Race(var, a.event, b.event)
+                    if r.key not in seen:
+                        seen.add(r.key)
+                        out.append(r)
+    return out

@@ -1,0 +1,139 @@
+"""Predictive deadlock detection from lock-order cycles (Goodlock-style).
+
+Deadlocks are among the bugs the paper targets (§1: "a deadlock or a
+data-race").  Like data races, an actual deadlock manifests only under
+unlucky scheduling — but a *successful* execution already reveals the lock
+discipline: if thread 1 ever held ``A`` while acquiring ``B`` and thread 2
+held ``B`` while acquiring ``A``, some schedule interleaves the two
+acquisitions into a deadlock.  Formally: build the *lock-order graph* with
+an edge ``L1 → L2`` whenever some thread acquires ``L2`` while holding
+``L1``; a cycle whose edges come from at least two different threads is a
+potential deadlock.
+
+This is the lock-analysis analogue of the paper's prediction story: detect
+from one (non-deadlocking) run what a different scheduling could do.  The
+gate-lock refinement (ignore cycles protected by a common outer lock) is
+implemented too: an edge carries the set of locks held *besides* the source,
+and a cycle is discounted when all its edges share a common gate lock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import networkx as nx
+
+from ..core.events import Event, EventKind, VarName
+from ..sched.scheduler import ExecutionResult
+
+__all__ = ["LockEdge", "PotentialDeadlock", "lock_order_graph", "find_potential_deadlocks"]
+
+
+@dataclass(frozen=True)
+class LockEdge:
+    """One observed nested acquisition: ``thread`` acquired ``inner`` while
+    holding ``outer`` (and ``gates``: every other lock held at that moment)."""
+
+    thread: int
+    outer: VarName
+    inner: VarName
+    gates: frozenset
+
+    def __post_init__(self) -> None:
+        if self.outer == self.inner:
+            raise ValueError("self-edge: re-entrant acquisition")
+
+
+@dataclass(frozen=True)
+class PotentialDeadlock:
+    """A lock-order cycle reachable by >= 2 threads and not gate-protected."""
+
+    #: The locks on the cycle, in cycle order.
+    cycle: tuple
+    #: The edges realizing the cycle (one per cycle arc).
+    edges: tuple[LockEdge, ...]
+
+    @property
+    def threads(self) -> frozenset:
+        return frozenset(e.thread for e in self.edges)
+
+    def pretty(self) -> str:
+        arcs = " -> ".join(str(lock) for lock in self.cycle + (self.cycle[0],))
+        who = ", ".join(f"T{t + 1}" for t in sorted(self.threads))
+        return f"potential deadlock on {arcs} (threads {who})"
+
+
+def lock_order_graph(events: Iterable[Event]) -> list[LockEdge]:
+    """Extract nested-acquisition edges from an event sequence."""
+    held: dict[int, list[VarName]] = {}
+    edges: set[LockEdge] = set()
+    for e in events:
+        if e.kind is EventKind.ACQUIRE:
+            stack = held.setdefault(e.thread, [])
+            for outer in stack:
+                gates = frozenset(lk for lk in stack if lk != outer)
+                edges.add(LockEdge(e.thread, outer, e.var, gates))
+            stack.append(e.var)
+        elif e.kind is EventKind.RELEASE:
+            stack = held.get(e.thread, [])
+            if e.var in stack:
+                stack.remove(e.var)
+    return sorted(edges, key=lambda x: (x.thread, str(x.outer), str(x.inner)))
+
+
+def find_potential_deadlocks(
+    execution: ExecutionResult | Sequence[Event],
+) -> list[PotentialDeadlock]:
+    """Report every un-gated multi-thread lock cycle in the execution.
+
+    Accepts an :class:`ExecutionResult` or a raw event sequence.  A cycle is
+    reported when (a) its edges involve at least two distinct threads — a
+    single thread cannot deadlock with itself under nested locking — and
+    (b) there is no *gate lock* held across every edge (a common outer lock
+    serializes the cycle and makes the deadlock unreachable).
+    """
+    events = execution.events if isinstance(execution, ExecutionResult) else execution
+    edges = lock_order_graph(events)
+    if not edges:
+        return []
+    graph = nx.DiGraph()
+    by_arc: dict[tuple, list[LockEdge]] = {}
+    for e in edges:
+        graph.add_edge(e.outer, e.inner)
+        by_arc.setdefault((e.outer, e.inner), []).append(e)
+
+    out: list[PotentialDeadlock] = []
+    seen: set[frozenset] = set()
+    for cycle in nx.simple_cycles(graph):
+        if len(cycle) < 2:
+            continue
+        key = frozenset(cycle)
+        if key in seen:
+            continue
+        seen.add(key)
+        arcs = [(cycle[i], cycle[(i + 1) % len(cycle)]) for i in range(len(cycle))]
+        # choose, per arc, the realizing edges; try to find an assignment
+        # with >= 2 threads and no common gate lock
+        candidates = [by_arc[a] for a in arcs]
+        best = _pick_assignment(candidates)
+        if best is None:
+            continue
+        out.append(PotentialDeadlock(cycle=tuple(cycle), edges=tuple(best)))
+    return out
+
+
+def _pick_assignment(candidates: list[list[LockEdge]]) -> list[LockEdge] | None:
+    """Pick one edge per arc such that >= 2 threads participate and no gate
+    lock is common to all edges.  Exhaustive over the (small) product."""
+    import itertools
+
+    for combo in itertools.product(*candidates):
+        threads = {e.thread for e in combo}
+        if len(threads) < 2:
+            continue
+        common_gates = frozenset.intersection(*(e.gates for e in combo))
+        if common_gates:
+            continue
+        return list(combo)
+    return None

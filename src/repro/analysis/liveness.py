@@ -1,0 +1,128 @@
+"""Liveness-violation prediction via lassos (paper §4).
+
+"The idea here is to search for paths of the form ``uv`` in the computation
+lattice with the property that the shared variable global state of the
+multithreaded program reached by ``u`` is the same as the one reached by
+``uv``, and then to check whether ``u vω`` satisfies the liveness property"
+— the test being polynomial per [22] (Markey–Schnoebelen), implemented in
+:mod:`repro.logic.lasso`.
+
+The computation lattice of a finite execution is a DAG, so a lasso is a
+*state repetition along a path*: the interval between the two occurrences is
+a candidate loop ``v`` the system could conceivably repeat forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Optional
+
+from ..core.events import Message, VarName
+from ..lattice.full import ComputationLattice
+from ..logic.ast import Formula
+from ..logic.lasso import evaluate_lasso
+from ..logic.parser import parse
+
+__all__ = ["Lasso", "LassoViolation", "find_lassos", "predict_liveness_violations"]
+
+
+@dataclass(frozen=True)
+class Lasso:
+    """A candidate infinite behavior ``u · vω`` found in the lattice."""
+
+    #: Stem states (including the initial state) — positions 0..|u|-1.
+    u_states: tuple[Mapping[VarName, object], ...]
+    #: Loop states — the segment between the repeated global state, whose
+    #: last state equals the state closing the loop.
+    v_states: tuple[Mapping[VarName, object], ...]
+    #: Messages labeling the stem and loop edges, for reporting.
+    u_messages: tuple[Message, ...]
+    v_messages: tuple[Message, ...]
+
+
+@dataclass(frozen=True)
+class LassoViolation:
+    """A liveness property falsified on a predicted infinite behavior."""
+
+    lasso: Lasso
+    spec: str
+
+
+def find_lassos(
+    lattice: ComputationLattice,
+    limit: Optional[int] = None,
+) -> Iterator[Lasso]:
+    """Enumerate state-repetition lassos along lattice paths (DFS).
+
+    A lasso is reported whenever the global state reached at some point of a
+    path equals a state seen earlier *on the same path*; the repeated-state
+    interval is the loop.  Deduplicated by (stem length, loop state
+    sequence).
+    """
+    produced = 0
+    seen: set[tuple] = set()
+
+    def state_key(s: Mapping[VarName, object]) -> tuple:
+        return tuple(sorted(s.items(), key=lambda kv: str(kv[0])))
+
+    path_states: list[Mapping[VarName, object]] = [lattice.state(lattice.bottom)]
+    path_msgs: list[Message] = []
+
+    def dfs(cut) -> Iterator[Lasso]:
+        nonlocal produced
+        current_key = state_key(path_states[-1])
+        for j in range(len(path_states) - 1):
+            if state_key(path_states[j]) == current_key:
+                u_states = tuple(path_states[: j + 1])
+                v_states = tuple(path_states[j + 1:])
+                sig = (j, tuple(state_key(s) for s in v_states))
+                if sig not in seen:
+                    seen.add(sig)
+                    yield Lasso(
+                        u_states=u_states,
+                        v_states=v_states,
+                        u_messages=tuple(path_msgs[:j]),
+                        v_messages=tuple(path_msgs[j:]),
+                    )
+                    produced += 1
+                    if limit is not None and produced >= limit:
+                        return
+                break  # earliest repetition gives the maximal loop
+        for msg, succ in lattice.successors(cut):
+            path_msgs.append(msg)
+            path_states.append(_apply(path_states[-1], msg))
+            yield from dfs(succ)
+            if limit is not None and produced >= limit:
+                path_msgs.pop()
+                path_states.pop()
+                return
+            path_msgs.pop()
+            path_states.pop()
+
+    yield from dfs(lattice.bottom)
+
+
+def _apply(state: Mapping[VarName, object], msg: Message) -> dict:
+    from ..lattice.cut import apply_message
+
+    return apply_message(state, msg)
+
+
+def predict_liveness_violations(
+    lattice: ComputationLattice,
+    spec: str | Formula,
+    lasso_limit: int = 1000,
+) -> list[LassoViolation]:
+    """Check a future-time LTL property on every candidate lasso.
+
+    Returns the lassos on which ``u vω ⊭ spec`` — predicted infinite
+    behaviors violating the liveness property.  (Heuristic, as in the paper:
+    a reported lasso is a *plausible* infinite run, not a proof the program
+    can actually diverge.)
+    """
+    formula = parse(spec) if isinstance(spec, str) else spec
+    out: list[LassoViolation] = []
+    for lasso in find_lassos(lattice, limit=lasso_limit):
+        if not evaluate_lasso(formula, lasso.u_states, lasso.v_states):
+            out.append(LassoViolation(lasso=lasso, spec=str(formula)))
+    return out

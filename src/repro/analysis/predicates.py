@@ -1,0 +1,154 @@
+"""Global predicate detection: Possibly(φ) and Definitely(φ).
+
+The paper (§4): *"Once a computation lattice containing all possible runs is
+extracted, one can start using standard techniques on debugging distributed
+systems, considering both state predicates [29, 7, 5] and more complex ...
+properties"*.  The standard state-predicate techniques are Cooper &
+Marzullo's modalities over the lattice of consistent cuts:
+
+* ``Possibly(φ)``  — some consistent global state satisfies φ: the predicate
+  *could* have held in some run (sound bug evidence: e.g. φ = "both threads
+  in the critical section").
+* ``Definitely(φ)`` — every run passes through a φ-state: the predicate was
+  *unavoidable* regardless of scheduling.
+
+Both are decided by one lattice sweep: Possibly is a node scan;
+Definitely(φ) fails iff a φ-avoiding path exists from bottom to top
+(computed level-by-level over the non-φ nodes).
+
+Predicates are state formulas of :mod:`repro.logic` (no temporal operators)
+or arbitrary callables on the state mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Optional
+
+from ..core.events import Message, VarName
+from ..lattice.cut import Cut
+from ..lattice.full import ComputationLattice
+from ..logic.ast import Formula, subformulas
+from ..logic.ast import _PAST as _PAST_OPS
+from ..logic.ast import Always, Eventually, Next, Until
+from ..logic.monitor import Monitor
+from ..logic.parser import parse
+
+__all__ = ["PredicateReport", "possibly", "definitely", "as_predicate"]
+
+StatePredicate = Callable[[Mapping[VarName, object]], bool]
+
+_TEMPORAL = _PAST_OPS + (Always, Eventually, Next, Until)
+
+
+def as_predicate(spec: str | Formula | StatePredicate) -> StatePredicate:
+    """Coerce a spec into a plain state predicate; temporal operators are
+    rejected (modalities quantify over cuts, not histories)."""
+    if callable(spec) and not isinstance(spec, Formula):
+        return spec
+    formula = parse(spec) if isinstance(spec, str) else spec
+    for g in subformulas(formula):
+        if isinstance(g, _TEMPORAL):
+            raise ValueError(
+                f"Possibly/Definitely take state predicates; {g} is temporal"
+            )
+    monitor = Monitor(formula)
+
+    def predicate(state: Mapping[VarName, object]) -> bool:
+        _ms, ok = monitor.step(monitor.initial_state(), state)
+        return ok
+
+    return predicate
+
+
+@dataclass(frozen=True)
+class PredicateReport:
+    """Outcome of a modal predicate query."""
+
+    modality: str  # "possibly" | "definitely"
+    holds: bool
+    #: For Possibly: a cut whose state satisfies φ (None if not holds).
+    #: For Definitely: a cut on a φ-avoiding path certificate (None if holds).
+    witness_cut: Optional[Cut]
+    #: The witness state (satisfying φ for Possibly; the top of the avoiding
+    #: path for Definitely).
+    witness_state: Optional[Mapping[VarName, object]]
+    #: For Possibly: one run prefix reaching the witness cut.
+    witness_run: tuple[Message, ...] = ()
+
+
+def possibly(
+    lattice: ComputationLattice,
+    spec: str | Formula | StatePredicate,
+) -> PredicateReport:
+    """Does some consistent global state satisfy the predicate?
+
+    Returns a witness cut, its state, and a run prefix reaching it (BFS, so
+    the prefix is one of the shortest).
+    """
+    pred = as_predicate(spec)
+    # BFS from the bottom with parent pointers for the witness run.
+    bottom = lattice.bottom
+    if pred(lattice.state(bottom)):
+        return PredicateReport("possibly", True, bottom, lattice.state(bottom))
+    parents: dict[Cut, tuple[Cut, Message]] = {}
+    frontier = [bottom]
+    seen = {bottom}
+    while frontier:
+        nxt: list[Cut] = []
+        for cut in frontier:
+            for msg, succ in lattice.successors(cut):
+                if succ in seen:
+                    continue
+                seen.add(succ)
+                parents[succ] = (cut, msg)
+                state = lattice.state(succ)
+                if pred(state):
+                    run: list[Message] = []
+                    node = succ
+                    while node in parents:
+                        node, m = parents[node]
+                        run.append(m)
+                    run.reverse()
+                    return PredicateReport("possibly", True, succ, state,
+                                           tuple(run))
+                nxt.append(succ)
+        frontier = nxt
+    return PredicateReport("possibly", False, None, None)
+
+
+def definitely(
+    lattice: ComputationLattice,
+    spec: str | Formula | StatePredicate,
+) -> PredicateReport:
+    """Does every run pass through a state satisfying the predicate?
+
+    Fails iff there is a bottom-to-top path avoiding all φ-states; the
+    returned witness is the top cut of such an avoiding path (a concrete
+    schedule on which φ never held).
+    """
+    pred = as_predicate(spec)
+    bottom, top = lattice.bottom, lattice.top
+
+    def clean(cut: Cut) -> bool:
+        return not pred(lattice.state(cut))
+
+    if not clean(bottom):
+        # φ holds initially: every run starts in a φ-state.
+        return PredicateReport("definitely", True, None, None)
+    # BFS over φ-avoiding nodes.
+    frontier = [bottom]
+    seen = {bottom}
+    while frontier:
+        nxt: list[Cut] = []
+        for cut in frontier:
+            if cut == top:
+                return PredicateReport(
+                    "definitely", False, top, lattice.state(top)
+                )
+            for _msg, succ in lattice.successors(cut):
+                if succ not in seen and clean(succ):
+                    seen.add(succ)
+                    nxt.append(succ)
+        frontier = nxt
+    return PredicateReport("definitely", True, None, None)

@@ -1,0 +1,301 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+The end-user face of the reproduction, mirroring how one would drive the
+original tool:
+
+* ``demo``    — run a bundled workload instrumented, predict violations,
+  and show the lattice (the Fig. 4 pipeline in one command);
+* ``record``  — run a workload and persist the message trace to a file;
+* ``check``   — predictive analysis of a recorded trace against a spec;
+* ``render``  — print the computation lattice (text or Graphviz DOT);
+* ``races``   — happens-before data-race report for a workload;
+* ``analyze`` — every analysis in one report;
+* ``run``     — compile and predictively analyze a MiniLang source file;
+* ``explore`` — exhaustive interleaving enumeration (ground-truth model check).
+
+Examples::
+
+    python -m repro demo landing
+    python -m repro record xyz /tmp/xyz.trace
+    python -m repro check /tmp/xyz.trace --spec "(x > 0) -> [y == 0, y > z)"
+    python -m repro render landing --dot
+    python -m repro races counter
+    python -m repro run controller.ml --spec "start(landing == 1) -> [approved == 1, radio == 0)"
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Optional, Sequence
+
+from .analysis import detect, find_races, predict
+from .core import all_accesses
+from .lattice import ComputationLattice, render_computation, render_lattice, to_dot
+from .observer.trace import read_trace, write_trace
+from .sched import FixedScheduler, RandomScheduler, run_program
+from .workloads import (
+    AUDIT_PROPERTY,
+    LANDING_OBSERVED_SCHEDULE,
+    LANDING_PROPERTY,
+    LANDING_VARS,
+    XYZ_OBSERVED_SCHEDULE,
+    XYZ_PROPERTY,
+    XYZ_VARS,
+    landing_controller,
+    racy_counter,
+    transfer_program,
+    xyz_program,
+)
+
+__all__ = ["main"]
+
+
+class _Demo:
+    def __init__(self, factory, spec, variables, schedule=None):
+        self.factory = factory
+        self.spec = spec
+        self.variables = tuple(variables)
+        self.schedule = schedule
+
+
+DEMOS = {
+    "landing": _Demo(landing_controller, LANDING_PROPERTY, LANDING_VARS,
+                     LANDING_OBSERVED_SCHEDULE),
+    "xyz": _Demo(xyz_program, XYZ_PROPERTY, XYZ_VARS, XYZ_OBSERVED_SCHEDULE),
+    "bank": _Demo(transfer_program, AUDIT_PROPERTY, ("a", "b", "audited"),
+                  [1, 1, 1] + [0] * 6),
+    "counter": _Demo(lambda: racy_counter(2, 1), "c >= 0", ("c",)),
+}
+
+
+def _run_demo(demo: _Demo, seed: Optional[int] = None):
+    scheduler = (RandomScheduler(seed) if seed is not None
+                 else FixedScheduler(demo.schedule or [], strict=False))
+    return run_program(demo.factory(), scheduler)
+
+
+def _demo_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("workload", choices=sorted(DEMOS),
+                        help="bundled workload to run")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="use a seeded random schedule instead of the "
+                             "paper's observed one")
+
+
+def cmd_demo(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    demo = DEMOS[args.workload]
+    spec = args.spec or demo.spec
+    execution = _run_demo(demo, args.seed)
+    out(f"program: {execution.program_name}   spec: {spec}")
+    out("messages:")
+    for m in execution.messages:
+        out(f"  {m.pretty()}")
+    baseline = detect(execution, spec)
+    out(f"observed run: {'OK' if baseline.ok else 'VIOLATION'}")
+    report = predict(execution, spec, mode="full")
+    out(f"lattice: {report.nodes} states, {report.n_runs} runs")
+    out(f"violations (observed or predicted): {len(report.violations)}")
+    for v in report.violations:
+        out("  counterexample: " + v.pretty(demo.variables))
+    if report.predicted:
+        out("VERDICT: violation PREDICTED from a successful execution")
+        return 1
+    if not baseline.ok:
+        out("VERDICT: violation observed directly")
+        return 1
+    out("VERDICT: no violation in any consistent run")
+    return 0
+
+
+def cmd_record(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    demo = DEMOS[args.workload]
+    execution = _run_demo(demo, args.seed)
+    n = write_trace(args.trace, execution.n_threads, execution.initial_store,
+                    execution.messages, program=execution.program_name)
+    out(f"recorded {n} messages from {execution.program_name} to {args.trace}")
+    return 0
+
+
+def cmd_check(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    trace = read_trace(args.trace)
+    if not args.spec:
+        out("error: --spec is required for check")
+        return 2
+    from .lattice import LevelByLevelBuilder
+    from .logic import Monitor
+
+    monitor = Monitor(args.spec)
+    initial = {v: trace.initial[v] for v in sorted(monitor.variables)}
+    builder = LevelByLevelBuilder(trace.n_threads, initial, monitor)
+    builder.feed_many(trace.messages)
+    builder.finish()
+    out(f"trace: {trace.program}, {len(trace.messages)} messages, "
+        f"{trace.n_threads} threads")
+    out(f"lattice nodes expanded: {builder.stats.nodes_expanded}")
+    out(f"violations: {len(builder.violations)}")
+    variables = sorted(monitor.variables)
+    for v in builder.violations:
+        out("  counterexample: " + v.pretty(variables))
+    return 1 if builder.violations else 0
+
+
+def cmd_render(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    demo = DEMOS[args.workload]
+    execution = _run_demo(demo, args.seed)
+    initial = {v: execution.initial_store[v] for v in demo.variables}
+    lattice = ComputationLattice(execution.n_threads, initial,
+                                 execution.messages)
+    if args.dot:
+        out(to_dot(lattice, demo.variables, title=execution.program_name))
+    else:
+        out(render_computation(execution.messages, execution.n_threads))
+        out("")
+        out(render_lattice(lattice, demo.variables))
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    demo = DEMOS[args.workload]
+    scheduler = (RandomScheduler(args.seed) if args.seed is not None
+                 else FixedScheduler(demo.schedule or [], strict=False))
+    execution = run_program(demo.factory(), scheduler,
+                            relevance=all_accesses(),
+                            sync_only_clocks=True)
+    from .analysis import analyze
+
+    # Predictive checking needs the full causal clocks; re-run with the
+    # default instrumentation for that part.
+    pred_exec = _run_demo(demo, args.seed)
+    report = analyze(pred_exec, specs=[args.spec or demo.spec],
+                     check_races=False)
+    race_part = analyze(execution, specs=(), check_races=True)
+    report.races = race_part.races
+    report.races_checked = True
+    report.deadlocks = race_part.deadlocks
+    out(report.summary())
+    return 0 if report.clean else 1
+
+
+def cmd_races(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    demo = DEMOS[args.workload]
+    scheduler = (RandomScheduler(args.seed) if args.seed is not None
+                 else FixedScheduler(demo.schedule or [], strict=False))
+    execution = run_program(demo.factory(), scheduler,
+                            relevance=all_accesses(),
+                            sync_only_clocks=True)
+    races = find_races(execution)
+    out(f"program: {execution.program_name}   races: {len(races)}")
+    for r in races:
+        out("  " + r.pretty())
+    return 1 if races else 0
+
+
+def cmd_explore(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    from .analysis import model_check
+
+    demo = DEMOS[args.workload]
+    result = model_check(demo.factory(), args.spec or demo.spec,
+                         max_executions=args.limit)
+    out(f"program: {result.program_name}   spec: {result.spec}")
+    out(f"interleavings explored: {result.total_runs}"
+        + (" (truncated)" if result.truncated else ""))
+    out(f"violating interleavings: {result.violating_runs} "
+        f"({result.violation_rate:.1%})")
+    if result.witness is not None:
+        out(f"witness schedule: {result.witness.schedule}")
+    return 0 if result.ok else 1
+
+
+def cmd_run(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    from .lang import compile_source
+
+    with open(args.source, encoding="utf-8") as fh:
+        text = fh.read()
+    program = compile_source(text, name=args.source)
+    scheduler = (RandomScheduler(args.seed) if args.seed is not None
+                 else FixedScheduler([], strict=False))
+    execution = run_program(program, scheduler)
+    out(f"compiled {args.source}: {program.n_threads} threads, "
+        f"shared = {sorted(map(str, program.default_relevance_vars()))}")
+    out(f"executed {len(execution.events)} events, "
+        f"{len(execution.messages)} relevant messages")
+    out(f"final state: { {str(k): v for k, v in execution.final_store.items()} }")
+    if not args.spec:
+        return 0
+    baseline = detect(execution, args.spec)
+    out(f"observed run: {'OK' if baseline.ok else 'VIOLATION'}")
+    report = predict(execution, args.spec)
+    out(f"violations (observed or predicted): {len(report.violations)}")
+    from .logic import Monitor
+
+    variables = sorted(Monitor(args.spec).variables)
+    for v in report.violations:
+        out("  counterexample: " + v.pretty(variables))
+    return 1 if report.violations else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MultiPathExplorer: predictive runtime analysis of "
+                    "multithreaded programs (Roşu & Sen, IPDPS 2004)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("demo", help="run a workload and predict violations")
+    _demo_arg(p)
+    p.add_argument("--spec", default=None, help="override the bundled spec")
+    p.set_defaults(fn=cmd_demo)
+
+    p = sub.add_parser("record", help="run a workload, persist its trace")
+    _demo_arg(p)
+    p.add_argument("trace", help="output trace file (JSON lines)")
+    p.set_defaults(fn=cmd_record)
+
+    p = sub.add_parser("check", help="predictive analysis of a trace file")
+    p.add_argument("trace", help="trace file produced by 'record'")
+    p.add_argument("--spec", required=True, help="safety specification")
+    p.set_defaults(fn=cmd_check)
+
+    p = sub.add_parser("render", help="print the computation lattice")
+    _demo_arg(p)
+    p.add_argument("--dot", action="store_true", help="emit Graphviz DOT")
+    p.set_defaults(fn=cmd_render)
+
+    p = sub.add_parser("races", help="happens-before data-race report")
+    _demo_arg(p)
+    p.set_defaults(fn=cmd_races)
+
+    p = sub.add_parser("analyze", help="all analyses in one report")
+    _demo_arg(p)
+    p.add_argument("--spec", default=None, help="override the bundled spec")
+    p.set_defaults(fn=cmd_analyze)
+
+    p = sub.add_parser("explore", help="exhaustive ground-truth model check")
+    _demo_arg(p)
+    p.add_argument("--spec", default=None, help="override the bundled spec")
+    p.add_argument("--limit", type=int, default=100_000,
+                   help="max interleavings to explore")
+    p.set_defaults(fn=cmd_explore)
+
+    p = sub.add_parser("run", help="compile and analyze a MiniLang file")
+    p.add_argument("source", help="MiniLang source file")
+    p.add_argument("--spec", default=None, help="safety specification")
+    p.add_argument("--seed", type=int, default=None,
+                   help="seeded random schedule (default: deterministic)")
+    p.set_defaults(fn=cmd_run)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None,
+         out: Callable[[str], None] = print) -> int:
+    """Entry point; returns the process exit code (0 clean, 1 violation/race,
+    2 usage error)."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,36 @@
+"""Core of the reproduction: MVCs, Algorithm A, and causality.
+
+This package contains the paper's primary contribution:
+
+* :mod:`repro.core.vectorclock` — multithreaded vector clock datatypes;
+* :mod:`repro.core.events` — events and observer messages ``⟨e, i, V⟩``;
+* :mod:`repro.core.algorithm_a` — the Fig. 2 instrumentation algorithm;
+* :mod:`repro.core.computation` — ground-truth ``≺`` per Section 2.2
+  (the oracle for Theorem 3);
+* :mod:`repro.core.causality` — observer-side ``⊳`` reconstruction.
+"""
+
+from .algorithm_a import AlgorithmA, all_accesses, relevant_writes
+from .causality import CausalityIndex, hasse_reduction, is_linear_extension
+from .computation import Computation, execution_from_specs
+from .distributed import DistributedInterpretation
+from .events import Event, EventKind, Message
+from .vectorclock import ClockArena, MutableVectorClock, VectorClock
+
+__all__ = [
+    "AlgorithmA",
+    "all_accesses",
+    "relevant_writes",
+    "CausalityIndex",
+    "hasse_reduction",
+    "is_linear_extension",
+    "Computation",
+    "execution_from_specs",
+    "DistributedInterpretation",
+    "Event",
+    "EventKind",
+    "Message",
+    "ClockArena",
+    "MutableVectorClock",
+    "VectorClock",
+]

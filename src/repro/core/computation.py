@@ -1,0 +1,290 @@
+"""Ground-truth multithreaded computations (paper Section 2.2).
+
+A *multithreaded computation* is the smallest partial order ``≺`` on the
+events of an execution ``M`` such that:
+
+* ``e^k_i ≺ e^l_i`` whenever ``k < l`` (program order within a thread);
+* ``e ≺ e'`` whenever ``e <_x e'`` for some shared variable ``x`` and at
+  least one of ``e, e'`` is a write (read-write, write-read and write-write
+  causality; read-read pairs are permutable);
+* transitivity.
+
+:class:`Computation` implements this definition *directly* from a recorded
+execution, independently of Algorithm A.  It is the oracle against which the
+MVC algorithm is validated (Theorem 3 tests in ``tests/core/test_theorem3.py``)
+and the reference for lattice feasibility checks.
+
+Implementation note: reachability is computed once, by a topological sweep in
+execution order, representing each event's predecessor set as a Python int
+bitset.  ``x | y`` on ints is a single C loop over machine words, so closure
+costs O(r^2 / 64) words for r events — comfortably fast for the tens of
+thousands of events the tests use (this is the "algorithmic optimization
+first" rule from the HPC guides; an explicit Floyd–Warshall would be O(r^3)).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence
+
+from .events import Event, EventKind, VarName
+
+__all__ = ["Computation", "execution_from_specs"]
+
+
+class Computation:
+    """The causal partial order of one recorded multithreaded execution.
+
+    Args:
+        execution: events in their global execution (total) order.  Each
+            event's ``seq`` must match its position within its thread
+            (1-based), as produced by :class:`repro.core.algorithm_a.AlgorithmA`
+            or :func:`execution_from_specs`.
+        causality: ``"full"`` is the paper's ``≺`` (all shared-variable
+            access edges).  ``"sync"`` keeps only program order plus access
+            edges through *synchronization* events (lock acquire/release,
+            notify/wake) — the happens-before relation classic race
+            detection needs, under which conflicting *data* accesses are not
+            ordered by the very accesses being examined.
+    """
+
+    def __init__(self, execution: Sequence[Event], causality: str = "full"):
+        if causality not in ("full", "sync"):
+            raise ValueError(f"unknown causality mode {causality!r}")
+        self._causality = causality
+        self._events: list[Event] = list(execution)
+        self._index: dict[tuple[int, int], int] = {}
+        for pos, e in enumerate(self._events):
+            if e.eid in self._index:
+                raise ValueError(f"duplicate event id {e.eid}")
+            self._index[e.eid] = pos
+        self._validate_seq()
+        # _pred[p] is an int bitset of positions strictly causally before p.
+        self._pred: list[int] = self._close()
+
+    def _validate_seq(self) -> None:
+        counts: dict[int, int] = {}
+        for e in self._events:
+            expect = counts.get(e.thread, 0) + 1
+            if e.seq != expect:
+                raise ValueError(
+                    f"event {e.eid} out of order: expected seq {expect} "
+                    f"for thread {e.thread}"
+                )
+            counts[e.thread] = expect
+
+    def _close(self) -> list[int]:
+        """One pass in execution order, accumulating predecessor bitsets.
+
+        For each event we join: (i) the bitset of the previous event of the
+        same thread, and (ii) for accesses of ``x``, the bitsets of the
+        events the definition makes direct predecessors — every earlier
+        *access* of ``x`` if this is a write, every earlier *write* of ``x``
+        if this is a read.  Keeping, per variable, the cumulative bitset of
+        earlier accesses/writes (plus the events themselves) makes each step
+        O(words).
+        """
+        pred: list[int] = []
+        last_of_thread: dict[int, int] = {}  # thread -> position of last event
+        # Per variable: bitset of {accesses of x} ∪ their predecessors, and
+        # bitset of {writes of x} ∪ their predecessors.
+        acc_closure: dict[VarName, int] = {}
+        wr_closure: dict[VarName, int] = {}
+
+        sync_only = self._causality == "sync"
+        for pos, e in enumerate(self._events):
+            ordering_access = e.kind.is_access and (
+                not sync_only or e.kind is not EventKind.READ and e.kind is not EventKind.WRITE
+            )
+            p = 0
+            lp = last_of_thread.get(e.thread)
+            if lp is not None:
+                p |= pred[lp] | (1 << lp)
+            if ordering_access:
+                if e.kind.is_write:
+                    p |= acc_closure.get(e.var, 0)
+                else:
+                    p |= wr_closure.get(e.var, 0)
+            pred.append(p)
+            last_of_thread[e.thread] = pos
+            if ordering_access:
+                closure_with_self = p | (1 << pos)
+                acc_closure[e.var] = acc_closure.get(e.var, 0) | closure_with_self
+                if e.kind.is_write:
+                    wr_closure[e.var] = wr_closure.get(e.var, 0) | closure_with_self
+        return pred
+
+    # -- basic queries --------------------------------------------------------
+
+    @property
+    def events(self) -> Sequence[Event]:
+        return tuple(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def position(self, e: Event | tuple[int, int]) -> int:
+        eid = e.eid if isinstance(e, Event) else e
+        return self._index[eid]
+
+    def precedes(self, a: Event | tuple[int, int], b: Event | tuple[int, int]) -> bool:
+        """The paper's ``a ≺ b`` (strict causal precedence)."""
+        pa, pb = self.position(a), self.position(b)
+        return bool(self._pred[pb] >> pa & 1)
+
+    def concurrent(self, a: Event | tuple[int, int], b: Event | tuple[int, int]) -> bool:
+        """The paper's ``a || b``: neither precedes the other, and distinct."""
+        pa, pb = self.position(a), self.position(b)
+        if pa == pb:
+            return False
+        return not (self._pred[pb] >> pa & 1) and not (self._pred[pa] >> pb & 1)
+
+    def predecessors(self, e: Event | tuple[int, int]) -> list[Event]:
+        """All events strictly causally before ``e``, in execution order."""
+        p = self._pred[self.position(e)]
+        return [self._events[i] for i in _bits(p)]
+
+    def relevant_events(self) -> list[Event]:
+        return [e for e in self._events if e.relevant]
+
+    def relevant_precedes(self, a: Event, b: Event) -> bool:
+        """The relevant causality ``a ⊳ b`` = ``≺ ∩ (R × R)`` (Section 2.3)."""
+        return a.relevant and b.relevant and self.precedes(a, b)
+
+    def relevant_pairs(self) -> Iterator[tuple[Event, Event, bool]]:
+        """Yield ``(a, b, a ⊳ b)`` over all ordered pairs of relevant events."""
+        rel = self.relevant_events()
+        for a in rel:
+            pa = self.position(a)
+            for b in rel:
+                if a.eid == b.eid:
+                    continue
+                yield a, b, bool(self._pred[self.position(b)] >> pa & 1)
+
+    # -- requirement oracles (Section 3, Requirements for A) -------------------
+
+    def count_relevant_preceding(
+        self, j: int, e: Event, inclusive: bool
+    ) -> int:
+        """Number of relevant events of thread ``j`` that causally precede
+        ``e`` — requirement (a)'s right-hand side.  With ``inclusive`` and
+        ``e.thread == j``, ``e`` itself is counted when relevant."""
+        p = self.position(e)
+        mask = self._pred[p]
+        n = sum(
+            1
+            for i in _bits(mask)
+            if self._events[i].thread == j and self._events[i].relevant
+        )
+        if inclusive and e.thread == j and e.relevant:
+            n += 1
+        return n
+
+    def last_access_position(self, x: VarName, upto: int, write_only: bool) -> Optional[int]:
+        """Position of the most recent (<= upto) access/write of ``x``."""
+        for i in range(upto, -1, -1):
+            e = self._events[i]
+            if e.kind.is_access and e.var == x:
+                if not write_only or e.kind.is_write:
+                    return i
+        return None
+
+    # -- linearizations ---------------------------------------------------------
+
+    def is_consistent_run(self, order: Sequence[Event]) -> bool:
+        """Is ``order`` a permutation of all events consistent with ``≺``?
+
+        (The paper's *consistent multithreaded run*, Section 2.2.)
+        """
+        if len(order) != len(self._events):
+            return False
+        seen = 0
+        for e in order:
+            pos = self._index.get(e.eid if isinstance(e, Event) else e)
+            if pos is None or (seen >> pos & 1):
+                return False
+            if self._pred[pos] & ~seen:
+                return False  # some predecessor not yet placed
+            seen |= 1 << pos
+        return True
+
+    def count_linearizations(self, limit: int = 10_000_000) -> int:
+        """Number of consistent runs (linear extensions of ``≺``).
+
+        Exponential in general; memoized over downsets.  ``limit`` aborts
+        runaway counts in tests.
+        """
+        events = self._events
+        n = len(events)
+        preds = self._pred
+        full = (1 << n) - 1
+        from functools import lru_cache
+
+        @lru_cache(maxsize=None)
+        def count(downset: int) -> int:
+            if downset == full:
+                return 1
+            total = 0
+            for i in range(n):
+                if downset >> i & 1:
+                    continue
+                if preds[i] & ~downset:
+                    continue
+                total += count(downset | (1 << i))
+                if total > limit:
+                    raise OverflowError("linearization count exceeds limit")
+            return total
+
+        return count(0)
+
+
+def _bits(mask: int) -> Iterator[int]:
+    """Indices of set bits, ascending."""
+    i = 0
+    while mask:
+        if mask & 1:
+            yield i
+        mask >>= 1
+        i += 1
+
+
+def execution_from_specs(
+    specs: Iterable[tuple[int, str, Optional[VarName]] | tuple[int, str, Optional[VarName], object]],
+    relevant_vars: Optional[Iterable[VarName]] = None,
+    relevance: str = "writes",
+) -> list[Event]:
+    """Build an execution from compact tuples — test/benchmark convenience.
+
+    Each spec is ``(thread, kind, var)`` or ``(thread, kind, var, value)``
+    with ``kind`` in ``{"r", "w", "i"}``.  Relevance mirrors JMPaX's rule:
+    ``"writes"`` marks writes of ``relevant_vars`` (all vars when ``None``),
+    ``"accesses"`` marks reads too, ``"none"`` marks nothing.
+    """
+    rel_vars = None if relevant_vars is None else frozenset(relevant_vars)
+    kinds = {"r": EventKind.READ, "w": EventKind.WRITE, "i": EventKind.INTERNAL}
+    counts: dict[int, int] = {}
+    out: list[Event] = []
+    for spec in specs:
+        thread, kind_s, var = spec[0], spec[1], spec[2]
+        value = spec[3] if len(spec) > 3 else None
+        kind = kinds[kind_s]
+        counts[thread] = counts.get(thread, 0) + 1
+        var_ok = kind.is_access and (rel_vars is None or var in rel_vars)
+        if relevance == "writes":
+            is_rel = kind.is_write and var_ok
+        elif relevance == "accesses":
+            is_rel = var_ok
+        elif relevance == "none":
+            is_rel = False
+        else:
+            raise ValueError(f"unknown relevance rule {relevance!r}")
+        out.append(
+            Event(
+                thread=thread,
+                seq=counts[thread],
+                kind=kind,
+                var=var if kind.is_access else None,
+                value=value,
+                relevant=is_rel,
+            )
+        )
+    return out

@@ -1,0 +1,197 @@
+"""The distributed-systems interpretation of Algorithm A (paper §3.2, Fig. 3).
+
+§3.2 asks whether the MVC algorithm could be derived from standard vector
+clocks for message-passing distributed systems.  The answer is "*almost*":
+associate two processes with each shared variable ``x`` — an *access
+process* ``xa`` and a *write process* ``xw`` — and model
+
+* a **write** of ``x`` by thread ``i`` as: request ``i → xa``, request
+  ``xa → xw``, acknowledgment ``xw → i`` (all ordinary clock-carrying
+  messages);
+* a **read** of ``x`` by thread ``i`` as: request ``i → xa``, a **hidden**
+  request ``xa → xw`` (a message "not considered by the standard MVC update
+  algorithm" — its only role is to trigger the ack), acknowledgment
+  ``xw → i``.
+
+The hidden message is the "almost": reads must *not* update the write
+process's clock, which is what keeps reads permutable by the observer.
+
+This module implements that interpretation as an explicit actor simulation —
+processes with mailboxes exchanging clock-stamped messages — and
+:class:`DistributedInterpretation` exposes the same event API as
+:class:`~repro.core.algorithm_a.AlgorithmA`.  The test-suite verifies that
+the two produce *identical* clocks on arbitrary executions, mechanizing
+§3.2's equivalence argument.
+
+One deviation from pure Mattern/Fidge clocks, inherent to the paper's MVCs:
+clocks are ``n``-dimensional over the *threads* only; variable processes
+never tick a component of their own, and thread processes tick theirs only
+on relevant events (Algorithm A step 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .algorithm_a import RelevancePredicate
+from .events import Event, EventKind, Message, VarName
+from .vectorclock import MutableVectorClock
+
+__all__ = ["DistributedInterpretation", "Exchange"]
+
+
+@dataclass(frozen=True)
+class Exchange:
+    """One message of the Fig. 3 protocol, for inspection/testing."""
+
+    sender: str  # "t<i>", "<x>a", or "<x>w"
+    receiver: str
+    kind: str  # "request" | "ack"
+    hidden: bool
+    #: Clock attached to the message (None for hidden messages — they carry
+    #: no clock by definition).
+    clock: Optional[tuple[int, ...]]
+
+
+class _Process:
+    """A process of the simulated distributed system: a clock + a mailbox."""
+
+    def __init__(self, name: str, width: int):
+        self.name = name
+        self.clock = MutableVectorClock(width)
+        self.mailbox: list[tuple[bool, Optional[tuple[int, ...]]]] = []
+
+    def receive(self, hidden: bool, clock: Optional[tuple[int, ...]]) -> None:
+        """Standard VC receive: merge the attached clock — unless the
+        message is hidden (Fig. 3's dotted arrow)."""
+        self.mailbox.append((hidden, clock))
+        if not hidden and clock is not None:
+            self.clock.merge(clock)
+
+
+class DistributedInterpretation:
+    """Algorithm A realized as Fig. 3's message-passing protocol.
+
+    Drop-in behavioral twin of :class:`AlgorithmA` (``process``, ``on_read``,
+    ``on_write``, ``on_internal``, ``emitted``); additionally records every
+    protocol message in :attr:`exchanges`.
+    """
+
+    def __init__(
+        self,
+        n_threads: int,
+        relevance: Optional[RelevancePredicate] = None,
+    ):
+        if n_threads <= 0:
+            raise ValueError("n_threads must be positive")
+        self._n = n_threads
+        self._relevance: RelevancePredicate = relevance or (
+            lambda e: e.kind.is_write
+        )
+        self._threads = [_Process(f"t{i}", n_threads) for i in range(n_threads)]
+        self._access: dict[VarName, _Process] = {}
+        self._write: dict[VarName, _Process] = {}
+        self._event_counts = [0] * n_threads
+        self._emit_index = 0
+        self.emitted: list[Message] = []
+        self.exchanges: list[Exchange] = []
+
+    def _var_procs(self, x: VarName) -> tuple[_Process, _Process]:
+        a = self._access.get(x)
+        if a is None:
+            a = _Process(f"{x}a", self._n)
+            w = _Process(f"{x}w", self._n)
+            self._access[x] = a
+            self._write[x] = w
+            return a, w
+        return a, self._write[x]
+
+    def _send(self, src: _Process, dst: _Process, kind: str,
+              hidden: bool = False) -> None:
+        clock = None if hidden else tuple(src.clock)
+        self.exchanges.append(
+            Exchange(sender=src.name, receiver=dst.name, kind=kind,
+                     hidden=hidden, clock=clock)
+        )
+        dst.receive(hidden, clock)
+
+    # -- the protocol ------------------------------------------------------------
+
+    def process(
+        self,
+        thread: int,
+        kind: EventKind,
+        var: Optional[VarName] = None,
+        value: object = None,
+        label: Optional[str] = None,
+    ) -> Optional[Message]:
+        if not 0 <= thread < self._n:
+            raise IndexError(thread)
+        self._event_counts[thread] += 1
+        proto = Event(thread=thread, seq=self._event_counts[thread],
+                      kind=kind, var=var, value=value, relevant=False,
+                      label=label)
+        relevant = self._relevance(proto)
+        ti = self._threads[thread]
+
+        # Local relevant event: the thread process ticks its own component
+        # (Algorithm A step 1) before any protocol message is sent.
+        if relevant:
+            ti.clock.increment(thread)
+
+        if kind.is_access:
+            xa, xw = self._var_procs(var)
+            if kind.is_write:
+                # Fig. 3 right: i --req--> xa --req--> xw --ack--> i,
+                # then the access/write processes synchronize on the result.
+                self._send(ti, xa, "request")
+                self._send(xa, xw, "request")
+                self._send(xw, ti, "ack")
+                # the action is performed at xw; both variable processes end
+                # up with the writer's full knowledge
+                xa.clock.merge(tuple(xw.clock))
+                xw.clock.merge(tuple(xa.clock))
+            else:
+                # Fig. 3 left: i --req--> xa --hidden--> xw --ack--> i.
+                self._send(ti, xa, "request")
+                self._send(xa, xw, "request", hidden=True)
+                self._send(xw, ti, "ack")
+                # xa additionally learns what the ack taught the reader
+                # (step 2's V^a_x <- max{V^a_x, V_i} with the post-merge V_i)
+                xa.clock.merge(tuple(ti.clock))
+
+        if not relevant:
+            return None
+        event = Event(thread=proto.thread, seq=proto.seq, kind=proto.kind,
+                      var=proto.var, value=proto.value, relevant=True,
+                      label=proto.label)
+        msg = Message(event=event, thread=thread, clock=ti.clock.snapshot(),
+                      emit_index=self._emit_index)
+        self._emit_index += 1
+        self.emitted.append(msg)
+        return msg
+
+    # -- AlgorithmA-compatible façade ----------------------------------------------
+
+    def on_read(self, thread: int, var: VarName, value: object = None,
+                label: Optional[str] = None) -> Optional[Message]:
+        return self.process(thread, EventKind.READ, var, value, label)
+
+    def on_write(self, thread: int, var: VarName, value: object = None,
+                 label: Optional[str] = None) -> Optional[Message]:
+        return self.process(thread, EventKind.WRITE, var, value, label)
+
+    def on_internal(self, thread: int, label: Optional[str] = None) -> Optional[Message]:
+        return self.process(thread, EventKind.INTERNAL, label=label)
+
+    def thread_clock(self, i: int) -> tuple[int, ...]:
+        return tuple(self._threads[i].clock)
+
+    def access_clock(self, x: VarName) -> tuple[int, ...]:
+        p = self._access.get(x)
+        return tuple(p.clock) if p is not None else (0,) * self._n
+
+    def write_clock(self, x: VarName) -> tuple[int, ...]:
+        p = self._write.get(x)
+        return tuple(p.clock) if p is not None else (0,) * self._n

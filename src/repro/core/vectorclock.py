@@ -1,0 +1,351 @@
+"""Multithreaded vector clocks (MVCs).
+
+The paper (Section 3) associates an ``n``-dimensional vector of natural
+numbers with every thread (``V_i``) and two such vectors with every shared
+variable (the *access* MVC ``V^a_x`` and the *write* MVC ``V^w_x``).
+``V[j]`` is the number of relevant events of thread ``t_j`` known to the
+clock's owner.
+
+Two representations are provided, selected by profiling (see
+``benchmarks/bench_overhead.py``):
+
+* :class:`VectorClock` — an immutable, hashable, tuple-backed clock.  This is
+  the observer-side representation: clocks received in messages are stored in
+  lattice nodes, used as dict keys, and compared pairwise.  For the thread
+  counts this system targets (n <= 64) plain Python tuples beat numpy arrays
+  on both comparison and join, because the per-call numpy dispatch overhead
+  dominates at such tiny widths.
+
+* :class:`MutableVectorClock` — a mutable list-backed clock used *inside*
+  Algorithm A, where clocks are updated in place on every event and
+  snapshotting must be cheap.
+
+* :class:`ClockArena` — a numpy ``(m, n)`` matrix of ``m`` clocks for bulk
+  observer-side queries (e.g. "which of these 10k events causally precede
+  e?").  This is where vectorization pays off; see
+  ``repro.core.causality.CausalityIndex``.
+
+All orderings follow the paper's definitions: ``V <= V'`` iff
+``V[j] <= V'[j]`` for all ``j``; ``V < V'`` iff ``V <= V'`` and they differ;
+``join`` is the componentwise max.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = [
+    "VectorClock",
+    "MutableVectorClock",
+    "ClockArena",
+    "leq",
+    "lt",
+    "concurrent",
+    "join",
+]
+
+
+def leq(a: Sequence[int], b: Sequence[int]) -> bool:
+    """Componentwise ``a <= b`` for two equal-width clock-like sequences."""
+    if len(a) != len(b):
+        raise ValueError(f"clock width mismatch: {len(a)} vs {len(b)}")
+    return all(x <= y for x, y in zip(a, b))
+
+
+def lt(a: Sequence[int], b: Sequence[int]) -> bool:
+    """Strict clock order: ``a <= b`` and ``a != b``."""
+    if len(a) != len(b):
+        raise ValueError(f"clock width mismatch: {len(a)} vs {len(b)}")
+    strict = False
+    for x, y in zip(a, b):
+        if x > y:
+            return False
+        if x < y:
+            strict = True
+    return strict
+
+
+def concurrent(a: Sequence[int], b: Sequence[int]) -> bool:
+    """Neither ``a <= b`` nor ``b <= a`` (the paper's ``e || e'``)."""
+    return not leq(a, b) and not leq(b, a)
+
+
+def join(a: Sequence[int], b: Sequence[int]) -> tuple[int, ...]:
+    """Componentwise maximum, the paper's ``max{V, V'}``."""
+    if len(a) != len(b):
+        raise ValueError(f"clock width mismatch: {len(a)} vs {len(b)}")
+    return tuple(x if x >= y else y for x, y in zip(a, b))
+
+
+class VectorClock:
+    """An immutable multithreaded vector clock.
+
+    Instances are hashable and totally safe to share across data structures;
+    all "mutating" operations return new clocks.
+
+    >>> a = VectorClock((1, 0)); b = VectorClock((1, 1))
+    >>> a <= b, a < b, a.concurrent(b)
+    (True, True, False)
+    >>> (a.join(b)).components
+    (1, 1)
+    """
+
+    __slots__ = ("_c",)
+
+    def __init__(self, components: Iterable[int]):
+        c = tuple(int(x) for x in components)
+        if any(x < 0 for x in c):
+            raise ValueError(f"negative clock component in {c}")
+        self._c = c
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def zero(cls, width: int) -> "VectorClock":
+        """The all-zero clock of the given width (initial MVC value)."""
+        if width <= 0:
+            raise ValueError(f"clock width must be positive, got {width}")
+        return cls((0,) * width)
+
+    @classmethod
+    def unit(cls, width: int, index: int) -> "VectorClock":
+        """Zero clock with a single 1 at ``index`` (first event of a thread)."""
+        z = [0] * width
+        z[index] = 1
+        return cls(z)
+
+    # -- basic protocol ----------------------------------------------------
+
+    @property
+    def components(self) -> tuple[int, ...]:
+        return self._c
+
+    @property
+    def width(self) -> int:
+        return len(self._c)
+
+    def __len__(self) -> int:
+        return len(self._c)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._c)
+
+    def __getitem__(self, j: int) -> int:
+        return self._c[j]
+
+    def __hash__(self) -> int:
+        return hash(self._c)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, VectorClock):
+            return self._c == other._c
+        if isinstance(other, tuple):
+            return self._c == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"VC{self._c}"
+
+    # -- ordering ----------------------------------------------------------
+
+    def __le__(self, other: "VectorClock") -> bool:
+        return leq(self._c, other._c)
+
+    def __lt__(self, other: "VectorClock") -> bool:
+        return lt(self._c, other._c)
+
+    def __ge__(self, other: "VectorClock") -> bool:
+        return leq(other._c, self._c)
+
+    def __gt__(self, other: "VectorClock") -> bool:
+        return lt(other._c, self._c)
+
+    def concurrent(self, other: "VectorClock") -> bool:
+        """The paper's ``V || V'``: incomparable under the clock order."""
+        return concurrent(self._c, other._c)
+
+    # -- lattice operations -------------------------------------------------
+
+    def join(self, other: "VectorClock") -> "VectorClock":
+        return VectorClock(join(self._c, other._c))
+
+    def meet(self, other: "VectorClock") -> "VectorClock":
+        """Componentwise minimum (dual of join; used by lattice GC)."""
+        if len(self._c) != len(other._c):
+            raise ValueError("clock width mismatch")
+        return VectorClock(tuple(min(x, y) for x, y in zip(self._c, other._c)))
+
+    def incremented(self, index: int) -> "VectorClock":
+        """A copy with component ``index`` bumped by one."""
+        c = list(self._c)
+        c[index] += 1
+        return VectorClock(c)
+
+    def sum(self) -> int:
+        """Total relevant events known to this clock (lattice level number)."""
+        return sum(self._c)
+
+    def to_numpy(self) -> np.ndarray:
+        return np.asarray(self._c, dtype=np.int64)
+
+
+class MutableVectorClock:
+    """A mutable list-backed clock for the hot path of Algorithm A.
+
+    Algorithm A updates ``V_i``, ``V^a_x`` and ``V^w_x`` in place on every
+    event; allocating an immutable clock per update would double the
+    per-event cost (measured in ``bench_overhead.py``).  :meth:`snapshot`
+    freezes the current value into a :class:`VectorClock` for emission in a
+    message.
+    """
+
+    __slots__ = ("_c",)
+
+    def __init__(self, width_or_components: int | Iterable[int]):
+        if isinstance(width_or_components, int):
+            if width_or_components <= 0:
+                raise ValueError("clock width must be positive")
+            self._c = [0] * width_or_components
+        else:
+            self._c = [int(x) for x in width_or_components]
+            if any(x < 0 for x in self._c):
+                raise ValueError("negative clock component")
+
+    @property
+    def width(self) -> int:
+        return len(self._c)
+
+    def __len__(self) -> int:
+        return len(self._c)
+
+    def __getitem__(self, j: int) -> int:
+        return self._c[j]
+
+    def __setitem__(self, j: int, v: int) -> None:
+        if v < 0:
+            raise ValueError("negative clock component")
+        self._c[j] = v
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._c)
+
+    def __repr__(self) -> str:
+        return f"MVC{tuple(self._c)}"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, MutableVectorClock):
+            return self._c == other._c
+        if isinstance(other, VectorClock):
+            return tuple(self._c) == other.components
+        return NotImplemented
+
+    def increment(self, index: int) -> None:
+        """``V[index] += 1`` — step 1 of Algorithm A for relevant events."""
+        self._c[index] += 1
+
+    def merge(self, other: "MutableVectorClock | VectorClock | Sequence[int]") -> None:
+        """In-place join: ``V <- max{V, other}`` (steps 2 and 3)."""
+        c = self._c
+        if len(c) != len(other):
+            raise ValueError("clock width mismatch")
+        for j, v in enumerate(other):
+            if v > c[j]:
+                c[j] = v
+
+    def copy_from(self, other: "MutableVectorClock | VectorClock | Sequence[int]") -> None:
+        """In-place assignment ``V <- other`` (the chained writes in step 3)."""
+        if len(self._c) != len(other):
+            raise ValueError("clock width mismatch")
+        self._c[:] = list(other)
+
+    def snapshot(self) -> VectorClock:
+        """Freeze the current value for inclusion in a message."""
+        return VectorClock(self._c)
+
+    def grow(self, new_width: int) -> None:
+        """Extend with zero components (dynamic thread creation support)."""
+        if new_width < len(self._c):
+            raise ValueError("clocks cannot shrink")
+        self._c.extend([0] * (new_width - len(self._c)))
+
+
+class ClockArena:
+    """A bulk store of clocks as a numpy ``(capacity, width)`` int64 matrix.
+
+    Observer-side analyses compare one clock against *many* (e.g. finding all
+    events that causally precede a given one, or counting concurrent pairs
+    for race detection).  Doing this row-by-row in Python is O(m·n) interpreter
+    work; a single vectorized comparison is one C pass.  The arena amortizes
+    allocation by doubling capacity.
+
+    >>> arena = ClockArena(width=2)
+    >>> i = arena.append((1, 0)); j = arena.append((1, 1)); k = arena.append((2, 0))
+    >>> list(arena.all_leq((1, 1)))
+    [True, True, False]
+    """
+
+    def __init__(self, width: int, capacity: int = 64):
+        if width <= 0:
+            raise ValueError("clock width must be positive")
+        self._width = width
+        self._data = np.zeros((max(capacity, 1), width), dtype=np.int64)
+        self._size = 0
+
+    @property
+    def width(self) -> int:
+        return self._width
+
+    def __len__(self) -> int:
+        return self._size
+
+    def append(self, clock: Sequence[int]) -> int:
+        """Store a clock; returns its row index."""
+        if len(clock) != self._width:
+            raise ValueError("clock width mismatch")
+        if self._size == self._data.shape[0]:
+            self._data = np.vstack([self._data, np.zeros_like(self._data)])
+        row = self._size
+        if isinstance(clock, VectorClock):
+            self._data[row, :] = clock.components
+        else:
+            self._data[row, :] = list(clock)
+        self._size += 1
+        return row
+
+    def get(self, row: int) -> VectorClock:
+        if not 0 <= row < self._size:
+            raise IndexError(row)
+        return VectorClock(self._data[row])
+
+    def view(self) -> np.ndarray:
+        """Read-only numpy view of the live rows (no copy)."""
+        v = self._data[: self._size]
+        v.flags.writeable = False
+        return v
+
+    def all_leq(self, clock: Sequence[int]) -> np.ndarray:
+        """Boolean mask: rows ``r`` with ``arena[r] <= clock`` componentwise."""
+        c = np.asarray(
+            clock.components if isinstance(clock, VectorClock) else list(clock),
+            dtype=np.int64,
+        )
+        return (self._data[: self._size] <= c).all(axis=1)
+
+    def all_geq(self, clock: Sequence[int]) -> np.ndarray:
+        """Boolean mask: rows ``r`` with ``arena[r] >= clock`` componentwise."""
+        c = np.asarray(
+            clock.components if isinstance(clock, VectorClock) else list(clock),
+            dtype=np.int64,
+        )
+        return (self._data[: self._size] >= c).all(axis=1)
+
+    def pairwise_leq(self) -> np.ndarray:
+        """Full ``(m, m)`` boolean matrix ``L[a, b] = (arena[a] <= arena[b])``.
+
+        One broadcasted comparison; O(m^2 n) in C.  Used by the causality
+        index and by race detection to find concurrent pairs.
+        """
+        live = self._data[: self._size]
+        return (live[:, None, :] <= live[None, :, :]).all(axis=2)

@@ -1,0 +1,22 @@
+"""Instrumentation layers: library shared variables, AST rewriting, and the
+real-thread harness (paper §1's three implementation routes, minus
+modifying the VM)."""
+
+from .rewriter import InstrumentError, RUNTIME_NAME, instrument_function
+from .runtime import InstrumentedRuntime
+from .shared import SharedArray, SharedDict, SharedList, SharedStruct, SharedVar
+from .threads import run_threads, to_execution_result
+
+__all__ = [
+    "InstrumentError",
+    "RUNTIME_NAME",
+    "instrument_function",
+    "InstrumentedRuntime",
+    "SharedArray",
+    "SharedDict",
+    "SharedList",
+    "SharedStruct",
+    "SharedVar",
+    "run_threads",
+    "to_execution_result",
+]

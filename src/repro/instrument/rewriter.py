@@ -1,0 +1,230 @@
+"""AST-level automatic instrumentation (the paper's code-instrumentation
+route, transposed from JVM bytecode to Python source).
+
+JMPaX rewrites bytecode so that "whenever a shared variable is accessed the
+MVC algorithm A is inserted" (§4.1).  Python functions carry their source,
+so the equivalent here is an :class:`ast.NodeTransformer` that redirects
+every read/write of the *declared shared names* to the instrumented
+runtime::
+
+    def worker():
+        c = c + 1          # 'c' declared shared
+
+becomes, in effect::
+
+    def worker():
+        __rt__.write('c', __rt__.read('c') + 1)
+
+Everything else — local variables, control flow, calls — is untouched, so
+the transformed function computes the same values while emitting the event
+stream Algorithm A needs.  Like the bytecode instrumentor, this needs no
+cooperation from the function's *callers*; unlike it, it does need the
+function's own source (``inspect.getsource``), an accepted substitution
+documented in DESIGN.md.
+
+Supported shared-name syntax: plain reads, ``x = e``, chained/multiple
+assignment targets, ``x += e`` (and all augmented operators), reads inside
+any expression.  ``del x``, ``global x`` declarations of shared names, and
+starred/tuple-destructuring writes to shared names are rejected with
+:class:`InstrumentError` rather than silently miscompiled.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from typing import Callable, Iterable
+
+from .runtime import InstrumentedRuntime
+
+__all__ = ["instrument_function", "InstrumentError", "RUNTIME_NAME"]
+
+RUNTIME_NAME = "__rt__"
+
+
+class InstrumentError(ValueError):
+    """The function uses a shared name in a way the rewriter cannot handle."""
+
+
+_AUG_OPS = {
+    ast.Add: "+",
+    ast.Sub: "-",
+    ast.Mult: "*",
+    ast.FloorDiv: "//",
+    ast.Mod: "%",
+    ast.Pow: "**",
+    ast.BitAnd: "&",
+    ast.BitOr: "|",
+    ast.BitXor: "^",
+    ast.LShift: "<<",
+    ast.RShift: ">>",
+}
+
+
+class _Rewriter(ast.NodeTransformer):
+    def __init__(self, shared: frozenset[str]):
+        self.shared = shared
+
+    # -- reads ---------------------------------------------------------------
+
+    def visit_Name(self, node: ast.Name) -> ast.AST:
+        if node.id not in self.shared:
+            return node
+        if isinstance(node.ctx, ast.Load):
+            return ast.Call(
+                func=ast.Attribute(
+                    value=ast.Name(id=RUNTIME_NAME, ctx=ast.Load()),
+                    attr="read",
+                    ctx=ast.Load(),
+                ),
+                args=[ast.Constant(node.id)],
+                keywords=[],
+            )
+        if isinstance(node.ctx, ast.Del):
+            raise InstrumentError(f"cannot delete shared variable {node.id!r}")
+        # Store context is handled by the enclosing Assign/AugAssign/For.
+        return node
+
+    # -- writes ----------------------------------------------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> ast.AST:
+        value = self.visit(node.value)
+        shared_targets: list[str] = []
+        plain_targets: list[ast.expr] = []
+        for tgt in node.targets:
+            if isinstance(tgt, ast.Name) and tgt.id in self.shared:
+                shared_targets.append(tgt.id)
+            else:
+                self._reject_shared_in(tgt)
+                plain_targets.append(self.visit(tgt))
+        if not shared_targets:
+            node.value = value
+            node.targets = plain_targets
+            return node
+        # x = y = expr  with shared x: evaluate once into a temp, write the
+        # shared ones via the runtime, assign the plain ones normally.
+        tmp = ast.Name(id="__shared_tmp__", ctx=ast.Store())
+        stmts: list[ast.stmt] = [
+            ast.Assign(targets=[tmp], value=value)
+        ]
+        for name in shared_targets:
+            stmts.append(
+                ast.Expr(
+                    value=ast.Call(
+                        func=ast.Attribute(
+                            value=ast.Name(id=RUNTIME_NAME, ctx=ast.Load()),
+                            attr="write",
+                            ctx=ast.Load(),
+                        ),
+                        args=[
+                            ast.Constant(name),
+                            ast.Name(id="__shared_tmp__", ctx=ast.Load()),
+                        ],
+                        keywords=[],
+                    )
+                )
+            )
+        for tgt in plain_targets:
+            stmts.append(
+                ast.Assign(targets=[tgt],
+                           value=ast.Name(id="__shared_tmp__", ctx=ast.Load()))
+            )
+        return stmts  # type: ignore[return-value]
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> ast.AST:
+        if isinstance(node.target, ast.Name) and node.target.id in self.shared:
+            if type(node.op) not in _AUG_OPS:
+                raise InstrumentError(
+                    f"augmented operator {type(node.op).__name__} unsupported "
+                    f"on shared variable {node.target.id!r}"
+                )
+            read = ast.Call(
+                func=ast.Attribute(
+                    value=ast.Name(id=RUNTIME_NAME, ctx=ast.Load()),
+                    attr="read",
+                    ctx=ast.Load(),
+                ),
+                args=[ast.Constant(node.target.id)],
+                keywords=[],
+            )
+            new_value = ast.BinOp(left=read, op=node.op, right=self.visit(node.value))
+            return ast.Expr(
+                value=ast.Call(
+                    func=ast.Attribute(
+                        value=ast.Name(id=RUNTIME_NAME, ctx=ast.Load()),
+                        attr="write",
+                        ctx=ast.Load(),
+                    ),
+                    args=[ast.Constant(node.target.id), new_value],
+                    keywords=[],
+                )
+            )
+        self._reject_shared_in(node.target)
+        node.value = self.visit(node.value)
+        return node
+
+    def visit_For(self, node: ast.For) -> ast.AST:
+        self._reject_shared_in(node.target)
+        self.generic_visit(node)
+        return node
+
+    def visit_Global(self, node: ast.Global) -> ast.AST:
+        bad = [n for n in node.names if n in self.shared]
+        if bad:
+            raise InstrumentError(
+                f"'global' declaration of shared variables {bad} — shared "
+                f"variables live in the runtime, not module globals"
+            )
+        return node
+
+    visit_Nonlocal = visit_Global  # type: ignore[assignment]
+
+    def _reject_shared_in(self, target: ast.expr) -> None:
+        for sub in ast.walk(target):
+            if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Store) and sub.id in self.shared:
+                raise InstrumentError(
+                    f"unsupported write pattern to shared variable {sub.id!r} "
+                    f"(only 'x = e' and 'x op= e' are instrumented)"
+                )
+
+
+def instrument_function(
+    fn: Callable,
+    shared: Iterable[str],
+    runtime: InstrumentedRuntime,
+) -> Callable:
+    """Return a copy of ``fn`` whose accesses to ``shared`` names run through
+    ``runtime`` (and hence through Algorithm A).
+
+    The function's signature is preserved; its body is re-parsed from
+    source, rewritten, recompiled, and bound to the same globals plus the
+    injected runtime.
+    """
+    shared_set = frozenset(shared)
+    undeclared = [v for v in shared_set if v not in runtime.initial_store]
+    if undeclared:
+        raise InstrumentError(
+            f"shared names {sorted(undeclared)} are not declared in the runtime"
+        )
+    try:
+        src = textwrap.dedent(inspect.getsource(fn))
+    except (OSError, TypeError) as exc:
+        raise InstrumentError(
+            f"cannot fetch source of {fn!r} (lambdas and C functions are "
+            f"not instrumentable): {exc}"
+        ) from exc
+    tree = ast.parse(src)
+    fdef = tree.body[0]
+    if not isinstance(fdef, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        raise InstrumentError(f"{fn.__name__} is not a plain function")
+    fdef.decorator_list = []  # decorators already applied to the original
+    new_tree = _Rewriter(shared_set).visit(tree)
+    ast.fix_missing_locations(new_tree)
+    code = compile(new_tree, filename=f"<instrumented {fn.__name__}>", mode="exec")
+    namespace = dict(fn.__globals__)
+    namespace[RUNTIME_NAME] = runtime
+    exec(code, namespace)
+    new_fn = namespace[fdef.name]
+    new_fn.__instrumented_shared__ = shared_set
+    return new_fn

@@ -1,0 +1,227 @@
+"""Typed shared-variable wrappers over :class:`InstrumentedRuntime`.
+
+The ergonomic face of the library-function instrumentation route: declare
+``SharedVar``s once, then use them from any thread; every access runs
+Algorithm A.  ``SharedStruct`` mirrors the paper's §3.1 treatment of
+dynamically shared object fields (each primitive field gets its own access
+and write MVCs — here, its own entry in the runtime's clock tables, named
+``<struct>.<field>``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping
+
+from .runtime import InstrumentedRuntime
+
+__all__ = ["SharedVar", "SharedArray", "SharedStruct", "SharedDict", "SharedList"]
+
+_UNDECLARED = object()
+
+
+class SharedVar:
+    """A single instrumented shared variable.
+
+    >>> rt = InstrumentedRuntime({"x": 0})
+    >>> x = SharedVar(rt, "x")
+    >>> x.set(5)
+    5
+    >>> x.get()
+    5
+    """
+
+    __slots__ = ("_rt", "name")
+
+    def __init__(self, runtime: InstrumentedRuntime, name: str, initial: Any = _UNDECLARED):
+        self._rt = runtime
+        self.name = name
+        if initial is not _UNDECLARED:
+            runtime.declare(name, initial)
+        elif name not in runtime.initial_store:
+            raise KeyError(
+                f"shared variable {name!r} is not declared; pass an initial value"
+            )
+
+    def get(self) -> Any:
+        return self._rt.read(self.name)
+
+    def set(self, value: Any) -> Any:
+        return self._rt.write(self.name, value)
+
+    def update(self, fn: Callable[[Any], Any]) -> Any:
+        """Read-modify-write (two events, like ``x++``)."""
+        return self._rt.update(self.name, fn)
+
+    def incr(self, delta: int = 1) -> Any:
+        return self.update(lambda v: v + delta)
+
+    def __repr__(self) -> str:
+        return f"SharedVar({self.name!r})"
+
+
+class SharedArray:
+    """A fixed-length array whose *elements* are independent shared
+    variables (``name[i]``), so accesses to different slots stay causally
+    unrelated."""
+
+    def __init__(self, runtime: InstrumentedRuntime, name: str, values: Iterable[Any]):
+        self._rt = runtime
+        self.name = name
+        vals = list(values)
+        for i, v in enumerate(vals):
+            runtime.declare(f"{name}[{i}]", v)
+        self._len = len(vals)
+
+    def __len__(self) -> int:
+        return self._len
+
+    def _key(self, i: int) -> str:
+        if not 0 <= i < self._len:
+            raise IndexError(i)
+        return f"{self.name}[{i}]"
+
+    def get(self, i: int) -> Any:
+        return self._rt.read(self._key(i))
+
+    def set(self, i: int, value: Any) -> Any:
+        return self._rt.write(self._key(i), value)
+
+    def update(self, i: int, fn: Callable[[Any], Any]) -> Any:
+        return self._rt.update(self._key(i), fn)
+
+
+class SharedStruct:
+    """An object with instrumented fields (``name.field``) — §3.1's
+    dynamically shared variables: "for each variable x of primitive type in
+    each class the instrumentation adds access and write MVCs as new
+    fields"; here each field gets its own clock entry lazily.
+
+    Field access uses plain attribute syntax::
+
+        p = SharedStruct(rt, "point", {"x": 0, "y": 0})
+        p.x = 3          # instrumented write of "point.x"
+        p.x + p.y        # instrumented reads
+    """
+
+    def __init__(self, runtime: InstrumentedRuntime, name: str, fields: Mapping[str, Any]):
+        object.__setattr__(self, "_rt", runtime)
+        object.__setattr__(self, "_name", name)
+        object.__setattr__(self, "_fields", frozenset(fields))
+        for f, v in fields.items():
+            runtime.declare(f"{name}.{f}", v)
+
+    def __getattr__(self, field: str) -> Any:
+        if field.startswith("_"):
+            raise AttributeError(field)
+        if field not in object.__getattribute__(self, "_fields"):
+            raise AttributeError(
+                f"{object.__getattribute__(self, '_name')} has no shared field {field!r}"
+            )
+        rt: InstrumentedRuntime = object.__getattribute__(self, "_rt")
+        return rt.read(f"{object.__getattribute__(self, '_name')}.{field}")
+
+    def __setattr__(self, field: str, value: Any) -> None:
+        if field not in object.__getattribute__(self, "_fields"):
+            raise AttributeError(
+                f"{object.__getattribute__(self, '_name')} has no shared field {field!r}"
+            )
+        rt: InstrumentedRuntime = object.__getattribute__(self, "_rt")
+        rt.write(f"{object.__getattribute__(self, '_name')}.{field}", value)
+
+
+class SharedDict:
+    """A mapping whose per-key accesses are independent shared variables.
+
+    §3.1's "dynamically shared variables": keys are registered lazily on
+    first write, each getting its own access/write MVCs (clock entry
+    ``<name>[<key>]``).  Accesses to different keys remain causally
+    unrelated; accesses to the same key follow read/write causality.
+    """
+
+    def __init__(self, runtime: InstrumentedRuntime, name: str,
+                 initial: Mapping[str, Any] = ()):
+        self._rt = runtime
+        self.name = name
+        self._keys: set[str] = set()
+        for k, v in dict(initial).items():
+            self._declare(k, v)
+
+    def _var(self, key: str) -> str:
+        return f"{self.name}[{key!r}]"
+
+    def _declare(self, key: str, value: Any) -> None:
+        self._rt.declare(self._var(key), value)
+        self._keys.add(key)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._keys
+
+    def keys(self) -> frozenset:
+        return frozenset(self._keys)
+
+    def __getitem__(self, key: str) -> Any:
+        if key not in self._keys:
+            raise KeyError(key)
+        return self._rt.read(self._var(key))
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        if key not in self._keys:
+            self._declare(key, value)  # first write registers the variable
+            # the registration itself is the write: record it explicitly
+            self._rt.write(self._var(key), value)
+        else:
+            self._rt.write(self._var(key), value)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        if key not in self._keys:
+            return default
+        return self[key]
+
+    def update_key(self, key: str, fn: Callable[[Any], Any]) -> Any:
+        return self._rt.update(self._var(key), fn)
+
+
+class SharedList:
+    """A fixed-capacity list with instrumented element access plus an
+    instrumented length cursor — the usual shape of a hand-rolled
+    single-writer queue.  ``append`` is (read length, write slot, write
+    length); ``pop_front`` style consumption is left to callers via
+    explicit index reads so the event stream mirrors the real accesses.
+    """
+
+    def __init__(self, runtime: InstrumentedRuntime, name: str, capacity: int):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._rt = runtime
+        self.name = name
+        self.capacity = capacity
+        for i in range(capacity):
+            runtime.declare(f"{name}[{i}]", None)
+        runtime.declare(f"{name}.len", 0)
+
+    def __len__(self) -> int:
+        return self._rt.read(f"{self.name}.len")
+
+    def get(self, i: int) -> Any:
+        if not 0 <= i < self.capacity:
+            raise IndexError(i)
+        return self._rt.read(f"{self.name}[{i}]")
+
+    def set(self, i: int, value: Any) -> None:
+        if not 0 <= i < self.capacity:
+            raise IndexError(i)
+        self._rt.write(f"{self.name}[{i}]", value)
+
+    def append(self, value: Any) -> int:
+        """Append at the current length; returns the slot used."""
+        n = self._rt.read(f"{self.name}.len")
+        if n >= self.capacity:
+            raise IndexError(f"{self.name} is full ({self.capacity})")
+        self._rt.write(f"{self.name}[{n}]", value)
+        self._rt.write(f"{self.name}.len", n + 1)
+        return n
+
+    def snapshot(self) -> list:
+        """Read all live elements (each read is an event)."""
+        n = self._rt.read(f"{self.name}.len")
+        return [self._rt.read(f"{self.name}[{i}]") for i in range(n)]

@@ -1,0 +1,77 @@
+"""Real-`threading` execution harness for instrumented programs.
+
+Runs instrumented thread bodies on genuine OS threads (the deployment shape
+of the original tool: the monitored program runs at full concurrency while
+Algorithm A captures events atomically).  Scheduling is whatever the OS
+does, so tests over this backend assert *invariants* (Theorem 3, race
+presence, lattice feasibility), never exact schedules — the deterministic
+substrate in :mod:`repro.sched` is the reproducible counterpart.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional, Sequence
+
+from ..sched.scheduler import ExecutionResult
+from .runtime import InstrumentedRuntime
+
+__all__ = ["run_threads", "to_execution_result"]
+
+
+def run_threads(
+    runtime: InstrumentedRuntime,
+    bodies: Sequence[Callable[[InstrumentedRuntime], None]],
+    timeout: Optional[float] = 30.0,
+) -> None:
+    """Run each body on its own thread; MVC index ``i`` is pinned to
+    ``bodies[i]`` regardless of OS start order.
+
+    Raises the first exception any body raised, after all threads stop.
+    """
+    if not bodies:
+        raise ValueError("need at least one thread body")
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(len(bodies))
+
+    def wrap(i: int, body: Callable[[InstrumentedRuntime], None]) -> None:
+        try:
+            runtime.register_thread(i)
+            barrier.wait()  # all registered before any event is generated
+            body(runtime)
+        except BaseException as exc:  # noqa: BLE001 - reported to caller
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=wrap, args=(i, b), name=f"repro-T{i + 1}")
+        for i, b in enumerate(bodies)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout)
+        if t.is_alive():
+            raise TimeoutError(f"thread {t.name} did not finish in {timeout}s")
+    if errors:
+        raise errors[0]
+
+
+def to_execution_result(
+    runtime: InstrumentedRuntime, name: str = "threaded"
+) -> ExecutionResult:
+    """Adapt a finished runtime into an :class:`ExecutionResult` so the
+    analyses (``predict``, ``detect``, ``find_races``) apply unchanged.
+
+    The ``schedule`` field is empty — real threads have no replayable
+    choice sequence.
+    """
+    return ExecutionResult(
+        program_name=name,
+        n_threads=runtime.n_threads,
+        events=runtime.events,
+        messages=runtime.messages,
+        schedule=[],
+        final_store=runtime.store,
+        initial_store=dict(runtime.initial_store),
+        algorithm=runtime.algorithm,
+    )

@@ -1,0 +1,8 @@
+"""MiniLang: a small multithreaded language compiled onto the instrumented
+substrate — programs written as source (the paper's Fig. 1 style) get their
+instrumentation inserted by the compiler."""
+
+from .compiler import compile_program, compile_source
+from .parser import MiniLangError, parse_source
+
+__all__ = ["compile_program", "compile_source", "MiniLangError", "parse_source"]

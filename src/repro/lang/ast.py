@@ -1,0 +1,213 @@
+"""AST for MiniLang, the bundled multithreaded toy language.
+
+The paper's Fig. 1 presents the buggy flight controller in C-like
+pseudo-code.  MiniLang lets such programs be written *as source text* and
+compiled onto the cooperative substrate with instrumentation inserted
+automatically — the front-end counterpart of JMPaX's bytecode instrumentor:
+the compiler, not the programmer, decides where Algorithm A runs.
+
+Shape of a program::
+
+    shared int landing = 0, approved = 0, radio = 1;
+
+    thread controller {
+        if (radio == 0) { approved = 0; } else { approved = 1; }
+        if (approved == 1) { landing = 1; }
+    }
+
+    thread watchdog {
+        local int i = 0;
+        while (radio == 1 && i < 3) {
+            skip;               // checkRadio
+            i = i + 1;
+            if (i == 2) { radio = 0; }
+        }
+    }
+
+Reads of ``shared`` names compile to :class:`~repro.sched.program.Read`
+operations, writes to :class:`~repro.sched.program.Write`; ``local``
+variables live in the interpreter environment and generate no events.
+``lock``/``unlock``, ``wait``/``notify`` map to the §3.1 synchronization
+operations, ``skip`` to an internal event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "Expr",
+    "Num",
+    "Name",
+    "Unary",
+    "Binary",
+    "Stmt",
+    "Assign",
+    "LocalDecl",
+    "Skip",
+    "If",
+    "While",
+    "LockStmt",
+    "UnlockStmt",
+    "WaitStmt",
+    "NotifyStmt",
+    "SpawnStmt",
+    "JoinStmt",
+    "Block",
+    "ThreadDef",
+    "SharedDecl",
+    "ProgramAst",
+]
+
+
+# -- expressions -----------------------------------------------------------
+
+
+class Expr:
+    """Base class of MiniLang expressions."""
+
+
+@dataclass(frozen=True)
+class Num(Expr):
+    value: int
+
+
+@dataclass(frozen=True)
+class Name(Expr):
+    """A variable reference; shared vs local is resolved at compile time."""
+
+    ident: str
+
+
+@dataclass(frozen=True)
+class Unary(Expr):
+    op: str  # "-" | "!"
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Binary(Expr):
+    op: str  # arithmetic, comparison, or boolean
+    left: Expr
+    right: Expr
+
+
+# -- statements ---------------------------------------------------------------
+
+
+class Stmt:
+    """Base class of MiniLang statements."""
+
+
+@dataclass(frozen=True)
+class Assign(Stmt):
+    target: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class LocalDecl(Stmt):
+    """``local int t = expr;`` — uninstrumented interpreter-level storage."""
+
+    name: str
+    value: Expr
+
+
+@dataclass(frozen=True)
+class Skip(Stmt):
+    """``skip;`` — an internal event (code irrelevant to the observer)."""
+
+    comment: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class If(Stmt):
+    cond: Expr
+    then: "Block"
+    orelse: Optional["Block"] = None
+
+
+@dataclass(frozen=True)
+class While(Stmt):
+    cond: Expr
+    body: "Block"
+
+
+@dataclass(frozen=True)
+class LockStmt(Stmt):
+    name: str
+
+
+@dataclass(frozen=True)
+class UnlockStmt(Stmt):
+    name: str
+
+
+@dataclass(frozen=True)
+class WaitStmt(Stmt):
+    cond: str
+
+
+@dataclass(frozen=True)
+class NotifyStmt(Stmt):
+    cond: str
+
+
+@dataclass(frozen=True)
+class SpawnStmt(Stmt):
+    """``spawn Worker;`` — start a fresh instance of a ``worker`` template
+    (the §2 dynamic-thread extension, surfaced in the language)."""
+
+    template: str
+
+
+@dataclass(frozen=True)
+class JoinStmt(Stmt):
+    """``join Worker;`` — wait for the most recent still-unjoined instance
+    of the template this thread spawned."""
+
+    template: str
+
+
+@dataclass(frozen=True)
+class Block(Stmt):
+    statements: tuple[Stmt, ...]
+
+
+# -- top level -------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SharedDecl:
+    """``shared int a = 1, b = 0;``"""
+
+    names: tuple[str, ...]
+    values: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class ThreadDef:
+    name: str
+    body: Block
+    #: Templates (``worker`` keyword) are spawnable but not auto-started.
+    template: bool = False
+
+
+@dataclass(frozen=True)
+class ProgramAst:
+    shared: tuple[SharedDecl, ...]
+    threads: tuple[ThreadDef, ...]
+
+    def shared_names(self) -> tuple[str, ...]:
+        out: list[str] = []
+        for decl in self.shared:
+            out.extend(decl.names)
+        return tuple(out)
+
+    def initial_values(self) -> dict[str, int]:
+        init: dict[str, int] = {}
+        for decl in self.shared:
+            for name, value in zip(decl.names, decl.values):
+                init[name] = value
+        return init

@@ -1,0 +1,305 @@
+"""MiniLang → cooperative-program compiler with automatic instrumentation.
+
+Every access to a ``shared`` variable compiles into a
+:class:`~repro.sched.program.Read`/:class:`~repro.sched.program.Write`
+operation — the events Algorithm A consumes — while ``local`` variables stay
+in the interpreter environment and generate nothing.  This is the paper's
+division of labor: the *tool* decides where instrumentation goes, the
+program text stays ordinary.
+
+The compiler performs a static checking pass (undefined/duplicate names,
+assignment to undeclared variables) and then builds one generator-based
+thread body per ``thread`` block, interpreting the AST with ``yield from``
+so nested expressions can emit Read operations mid-evaluation.
+
+Semantics notes:
+
+* ``&&``/``||`` short-circuit (the right operand's reads do not happen when
+  the left decides) — just like the Java programs the paper instruments;
+* booleans are ints (0/1) as in Fig. 1;
+* ``wait``/``notify`` and ``lock``/``unlock`` map to the §3.1 operations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..sched.program import (
+    Acquire,
+    Internal,
+    Join,
+    Notify,
+    Op,
+    Program,
+    Read,
+    Release,
+    Spawn,
+    Wait,
+    Write,
+)
+from .ast import (
+    Assign,
+    Binary,
+    Block,
+    Expr,
+    If,
+    JoinStmt,
+    LocalDecl,
+    LockStmt,
+    Name,
+    NotifyStmt,
+    Num,
+    ProgramAst,
+    Skip,
+    SpawnStmt,
+    Stmt,
+    ThreadDef,
+    Unary,
+    UnlockStmt,
+    WaitStmt,
+    While,
+)
+from .parser import MiniLangError, parse_source
+
+__all__ = ["compile_program", "compile_source"]
+
+_ARITH = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a // b,  # MiniLang division is integer division
+    "%": lambda a, b: a % b,
+    "==": lambda a, b: int(a == b),
+    "!=": lambda a, b: int(a != b),
+    "<": lambda a, b: int(a < b),
+    "<=": lambda a, b: int(a <= b),
+    ">": lambda a, b: int(a > b),
+    ">=": lambda a, b: int(a >= b),
+}
+
+
+def compile_source(text: str, name: str = "minilang") -> Program:
+    """Parse and compile MiniLang source into a runnable
+    :class:`~repro.sched.program.Program`."""
+    return compile_program(parse_source(text), name=name)
+
+
+def compile_program(ast: ProgramAst, name: str = "minilang") -> Program:
+    """Compile a parsed MiniLang program.
+
+    ``worker`` templates are not auto-started; ``spawn``/``join`` statements
+    create and await instances dynamically (§2's variable-thread extension).
+    """
+    shared = frozenset(ast.shared_names())
+    templates = {th.name: th for th in ast.threads if th.template}
+    for thread in ast.threads:
+        _check_thread(thread, shared, templates)
+    bodies = [
+        _make_body(thread, shared, templates)
+        for thread in ast.threads
+        if not thread.template
+    ]
+    return Program(
+        initial=ast.initial_values(),
+        threads=bodies,
+        relevant_vars=shared,
+        name=name,
+    )
+
+
+# -- static checks -------------------------------------------------------------
+
+
+def _check_thread(
+    thread: ThreadDef,
+    shared: frozenset[str],
+    templates: dict[str, ThreadDef] | None = None,
+) -> None:
+    templates = templates or {}
+    locals_seen: set[str] = set()
+
+    def check_expr(e: Expr) -> None:
+        if isinstance(e, Num):
+            return
+        if isinstance(e, Name):
+            if e.ident not in shared and e.ident not in locals_seen:
+                raise MiniLangError(
+                    0,
+                    f"thread {thread.name!r}: undefined variable {e.ident!r} "
+                    f"(declare it 'shared int' or 'local int')",
+                )
+            return
+        if isinstance(e, Unary):
+            check_expr(e.operand)
+            return
+        if isinstance(e, Binary):
+            check_expr(e.left)
+            check_expr(e.right)
+            return
+        raise TypeError(e)
+
+    def check_stmt(s: Stmt) -> None:
+        if isinstance(s, Assign):
+            check_expr(s.value)
+            if s.target not in shared and s.target not in locals_seen:
+                raise MiniLangError(
+                    0,
+                    f"thread {thread.name!r}: assignment to undeclared "
+                    f"variable {s.target!r}",
+                )
+        elif isinstance(s, LocalDecl):
+            check_expr(s.value)
+            if s.name in shared:
+                raise MiniLangError(
+                    0,
+                    f"thread {thread.name!r}: local {s.name!r} shadows a "
+                    f"shared variable",
+                )
+            if s.name in locals_seen:
+                raise MiniLangError(
+                    0, f"thread {thread.name!r}: duplicate local {s.name!r}"
+                )
+            locals_seen.add(s.name)
+        elif isinstance(s, If):
+            check_expr(s.cond)
+            check_block(s.then)
+            if s.orelse is not None:
+                check_block(s.orelse)
+        elif isinstance(s, While):
+            check_expr(s.cond)
+            check_block(s.body)
+        elif isinstance(s, (SpawnStmt, JoinStmt)):
+            if s.template not in templates:
+                raise MiniLangError(
+                    0,
+                    f"thread {thread.name!r}: no worker template named "
+                    f"{s.template!r}",
+                )
+        elif isinstance(s, (Skip, LockStmt, UnlockStmt, WaitStmt, NotifyStmt)):
+            pass
+        elif isinstance(s, Block):
+            check_block(s)
+        else:  # pragma: no cover
+            raise TypeError(s)
+
+    def check_block(b: Block) -> None:
+        for s in b.statements:
+            check_stmt(s)
+
+    check_block(thread.body)
+
+
+# -- interpretation --------------------------------------------------------------
+
+
+def _eval(e: Expr, env: dict[str, int], shared: frozenset[str]) -> Generator[Op, Any, int]:
+    """Evaluate an expression; ``yield``s a Read for every shared access and
+    *returns* the value (consumed via ``yield from``)."""
+    if isinstance(e, Num):
+        return e.value
+    if isinstance(e, Name):
+        if e.ident in env:
+            return env[e.ident]
+        value = yield Read(e.ident)
+        return value
+    if isinstance(e, Unary):
+        v = yield from _eval(e.operand, env, shared)
+        return -v if e.op == "-" else int(not v)
+    if isinstance(e, Binary):
+        if e.op == "&&":
+            left = yield from _eval(e.left, env, shared)
+            if not left:
+                return 0
+            right = yield from _eval(e.right, env, shared)
+            return int(bool(right))
+        if e.op == "||":
+            left = yield from _eval(e.left, env, shared)
+            if left:
+                return 1
+            right = yield from _eval(e.right, env, shared)
+            return int(bool(right))
+        left = yield from _eval(e.left, env, shared)
+        right = yield from _eval(e.right, env, shared)
+        return _ARITH[e.op](left, right)
+    raise TypeError(e)  # pragma: no cover
+
+
+def _exec(
+    b: Block,
+    env: dict[str, int],
+    shared: frozenset[str],
+    ctx: "_ThreadCtx",
+) -> Generator[Op, Any, None]:
+    for s in b.statements:
+        if isinstance(s, Assign):
+            value = yield from _eval(s.value, env, shared)
+            if s.target in env:
+                env[s.target] = value
+            else:
+                yield Write(s.target, value, label=f"{s.target}={value}")
+        elif isinstance(s, LocalDecl):
+            env[s.name] = yield from _eval(s.value, env, shared)
+        elif isinstance(s, Skip):
+            yield Internal(label=s.comment or "skip")
+        elif isinstance(s, If):
+            cond = yield from _eval(s.cond, env, shared)
+            if cond:
+                yield from _exec(s.then, env, shared, ctx)
+            elif s.orelse is not None:
+                yield from _exec(s.orelse, env, shared, ctx)
+        elif isinstance(s, While):
+            while True:
+                cond = yield from _eval(s.cond, env, shared)
+                if not cond:
+                    break
+                yield from _exec(s.body, env, shared, ctx)
+        elif isinstance(s, LockStmt):
+            yield Acquire(s.name)
+        elif isinstance(s, UnlockStmt):
+            yield Release(s.name)
+        elif isinstance(s, WaitStmt):
+            yield Wait(s.cond)
+        elif isinstance(s, NotifyStmt):
+            yield Notify(s.cond)
+        elif isinstance(s, SpawnStmt):
+            template = ctx.templates[s.template]
+            child_body = _make_body(template, shared, ctx.templates)
+            idx = yield Spawn(child_body)
+            ctx.spawned.setdefault(s.template, []).append(idx)
+        elif isinstance(s, JoinStmt):
+            pending = ctx.spawned.get(s.template, [])
+            if not pending:
+                raise MiniLangError(
+                    0, f"join {s.template!r} with no unjoined spawn"
+                )
+            yield Join(pending.pop())
+        elif isinstance(s, Block):
+            yield from _exec(s, env, shared, ctx)
+        else:  # pragma: no cover
+            raise TypeError(s)
+
+
+class _ThreadCtx:
+    """Per-instance interpreter state: the template table and this thread's
+    spawned-but-unjoined children (LIFO per template name)."""
+
+    __slots__ = ("templates", "spawned")
+
+    def __init__(self, templates: dict[str, ThreadDef]):
+        self.templates = templates
+        self.spawned: dict[str, list[int]] = {}
+
+
+def _make_body(
+    thread: ThreadDef,
+    shared: frozenset[str],
+    templates: dict[str, ThreadDef] | None = None,
+):
+    templates = templates or {}
+
+    def body() -> Generator[Op, Any, None]:
+        env: dict[str, int] = {}
+        yield from _exec(thread.body, env, shared, _ThreadCtx(templates))
+
+    body.__name__ = f"minilang_{thread.name}"
+    return body

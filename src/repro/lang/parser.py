@@ -1,0 +1,332 @@
+"""Recursive-descent parser for MiniLang.
+
+Grammar (comments run ``//`` to end of line)::
+
+    program   := (shared_decl | thread_def | worker_def)+
+    shared    := "shared" "int" NAME "=" INT ("," NAME "=" INT)* ";"
+    thread    := "thread" NAME block
+    worker    := "worker" NAME block          // spawnable template
+    block     := "{" stmt* "}"
+    stmt      := NAME "=" expr ";"
+               | "local" "int" NAME "=" expr ";"
+               | "skip" ";"
+               | "if" "(" expr ")" block ("else" block)?
+               | "while" "(" expr ")" block
+               | "lock" "(" NAME ")" ";"    | "unlock" "(" NAME ")" ";"
+               | "wait" "(" NAME ")" ";"    | "notify" "(" NAME ")" ";"
+               | "spawn" NAME ";"           | "join" NAME ";"
+    expr      := or;  or := and ("||" and)*;  and := not ("&&" not)*
+    not       := "!" not | cmp
+    cmp       := arith (("=="|"!="|"<"|"<="|">"|">=") arith)?
+    arith     := term (("+"|"-") term)*;  term := factor (("*"|"/"|"%") factor)*
+    factor    := INT | NAME | ("-"|"!") factor | "(" expr ")"
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from .ast import (
+    Assign,
+    Binary,
+    Block,
+    If,
+    JoinStmt,
+    LocalDecl,
+    LockStmt,
+    Name,
+    NotifyStmt,
+    Num,
+    ProgramAst,
+    SharedDecl,
+    Skip,
+    SpawnStmt,
+    Stmt,
+    ThreadDef,
+    Unary,
+    UnlockStmt,
+    WaitStmt,
+    While,
+)
+
+__all__ = ["parse_source", "MiniLangError"]
+
+
+class MiniLangError(ValueError):
+    """Syntax or semantic error in MiniLang source, with line information."""
+
+    def __init__(self, line: int, message: str):
+        self.line = line
+        super().__init__(f"line {line}: {message}")
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<comment>//[^\n]*)
+  | (?P<ws>\s+)
+  | (?P<num>\d+)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op>==|!=|<=|>=|&&|\|\||[-+*/%!<>=(){},;])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = frozenset({
+    "shared", "int", "thread", "worker", "local", "skip", "if", "else",
+    "while", "lock", "unlock", "wait", "notify", "spawn", "join",
+})
+
+
+class _Tokens:
+    def __init__(self, text: str):
+        self.items: list[tuple[str, str, int]] = []  # (kind, value, line)
+        pos = 0
+        line = 1
+        while pos < len(text):
+            m = _TOKEN_RE.match(text, pos)
+            if m is None:
+                raise MiniLangError(line, f"unexpected character {text[pos]!r}")
+            kind = m.lastgroup
+            value = m.group()
+            line += value.count("\n")
+            pos = m.end()
+            if kind in ("ws", "comment"):
+                continue
+            self.items.append((kind, value, line))
+        self.i = 0
+
+    def peek(self) -> Optional[tuple[str, str, int]]:
+        return self.items[self.i] if self.i < len(self.items) else None
+
+    @property
+    def line(self) -> int:
+        tok = self.peek()
+        return tok[2] if tok else (self.items[-1][2] if self.items else 1)
+
+    def next(self) -> tuple[str, str, int]:
+        tok = self.peek()
+        if tok is None:
+            raise MiniLangError(self.line, "unexpected end of input")
+        self.i += 1
+        return tok
+
+    def accept(self, value: str) -> bool:
+        tok = self.peek()
+        if tok is not None and tok[1] == value:
+            self.i += 1
+            return True
+        return False
+
+    def expect(self, value: str, what: Optional[str] = None) -> None:
+        tok = self.peek()
+        if tok is None or tok[1] != value:
+            found = tok[1] if tok else "end of input"
+            raise MiniLangError(
+                self.line, f"expected {what or value!r}, found {found!r}"
+            )
+        self.i += 1
+
+    def ident(self, what: str = "identifier") -> str:
+        tok = self.peek()
+        if tok is None or tok[0] != "name" or tok[1] in _KEYWORDS:
+            found = tok[1] if tok else "end of input"
+            raise MiniLangError(self.line, f"expected {what}, found {found!r}")
+        self.i += 1
+        return tok[1]
+
+
+def parse_source(text: str) -> ProgramAst:
+    """Parse MiniLang source into a :class:`ProgramAst`."""
+    t = _Tokens(text)
+    shared: list[SharedDecl] = []
+    threads: list[ThreadDef] = []
+    while t.peek() is not None:
+        tok = t.peek()
+        if tok[1] == "shared":
+            shared.append(_shared_decl(t))
+        elif tok[1] in ("thread", "worker"):
+            threads.append(_thread_def(t))
+        else:
+            raise MiniLangError(
+                t.line,
+                f"expected 'shared', 'thread' or 'worker', found {tok[1]!r}",
+            )
+    if not any(not th.template for th in threads):
+        raise MiniLangError(t.line, "program declares no (non-template) threads")
+    ast = ProgramAst(shared=tuple(shared), threads=tuple(threads))
+    names = ast.shared_names()
+    if len(names) != len(set(names)):
+        raise MiniLangError(1, "duplicate shared variable declaration")
+    if len({th.name for th in threads}) != len(threads):
+        raise MiniLangError(1, "duplicate thread name")
+    return ast
+
+
+def _shared_decl(t: _Tokens) -> SharedDecl:
+    t.expect("shared")
+    t.expect("int", "'int' (the only MiniLang type)")
+    names: list[str] = []
+    values: list[int] = []
+    while True:
+        names.append(t.ident("shared variable name"))
+        t.expect("=", "'=' with an initial value")
+        neg = t.accept("-")
+        tok = t.next()
+        if tok[0] != "num":
+            raise MiniLangError(t.line, f"expected integer initializer, found {tok[1]!r}")
+        values.append(-int(tok[1]) if neg else int(tok[1]))
+        if not t.accept(","):
+            break
+    t.expect(";")
+    return SharedDecl(names=tuple(names), values=tuple(values))
+
+
+def _thread_def(t: _Tokens) -> ThreadDef:
+    kw = t.next()[1]  # "thread" or "worker"
+    name = t.ident("thread name")
+    body = _block(t)
+    return ThreadDef(name=name, body=body, template=(kw == "worker"))
+
+
+def _block(t: _Tokens) -> Block:
+    t.expect("{", "'{' to open a block")
+    stmts: list[Stmt] = []
+    while not t.accept("}"):
+        if t.peek() is None:
+            raise MiniLangError(t.line, "unterminated block ('}' missing)")
+        stmts.append(_stmt(t))
+    return Block(statements=tuple(stmts))
+
+
+def _stmt(t: _Tokens) -> Stmt:
+    tok = t.peek()
+    assert tok is not None
+    if tok[1] == "skip":
+        t.next()
+        t.expect(";")
+        return Skip()
+    if tok[1] == "local":
+        t.next()
+        t.expect("int", "'int'")
+        name = t.ident("local variable name")
+        t.expect("=", "'=' with an initializer")
+        value = _expr(t)
+        t.expect(";")
+        return LocalDecl(name=name, value=value)
+    if tok[1] == "if":
+        t.next()
+        t.expect("(")
+        cond = _expr(t)
+        t.expect(")")
+        then = _block(t)
+        orelse = _block(t) if t.accept("else") else None
+        return If(cond=cond, then=then, orelse=orelse)
+    if tok[1] == "while":
+        t.next()
+        t.expect("(")
+        cond = _expr(t)
+        t.expect(")")
+        return While(cond=cond, body=_block(t))
+    if tok[1] in ("spawn", "join"):
+        kw = t.next()[1]
+        name = t.ident(f"{kw} target (a worker name)")
+        t.expect(";")
+        return SpawnStmt(name) if kw == "spawn" else JoinStmt(name)
+    if tok[1] in ("lock", "unlock", "wait", "notify"):
+        kw = t.next()[1]
+        t.expect("(")
+        name = t.ident(f"{kw} target")
+        t.expect(")")
+        t.expect(";")
+        cls = {"lock": LockStmt, "unlock": UnlockStmt,
+               "wait": WaitStmt, "notify": NotifyStmt}[kw]
+        return cls(name)
+    # assignment
+    target = t.ident("statement")
+    t.expect("=", "'=' (assignment)")
+    value = _expr(t)
+    t.expect(";")
+    return Assign(target=target, value=value)
+
+
+# -- expressions --------------------------------------------------------------
+
+
+def _expr(t: _Tokens):
+    return _or(t)
+
+
+def _or(t: _Tokens):
+    left = _and(t)
+    while t.accept("||"):
+        left = Binary("||", left, _and(t))
+    return left
+
+
+def _and(t: _Tokens):
+    left = _not(t)
+    while t.accept("&&"):
+        left = Binary("&&", left, _not(t))
+    return left
+
+
+def _not(t: _Tokens):
+    if t.accept("!"):
+        return Unary("!", _not(t))
+    return _cmp(t)
+
+
+def _cmp(t: _Tokens):
+    left = _arith(t)
+    tok = t.peek()
+    if tok is not None and tok[1] in ("==", "!=", "<", "<=", ">", ">="):
+        op = t.next()[1]
+        return Binary(op, left, _arith(t))
+    return left
+
+
+def _arith(t: _Tokens):
+    left = _term(t)
+    while True:
+        tok = t.peek()
+        if tok is not None and tok[1] in ("+", "-"):
+            t.next()
+            left = Binary(tok[1], left, _term(t))
+        else:
+            return left
+
+
+def _term(t: _Tokens):
+    left = _factor(t)
+    while True:
+        tok = t.peek()
+        if tok is not None and tok[1] in ("*", "/", "%"):
+            t.next()
+            left = Binary(tok[1], left, _factor(t))
+        else:
+            return left
+
+
+def _factor(t: _Tokens):
+    tok = t.peek()
+    if tok is None:
+        raise MiniLangError(t.line, "expected an expression")
+    if tok[1] == "-":
+        t.next()
+        return Unary("-", _factor(t))
+    if tok[1] == "!":
+        t.next()
+        return Unary("!", _factor(t))
+    if tok[0] == "num":
+        t.next()
+        return Num(int(tok[1]))
+    if tok[0] == "name" and tok[1] not in _KEYWORDS:
+        t.next()
+        return Name(tok[1])
+    if tok[1] == "(":
+        t.next()
+        e = _expr(t)
+        t.expect(")")
+        return e
+    raise MiniLangError(t.line, f"expected an expression, found {tok[1]!r}")

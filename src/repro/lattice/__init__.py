@@ -1,0 +1,20 @@
+"""Computation lattices: consistent cuts, global states, runs (paper §4)."""
+
+from .cut import Cut, MessageChains, apply_message
+from .full import ComputationLattice, Run
+from .levels import BuilderStats, LevelByLevelBuilder, Violation
+from .render import render_computation, render_lattice, to_dot
+
+__all__ = [
+    "Cut",
+    "MessageChains",
+    "apply_message",
+    "ComputationLattice",
+    "Run",
+    "BuilderStats",
+    "LevelByLevelBuilder",
+    "Violation",
+    "render_computation",
+    "render_lattice",
+    "to_dot",
+]

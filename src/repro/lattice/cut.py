@@ -1,0 +1,156 @@
+"""Consistent cuts and global states of a multithreaded computation.
+
+A *cut* counts, per thread, how many relevant events have been included; it
+is *consistent* when it is downward-closed under the relevant causality
+``⊳`` — i.e. including an event implies including everything that causally
+precedes it.  Consistent cuts are exactly the nodes of the paper's
+*computation lattice* (§4), and each induces a well-defined global state:
+two writes of the same variable are always causally ordered (write-write
+causality), so "the last write of x inside the cut" is unambiguous.
+
+Messages are organized into per-thread chains first
+(:class:`MessageChains`): because every relevant event increments its own
+thread's clock component, a message's 1-based position within its thread's
+relevant chain is simply ``clock[thread]`` — no sequencing metadata beyond
+the MVC itself is needed, which is what lets the observer ingest messages in
+arbitrary delivery order.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping, Optional
+
+from ..core.events import Message, VarName
+
+__all__ = ["Cut", "MessageChains", "apply_message"]
+
+#: A cut: per-thread count of included relevant events.
+Cut = tuple[int, ...]
+
+#: A global state: shared-variable valuation.
+GlobalState = Mapping[VarName, Any]
+
+
+class MessageChains:
+    """Per-thread chains of relevant messages, indexed by ``clock[thread]``.
+
+    Supports incremental insertion in any order and gap detection (a missing
+    index means a message is still in flight — the level-by-level builder
+    stalls on it).
+    """
+
+    def __init__(self, n_threads: int):
+        if n_threads <= 0:
+            raise ValueError("n_threads must be positive")
+        self._n = n_threads
+        # chain[i] maps 1-based relevant index -> message
+        self._chains: list[dict[int, Message]] = [dict() for _ in range(n_threads)]
+
+    @property
+    def n_threads(self) -> int:
+        return self._n
+
+    def insert(self, msg: Message) -> None:
+        if msg.thread >= self._n:
+            raise ValueError(
+                f"message from thread {msg.thread} but chains hold {self._n} threads"
+            )
+        k = msg.clock[msg.thread]
+        if k < 1:
+            raise ValueError(
+                f"relevant message must have clock[i] >= 1, got {msg.pretty()}"
+            )
+        chain = self._chains[msg.thread]
+        if k in chain:
+            raise ValueError(f"duplicate relevant index {k} for thread {msg.thread}")
+        chain[k] = msg
+
+    def get(self, thread: int, index: int) -> Optional[Message]:
+        """Message with 1-based relevant index ``index`` of ``thread``."""
+        return self._chains[thread].get(index)
+
+    def counts(self) -> Cut:
+        """Highest contiguous-from-1 relevant index received per thread."""
+        out = []
+        for chain in self._chains:
+            k = 0
+            while (k + 1) in chain:
+                k += 1
+            out.append(k)
+        return tuple(out)
+
+    def totals(self) -> Cut:
+        """Number of messages received per thread (gaps included)."""
+        return tuple(len(c) for c in self._chains)
+
+    def has_gap(self, thread: int) -> bool:
+        chain = self._chains[thread]
+        return len(chain) > 0 and max(chain) != len(chain)
+
+    def has_beyond(self, cut: Cut) -> bool:
+        """Any buffered message with a relevant index beyond the cut?"""
+        if len(cut) != self._n:
+            raise ValueError("cut width mismatch")
+        for i, chain in enumerate(self._chains):
+            if chain and max(chain) > cut[i]:
+                return True
+        return False
+
+    def all_messages(self) -> Iterator[Message]:
+        for chain in self._chains:
+            for k in sorted(chain):
+                yield chain[k]
+
+    def enabled_at(self, cut: Cut, thread: int) -> Optional[Message]:
+        """The next message of ``thread`` if it is enabled at ``cut``.
+
+        The candidate is the message with relevant index ``cut[thread] + 1``;
+        it is enabled iff its causal past is inside the cut:
+        ``clock[j] <= cut[j]`` for every other thread ``j`` (its own
+        component is ``cut[thread] + 1`` by construction).  Returns ``None``
+        if the message is absent (in flight / thread done) or not enabled.
+        """
+        m = self._chains[thread].get(cut[thread] + 1)
+        if m is None:
+            return None
+        # raw tuple indexing: this is the hottest loop of lattice expansion
+        clock = m.clock.components
+        for j in range(self._n):
+            if j != thread and clock[j] > cut[j]:
+                return None
+        return m
+
+    def is_consistent(self, cut: Cut) -> bool:
+        """Downward-closure check: every included message's causal past is
+        included too.  (Primarily for tests; builders only generate
+        consistent cuts.)"""
+        if len(cut) != self._n:
+            raise ValueError("cut width mismatch")
+        for i, k in enumerate(cut):
+            if k < 0 or k > len(self._chains[i]):
+                return False
+            # It suffices to check the *last* included message per thread:
+            # earlier ones causally precede it, and clocks are monotone
+            # along a thread's chain.
+            if k >= 1:
+                m = self._chains[i].get(k)
+                if m is None:
+                    return False
+                for j in range(self._n):
+                    if j != i and m.clock[j] > cut[j]:
+                        return False
+        return True
+
+
+def apply_message(state: GlobalState, msg: Message) -> dict[VarName, Any]:
+    """Global state after ``msg``: writes update their variable.
+
+    JMPaX's relevant events are writes, but read/internal relevant events are
+    permitted (they leave the state unchanged).
+    """
+    e = msg.event
+    if e.kind.is_write and e.var is not None:
+        new = dict(state)
+        new[e.var] = e.value
+        return new
+    return dict(state)

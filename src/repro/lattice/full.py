@@ -1,0 +1,197 @@
+"""Full materialization of the computation lattice (paper §4, Figs. 5–6).
+
+Builds every consistent cut reachable from the bottom (empty) cut, with its
+global state and outgoing edges.  This is the offline/small-scale view used
+by the figure reproductions, run enumeration, and as the reference
+implementation against which the space-efficient level-by-level builder
+(:mod:`repro.lattice.levels`) is validated.
+
+The lattice can be exponential in concurrency width ("the computation
+lattice can grow quite large") — benchmark E10 measures exactly that; for
+online analysis use :class:`repro.lattice.levels.LevelByLevelBuilder`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, Mapping, Optional, Sequence
+
+from ..core.events import Message, VarName
+from .cut import Cut, MessageChains, apply_message
+
+__all__ = ["ComputationLattice", "Run"]
+
+
+@dataclass(frozen=True)
+class Run:
+    """One consistent multithreaded run: a maximal path through the lattice.
+
+    ``messages[k]`` labels the step from ``states[k]`` to ``states[k+1]``,
+    so ``len(states) == len(messages) + 1``.
+    """
+
+    messages: tuple[Message, ...]
+    states: tuple[Mapping[VarName, Any], ...]
+
+    def state_tuples(self, variables: Sequence[VarName]) -> list[tuple]:
+        """States projected to ``variables`` in display order (Fig. 5/6)."""
+        return [tuple(s[v] for v in variables) for s in self.states]
+
+    def pretty(self, variables: Optional[Sequence[VarName]] = None) -> str:
+        if variables is None:
+            variables = sorted({v for s in self.states for v in s}, key=str)
+        parts = [str(tuple(self.states[0][v] for v in variables))]
+        for m, s in zip(self.messages, self.states[1:]):
+            parts.append(f"--{m.event.label or m.event.pretty()}--> "
+                         f"{tuple(s[v] for v in variables)}")
+        return " ".join(parts)
+
+
+class ComputationLattice:
+    """The lattice of all consistent cuts of a multithreaded computation.
+
+    Args:
+        n_threads: width of the MVCs.
+        initial_state: shared-variable valuation before any relevant event
+            (the observer learns it at instrumentation time, Fig. 4).
+        messages: the relevant messages, in *any* delivery order.
+    """
+
+    def __init__(
+        self,
+        n_threads: int,
+        initial_state: Mapping[VarName, Any],
+        messages: Iterable[Message],
+    ):
+        self._chains = MessageChains(n_threads)
+        for m in messages:
+            self._chains.insert(m)
+        for i in range(n_threads):
+            if self._chains.has_gap(i):
+                raise ValueError(
+                    f"thread {i} has missing relevant messages; the full "
+                    f"builder needs the complete computation"
+                )
+        self._n = n_threads
+        self._initial = dict(initial_state)
+        self._top = self._chains.totals()
+        self._states: dict[Cut, dict[VarName, Any]] = {}
+        self._edges: dict[Cut, list[tuple[Message, Cut]]] = {}
+        self._build()
+
+    def _build(self) -> None:
+        bottom = (0,) * self._n
+        self._states[bottom] = dict(self._initial)
+        frontier = [bottom]
+        while frontier:
+            nxt: list[Cut] = []
+            for cut in frontier:
+                edges: list[tuple[Message, Cut]] = []
+                for i in range(self._n):
+                    m = self._chains.enabled_at(cut, i)
+                    if m is None:
+                        continue
+                    succ = cut[:i] + (cut[i] + 1,) + cut[i + 1:]
+                    edges.append((m, succ))
+                    if succ not in self._states:
+                        self._states[succ] = apply_message(self._states[cut], m)
+                        nxt.append(succ)
+                self._edges[cut] = edges
+            frontier = nxt
+
+    # -- shape ---------------------------------------------------------------
+
+    @property
+    def n_threads(self) -> int:
+        return self._n
+
+    @property
+    def bottom(self) -> Cut:
+        return (0,) * self._n
+
+    @property
+    def top(self) -> Cut:
+        """The full cut (all relevant events included)."""
+        return self._top
+
+    @property
+    def cuts(self) -> frozenset[Cut]:
+        return frozenset(self._states)
+
+    def __len__(self) -> int:
+        """Number of lattice nodes (global states, counting the bottom)."""
+        return len(self._states)
+
+    def state(self, cut: Cut) -> Mapping[VarName, Any]:
+        return dict(self._states[cut])
+
+    def successors(self, cut: Cut) -> Sequence[tuple[Message, Cut]]:
+        return tuple(self._edges.get(cut, ()))
+
+    def levels(self) -> list[list[Cut]]:
+        """Cuts grouped by level (total event count), bottom first."""
+        height = sum(self._top)
+        out: list[list[Cut]] = [[] for _ in range(height + 1)]
+        for cut in self._states:
+            out[sum(cut)].append(cut)
+        for level in out:
+            level.sort()
+        return out
+
+    def state_tuple(self, cut: Cut, variables: Sequence[VarName]) -> tuple:
+        s = self._states[cut]
+        return tuple(s[v] for v in variables)
+
+    # -- runs ------------------------------------------------------------------
+
+    def count_runs(self) -> int:
+        """Number of maximal paths (consistent multithreaded runs) — DP over
+        the DAG, no enumeration."""
+        from functools import lru_cache
+
+        @lru_cache(maxsize=None)
+        def paths_from(cut: Cut) -> int:
+            edges = self._edges.get(cut, ())
+            if not edges:
+                return 1 if cut == self._top else 0
+            return sum(paths_from(succ) for _m, succ in edges)
+
+        return paths_from(self.bottom)
+
+    def runs(self, limit: Optional[int] = None) -> Iterator[Run]:
+        """Enumerate all runs (DFS, deterministic order).  ``limit`` bounds
+        the enumeration for large lattices."""
+        produced = 0
+        stack_msgs: list[Message] = []
+        stack_states: list[dict[VarName, Any]] = [dict(self._initial)]
+
+        def dfs(cut: Cut) -> Iterator[Run]:
+            nonlocal produced
+            edges = self._edges.get(cut, ())
+            if not edges:
+                if cut == self._top:
+                    yield Run(tuple(stack_msgs), tuple(dict(s) for s in stack_states))
+                return
+            for m, succ in edges:
+                stack_msgs.append(m)
+                stack_states.append(apply_message(stack_states[-1], m))
+                yield from dfs(succ)
+                stack_msgs.pop()
+                stack_states.pop()
+
+        for run in dfs(self.bottom):
+            yield run
+            produced += 1
+            if limit is not None and produced >= limit:
+                return
+
+    def observed_run(self) -> Run:
+        """The run in emission order (the execution that actually happened),
+        available when messages carry ``emit_index`` stamps."""
+        msgs = sorted(self._chains.all_messages(), key=lambda m: m.emit_index)
+        if any(m.emit_index < 0 for m in msgs):
+            raise ValueError("messages lack emit_index stamps")
+        states = [dict(self._initial)]
+        for m in msgs:
+            states.append(apply_message(states[-1], m))
+        return Run(tuple(msgs), tuple(states))

@@ -1,0 +1,127 @@
+"""Rendering computation lattices and causal graphs (the paper's figures).
+
+Produces the two artifacts the paper draws:
+
+* :func:`render_lattice` — a level-by-level text rendering of the
+  computation lattice (Figs. 5 and 6 bottom), one line per level, states
+  shown as variable tuples, edges listed under each node;
+* :func:`render_computation` — the causal diagram of the messages (Fig. 6
+  top): one lane per thread plus the cross-thread covering edges;
+* :func:`to_dot` — Graphviz source for either, for publication-grade
+  output.
+
+All functions are pure string producers (no I/O, no external deps), so
+examples and the CLI can print them and tests can assert on them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.causality import CausalityIndex
+from ..core.events import Message, VarName
+from .full import ComputationLattice
+
+__all__ = ["render_lattice", "render_computation", "to_dot"]
+
+
+def _state_label(lattice: ComputationLattice, cut, variables: Sequence[VarName]) -> str:
+    return "<" + ",".join(str(v) for v in lattice.state_tuple(cut, variables)) + ">"
+
+
+def render_lattice(
+    lattice: ComputationLattice,
+    variables: Optional[Sequence[VarName]] = None,
+    show_edges: bool = True,
+) -> str:
+    """Text rendering, one level per block, bottom (level 0) first.
+
+    >>> print(render_lattice(lat, ("landing", "approved", "radio")))
+    Level 0:  (0,0)<0,0,1>
+    Level 1:  (1,0)<0,1,1>  (0,1)<0,0,0>
+    ...
+    """
+    if variables is None:
+        variables = sorted(
+            {str(v) for v in lattice.state(lattice.bottom)}, key=str
+        )
+    lines: list[str] = []
+    for level, cuts in enumerate(lattice.levels()):
+        if not cuts:
+            continue
+        cells = [f"{cut}{_state_label(lattice, cut, variables)}" for cut in cuts]
+        lines.append(f"Level {level}:  " + "  ".join(cells))
+        if show_edges:
+            for cut in cuts:
+                for msg, succ in lattice.successors(cut):
+                    label = msg.event.label or msg.event.pretty()
+                    lines.append(f"    {cut} --{label}--> {succ}")
+    return "\n".join(lines)
+
+
+def render_computation(
+    messages: Sequence[Message],
+    n_threads: int,
+) -> str:
+    """Causal diagram of the relevant messages (Fig. 6 top).
+
+    One lane per thread in program order, then the cross-thread covering
+    edges of the Hasse diagram (within-lane edges are implicit).
+    """
+    idx = CausalityIndex(n_threads, messages)
+    chains = idx.per_thread_chains()
+    lines: list[str] = []
+    for t in range(n_threads):
+        cells = [
+            f"{m.event.label or m.event.pretty()}{tuple(m.clock)}"
+            for m in chains.get(t, [])
+        ]
+        lines.append(f"T{t + 1}: " + "  ->  ".join(cells) if cells
+                     else f"T{t + 1}: (no relevant events)")
+    cross = [
+        (a, b) for a, b in idx.covering_edges() if a.thread != b.thread
+    ]
+    if cross:
+        lines.append("cross-thread causality:")
+        for a, b in cross:
+            lines.append(
+                f"    {a.event.label or a.event.pretty()} "
+                f"≺ {b.event.label or b.event.pretty()}"
+            )
+    return "\n".join(lines)
+
+
+def to_dot(
+    lattice: ComputationLattice,
+    variables: Optional[Sequence[VarName]] = None,
+    title: str = "computation lattice",
+) -> str:
+    """Graphviz source for the lattice (nodes = global states, edges labeled
+    by the relevant event), in the top-down orientation of Fig. 5/6."""
+    if variables is None:
+        variables = sorted(
+            {str(v) for v in lattice.state(lattice.bottom)}, key=str
+        )
+    out = [f'digraph "{title}" {{', "  rankdir=TB;",
+           '  node [shape=box, fontname="monospace"];']
+
+    def node_id(cut) -> str:
+        return "S_" + "_".join(str(k) for k in cut)
+
+    for cuts in lattice.levels():
+        if not cuts:
+            continue
+        same_rank = " ".join(node_id(c) + ";" for c in cuts)
+        out.append(f"  {{ rank=same; {same_rank} }}")
+        for cut in cuts:
+            label = _state_label(lattice, cut, variables)
+            out.append(f'  {node_id(cut)} [label="S{cut}\\n{label}"];')
+    for cuts in lattice.levels():
+        for cut in cuts:
+            for msg, succ in lattice.successors(cut):
+                elabel = (msg.event.label or msg.event.pretty()).replace('"', "'")
+                out.append(
+                    f'  {node_id(cut)} -> {node_id(succ)} [label="{elabel}"];'
+                )
+    out.append("}")
+    return "\n".join(out)

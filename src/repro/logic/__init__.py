@@ -1,0 +1,79 @@
+"""Specification logic: past-time LTL with the paper's interval operator.
+
+* :mod:`repro.logic.ast` — formula and state-expression AST;
+* :mod:`repro.logic.parser` — concrete syntax (the paper's properties parse
+  verbatim modulo ``==``);
+* :mod:`repro.logic.monitor` — HR-style online monitor synthesis (O(|φ|)
+  bits of state per lattice node);
+* :mod:`repro.logic.lasso` — LTL over ``u·vω`` words for liveness prediction.
+"""
+
+from .ast import (
+    And,
+    Always,
+    Atom,
+    BinArith,
+    Bool,
+    Compare,
+    Const,
+    End,
+    Eventually,
+    Formula,
+    Historically,
+    Iff,
+    Implies,
+    Interval,
+    Next,
+    Not,
+    Once,
+    Or,
+    Prev,
+    Since,
+    Start,
+    Until,
+    Var,
+    is_past_time,
+    subformulas,
+    temporal_subformulas,
+    variables_of,
+)
+from .lasso import LassoUnsupportedError, evaluate_lasso
+from .monitor import Monitor, MonitorState, evaluate_trace
+from .parser import ParseError, parse
+
+__all__ = [
+    "And",
+    "Always",
+    "Atom",
+    "BinArith",
+    "Bool",
+    "Compare",
+    "Const",
+    "End",
+    "Eventually",
+    "Formula",
+    "Historically",
+    "Iff",
+    "Implies",
+    "Interval",
+    "Next",
+    "Not",
+    "Once",
+    "Or",
+    "Prev",
+    "Since",
+    "Start",
+    "Until",
+    "Var",
+    "is_past_time",
+    "subformulas",
+    "temporal_subformulas",
+    "variables_of",
+    "LassoUnsupportedError",
+    "evaluate_lasso",
+    "Monitor",
+    "MonitorState",
+    "evaluate_trace",
+    "ParseError",
+    "parse",
+]

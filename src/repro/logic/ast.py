@@ -1,0 +1,494 @@
+"""Formula AST for the specification language.
+
+JMPaX checks safety properties written in a past-time temporal logic with the
+interval notation of Havelund & Roşu's monitor-synthesis work (the paper's
+[17, 18]), e.g. Example 2's ``(x > 0) -> [y == 0, y > z)``.
+
+Grammar (see :mod:`repro.logic.parser` for concrete syntax):
+
+* *state expressions*: integer arithmetic over shared-variable names;
+* *atoms*: comparisons between state expressions, plus ``true``/``false``;
+* *boolean*: ``not``, ``and``, ``or``, ``->``, ``<->``;
+* *past-time temporal*:
+
+  - ``prev f``  (``⊙f``): f held at the previous state;
+  - ``once f``: f held at some past-or-current state;
+  - ``historically f``: f held at every past-or-current state;
+  - ``f since g``: g held at some past-or-current state and f has held ever
+    since (inclusive);
+  - ``[p, q)``: the paper's interval — p held at some past-or-current state
+    and q has not held since then (q exclusive at the p point, inclusive
+    afterwards): the recurrence is ``[p,q)_k = ¬q_k ∧ (p_k ∨ [p,q)_{k-1})``;
+  - ``start f`` (``↑f``): f just became true (``f ∧ ¬⊙f``);
+  - ``end f``  (``↓f``): f just became false (``⊙f ∧ ¬f``).
+
+At the initial state the Havelund–Roşu convention applies: ``prev f = f``,
+so ``start``/``end`` are false initially.
+
+Future-time operators (``always``, ``eventually``, ``until``, ``next``) are
+also represented; they are *not* monitorable online but are evaluated over
+lasso words ``u vω`` by :mod:`repro.analysis.liveness` (paper §4's liveness
+prediction via [22]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Mapping
+
+__all__ = [
+    "Expr",
+    "Var",
+    "Const",
+    "BinArith",
+    "Formula",
+    "Atom",
+    "Compare",
+    "Bool",
+    "Not",
+    "And",
+    "Or",
+    "Implies",
+    "Iff",
+    "Prev",
+    "Once",
+    "Historically",
+    "Since",
+    "Interval",
+    "Start",
+    "End",
+    "Always",
+    "Eventually",
+    "Until",
+    "Next",
+    "subformulas",
+    "temporal_subformulas",
+    "is_past_time",
+    "variables_of",
+]
+
+State = Mapping[str, object]
+
+
+# ---------------------------------------------------------------------------
+# State expressions (integer arithmetic over shared variables)
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class of state expressions."""
+
+    def eval(self, state: State) -> object:
+        raise NotImplementedError
+
+    def variables(self) -> frozenset[str]:
+        raise NotImplementedError
+
+    def compile(self) -> Callable[[State], object]:
+        """Build a closure evaluating this expression without AST recursion.
+
+        Profiling (see bench_overhead / DESIGN §4) showed recursive
+        ``eval`` dominating monitor stepping on wide lattices; compiled
+        closures cut the per-state cost roughly in half.
+        """
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    name: str
+
+    def eval(self, state: State) -> object:
+        try:
+            return state[self.name]
+        except KeyError:
+            raise KeyError(
+                f"specification references variable {self.name!r} "
+                f"not present in the monitored state {sorted(map(str, state))}"
+            ) from None
+
+    def variables(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+    def compile(self) -> Callable[[State], object]:
+        name = self.name
+
+        def read(state: State, _name=name) -> object:
+            try:
+                return state[_name]
+            except KeyError:
+                raise KeyError(
+                    f"specification references variable {_name!r} not "
+                    f"present in the monitored state {sorted(map(str, state))}"
+                ) from None
+
+        return read
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    value: object
+
+    def eval(self, state: State) -> object:
+        return self.value
+
+    def variables(self) -> frozenset[str]:
+        return frozenset()
+
+    def compile(self) -> Callable[[State], object]:
+        value = self.value
+        return lambda _state: value
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+_ARITH_OPS: dict[str, Callable[[object, object], object]] = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "//": lambda a, b: a // b,
+    "%": lambda a, b: a % b,
+}
+
+
+@dataclass(frozen=True)
+class BinArith(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _ARITH_OPS:
+            raise ValueError(f"unknown arithmetic operator {self.op!r}")
+
+    def eval(self, state: State) -> object:
+        return _ARITH_OPS[self.op](self.left.eval(state), self.right.eval(state))
+
+    def variables(self) -> frozenset[str]:
+        return self.left.variables() | self.right.variables()
+
+    def compile(self) -> Callable[[State], object]:
+        op = _ARITH_OPS[self.op]
+        left = self.left.compile()
+        right = self.right.compile()
+        return lambda state: op(left(state), right(state))
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+# ---------------------------------------------------------------------------
+# Formulas
+# ---------------------------------------------------------------------------
+
+
+class Formula:
+    """Base class of formulas. Subclass sets define the fragment:
+
+    * state formulas: :class:`Atom`, :class:`Compare`, :class:`Bool`;
+    * boolean connectives;
+    * past-time temporal (monitorable online);
+    * future-time temporal (lasso evaluation only).
+    """
+
+    def children(self) -> tuple["Formula", ...]:
+        return ()
+
+    def __str__(self) -> str:  # pragma: no cover - overridden everywhere
+        return self.__class__.__name__
+
+
+@dataclass(frozen=True)
+class Bool(Formula):
+    value: bool
+
+    def __str__(self) -> str:
+        return "true" if self.value else "false"
+
+
+@dataclass(frozen=True)
+class Atom(Formula):
+    """An opaque predicate over the state (escape hatch for Python callers)."""
+
+    fn: Callable[[State], bool]
+    name: str = "atom"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+_CMP_OPS: dict[str, Callable[[object, object], bool]] = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class Compare(Formula):
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in _CMP_OPS:
+            raise ValueError(f"unknown comparison operator {self.op!r}")
+
+    def test(self, state: State) -> bool:
+        return bool(_CMP_OPS[self.op](self.left.eval(state), self.right.eval(state)))
+
+    def compile(self) -> Callable[[State], bool]:
+        op = _CMP_OPS[self.op]
+        left = self.left.compile()
+        right = self.right.compile()
+        return lambda state: bool(op(left(state), right(state)))
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class Not(Formula):
+    operand: Formula
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"!({self.operand})"
+
+
+@dataclass(frozen=True)
+class And(Formula):
+    left: Formula
+    right: Formula
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} and {self.right})"
+
+
+@dataclass(frozen=True)
+class Or(Formula):
+    left: Formula
+    right: Formula
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} or {self.right})"
+
+
+@dataclass(frozen=True)
+class Implies(Formula):
+    left: Formula
+    right: Formula
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} -> {self.right})"
+
+
+@dataclass(frozen=True)
+class Iff(Formula):
+    left: Formula
+    right: Formula
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} <-> {self.right})"
+
+
+# -- past-time temporal -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Prev(Formula):
+    """``⊙f`` — f at the previous state (f at the initial state, HR convention)."""
+
+    operand: Formula
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"prev({self.operand})"
+
+
+@dataclass(frozen=True)
+class Once(Formula):
+    """f held at some past-or-current state."""
+
+    operand: Formula
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"once({self.operand})"
+
+
+@dataclass(frozen=True)
+class Historically(Formula):
+    """f held at every past-or-current state."""
+
+    operand: Formula
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"historically({self.operand})"
+
+
+@dataclass(frozen=True)
+class Since(Formula):
+    """``f S g``: g held at some past-or-current point, f has held since."""
+
+    left: Formula
+    right: Formula
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} since {self.right})"
+
+
+@dataclass(frozen=True)
+class Interval(Formula):
+    """The paper's ``[p, q)``: p happened and q has been false since then."""
+
+    start: Formula
+    stop: Formula
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.start, self.stop)
+
+    def __str__(self) -> str:
+        return f"[{self.start}, {self.stop})"
+
+
+@dataclass(frozen=True)
+class Start(Formula):
+    """``↑f = f ∧ ¬⊙f`` — f just became true."""
+
+    operand: Formula
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"start({self.operand})"
+
+
+@dataclass(frozen=True)
+class End(Formula):
+    """``↓f = ⊙f ∧ ¬f`` — f just became false."""
+
+    operand: Formula
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"end({self.operand})"
+
+
+# -- future-time temporal (lasso evaluation only) ------------------------------
+
+
+@dataclass(frozen=True)
+class Always(Formula):
+    operand: Formula
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"always({self.operand})"
+
+
+@dataclass(frozen=True)
+class Eventually(Formula):
+    operand: Formula
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"eventually({self.operand})"
+
+
+@dataclass(frozen=True)
+class Until(Formula):
+    left: Formula
+    right: Formula
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"({self.left} until {self.right})"
+
+
+@dataclass(frozen=True)
+class Next(Formula):
+    operand: Formula
+
+    def children(self) -> tuple[Formula, ...]:
+        return (self.operand,)
+
+    def __str__(self) -> str:
+        return f"next({self.operand})"
+
+
+# ---------------------------------------------------------------------------
+# Structure helpers
+# ---------------------------------------------------------------------------
+
+_PAST = (Prev, Once, Historically, Since, Interval, Start, End)
+_FUTURE = (Always, Eventually, Until, Next)
+
+
+def subformulas(f: Formula) -> Iterator[Formula]:
+    """All subformulas including ``f`` itself, children before parents
+    (post-order) — the evaluation order monitors need."""
+    for c in f.children():
+        yield from subformulas(c)
+    yield f
+
+
+def temporal_subformulas(f: Formula) -> list[Formula]:
+    """Past-time temporal subformulas in post-order; these are exactly the
+    bits of history a synthesized monitor must remember (HR [17, 18])."""
+    return [g for g in subformulas(f) if isinstance(g, _PAST)]
+
+
+def is_past_time(f: Formula) -> bool:
+    """True if ``f`` contains no future-time operator (monitorable online)."""
+    return not any(isinstance(g, _FUTURE) for g in subformulas(f))
+
+
+def variables_of(f: Formula) -> frozenset[str]:
+    """Shared variables mentioned by the formula — JMPaX's *relevant
+    variables* (§4.1: the instrumentor extracts them from the spec)."""
+    out: set[str] = set()
+    for g in subformulas(f):
+        if isinstance(g, Compare):
+            out |= g.left.variables() | g.right.variables()
+    return frozenset(out)

@@ -1,0 +1,88 @@
+"""Composite monitors: several specifications in one lattice pass.
+
+JMPaX checks one user specification; a practical deployment monitors many.
+Rather than building the computation lattice once per property,
+:class:`CompositeMonitor` bundles monitors behind the same functional
+interface (``initial_state`` / ``step``), so a single
+:class:`~repro.lattice.levels.LevelByLevelBuilder` sweep checks them all.
+The composite verdict is the conjunction; per-spec verdicts are recoverable
+from the composite state via :meth:`verdicts`, which is how
+:func:`repro.analysis.predictive.predict_many` attributes violations.
+
+Cost note: composite monitor states are tuples of sub-states, so two paths
+merge only when *all* sub-monitors agree — state sets per lattice node can
+be up to the product of the individual sets.  For a handful of properties
+this is still far cheaper than rebuilding the lattice per property.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from .ast import Formula
+from .monitor import Monitor
+
+__all__ = ["CompositeMonitor"]
+
+State = Mapping[str, object]
+
+# Composite monitor state: one sub-state per monitor, then one verdict bool
+# per monitor (the verdicts ride along so violations are attributable).
+CompositeState = Optional[tuple]
+
+
+class CompositeMonitor:
+    """Monitor product of several past-time specifications.
+
+    Implements the same protocol as :class:`~repro.logic.monitor.Monitor`
+    (``initial_state``, ``step``, ``variables``), so it drops into the
+    predictive analyzer unchanged.
+    """
+
+    def __init__(self, specs: Sequence[str | Formula | Monitor]):
+        if not specs:
+            raise ValueError("composite monitor needs at least one spec")
+        self.monitors: list[Monitor] = [
+            s if isinstance(s, Monitor) else Monitor(s) for s in specs
+        ]
+
+    @property
+    def variables(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for m in self.monitors:
+            out |= m.variables
+        return out
+
+    @property
+    def formula(self):  # for report strings
+        return " AND ".join(str(m.formula) for m in self.monitors)
+
+    def __len__(self) -> int:
+        return len(self.monitors)
+
+    def initial_state(self) -> CompositeState:
+        return None
+
+    def step(self, mstate: CompositeState, state: State) -> tuple[tuple, bool]:
+        subs = mstate[: len(self.monitors)] if mstate is not None else (
+            tuple(m.initial_state() for m in self.monitors)
+        )
+        new_subs = []
+        verdicts = []
+        for monitor, sub in zip(self.monitors, subs):
+            ns, ok = monitor.step(sub, state)
+            new_subs.append(ns)
+            verdicts.append(ok)
+        frozen = tuple(new_subs) + (tuple(verdicts),)
+        return frozen, all(verdicts)
+
+    def verdicts(self, mstate: tuple) -> tuple[bool, ...]:
+        """Per-spec verdicts carried in a composite state produced by
+        :meth:`step`."""
+        if mstate is None:
+            raise ValueError("no state processed yet")
+        return mstate[-1]
+
+    def failing_specs(self, mstate: tuple) -> list[int]:
+        """Indices of the specifications violated at this state."""
+        return [i for i, ok in enumerate(self.verdicts(mstate)) if not ok]

@@ -1,0 +1,136 @@
+"""LTL evaluation over lasso words ``u · vω`` (paper §4, liveness prediction).
+
+The paper sketches liveness prediction: find paths ``u`` and ``uv`` in the
+computation lattice reaching the *same* shared-variable global state, then
+check whether the infinite word ``u vω`` satisfies the liveness property —
+"it is shown in [22] (Markey–Schnoebelen) that the test ``u vω ⊨ φ`` can be
+done in polynomial time and space".
+
+:func:`evaluate_lasso` implements that test for future-time LTL (``always``,
+``eventually``, ``until``, ``next`` plus boolean/state formulas) by the
+standard bottom-up labeling of the ``len(u) + len(v)`` positions, with a
+least-fixpoint sweep over the loop for ``until``/``eventually``.
+
+Past-time operators are rejected: a position inside ``v`` has a different
+past on every unrolling, so finite position-labeling is unsound for them.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from .ast import (
+    Always,
+    And,
+    Atom,
+    Bool,
+    Compare,
+    Eventually,
+    Formula,
+    Iff,
+    Implies,
+    Next,
+    Not,
+    Or,
+    Until,
+    subformulas,
+)
+from .ast import _PAST  # noqa: F401  (fragment check below)
+from .parser import parse
+
+__all__ = ["evaluate_lasso", "LassoUnsupportedError"]
+
+State = Mapping[str, object]
+
+
+class LassoUnsupportedError(ValueError):
+    """The formula contains operators outside the lasso-checkable fragment."""
+
+
+def evaluate_lasso(
+    formula: Formula | str,
+    u: Sequence[State],
+    v: Sequence[State],
+) -> bool:
+    """Does the infinite word ``u · vω`` satisfy ``formula`` at position 0?
+
+    ``v`` must be non-empty (it is the repeated loop).  ``u`` may be empty.
+    """
+    if isinstance(formula, str):
+        formula = parse(formula)
+    if not v:
+        raise ValueError("the loop part v of a lasso must be non-empty")
+    for g in subformulas(formula):
+        if isinstance(g, _PAST):
+            raise LassoUnsupportedError(
+                f"past-time operator {g} not supported on lasso words"
+            )
+
+    states = list(u) + list(v)
+    n = len(states)
+    loop_start = len(u)
+
+    def succ(p: int) -> int:
+        return p + 1 if p + 1 < n else loop_start
+
+    # Bottom-up labeling: vals[id(f)][p] = truth of f at position p.
+    vals: dict[int, list[bool]] = {}
+
+    for f in subformulas(formula):
+        if id(f) in vals:
+            continue
+        if isinstance(f, Bool):
+            row = [f.value] * n
+        elif isinstance(f, Compare):
+            row = [f.test(s) for s in states]
+        elif isinstance(f, Atom):
+            row = [bool(f.fn(s)) for s in states]
+        elif isinstance(f, Not):
+            a = vals[id(f.operand)]
+            row = [not x for x in a]
+        elif isinstance(f, And):
+            a, b = vals[id(f.left)], vals[id(f.right)]
+            row = [x and y for x, y in zip(a, b)]
+        elif isinstance(f, Or):
+            a, b = vals[id(f.left)], vals[id(f.right)]
+            row = [x or y for x, y in zip(a, b)]
+        elif isinstance(f, Implies):
+            a, b = vals[id(f.left)], vals[id(f.right)]
+            row = [(not x) or y for x, y in zip(a, b)]
+        elif isinstance(f, Iff):
+            a, b = vals[id(f.left)], vals[id(f.right)]
+            row = [x == y for x, y in zip(a, b)]
+        elif isinstance(f, Next):
+            a = vals[id(f.operand)]
+            row = [a[succ(p)] for p in range(n)]
+        elif isinstance(f, Eventually):
+            a = vals[id(f.operand)]
+            # From any position the suffix plus the whole loop is reachable.
+            loop_any = any(a[loop_start:])
+            row = [any(a[p:]) or loop_any for p in range(n)]
+        elif isinstance(f, Always):
+            a = vals[id(f.operand)]
+            loop_all = all(a[loop_start:])
+            row = [all(a[p:]) and loop_all for p in range(n)]
+        elif isinstance(f, Until):
+            a, b = vals[id(f.left)], vals[id(f.right)]
+            # Least fixpoint of U_p = b_p or (a_p and U_{succ(p)}):
+            # initialize to False, sweep backwards n+1 times (enough for the
+            # value to propagate once around the loop).
+            row = [False] * n
+            for _sweep in range(n + 1):
+                changed = False
+                for p in range(n - 1, -1, -1):
+                    nv = b[p] or (a[p] and row[succ(p)])
+                    if nv != row[p]:
+                        row[p] = nv
+                        changed = True
+                if not changed:
+                    break
+            # (least fixpoint starting from all-False gives U's "b must
+            # eventually happen" semantics for free)
+        else:  # pragma: no cover
+            raise LassoUnsupportedError(f"unsupported node {f!r}")
+        vals[id(f)] = row
+
+    return vals[id(formula)][0] if n else False

@@ -1,0 +1,287 @@
+"""Recursive-descent parser for the specification language.
+
+Concrete syntax (the paper's properties parse verbatim modulo ``==``)::
+
+    start(landing == 1) -> [approved == 1, radio == 0)
+    (x > 0) -> [y == 0, y > z)
+
+Precedence, loosest to tightest: ``<->``, ``->`` (right-assoc), ``or``/``||``,
+``since``/``until``, ``and``/``&&``, unary (``not``/``!``, ``prev``, ``once``,
+``historically``, ``start``, ``end``, ``always``, ``eventually``, ``next``),
+then primaries: ``true``, ``false``, ``[p, q)``, parenthesized formulas, and
+comparison atoms over integer arithmetic (``+ - * // %``).
+
+A ``(`` may open either a formula or an arithmetic expression; the parser
+resolves this by tentatively parsing a comparison atom and backtracking.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from .ast import (
+    And,
+    Always,
+    BinArith,
+    Bool,
+    Compare,
+    Const,
+    End,
+    Eventually,
+    Expr,
+    Formula,
+    Historically,
+    Iff,
+    Implies,
+    Interval,
+    Next,
+    Not,
+    Once,
+    Or,
+    Prev,
+    Since,
+    Start,
+    Until,
+    Var,
+)
+
+__all__ = ["parse", "ParseError"]
+
+
+class ParseError(ValueError):
+    """Raised on malformed specifications, with position information."""
+
+    def __init__(self, text: str, pos: int, message: str):
+        self.text = text
+        self.pos = pos
+        pointer = " " * pos + "^"
+        super().__init__(f"{message}\n  {text}\n  {pointer}")
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<num>\d+)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><->|->|==|!=|<=|>=|\|\||&&|//|[<>+\-*%!(),\[\)])
+    """,
+    re.VERBOSE,
+)
+
+_UNARY = {
+    "not": Not,
+    "prev": Prev,
+    "once": Once,
+    "historically": Historically,
+    "start": Start,
+    "end": End,
+    "always": Always,
+    "eventually": Eventually,
+    "next": Next,
+}
+
+_KEYWORDS = set(_UNARY) | {"true", "false", "and", "or", "since", "until", "S", "U"}
+
+
+class _Tokens:
+    def __init__(self, text: str):
+        self.text = text
+        self.items: list[tuple[str, str, int]] = []  # (kind, value, pos)
+        pos = 0
+        while pos < len(text):
+            m = _TOKEN_RE.match(text, pos)
+            if m is None:
+                raise ParseError(text, pos, f"unexpected character {text[pos]!r}")
+            pos = m.end()
+            kind = m.lastgroup
+            if kind == "ws":
+                continue
+            self.items.append((kind, m.group(), m.start()))
+        self.i = 0
+
+    def peek(self) -> Optional[tuple[str, str, int]]:
+        return self.items[self.i] if self.i < len(self.items) else None
+
+    def next(self) -> tuple[str, str, int]:
+        tok = self.peek()
+        if tok is None:
+            raise ParseError(self.text, len(self.text), "unexpected end of input")
+        self.i += 1
+        return tok
+
+    def accept(self, value: str) -> bool:
+        tok = self.peek()
+        if tok is not None and tok[1] == value:
+            self.i += 1
+            return True
+        return False
+
+    def expect(self, value: str, what: str) -> None:
+        tok = self.peek()
+        if tok is None:
+            raise ParseError(self.text, len(self.text), f"expected {what}")
+        if tok[1] != value:
+            raise ParseError(self.text, tok[2], f"expected {what}, found {tok[1]!r}")
+        self.i += 1
+
+    def save(self) -> int:
+        return self.i
+
+    def restore(self, mark: int) -> None:
+        self.i = mark
+
+
+def parse(text: str) -> Formula:
+    """Parse a specification string into a :class:`~repro.logic.ast.Formula`."""
+    toks = _Tokens(text)
+    f = _iff(toks)
+    tok = toks.peek()
+    if tok is not None:
+        raise ParseError(text, tok[2], f"trailing input starting at {tok[1]!r}")
+    return f
+
+
+def _iff(t: _Tokens) -> Formula:
+    left = _implies(t)
+    while t.accept("<->"):
+        left = Iff(left, _implies(t))
+    return left
+
+
+def _implies(t: _Tokens) -> Formula:
+    left = _or(t)
+    if t.accept("->"):
+        return Implies(left, _implies(t))  # right-associative
+    return left
+
+
+def _or(t: _Tokens) -> Formula:
+    left = _since(t)
+    while True:
+        if t.accept("or") or t.accept("||"):
+            left = Or(left, _since(t))
+        else:
+            return left
+
+
+def _since(t: _Tokens) -> Formula:
+    left = _and(t)
+    while True:
+        if t.accept("since") or t.accept("S"):
+            left = Since(left, _and(t))
+        elif t.accept("until") or t.accept("U"):
+            left = Until(left, _and(t))
+        else:
+            return left
+
+
+def _and(t: _Tokens) -> Formula:
+    left = _unary(t)
+    while True:
+        if t.accept("and") or t.accept("&&"):
+            left = And(left, _unary(t))
+        else:
+            return left
+
+
+def _unary(t: _Tokens) -> Formula:
+    tok = t.peek()
+    if tok is not None:
+        if tok[1] == "!":
+            t.next()
+            return Not(_unary(t))
+        if tok[0] == "name" and tok[1] in _UNARY:
+            # 'prev' is a keyword only when applied; 'prev' alone as a
+            # variable name would be ambiguous — keep it reserved.
+            t.next()
+            return _UNARY[tok[1]](_unary(t))
+    return _primary(t)
+
+
+def _primary(t: _Tokens) -> Formula:
+    tok = t.peek()
+    if tok is None:
+        raise ParseError(t.text, len(t.text), "expected a formula")
+    if t.accept("true"):
+        return Bool(True)
+    if t.accept("false"):
+        return Bool(False)
+    if tok[1] == "[":
+        t.next()
+        p = _iff(t)
+        t.expect(",", "',' in interval [p, q)")
+        q = _iff(t)
+        t.expect(")", "closing ')' of interval [p, q)")
+        return Interval(p, q)
+    # Ambiguous '(' or a bare atom: try a comparison atom first (covers
+    # '(x + 1) > 2'), fall back to a parenthesized formula.
+    mark = t.save()
+    atom = _try_atom(t)
+    if atom is not None:
+        return atom
+    t.restore(mark)
+    if t.accept("("):
+        f = _iff(t)
+        t.expect(")", "closing ')'")
+        return f
+    raise ParseError(t.text, tok[2], f"expected a formula, found {tok[1]!r}")
+
+
+def _try_atom(t: _Tokens) -> Optional[Formula]:
+    try:
+        left = _expr(t)
+        tok = t.peek()
+        if tok is None or tok[1] not in ("==", "!=", "<", "<=", ">", ">="):
+            return None
+        op = t.next()[1]
+        right = _expr(t)
+        return Compare(op, left, right)
+    except ParseError:
+        return None
+
+
+def _expr(t: _Tokens) -> Expr:
+    left = _term(t)
+    while True:
+        tok = t.peek()
+        if tok is not None and tok[1] in ("+", "-"):
+            t.next()
+            left = BinArith(tok[1], left, _term(t))
+        else:
+            return left
+
+
+def _term(t: _Tokens) -> Expr:
+    left = _factor(t)
+    while True:
+        tok = t.peek()
+        if tok is not None and tok[1] in ("*", "//", "%"):
+            t.next()
+            left = BinArith(tok[1], left, _factor(t))
+        else:
+            return left
+
+
+def _factor(t: _Tokens) -> Expr:
+    tok = t.peek()
+    if tok is None:
+        raise ParseError(t.text, len(t.text), "expected an expression")
+    if tok[1] == "-":
+        t.next()
+        inner = _factor(t)
+        return BinArith("-", Const(0), inner)
+    if tok[0] == "num":
+        t.next()
+        return Const(int(tok[1]))
+    if tok[0] == "name":
+        if tok[1] in _KEYWORDS:
+            raise ParseError(t.text, tok[2], f"{tok[1]!r} is a reserved word")
+        t.next()
+        return Var(tok[1])
+    if tok[1] == "(":
+        t.next()
+        e = _expr(t)
+        t.expect(")", "closing ')' in expression")
+        return e
+    raise ParseError(t.text, tok[2], f"expected an expression, found {tok[1]!r}")

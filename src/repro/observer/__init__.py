@@ -1,0 +1,30 @@
+"""Observer-side transport and ingestion (paper Fig. 4, §2.2, §4.1)."""
+
+from .channel import (
+    Channel,
+    FifoChannel,
+    MultiChannel,
+    ReorderingChannel,
+    SocketSender,
+    SocketTransport,
+    deliver_all,
+)
+from .delivery import CausalDelivery
+from .observer import Observer
+from .trace import Trace, TraceWriter, read_trace, write_trace
+
+__all__ = [
+    "Channel",
+    "FifoChannel",
+    "MultiChannel",
+    "ReorderingChannel",
+    "SocketSender",
+    "SocketTransport",
+    "deliver_all",
+    "CausalDelivery",
+    "Observer",
+    "Trace",
+    "TraceWriter",
+    "read_trace",
+    "write_trace",
+]

@@ -1,0 +1,242 @@
+"""Message transport between the instrumented program and the observer.
+
+JMPaX sends messages "via a socket to an external observer" (§4.1), and the
+paper stresses that analyzing *computations* (not flat traces) lets the
+observer "properly deal with potential reordering of delivered messages
+(e.g., due to using multiple channels to reduce the monitoring overhead)"
+(§2.2).  These channel classes realize those delivery conditions so tests
+and benchmarks can exercise the reordering-tolerance code path (E7):
+
+* :class:`FifoChannel` — in-order delivery (the trivial baseline);
+* :class:`ReorderingChannel` — adversarial bounded reordering with a seeded
+  RNG: each delivery picks a random message among the ``window`` oldest
+  undelivered ones;
+* :class:`MultiChannel` — messages sharded over ``k`` FIFO sub-channels
+  (e.g. by thread) and merged nondeterministically at the receiver;
+* :class:`SocketTransport` — a real localhost TCP socket carrying the JSON
+  wire format, for two-process deployments like the original tool.
+
+Channels are synchronous pull-based queues: producers :meth:`put`, the
+consumer :meth:`drain`s what is currently deliverable.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import socket
+import threading
+from typing import Iterable, Iterator, Optional
+
+from ..core.events import Message
+
+__all__ = [
+    "Channel",
+    "FifoChannel",
+    "ReorderingChannel",
+    "MultiChannel",
+    "SocketTransport",
+    "deliver_all",
+]
+
+
+class Channel:
+    """Base class: an order-scrambling buffer between producer and consumer."""
+
+    def put(self, msg: Message) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """No more messages will be put; everything buffered becomes
+        deliverable."""
+        raise NotImplementedError
+
+    def drain(self) -> Iterator[Message]:
+        """Yield currently-deliverable messages (order is channel policy)."""
+        raise NotImplementedError
+
+
+class FifoChannel(Channel):
+    """Exact emission-order delivery."""
+
+    def __init__(self) -> None:
+        self._queue: list[Message] = []
+        self._closed = False
+
+    def put(self, msg: Message) -> None:
+        if self._closed:
+            raise RuntimeError("channel closed")
+        self._queue.append(msg)
+
+    def close(self) -> None:
+        self._closed = True
+
+    def drain(self) -> Iterator[Message]:
+        while self._queue:
+            yield self._queue.pop(0)
+
+
+class ReorderingChannel(Channel):
+    """Adversarial bounded reordering.
+
+    A message becomes deliverable once buffered; each delivery draws
+    uniformly among the ``window`` oldest undelivered messages, so a message
+    can be overtaken by at most ``window - 1`` later ones — a standard model
+    of a network that reorders within a bounded horizon.  ``window=None``
+    means unbounded: delivery order is a uniformly random permutation.
+    """
+
+    def __init__(self, seed: int = 0, window: Optional[int] = 4):
+        if window is not None and window < 1:
+            raise ValueError("window must be >= 1 (or None for unbounded)")
+        self._rng = random.Random(seed)
+        self._window = window
+        self._buffer: list[Message] = []
+        self._closed = False
+
+    def put(self, msg: Message) -> None:
+        if self._closed:
+            raise RuntimeError("channel closed")
+        self._buffer.append(msg)
+
+    def close(self) -> None:
+        self._closed = True
+
+    def drain(self) -> Iterator[Message]:
+        # Hold messages back while the channel is open so reordering has
+        # material to work with; deliver everything once closed.
+        while self._buffer and (self._closed or len(self._buffer) > 1):
+            horizon = len(self._buffer) if self._window is None else min(
+                self._window, len(self._buffer)
+            )
+            k = self._rng.randrange(horizon)
+            yield self._buffer.pop(k)
+
+
+class MultiChannel(Channel):
+    """Messages sharded across ``k`` FIFO sub-channels and merged at the
+    receiver by (seeded) nondeterministic interleaving.
+
+    Per-channel order is preserved (FIFO sockets) but cross-channel order is
+    arbitrary — exactly the deployment the paper motivates with "multiple
+    channels to reduce the monitoring overhead".  The default routing sends
+    each thread's messages down ``thread mod k``.
+    """
+
+    def __init__(self, k: int = 2, seed: int = 0, route_by_thread: bool = True):
+        if k < 1:
+            raise ValueError("need at least one sub-channel")
+        self._queues: list[list[Message]] = [[] for _ in range(k)]
+        self._rng = random.Random(seed)
+        self._route_by_thread = route_by_thread
+        self._rr = 0
+        self._closed = False
+
+    def put(self, msg: Message) -> None:
+        if self._closed:
+            raise RuntimeError("channel closed")
+        if self._route_by_thread:
+            q = msg.thread % len(self._queues)
+        else:
+            q = self._rr
+            self._rr = (self._rr + 1) % len(self._queues)
+        self._queues[q].append(msg)
+
+    def close(self) -> None:
+        self._closed = True
+
+    def drain(self) -> Iterator[Message]:
+        while True:
+            nonempty = [q for q in self._queues if q]
+            if not nonempty:
+                return
+            q = self._rng.choice(nonempty)
+            yield q.pop(0)
+
+
+def deliver_all(channel: Channel, messages: Iterable[Message]) -> list[Message]:
+    """Convenience: push everything through a channel and collect the
+    delivery order."""
+    out: list[Message] = []
+    for m in messages:
+        channel.put(m)
+        out.extend(channel.drain())
+    channel.close()
+    out.extend(channel.drain())
+    return out
+
+
+class SocketTransport:
+    """Localhost TCP transport carrying newline-delimited JSON messages.
+
+    The sender side mirrors JMPaX's instrumented JVM; the receiver side is
+    the external observer process.  Mostly used by the integration test and
+    the ``examples/two_process_observer.py`` demo.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 strict: bool = True):
+        self._server = socket.create_server((host, port))
+        self.host, self.port = self._server.getsockname()
+        self._received: list[Message] = []
+        self._thread: Optional[threading.Thread] = None
+        self._strict = strict
+        #: Undecodable lines (recorded; re-raised by wait() when strict).
+        self.errors: list[tuple[str, Exception]] = []
+
+    def start_receiver(self) -> None:
+        """Accept one sender connection and collect messages until EOF
+        (runs in a daemon thread).  Malformed lines are recorded in
+        :attr:`errors`; with ``strict=True`` (default) :meth:`wait`
+        re-raises the first one."""
+
+        def loop() -> None:
+            conn, _addr = self._server.accept()
+            with conn, conn.makefile("r", encoding="utf-8") as f:
+                for line in f:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        self._received.append(Message.from_json(line))
+                    except Exception as exc:  # noqa: BLE001 - recorded
+                        self.errors.append((line[:200], exc))
+
+        self._thread = threading.Thread(target=loop, daemon=True)
+        self._thread.start()
+
+    def sender(self) -> "SocketSender":
+        return SocketSender(self.host, self.port)
+
+    def wait(self, timeout: float = 10.0) -> list[Message]:
+        """Wait for the sender to disconnect; return messages in arrival
+        order."""
+        if self._thread is None:
+            raise RuntimeError("start_receiver was not called")
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise TimeoutError("socket receiver did not finish in time")
+        self._server.close()
+        if self._strict and self.errors:
+            line, exc = self.errors[0]
+            raise ValueError(
+                f"malformed message line over the wire: {line!r}"
+            ) from exc
+        return list(self._received)
+
+
+class SocketSender:
+    """The instrumented-program side of :class:`SocketTransport`."""
+
+    def __init__(self, host: str, port: int):
+        self._sock = socket.create_connection((host, port))
+        self._file = self._sock.makefile("w", encoding="utf-8")
+
+    def send(self, msg: Message) -> None:
+        self._file.write(msg.to_json())
+        self._file.write("\n")
+
+    def close(self) -> None:
+        self._file.flush()
+        self._file.close()
+        self._sock.close()

@@ -1,0 +1,117 @@
+"""The external observer (paper Fig. 4, monitoring module).
+
+Receives messages ``⟨e, i, V⟩`` in whatever order the transport delivers
+them, reconstructs the relevant causality via Theorem 3, and (optionally)
+runs the predictive analyzer online.  The observer never assumes in-order
+delivery: per-thread sequencing comes from the clocks themselves
+(``clock[thread]`` is the event's 1-based relevant index).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Optional
+
+from ..analysis.predictive import OnlinePredictor
+from ..core.causality import CausalityIndex
+from ..core.events import Message, VarName
+from ..lattice.levels import BuilderStats, Violation
+from ..logic.monitor import Monitor
+from .channel import Channel
+
+__all__ = ["Observer"]
+
+
+class Observer:
+    """An online observer over a message stream.
+
+    Args:
+        n_threads: MVC width of the monitored program.
+        initial_store: the program's initial shared-variable valuation (the
+            instrumentor communicates it at startup, like JMPaX does).
+        spec: optional safety specification; when given, violations are
+            predicted online and collected in :attr:`violations`.
+
+    Use :meth:`receive` directly, or :meth:`consume` to pull from a
+    :class:`~repro.observer.channel.Channel`.
+    """
+
+    def __init__(
+        self,
+        n_threads: int,
+        initial_store: Mapping[VarName, Any],
+        spec: Optional[str | Monitor] = None,
+        track_paths: bool = True,
+        causal_log: bool = False,
+    ):
+        self._n = n_threads
+        self.causality = CausalityIndex(n_threads)
+        self._predictor: Optional[OnlinePredictor] = None
+        if spec is not None:
+            self._predictor = OnlinePredictor(
+                n_threads, initial_store, spec, track_paths=track_paths
+            )
+        self._received = 0
+        self._finished = False
+        # Optional causally-ordered message log (a linear extension of ⊳,
+        # whatever the delivery order) — see observer.delivery.
+        self._delivery = None
+        self.causal_log: list[Message] = []
+        if causal_log:
+            from .delivery import CausalDelivery
+
+            self._delivery = CausalDelivery(n_threads)
+
+    # -- ingestion ------------------------------------------------------------
+
+    def receive(self, msg: Message) -> list[Violation]:
+        """Ingest one message (any order); returns newly-predicted violations."""
+        if self._finished:
+            raise RuntimeError("observer already finished")
+        self.causality.add(msg)
+        self._received += 1
+        if self._delivery is not None:
+            self.causal_log.extend(self._delivery.offer(msg))
+        if self._predictor is not None:
+            return self._predictor.feed(msg)
+        return []
+
+    def consume(self, channel: Channel) -> list[Violation]:
+        """Drain whatever the channel currently delivers."""
+        new: list[Violation] = []
+        for msg in channel.drain():
+            new.extend(self.receive(msg))
+        return new
+
+    def receive_many(self, messages: Iterable[Message]) -> list[Violation]:
+        new: list[Violation] = []
+        for m in messages:
+            new.extend(self.receive(m))
+        return new
+
+    def finish(self) -> list[Violation]:
+        """End of stream: complete the lattice and final checks."""
+        self._finished = True
+        if self._predictor is not None:
+            return self._predictor.finish()
+        return []
+
+    # -- results ---------------------------------------------------------------
+
+    @property
+    def n_received(self) -> int:
+        return self._received
+
+    @property
+    def violations(self) -> list[Violation]:
+        return self._predictor.violations if self._predictor else []
+
+    @property
+    def stats(self) -> Optional[BuilderStats]:
+        return self._predictor.stats if self._predictor else None
+
+    def observed_order_consistent(self) -> bool:
+        """Sanity check: received order is *some* linear extension of ⊳ when
+        delivery was FIFO; may be False under reordering — by design."""
+        from ..core.causality import is_linear_extension
+
+        return is_linear_extension(list(self.causality.messages))

@@ -1,0 +1,126 @@
+"""Trace files: persisted message streams for offline analysis.
+
+JMPaX analyzes live socket streams; for a reusable tool it is equally
+useful to persist the instrumented run and analyze it later (or on another
+machine).  Format: JSON lines — a header record then one record per
+message::
+
+    {"type": "header", "version": 1, "n_threads": 2, "initial": {...},
+     "program": "landing-controller"}
+    {"thread": 0, "seq": 2, "kind": "write", ...}      # Message.to_json
+
+The format is append-friendly: the instrumentation can stream records as
+Algorithm A emits them (see :class:`TraceWriter`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Any, Iterable, Mapping, Optional
+
+from ..core.events import Message, VarName
+
+__all__ = ["Trace", "TraceWriter", "write_trace", "read_trace"]
+
+_VERSION = 1
+
+
+@dataclass
+class Trace:
+    """A loaded trace: the header plus all messages in file order."""
+
+    n_threads: int
+    initial: dict[VarName, Any]
+    messages: list[Message]
+    program: str = "unknown"
+
+    def __post_init__(self) -> None:
+        if self.n_threads <= 0:
+            raise ValueError("trace needs at least one thread")
+
+
+class TraceWriter:
+    """Streaming writer: header first, then one line per message.
+
+    Usable as an Algorithm A sink::
+
+        with TraceWriter(path, n_threads=2, initial=store) as w:
+            run_program(program, scheduler, sink=w.write)
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        n_threads: int,
+        initial: Mapping[VarName, Any],
+        program: str = "unknown",
+    ):
+        self._fh: Optional[IO[str]] = open(path, "w", encoding="utf-8")
+        header = {
+            "type": "header",
+            "version": _VERSION,
+            "n_threads": n_threads,
+            "initial": dict(initial),
+            "program": program,
+        }
+        self._fh.write(json.dumps(header) + "\n")
+        self.count = 0
+
+    def write(self, msg: Message) -> None:
+        if self._fh is None:
+            raise RuntimeError("trace writer is closed")
+        self._fh.write(msg.to_json() + "\n")
+        self.count += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def write_trace(
+    path: str | Path,
+    n_threads: int,
+    initial: Mapping[VarName, Any],
+    messages: Iterable[Message],
+    program: str = "unknown",
+) -> int:
+    """Write a complete trace; returns the number of messages written."""
+    with TraceWriter(path, n_threads, initial, program) as w:
+        for m in messages:
+            w.write(m)
+        return w.count
+
+
+def read_trace(path: str | Path) -> Trace:
+    """Load a trace file (header + messages)."""
+    with open(path, encoding="utf-8") as fh:
+        first = fh.readline().strip()
+        if not first:
+            raise ValueError(f"{path}: empty trace file")
+        header = json.loads(first)
+        if header.get("type") != "header":
+            raise ValueError(f"{path}: missing trace header")
+        if header.get("version") != _VERSION:
+            raise ValueError(
+                f"{path}: unsupported trace version {header.get('version')}"
+            )
+        messages = [
+            Message.from_json(line)
+            for line in fh
+            if line.strip()
+        ]
+    return Trace(
+        n_threads=header["n_threads"],
+        initial=dict(header["initial"]),
+        messages=messages,
+        program=header.get("program", "unknown"),
+    )

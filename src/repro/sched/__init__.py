@@ -1,0 +1,60 @@
+"""Deterministic multithreading substrate (schedulers + cooperative programs).
+
+The paper relies on the JVM to schedule threads; this package replaces it
+with a reproducible scheduler so that executions can be replayed exactly,
+sampled with seeds, or enumerated exhaustively (ground truth for E3/E4).
+"""
+
+from .program import (
+    Acquire,
+    Internal,
+    Join,
+    Notify,
+    Op,
+    Program,
+    Read,
+    Release,
+    Spawn,
+    ThreadBody,
+    Wait,
+    Write,
+    straightline,
+)
+from .scheduler import (
+    DeadlockError,
+    ExecutionResult,
+    PCTScheduler,
+    FixedScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    StepLimitExceeded,
+    explore_all,
+    run_program,
+)
+
+__all__ = [
+    "Acquire",
+    "Internal",
+    "Join",
+    "Notify",
+    "Op",
+    "Program",
+    "Read",
+    "Release",
+    "Spawn",
+    "ThreadBody",
+    "Wait",
+    "Write",
+    "straightline",
+    "DeadlockError",
+    "ExecutionResult",
+    "FixedScheduler",
+    "PCTScheduler",
+    "RandomScheduler",
+    "RoundRobinScheduler",
+    "Scheduler",
+    "StepLimitExceeded",
+    "explore_all",
+    "run_program",
+]

@@ -1,0 +1,201 @@
+"""Programs for the deterministic multithreading substrate.
+
+The paper instruments Java bytecode and lets the JVM schedule threads.  For a
+reproducible laptop-scale testbed we additionally provide *cooperative*
+multithreading: a thread body is a Python generator that yields an
+:class:`Op` whenever it touches shared state and receives the result of that
+operation back via ``send``.  A scheduler (`repro.sched.scheduler`) picks
+which thread advances at every step, so an execution is fully determined by
+``(program, schedule)`` — which is what lets the test-suite replay runs,
+enumerate *all* interleavings as ground truth, and measure detection rates
+over random schedules (experiment E4).
+
+Thread body example (the landing controller's first thread)::
+
+    def thread1():
+        radio = yield Read("radio")
+        approved = 0 if radio == 0 else 1
+        yield Write("approved", approved)
+        approved = yield Read("approved")
+        if approved == 1:
+            yield Write("landing", 1)
+
+Supported operations: :class:`Read`, :class:`Write`, :class:`Internal`,
+:class:`Acquire`, :class:`Release`, :class:`Notify`, :class:`Wait`.
+Synchronization ops follow Section 3.1: they act on a lock/condition *shared
+variable* and generate write-weight events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable, Mapping, Optional, Sequence
+
+from ..core.events import VarName
+
+__all__ = [
+    "Op",
+    "Read",
+    "Write",
+    "Internal",
+    "Acquire",
+    "Release",
+    "Notify",
+    "Wait",
+    "Spawn",
+    "Join",
+    "ThreadBody",
+    "Program",
+]
+
+
+class Op:
+    """Base class of operations a thread may yield."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Read(Op):
+    """Read a shared variable; the scheduler sends back its current value."""
+
+    var: VarName
+
+
+@dataclass(frozen=True)
+class Write(Op):
+    """Write a concrete value to a shared variable."""
+
+    var: VarName
+    value: Any
+    # Optional display label for figures (e.g. "landing = 1").
+    label: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Internal(Op):
+    """An event that touches no shared state (the paper's *internal*).
+
+    Internal events never affect the causal order; they exist so workloads
+    can model 'code that is not relevant' (Example 2's ``...``).
+    """
+
+    label: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Acquire(Op):
+    """Block until the lock is free, then take it (a write of the lock var)."""
+
+    lock: VarName
+
+
+@dataclass(frozen=True)
+class Release(Op):
+    """Release a held lock (a write of the lock var)."""
+
+    lock: VarName
+
+
+@dataclass(frozen=True)
+class Notify(Op):
+    """Wake every thread waiting on the condition (writes its dummy var)."""
+
+    cond: VarName
+
+
+@dataclass(frozen=True)
+class Wait(Op):
+    """Block until some thread notifies the condition; on wake-up the waiter
+    writes the condition's dummy variable (Section 3.1)."""
+
+    cond: VarName
+
+
+@dataclass(frozen=True)
+class Spawn(Op):
+    """Create a new thread running ``body`` (paper §2: "dynamically created
+    and/or destroyed" threads; worked out in the authors' [28]).
+
+    The scheduler sends back the child's thread index.  Causality: the spawn
+    generates a write-weight event on a dummy shared variable and the
+    child's first step generates the matching post-spawn write (§3.1's
+    wait/notify treatment), so everything the parent did before the spawn
+    causally precedes everything the child does.
+    """
+
+    body: "ThreadBody"
+
+
+@dataclass(frozen=True)
+class Join(Op):
+    """Block until a dynamically spawned child (by index from :class:`Spawn`)
+    has finished.
+
+    The child's exhaustion emits a write-weight event on an exit dummy
+    variable, and the join emits the matching wake event, installing
+    child-everything ≺ parent-after-join.  Only valid for spawned children
+    (static threads have no exit marker).
+    """
+
+    thread: int
+
+
+# A thread body is a no-argument callable returning the operation generator.
+ThreadBody = Callable[[], Generator[Op, Any, None]]
+
+
+@dataclass
+class Program:
+    """A multithreaded program: initial shared store + one body per thread.
+
+    Attributes:
+        initial: initial values of the shared variables.  Variables written
+            or read by threads must appear here (reading an undeclared
+            variable is an error — it catches workload typos early).
+        threads: thread bodies, index 0..n-1.
+        relevant_vars: default set of specification variables; schedulers use
+            it (via JMPaX's writes-are-relevant rule) unless overridden.
+        name: for reports.
+    """
+
+    initial: Mapping[VarName, Any]
+    threads: Sequence[ThreadBody]
+    relevant_vars: Optional[frozenset] = None
+    name: str = "program"
+    # Locks that should start in the 'held-by-nobody' state; purely
+    # declarative — any Acquire target is implicitly a lock.
+    locks: frozenset = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if not self.threads:
+            raise ValueError("program needs at least one thread")
+        self.initial = dict(self.initial)
+        if self.relevant_vars is not None:
+            self.relevant_vars = frozenset(self.relevant_vars)
+
+    @property
+    def n_threads(self) -> int:
+        return len(self.threads)
+
+    def spawn(self) -> list[Generator[Op, Any, None]]:
+        """Fresh generators for one execution (programs are re-runnable)."""
+        return [body() for body in self.threads]
+
+    def default_relevance_vars(self) -> frozenset:
+        """Specification variables; all store variables if not narrowed."""
+        if self.relevant_vars is not None:
+            return frozenset(self.relevant_vars)
+        return frozenset(self.initial)
+
+
+def straightline(ops: Iterable[Op]) -> ThreadBody:
+    """Build a thread body from a fixed op list (workload generators use
+    this for random programs whose control flow is data-independent)."""
+    ops = tuple(ops)
+
+    def body() -> Generator[Op, Any, None]:
+        for op in ops:
+            yield op
+
+    return body

@@ -1,0 +1,601 @@
+"""Deterministic schedulers over cooperative programs.
+
+``(program, scheduler)`` fully determines an execution, which is what the
+experiments need: exact replay of the paper's observed runs (Figs. 5 and 6),
+seeded random schedules for detection-rate sweeps (E4), and exhaustive
+enumeration of *all* interleavings as ground truth for feasibility of
+predicted runs.
+
+The scheduler executes operations atomically and in a single Python thread,
+so the sequential-consistency assumption of Section 2.1 holds by
+construction.  Every operation is fed to an
+:class:`~repro.core.algorithm_a.AlgorithmA` instance, i.e. the program runs
+*instrumented* exactly as the paper prescribes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterator, Mapping, Optional, Sequence
+
+from ..core.algorithm_a import AlgorithmA, RelevancePredicate, relevant_writes
+from ..core.computation import Computation
+from ..core.events import Event, EventKind, Message, VarName
+from .program import (Acquire, Internal, Join, Notify, Op, Program, Read,
+                      Release, Spawn, Wait, Write)
+
+__all__ = [
+    "ExecutionResult",
+    "DeadlockError",
+    "StepLimitExceeded",
+    "Scheduler",
+    "FixedScheduler",
+    "RoundRobinScheduler",
+    "RandomScheduler",
+    "PCTScheduler",
+    "run_program",
+    "explore_all",
+]
+
+
+class DeadlockError(RuntimeError):
+    """No runnable thread remains but some threads have not finished."""
+
+    def __init__(self, blocked: Mapping[int, str]):
+        self.blocked = dict(blocked)
+        detail = ", ".join(f"T{t + 1}: {why}" for t, why in sorted(self.blocked.items()))
+        super().__init__(f"deadlock — all live threads blocked ({detail})")
+
+
+class StepLimitExceeded(RuntimeError):
+    """The execution did not terminate within ``max_steps`` operations."""
+
+
+@dataclass
+class ExecutionResult:
+    """Everything recorded about one instrumented execution."""
+
+    program_name: str
+    n_threads: int
+    #: All events in execution (total) order, including irrelevant ones.
+    events: list[Event]
+    #: Messages emitted by Algorithm A (relevant events only), emission order.
+    messages: list[Message]
+    #: Thread index chosen at each step (the schedule actually realized).
+    schedule: list[int]
+    #: Final shared store.
+    final_store: dict[VarName, Any]
+    #: Initial shared store (for state reconstruction).
+    initial_store: dict[VarName, Any]
+    #: The instrumentation state, for clock introspection in tests.
+    algorithm: AlgorithmA = field(repr=False, default=None)
+
+    def computation(self) -> Computation:
+        """Ground-truth causal partial order of this execution (§2.2)."""
+        return Computation(self.events)
+
+    def state_sequence(self, variables: Sequence[VarName]) -> list[tuple]:
+        """Global states over ``variables`` along the *observed* run: the
+        initial state followed by the state after each write of one of them.
+
+        This is the flat view a JPaX-style single-trace checker sees.
+        """
+        store = dict(self.initial_store)
+        out = [tuple(store[v] for v in variables)]
+        for e in self.events:
+            if e.kind.is_write and e.var in set(variables):
+                store[e.var] = e.value
+                out.append(tuple(store[v] for v in variables))
+        return out
+
+    def relevant_state_sequence(self, variables: Sequence[VarName]) -> list[tuple]:
+        """States after each *relevant* event (what the observer's own copy
+        of the observed run looks like)."""
+        store = dict(self.initial_store)
+        out = [tuple(store[v] for v in variables)]
+        for m in self.messages:
+            e = m.event
+            if e.kind.is_write and e.var in set(variables):
+                store[e.var] = e.value
+            out.append(tuple(store[v] for v in variables))
+        return out
+
+
+class Scheduler:
+    """Base class: picks which runnable thread advances at each step."""
+
+    def pick(self, runnable: Sequence[int], step: int) -> int:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Called at the start of each execution (stateful schedulers)."""
+
+
+class FixedScheduler(Scheduler):
+    """Replays an explicit choice sequence, then falls back deterministically.
+
+    Used for exact figure replays and as the workhorse of
+    :func:`explore_all`.  If a prescribed choice is not runnable at its step,
+    a ``ValueError`` is raised (the schedule is infeasible) unless
+    ``strict=False``, in which case the fallback rule applies.
+    """
+
+    def __init__(self, choices: Sequence[int], strict: bool = True):
+        self._choices = list(choices)
+        self._strict = strict
+
+    def pick(self, runnable: Sequence[int], step: int) -> int:
+        if step < len(self._choices):
+            want = self._choices[step]
+            if want in runnable:
+                return want
+            if self._strict:
+                raise ValueError(
+                    f"schedule infeasible: step {step} wants T{want + 1}, "
+                    f"runnable = {[t + 1 for t in runnable]}"
+                )
+        return runnable[0]
+
+
+class RoundRobinScheduler(Scheduler):
+    """Cycles through threads, giving each ``quantum`` consecutive steps."""
+
+    def __init__(self, quantum: int = 1):
+        if quantum < 1:
+            raise ValueError("quantum must be >= 1")
+        self._quantum = quantum
+        self._current = 0
+        self._used = 0
+
+    def reset(self) -> None:
+        self._current = 0
+        self._used = 0
+
+    def pick(self, runnable: Sequence[int], step: int) -> int:
+        if self._current in runnable and self._used < self._quantum:
+            self._used += 1
+            return self._current
+        # rotate to the next runnable thread after _current
+        candidates = sorted(runnable)
+        nxt = next((t for t in candidates if t > self._current), candidates[0])
+        self._current = nxt
+        self._used = 1
+        return nxt
+
+
+class RandomScheduler(Scheduler):
+    """Uniformly random runnable thread at each step, from a seeded RNG.
+
+    Models an adversarial/unknown JVM scheduler while staying reproducible.
+    """
+
+    def __init__(self, seed: int = 0):
+        import random
+
+        self._seed = seed
+        self._rng = random.Random(seed)
+
+    def reset(self) -> None:
+        import random
+
+        self._rng = random.Random(self._seed)
+
+    def pick(self, runnable: Sequence[int], step: int) -> int:
+        return self._rng.choice(list(runnable))
+
+
+class PCTScheduler(Scheduler):
+    """Probabilistic Concurrency Testing (Burckhardt et al., ASPLOS'10).
+
+    Threads get random distinct priorities; the scheduler always runs the
+    highest-priority runnable thread, except at ``depth - 1`` pre-chosen
+    step indices where the running thread's priority drops below everyone
+    else's.  For a bug of *depth* d (d ordering constraints needed to
+    trigger it), one run finds it with probability >= 1/(n · k^(d-1)) —
+    often far better than uniform random scheduling at flushing out rare
+    interleavings, which makes it a natural extra baseline for experiment
+    E4's detection-rate comparisons.
+
+    Args:
+        seed: RNG seed (priorities and change points are drawn from it).
+        depth: bug depth d; ``depth - 1`` priority change points are used.
+        expected_steps: estimated execution length k, the range from which
+            change points are drawn.
+    """
+
+    def __init__(self, seed: int = 0, depth: int = 2, expected_steps: int = 64):
+        import random
+
+        if depth < 1:
+            raise ValueError("depth must be >= 1")
+        if expected_steps < 1:
+            raise ValueError("expected_steps must be >= 1")
+        self._seed = seed
+        self._depth = depth
+        self._k = expected_steps
+        self.reset()
+
+    def reset(self) -> None:
+        import random
+
+        self._rng = random.Random(self._seed)
+        # Priorities are assigned lazily, high to low, as threads appear.
+        self._priorities: dict[int, float] = {}
+        self._change_points = sorted(
+            self._rng.sample(range(self._k), min(self._depth - 1, self._k))
+        )
+        self._low_counter = 0.0
+
+    def _priority(self, thread: int) -> float:
+        p = self._priorities.get(thread)
+        if p is None:
+            p = self._rng.random() + 1.0  # initial priorities in (1, 2)
+            self._priorities[thread] = p
+        return p
+
+    def pick(self, runnable: Sequence[int], step: int) -> int:
+        chosen = max(runnable, key=self._priority)
+        if self._change_points and step == self._change_points[0]:
+            self._change_points.pop(0)
+            # demote below every priority ever assigned
+            self._low_counter -= 1.0
+            self._priorities[chosen] = self._low_counter
+            chosen = max(runnable, key=self._priority)
+        return chosen
+
+
+@dataclass
+class _ThreadState:
+    """Per-thread scheduler state with *op prefetching*.
+
+    The next operation a thread will perform is fetched eagerly (the
+    generator is advanced right after the previous op executes), so the
+    scheduler always knows whether a thread has more work, whether its next
+    op is a blocked Acquire, etc.  One scheduling step == one event, and
+    generator exhaustion costs no step — which keeps interleaving counts
+    exact (``explore_all`` relies on this).
+    """
+
+    gen: Generator[Op, Any, None]
+    next_op: Optional[Op] = None  # prefetched op; None while waiting/finished
+    finished: bool = False
+    waiting_on: Optional[VarName] = None  # condition being waited on
+    woken: bool = False  # notified; must emit WAKE on next schedule
+    primed: bool = False  # generator advanced at least once
+    spawned: bool = False  # dynamically created via Spawn (emits exit marker)
+
+
+def run_program(
+    program: Program,
+    scheduler: Scheduler,
+    relevance: Optional[RelevancePredicate] = None,
+    max_steps: int = 100_000,
+    sink: Optional[Callable[[Message], None]] = None,
+    record_choices: Optional[list[tuple[tuple[int, ...], int]]] = None,
+    sync_only_clocks: bool = False,
+) -> ExecutionResult:
+    """Execute ``program`` under ``scheduler`` with Algorithm A attached.
+
+    Args:
+        relevance: Algorithm A's relevant-set predicate; defaults to JMPaX's
+            rule over ``program.default_relevance_vars()``.
+        max_steps: guard against non-terminating interleavings.
+        sink: streamed to the observer as messages are emitted (online mode).
+        record_choices: if given, appends ``(runnable_tuple, chosen)`` per
+            step — the hook :func:`explore_all` uses to branch.
+
+    Raises:
+        DeadlockError: if all unfinished threads are blocked (this is itself
+            a reportable analysis outcome; see ``analysis`` tests).
+        StepLimitExceeded: if the execution exceeds ``max_steps``.
+    """
+    scheduler.reset()
+    if relevance is None:
+        relevance = relevant_writes(program.default_relevance_vars())
+    algo = AlgorithmA(
+        program.n_threads,
+        relevance=relevance,
+        sink=sink,
+        dynamic_threads=True,  # Spawn ops may add threads mid-run
+        sync_only_clocks=sync_only_clocks,
+    )
+
+    store: dict[VarName, Any] = dict(program.initial)
+    lock_owner: dict[VarName, Optional[int]] = {}
+    # Pending notifications per condition.  Notify credits are *sticky*
+    # (semaphore-like): a Wait that arrives after the Notify still proceeds.
+    # This deliberately deviates from Java's lost-notification semantics so
+    # that workloads terminate deterministically; the §3.1 MVC treatment
+    # (write before notify, write after wake) is unaffected.
+    notify_credits: dict[VarName, int] = {}
+    threads = [_ThreadState(gen=g) for g in program.spawn()]
+    events: list[Event] = []
+    schedule: list[int] = []
+
+    def record(msg_kind: EventKind, thread: int, var=None, value=None, label=None) -> None:
+        msg = algo.process(thread, msg_kind, var, value, label)
+        events.append(
+            Event(
+                thread=thread,
+                seq=algo.events_of(thread),
+                kind=msg_kind,
+                var=var if msg_kind.is_access else None,
+                value=value,
+                relevant=msg is not None,
+                label=label,
+            )
+        )
+
+    def prefetch(i: int, send_value: Any, first: bool = False) -> None:
+        """Advance the generator to its next yield; mark finished on return.
+
+        Code between yields touches no shared state (that is the contract of
+        the Op protocol), so running it eagerly is unobservable.
+        """
+        ts = threads[i]
+        first = first or not ts.primed
+        ts.primed = True
+        try:
+            op = next(ts.gen) if first else ts.gen.send(send_value)
+        except StopIteration:
+            ts.next_op = None
+            ts.finished = True
+            if ts.spawned:
+                # Exit marker: write-weight event on the exit dummy so a
+                # parent's Join happens-after everything the child did.
+                record(EventKind.NOTIFY, i, var=f"__exit:{i}",
+                       label=f"exit(T{i + 1})")
+            return
+        if isinstance(op, Wait):
+            # Entering a wait generates no event, so it is not a schedulable
+            # step: the thread blocks immediately; its wake step emits the
+            # §3.1 WAKE write and resumes it.
+            ts.waiting_on = op.cond
+            ts.next_op = None
+        else:
+            ts.next_op = op
+
+    def runnable_threads() -> list[int]:
+        out = []
+        for i, ts in enumerate(threads):
+            if ts.finished:
+                continue
+            if ts.waiting_on is not None:
+                if ts.woken or notify_credits.get(ts.waiting_on, 0) > 0:
+                    out.append(i)
+                continue
+            op = ts.next_op
+            if isinstance(op, Acquire):
+                owner = lock_owner.get(op.lock)
+                if owner is not None and owner != i:
+                    continue  # blocked; owner == i falls through to raise
+            elif isinstance(op, Join):
+                if not (0 <= op.thread < len(threads)):
+                    out.append(i)  # let advance raise a clear error
+                elif not threads[op.thread].finished:
+                    continue  # blocked on the child
+            out.append(i)
+        return out
+
+    def advance(i: int) -> None:
+        ts = threads[i]
+        # A woken waiter's step emits the post-notification write (§3.1).
+        if ts.waiting_on is not None:
+            cond = ts.waiting_on
+            if not ts.woken:
+                # Runnable only because a sticky notify credit is available.
+                notify_credits[cond] -= 1
+            ts.woken = False
+            ts.waiting_on = None
+            record(EventKind.WAKE, i, var=cond, label=f"wake({cond})")
+            prefetch(i, None)
+            return
+        op = ts.next_op
+        if isinstance(op, Read):
+            if op.var not in store:
+                raise KeyError(
+                    f"T{i + 1} read of undeclared shared variable {op.var!r}"
+                )
+            value = store[op.var]
+            record(EventKind.READ, i, var=op.var, value=value)
+            prefetch(i, value)
+        elif isinstance(op, Write):
+            if op.var not in store:
+                raise KeyError(
+                    f"T{i + 1} write of undeclared shared variable {op.var!r}"
+                )
+            store[op.var] = op.value
+            record(EventKind.WRITE, i, var=op.var, value=op.value,
+                   label=op.label or f"{op.var}={op.value!r}")
+            prefetch(i, None)
+        elif isinstance(op, Internal):
+            record(EventKind.INTERNAL, i, label=op.label)
+            prefetch(i, None)
+        elif isinstance(op, Acquire):
+            owner = lock_owner.get(op.lock)
+            if owner == i:
+                raise RuntimeError(f"T{i + 1} re-acquiring held lock {op.lock!r}")
+            assert owner is None, "scheduler picked a blocked thread"
+            lock_owner[op.lock] = i
+            record(EventKind.ACQUIRE, i, var=op.lock, label=f"acquire({op.lock})")
+            prefetch(i, None)
+        elif isinstance(op, Release):
+            if lock_owner.get(op.lock) != i:
+                raise RuntimeError(
+                    f"T{i + 1} releasing lock {op.lock!r} it does not hold"
+                )
+            lock_owner[op.lock] = None
+            record(EventKind.RELEASE, i, var=op.lock, label=f"release({op.lock})")
+            prefetch(i, None)
+        elif isinstance(op, Notify):
+            # notifyAll semantics on current waiters; if none, bank a sticky
+            # credit so a later Wait proceeds (see notify_credits above).
+            record(EventKind.NOTIFY, i, var=op.cond, label=f"notify({op.cond})")
+            woke_any = False
+            for other in threads:
+                if other.waiting_on == op.cond and not other.woken:
+                    other.woken = True
+                    woke_any = True
+            if not woke_any:
+                notify_credits[op.cond] = notify_credits.get(op.cond, 0) + 1
+            prefetch(i, None)
+        elif isinstance(op, Spawn):
+            child = len(threads)
+            record(EventKind.NOTIFY, i, var=f"__spawn:{child}",
+                   label=f"spawn(T{child + 1})")
+            # The child starts life 'woken' on the spawn dummy: its first
+            # scheduled step emits the matching WAKE (post-spawn write,
+            # §3.1 treatment) and then prefetches its first op.
+            threads.append(_ThreadState(
+                gen=op.body(),
+                waiting_on=f"__spawn:{child}",
+                woken=True,
+                spawned=True,
+            ))
+            prefetch(i, child)  # the parent receives the child's index
+        elif isinstance(op, Join):
+            if not (0 <= op.thread < len(threads)):
+                raise ValueError(f"T{i + 1} joining unknown thread {op.thread}")
+            target = threads[op.thread]
+            if not target.spawned:
+                raise ValueError(
+                    f"T{i + 1} joining static thread {op.thread}; only "
+                    f"Spawn-created threads have exit markers"
+                )
+            assert target.finished, "scheduler picked a blocked Join"
+            record(EventKind.WAKE, i, var=f"__exit:{op.thread}",
+                   label=f"join(T{op.thread + 1})")
+            prefetch(i, None)
+        else:  # pragma: no cover - Wait is consumed in prefetch
+            raise TypeError(f"unknown operation {op!r}")
+
+    for i in range(len(threads)):
+        prefetch(i, None, first=True)
+
+    steps = 0
+    while True:
+        runnable = runnable_threads()
+        if not runnable:
+            if all(ts.finished for ts in threads):
+                break
+            blocked = {}
+            for i, ts in enumerate(threads):
+                if ts.finished:
+                    continue
+                if ts.waiting_on is not None:
+                    blocked[i] = f"waiting on {ts.waiting_on!r}"
+                elif isinstance(ts.next_op, Acquire):
+                    lock = ts.next_op.lock
+                    blocked[i] = (
+                        f"acquire({lock!r}) held by T{lock_owner.get(lock, -1) + 1}"
+                    )
+                elif isinstance(ts.next_op, Join):
+                    blocked[i] = f"join(T{ts.next_op.thread + 1})"
+
+                else:  # pragma: no cover - cannot happen
+                    blocked[i] = "unknown"
+            raise DeadlockError(blocked)
+        if steps >= max_steps:
+            raise StepLimitExceeded(
+                f"{program.name}: exceeded {max_steps} steps "
+                f"(livelock or max_steps too small)"
+            )
+        chosen = scheduler.pick(runnable, steps)
+        if chosen not in runnable:
+            raise ValueError(
+                f"scheduler picked non-runnable thread T{chosen + 1} at step {steps}"
+            )
+        if record_choices is not None:
+            record_choices.append((tuple(runnable), chosen))
+        schedule.append(chosen)
+        advance(chosen)
+        steps += 1
+
+    final_n = len(threads)
+    return ExecutionResult(
+        program_name=program.name,
+        n_threads=final_n,
+        events=events,
+        messages=_pad_clocks(algo.emitted, final_n),
+        schedule=schedule,
+        final_store=store,
+        initial_store=dict(program.initial),
+        algorithm=algo,
+    )
+
+
+def _pad_clocks(messages: list[Message], width: int) -> list[Message]:
+    """Pad message clocks to the final thread count.
+
+    Threads created mid-run (Spawn) make earlier messages narrower than the
+    final MVC width; zero components carry exactly "no knowledge of that
+    thread", so padding preserves the Theorem 3 order while letting fixed-
+    width observer structures (CausalityIndex, lattices) ingest the stream.
+    """
+    out: list[Message] = []
+    for m in messages:
+        if m.clock.width == width:
+            out.append(m)
+        else:
+            from ..core.vectorclock import VectorClock
+
+            padded = VectorClock(
+                tuple(m.clock) + (0,) * (width - m.clock.width)
+            )
+            out.append(Message(event=m.event, thread=m.thread, clock=padded,
+                               emit_index=m.emit_index))
+    return out
+
+
+def explore_all(
+    program: Program,
+    relevance: Optional[RelevancePredicate] = None,
+    max_executions: int = 100_000,
+    max_steps: int = 10_000,
+) -> Iterator[ExecutionResult]:
+    """Enumerate every interleaving of ``program`` (depth-first, no revisits).
+
+    Standard stateless search: each execution is replayed from scratch under
+    a :class:`FixedScheduler` prefix; at every step the set of runnable
+    threads is recorded, and unexplored siblings are pushed as new prefixes.
+    The number of executions is exponential in concurrency width — callers
+    bound it with ``max_executions``.
+
+    This gives the reproduction something the paper's authors could not get
+    mechanically: *ground truth* on which multithreaded runs are actually
+    feasible, against which the lattice's predicted runs are validated.
+
+    Yields executions in depth-first order; the first one is the
+    all-lowest-thread-first interleaving.
+    """
+    pending: list[list[int]] = [[]]
+    produced = 0
+    while pending:
+        prefix = pending.pop()
+        choices: list[tuple[tuple[int, ...], int]] = []
+        try:
+            result = run_program(
+                program,
+                FixedScheduler(prefix, strict=True),
+                relevance=relevance,
+                max_steps=max_steps,
+                record_choices=choices,
+            )
+        except DeadlockError:
+            # Deadlocked interleavings are not yielded, but the choice trace
+            # recorded up to the deadlock still drives sibling branching.
+            result = None
+        # Branch on every decision point at or after the prefix, trying
+        # alternatives *larger* than the chosen thread (chosen is always the
+        # smallest runnable beyond the prefix, so this enumerates each node
+        # exactly once).
+        for depth in range(len(choices) - 1, len(prefix) - 1, -1):
+            runnable, chosen = choices[depth]
+            for alt in runnable:
+                if alt > chosen:
+                    pending.append([c for _, c in choices[:depth]] + [alt])
+        if result is not None:
+            produced += 1
+            yield result
+            if produced >= max_executions:
+                return

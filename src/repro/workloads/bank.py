@@ -1,0 +1,79 @@
+"""Bank-account workload: an auditor racing a transfer.
+
+Thread 1 transfers money from ``a`` to ``b`` (two writes with latency in
+between, so conservation ``a + b == total`` is transiently broken *inside*
+the transfer).  Thread 2 is an auditor that snapshots the books and raises
+the ``audited`` flag.  The monitored property anchors conservation at the
+moment of audit::
+
+    start(audited == 1) -> a + b == 100
+
+If the observed execution audited *before* the transfer, the audit flag has
+no causal dependency on the transfer's writes (the auditor's reads precede
+them), so the computation lattice contains runs in which the audit lands
+mid-transfer — a predicted violation, exactly the landing-controller pattern
+with money instead of radios.  The locked variant orders the audit with the
+whole transfer and predicts clean (experiment E8's pattern).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Sequence
+
+from ..sched.program import Acquire, Internal, Op, Program, Read, Release, Write
+
+__all__ = ["transfer_program", "AUDIT_PROPERTY", "CONSERVATION_PROPERTY"]
+
+#: Conservation anchored at the audit instant (the predictable property).
+AUDIT_PROPERTY = "start(audited == 1) -> a + b == 100"
+
+#: Raw transient conservation — violated inside any transfer, even serial
+#: runs; kept for tests that need an always-violated property.
+CONSERVATION_PROPERTY = "a + b == 100"
+
+
+def transfer_program(
+    amounts: Sequence[int] = (30,),
+    locked: bool = False,
+    initial_a: int = 60,
+    initial_b: int = 40,
+) -> Program:
+    """Build the transfer+auditor program.
+
+    Args:
+        amounts: one transfer ``a -> b`` per entry.
+        locked: protect both the transfer and the audit with one lock;
+            the audit can then never land mid-transfer in *any* run.
+    """
+
+    def transferrer() -> Generator[Op, Any, None]:
+        for amt in amounts:
+            if locked:
+                yield Acquire("lock")
+            s = yield Read("a")
+            yield Write("a", s - amt, label=f"a-={amt}")
+            yield Internal(label="latency")
+            d = yield Read("b")
+            yield Write("b", d + amt, label=f"b+={amt}")
+            if locked:
+                yield Release("lock")
+
+    def auditor() -> Generator[Op, Any, None]:
+        if locked:
+            yield Acquire("lock")
+        yield Read("a")
+        yield Read("b")
+        yield Write("audited", 1, label="audited=1")
+        if locked:
+            yield Release("lock")
+
+    initial = {"a": initial_a, "b": initial_b, "audited": 0}
+    if locked:
+        initial["lock"] = 0
+    return Program(
+        initial=initial,
+        threads=[transferrer, auditor],
+        relevant_vars=frozenset({"a", "b", "audited"}),
+        name=f"bank-{'locked' if locked else 'racy'}",
+        locks=frozenset({"lock"}) if locked else frozenset(),
+    )

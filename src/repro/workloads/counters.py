@@ -1,0 +1,98 @@
+"""Counter workloads: data races and lock-protected variants.
+
+These exercise the classic use of happens-before analysis (the paper's §1
+motivates data races as a target bug class) and experiment E8: modeling lock
+operations as writes of the lock's shared variable (§3.1) must prune all
+runs that interleave critical sections.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..sched.program import Acquire, Internal, Op, Program, Read, Release, Write
+
+__all__ = ["racy_counter", "locked_counter", "peterson_like"]
+
+
+def racy_counter(n_threads: int = 2, increments: int = 1) -> Program:
+    """Each thread performs ``increments`` unprotected ``c++`` updates.
+
+    The read and the write of each increment are separate events, so
+    schedules exist that lose updates — and *every* pair of accesses from
+    different threads with one write is a data race.
+    """
+    if n_threads < 1 or increments < 1:
+        raise ValueError("need at least one thread and one increment")
+
+    def make_body() -> Any:
+        def body() -> Generator[Op, Any, None]:
+            for _ in range(increments):
+                c = yield Read("c")
+                yield Write("c", c + 1)
+
+        return body
+
+    return Program(
+        initial={"c": 0},
+        threads=[make_body() for _ in range(n_threads)],
+        relevant_vars=frozenset({"c"}),
+        name=f"racy-counter-{n_threads}x{increments}",
+    )
+
+
+def locked_counter(n_threads: int = 2, increments: int = 1) -> Program:
+    """The same counter with each increment inside ``lock``-protected
+    critical sections; the lattice must contain no lost-update run (E8)."""
+    if n_threads < 1 or increments < 1:
+        raise ValueError("need at least one thread and one increment")
+
+    def make_body() -> Any:
+        def body() -> Generator[Op, Any, None]:
+            for _ in range(increments):
+                yield Acquire("lock")
+                c = yield Read("c")
+                yield Write("c", c + 1)
+                yield Release("lock")
+
+        return body
+
+    return Program(
+        initial={"c": 0, "lock": 0},
+        threads=[make_body() for _ in range(n_threads)],
+        relevant_vars=frozenset({"c"}),
+        name=f"locked-counter-{n_threads}x{increments}",
+        locks=frozenset({"lock"}),
+    )
+
+
+def peterson_like(busy_steps: int = 1) -> Program:
+    """A flag-based handshake whose safety property ("never both in the
+    critical section") holds on polite schedules but is violated on others —
+    a liveness/safety playground for the predictive analyzer.
+
+    Thread i sets ``flag_i = 1``, does some internal work, checks the other
+    flag, and enters the critical section (``in_cs = i + 1``) only if the
+    other flag is clear, then leaves (``in_cs = 0``).  This protocol is
+    deliberately broken (check-then-act race on the flags).
+    """
+
+    def make_body(me: int, other: int) -> Any:
+        def body() -> Generator[Op, Any, None]:
+            yield Write(f"flag{me}", 1)
+            for _ in range(busy_steps):
+                yield Internal(label="busy")
+            other_flag = yield Read(f"flag{other}")
+            if other_flag == 0:
+                yield Write("in_cs", me + 1, label=f"enter cs T{me + 1}")
+                yield Write("in_cs", 0, label=f"leave cs T{me + 1}")
+            yield Write(f"flag{me}", 0)
+
+        return body
+
+    return Program(
+        initial={"flag0": 0, "flag1": 0, "in_cs": 0},
+        threads=[make_body(0, 1), make_body(1, 0)],
+        relevant_vars=frozenset({"flag0", "flag1", "in_cs"}),
+        name="peterson-like",
+    )

@@ -1,0 +1,96 @@
+"""The flight-controller workload (paper Fig. 1, Example 1, Fig. 5).
+
+A two-threaded landing controller with shared variables ``landing``,
+``approved`` and ``radio``::
+
+    int landing = 0, approved = 0, radio = 1;
+    void thread1() {
+        askLandingApproval();            // if (radio==0) approved=0 else approved=1
+        if (approved == 1) { landing = 1; }
+    }
+    void thread2() {
+        while (radio) { checkRadio(); }  // checkRadio possibly clears radio
+    }
+
+The safety property (Example 1): *"If the plane has started landing, then it
+is the case that landing has been approved and since the approval the radio
+signal has never been down"* — in this library's spec language::
+
+    start(landing == 1) -> [approved == 1, radio == 0)
+
+The paper's observed (successful) execution has the radio go down *after*
+landing has started; it emits exactly three relevant events — ``approved=1``,
+``landing=1``, ``radio=0`` — from which JMPaX builds the six-state lattice of
+Fig. 5 and predicts two violating runs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..sched.program import Internal, Op, Program, Read, Write
+
+__all__ = [
+    "landing_controller",
+    "LANDING_PROPERTY",
+    "LANDING_VARS",
+    "OBSERVED_SCHEDULE",
+]
+
+#: Relevant variables, in the display order of Fig. 5's state triples.
+LANDING_VARS = ("landing", "approved", "radio")
+
+#: The Example 1 property in the spec language of :mod:`repro.logic`.
+LANDING_PROPERTY = "start(landing == 1) -> [approved == 1, radio == 0)"
+
+
+def landing_controller(radio_down_iteration: int = 1, max_radio_checks: int = 4) -> Program:
+    """Build the Fig. 1 program.
+
+    Args:
+        radio_down_iteration: on which ``checkRadio`` call (0-based) thread 2
+            clears the radio signal.  The default models the paper's
+            scenario where the radio *does* eventually go down.
+        max_radio_checks: loop bound for thread 2 (keeps exhaustive
+            exploration finite; the radio is forced down at the bound).
+    """
+    if radio_down_iteration >= max_radio_checks:
+        raise ValueError("radio_down_iteration must be < max_radio_checks")
+
+    def thread1() -> Generator[Op, Any, None]:
+        # askLandingApproval(): if (radio == 0) approved = 0 else approved = 1
+        radio = yield Read("radio")
+        if radio == 0:
+            yield Write("approved", 0, label="approved=0")
+        else:
+            yield Write("approved", 1, label="approved=1")
+        approved = yield Read("approved")
+        if approved == 1:
+            yield Write("landing", 1, label="landing=1")
+        else:
+            yield Internal(label="landing not approved")
+
+    def thread2() -> Generator[Op, Any, None]:
+        # while (radio) { checkRadio(); }
+        for i in range(max_radio_checks):
+            radio = yield Read("radio")
+            if radio == 0:
+                return
+            if i == radio_down_iteration:
+                yield Write("radio", 0, label="radio=0")  # checkRadio clears it
+            else:
+                yield Internal(label="checkRadio")
+
+    return Program(
+        initial={"landing": 0, "approved": 0, "radio": 1},
+        threads=[thread1, thread2],
+        relevant_vars=frozenset(LANDING_VARS),
+        name="landing-controller",
+    )
+
+
+#: Thread choices realizing the paper's observed execution: thread 1 obtains
+#: approval and starts landing, *then* thread 2's checkRadio clears the radio.
+#: With ``radio_down_iteration=1``: T2 reads radio once (iteration 0 internal),
+#: reads again, clears it, reads 0 and exits.
+OBSERVED_SCHEDULE = [0, 0, 0, 0, 1, 1, 1, 1, 1]

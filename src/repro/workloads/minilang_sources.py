@@ -1,0 +1,91 @@
+"""The bundled workloads as MiniLang source text.
+
+Having the same programs both as hand-built generators
+(:mod:`repro.workloads`) and as compilable source gives the test-suite a
+strong cross-validation axis: the compiled programs must produce the same
+events, messages, and clocks as the native ones under the same schedules.
+They also serve as ready-made inputs for ``python -m repro run``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["LANDING_SOURCE", "XYZ_SOURCE", "PHILOSOPHERS_SOURCE", "POOL_SOURCE"]
+
+#: Paper Fig. 1 (the landing controller); watchdog drops the radio on its
+#: second check, mirroring ``landing_controller(radio_down_iteration=1)``.
+LANDING_SOURCE = """
+shared int landing = 0, approved = 0, radio = 1;
+
+thread controller {
+    // askLandingApproval()
+    if (radio == 0) { approved = 0; } else { approved = 1; }
+    if (approved == 1) {
+        landing = 1;
+    }
+}
+
+thread watchdog {
+    local int i = 0;
+    local int go = 1;
+    while (go == 1 && i < 4) {
+        local int r = 0;
+        r = radio;
+        if (r == 0) { go = 0; } else {
+            if (i == 1) { radio = 0; } else { skip; }
+            i = i + 1;
+        }
+    }
+}
+"""
+
+#: Paper Example 2: x++ ; ... ; y = x + 1  ‖  z = x + 1 ; ... ; x++ .
+XYZ_SOURCE = """
+shared int x = -1, y = 0, z = 0;
+
+thread t1 {
+    x = x + 1;      // x++
+    skip;           // ...
+    y = x + 1;
+}
+
+thread t2 {
+    z = x + 1;
+    skip;           // ...
+    x = x + 1;      // x++
+}
+"""
+
+#: Four dining philosophers, naive fork order (deadlock predicted).
+PHILOSOPHERS_SOURCE = """
+shared int meals = 0;
+
+thread p0 { lock(fork0); skip; lock(fork1); meals = meals + 1;
+            unlock(fork1); unlock(fork0); }
+thread p1 { lock(fork1); skip; lock(fork2); meals = meals + 1;
+            unlock(fork2); unlock(fork1); }
+thread p2 { lock(fork2); skip; lock(fork3); meals = meals + 1;
+            unlock(fork3); unlock(fork2); }
+thread p3 { lock(fork3); skip; lock(fork0); meals = meals + 1;
+            unlock(fork0); unlock(fork3); }
+"""
+
+#: A spawn/join worker pool (the §2 dynamic-thread extension).
+POOL_SOURCE = """
+shared int total = 0, done = 0;
+
+worker adder {
+    lock(m);
+    total = total + 1;
+    unlock(m);
+}
+
+thread main {
+    spawn adder;
+    spawn adder;
+    spawn adder;
+    join adder;
+    join adder;
+    join adder;
+    done = 1;
+}
+"""

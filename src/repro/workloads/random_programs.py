@@ -1,0 +1,101 @@
+"""Random straightline program generation for property tests and benchmarks.
+
+The generated thread bodies are *straightline* (control flow independent of
+data): this guarantees that every linear extension of the computation is an
+actually-executable run of the program, so ground-truth comparisons between
+the lattice and :func:`repro.sched.scheduler.explore_all` are exact — the
+setting in which the paper's prediction is *precise* rather than merely
+conservative.
+
+All randomness flows through an explicit ``random.Random`` instance; nothing
+here touches global RNG state (reproducibility rule from DESIGN.md §5).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..sched.program import Internal, Op, Program, Read, Write, straightline
+
+__all__ = ["random_program", "random_execution_specs"]
+
+
+def random_program(
+    rng: random.Random,
+    n_threads: int = 2,
+    n_vars: int = 3,
+    ops_per_thread: int = 5,
+    write_ratio: float = 0.4,
+    internal_ratio: float = 0.2,
+    relevant_subset: Optional[int] = None,
+    name: str = "random",
+) -> Program:
+    """Generate a random straightline multithreaded program.
+
+    Args:
+        rng: seeded random source.
+        n_threads: number of threads.
+        n_vars: shared variables ``v0 .. v{n_vars-1}``, all initialized to 0.
+        ops_per_thread: events per thread.
+        write_ratio: probability an op is a write (else read, subject to
+            ``internal_ratio``).
+        internal_ratio: probability an op is internal.
+        relevant_subset: if given, only the first ``relevant_subset``
+            variables are specification-relevant (exercises §2.3's point that
+            irrelevant variables still shape the causal order).
+    """
+    if n_threads < 1 or n_vars < 1 or ops_per_thread < 0:
+        raise ValueError("invalid random program shape")
+    if not 0 <= write_ratio <= 1 or not 0 <= internal_ratio <= 1:
+        raise ValueError("ratios must be within [0, 1]")
+    variables = [f"v{i}" for i in range(n_vars)]
+    bodies = []
+    counter = 0
+    for _t in range(n_threads):
+        ops: list[Op] = []
+        for _k in range(ops_per_thread):
+            u = rng.random()
+            if u < internal_ratio:
+                ops.append(Internal())
+            elif u < internal_ratio + (1 - internal_ratio) * write_ratio:
+                counter += 1
+                ops.append(Write(rng.choice(variables), counter))
+            else:
+                ops.append(Read(rng.choice(variables)))
+        bodies.append(straightline(ops))
+    rel = variables if relevant_subset is None else variables[:relevant_subset]
+    return Program(
+        initial={v: 0 for v in variables},
+        threads=bodies,
+        relevant_vars=frozenset(rel),
+        name=name,
+    )
+
+
+def random_execution_specs(
+    rng: random.Random,
+    n_threads: int = 2,
+    n_vars: int = 3,
+    n_events: int = 12,
+    write_ratio: float = 0.4,
+    internal_ratio: float = 0.2,
+) -> list[tuple]:
+    """Random event-spec tuples for :func:`repro.core.computation.execution_from_specs`.
+
+    Unlike :func:`random_program` this draws a single interleaved sequence
+    directly — cheaper when only the core algorithms (no scheduler) are under
+    test.
+    """
+    variables = [f"v{i}" for i in range(n_vars)]
+    specs: list[tuple] = []
+    for k in range(n_events):
+        t = rng.randrange(n_threads)
+        u = rng.random()
+        if u < internal_ratio:
+            specs.append((t, "i", None))
+        elif u < internal_ratio + (1 - internal_ratio) * write_ratio:
+            specs.append((t, "w", rng.choice(variables), k))
+        else:
+            specs.append((t, "r", rng.choice(variables)))
+    return specs

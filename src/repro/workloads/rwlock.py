@@ -1,0 +1,114 @@
+"""Readers-writer and barrier workloads.
+
+Two classic synchronization patterns built from the primitive ops, used to
+exercise the analyses on realistic shapes:
+
+* :func:`readers_writer` — a counting readers-writer lock: readers bump a
+  reader count under a mutex and writers take the mutex for the whole
+  write.  The *buggy* variant omits the mutex around the reader count,
+  producing both data races and predicted invariant violations.
+* :func:`barrier_program` — a sense-reversing-ish single-use barrier: every
+  thread increments ``arrived`` under a lock and the last one notifies; the
+  property "nobody proceeds before everyone arrived" holds in every
+  consistent run.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..sched.program import (
+    Acquire,
+    Internal,
+    Notify,
+    Op,
+    Program,
+    Read,
+    Release,
+    Wait,
+    Write,
+)
+
+__all__ = ["readers_writer", "barrier_program", "RW_PROPERTY"]
+
+#: A reader must never observe a torn write: data is written as two halves
+#: (lo, hi) that must agree at the instant a read completes.
+RW_PROPERTY = "start(observed == 1) -> lo == hi"
+
+
+def readers_writer(
+    n_readers: int = 1,
+    writes: int = 2,
+    safe: bool = True,
+) -> Program:
+    """One writer updating a two-part value; readers snapshotting it.
+
+    The writer stores ``value`` as two shared halves ``lo``/``hi`` that must
+    always agree when observed.  With ``safe=True`` both sides use the
+    mutex; with ``safe=False`` the reader skips it, so the lattice contains
+    runs in which the reader observes a torn (half-updated) value — a
+    predicted violation of :data:`RW_PROPERTY` from a clean run.
+    """
+
+    def writer() -> Generator[Op, Any, None]:
+        for k in range(1, writes + 1):
+            yield Acquire("mutex")
+            yield Write("lo", k, label=f"lo={k}")
+            yield Internal(label="mid-write")
+            yield Write("hi", k, label=f"hi={k}")
+            yield Release("mutex")
+
+    def reader() -> Generator[Op, Any, None]:
+        # The whole observation — reads plus the 'observed' pulse the
+        # property anchors on — sits inside the mutex in the safe variant;
+        # the racy variant takes no lock at all.
+        if safe:
+            yield Acquire("mutex")
+        _lo = yield Read("lo")
+        _hi = yield Read("hi")
+        yield Write("observed", 1, label="observed=1")
+        yield Write("observed", 0, label="observed=0")
+        if safe:
+            yield Release("mutex")
+
+    return Program(
+        initial={"lo": 0, "hi": 0, "observed": 0, "mutex": 0},
+        threads=[writer] + [reader] * n_readers,
+        relevant_vars=frozenset({"lo", "hi", "observed"}),
+        name=f"readers-writer-{'safe' if safe else 'racy'}",
+        locks=frozenset({"mutex"}),
+    )
+
+
+def barrier_program(n_workers: int = 3) -> Program:
+    """Single-use counting barrier: workers arrive, the last notifies, all
+    proceed.  ``done_i`` writes happen strictly after every arrival in every
+    consistent run — the lattice proves the barrier right."""
+    if n_workers < 2:
+        raise ValueError("a barrier needs at least two workers")
+
+    def worker(me: int):
+        def body() -> Generator[Op, Any, None]:
+            yield Acquire("lock")
+            n = yield Read("arrived")
+            yield Write("arrived", n + 1, label=f"arrive T{me + 1}")
+            is_last = (n + 1) == n_workers
+            yield Release("lock")
+            if is_last:
+                yield Notify("gate")
+            else:
+                yield Wait("gate")
+                yield Notify("gate")  # cascade the wake to the next waiter
+            yield Write(f"done{me}", 1, label=f"done T{me + 1}")
+
+        return body
+
+    initial = {"arrived": 0, "lock": 0, "gate": 0}
+    initial.update({f"done{i}": 0 for i in range(n_workers)})
+    return Program(
+        initial=initial,
+        threads=[worker(i) for i in range(n_workers)],
+        relevant_vars=frozenset({"arrived"} | {f"done{i}" for i in range(n_workers)}),
+        name=f"barrier-{n_workers}",
+        locks=frozenset({"lock"}),
+    )

@@ -1,0 +1,65 @@
+"""The x/y/z workload (paper Example 2, Fig. 6).
+
+Initially ``x = -1, y = 0, z = 0``; one thread runs ``x++; ...; y = x + 1``
+and the other ``z = x + 1; ...; x++`` (the dots are code that touches no
+shared variable — modeled as an :class:`~repro.sched.program.Internal`
+event).
+
+The monitored property: *"if (x > 0) then (y = 0) has been true in the past,
+and since then (y > z) was always false"*, compactly ``(x > 0) -> [y = 0,
+y > z)`` in the paper's interval notation.
+
+The paper's observed execution passes through states ``(-1,0,0), (0,0,0),
+(0,0,1), (1,0,1), (1,1,1)`` and generates the four messages of Fig. 6::
+
+    e1: ⟨x=0, T1, (1,0)⟩     e2: ⟨z=1, T2, (1,1)⟩
+    e3: ⟨y=1, T1, (2,0)⟩     e4: ⟨x=1, T2, (1,2)⟩
+
+whose computation lattice has exactly three runs; the run
+``e1, e3, e2, e4`` violates the property while the observed run does not.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from ..sched.program import Internal, Op, Program, Read, Write
+
+__all__ = ["xyz_program", "XYZ_PROPERTY", "XYZ_VARS", "OBSERVED_SCHEDULE"]
+
+XYZ_VARS = ("x", "y", "z")
+
+#: The Example 2 property in this library's spec language.
+XYZ_PROPERTY = "(x > 0) -> [y == 0, y > z)"
+
+
+def xyz_program() -> Program:
+    """Build the Example 2 program (data values computed from actual reads)."""
+
+    def thread1() -> Generator[Op, Any, None]:
+        x = yield Read("x")
+        yield Write("x", x + 1, label=f"x={x + 1}")  # x++
+        yield Internal(label="...")
+        x = yield Read("x")
+        yield Write("y", x + 1, label=f"y={x + 1}")  # y = x + 1
+
+    def thread2() -> Generator[Op, Any, None]:
+        x = yield Read("x")
+        yield Write("z", x + 1, label=f"z={x + 1}")  # z = x + 1
+        yield Internal(label="...")
+        x = yield Read("x")
+        yield Write("x", x + 1, label=f"x={x + 1}")  # x++
+
+    return Program(
+        initial={"x": -1, "y": 0, "z": 0},
+        threads=[thread1, thread2],
+        relevant_vars=frozenset(XYZ_VARS),
+        name="xyz",
+    )
+
+
+#: Thread choices realizing the paper's observed execution
+#: (state sequence (-1,0,0), (0,0,0), (0,0,1), (1,0,1), (1,1,1)): thread 1
+#: increments x and *reads* x for y's computation before thread 2's x++,
+#: but performs the write of y after it.
+OBSERVED_SCHEDULE = [0, 0, 1, 1, 0, 0, 1, 1, 1, 0]

@@ -1,0 +1,126 @@
+"""Atomicity-violation detection tests (unserializable patterns)."""
+
+import pytest
+
+from repro.analysis.atomicity import (
+    AtomicityViolation,
+    find_atomicity_violations,
+)
+from repro.sched import FixedScheduler, Program, run_program
+from repro.sched.program import Acquire, Internal, Read, Release, Write, straightline
+
+
+def run(threads, initial, schedule=None):
+    p = Program(initial=initial, threads=threads)
+    return run_program(p, FixedScheduler(schedule or [], strict=False))
+
+
+def region_reader(var="x", n_reads=2):
+    ops = [Acquire("L")]
+    for _ in range(n_reads):
+        ops.append(Read(var))
+        ops.append(Internal())
+    ops = ops[:-1] + [Release("L")]
+    return straightline(ops)
+
+
+class TestUnserializablePatterns:
+    def test_rwr_non_repeatable_read(self):
+        """Remote unlocked write between two lock-held reads."""
+        ex = run(
+            [region_reader(), straightline([Write("x", 1)])],
+            {"x": 0, "L": 0},
+        )
+        violations = find_atomicity_violations(ex)
+        assert len(violations) == 1
+        v = violations[0]
+        assert v.pattern == ("R", "W", "R")
+        assert v.var == "x"
+        assert v.region.lock == "L"
+
+    def test_wrw_intermediate_read(self):
+        writer = straightline([Acquire("L"), Write("x", 1), Internal(),
+                               Write("x", 2), Release("L")])
+        ex = run([writer, straightline([Read("x")])], {"x": 0, "L": 0})
+        violations = find_atomicity_violations(ex)
+        assert {v.pattern for v in violations} == {("W", "R", "W")}
+
+    def test_rww_lost_remote_write(self):
+        local = straightline([Acquire("L"), Read("x"), Internal(),
+                              Write("x", 9), Release("L")])
+        ex = run([local, straightline([Write("x", 1)])], {"x": 0, "L": 0})
+        patterns = {v.pattern for v in find_atomicity_violations(ex)}
+        assert ("R", "W", "W") in patterns
+
+    def test_wwr_lost_local_write(self):
+        local = straightline([Acquire("L"), Write("x", 1), Internal(),
+                              Read("x"), Release("L")])
+        ex = run([local, straightline([Write("x", 2)])], {"x": 0, "L": 0})
+        patterns = {v.pattern for v in find_atomicity_violations(ex)}
+        assert ("W", "W", "R") in patterns
+
+
+class TestSerializablePatterns:
+    def test_remote_read_between_reads_not_reported(self):
+        """R-R-R is serializable."""
+        ex = run([region_reader(), straightline([Read("x")])],
+                 {"x": 0, "L": 0})
+        assert find_atomicity_violations(ex) == []
+
+    def test_wrr_serializable(self):
+        local = straightline([Acquire("L"), Write("x", 1), Internal(),
+                              Read("x"), Release("L")])
+        ex = run([local, straightline([Read("x")])], {"x": 0, "L": 0})
+        assert find_atomicity_violations(ex) == []
+
+    def test_rrw_serializable(self):
+        local = straightline([Acquire("L"), Read("x"), Internal(),
+                              Write("x", 1), Release("L")])
+        ex = run([local, straightline([Read("x")])], {"x": 0, "L": 0})
+        assert find_atomicity_violations(ex) == []
+
+
+class TestSynchronizationSuppression:
+    def test_remote_under_same_lock_not_reported(self):
+        """A remote write inside the same lock cannot interleave."""
+        remote = straightline([Acquire("L"), Write("x", 1), Release("L")])
+        ex = run([region_reader(), remote], {"x": 0, "L": 0})
+        assert find_atomicity_violations(ex) == []
+
+    def test_remote_under_different_lock_reported(self):
+        remote = straightline([Acquire("M"), Write("x", 1), Release("M")])
+        ex = run([region_reader(), remote], {"x": 0, "L": 0, "M": 0})
+        assert len(find_atomicity_violations(ex)) == 1
+
+    def test_same_thread_never_reported(self):
+        body = straightline([Acquire("L"), Read("x"), Write("x", 1),
+                             Read("x"), Release("L"), Write("x", 2)])
+        ex = run([body], {"x": 0, "L": 0})
+        assert find_atomicity_violations(ex) == []
+
+    def test_different_variables_not_reported(self):
+        ex = run([region_reader("x"), straightline([Write("y", 1)])],
+                 {"x": 0, "y": 0, "L": 0})
+        assert find_atomicity_violations(ex) == []
+
+
+class TestReporting:
+    def test_detection_is_schedule_independent(self):
+        threads = [region_reader(), straightline([Write("x", 1)])]
+        counts = set()
+        for schedule in ([0] * 8 + [1], [1] + [0] * 8):
+            ex = run(threads, {"x": 0, "L": 0}, schedule)
+            counts.add(len(find_atomicity_violations(ex)))
+        assert counts == {1}
+
+    def test_pretty_mentions_pattern(self):
+        ex = run([region_reader(), straightline([Write("x", 1)])],
+                 {"x": 0, "L": 0})
+        v = find_atomicity_violations(ex)[0]
+        assert "R-W-R" in v.pretty()
+        assert "atomicity violation" in v.pretty()
+
+    def test_accepts_raw_events(self):
+        ex = run([region_reader(), straightline([Write("x", 1)])],
+                 {"x": 0, "L": 0})
+        assert find_atomicity_violations(ex.events)

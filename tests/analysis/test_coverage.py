@@ -1,0 +1,88 @@
+"""Prediction-coverage analysis tests."""
+
+from repro.analysis import (
+    detect,
+    observations_to_cover,
+    prediction_coverage,
+)
+from repro.sched import FixedScheduler, Program, run_program
+from repro.sched.program import Write, straightline
+from repro.workloads import (
+    LANDING_OBSERVED_SCHEDULE,
+    LANDING_PROPERTY,
+    XYZ_OBSERVED_SCHEDULE,
+    XYZ_PROPERTY,
+    landing_controller,
+    xyz_program,
+)
+
+
+class TestPredictionCoverage:
+    def test_landing_one_run_covers_both_bugs(self, landing_execution):
+        """From the single clean observation, the lattice covers 3 of the 4
+        behavior classes — including *both* violating ones."""
+        rep = prediction_coverage(landing_controller(), landing_execution,
+                                  LANDING_PROPERTY)
+        assert rep.total_classes == 4
+        assert rep.covered_classes == 3
+        assert rep.violating_classes == 2
+        assert rep.covered_violating == 2
+        assert rep.violating_fraction == 1.0
+
+    def test_uncovered_class_is_data_variation(self, landing_execution):
+        """The one uncovered class is the denied-landing run — different
+        *data* (approved=0), which permuting observed writes cannot reach.
+        Honest scope: prediction covers ordering variation, not data
+        variation."""
+        rep = prediction_coverage(landing_controller(), landing_execution)
+        assert rep.total_classes - rep.covered_classes == 1
+
+    def test_xyz_coverage_fractions(self, xyz_execution):
+        rep = prediction_coverage(xyz_program(), xyz_execution, XYZ_PROPERTY)
+        assert rep.covered_classes == 3  # the lattice's three runs
+        assert rep.total_classes > rep.covered_classes
+        assert 0 < rep.fraction < 1
+        assert rep.covered_violating >= 1  # the predicted bug class
+
+    def test_independent_writers_fully_covered(self):
+        """Pure ordering variation (no data dependence): one observation's
+        lattice covers every class."""
+        p = Program(
+            initial={"p": 0, "q": 0},
+            threads=[straightline([Write("p", 1)]),
+                     straightline([Write("q", 1)])],
+        )
+        ex = run_program(p, FixedScheduler([], strict=False))
+        rep = prediction_coverage(p, ex)
+        assert rep.total_classes == 2
+        assert rep.covered_classes == 2
+        assert rep.fraction == 1.0
+
+    def test_no_spec_leaves_violation_fields_none(self, xyz_execution):
+        rep = prediction_coverage(xyz_program(), xyz_execution)
+        assert rep.violating_classes is None
+        assert rep.violating_fraction is None
+
+
+class TestObservationsToCover:
+    def test_predictive_needs_no_more_than_flat(self):
+        flat = observations_to_cover(xyz_program(), predictive=False,
+                                     max_observations=400)
+        pred = observations_to_cover(xyz_program(), predictive=True,
+                                     max_observations=400)
+        assert flat is not None and pred is not None
+        assert pred <= flat
+
+    def test_pure_ordering_program_covered_in_one(self):
+        p = Program(
+            initial={"p": 0, "q": 0},
+            threads=[straightline([Write("p", 1)]),
+                     straightline([Write("q", 1)])],
+        )
+        assert observations_to_cover(p, predictive=True) == 1
+        flat = observations_to_cover(p, predictive=False)
+        assert flat >= 2  # must get lucky twice
+
+    def test_budget_exhaustion_returns_none(self):
+        assert observations_to_cover(xyz_program(), predictive=False,
+                                     max_observations=1) is None

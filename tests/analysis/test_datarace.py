@@ -1,0 +1,152 @@
+"""Data-race detection: oracle vs observer-side engines, lock discipline."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import find_races, find_races_from_messages
+from repro.analysis.datarace import Race
+from repro.core import all_accesses
+from repro.core.events import Event, EventKind
+from repro.sched import FixedScheduler, RandomScheduler, run_program
+from repro.sched.program import (
+    Acquire,
+    Internal,
+    Program,
+    Read,
+    Release,
+    Write,
+    straightline,
+)
+from repro.workloads import locked_counter, racy_counter
+
+
+def race_run(program, seed=0):
+    return run_program(program, RandomScheduler(seed),
+                       relevance=all_accesses(), sync_only_clocks=True)
+
+
+class TestRaceDataclass:
+    def test_key_is_unordered(self):
+        a = Event(thread=0, seq=1, kind=EventKind.WRITE, var="x", value=1)
+        b = Event(thread=1, seq=1, kind=EventKind.READ, var="x", value=1)
+        assert Race("x", a, b).key == Race("x", b, a).key
+
+    def test_identical_events_rejected(self):
+        a = Event(thread=0, seq=1, kind=EventKind.WRITE, var="x", value=1)
+        with pytest.raises(ValueError):
+            Race("x", a, a)
+
+    def test_pretty(self):
+        a = Event(thread=0, seq=1, kind=EventKind.WRITE, var="x", value=1)
+        b = Event(thread=1, seq=1, kind=EventKind.READ, var="x", value=1)
+        assert "race on 'x'" in Race("x", a, b).pretty()
+
+
+class TestDetection:
+    def test_racy_counter_has_races(self):
+        ex = race_run(racy_counter(2, 1))
+        races = find_races(ex)
+        # R0||W1, W0||R1, W0||W1 — 3 conflicting concurrent pairs
+        assert len(races) == 3
+        assert all(r.var == "c" for r in races)
+
+    def test_locked_counter_clean(self):
+        ex = race_run(locked_counter(2, 2))
+        assert find_races(ex) == []
+
+    def test_read_read_is_not_a_race(self):
+        p = Program(
+            initial={"x": 0},
+            threads=[straightline([Read("x")]), straightline([Read("x")])],
+        )
+        ex = race_run(p)
+        assert find_races(ex) == []
+
+    def test_same_thread_accesses_never_race(self):
+        p = Program(
+            initial={"x": 0},
+            threads=[straightline([Write("x", 1), Write("x", 2)])],
+        )
+        ex = race_run(p)
+        assert find_races(ex) == []
+
+    def test_different_variables_never_race(self):
+        p = Program(
+            initial={"x": 0, "y": 0},
+            threads=[straightline([Write("x", 1)]),
+                     straightline([Write("y", 1)])],
+        )
+        ex = race_run(p)
+        assert find_races(ex) == []
+
+    def test_partial_locking_still_races(self):
+        """One thread locked, the other not: still a race."""
+        p = Program(
+            initial={"x": 0, "L": 0},
+            threads=[
+                straightline([Acquire("L"), Write("x", 1), Release("L")]),
+                straightline([Write("x", 2)]),
+            ],
+        )
+        ex = race_run(p)
+        assert len(find_races(ex)) == 1
+
+    def test_disjoint_locks_race(self):
+        p = Program(
+            initial={"x": 0, "L1": 0, "L2": 0},
+            threads=[
+                straightline([Acquire("L1"), Write("x", 1), Release("L1")]),
+                straightline([Acquire("L2"), Write("x", 2), Release("L2")]),
+            ],
+        )
+        ex = race_run(p)
+        assert len(find_races(ex)) == 1
+
+    def test_race_count_independent_of_schedule(self):
+        """Happens-before races depend on the sync structure, not on which
+        interleaving was observed."""
+        counts = set()
+        for seed in range(6):
+            ex = race_run(racy_counter(2, 1), seed=seed)
+            counts.add(len(find_races(ex)))
+        assert counts == {3}
+
+
+class TestObserverSideAgreement:
+    @pytest.mark.parametrize("n_threads,increments", [(2, 1), (2, 2), (3, 1)])
+    def test_engines_agree_on_counters(self, n_threads, increments):
+        ex = race_run(racy_counter(n_threads, increments))
+        oracle = {r.key for r in find_races(ex)}
+        observer = {r.key for r in find_races_from_messages(ex.messages,
+                                                            n_threads)}
+        assert oracle == observer
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=30, deadline=None)
+    def test_engines_agree_on_random_sync_programs(self, seed):
+        rng = random.Random(seed)
+        ops_pool = ["r", "w", "lock", "i"]
+        threads = []
+        for _t in range(2):
+            ops = []
+            for _k in range(rng.randrange(1, 5)):
+                kind = rng.choice(ops_pool)
+                if kind == "r":
+                    ops.append(Read("x"))
+                elif kind == "w":
+                    ops.append(Write("x", rng.randrange(5)))
+                elif kind == "lock":
+                    ops.extend([Acquire("L"),
+                                Write("x", rng.randrange(5)),
+                                Release("L")])
+                else:
+                    ops.append(Internal())
+            threads.append(straightline(ops))
+        p = Program(initial={"x": 0, "L": 0}, threads=threads)
+        ex = race_run(p, seed=seed)
+        oracle = {r.key for r in find_races(ex)}
+        observer = {r.key for r in find_races_from_messages(ex.messages, 2)}
+        assert oracle == observer

@@ -1,0 +1,146 @@
+"""Predictive deadlock detection (lock-order cycles, gate-lock refinement)."""
+
+import pytest
+
+from repro.analysis import find_potential_deadlocks, lock_order_graph
+from repro.analysis.deadlock import LockEdge
+from repro.sched import (
+    DeadlockError,
+    FixedScheduler,
+    Program,
+    explore_all,
+    run_program,
+)
+from repro.sched.program import Acquire, Internal, Release, straightline
+
+
+def nested(pairs):
+    """Thread body acquiring/releasing nested lock pairs in order."""
+    ops = []
+    for outer, inner in pairs:
+        ops += [Acquire(outer), Acquire(inner), Release(inner), Release(outer)]
+    return straightline(ops)
+
+
+def ab_ba_program(gated=False):
+    g = [Acquire("G")] if gated else []
+    gr = [Release("G")] if gated else []
+    t1 = straightline(g + [Acquire("A"), Acquire("B"),
+                           Release("B"), Release("A")] + gr)
+    t2 = straightline(g + [Acquire("B"), Acquire("A"),
+                           Release("A"), Release("B")] + gr)
+    initial = {"A": 0, "B": 0}
+    if gated:
+        initial["G"] = 0
+    return Program(initial=initial, threads=[t1, t2], name="ab-ba")
+
+
+class TestLockOrderGraph:
+    def test_nested_acquisition_edge(self):
+        p = Program(initial={"A": 0, "B": 0}, threads=[nested([("A", "B")])])
+        ex = run_program(p, FixedScheduler([], strict=False))
+        edges = lock_order_graph(ex.events)
+        assert len(edges) == 1
+        assert edges[0].outer == "A" and edges[0].inner == "B"
+        assert edges[0].gates == frozenset()
+
+    def test_gate_lock_recorded(self):
+        t = straightline([Acquire("G"), Acquire("A"), Acquire("B"),
+                          Release("B"), Release("A"), Release("G")])
+        p = Program(initial={"A": 0, "B": 0, "G": 0}, threads=[t])
+        ex = run_program(p, FixedScheduler([], strict=False))
+        edges = {(e.outer, e.inner): e for e in lock_order_graph(ex.events)}
+        assert edges[("A", "B")].gates == frozenset({"G"})
+        assert edges[("G", "B")].gates == frozenset({"A"})
+
+    def test_no_nesting_no_edges(self):
+        t = straightline([Acquire("A"), Release("A"), Acquire("B"), Release("B")])
+        p = Program(initial={"A": 0, "B": 0}, threads=[t])
+        ex = run_program(p, FixedScheduler([], strict=False))
+        assert lock_order_graph(ex.events) == []
+
+    def test_self_edge_rejected(self):
+        with pytest.raises(ValueError):
+            LockEdge(0, "A", "A", frozenset())
+
+
+class TestPrediction:
+    def test_ab_ba_predicted_from_serial_run(self):
+        """The deadlock never happens serially, yet it is predicted."""
+        ex = run_program(ab_ba_program(), FixedScheduler([0] * 4 + [1] * 4))
+        dl = find_potential_deadlocks(ex)
+        assert len(dl) == 1
+        assert set(dl[0].cycle) == {"A", "B"}
+        assert dl[0].threads == {0, 1}
+
+    def test_prediction_is_feasible(self):
+        """Ground truth: some interleaving of ab-ba actually deadlocks."""
+        completed = sum(1 for _ in explore_all(ab_ba_program()))
+        assert completed > 0  # non-deadlocking interleavings exist...
+        # ...and the targeted one deadlocks: T1 takes A, T2 takes B.
+        with pytest.raises(DeadlockError):
+            run_program(ab_ba_program(), FixedScheduler([0, 1, 0], strict=False))
+
+    def test_gate_lock_suppresses_report(self):
+        ex = run_program(ab_ba_program(gated=True),
+                         FixedScheduler([], strict=False))
+        assert find_potential_deadlocks(ex) == []
+
+    def test_consistent_order_is_clean(self):
+        """Both threads acquire A before B: no cycle."""
+        p = Program(initial={"A": 0, "B": 0},
+                    threads=[nested([("A", "B")]), nested([("A", "B")])])
+        ex = run_program(p, FixedScheduler([], strict=False))
+        assert find_potential_deadlocks(ex) == []
+
+    def test_single_thread_cycle_not_reported(self):
+        """One thread using both orders cannot deadlock with itself."""
+        p = Program(initial={"A": 0, "B": 0},
+                    threads=[nested([("A", "B"), ("B", "A")])])
+        ex = run_program(p, FixedScheduler([], strict=False))
+        assert find_potential_deadlocks(ex) == []
+
+    def test_three_lock_cycle(self):
+        p = Program(
+            initial={"A": 0, "B": 0, "C": 0},
+            threads=[nested([("A", "B")]), nested([("B", "C")]),
+                     nested([("C", "A")])],
+            name="abc-cycle",
+        )
+        ex = run_program(p, FixedScheduler([], strict=False))
+        dl = find_potential_deadlocks(ex)
+        assert len(dl) == 1
+        assert set(dl[0].cycle) == {"A", "B", "C"}
+        assert len(dl[0].threads) == 3
+
+    def test_accepts_raw_events(self):
+        ex = run_program(ab_ba_program(), FixedScheduler([0] * 4 + [1] * 4))
+        assert find_potential_deadlocks(ex.events)
+
+    def test_dining_philosophers(self):
+        """N philosophers, each taking left then right fork: the classic
+        cycle is predicted from a serial (successful) run."""
+        n = 4
+        threads = [
+            nested([(f"fork{i}", f"fork{(i + 1) % n}")]) for i in range(n)
+        ]
+        p = Program(initial={f"fork{i}": 0 for i in range(n)},
+                    threads=threads, name="philosophers")
+        ex = run_program(p, FixedScheduler([], strict=False))
+        dl = find_potential_deadlocks(ex)
+        assert len(dl) == 1
+        assert len(dl[0].cycle) == n
+
+    def test_asymmetric_philosopher_fix(self):
+        """One left-handed philosopher breaks the cycle — no report."""
+        n = 4
+        threads = []
+        for i in range(n):
+            left, right = f"fork{i}", f"fork{(i + 1) % n}"
+            if i == n - 1:
+                left, right = right, left  # the fix
+            threads.append(nested([(left, right)]))
+        p = Program(initial={f"fork{i}": 0 for i in range(n)},
+                    threads=threads)
+        ex = run_program(p, FixedScheduler([], strict=False))
+        assert find_potential_deadlocks(ex) == []

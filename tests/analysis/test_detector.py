@@ -1,0 +1,59 @@
+"""Observed-run-only baseline (JPaX style)."""
+
+import pytest
+
+from repro.analysis import detect
+from repro.sched import FixedScheduler, run_program
+from repro.workloads import (
+    LANDING_PROPERTY,
+    XYZ_PROPERTY,
+    landing_controller,
+    xyz_program,
+)
+
+
+class TestDetect:
+    def test_successful_run(self, xyz_execution):
+        d = detect(xyz_execution, XYZ_PROPERTY)
+        assert d.ok
+        assert d.violation_index is None
+        assert d.violating_state() is None
+        assert d.variables == ("x", "y", "z")
+
+    def test_states_are_relevant_write_snapshots(self, xyz_execution):
+        d = detect(xyz_execution, XYZ_PROPERTY)
+        assert list(d.states) == [
+            (-1, 0, 0), (0, 0, 0), (0, 0, 1), (1, 0, 1), (1, 1, 1)]
+
+    def test_violating_run_detected(self):
+        """A schedule in which the radio goes down before approval: even the
+        flat-trace baseline sees it."""
+        # thread 2 clears the radio first; thread 1 then denies approval —
+        # property never violated because landing never starts!
+        ex = run_program(landing_controller(),
+                         FixedScheduler([1, 1, 1, 1], strict=False))
+        d = detect(ex, LANDING_PROPERTY)
+        assert d.ok  # landing was aborted: no 'start(landing)' edge
+
+    def test_violation_indexing(self):
+        """Force the bad interleaving: radio drops between T1's approval
+        read and the landing write."""
+        # T1 reads radio (up), writes approved=1; T2 clears the radio; T1
+        # proceeds to land.
+        sched = [0, 0, 1, 1, 1, 0, 0]
+        ex = run_program(landing_controller(radio_down_iteration=0),
+                         FixedScheduler(sched, strict=False))
+        d = detect(ex, LANDING_PROPERTY)
+        assert not d.ok
+        assert d.states[d.violation_index][0] == 1  # landing started
+        assert d.violating_state()["radio"] == 0
+
+    def test_missing_variable_rejected(self, xyz_execution):
+        with pytest.raises(KeyError):
+            detect(xyz_execution, "ghost == 1")
+
+    def test_accepts_monitor_instance(self, xyz_execution):
+        from repro.logic import Monitor
+
+        d = detect(xyz_execution, Monitor(XYZ_PROPERTY))
+        assert d.ok

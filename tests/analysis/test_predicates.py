@@ -1,0 +1,127 @@
+"""Possibly/Definitely modalities over the computation lattice (§4)."""
+
+import pytest
+
+from repro.analysis import as_predicate, definitely, possibly
+from repro.lattice import ComputationLattice
+from repro.sched import FixedScheduler, run_program
+from repro.sched.program import Acquire, Program, Release, Write, straightline
+from repro.workloads import (
+    LANDING_VARS,
+    XYZ_VARS,
+    peterson_like,
+)
+
+
+def lattice_for(execution, variables):
+    initial = {v: execution.initial_store[v] for v in variables}
+    return ComputationLattice(execution.n_threads, initial, execution.messages)
+
+
+class TestAsPredicate:
+    def test_formula_string(self):
+        pred = as_predicate("x + y == 3")
+        assert pred({"x": 1, "y": 2})
+        assert not pred({"x": 0, "y": 0})
+
+    def test_callable_passthrough(self):
+        pred = as_predicate(lambda s: s["x"] > 0)
+        assert pred({"x": 1})
+
+    def test_temporal_rejected(self):
+        with pytest.raises(ValueError, match="temporal"):
+            as_predicate("once(x == 1)")
+        with pytest.raises(ValueError, match="temporal"):
+            as_predicate("eventually(x == 1)")
+
+
+class TestPossibly:
+    def test_landing_bad_state_possible(self, landing_execution):
+        """Possibly(landing && !radio): the dangerous global state is
+        reachable in some run even though the observed run never showed it
+        at the critical moment."""
+        lat = lattice_for(landing_execution, LANDING_VARS)
+        rep = possibly(lat, "landing == 1 and radio == 0")
+        assert rep.holds
+        assert rep.witness_state["landing"] == 1
+        assert rep.witness_state["radio"] == 0
+
+    def test_witness_run_replays_to_witness_state(self, landing_execution):
+        lat = lattice_for(landing_execution, LANDING_VARS)
+        rep = possibly(lat, "approved == 1 and radio == 0 and landing == 0")
+        assert rep.holds
+        store = dict(lat.state(lat.bottom))
+        for m in rep.witness_run:
+            store[m.event.var] = m.event.value
+        assert store == dict(rep.witness_state)
+
+    def test_impossible_state(self, landing_execution):
+        lat = lattice_for(landing_execution, LANDING_VARS)
+        rep = possibly(lat, "landing == 1 and approved == 0")
+        assert not rep.holds
+        assert rep.witness_cut is None
+
+    def test_initial_state_witness(self, xyz_execution):
+        lat = lattice_for(xyz_execution, XYZ_VARS)
+        rep = possibly(lat, "x == -1")
+        assert rep.holds
+        assert rep.witness_cut == (0, 0)
+        assert rep.witness_run == ()
+
+    def test_mutual_exclusion_breach_possible(self):
+        """Peterson-like handshake: Possibly(both flags up) is true —
+        the classic check-then-act overlap."""
+        ex = run_program(peterson_like(), FixedScheduler([], strict=False))
+        lat = lattice_for(ex, ("flag0", "flag1", "in_cs"))
+        rep = possibly(lat, "flag0 == 1 and flag1 == 1")
+        assert rep.holds
+
+
+class TestDefinitely:
+    def test_final_state_is_definite(self, xyz_execution):
+        """x==1 holds at the top of every run (it is the final state)."""
+        lat = lattice_for(xyz_execution, XYZ_VARS)
+        assert definitely(lat, "x == 1 and y == 1 and z == 1").holds
+
+    def test_transient_state_is_not_definite(self, landing_execution):
+        lat = lattice_for(landing_execution, LANDING_VARS)
+        rep = definitely(lat, "approved == 1 and radio == 0 and landing == 0")
+        assert not rep.holds
+        assert rep.witness_cut == lat.top  # certificate: an avoiding path
+
+    def test_initially_true_is_definite(self, landing_execution):
+        lat = lattice_for(landing_execution, LANDING_VARS)
+        assert definitely(lat, "radio == 1").holds  # holds at the bottom
+
+    def test_unavoidable_intermediate(self):
+        """Two sequential writes through a lock: the intermediate state
+        p=1,q=0 is on every path."""
+        p = Program(
+            initial={"p": 0, "q": 0},
+            threads=[straightline([Write("p", 1), Write("q", 1)])],
+        )
+        ex = run_program(p, FixedScheduler([], strict=False))
+        lat = lattice_for(ex, ("p", "q"))
+        assert definitely(lat, "p == 1 and q == 0").holds
+
+    def test_avoidable_with_concurrency(self):
+        """Two concurrent writers: p=1,q=0 can be skipped by doing q first."""
+        p = Program(
+            initial={"p": 0, "q": 0},
+            threads=[straightline([Write("p", 1)]),
+                     straightline([Write("q", 1)])],
+        )
+        ex = run_program(p, FixedScheduler([], strict=False))
+        lat = lattice_for(ex, ("p", "q"))
+        assert possibly(lat, "p == 1 and q == 0").holds
+        assert not definitely(lat, "p == 1 and q == 0").holds
+
+    def test_definitely_implies_possibly(self, landing_execution):
+        lat = lattice_for(landing_execution, LANDING_VARS)
+        for spec in ("approved == 1", "radio == 0", "landing == 1",
+                     "landing == 1 and radio == 0",
+                     "approved == 0 and landing == 1"):
+            d = definitely(lat, spec)
+            p = possibly(lat, spec)
+            if d.holds:
+                assert p.holds, spec

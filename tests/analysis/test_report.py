@@ -1,0 +1,84 @@
+"""Aggregated analysis reports (analysis.report + CLI analyze)."""
+
+from repro.analysis import analyze
+from repro.cli import main as cli_main
+from repro.core import all_accesses
+from repro.sched import FixedScheduler, run_program
+from repro.workloads import (
+    LANDING_OBSERVED_SCHEDULE,
+    LANDING_PROPERTY,
+    landing_controller,
+    locked_counter,
+    racy_counter,
+)
+
+
+def run_cli(*argv):
+    lines = []
+    code = cli_main(list(argv), out=lines.append)
+    return code, "\n".join(lines)
+
+
+class TestAnalyze:
+    def test_prediction_included(self, landing_execution):
+        report = analyze(landing_execution, specs=[LANDING_PROPERTY])
+        assert len(report.predictions) == 1
+        rep = next(iter(report.predictions.values()))
+        assert rep.predicted
+        assert not report.clean
+
+    def test_races_skipped_without_reads(self, landing_execution):
+        report = analyze(landing_execution, specs=())
+        assert not report.races_checked
+        assert "not checked" in report.summary()
+
+    def test_races_run_with_all_accesses(self):
+        ex = run_program(racy_counter(2, 1), FixedScheduler([], strict=False),
+                         relevance=all_accesses(), sync_only_clocks=True)
+        report = analyze(ex)
+        assert report.races_checked
+        assert len(report.races) == 3
+        assert not report.clean
+
+    def test_clean_report(self):
+        ex = run_program(locked_counter(2, 1), FixedScheduler([], strict=False),
+                         relevance=all_accesses(), sync_only_clocks=True)
+        report = analyze(ex, specs=["c >= 0"])
+        assert report.clean
+        assert "CLEAN" in report.summary()
+
+    def test_deadlocks_included(self):
+        from repro.sched.program import Acquire, Program, Release, straightline
+
+        p = Program(
+            initial={"A": 0, "B": 0},
+            threads=[
+                straightline([Acquire("A"), Acquire("B"),
+                              Release("B"), Release("A")]),
+                straightline([Acquire("B"), Acquire("A"),
+                              Release("A"), Release("B")]),
+            ],
+        )
+        ex = run_program(p, FixedScheduler([0] * 4 + [1] * 4))
+        report = analyze(ex)
+        assert len(report.deadlocks) == 1
+        assert "potential deadlock" in report.summary()
+
+    def test_summary_counts(self, landing_execution):
+        report = analyze(landing_execution, specs=[LANDING_PROPERTY])
+        s = report.summary()
+        assert "2 threads" in s
+        assert "3 relevant messages" in s
+
+
+class TestCliAnalyze:
+    def test_landing_report(self):
+        code, out = run_cli("analyze", "landing")
+        assert code == 1
+        assert "VIOLATED" in out and "predicted" in out
+        assert "data races:" in out
+        assert "verdict: FINDINGS" in out
+
+    def test_custom_spec(self):
+        code, out = run_cli("analyze", "xyz", "--spec", "x >= -1")
+        assert "holds on every consistent run" in out

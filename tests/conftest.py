@@ -1,0 +1,32 @@
+"""Shared fixtures: the paper's two reference executions and helpers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sched import FixedScheduler, run_program
+from repro.workloads import (
+    LANDING_OBSERVED_SCHEDULE,
+    XYZ_OBSERVED_SCHEDULE,
+    landing_controller,
+    xyz_program,
+)
+
+
+@pytest.fixture
+def landing_execution():
+    """The paper's Example 1 observed execution (radio down after landing)."""
+    return run_program(landing_controller(), FixedScheduler(LANDING_OBSERVED_SCHEDULE))
+
+
+@pytest.fixture
+def xyz_execution():
+    """The paper's Example 2 observed execution (Fig. 6 message labels)."""
+    return run_program(xyz_program(), FixedScheduler(XYZ_OBSERVED_SCHEDULE))
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0xC0FFEE)

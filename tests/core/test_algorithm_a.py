@@ -1,0 +1,304 @@
+"""Tests for Algorithm A: each step, the formal requirements (a)-(c), and
+the exact clock values of the paper's Fig. 6."""
+
+import pytest
+
+from repro.core.algorithm_a import AlgorithmA, all_accesses, relevant_writes
+from repro.core.computation import Computation
+from repro.core.events import EventKind
+
+
+class TestSteps:
+    def test_step1_relevant_increments_own_component(self):
+        a = AlgorithmA(2)
+        a.on_write(0, "x", 1)
+        assert a.thread_clock(0) == (1, 0)
+        a.on_write(0, "x", 2)
+        assert a.thread_clock(0) == (2, 0)
+
+    def test_irrelevant_event_does_not_increment(self):
+        a = AlgorithmA(2)  # default relevance: writes
+        a.on_read(0, "x")
+        a.on_internal(0)
+        assert a.thread_clock(0) == (0, 0)
+
+    def test_step2_read_merges_write_clock_not_access_clock(self):
+        a = AlgorithmA(2)
+        a.on_write(0, "x", 1)          # V0=(1,0); Vw_x=Va_x=(1,0)
+        a.on_read(1, "x")              # V1 <- max(V1, Vw_x) = (1,0)
+        assert a.thread_clock(1) == (1, 0)
+        assert a.access_clock("x") == (1, 0)
+        # the write clock must NOT absorb the reader's clock
+        a.on_write(1, "y", 1)          # V1=(1,1) via y, unrelated to x
+        a.on_read(1, "x")
+        assert a.write_clock("x") == (1, 0)
+        assert a.access_clock("x") == (1, 1)
+
+    def test_reads_commute_through_access_clock_only(self):
+        """Two readers of x stay concurrent (read-read permutable)."""
+        a = AlgorithmA(2, relevance=all_accesses())
+        m0 = a.on_read(0, "x")
+        m1 = a.on_read(1, "x")
+        assert m0.concurrent_with(m1)
+
+    def test_step3_write_joins_access_clock(self):
+        a = AlgorithmA(2)
+        a.on_write(0, "x", 1)
+        a.on_read(1, "x")
+        a.on_write(1, "x", 2)          # write sees reader's access clock
+        assert a.write_clock("x") == a.access_clock("x") == a.thread_clock(1)
+
+    def test_write_read_write_chain_orders_messages(self):
+        a = AlgorithmA(3)
+        m1 = a.on_write(0, "x", 1)
+        a.on_read(1, "x")
+        m2 = a.on_write(1, "y", 1)
+        a.on_read(2, "y")
+        m3 = a.on_write(2, "z", 1)
+        assert m1.causally_precedes(m2)
+        assert m2.causally_precedes(m3)
+        assert m1.causally_precedes(m3)  # transitivity through clocks
+
+    def test_invariant_vw_leq_va(self):
+        """§3.2: V^w_x <= V^a_x at any time."""
+        a = AlgorithmA(2)
+        ops = [(0, "w", "x"), (1, "r", "x"), (1, "w", "y"), (0, "r", "y"),
+               (1, "w", "x"), (0, "r", "x"), (0, "w", "y")]
+        from repro.core.vectorclock import leq
+        for t, k, v in ops:
+            if k == "w":
+                a.on_write(t, v, 0)
+            else:
+                a.on_read(t, v)
+            for var in a.variables:
+                assert leq(a.write_clock(var), a.access_clock(var))
+
+
+class TestFig6:
+    def test_exact_paper_clocks(self):
+        """e1..e4 of Fig. 6 get clocks (1,0), (1,1), (2,0), (1,2)."""
+        a = AlgorithmA(2, relevance=relevant_writes({"x", "y", "z"}))
+        a.on_read(0, "x", -1)
+        e1 = a.on_write(0, "x", 0)
+        a.on_read(1, "x", 0)
+        e2 = a.on_write(1, "z", 1)
+        a.on_read(0, "x", 0)
+        a.on_read(1, "x", 0)
+        e4 = a.on_write(1, "x", 1)
+        e3 = a.on_write(0, "y", 1)
+        assert tuple(e1.clock) == (1, 0)
+        assert tuple(e2.clock) == (1, 1)
+        assert tuple(e3.clock) == (2, 0)
+        assert tuple(e4.clock) == (1, 2)
+        # the causal relations drawn in Fig. 6
+        assert e1.causally_precedes(e2)
+        assert e1.causally_precedes(e3)
+        assert e1.causally_precedes(e4)
+        assert e2.causally_precedes(e4)
+        assert e2.concurrent_with(e3)
+        assert e3.concurrent_with(e4)
+
+
+class TestRelevance:
+    def test_relevant_writes_filters_vars_and_reads(self):
+        pred = relevant_writes({"x"})
+        a = AlgorithmA(1, relevance=pred)
+        a.on_write(0, "x", 1)
+        a.on_write(0, "y", 1)
+        a.on_read(0, "x")
+        assert [m.event.var for m in a.emitted] == ["x"]
+
+    def test_all_accesses_includes_reads(self):
+        a = AlgorithmA(1, relevance=all_accesses({"x"}))
+        a.on_read(0, "x")
+        a.on_write(0, "x", 1)
+        a.on_read(0, "y")
+        kinds = [m.event.kind for m in a.emitted]
+        assert kinds == [EventKind.READ, EventKind.WRITE]
+
+    def test_default_relevance_every_write(self):
+        a = AlgorithmA(1)
+        a.on_write(0, "q", 1)
+        a.on_internal(0)
+        assert len(a.emitted) == 1
+
+    def test_irrelevant_variables_still_shape_causality(self):
+        """§2.3: irrelevant vars can influence ⊳ indirectly."""
+        a = AlgorithmA(2, relevance=relevant_writes({"y", "z"}))
+        my = a.on_write(0, "y", 1)
+        a.on_write(0, "tmp", 1)     # irrelevant write
+        a.on_read(1, "tmp")         # irrelevant read — carries causality
+        mz = a.on_write(1, "z", 1)
+        assert my.causally_precedes(mz)
+
+
+class TestSink:
+    def test_sink_receives_messages_in_order(self):
+        got = []
+        a = AlgorithmA(2, sink=got.append)
+        a.on_write(0, "x", 1)
+        a.on_write(1, "x", 2)
+        assert [m.event.eid for m in got] == [(0, 1), (1, 1)]
+        assert got == a.emitted
+
+    def test_collect_false_keeps_emitted_empty(self):
+        got = []
+        a = AlgorithmA(1, sink=got.append, collect=False)
+        a.on_write(0, "x", 1)
+        assert a.emitted == []
+        assert len(got) == 1
+
+    def test_emit_index_monotone(self):
+        a = AlgorithmA(2)
+        a.on_write(0, "x", 1)
+        a.on_write(1, "y", 1)
+        a.on_write(0, "x", 2)
+        assert [m.emit_index for m in a.emitted] == [0, 1, 2]
+
+
+class TestDynamicGrowth:
+    def test_static_mode_rejects_unknown_thread(self):
+        a = AlgorithmA(2)
+        with pytest.raises(IndexError):
+            a.on_write(2, "x", 1)
+
+    def test_dynamic_threads_grow_clocks(self):
+        a = AlgorithmA(1, dynamic_threads=True)
+        a.on_write(0, "x", 1)
+        m = a.on_write(3, "x", 2)
+        assert a.n_threads == 4
+        assert len(m.clock) == 4
+        # the earlier write is causally before (clock component carried over)
+        assert m.clock[0] == 1
+
+    def test_dynamic_growth_preserves_order(self):
+        a = AlgorithmA(1, dynamic_threads=True)
+        m1 = a.on_write(0, "x", 1)
+        m2 = a.on_write(2, "x", 2)
+        # widths differ; compare via Theorem 3 on the common prefix semantics:
+        assert m2.clock[0] >= 1  # knows about m1
+
+    def test_variables_registered_lazily(self):
+        a = AlgorithmA(1)
+        assert a.variables == frozenset()
+        a.on_read(0, "v")
+        assert a.variables == frozenset({"v"})
+        assert a.write_clock("unseen") == (0,)
+
+    def test_event_counts(self):
+        a = AlgorithmA(2)
+        a.on_read(0, "x")
+        a.on_write(0, "x", 1)
+        a.on_internal(1)
+        assert a.events_of(0) == 2
+        assert a.events_of(1) == 1
+
+
+class TestSynchronization:
+    def test_lock_ops_are_write_weight(self):
+        """§3.1: acquire/release write the lock variable, so critical
+        sections are causally ordered."""
+        a = AlgorithmA(2, relevance=relevant_writes({"c"}))
+        a.on_acquire(0, "L")
+        m1 = a.on_write(0, "c", 1)
+        a.on_release(0, "L")
+        a.on_acquire(1, "L")
+        m2 = a.on_write(1, "c", 2)
+        a.on_release(1, "L")
+        assert m1.causally_precedes(m2)
+
+    def test_notify_wake_install_edge(self):
+        a = AlgorithmA(2, relevance=relevant_writes({"d"}))
+        m1 = a.on_write(0, "d", 42)
+        a.on_notify(0, "cond")
+        a.on_wake(1, "cond")
+        m2 = a.on_write(1, "d", 43)
+        assert m1.causally_precedes(m2)
+
+    def test_without_sync_events_writes_stay_concurrent(self):
+        a = AlgorithmA(2, relevance=relevant_writes({"p", "q"}))
+        m1 = a.on_write(0, "p", 1)
+        m2 = a.on_write(1, "q", 1)
+        assert m1.concurrent_with(m2)
+
+
+class TestSyncOnlyClocks:
+    def test_data_accesses_do_not_couple_clocks(self):
+        a = AlgorithmA(2, relevance=all_accesses(), sync_only_clocks=True)
+        m1 = a.on_write(0, "x", 1)
+        m2 = a.on_write(1, "x", 2)
+        assert m1.concurrent_with(m2)  # would be ordered under full mode
+
+    def test_sync_events_still_couple_clocks(self):
+        a = AlgorithmA(2, relevance=all_accesses(), sync_only_clocks=True)
+        m1 = a.on_write(0, "x", 1)
+        a.on_release(0, "L")
+        a.on_acquire(1, "L")
+        m2 = a.on_write(1, "x", 2)
+        assert m1.causally_precedes(m2)
+
+
+class TestRequirements:
+    """The formal requirements (a), (b), (c) of Section 3, validated against
+    the §2.2 oracle after *every* event of a scripted execution."""
+
+    OPS = [
+        (0, "w", "x"), (1, "r", "x"), (1, "w", "y"), (0, "r", "y"),
+        (0, "w", "z"), (1, "r", "z"), (2, "w", "x"), (0, "r", "x"),
+        (2, "i", None), (1, "w", "x"), (2, "r", "y"), (0, "w", "y"),
+    ]
+
+    def _replay(self):
+        from repro.core.computation import execution_from_specs
+
+        events = execution_from_specs(self.OPS)
+        algo = AlgorithmA(3)
+        comp_events = []
+        for e in events:
+            comp_events.append(e)
+            if e.kind is EventKind.READ:
+                algo.on_read(e.thread, e.var)
+            elif e.kind is EventKind.WRITE:
+                algo.on_write(e.thread, e.var, e.value)
+            else:
+                algo.on_internal(e.thread)
+            yield e, algo, Computation(comp_events)
+
+    def test_requirement_a(self):
+        """V_i[j] = number of relevant events of t_j causally preceding the
+        latest event of t_i (inclusive for j=i)."""
+        for e, algo, comp in self._replay():
+            vi = algo.thread_clock(e.thread)
+            for j in range(3):
+                expected = comp.count_relevant_preceding(j, e, inclusive=True)
+                assert vi[j] == expected, (e, j, vi)
+
+    def test_requirement_b(self):
+        """V^a_x[j] counts relevant events of t_j preceding (or equal to)
+        the most recent access of x."""
+        for e, algo, comp in self._replay():
+            for x in algo.variables:
+                pos = comp.last_access_position(x, comp.position(e), write_only=False)
+                va = algo.access_clock(x)
+                if pos is None:
+                    assert va == (0, 0, 0)
+                    continue
+                last = comp.events[pos]
+                for j in range(3):
+                    expected = comp.count_relevant_preceding(j, last, inclusive=True)
+                    assert va[j] == expected, (e, x, j)
+
+    def test_requirement_c(self):
+        """V^w_x[j] counts relevant events of t_j preceding (or equal to)
+        the most recent write of x."""
+        for e, algo, comp in self._replay():
+            for x in algo.variables:
+                pos = comp.last_access_position(x, comp.position(e), write_only=True)
+                vw = algo.write_clock(x)
+                if pos is None:
+                    assert vw == (0, 0, 0)
+                    continue
+                last = comp.events[pos]
+                for j in range(3):
+                    expected = comp.count_relevant_preceding(j, last, inclusive=True)
+                    assert vw[j] == expected, (e, x, j)

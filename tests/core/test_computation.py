@@ -1,0 +1,244 @@
+"""Tests for the ground-truth multithreaded computation (§2.2 oracle)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.computation import Computation, execution_from_specs
+from repro.core.events import Event, EventKind
+
+
+def comp(specs, **kw):
+    return Computation(execution_from_specs(specs, **kw))
+
+
+class TestConstruction:
+    def test_duplicate_eid_rejected(self):
+        e = Event(thread=0, seq=1, kind=EventKind.INTERNAL)
+        with pytest.raises(ValueError):
+            Computation([e, e])
+
+    def test_out_of_order_seq_rejected(self):
+        events = [
+            Event(thread=0, seq=2, kind=EventKind.INTERNAL),
+            Event(thread=0, seq=1, kind=EventKind.INTERNAL),
+        ]
+        with pytest.raises(ValueError):
+            Computation(events)
+
+    def test_unknown_causality_mode(self):
+        with pytest.raises(ValueError):
+            Computation([], causality="nope")
+
+    def test_empty_execution(self):
+        c = Computation([])
+        assert len(c) == 0
+        assert c.relevant_events() == []
+        assert c.count_linearizations() == 1
+
+
+class TestProgramOrder:
+    def test_same_thread_events_ordered(self):
+        c = comp([(0, "i", None), (0, "i", None), (0, "i", None)])
+        assert c.precedes((0, 1), (0, 2))
+        assert c.precedes((0, 1), (0, 3))
+        assert not c.precedes((0, 2), (0, 1))
+
+    def test_different_thread_internals_concurrent(self):
+        c = comp([(0, "i", None), (1, "i", None)])
+        assert c.concurrent((0, 1), (1, 1))
+
+    def test_not_concurrent_with_self(self):
+        c = comp([(0, "i", None)])
+        assert not c.concurrent((0, 1), (0, 1))
+
+
+class TestAccessEdges:
+    def test_write_read_edge(self):
+        c = comp([(0, "w", "x"), (1, "r", "x")])
+        assert c.precedes((0, 1), (1, 1))
+
+    def test_read_write_edge(self):
+        c = comp([(0, "r", "x"), (1, "w", "x")])
+        assert c.precedes((0, 1), (1, 1))
+
+    def test_write_write_edge(self):
+        c = comp([(0, "w", "x"), (1, "w", "x")])
+        assert c.precedes((0, 1), (1, 1))
+
+    def test_read_read_permutable(self):
+        """§2.2: no causal constraint on read-read pairs."""
+        c = comp([(0, "r", "x"), (1, "r", "x")])
+        assert c.concurrent((0, 1), (1, 1))
+
+    def test_different_variables_unrelated(self):
+        c = comp([(0, "w", "x"), (1, "w", "y")])
+        assert c.concurrent((0, 1), (1, 1))
+
+    def test_transitivity_through_variable(self):
+        # T1 writes x; T2 reads x then writes y; T3 reads y.
+        c = comp([(0, "w", "x"), (1, "r", "x"), (1, "w", "y"), (2, "r", "y")])
+        assert c.precedes((0, 1), (2, 1))
+
+    def test_transitivity_through_irrelevant_read(self):
+        c = comp([(0, "w", "x"), (1, "r", "x"), (1, "i", None), (1, "w", "y")])
+        assert c.precedes((0, 1), (1, 3))
+
+    def test_earlier_read_before_later_write_same_var(self):
+        # read then much later another thread writes: read <x write edge.
+        c = comp([(0, "r", "x"), (1, "i", None), (1, "w", "x")])
+        assert c.precedes((0, 1), (1, 2))
+
+
+class TestPredecessors:
+    def test_predecessors_list(self):
+        c = comp([(0, "w", "x"), (1, "r", "x"), (1, "w", "y")])
+        preds = c.predecessors((1, 2))
+        assert [p.eid for p in preds] == [(0, 1), (1, 1)]
+
+    def test_first_event_has_no_predecessors(self):
+        c = comp([(0, "w", "x"), (1, "r", "x")])
+        assert c.predecessors((0, 1)) == []
+
+
+class TestRelevantCausality:
+    def test_relevant_pairs_only_relevant_events(self):
+        c = comp([(0, "w", "x"), (1, "r", "x"), (1, "w", "y")],
+                 relevant_vars={"x", "y"})
+        rel = c.relevant_events()
+        assert [e.eid for e in rel] == [(0, 1), (1, 2)]
+        pairs = {(a.eid, b.eid): v for a, b, v in c.relevant_pairs()}
+        assert pairs[((0, 1), (1, 2))] is True
+        assert pairs[((1, 2), (0, 1))] is False
+
+    def test_relevant_precedes_requires_both_relevant(self):
+        c = comp([(0, "w", "x"), (1, "r", "x"), (1, "w", "y")],
+                 relevant_vars={"y"})
+        e_wx = c.events[0]
+        e_wy = c.events[2]
+        assert c.precedes(e_wx, e_wy)
+        assert not c.relevant_precedes(e_wx, e_wy)  # wx not relevant
+        assert not e_wx.relevant and e_wy.relevant
+
+
+class TestLinearizations:
+    def test_chain_has_one_linearization(self):
+        c = comp([(0, "w", "x"), (1, "r", "x"), (1, "w", "x"), (0, "r", "x")])
+        assert c.count_linearizations() == 1
+
+    def test_independent_events_factorial(self):
+        c = comp([(0, "i", None), (1, "i", None), (2, "i", None)])
+        assert c.count_linearizations() == 6
+
+    def test_two_chains_binomial(self):
+        # two independent threads of 2 internal events each: C(4,2) = 6
+        c = comp([(0, "i", None), (0, "i", None), (1, "i", None), (1, "i", None)])
+        assert c.count_linearizations() == 6
+
+    def test_limit_overflow(self):
+        specs = [(t, "i", None) for t in range(3) for _ in range(4)]
+        c = comp(specs)
+        with pytest.raises(OverflowError):
+            c.count_linearizations(limit=10)
+
+    def test_is_consistent_run_accepts_execution_order(self):
+        specs = [(0, "w", "x"), (1, "r", "x"), (0, "w", "y"), (1, "w", "x")]
+        c = comp(specs)
+        assert c.is_consistent_run(list(c.events))
+
+    def test_is_consistent_run_rejects_violation(self):
+        c = comp([(0, "w", "x"), (1, "r", "x")])
+        e1, e2 = c.events
+        assert not c.is_consistent_run([e2, e1])
+
+    def test_is_consistent_run_rejects_wrong_length(self):
+        c = comp([(0, "w", "x"), (1, "r", "x")])
+        assert not c.is_consistent_run([c.events[0]])
+
+    def test_is_consistent_run_rejects_duplicates(self):
+        c = comp([(0, "w", "x"), (1, "r", "x")])
+        e1, _ = c.events
+        assert not c.is_consistent_run([e1, e1])
+
+
+class TestSyncCausality:
+    def test_data_edges_dropped_in_sync_mode(self):
+        events = execution_from_specs([(0, "w", "x"), (1, "w", "x")])
+        full = Computation(events)
+        sync = Computation(events, causality="sync")
+        assert full.precedes((0, 1), (1, 1))
+        assert sync.concurrent((0, 1), (1, 1))
+
+    def test_sync_edges_kept(self):
+        events = [
+            Event(thread=0, seq=1, kind=EventKind.WRITE, var="x", value=1),
+            Event(thread=0, seq=2, kind=EventKind.RELEASE, var="L"),
+            Event(thread=1, seq=1, kind=EventKind.ACQUIRE, var="L"),
+            Event(thread=1, seq=2, kind=EventKind.WRITE, var="x", value=2),
+        ]
+        sync = Computation(events, causality="sync")
+        assert sync.precedes((0, 1), (1, 2))
+
+    def test_program_order_kept_in_sync_mode(self):
+        sync = comp([(0, "w", "x"), (0, "w", "y")])
+        sync2 = Computation(execution_from_specs([(0, "w", "x"), (0, "w", "y")]),
+                            causality="sync")
+        assert sync2.precedes((0, 1), (0, 2))
+
+
+# ---------------------------------------------------------------------------
+# property-based: the partial order axioms hold on random executions
+# ---------------------------------------------------------------------------
+
+specs_strategy = st.lists(
+    st.tuples(
+        st.integers(0, 2),
+        st.sampled_from(["r", "w", "i"]),
+        st.sampled_from(["x", "y", "z"]),
+    ).map(lambda t: (t[0], t[1], None if t[1] == "i" else t[2])),
+    min_size=1,
+    max_size=14,
+)
+
+
+@given(specs_strategy)
+@settings(max_examples=60)
+def test_precedes_is_irreflexive_and_antisymmetric(specs):
+    c = comp(specs)
+    for a in c.events:
+        assert not c.precedes(a, a)
+        for b in c.events:
+            if c.precedes(a, b):
+                assert not c.precedes(b, a)
+
+
+@given(specs_strategy)
+@settings(max_examples=60)
+def test_precedes_is_transitive(specs):
+    c = comp(specs)
+    ev = c.events
+    for a in ev:
+        for b in ev:
+            if not c.precedes(a, b):
+                continue
+            for d in ev:
+                if c.precedes(b, d):
+                    assert c.precedes(a, d)
+
+
+@given(specs_strategy)
+@settings(max_examples=60)
+def test_execution_order_is_a_linearization(specs):
+    c = comp(specs)
+    assert c.is_consistent_run(list(c.events))
+
+
+@given(specs_strategy)
+@settings(max_examples=60)
+def test_precedence_implies_execution_order(specs):
+    """≺ must be consistent with the observed total order."""
+    c = comp(specs)
+    for a in c.events:
+        for b in c.events:
+            if c.precedes(a, b):
+                assert c.position(a) < c.position(b)

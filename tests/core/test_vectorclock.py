@@ -1,0 +1,337 @@
+"""Unit and property tests for multithreaded vector clocks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.vectorclock import (
+    ClockArena,
+    MutableVectorClock,
+    VectorClock,
+    concurrent,
+    join,
+    leq,
+    lt,
+)
+
+clock_components = st.lists(st.integers(min_value=0, max_value=50), min_size=1, max_size=8)
+
+
+def paired_clocks(draw):
+    xs = draw(clock_components)
+    ys = draw(st.lists(st.integers(min_value=0, max_value=50),
+                       min_size=len(xs), max_size=len(xs)))
+    return xs, ys
+
+
+clock_pairs = st.composite(paired_clocks)()
+clock_triples = st.composite(
+    lambda draw: (
+        lambda xs: (
+            xs,
+            draw(st.lists(st.integers(0, 50), min_size=len(xs), max_size=len(xs))),
+            draw(st.lists(st.integers(0, 50), min_size=len(xs), max_size=len(xs))),
+        )
+    )(draw(clock_components))
+)()
+
+
+# ---------------------------------------------------------------------------
+# function-level kernels
+# ---------------------------------------------------------------------------
+
+
+class TestKernels:
+    def test_leq_basic(self):
+        assert leq((1, 0), (1, 1))
+        assert not leq((1, 2), (2, 1))
+        assert leq((0, 0), (0, 0))
+
+    def test_lt_is_strict(self):
+        assert lt((1, 0), (1, 1))
+        assert not lt((1, 1), (1, 1))
+        assert not lt((2, 0), (1, 1))
+
+    def test_concurrent_symmetric_examples(self):
+        assert concurrent((1, 0), (0, 1))
+        assert not concurrent((1, 0), (1, 0))
+        assert not concurrent((1, 0), (1, 1))
+
+    def test_join_componentwise(self):
+        assert join((1, 5, 0), (3, 2, 0)) == (3, 5, 0)
+
+    def test_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            leq((1,), (1, 2))
+        with pytest.raises(ValueError):
+            lt((1,), (1, 2))
+        with pytest.raises(ValueError):
+            join((1,), (1, 2))
+
+    @given(clock_pairs)
+    def test_lt_iff_leq_and_neq(self, pair):
+        a, b = pair
+        assert lt(a, b) == (leq(a, b) and a != b)
+
+    @given(clock_pairs)
+    def test_exactly_one_relation_holds(self, pair):
+        """For any two clocks: a==b, a<b, b<a, or a||b — exactly one."""
+        a, b = pair
+        relations = [a == b, lt(a, b), lt(b, a), concurrent(a, b)]
+        assert sum(relations) == 1
+
+    @given(clock_pairs)
+    def test_join_is_upper_bound(self, pair):
+        a, b = pair
+        j = join(a, b)
+        assert leq(a, j) and leq(b, j)
+
+    @given(clock_triples)
+    def test_join_least_upper_bound(self, triple):
+        a, b, c = triple
+        if leq(a, c) and leq(b, c):
+            assert leq(join(a, b), c)
+
+    @given(clock_pairs)
+    def test_join_commutative(self, pair):
+        a, b = pair
+        assert join(a, b) == join(b, a)
+
+    @given(clock_triples)
+    def test_join_associative(self, triple):
+        a, b, c = triple
+        assert join(join(a, b), c) == join(a, join(b, c))
+
+    @given(clock_components)
+    def test_join_idempotent(self, a):
+        assert join(a, a) == tuple(a)
+
+    @given(clock_triples)
+    def test_leq_transitive(self, triple):
+        a, b, c = triple
+        if leq(a, b) and leq(b, c):
+            assert leq(a, c)
+
+
+# ---------------------------------------------------------------------------
+# VectorClock (immutable)
+# ---------------------------------------------------------------------------
+
+
+class TestVectorClock:
+    def test_zero_and_unit(self):
+        z = VectorClock.zero(3)
+        assert z.components == (0, 0, 0)
+        u = VectorClock.unit(3, 1)
+        assert u.components == (0, 1, 0)
+        assert z < u
+
+    def test_zero_requires_positive_width(self):
+        with pytest.raises(ValueError):
+            VectorClock.zero(0)
+
+    def test_negative_component_rejected(self):
+        with pytest.raises(ValueError):
+            VectorClock((1, -1))
+
+    def test_hashable_and_eq(self):
+        a = VectorClock((1, 2))
+        b = VectorClock((1, 2))
+        assert a == b and hash(a) == hash(b)
+        assert a == (1, 2)
+        assert len({a, b}) == 1
+
+    def test_ordering_operators(self):
+        a, b = VectorClock((1, 0)), VectorClock((1, 1))
+        assert a <= b and a < b and b >= a and b > a
+        assert not a.concurrent(b)
+        assert VectorClock((1, 0)).concurrent(VectorClock((0, 1)))
+
+    def test_join_and_meet(self):
+        a, b = VectorClock((1, 5)), VectorClock((3, 2))
+        assert a.join(b).components == (3, 5)
+        assert a.meet(b).components == (1, 2)
+
+    def test_meet_width_mismatch(self):
+        with pytest.raises(ValueError):
+            VectorClock((1,)).meet(VectorClock((1, 2)))
+
+    def test_incremented_is_copy(self):
+        a = VectorClock((1, 1))
+        b = a.incremented(0)
+        assert a.components == (1, 1)
+        assert b.components == (2, 1)
+
+    def test_sum_is_level(self):
+        assert VectorClock((2, 3, 1)).sum() == 6
+
+    def test_iteration_and_indexing(self):
+        a = VectorClock((4, 5))
+        assert list(a) == [4, 5]
+        assert a[1] == 5
+        assert len(a) == 2
+
+    def test_to_numpy(self):
+        arr = VectorClock((1, 2)).to_numpy()
+        assert arr.dtype == np.int64
+        assert arr.tolist() == [1, 2]
+
+    def test_repr(self):
+        assert "1" in repr(VectorClock((1, 0)))
+
+
+# ---------------------------------------------------------------------------
+# MutableVectorClock
+# ---------------------------------------------------------------------------
+
+
+class TestMutableVectorClock:
+    def test_zero_init_by_width(self):
+        m = MutableVectorClock(3)
+        assert list(m) == [0, 0, 0]
+
+    def test_init_from_components(self):
+        m = MutableVectorClock([1, 2])
+        assert list(m) == [1, 2]
+
+    def test_invalid_inits(self):
+        with pytest.raises(ValueError):
+            MutableVectorClock(0)
+        with pytest.raises(ValueError):
+            MutableVectorClock([-1, 0])
+
+    def test_increment(self):
+        m = MutableVectorClock(2)
+        m.increment(1)
+        m.increment(1)
+        assert list(m) == [0, 2]
+
+    def test_merge_is_in_place_join(self):
+        m = MutableVectorClock([1, 5, 0])
+        m.merge([3, 2, 0])
+        assert list(m) == [3, 5, 0]
+
+    def test_merge_accepts_immutable(self):
+        m = MutableVectorClock([1, 0])
+        m.merge(VectorClock((0, 7)))
+        assert list(m) == [1, 7]
+
+    def test_copy_from(self):
+        m = MutableVectorClock(2)
+        m.copy_from([4, 5])
+        assert list(m) == [4, 5]
+
+    def test_width_mismatch(self):
+        m = MutableVectorClock(2)
+        with pytest.raises(ValueError):
+            m.merge([1])
+        with pytest.raises(ValueError):
+            m.copy_from([1, 2, 3])
+
+    def test_snapshot_is_frozen(self):
+        m = MutableVectorClock([1, 2])
+        snap = m.snapshot()
+        m.increment(0)
+        assert snap.components == (1, 2)
+
+    def test_setitem_validation(self):
+        m = MutableVectorClock(2)
+        m[0] = 5
+        assert m[0] == 5
+        with pytest.raises(ValueError):
+            m[0] = -1
+
+    def test_grow(self):
+        m = MutableVectorClock([1, 2])
+        m.grow(4)
+        assert list(m) == [1, 2, 0, 0]
+        with pytest.raises(ValueError):
+            m.grow(1)
+
+    def test_eq_across_types(self):
+        assert MutableVectorClock([1, 2]) == VectorClock((1, 2))
+        assert MutableVectorClock([1, 2]) == MutableVectorClock([1, 2])
+
+    @given(clock_pairs)
+    def test_merge_matches_functional_join(self, pair):
+        a, b = pair
+        m = MutableVectorClock(a)
+        m.merge(b)
+        assert tuple(m) == join(a, b)
+
+
+# ---------------------------------------------------------------------------
+# ClockArena (numpy bulk kernel)
+# ---------------------------------------------------------------------------
+
+
+class TestClockArena:
+    def test_append_and_get(self):
+        a = ClockArena(width=2, capacity=1)
+        i = a.append((1, 0))
+        j = a.append(VectorClock((2, 3)))
+        assert i == 0 and j == 1
+        assert a.get(0).components == (1, 0)
+        assert a.get(1).components == (2, 3)
+        assert len(a) == 2
+
+    def test_capacity_doubles(self):
+        a = ClockArena(width=1, capacity=1)
+        for k in range(20):
+            a.append((k,))
+        assert [a.get(k)[0] for k in range(20)] == list(range(20))
+
+    def test_get_out_of_range(self):
+        a = ClockArena(width=2)
+        with pytest.raises(IndexError):
+            a.get(0)
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            ClockArena(width=0)
+        a = ClockArena(width=2)
+        with pytest.raises(ValueError):
+            a.append((1,))
+
+    def test_view_is_readonly_and_live_rows_only(self):
+        a = ClockArena(width=2, capacity=8)
+        a.append((1, 2))
+        v = a.view()
+        assert v.shape == (1, 2)
+        with pytest.raises(ValueError):
+            v[0, 0] = 9
+
+    @given(st.lists(st.tuples(st.integers(0, 9), st.integers(0, 9)),
+                    min_size=1, max_size=30),
+           st.tuples(st.integers(0, 9), st.integers(0, 9)))
+    @settings(max_examples=50)
+    def test_all_leq_matches_scalar(self, rows, probe):
+        a = ClockArena(width=2)
+        for r in rows:
+            a.append(r)
+        mask = a.all_leq(probe)
+        expected = [leq(r, probe) for r in rows]
+        assert mask.tolist() == expected
+
+    @given(st.lists(st.tuples(st.integers(0, 9), st.integers(0, 9)),
+                    min_size=1, max_size=30),
+           st.tuples(st.integers(0, 9), st.integers(0, 9)))
+    @settings(max_examples=50)
+    def test_all_geq_matches_scalar(self, rows, probe):
+        a = ClockArena(width=2)
+        for r in rows:
+            a.append(r)
+        assert a.all_geq(probe).tolist() == [leq(probe, r) for r in rows]
+
+    @given(st.lists(st.tuples(st.integers(0, 5), st.integers(0, 5), st.integers(0, 5)),
+                    min_size=1, max_size=20))
+    @settings(max_examples=50)
+    def test_pairwise_leq_matches_scalar(self, rows):
+        a = ClockArena(width=3)
+        for r in rows:
+            a.append(r)
+        m = a.pairwise_leq()
+        for i, ri in enumerate(rows):
+            for j, rj in enumerate(rows):
+                assert m[i, j] == leq(ri, rj)

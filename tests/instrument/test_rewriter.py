@@ -1,0 +1,229 @@
+"""Tests for the AST instrumentor (the code-instrumentation route)."""
+
+import pytest
+
+from repro.core import all_accesses
+from repro.instrument import InstrumentedRuntime, InstrumentError, instrument_function
+
+
+# Module-level functions so inspect.getsource works.
+
+def _simple():
+    x = 5
+    y = x + 1
+    return y
+
+
+def _augmented():
+    c = c + 0  # noqa: F821 - read then write of shared c
+    c += 3
+    c *= 2
+    return 0
+
+
+def _control_flow():
+    if flag == 1:  # noqa: F821
+        out = 10
+    else:
+        out = 20
+    total = 0
+    for _i in range(3):
+        total = total + out  # noqa: F821
+    return 0
+
+
+def _locals_untouched():
+    local = 1
+    local += 2
+    x = local  # only x is shared
+    return local
+
+
+def _chained():
+    x = y = 7  # noqa: F841 - both shared
+    return 0
+
+
+def _mixed_chain():
+    x = tmp = 4  # x shared, tmp local
+    return tmp
+
+
+def _deleter():
+    del x  # noqa: F821
+
+
+def _globaler():
+    global x
+    x = 1
+
+
+def _tuple_target():
+    x, y = 1, 2  # noqa: F841
+
+
+def _while_loop():
+    n = 0
+    while x > 0:  # noqa: F821
+        x -= 1  # noqa: F821
+        n += 1
+    return n
+
+
+def _nested_expression():
+    return (x + y) * x  # noqa: F821
+
+
+class TestRewriting:
+    def test_plain_assignments(self):
+        rt = InstrumentedRuntime({"x": 0, "y": 0})
+        f = instrument_function(_simple, {"x", "y"}, rt)
+        assert f() == 6
+        assert rt.store == {"x": 5, "y": 6}
+
+    def test_event_stream_shape(self):
+        rt = InstrumentedRuntime({"x": 0, "y": 0}, relevance=all_accesses())
+        f = instrument_function(_simple, {"x", "y"}, rt)
+        f()
+        assert [(e.kind.name, e.var) for e in rt.events] == [
+            ("WRITE", "x"), ("READ", "x"), ("WRITE", "y"), ("READ", "y")]
+
+    def test_augmented_assignments(self):
+        rt = InstrumentedRuntime({"c": 5})
+        f = instrument_function(_augmented, {"c"}, rt)
+        f()
+        assert rt.store["c"] == 16  # ((5+0)+3)*2
+
+    def test_augmented_emits_read_and_write(self):
+        rt = InstrumentedRuntime({"c": 0}, relevance=all_accesses())
+        f = instrument_function(_augmented, {"c"}, rt)
+        f()
+        kinds = [e.kind.name for e in rt.events]
+        assert kinds == ["READ", "WRITE"] * 3
+
+    def test_control_flow_reads(self):
+        rt = InstrumentedRuntime({"flag": 1, "out": 0, "total": 0})
+        f = instrument_function(_control_flow, {"flag", "out", "total"}, rt)
+        f()
+        assert rt.store["out"] == 10
+        assert rt.store["total"] == 30
+
+    def test_locals_not_instrumented(self):
+        rt = InstrumentedRuntime({"x": 0}, relevance=all_accesses())
+        f = instrument_function(_locals_untouched, {"x"}, rt)
+        assert f() == 3
+        # only one shared event: the write of x
+        assert [(e.kind.name, e.var) for e in rt.events] == [("WRITE", "x")]
+
+    def test_chained_shared_targets(self):
+        rt = InstrumentedRuntime({"x": 0, "y": 0})
+        f = instrument_function(_chained, {"x", "y"}, rt)
+        f()
+        assert rt.store == {"x": 7, "y": 7}
+
+    def test_mixed_chain_shared_and_local(self):
+        rt = InstrumentedRuntime({"x": 0})
+        f = instrument_function(_mixed_chain, {"x"}, rt)
+        assert f() == 4
+        assert rt.store["x"] == 4
+
+    def test_while_loop_over_shared(self):
+        rt = InstrumentedRuntime({"x": 3})
+        f = instrument_function(_while_loop, {"x"}, rt)
+        assert f() == 3
+        assert rt.store["x"] == 0
+
+    def test_nested_expression_reads(self):
+        rt = InstrumentedRuntime({"x": 2, "y": 3}, relevance=all_accesses())
+        f = instrument_function(_nested_expression, {"x", "y"}, rt)
+        assert f() == 10
+        reads = [e.var for e in rt.events]
+        assert reads == ["x", "y", "x"]
+
+
+class TestRejections:
+    def test_delete_shared_rejected(self):
+        rt = InstrumentedRuntime({"x": 0})
+        with pytest.raises(InstrumentError, match="delete"):
+            instrument_function(_deleter, {"x"}, rt)
+
+    def test_global_shared_rejected(self):
+        rt = InstrumentedRuntime({"x": 0})
+        with pytest.raises(InstrumentError, match="global"):
+            instrument_function(_globaler, {"x"}, rt)
+
+    def test_tuple_target_rejected(self):
+        rt = InstrumentedRuntime({"x": 0, "y": 0})
+        with pytest.raises(InstrumentError, match="write pattern"):
+            instrument_function(_tuple_target, {"x", "y"}, rt)
+
+    def test_undeclared_shared_name_rejected(self):
+        rt = InstrumentedRuntime({"x": 0})
+        with pytest.raises(InstrumentError, match="not declared"):
+            instrument_function(_simple, {"x", "y"}, rt)
+
+    def test_lambda_rejected(self):
+        rt = InstrumentedRuntime({"x": 0})
+        with pytest.raises(InstrumentError):
+            instrument_function(lambda: x, {"x"}, rt)  # noqa: F821
+
+
+class TestSemanticsPreservation:
+    def test_uninstrumented_names_see_globals(self):
+        rt = InstrumentedRuntime({"x": 0})
+
+        f = instrument_function(_uses_helper, {"x"}, rt)
+        assert f() == 42
+        assert rt.store["x"] == 42
+
+    def test_signature_preserved(self):
+        rt = InstrumentedRuntime({"acc": 0})
+        f = instrument_function(_with_args, {"acc"}, rt)
+        assert f(4, k=5) == 9
+        assert rt.store["acc"] == 9
+
+    def test_instrumented_marker(self):
+        rt = InstrumentedRuntime({"x": 0})
+        f = instrument_function(_simple, {"x"}, rt)
+        assert f.__instrumented_shared__ == frozenset({"x"})
+
+
+def _helper():
+    return 42
+
+
+def _uses_helper():
+    x = _helper()  # noqa: F841
+    return x
+
+
+def _with_args(n, k=0):
+    acc = n + k  # noqa: F841
+    return acc
+
+
+def _floordiv_aug():
+    c //= 2  # noqa: F821
+    return 0
+
+
+def _nested_reader():
+    def helper():
+        return x + 1  # noqa: F821 - shared read inside a nested function
+
+    y = helper()  # noqa: F841
+    return 0
+
+
+class TestMorePatterns:
+    def test_floordiv_augmented(self):
+        rt = InstrumentedRuntime({"c": 9})
+        f = instrument_function(_floordiv_aug, {"c"}, rt)
+        f()
+        assert rt.store["c"] == 4
+
+    def test_shared_read_inside_nested_function(self):
+        rt = InstrumentedRuntime({"x": 5, "y": 0})
+        f = instrument_function(_nested_reader, {"x", "y"}, rt)
+        f()
+        assert rt.store["y"] == 6

@@ -1,0 +1,207 @@
+"""Tests for the real-thread instrumented runtime (library-function route)."""
+
+import threading
+
+import pytest
+
+from repro.core import all_accesses
+from repro.core.vectorclock import lt
+from repro.instrument import (
+    InstrumentedRuntime,
+    SharedArray,
+    SharedStruct,
+    SharedVar,
+    run_threads,
+    to_execution_result,
+)
+
+
+class TestSingleThread:
+    def test_read_write_update(self):
+        rt = InstrumentedRuntime({"x": 1})
+        assert rt.read("x") == 1
+        rt.write("x", 5)
+        assert rt.read("x") == 5
+        rt.update("x", lambda v: v * 2)
+        assert rt.store["x"] == 10
+
+    def test_undeclared_variable_rejected(self):
+        rt = InstrumentedRuntime({})
+        with pytest.raises(KeyError):
+            rt.read("ghost")
+        with pytest.raises(KeyError):
+            rt.write("ghost", 1)
+
+    def test_declare_dynamic(self):
+        rt = InstrumentedRuntime({})
+        rt.declare("d", 7)
+        assert rt.read("d") == 7
+        with pytest.raises(ValueError):
+            rt.declare("d", 8)
+
+    def test_events_and_messages_recorded(self):
+        rt = InstrumentedRuntime({"x": 0})
+        rt.read("x")
+        rt.write("x", 1)
+        rt.internal("thinking")
+        assert [e.kind.name for e in rt.events] == ["READ", "WRITE", "INTERNAL"]
+        assert len(rt.messages) == 1  # default relevance: writes
+
+    def test_update_is_two_events(self):
+        rt = InstrumentedRuntime({"x": 0})
+        rt.update("x", lambda v: v + 1)
+        assert [e.kind.name for e in rt.events] == ["READ", "WRITE"]
+
+    def test_thread_index_stable(self):
+        rt = InstrumentedRuntime({})
+        assert rt.thread_index() == rt.thread_index() == 0
+
+    def test_register_thread_explicit_index(self):
+        rt = InstrumentedRuntime({})
+        assert rt.register_thread(3) == 3
+        assert rt.thread_index() == 3
+        with pytest.raises(RuntimeError):
+            rt.register_thread(1)
+
+
+class TestRealThreads:
+    def test_bodies_pinned_to_indices(self):
+        rt = InstrumentedRuntime({"a": 0, "b": 0})
+
+        def body_a(r):
+            r.write("a", 1)
+
+        def body_b(r):
+            r.write("b", 1)
+
+        run_threads(rt, [body_a, body_b])
+        by_thread = {m.thread: m.event.var for m in rt.messages}
+        assert by_thread == {0: "a", 1: "b"}
+
+    def test_exceptions_propagate(self):
+        rt = InstrumentedRuntime({"x": 0})
+
+        def bad(r):
+            raise ValueError("boom")
+
+        with pytest.raises(ValueError, match="boom"):
+            run_threads(rt, [bad])
+
+    def test_empty_bodies_rejected(self):
+        with pytest.raises(ValueError):
+            run_threads(InstrumentedRuntime({}), [])
+
+    def test_theorem3_holds_on_real_threads(self):
+        """Whatever the OS did, MVC order must equal ground truth (§2.2)."""
+        rt = InstrumentedRuntime({"x": 0, "y": 0}, relevance=all_accesses())
+
+        def worker(r):
+            for _ in range(5):
+                v = r.read("x")
+                r.write("x", v + 1)
+                r.write("y", v)
+
+        run_threads(rt, [worker] * 3)
+        result = to_execution_result(rt)
+        comp = result.computation()
+        by_eid = {m.event.eid: m for m in result.messages}
+        for a, b, truth in comp.relevant_pairs():
+            ma, mb = by_eid[a.eid], by_eid[b.eid]
+            assert ma.causally_precedes(mb) == truth
+            assert lt(tuple(ma.clock), tuple(mb.clock)) == truth
+
+    def test_locks_serialize_critical_sections(self):
+        rt = InstrumentedRuntime({"c": 0})
+
+        def worker(r):
+            for _ in range(20):
+                with r.lock("L"):
+                    v = r.read("c")
+                    r.write("c", v + 1)
+
+        run_threads(rt, [worker] * 4)
+        assert rt.store["c"] == 80  # no lost updates under the lock
+
+    def test_lock_events_emitted(self):
+        rt = InstrumentedRuntime({"c": 0}, relevance=all_accesses())
+
+        def worker(r):
+            with r.lock("L"):
+                r.write("c", 1)
+
+        run_threads(rt, [worker])
+        kinds = [e.kind.name for e in rt.events]
+        assert kinds == ["ACQUIRE", "WRITE", "RELEASE"]
+
+    def test_sequential_consistency_of_event_log(self):
+        """The recorded event order is a real total order consistent with
+        per-thread program order."""
+        rt = InstrumentedRuntime({"x": 0})
+
+        def worker(r):
+            for _ in range(10):
+                r.update("x", lambda v: v + 1)
+
+        run_threads(rt, [worker] * 3)
+        seqs = {}
+        for e in rt.events:
+            assert e.seq == seqs.get(e.thread, 0) + 1
+            seqs[e.thread] = e.seq
+
+
+class TestSharedWrappers:
+    def test_shared_var(self):
+        rt = InstrumentedRuntime({"x": 0})
+        x = SharedVar(rt, "x")
+        x.set(3)
+        assert x.get() == 3
+        x.incr(2)
+        assert x.get() == 5
+
+    def test_shared_var_declares_initial(self):
+        rt = InstrumentedRuntime({})
+        v = SharedVar(rt, "fresh", initial=9)
+        assert v.get() == 9
+
+    def test_shared_var_undeclared_without_initial(self):
+        rt = InstrumentedRuntime({})
+        with pytest.raises(KeyError):
+            SharedVar(rt, "ghost")
+
+    def test_shared_array_slots_independent(self):
+        rt = InstrumentedRuntime({})
+        arr = SharedArray(rt, "a", [0, 0, 0])
+        arr.set(1, 7)
+        assert arr.get(1) == 7 and arr.get(0) == 0
+        assert len(arr) == 3
+        with pytest.raises(IndexError):
+            arr.get(3)
+
+    def test_shared_array_slots_are_distinct_clock_vars(self):
+        rt = InstrumentedRuntime({}, relevance=all_accesses())
+        arr = SharedArray(rt, "a", [0, 0])
+
+        def w0(r):
+            arr.set(0, 1)
+
+        def w1(r):
+            arr.set(1, 1)
+
+        run_threads(rt, [w0, w1])
+        m0, m1 = rt.messages
+        assert m0.concurrent_with(m1)  # different slots never conflict
+
+    def test_shared_struct_fields(self):
+        rt = InstrumentedRuntime({})
+        p = SharedStruct(rt, "pt", {"x": 1, "y": 2})
+        p.x = 10
+        assert p.x + p.y == 12
+        with pytest.raises(AttributeError):
+            p.z = 1
+        with pytest.raises(AttributeError):
+            _ = p.unknown
+
+    def test_struct_field_clock_names(self):
+        rt = InstrumentedRuntime({})
+        SharedStruct(rt, "pt", {"x": 0})
+        assert "pt.x" in rt.initial_store

@@ -1,0 +1,173 @@
+"""SharedDict / SharedList / real-thread conditions (§3.1 dynamic sharing)."""
+
+import pytest
+
+from repro.core import all_accesses
+from repro.instrument import (
+    InstrumentedRuntime,
+    SharedDict,
+    SharedList,
+    run_threads,
+    to_execution_result,
+)
+
+
+class TestSharedDict:
+    def test_lazy_key_registration(self):
+        rt = InstrumentedRuntime({})
+        d = SharedDict(rt, "cfg")
+        d["mode"] = "fast"
+        assert "mode" in d
+        assert d["mode"] == "fast"
+        assert d.get("missing", 42) == 42
+
+    def test_initial_keys(self):
+        rt = InstrumentedRuntime({})
+        d = SharedDict(rt, "cfg", {"a": 1, "b": 2})
+        assert d.keys() == frozenset({"a", "b"})
+        assert d["a"] + d["b"] == 3
+
+    def test_missing_key_raises(self):
+        rt = InstrumentedRuntime({})
+        d = SharedDict(rt, "cfg")
+        with pytest.raises(KeyError):
+            d["ghost"]
+
+    def test_per_key_clock_independence(self):
+        rt = InstrumentedRuntime({}, relevance=all_accesses())
+        d = SharedDict(rt, "m", {"a": 0, "b": 0})
+
+        def wa(r):
+            d["a"] = 1
+
+        def wb(r):
+            d["b"] = 1
+
+        run_threads(rt, [wa, wb])
+        m1, m2 = rt.messages
+        assert m1.concurrent_with(m2)
+
+    def test_same_key_causally_ordered(self):
+        rt = InstrumentedRuntime({}, relevance=all_accesses())
+        d = SharedDict(rt, "m", {"a": 0})
+
+        def w1(r):
+            d["a"] = 1
+
+        def w2(r):
+            d.update_key("a", lambda v: v + 1)
+
+        run_threads(rt, [w1, w2])
+        writes = [m for m in rt.messages if m.event.kind.is_write]
+        a, b = writes
+        assert a.causally_precedes(b) or b.causally_precedes(a)
+
+
+class TestSharedList:
+    def test_capacity_validation(self):
+        rt = InstrumentedRuntime({})
+        with pytest.raises(ValueError):
+            SharedList(rt, "q", 0)
+
+    def test_append_and_snapshot(self):
+        rt = InstrumentedRuntime({})
+        q = SharedList(rt, "q", 4)
+        q.append("x")
+        q.append("y")
+        assert len(q) == 2
+        assert q.snapshot() == ["x", "y"]
+
+    def test_overflow(self):
+        rt = InstrumentedRuntime({})
+        q = SharedList(rt, "q", 1)
+        q.append(1)
+        with pytest.raises(IndexError):
+            q.append(2)
+
+    def test_index_bounds(self):
+        rt = InstrumentedRuntime({})
+        q = SharedList(rt, "q", 2)
+        with pytest.raises(IndexError):
+            q.get(2)
+        with pytest.raises(IndexError):
+            q.set(-1, 0)
+
+    def test_append_event_shape(self):
+        rt = InstrumentedRuntime({}, relevance=all_accesses())
+        q = SharedList(rt, "q", 2)
+        rt_events_before = len(rt.events)
+        q.append("v")
+        kinds = [(e.kind.name, e.var) for e in rt.events[rt_events_before:]]
+        assert kinds == [("READ", "q.len"), ("WRITE", "q[0]"),
+                         ("WRITE", "q.len")]
+
+    def test_concurrent_appends_race_on_len(self):
+        """Two unsynchronized appenders race on the length cursor — the race
+        detector sees it."""
+        from repro.analysis import find_races
+
+        rt = InstrumentedRuntime({}, relevance=all_accesses(),
+                                 sync_only_clocks=True)
+        q = SharedList(rt, "q", 8)
+
+        def appender(r):
+            q.append("v")
+
+        run_threads(rt, [appender, appender])
+        races = find_races(to_execution_result(rt))
+        assert any(r.var == "q.len" for r in races)
+
+
+class TestRealThreadConditions:
+    def test_notify_then_wait_proceeds(self):
+        rt = InstrumentedRuntime({"d": 0})
+        cond = rt.condition("c")
+        cond.notify()
+        cond.wait(timeout=5)  # sticky credit: no deadlock
+
+    def test_wait_timeout(self):
+        rt = InstrumentedRuntime({"d": 0})
+        cond = rt.condition("c")
+        with pytest.raises(TimeoutError):
+            cond.wait(timeout=0.05)
+
+    def test_handoff_edge_on_real_threads(self):
+        rt = InstrumentedRuntime({"data": 0, "done": 0})
+
+        def setter(r):
+            r.write("data", 42)
+            r.condition("c").notify()
+
+        def waiter(r):
+            r.condition("c").wait(timeout=10)
+            v = r.read("data")
+            r.write("done", 1 if v == 42 else -1)
+
+        run_threads(rt, [setter, waiter])
+        assert rt.store["done"] == 1
+        msgs = {m.event.var: m for m in rt.messages if m.event.var in ("data", "done")}
+        assert msgs["data"].causally_precedes(msgs["done"])
+
+    def test_notify_all(self):
+        rt = InstrumentedRuntime({"n": 0})
+
+        def waiter(r):
+            r.condition("c").wait(timeout=10)
+            r.update("n", lambda v: v + 1)
+
+        def notifier(r):
+            import time
+
+            time.sleep(0.05)  # let waiters block first
+            r.condition("c").notify_all()
+
+        run_threads(rt, [waiter, waiter, notifier])
+        assert rt.store["n"] == 2
+
+    def test_kinds_recorded(self):
+        rt = InstrumentedRuntime({})
+        cond = rt.condition("c")
+        cond.notify()
+        cond.wait(timeout=5)
+        kinds = [e.kind.name for e in rt.events]
+        assert kinds == ["NOTIFY", "WAKE"]

@@ -1,0 +1,85 @@
+"""E8: synchronization modeled as shared-variable writes prunes infeasible
+runs from the lattice (paper §3.1)."""
+
+from repro.core import all_accesses
+from repro.lattice import ComputationLattice
+from repro.sched import FixedScheduler, run_program
+from repro.workloads import (
+    handoff,
+    locked_counter,
+    producer_consumer,
+    racy_counter,
+)
+
+
+def lattice_of(execution, variables):
+    initial = {v: execution.initial_store[v] for v in variables}
+    return ComputationLattice(execution.n_threads, initial, execution.messages)
+
+
+class TestLockPruning:
+    def test_locked_counter_lattice_is_a_chain(self):
+        """Lock events totally order the critical sections, so the lattice
+        of c-writes has exactly one run."""
+        ex = run_program(locked_counter(2, 2), FixedScheduler([], strict=False))
+        lat = lattice_of(ex, ("c",))
+        assert lat.count_runs() == 1
+
+    def test_racy_counter_lattice_is_a_chain_too(self):
+        """Subtle: even unlocked, writes of the same variable are ordered by
+        write-write causality — the *runs* don't vary; what varies across
+        schedules is the data (lost updates), which prediction keeps fixed."""
+        ex = run_program(racy_counter(2, 1), FixedScheduler([], strict=False))
+        lat = lattice_of(ex, ("c",))
+        assert lat.count_runs() == 1
+
+    def test_unlocked_two_variables_do_interleave(self):
+        """Writes of *different* variables stay permutable without locks."""
+        from repro.sched.program import Program, Write, straightline
+
+        p = Program(
+            initial={"p": 0, "q": 0},
+            threads=[straightline([Write("p", 1)]),
+                     straightline([Write("q", 1)])],
+        )
+        ex = run_program(p, FixedScheduler([], strict=False))
+        lat = lattice_of(ex, ("p", "q"))
+        assert lat.count_runs() == 2
+
+    def test_lock_brackets_order_cross_variable_writes(self):
+        """With both writes inside the same lock, the 2 runs collapse to 1 —
+        §3.1's 'causal dependency between any exit and any entry'."""
+        from repro.sched.program import Acquire, Program, Release, Write, straightline
+
+        p = Program(
+            initial={"p": 0, "q": 0, "L": 0},
+            threads=[straightline([Acquire("L"), Write("p", 1), Release("L")]),
+                     straightline([Acquire("L"), Write("q", 1), Release("L")])],
+        )
+        ex = run_program(p, FixedScheduler([], strict=False),
+                         relevance=all_accesses({"p", "q"}))
+        lat = lattice_of(ex, ("p", "q"))
+        assert lat.count_runs() == 1
+
+
+class TestWaitNotifyEdges:
+    def test_handoff_never_predicts_consume_before_produce(self):
+        ex = run_program(handoff(), FixedScheduler([], strict=False))
+        lat = lattice_of(ex, ("data", "done"))
+        for run in lat.runs():
+            labels = [m.event.label for m in run.messages]
+            assert labels.index("data=42") < labels.index("done")
+
+    def test_producer_consumer_orders_produce_consume(self):
+        ex = run_program(producer_consumer(2), FixedScheduler([], strict=False))
+        lat = lattice_of(ex, ("slot", "consumed"))
+        for run in lat.runs():
+            labels = [m.event.label for m in run.messages]
+            for i in (1, 2):
+                assert labels.index(f"produce {i}") < labels.index(f"consume {i}")
+
+    def test_notify_edge_visible_in_clocks(self):
+        ex = run_program(handoff(), FixedScheduler([], strict=False))
+        data_msg = next(m for m in ex.messages if m.event.var == "data")
+        done_msg = next(m for m in ex.messages if m.event.var == "done")
+        assert data_msg.causally_precedes(done_msg)

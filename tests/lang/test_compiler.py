@@ -1,0 +1,231 @@
+"""MiniLang compiler/interpreter tests: semantics, event shape, static
+checks, and end-to-end predictive analysis from source."""
+
+import pytest
+
+from repro.analysis import detect, predict
+from repro.lang import MiniLangError, compile_source
+from repro.sched import DeadlockError, FixedScheduler, RandomScheduler, run_program
+from repro.workloads import LANDING_PROPERTY
+
+
+def run_src(src, schedule=None, **kw):
+    p = compile_source(src)
+    sched = FixedScheduler(schedule or [], strict=False)
+    return run_program(p, sched, **kw)
+
+
+class TestSemantics:
+    def test_arithmetic(self):
+        ex = run_src("shared int x = 0;\nthread t { x = (2 + 3) * 4 - 6 / 2; }")
+        assert ex.final_store["x"] == 17
+
+    def test_locals_do_not_emit_events(self):
+        ex = run_src("shared int x = 0;\n"
+                     "thread t { local int a = 5; local int b = a * 2; x = b; }")
+        assert ex.final_store["x"] == 10
+        # only one shared access: the write of x
+        assert [e.kind.name for e in ex.events] == ["WRITE"]
+
+    def test_shared_reads_emit_events(self):
+        ex = run_src("shared int x = 1, y = 0;\nthread t { y = x + x; }")
+        kinds = [(e.kind.name, e.var) for e in ex.events]
+        assert kinds == [("READ", "x"), ("READ", "x"), ("WRITE", "y")]
+        assert ex.final_store["y"] == 2
+
+    def test_if_else_branches(self):
+        src = ("shared int x = %d, y = 0;\n"
+               "thread t { if (x > 0) { y = 1; } else { y = 2; } }")
+        assert run_src(src % 5).final_store["y"] == 1
+        assert run_src(src % 0).final_store["y"] == 2
+
+    def test_while_loop(self):
+        ex = run_src("shared int n = 0;\n"
+                     "thread t { local int i = 0; "
+                     "while (i < 4) { n = n + 1; i = i + 1; } }")
+        assert ex.final_store["n"] == 4
+
+    def test_short_circuit_and(self):
+        """x == 0 short-circuits: y is never read."""
+        ex = run_src("shared int x = 0, y = 0, z = 0;\n"
+                     "thread t { if (x == 1 && y == 1) { z = 1; } }")
+        read_vars = [e.var for e in ex.events if e.kind.name == "READ"]
+        assert read_vars == ["x"]
+
+    def test_short_circuit_or(self):
+        ex = run_src("shared int x = 1, y = 0, z = 0;\n"
+                     "thread t { if (x == 1 || y == 1) { z = 1; } }")
+        read_vars = [e.var for e in ex.events if e.kind.name == "READ"]
+        assert read_vars == ["x"]
+        assert ex.final_store["z"] == 1
+
+    def test_unary_operators(self):
+        ex = run_src("shared int x = 0, y = 0;\n"
+                     "thread t { x = -3; y = !0 + !5; }")
+        assert ex.final_store["x"] == -3
+        assert ex.final_store["y"] == 1
+
+    def test_skip_is_internal(self):
+        ex = run_src("shared int x = 0;\nthread t { skip; }")
+        assert [e.kind.name for e in ex.events] == ["INTERNAL"]
+
+
+class TestSynchronization:
+    def test_lock_unlock(self):
+        src = ("shared int c = 0;\n"
+               "thread a { lock(m); c = c + 1; unlock(m); }\n"
+               "thread b { lock(m); c = c + 1; unlock(m); }")
+        for seed in range(5):
+            ex = run_program(compile_source(src), RandomScheduler(seed))
+            assert ex.final_store["c"] == 2
+
+    def test_wait_notify(self):
+        src = ("shared int d = 0, got = 0;\n"
+               "thread producer { d = 42; notify(c); }\n"
+               "thread consumer { wait(c); got = d; }")
+        ex = run_src(src)
+        assert ex.final_store["got"] == 42
+
+    def test_deadlock_reachable(self):
+        src = ("shared int x = 0;\n"
+               "thread a { lock(A); lock(B); unlock(B); unlock(A); }\n"
+               "thread b { lock(B); lock(A); unlock(A); unlock(B); }")
+        with pytest.raises(DeadlockError):
+            run_src(src, schedule=[0, 1, 0])
+
+
+class TestStaticChecks:
+    def test_undefined_variable(self):
+        with pytest.raises(MiniLangError, match="undefined variable 'ghost'"):
+            compile_source("shared int x = 0;\nthread t { x = ghost; }")
+
+    def test_assignment_to_undeclared(self):
+        with pytest.raises(MiniLangError, match="undeclared"):
+            compile_source("shared int x = 0;\nthread t { ghost = 1; }")
+
+    def test_local_shadowing_shared_rejected(self):
+        with pytest.raises(MiniLangError, match="shadows"):
+            compile_source("shared int x = 0;\nthread t { local int x = 1; }")
+
+    def test_duplicate_local_rejected(self):
+        with pytest.raises(MiniLangError, match="duplicate local"):
+            compile_source("shared int x = 0;\n"
+                           "thread t { local int a = 1; local int a = 2; }")
+
+    def test_locals_are_thread_scoped(self):
+        # the same local name in two threads is fine
+        compile_source("shared int x = 0;\n"
+                       "thread a { local int i = 1; x = i; }\n"
+                       "thread b { local int i = 2; x = i; }")
+
+
+LANDING_SRC = """
+shared int landing = 0, approved = 0, radio = 1;
+
+thread controller {
+    if (radio == 0) { approved = 0; } else { approved = 1; }
+    if (approved == 1) { landing = 1; }
+}
+
+thread watchdog {
+    local int i = 0;
+    while (radio == 1 && i < 3) {
+        skip;                       // checkRadio
+        i = i + 1;
+        if (i == 2) { radio = 0; }
+    }
+}
+"""
+
+
+class TestEndToEnd:
+    def test_fig1_from_source_reproduces_fig5(self):
+        """The paper's Fig. 1 written as MiniLang source: the compiler
+        inserts the instrumentation, and the analysis predicts both Fig. 5
+        violations from the successful run."""
+        program = compile_source(LANDING_SRC, name="landing-src")
+        ex = run_program(program, FixedScheduler([0] * 8, strict=False))
+        assert detect(ex, LANDING_PROPERTY).ok
+        report = predict(ex, LANDING_PROPERTY, mode="full")
+        assert report.nodes == 6
+        assert report.n_runs == 3
+        assert len(report.violations) == 2
+        assert report.predicted
+
+    def test_relevant_vars_are_all_shared(self):
+        program = compile_source(LANDING_SRC)
+        assert program.default_relevance_vars() == frozenset(
+            {"landing", "approved", "radio"})
+
+    def test_source_program_explorable(self):
+        from repro.sched import explore_all
+
+        program = compile_source(
+            "shared int p = 0, q = 0;\nthread a { p = 1; }\nthread b { q = 1; }"
+        )
+        assert sum(1 for _ in explore_all(program)) == 2
+
+
+class TestSpawnJoin:
+    POOL_SRC = (
+        "shared int done = 0, total = 0;\n"
+        "worker adder {\n"
+        "    lock(m); total = total + 1; unlock(m);\n"
+        "}\n"
+        "thread main {\n"
+        "    spawn adder;\n"
+        "    spawn adder;\n"
+        "    join adder;\n"
+        "    join adder;\n"
+        "    done = 1;\n"
+        "}\n"
+    )
+
+    def test_workers_spawned_and_joined(self):
+        ex = run_src(self.POOL_SRC)
+        assert ex.n_threads == 3
+        assert ex.final_store == {"done": 1, "total": 2}
+
+    def test_join_edges_in_causality(self):
+        from repro.core import CausalityIndex
+
+        ex = run_src(self.POOL_SRC)
+        idx = CausalityIndex(ex.n_threads, ex.messages)
+        done = next(m for m in ex.messages if m.event.var == "done")
+        for m in ex.messages:
+            if m.event.var == "total":
+                assert idx.precedes(m, done)
+
+    def test_workers_not_auto_started(self):
+        src = ("shared int x = 0;\n"
+               "worker never { x = 99; }\n"
+               "thread main { x = 1; }\n")
+        ex = run_src(src)
+        assert ex.n_threads == 1
+        assert ex.final_store["x"] == 1
+
+    def test_spawn_unknown_template_rejected(self):
+        with pytest.raises(MiniLangError, match="no worker template"):
+            compile_source("shared int x = 0;\nthread t { spawn ghost; }")
+
+    def test_join_without_spawn_is_runtime_error(self):
+        src = ("shared int x = 0;\n"
+               "worker w { x = 1; }\n"
+               "thread t { join w; }\n")
+        with pytest.raises(MiniLangError, match="no unjoined spawn"):
+            run_src(src)
+
+    def test_template_only_program_rejected(self):
+        with pytest.raises(MiniLangError, match="no .*template.* threads"):
+            compile_source("shared int x = 0;\nworker w { x = 1; }")
+
+    def test_workers_can_spawn_workers(self):
+        src = (
+            "shared int n = 0;\n"
+            "worker leaf { lock(m); n = n + 1; unlock(m); }\n"
+            "worker mid { spawn leaf; join leaf; }\n"
+            "thread main { spawn mid; join mid; }\n"
+        )
+        ex = run_src(src)
+        assert ex.n_threads == 3
+        assert ex.final_store["n"] == 1

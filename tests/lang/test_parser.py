@@ -1,0 +1,137 @@
+"""MiniLang parser tests."""
+
+import pytest
+
+from repro.lang.ast import (
+    Assign,
+    Binary,
+    Block,
+    If,
+    LocalDecl,
+    LockStmt,
+    Name,
+    NotifyStmt,
+    Num,
+    Skip,
+    Unary,
+    UnlockStmt,
+    WaitStmt,
+    While,
+)
+from repro.lang.parser import MiniLangError, parse_source
+
+
+def first_stmt(body: str):
+    ast = parse_source(f"shared int x = 0, y = 0;\nthread t {{ {body} }}")
+    return ast.threads[0].body.statements[0]
+
+
+class TestTopLevel:
+    def test_shared_declarations(self):
+        ast = parse_source("shared int a = 1, b = -2;\nshared int c = 0;\n"
+                           "thread t { skip; }")
+        assert ast.shared_names() == ("a", "b", "c")
+        assert ast.initial_values() == {"a": 1, "b": -2, "c": 0}
+
+    def test_multiple_threads(self):
+        ast = parse_source("shared int x = 0;\n"
+                           "thread a { skip; }\nthread b { x = 1; }")
+        assert [t.name for t in ast.threads] == ["a", "b"]
+
+    def test_no_threads_rejected(self):
+        with pytest.raises(MiniLangError, match="no .*threads"):
+            parse_source("shared int x = 0;")
+
+    def test_duplicate_shared_rejected(self):
+        with pytest.raises(MiniLangError, match="duplicate shared"):
+            parse_source("shared int x = 0, x = 1;\nthread t { skip; }")
+
+    def test_duplicate_thread_rejected(self):
+        with pytest.raises(MiniLangError, match="duplicate thread"):
+            parse_source("shared int x = 0;\n"
+                         "thread t { skip; }\nthread t { skip; }")
+
+    def test_comments_ignored(self):
+        ast = parse_source("// header\nshared int x = 0; // trailing\n"
+                           "thread t { skip; // mid\n }")
+        assert ast.shared_names() == ("x",)
+
+    def test_unexpected_character(self):
+        with pytest.raises(MiniLangError, match="unexpected character"):
+            parse_source("shared int x = 0; $")
+
+    def test_error_carries_line_number(self):
+        try:
+            parse_source("shared int x = 0;\nthread t {\n  x = ;\n}")
+        except MiniLangError as exc:
+            assert exc.line == 3
+        else:  # pragma: no cover
+            pytest.fail("expected MiniLangError")
+
+
+class TestStatements:
+    def test_assignment(self):
+        s = first_stmt("x = y + 1;")
+        assert isinstance(s, Assign) and s.target == "x"
+        assert isinstance(s.value, Binary) and s.value.op == "+"
+
+    def test_local_decl(self):
+        s = first_stmt("local int t = 3;")
+        assert isinstance(s, LocalDecl) and s.name == "t"
+        assert s.value == Num(3)
+
+    def test_skip(self):
+        assert isinstance(first_stmt("skip;"), Skip)
+
+    def test_if_else(self):
+        s = first_stmt("if (x == 0) { y = 1; } else { y = 2; }")
+        assert isinstance(s, If)
+        assert isinstance(s.then, Block) and isinstance(s.orelse, Block)
+
+    def test_if_without_else(self):
+        s = first_stmt("if (x == 0) { y = 1; }")
+        assert isinstance(s, If) and s.orelse is None
+
+    def test_while(self):
+        s = first_stmt("while (x < 3) { x = x + 1; }")
+        assert isinstance(s, While)
+
+    def test_sync_statements(self):
+        assert isinstance(first_stmt("lock(m);"), LockStmt)
+        assert isinstance(first_stmt("unlock(m);"), UnlockStmt)
+        assert isinstance(first_stmt("wait(c);"), WaitStmt)
+        assert isinstance(first_stmt("notify(c);"), NotifyStmt)
+
+    def test_missing_semicolon(self):
+        with pytest.raises(MiniLangError):
+            first_stmt("x = 1")
+
+    def test_unterminated_block(self):
+        with pytest.raises(MiniLangError, match="unterminated|end of input"):
+            parse_source("shared int x = 0;\nthread t { skip;")
+
+
+class TestExpressions:
+    def test_precedence_arith(self):
+        s = first_stmt("x = 1 + 2 * 3;")
+        assert isinstance(s.value, Binary) and s.value.op == "+"
+        assert isinstance(s.value.right, Binary) and s.value.right.op == "*"
+
+    def test_boolean_precedence(self):
+        s = first_stmt("x = y == 1 && x == 0 || y == 2;")
+        assert s.value.op == "||"
+        assert s.value.left.op == "&&"
+
+    def test_unary(self):
+        s = first_stmt("x = !(y == 1);")
+        assert isinstance(s.value, Unary) and s.value.op == "!"
+        s = first_stmt("x = -y;")
+        assert isinstance(s.value, Unary) and s.value.op == "-"
+
+    def test_parenthesized(self):
+        s = first_stmt("x = (1 + y) * 2;")
+        assert s.value.op == "*"
+
+    def test_name_reference(self):
+        s = first_stmt("x = y;")
+        assert s.value == Name("y")

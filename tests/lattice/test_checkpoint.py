@@ -1,0 +1,110 @@
+"""Checkpoint/restore of the level-by-level builder, and state projection."""
+
+import random
+
+import pytest
+
+from repro.lattice import LevelByLevelBuilder
+from repro.logic import Monitor
+from repro.sched import RandomScheduler, run_program
+from repro.workloads import (
+    XYZ_PROPERTY,
+    XYZ_VARS,
+    random_program,
+    xyz_program,
+)
+
+
+def fresh_builder(execution, variables, spec=None, **kw):
+    initial = {v: execution.initial_store[v] for v in variables}
+    monitor = Monitor(spec) if spec else None
+    return LevelByLevelBuilder(execution.n_threads, initial, monitor,
+                               track_paths=False, **kw)
+
+
+class TestCheckpoint:
+    def test_round_trip_mid_stream(self, xyz_execution):
+        msgs = list(xyz_execution.messages)
+        b = fresh_builder(xyz_execution, XYZ_VARS, spec=XYZ_PROPERTY)
+        b.feed_many(msgs[:2])
+        snap = b.checkpoint()
+        restored = LevelByLevelBuilder.restore(snap, monitor=Monitor(XYZ_PROPERTY))
+        restored.feed_many(msgs[2:])
+        restored.finish()
+        assert restored.complete
+        assert len(restored.violations) == 1
+
+    def test_restored_equals_uninterrupted(self):
+        for seed in range(5):
+            program = random_program(random.Random(seed), n_threads=2,
+                                     n_vars=2, ops_per_thread=5,
+                                     write_ratio=0.8)
+            ex = run_program(program, RandomScheduler(seed))
+            variables = sorted(program.default_relevance_vars())
+            spec = "historically(v0 >= 0)"
+            straight = fresh_builder(ex, variables, spec=spec)
+            straight.feed_many(ex.messages)
+            straight.finish()
+
+            cut_at = len(ex.messages) // 2
+            part = fresh_builder(ex, variables, spec=spec)
+            part.feed_many(ex.messages[:cut_at])
+            snap = part.checkpoint()
+            resumed = LevelByLevelBuilder.restore(snap, monitor=Monitor(spec))
+            resumed.feed_many(ex.messages[cut_at:])
+            resumed.finish()
+
+            assert resumed.complete
+            assert (len(resumed.violations) > 0) == (len(straight.violations) > 0), seed
+
+    def test_checkpoint_requires_untracked_paths(self, xyz_execution):
+        initial = {v: xyz_execution.initial_store[v] for v in XYZ_VARS}
+        b = LevelByLevelBuilder(2, initial, track_paths=True)
+        with pytest.raises(RuntimeError, match="track_paths"):
+            b.checkpoint()
+
+    def test_checkpoint_after_finish_rejected(self, xyz_execution):
+        b = fresh_builder(xyz_execution, XYZ_VARS)
+        b.feed_many(xyz_execution.messages)
+        b.finish()
+        with pytest.raises(RuntimeError, match="finished"):
+            b.checkpoint()
+
+    def test_checkpoint_at_stream_start(self, xyz_execution):
+        b = fresh_builder(xyz_execution, XYZ_VARS, spec=XYZ_PROPERTY)
+        snap = b.checkpoint()
+        restored = LevelByLevelBuilder.restore(snap, monitor=Monitor(XYZ_PROPERTY))
+        restored.feed_many(xyz_execution.messages)
+        restored.finish()
+        assert len(restored.violations) == 1
+
+
+class TestProjection:
+    def test_states_restricted_to_monitor_vars(self, xyz_execution):
+        """With a monitor for x only, node states do not carry y/z."""
+        initial = dict(xyz_execution.initial_store)
+        b = LevelByLevelBuilder(2, initial, Monitor("x >= -1"),
+                                track_paths=False)
+        b.feed_many(xyz_execution.messages)
+        b.finish()
+        for state in b.frontier.values():
+            assert set(state) <= {"x"}
+
+    def test_projection_override(self, xyz_execution):
+        initial = dict(xyz_execution.initial_store)
+        b = LevelByLevelBuilder(2, initial, project={"y"})
+        b.feed_many(xyz_execution.messages)
+        b.finish()
+        for state in b.frontier.values():
+            assert set(state) <= {"y"}
+
+    def test_projection_does_not_change_verdicts(self, xyz_execution):
+        initial = dict(xyz_execution.initial_store)
+        wide = LevelByLevelBuilder(2, initial, Monitor(XYZ_PROPERTY),
+                                   project=initial.keys())
+        wide.feed_many(xyz_execution.messages)
+        wide.finish()
+        narrow = LevelByLevelBuilder(2, initial, Monitor(XYZ_PROPERTY))
+        narrow.feed_many(xyz_execution.messages)
+        narrow.finish()
+        assert len(wide.violations) == len(narrow.violations) == 1

@@ -1,0 +1,128 @@
+"""Tests for consistent cuts and message chains."""
+
+import pytest
+
+from repro.core.events import Event, EventKind, Message
+from repro.core.vectorclock import VectorClock
+from repro.lattice.cut import MessageChains, apply_message
+
+
+def msg(thread, seq, clock, var="x", value=1, kind=EventKind.WRITE):
+    return Message(
+        event=Event(thread=thread, seq=seq, kind=kind, var=var, value=value,
+                    relevant=True),
+        thread=thread,
+        clock=VectorClock(clock),
+    )
+
+
+@pytest.fixture
+def fig6_chains(xyz_execution):
+    c = MessageChains(2)
+    for m in xyz_execution.messages:
+        c.insert(m)
+    return c
+
+
+class TestInsertion:
+    def test_relevant_index_is_clock_component(self):
+        c = MessageChains(2)
+        m = msg(0, 5, (2, 1))  # 2nd relevant event of thread 0
+        c.insert(m)
+        assert c.get(0, 2) is m
+        assert c.get(0, 1) is None
+
+    def test_duplicate_index_rejected(self):
+        c = MessageChains(2)
+        c.insert(msg(0, 1, (1, 0)))
+        with pytest.raises(ValueError, match="duplicate"):
+            c.insert(msg(0, 2, (1, 0)))
+
+    def test_out_of_range_thread(self):
+        c = MessageChains(1)
+        with pytest.raises(ValueError):
+            c.insert(msg(1, 1, (0, 1)))
+
+    def test_zero_clock_component_rejected(self):
+        c = MessageChains(2)
+        bad = msg(0, 1, (0, 1))
+        with pytest.raises(ValueError):
+            c.insert(bad)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            MessageChains(0)
+
+
+class TestCountsAndGaps:
+    def test_counts_stop_at_gap(self):
+        c = MessageChains(1)
+        c.insert(msg(0, 1, (1,)))
+        c.insert(msg(0, 5, (3,)))  # index 2 missing
+        assert c.counts() == (1,)
+        assert c.totals() == (2,)
+        assert c.has_gap(0)
+
+    def test_no_gap_when_contiguous(self):
+        c = MessageChains(1)
+        c.insert(msg(0, 1, (1,)))
+        c.insert(msg(0, 2, (2,)))
+        assert not c.has_gap(0)
+        assert c.counts() == (2,)
+
+    def test_all_messages_sorted_per_thread(self, fig6_chains):
+        msgs = list(fig6_chains.all_messages())
+        assert [m.clock[m.thread] for m in msgs] == [1, 2, 1, 2]
+
+
+class TestEnabled:
+    def test_enabled_at_bottom_only_minimal(self, fig6_chains):
+        # Fig. 6: only e1 (thread 0, clock (1,0)) is enabled at (0, 0)
+        assert fig6_chains.enabled_at((0, 0), 0) is not None
+        assert fig6_chains.enabled_at((0, 0), 1) is None  # e2 needs e1
+
+    def test_enabled_after_dependency(self, fig6_chains):
+        m = fig6_chains.enabled_at((1, 0), 1)
+        assert m is not None and tuple(m.clock) == (1, 1)
+
+    def test_absent_message_not_enabled(self, fig6_chains):
+        assert fig6_chains.enabled_at((2, 2), 0) is None  # chain exhausted
+
+
+class TestConsistency:
+    def test_fig6_consistent_cuts(self, fig6_chains):
+        consistent = {(k1, k2)
+                      for k1 in range(3) for k2 in range(3)
+                      if fig6_chains.is_consistent((k1, k2))}
+        # the 7 nodes of Fig. 6 (S00..S22; (0,1) and (0,2) are inconsistent)
+        assert consistent == {(0, 0), (1, 0), (2, 0), (1, 1),
+                              (2, 1), (1, 2), (2, 2)}
+
+    def test_negative_or_overflow_cut(self, fig6_chains):
+        assert not fig6_chains.is_consistent((-1, 0))
+        assert not fig6_chains.is_consistent((3, 0))
+
+    def test_width_mismatch(self, fig6_chains):
+        with pytest.raises(ValueError):
+            fig6_chains.is_consistent((0,))
+
+
+class TestApplyMessage:
+    def test_write_updates_variable(self):
+        s = apply_message({"x": 0, "y": 5}, msg(0, 1, (1, 0), var="x", value=9))
+        assert s == {"x": 9, "y": 5}
+
+    def test_original_state_untouched(self):
+        base = {"x": 0}
+        apply_message(base, msg(0, 1, (1, 0), var="x", value=9))
+        assert base == {"x": 0}
+
+    def test_read_event_leaves_state(self):
+        s = apply_message({"x": 3}, msg(0, 1, (1, 0), var="x", kind=EventKind.READ))
+        assert s == {"x": 3}
+
+    def test_sync_write_updates_lock_var(self):
+        s = apply_message({"L": 0}, msg(0, 1, (1, 0), var="L",
+                                        kind=EventKind.ACQUIRE, value=None))
+        # acquire is write-weight; value None is written as-is
+        assert "L" in s

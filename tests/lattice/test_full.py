@@ -1,0 +1,181 @@
+"""Tests for the fully-materialized computation lattice (Figs. 5 and 6)."""
+
+import random
+
+import pytest
+
+from repro.lattice.full import ComputationLattice
+from repro.sched import FixedScheduler, RandomScheduler, run_program
+from repro.workloads import (
+    LANDING_VARS,
+    XYZ_VARS,
+    random_program,
+    xyz_program,
+)
+
+
+@pytest.fixture
+def fig6(xyz_execution):
+    initial = {v: xyz_execution.initial_store[v] for v in XYZ_VARS}
+    return ComputationLattice(2, initial, xyz_execution.messages)
+
+
+@pytest.fixture
+def fig5(landing_execution):
+    initial = {v: landing_execution.initial_store[v] for v in LANDING_VARS}
+    return ComputationLattice(2, initial, landing_execution.messages)
+
+
+class TestFig5:
+    def test_six_states(self, fig5):
+        assert len(fig5) == 6
+
+    def test_exact_state_set(self, fig5):
+        states = {fig5.state_tuple(c, LANDING_VARS) for c in fig5.cuts}
+        assert states == {
+            (0, 0, 1), (0, 1, 1), (1, 1, 1),
+            (0, 0, 0), (0, 1, 0), (1, 1, 0),
+        }
+
+    def test_three_runs(self, fig5):
+        assert fig5.count_runs() == 3
+        assert len(list(fig5.runs())) == 3
+
+    def test_all_runs_end_in_same_final_state(self, fig5):
+        finals = {run.state_tuples(LANDING_VARS)[-1] for run in fig5.runs()}
+        assert finals == {(1, 1, 0)}
+
+
+class TestFig6:
+    def test_seven_states(self, fig6):
+        assert len(fig6) == 7
+
+    def test_cut_set(self, fig6):
+        assert fig6.cuts == {(0, 0), (1, 0), (2, 0), (1, 1),
+                             (2, 1), (1, 2), (2, 2)}
+
+    def test_state_labels_match_figure(self, fig6):
+        expected = {
+            (0, 0): (-1, 0, 0),  # S0,0
+            (1, 0): (0, 0, 0),   # S1,0
+            (2, 0): (0, 1, 0),   # S2,0
+            (1, 1): (0, 0, 1),   # S1,1
+            (2, 1): (0, 1, 1),   # S2,1
+            (1, 2): (1, 0, 1),   # S1,2
+            (2, 2): (1, 1, 1),   # S2,2
+        }
+        for cut, state in expected.items():
+            assert fig6.state_tuple(cut, XYZ_VARS) == state, cut
+
+    def test_three_runs(self, fig6):
+        assert fig6.count_runs() == 3
+
+    def test_runs_are_the_papers_three(self, fig6):
+        run_labels = {tuple(m.event.label for m in run.messages)
+                      for run in fig6.runs()}
+        assert run_labels == {
+            ("x=0", "y=1", "z=1", "x=1"),
+            ("x=0", "z=1", "y=1", "x=1"),
+            ("x=0", "z=1", "x=1", "y=1"),
+        }
+
+    def test_levels_group_by_event_count(self, fig6):
+        levels = fig6.levels()
+        assert [len(lv) for lv in levels] == [1, 1, 2, 2, 1]
+
+    def test_observed_run_uses_emission_order(self, fig6):
+        run = fig6.observed_run()
+        assert [m.event.label for m in run.messages] == ["x=0", "z=1", "x=1", "y=1"]
+        assert run.state_tuples(XYZ_VARS) == [
+            (-1, 0, 0), (0, 0, 0), (0, 0, 1), (1, 0, 1), (1, 1, 1)]
+
+
+class TestGenericProperties:
+    def test_gapped_chains_rejected(self, xyz_execution):
+        msgs = [m for m in xyz_execution.messages if tuple(m.clock) != (1, 0)]
+        with pytest.raises(ValueError, match="missing"):
+            ComputationLattice(2, {"x": -1, "y": 0, "z": 0}, msgs)
+
+    def test_empty_computation(self):
+        lat = ComputationLattice(2, {"x": 0}, [])
+        assert len(lat) == 1
+        assert lat.count_runs() == 1
+        assert list(lat.runs())[0].messages == ()
+
+    def test_delivery_order_invariance(self, xyz_execution):
+        initial = {v: xyz_execution.initial_store[v] for v in XYZ_VARS}
+        ref = ComputationLattice(2, initial, xyz_execution.messages)
+        msgs = list(xyz_execution.messages)
+        rng = random.Random(11)
+        for _ in range(5):
+            rng.shuffle(msgs)
+            lat = ComputationLattice(2, initial, msgs)
+            assert lat.cuts == ref.cuts
+            assert lat.count_runs() == ref.count_runs()
+
+    def test_run_limit(self, fig5):
+        assert len(list(fig5.runs(limit=2))) == 2
+
+    def test_runs_count_equals_relevant_linearizations(self):
+        """Lattice maximal paths == linear extensions of the *relevant*
+        causality (cross-check against the §2.2 oracle)."""
+        for seed in range(6):
+            program = random_program(random.Random(seed), n_threads=2,
+                                     n_vars=2, ops_per_thread=4,
+                                     write_ratio=0.6)
+            result = run_program(program, RandomScheduler(seed))
+            initial = {v: result.initial_store[v]
+                       for v in program.default_relevance_vars()}
+            lat = ComputationLattice(2, initial, result.messages)
+            # independently count linear extensions of ⊳ with a downset DP
+            # over the Theorem-3 relation of the messages
+            from repro.core.causality import CausalityIndex
+
+            idx = CausalityIndex(2, result.messages)
+            n = len(idx)
+            rel = idx.relation_matrix()
+            preds = [0] * n
+            for a in range(n):
+                for b in range(n):
+                    if rel[a, b]:
+                        preds[b] |= 1 << a
+            from functools import lru_cache
+
+            full = (1 << n) - 1
+
+            @lru_cache(maxsize=None)
+            def count(down):
+                if down == full:
+                    return 1
+                total = 0
+                for i in range(n):
+                    if not (down >> i & 1) and not (preds[i] & ~down):
+                        total += count(down | (1 << i))
+                return total
+
+            assert lat.count_runs() == count(0), seed
+
+    def test_every_run_is_linear_extension(self, fig6):
+        from repro.core.causality import is_linear_extension
+
+        for run in fig6.runs():
+            assert is_linear_extension(list(run.messages))
+
+    def test_state_reconstruction_along_runs(self, fig6):
+        """Each run's states replay its writes from the initial state."""
+        for run in fig6.runs():
+            store = dict(run.states[0])
+            for m, s in zip(run.messages, run.states[1:]):
+                store[m.event.var] = m.event.value
+                assert dict(s) == store
+
+    def test_successors_shape(self, fig6):
+        bottom = fig6.bottom
+        succs = fig6.successors(bottom)
+        assert len(succs) == 1  # only e1 enabled
+        assert fig6.successors(fig6.top) == ()
+
+    def test_run_pretty_contains_labels(self, fig6):
+        run = next(iter(fig6.runs()))
+        text = run.pretty(XYZ_VARS)
+        assert "x=0" in text and "-->" in text

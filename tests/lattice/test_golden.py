@@ -1,0 +1,45 @@
+"""Golden-file tests: the figure renderings are byte-stable.
+
+Any change to clock values, lattice construction order, state labeling, or
+the renderers shows up here as a diff against the stored Fig. 5/6 artifacts
+(regenerate deliberately with tests/golden/regenerate — see test docstrings).
+"""
+
+from pathlib import Path
+
+from repro.lattice import (
+    ComputationLattice,
+    render_computation,
+    render_lattice,
+    to_dot,
+)
+from repro.workloads import LANDING_VARS, XYZ_VARS
+
+GOLDEN = Path(__file__).resolve().parent.parent / "golden"
+
+
+def lattice_of(execution, variables):
+    initial = {v: execution.initial_store[v] for v in variables}
+    return ComputationLattice(2, initial, execution.messages)
+
+
+def test_fig5_lattice_rendering_stable(landing_execution):
+    got = render_lattice(lattice_of(landing_execution, LANDING_VARS),
+                         LANDING_VARS) + "\n"
+    assert got == (GOLDEN / "fig5_lattice.txt").read_text()
+
+
+def test_fig5_dot_stable(landing_execution):
+    got = to_dot(lattice_of(landing_execution, LANDING_VARS),
+                 LANDING_VARS, title="fig5") + "\n"
+    assert got == (GOLDEN / "fig5.dot").read_text()
+
+
+def test_fig6_lattice_rendering_stable(xyz_execution):
+    got = render_lattice(lattice_of(xyz_execution, XYZ_VARS), XYZ_VARS) + "\n"
+    assert got == (GOLDEN / "fig6_lattice.txt").read_text()
+
+
+def test_fig6_computation_rendering_stable(xyz_execution):
+    got = render_computation(xyz_execution.messages, 2) + "\n"
+    assert got == (GOLDEN / "fig6_computation.txt").read_text()

@@ -1,0 +1,67 @@
+"""Rendering tests (text + DOT reproductions of the paper's figures)."""
+
+from repro.lattice import ComputationLattice, render_computation, render_lattice, to_dot
+from repro.workloads import LANDING_VARS, XYZ_VARS
+
+
+def lattice_for(execution, variables):
+    initial = {v: execution.initial_store[v] for v in variables}
+    return ComputationLattice(2, initial, execution.messages)
+
+
+class TestRenderLattice:
+    def test_fig5_levels_and_states(self, landing_execution):
+        text = render_lattice(lattice_for(landing_execution, LANDING_VARS),
+                              LANDING_VARS)
+        assert "Level 0:" in text and "Level 3:" in text
+        assert "<0,0,1>" in text  # initial state
+        assert "<1,1,0>" in text  # top state
+        assert "--landing=1-->" in text
+
+    def test_fig6_has_seven_nodes(self, xyz_execution):
+        text = render_lattice(lattice_for(xyz_execution, XYZ_VARS), XYZ_VARS)
+        assert text.count("(") >= 7
+        assert "<-1,0,0>" in text
+        assert "<1,1,1>" in text
+
+    def test_edges_can_be_suppressed(self, xyz_execution):
+        text = render_lattice(lattice_for(xyz_execution, XYZ_VARS), XYZ_VARS,
+                              show_edges=False)
+        assert "-->" not in text
+
+    def test_default_variable_order(self, xyz_execution):
+        text = render_lattice(lattice_for(xyz_execution, XYZ_VARS))
+        assert "Level 0:" in text
+
+
+class TestRenderComputation:
+    def test_fig6_lanes_and_cross_edges(self, xyz_execution):
+        text = render_computation(xyz_execution.messages, 2)
+        assert "T1: x=0(1, 0)  ->  y=1(2, 0)" in text
+        assert "T2: z=1(1, 1)  ->  x=1(1, 2)" in text
+        assert "cross-thread causality:" in text
+        assert "x=0 ≺ z=1" in text
+
+    def test_empty_thread_lane(self, landing_execution):
+        # landing has messages on both threads; craft a 3-thread view
+        text = render_computation(landing_execution.messages, 2)
+        assert text.startswith("T1:")
+
+
+class TestDot:
+    def test_dot_structure(self, landing_execution):
+        dot = to_dot(lattice_for(landing_execution, LANDING_VARS),
+                     LANDING_VARS, title="fig5")
+        assert dot.startswith('digraph "fig5"')
+        assert dot.rstrip().endswith("}")
+        assert dot.count("->") == 7  # Fig. 5 has 7 edges
+        assert "rank=same" in dot
+
+    def test_dot_node_count(self, xyz_execution):
+        dot = to_dot(lattice_for(xyz_execution, XYZ_VARS), XYZ_VARS)
+        assert dot.count("[label=\"S(") == 7
+
+    def test_dot_escapes_quotes(self, xyz_execution):
+        dot = to_dot(lattice_for(xyz_execution, XYZ_VARS), XYZ_VARS)
+        # all edge labels are single-quoted safe
+        assert '\\"' not in dot

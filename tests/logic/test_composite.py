@@ -1,0 +1,81 @@
+"""Composite monitors and multi-spec prediction."""
+
+import pytest
+
+from repro.analysis import predict, predict_many
+from repro.logic import Monitor
+from repro.logic.composite import CompositeMonitor
+from repro.workloads import LANDING_PROPERTY, XYZ_PROPERTY
+
+
+class TestCompositeMonitor:
+    def test_needs_specs(self):
+        with pytest.raises(ValueError):
+            CompositeMonitor([])
+
+    def test_variables_union(self):
+        c = CompositeMonitor(["x == 1", "y == 2"])
+        assert c.variables == frozenset({"x", "y"})
+
+    def test_step_conjunction(self):
+        c = CompositeMonitor(["p == 1", "q == 1"])
+        s, ok = c.step(c.initial_state(), {"p": 1, "q": 0})
+        assert not ok
+        assert c.verdicts(s) == (True, False)
+        assert c.failing_specs(s) == [1]
+
+    def test_temporal_state_carried(self):
+        c = CompositeMonitor(["once(p == 1)", "historically(q == 0)"])
+        s, ok = c.step(c.initial_state(), {"p": 1, "q": 0})
+        assert ok
+        s, ok = c.step(s, {"p": 0, "q": 0})
+        assert ok  # once(p) latched
+        s, ok = c.step(s, {"p": 0, "q": 1})
+        assert not ok
+        assert c.failing_specs(s) == [1]
+
+    def test_accepts_monitor_instances(self):
+        c = CompositeMonitor([Monitor("p == 1"), "q == 1"])
+        assert len(c) == 2
+
+    def test_verdicts_before_step_rejected(self):
+        c = CompositeMonitor(["p == 1"])
+        with pytest.raises(ValueError):
+            c.verdicts(None)
+
+
+class TestPredictMany:
+    def test_attribution(self, landing_execution):
+        reports = predict_many(landing_execution, [
+            LANDING_PROPERTY,
+            "radio == 0 or radio == 1",       # tautology here
+            "historically(landing <= 1)",     # holds
+        ])
+        assert len(reports) == 3
+        main = reports[str(Monitor(LANDING_PROPERTY).formula)]
+        assert main.observed_ok and main.violations
+        for spec, r in reports.items():
+            if spec != str(Monitor(LANDING_PROPERTY).formula):
+                assert r.ok, spec
+
+    def test_agrees_with_individual_predict(self, xyz_execution):
+        specs = [XYZ_PROPERTY, "historically(z <= 1)", "x >= -1"]
+        many = predict_many(xyz_execution, specs)
+        for spec in specs:
+            single = predict(xyz_execution, spec)
+            key = str(Monitor(spec).formula)
+            assert bool(many[key].violations) == bool(single.violations), spec
+            assert many[key].observed_ok == single.observed_ok
+
+    def test_single_sweep(self, xyz_execution):
+        reports = predict_many(xyz_execution, [XYZ_PROPERTY, "x >= -1"])
+        stats = {id(r.stats) for r in reports.values()}
+        assert len(stats) == 1  # one shared builder sweep
+
+    def test_two_failing_specs_both_attributed(self, xyz_execution):
+        reports = predict_many(xyz_execution, [
+            XYZ_PROPERTY,
+            "!(y == 1 and z == 1 and x < 1)",  # fails on the same bad run
+        ])
+        failing = [spec for spec, r in reports.items() if r.violations]
+        assert len(failing) == 2

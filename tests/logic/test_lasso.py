@@ -1,0 +1,109 @@
+"""Tests for LTL evaluation over lasso words u·vω."""
+
+import pytest
+
+from repro.logic.lasso import LassoUnsupportedError, evaluate_lasso
+from repro.logic.parser import parse
+
+
+def w(name, *vals):
+    return [{name: v} for v in vals]
+
+
+class TestBasics:
+    def test_state_formula_at_position_zero(self):
+        assert evaluate_lasso("p == 1", w("p", 1), w("p", 0))
+        assert not evaluate_lasso("p == 1", w("p", 0), w("p", 1))
+
+    def test_empty_loop_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_lasso("p == 1", w("p", 1), [])
+
+    def test_empty_stem_allowed(self):
+        assert evaluate_lasso("p == 1", [], w("p", 1))
+
+    def test_past_operator_rejected(self):
+        with pytest.raises(LassoUnsupportedError):
+            evaluate_lasso("once(p == 1)", w("p", 1), w("p", 0))
+
+
+class TestEventually:
+    def test_true_in_stem(self):
+        assert evaluate_lasso("eventually(p == 1)", w("p", 0, 1), w("p", 0))
+
+    def test_true_in_loop(self):
+        assert evaluate_lasso("eventually(p == 1)", w("p", 0), w("p", 0, 1))
+
+    def test_false_everywhere(self):
+        assert not evaluate_lasso("eventually(p == 1)", w("p", 0, 0), w("p", 0))
+
+    def test_stem_only_occurrence_visible_from_start(self):
+        # p holds only in the stem; at position 0 it is still "eventually".
+        assert evaluate_lasso("eventually(p == 1)", w("p", 1, 0), w("p", 0))
+
+
+class TestAlways:
+    def test_requires_loop(self):
+        assert evaluate_lasso("always(p == 1)", w("p", 1), w("p", 1, 1))
+        assert not evaluate_lasso("always(p == 1)", w("p", 1), w("p", 1, 0))
+
+    def test_stem_violation_counts(self):
+        assert not evaluate_lasso("always(p == 1)", w("p", 0), w("p", 1))
+
+    def test_gf_liveness(self):
+        """always(eventually(p)) on a loop where p recurs."""
+        assert evaluate_lasso("always(eventually(p == 1))",
+                              w("p", 0), w("p", 0, 1))
+        assert not evaluate_lasso("always(eventually(p == 1))",
+                                  w("p", 1), w("p", 0, 0))
+
+
+class TestNext:
+    def test_next_within_stem(self):
+        assert evaluate_lasso("next(p == 1)", w("p", 0, 1), w("p", 0))
+
+    def test_next_wraps_to_loop_start(self):
+        # single loop state: next from it is itself
+        assert evaluate_lasso("next(p == 1)", [], w("p", 1))
+
+    def test_next_from_loop_end_wraps(self):
+        # stem empty, loop [0, 1]; at pos 1 (p=1) next wraps to pos 0 (p=0)
+        f = parse("next(p == 0)")
+        assert not evaluate_lasso(f, [], w("p", 0, 1))  # pos0: next=pos1 p=1
+
+
+class TestUntil:
+    def test_until_satisfied_in_stem(self):
+        trace_u = [{"a": 1, "b": 0}, {"a": 1, "b": 1}]
+        trace_v = [{"a": 0, "b": 0}]
+        assert evaluate_lasso("a == 1 until b == 1", trace_u, trace_v)
+
+    def test_until_requires_eventual_b(self):
+        """a U b is false if b never happens, even with a forever."""
+        trace_u = [{"a": 1, "b": 0}]
+        trace_v = [{"a": 1, "b": 0}]
+        assert not evaluate_lasso("a == 1 until b == 1", trace_u, trace_v)
+
+    def test_until_b_in_loop(self):
+        trace_u = [{"a": 1, "b": 0}]
+        trace_v = [{"a": 1, "b": 0}, {"a": 0, "b": 1}]
+        assert evaluate_lasso("a == 1 until b == 1", trace_u, trace_v)
+
+    def test_until_broken_a_before_b(self):
+        trace_u = [{"a": 1, "b": 0}, {"a": 0, "b": 0}, {"a": 1, "b": 1}]
+        trace_v = [{"a": 0, "b": 0}]
+        assert not evaluate_lasso("a == 1 until b == 1", trace_u, trace_v)
+
+
+class TestIdentities:
+    def test_eventually_equals_true_until(self):
+        for u_bits, v_bits in [((0, 0), (0,)), ((0, 1), (0,)), ((0,), (0, 1))]:
+            u, v = w("p", *u_bits), w("p", *v_bits)
+            assert (evaluate_lasso("eventually(p == 1)", u, v)
+                    == evaluate_lasso("true until p == 1", u, v))
+
+    def test_always_is_dual_of_eventually(self):
+        for u_bits, v_bits in [((1, 1), (1,)), ((1, 0), (1,)), ((1,), (1, 0))]:
+            u, v = w("p", *u_bits), w("p", *v_bits)
+            assert (evaluate_lasso("always(p == 1)", u, v)
+                    == evaluate_lasso("!(eventually(!(p == 1)))", u, v))

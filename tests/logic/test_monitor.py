@@ -1,0 +1,299 @@
+"""Tests for ptLTL monitor synthesis: per-operator semantics, the HR initial
+convention, and agreement with the brute-force oracle on random formulas and
+traces (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic.ast import (
+    And,
+    Bool,
+    Compare,
+    Const,
+    End,
+    Historically,
+    Implies,
+    Interval,
+    Not,
+    Once,
+    Or,
+    Prev,
+    Since,
+    Start,
+    Var,
+)
+from repro.logic.monitor import Monitor, evaluate_trace
+from repro.logic.parser import parse
+
+
+def states(*bits):
+    """Build single-variable traces: states('p', 0, 1, 1) -> [{'p':0},...]."""
+    name, *vals = bits
+    return [{name: v} for v in vals]
+
+
+def verdicts(spec, trace):
+    """Monitor verdict at each position."""
+    m = Monitor(spec)
+    s = m.initial_state()
+    out = []
+    for st_ in trace:
+        s, ok = m.step(s, st_)
+        out.append(ok)
+    return out
+
+
+class TestStateFormulas:
+    def test_compare(self):
+        assert verdicts("p == 1", states("p", 0, 1, 2)) == [False, True, False]
+
+    def test_boolean_connectives(self):
+        trace = [{"p": 1, "q": 0}, {"p": 1, "q": 1}]
+        assert verdicts("p == 1 and q == 1", trace) == [False, True]
+        assert verdicts("p == 1 or q == 1", trace) == [True, True]
+        assert verdicts("p == 1 -> q == 1", trace) == [False, True]
+        assert verdicts("p == 1 <-> q == 1", trace) == [False, True]
+        assert verdicts("!(q == 1)", trace) == [True, False]
+
+    def test_constants(self):
+        assert verdicts("true", states("p", 0)) == [True]
+        assert verdicts("false", states("p", 0)) == [False]
+
+    def test_missing_variable_raises(self):
+        m = Monitor("q == 1")
+        with pytest.raises(KeyError):
+            m.step(m.initial_state(), {"p": 1})
+
+
+class TestPrev:
+    def test_prev_shifts_by_one(self):
+        assert verdicts("prev(p == 1)", states("p", 1, 0, 1)) == [True, True, False]
+
+    def test_prev_initial_convention(self):
+        """HR convention: at the first state, prev f = f."""
+        assert verdicts("prev(p == 1)", states("p", 1)) == [True]
+        assert verdicts("prev(p == 1)", states("p", 0)) == [False]
+
+
+class TestOnceHistorically:
+    def test_once_latches(self):
+        assert verdicts("once(p == 1)", states("p", 0, 1, 0, 0)) == [
+            False, True, True, True]
+
+    def test_historically_drops_permanently(self):
+        assert verdicts("historically(p == 1)", states("p", 1, 1, 0, 1)) == [
+            True, True, False, False]
+
+    def test_duality(self):
+        """once f == !historically(!f) pointwise."""
+        trace = states("p", 0, 1, 1, 0, 1)
+        once = evaluate_trace("once(p == 1)", trace)
+        nh = evaluate_trace("!(historically(!(p == 1)))", trace)
+        assert once == nh
+
+
+class TestSince:
+    def test_since_basic(self):
+        # f S g: g fired at 1, f holds from then on
+        trace = [{"f": 1, "g": 0}, {"f": 1, "g": 1}, {"f": 1, "g": 0},
+                 {"f": 0, "g": 0}, {"f": 1, "g": 0}]
+        assert verdicts("f == 1 since g == 1", trace) == [
+            False, True, True, False, False]
+
+    def test_since_initial(self):
+        assert verdicts("f == 1 since g == 1", [{"f": 1, "g": 1}]) == [True]
+        assert verdicts("f == 1 since g == 1", [{"f": 1, "g": 0}]) == [False]
+
+    def test_g_now_suffices(self):
+        trace = [{"f": 0, "g": 0}, {"f": 0, "g": 1}]
+        assert verdicts("f == 1 since g == 1", trace) == [False, True]
+
+
+class TestInterval:
+    def test_recurrence(self):
+        """[p, q): opens at p, closes at q."""
+        trace = [{"p": 0, "q": 0}, {"p": 1, "q": 0}, {"p": 0, "q": 0},
+                 {"p": 0, "q": 1}, {"p": 0, "q": 0}]
+        assert verdicts("[p == 1, q == 1)", trace) == [
+            False, True, True, False, False]
+
+    def test_q_wins_when_simultaneous(self):
+        trace = [{"p": 1, "q": 1}]
+        assert verdicts("[p == 1, q == 1)", trace) == [False]
+
+    def test_reopens_after_close(self):
+        trace = [{"p": 1, "q": 0}, {"p": 0, "q": 1}, {"p": 1, "q": 0}]
+        assert verdicts("[p == 1, q == 1)", trace) == [True, False, True]
+
+
+class TestStartEnd:
+    def test_start_detects_rising_edge(self):
+        assert verdicts("start(p == 1)", states("p", 0, 1, 1, 0, 1)) == [
+            False, True, False, False, True]
+
+    def test_start_false_at_initial_even_if_true(self):
+        assert verdicts("start(p == 1)", states("p", 1, 1)) == [False, False]
+
+    def test_end_detects_falling_edge(self):
+        assert verdicts("end(p == 1)", states("p", 1, 0, 0, 1, 0)) == [
+            False, True, False, False, True]
+
+    def test_end_false_at_initial(self):
+        assert verdicts("end(p == 1)", states("p", 0)) == [False]
+
+
+class TestPaperProperties:
+    LANDING = "start(landing == 1) -> [approved == 1, radio == 0)"
+
+    def _trace(self, seq):
+        return [dict(zip(("landing", "approved", "radio"), s)) for s in seq]
+
+    def test_observed_run_passes(self):
+        trace = self._trace([(0, 0, 1), (0, 1, 1), (1, 1, 1), (1, 1, 0)])
+        assert Monitor(self.LANDING).check_trace(trace) == (True, None)
+
+    def test_radio_between_approval_and_landing_fails(self):
+        trace = self._trace([(0, 0, 1), (0, 1, 1), (0, 1, 0), (1, 1, 0)])
+        ok, k = Monitor(self.LANDING).check_trace(trace)
+        assert not ok and k == 3
+
+    def test_radio_before_approval_fails(self):
+        trace = self._trace([(0, 0, 1), (0, 0, 0), (0, 1, 0), (1, 1, 0)])
+        ok, k = Monitor(self.LANDING).check_trace(trace)
+        assert not ok and k == 3
+
+
+class TestMonitorMechanics:
+    def test_future_operator_rejected(self):
+        with pytest.raises(ValueError, match="future"):
+            Monitor("always(x == 1)")
+
+    def test_monitor_state_hashable(self):
+        m = Monitor("once(p == 1)")
+        s, _ = m.step(m.initial_state(), {"p": 0})
+        assert hash(s) is not None
+        assert isinstance(s, tuple)
+
+    def test_functional_stepping(self):
+        """Same (mstate, state) always gives the same result."""
+        m = Monitor("[p == 1, q == 1)")
+        s0 = m.initial_state()
+        a1 = m.step(s0, {"p": 1, "q": 0})
+        a2 = m.step(s0, {"p": 1, "q": 0})
+        assert a1 == a2
+
+    def test_variables_property(self):
+        m = Monitor("(x > 0) -> [y == 0, y > z)")
+        assert m.variables == frozenset({"x", "y", "z"})
+
+    def test_width(self):
+        # subformulas: the Compare atom and the Once node
+        assert Monitor("once(p == 1)").width == 2
+
+    def test_check_trace_reports_first_violation(self):
+        m = Monitor("historically(p == 0)")
+        ok, k = m.check_trace(states("p", 0, 0, 1, 0))
+        assert not ok and k == 2
+
+    def test_accepts_formula_object(self):
+        f = Implies(Compare(">", Var("x"), Const(0)), Bool(True))
+        m = Monitor(f)
+        _, ok = m.step(m.initial_state(), {"x": 5})
+        assert ok
+
+
+# ---------------------------------------------------------------------------
+# hypothesis: monitor == brute-force oracle on random formulas and traces
+# ---------------------------------------------------------------------------
+
+atoms = st.sampled_from([
+    Compare("==", Var("p"), Const(1)),
+    Compare("==", Var("q"), Const(1)),
+    Compare(">", Var("p"), Var("q")),
+    Bool(True),
+])
+
+
+def formulas(depth):
+    if depth == 0:
+        return atoms
+    sub = formulas(depth - 1)
+    return st.one_of(
+        atoms,
+        st.builds(Not, sub),
+        st.builds(And, sub, sub),
+        st.builds(Or, sub, sub),
+        st.builds(Implies, sub, sub),
+        st.builds(Prev, sub),
+        st.builds(Once, sub),
+        st.builds(Historically, sub),
+        st.builds(Since, sub, sub),
+        st.builds(Interval, sub, sub),
+        st.builds(Start, sub),
+        st.builds(End, sub),
+    )
+
+
+traces = st.lists(
+    st.tuples(st.integers(0, 2), st.integers(0, 2)).map(
+        lambda t: {"p": t[0], "q": t[1]}
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+@given(formulas(3), traces)
+@settings(max_examples=200, deadline=None)
+def test_monitor_agrees_with_oracle(formula, trace):
+    """The synthesized O(|φ|)-state monitor computes exactly the recursive
+    past-time semantics, at every position."""
+    expected = evaluate_trace(formula, trace)
+    assert verdicts(formula, trace) == expected
+
+
+@given(formulas(2), traces)
+@settings(max_examples=100, deadline=None)
+def test_monitor_state_is_markovian(formula, trace):
+    """Restarting from a stored monitor state must equal running through."""
+    m = Monitor(formula)
+    s = m.initial_state()
+    mid = len(trace) // 2
+    for st_ in trace[:mid]:
+        s, _ = m.step(s, st_)
+    # continue from the stored state
+    out_a = []
+    sa = s
+    for st_ in trace[mid:]:
+        sa, ok = m.step(sa, st_)
+        out_a.append(ok)
+    # compare against a full run
+    out_b = verdicts(formula, trace)[mid:]
+    assert out_a == out_b
+
+
+class TestAtomEscapeHatch:
+    def test_atom_callable_in_monitor(self):
+        from repro.logic.ast import Atom, Once
+
+        parity = Atom(lambda s: s["n"] % 2 == 0, name="even(n)")
+        m = Monitor(Once(parity))
+        s = m.initial_state()
+        s, ok = m.step(s, {"n": 1})
+        assert not ok
+        s, ok = m.step(s, {"n": 2})
+        assert ok
+        s, ok = m.step(s, {"n": 3})
+        assert ok  # once latched
+
+    def test_atom_in_evaluate_trace(self):
+        from repro.logic.ast import Atom
+
+        parity = Atom(lambda s: s["n"] % 2 == 0, name="even(n)")
+        assert evaluate_trace(parity, [{"n": 2}, {"n": 3}]) == [True, False]
+
+    def test_atom_str_uses_name(self):
+        from repro.logic.ast import Atom
+
+        assert str(Atom(lambda s: True, name="myatom")) == "myatom"

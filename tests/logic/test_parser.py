@@ -1,0 +1,247 @@
+"""Tests for the specification parser."""
+
+import pytest
+
+from repro.logic.ast import (
+    And,
+    Always,
+    BinArith,
+    Bool,
+    Compare,
+    Const,
+    End,
+    Eventually,
+    Historically,
+    Iff,
+    Implies,
+    Interval,
+    Next,
+    Not,
+    Once,
+    Or,
+    Prev,
+    Since,
+    Start,
+    Until,
+    Var,
+    variables_of,
+)
+from repro.logic.parser import ParseError, parse
+
+
+class TestAtoms:
+    def test_simple_comparison(self):
+        f = parse("x > 0")
+        assert isinstance(f, Compare) and f.op == ">"
+        assert f.left == Var("x") and f.right == Const(0)
+
+    def test_all_comparison_ops(self):
+        for op in ("==", "!=", "<", "<=", ">", ">="):
+            f = parse(f"a {op} b")
+            assert isinstance(f, Compare) and f.op == op
+
+    def test_arithmetic_precedence(self):
+        f = parse("a + b * 2 == 7")
+        assert isinstance(f.left, BinArith) and f.left.op == "+"
+        assert isinstance(f.left.right, BinArith) and f.left.right.op == "*"
+
+    def test_parenthesized_arithmetic(self):
+        f = parse("(a + b) * 2 == 14")
+        assert isinstance(f.left, BinArith) and f.left.op == "*"
+        assert isinstance(f.left.left, BinArith) and f.left.left.op == "+"
+
+    def test_unary_minus(self):
+        f = parse("x == -1")
+        assert f.right.eval({}) == -1
+
+    def test_floordiv_and_mod(self):
+        f = parse("x // 2 == 3 and y % 2 == 0")
+        assert f.left.test({"x": 7}) and f.right.test({"y": 4})
+
+    def test_true_false(self):
+        assert parse("true") == Bool(True)
+        assert parse("false") == Bool(False)
+
+
+class TestBooleanStructure:
+    def test_implies_right_assoc(self):
+        f = parse("a == 1 -> b == 1 -> c == 1")
+        assert isinstance(f, Implies)
+        assert isinstance(f.right, Implies)
+
+    def test_precedence_or_binds_tighter_than_implies(self):
+        f = parse("a == 1 or b == 1 -> c == 1")
+        assert isinstance(f, Implies)
+        assert isinstance(f.left, Or)
+
+    def test_and_binds_tighter_than_or(self):
+        f = parse("a == 1 or b == 1 and c == 1")
+        assert isinstance(f, Or)
+        assert isinstance(f.right, And)
+
+    def test_symbolic_operators(self):
+        f = parse("a == 1 && b == 1 || c == 1")
+        assert isinstance(f, Or) and isinstance(f.left, And)
+
+    def test_not_variants(self):
+        assert isinstance(parse("not a == 1"), Not)
+        assert isinstance(parse("!(a == 1)"), Not)
+
+    def test_iff(self):
+        f = parse("a == 1 <-> b == 1")
+        assert isinstance(f, Iff)
+
+    def test_parenthesized_formula(self):
+        f = parse("(a == 1 -> b == 1) and c == 1")
+        assert isinstance(f, And) and isinstance(f.left, Implies)
+
+
+class TestTemporal:
+    def test_unary_temporal_operators(self):
+        cases = {
+            "prev": Prev, "once": Once, "historically": Historically,
+            "start": Start, "end": End,
+            "always": Always, "eventually": Eventually, "next": Next,
+        }
+        for kw, cls in cases.items():
+            f = parse(f"{kw}(x == 1)")
+            assert isinstance(f, cls), kw
+
+    def test_unary_without_parens(self):
+        f = parse("once x == 1")
+        assert isinstance(f, Once) and isinstance(f.operand, Compare)
+
+    def test_since_infix(self):
+        f = parse("a == 1 since b == 1")
+        assert isinstance(f, Since)
+
+    def test_since_symbol(self):
+        assert isinstance(parse("a == 1 S b == 1"), Since)
+
+    def test_until_infix(self):
+        assert isinstance(parse("a == 1 until b == 1"), Until)
+        assert isinstance(parse("a == 1 U b == 1"), Until)
+
+    def test_interval(self):
+        f = parse("[p == 1, q == 1)")
+        assert isinstance(f, Interval)
+        assert isinstance(f.start, Compare) and isinstance(f.stop, Compare)
+
+    def test_nested_temporal(self):
+        f = parse("once(start(x == 1) and prev(y == 0))")
+        assert isinstance(f, Once)
+        assert isinstance(f.operand, And)
+
+    def test_paper_property_example1(self):
+        f = parse("start(landing == 1) -> [approved == 1, radio == 0)")
+        assert isinstance(f, Implies)
+        assert isinstance(f.left, Start)
+        assert isinstance(f.right, Interval)
+        assert variables_of(f) == frozenset({"landing", "approved", "radio"})
+
+    def test_paper_property_example2(self):
+        f = parse("(x > 0) -> [y == 0, y > z)")
+        assert isinstance(f, Implies)
+        assert isinstance(f.right, Interval)
+        assert variables_of(f) == frozenset({"x", "y", "z"})
+
+
+class TestErrors:
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError, match="trailing"):
+            parse("x == 1 y")
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            parse("x == $")
+
+    def test_missing_interval_comma(self):
+        with pytest.raises(ParseError):
+            parse("[x == 1 y == 2)")
+
+    def test_unclosed_paren(self):
+        with pytest.raises(ParseError):
+            parse("(x == 1")
+
+    def test_reserved_word_as_variable(self):
+        # keywords cannot appear where a variable is expected
+        with pytest.raises(ParseError):
+            parse("x + prev == 1")
+        with pytest.raises(ParseError):
+            parse("prev == 1")
+
+    def test_empty_input(self):
+        with pytest.raises(ParseError):
+            parse("")
+
+    def test_bare_identifier_is_not_a_formula(self):
+        with pytest.raises(ParseError):
+            parse("x")
+
+    def test_error_has_position_pointer(self):
+        try:
+            parse("x == 1 &&")
+        except ParseError as exc:
+            assert "^" in str(exc)
+        else:  # pragma: no cover
+            pytest.fail("expected ParseError")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("text", [
+        "x > 0",
+        "start(landing == 1) -> [approved == 1, radio == 0)",
+        "(x > 0) -> [y == 0, y > z)",
+        "once(a == 1) and historically(b == 0)",
+        "a == 1 since b == 2",
+        "prev(x == 1) or end(y == 2)",
+        "always(eventually(go == 1))",
+    ])
+    def test_str_reparses_to_same_ast(self, text):
+        f = parse(text)
+        assert parse(str(f)) == f
+
+
+# ---------------------------------------------------------------------------
+# round-trip on randomly generated formulas (hypothesis)
+# ---------------------------------------------------------------------------
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+_atoms = st.sampled_from([
+    parse("p == 1"), parse("q > 2"), parse("p + q <= 7"),
+    parse("true"), parse("false"),
+])
+
+
+def _formulas(depth):
+    if depth == 0:
+        return _atoms
+    sub = _formulas(depth - 1)
+    return st.one_of(
+        _atoms,
+        st.builds(Not, sub),
+        st.builds(And, sub, sub),
+        st.builds(Or, sub, sub),
+        st.builds(Implies, sub, sub),
+        st.builds(Iff, sub, sub),
+        st.builds(Prev, sub),
+        st.builds(Once, sub),
+        st.builds(Historically, sub),
+        st.builds(Since, sub, sub),
+        st.builds(Interval, sub, sub),
+        st.builds(Start, sub),
+        st.builds(End, sub),
+        st.builds(Always, sub),
+        st.builds(Eventually, sub),
+        st.builds(Until, sub, sub),
+        st.builds(Next, sub),
+    )
+
+
+@given(_formulas(3))
+@settings(max_examples=200, deadline=None)
+def test_str_roundtrip_on_random_formulas(f):
+    """str() output of any formula re-parses to a structurally equal AST."""
+    assert parse(str(f)) == f

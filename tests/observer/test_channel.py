@@ -1,0 +1,95 @@
+"""Tests for message transports: FIFO, bounded reordering, multi-channel."""
+
+import pytest
+
+from repro.observer.channel import (
+    FifoChannel,
+    MultiChannel,
+    ReorderingChannel,
+    deliver_all,
+)
+
+
+def fake_messages(n, n_threads=2):
+    from repro.core.algorithm_a import AlgorithmA
+
+    algo = AlgorithmA(n_threads)
+    for k in range(n):
+        algo.on_write(k % n_threads, f"v{k % 3}", k)
+    return algo.emitted[:n]
+
+
+class TestFifo:
+    def test_order_preserved(self):
+        msgs = fake_messages(6)
+        out = deliver_all(FifoChannel(), msgs)
+        assert out == msgs
+
+    def test_put_after_close_rejected(self):
+        ch = FifoChannel()
+        ch.close()
+        with pytest.raises(RuntimeError):
+            ch.put(fake_messages(1)[0])
+
+
+class TestReordering:
+    def test_delivers_everything_exactly_once(self):
+        msgs = fake_messages(20)
+        out = deliver_all(ReorderingChannel(seed=3, window=4), msgs)
+        assert sorted(m.emit_index for m in out) == list(range(20))
+
+    def test_actually_reorders(self):
+        msgs = fake_messages(20)
+        out = deliver_all(ReorderingChannel(seed=3, window=4), msgs)
+        assert [m.emit_index for m in out] != list(range(20))
+
+    def test_window_bounds_overtaking(self):
+        """A message can be overtaken by at most window-1 later messages."""
+        msgs = fake_messages(30)
+        window = 4
+        for seed in range(5):
+            out = deliver_all(ReorderingChannel(seed=seed, window=window), msgs)
+            pos = {m.emit_index: i for i, m in enumerate(out)}
+            for k in range(30):
+                assert pos[k] >= k - (window - 1), (seed, k)
+
+    def test_unbounded_window(self):
+        msgs = fake_messages(10)
+        out = deliver_all(ReorderingChannel(seed=1, window=None), msgs)
+        assert sorted(m.emit_index for m in out) == list(range(10))
+
+    def test_seed_determinism(self):
+        msgs = fake_messages(15)
+        a = deliver_all(ReorderingChannel(seed=9, window=3), msgs)
+        b = deliver_all(ReorderingChannel(seed=9, window=3), msgs)
+        assert [m.emit_index for m in a] == [m.emit_index for m in b]
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            ReorderingChannel(window=0)
+
+
+class TestMultiChannel:
+    def test_everything_delivered(self):
+        msgs = fake_messages(12, n_threads=3)
+        out = deliver_all(MultiChannel(k=3, seed=0), msgs)
+        assert sorted(m.emit_index for m in out) == list(range(12))
+
+    def test_per_thread_fifo_preserved(self):
+        """Messages of one thread ride one FIFO sub-channel: their relative
+        order survives."""
+        msgs = fake_messages(20, n_threads=2)
+        for seed in range(5):
+            out = deliver_all(MultiChannel(k=2, seed=seed), msgs)
+            for t in (0, 1):
+                mine = [m.emit_index for m in out if m.thread == t]
+                assert mine == sorted(mine), (seed, t)
+
+    def test_round_robin_routing(self):
+        msgs = fake_messages(9, n_threads=3)
+        out = deliver_all(MultiChannel(k=2, seed=4, route_by_thread=False), msgs)
+        assert len(out) == 9
+
+    def test_needs_at_least_one_queue(self):
+        with pytest.raises(ValueError):
+            MultiChannel(k=0)

@@ -1,0 +1,97 @@
+"""Causal-order delivery buffer tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.causality import is_linear_extension
+from repro.observer.delivery import CausalDelivery
+from repro.sched import RandomScheduler, run_program
+from repro.workloads import random_program
+
+
+def deliver_scrambled(messages, n_threads, seed):
+    msgs = list(messages)
+    random.Random(seed).shuffle(msgs)
+    d = CausalDelivery(n_threads)
+    out = []
+    for m in msgs:
+        out.extend(d.offer(m))
+    return d, out
+
+
+class TestBasics:
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            CausalDelivery(0)
+
+    def test_width_mismatch_rejected(self, xyz_execution):
+        d = CausalDelivery(3)
+        with pytest.raises(ValueError, match="width"):
+            d.offer(xyz_execution.messages[0])
+
+    def test_duplicate_rejected(self, xyz_execution):
+        d = CausalDelivery(2)
+        d.offer(xyz_execution.messages[0])
+        with pytest.raises(ValueError, match="duplicate"):
+            d.offer(xyz_execution.messages[0])
+
+    def test_fifo_input_passes_through(self, xyz_execution):
+        d = CausalDelivery(2)
+        out = list(d.offer_many(xyz_execution.messages))
+        assert [m.event.eid for m in out] == [
+            m.event.eid for m in xyz_execution.messages]
+        assert d.pending == 0
+
+    def test_held_until_gap_fills(self, xyz_execution):
+        e1, e2, e4, e3 = xyz_execution.messages
+        d = CausalDelivery(2)
+        assert d.offer(e4) == []        # needs e1 and e2
+        assert d.offer(e2) == []        # needs e1
+        assert d.pending == 2
+        released = d.offer(e1)
+        assert [m.event.eid for m in released] == [
+            e1.event.eid, e2.event.eid, e4.event.eid]
+        assert d.offer(e3) == [e3]
+        assert d.pending == 0
+
+    def test_missing_for_diagnostic(self, xyz_execution):
+        e1, e2, e4, e3 = xyz_execution.messages
+        d = CausalDelivery(2)
+        missing = d.missing_for(e4)
+        assert set(missing) == {(0, 1), (1, 1)}  # e1 and e2
+        d.offer(e1)
+        assert d.missing_for(e2) is None
+
+    def test_delivered_counts(self, xyz_execution):
+        d = CausalDelivery(2)
+        list(d.offer_many(xyz_execution.messages))
+        assert d.delivered_counts == (2, 2)
+
+
+class TestProperties:
+    @given(st.integers(0, 500), st.integers(0, 20))
+    @settings(max_examples=60, deadline=None)
+    def test_output_is_linear_extension(self, seed, shuffle_seed):
+        program = random_program(random.Random(seed), n_threads=3,
+                                 n_vars=3, ops_per_thread=5,
+                                 write_ratio=0.7)
+        ex = run_program(program, RandomScheduler(seed))
+        d, out = deliver_scrambled(ex.messages, 3, shuffle_seed)
+        assert d.pending == 0
+        assert len(out) == len(ex.messages)
+        assert is_linear_extension(out)
+
+    @given(st.integers(0, 500))
+    @settings(max_examples=40, deadline=None)
+    def test_per_thread_order_preserved(self, seed):
+        program = random_program(random.Random(seed), n_threads=2,
+                                 n_vars=2, ops_per_thread=6,
+                                 write_ratio=0.8)
+        ex = run_program(program, RandomScheduler(seed))
+        _d, out = deliver_scrambled(ex.messages, 2, seed + 1)
+        for t in (0, 1):
+            seqs = [m.event.seq for m in out if m.thread == t]
+            assert seqs == sorted(seqs)

@@ -1,0 +1,177 @@
+"""Tests for the online observer: reordering tolerance (E7) and the socket
+transport (the two-process deployment of Fig. 4)."""
+
+import random
+
+import pytest
+
+from repro.observer import (
+    FifoChannel,
+    MultiChannel,
+    Observer,
+    ReorderingChannel,
+    SocketTransport,
+    deliver_all,
+)
+from repro.workloads import LANDING_VARS, XYZ_PROPERTY, XYZ_VARS
+
+
+def make_observer(execution, variables, spec=None):
+    initial = {v: execution.initial_store[v] for v in variables}
+    return Observer(execution.n_threads, initial, spec=spec)
+
+
+class TestIngestion:
+    def test_receive_builds_causality(self, xyz_execution):
+        obs = make_observer(xyz_execution, XYZ_VARS)
+        obs.receive_many(xyz_execution.messages)
+        assert obs.n_received == 4
+        assert obs.causality.count_concurrent_pairs() == 2
+
+    def test_receive_after_finish_rejected(self, xyz_execution):
+        obs = make_observer(xyz_execution, XYZ_VARS)
+        obs.receive_many(xyz_execution.messages)
+        obs.finish()
+        with pytest.raises(RuntimeError):
+            obs.receive(xyz_execution.messages[0])
+
+    def test_consume_channel(self, xyz_execution):
+        obs = make_observer(xyz_execution, XYZ_VARS, spec=XYZ_PROPERTY)
+        ch = FifoChannel()
+        for m in xyz_execution.messages:
+            ch.put(m)
+        ch.close()
+        obs.consume(ch)
+        obs.finish()
+        assert len(obs.violations) == 1
+
+    def test_no_spec_no_violations(self, xyz_execution):
+        obs = make_observer(xyz_execution, XYZ_VARS)
+        obs.receive_many(xyz_execution.messages)
+        assert obs.finish() == []
+        assert obs.violations == []
+        assert obs.stats is None
+
+
+class TestReorderingInvariance:
+    """E7: verdicts and causality are invariant under delivery order."""
+
+    def test_fifo_order_is_linear_extension(self, xyz_execution):
+        obs = make_observer(xyz_execution, XYZ_VARS)
+        obs.receive_many(xyz_execution.messages)
+        assert obs.observed_order_consistent()
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_reordered_delivery_same_verdict(self, xyz_execution, seed):
+        channel = ReorderingChannel(seed=seed, window=3)
+        delivery = deliver_all(channel, xyz_execution.messages)
+        obs = make_observer(xyz_execution, XYZ_VARS, spec=XYZ_PROPERTY)
+        obs.receive_many(delivery)
+        obs.finish()
+        assert len(obs.violations) == 1
+        assert obs.causality.count_concurrent_pairs() == 2
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_multichannel_delivery_same_verdict(self, landing_execution, seed):
+        from repro.workloads import LANDING_PROPERTY
+
+        channel = MultiChannel(k=2, seed=seed)
+        delivery = deliver_all(channel, landing_execution.messages)
+        obs = make_observer(landing_execution, LANDING_VARS,
+                            spec=LANDING_PROPERTY)
+        obs.receive_many(delivery)
+        obs.finish()
+        assert len(obs.violations) == 1
+
+    def test_adversarial_full_shuffle(self, xyz_execution):
+        msgs = list(xyz_execution.messages)
+        for seed in range(10):
+            random.Random(seed).shuffle(msgs)
+            obs = make_observer(xyz_execution, XYZ_VARS, spec=XYZ_PROPERTY)
+            obs.receive_many(msgs)
+            obs.finish()
+            assert len(obs.violations) == 1, seed
+
+
+class TestSocketTransport:
+    def test_round_trip(self, xyz_execution):
+        transport = SocketTransport()
+        transport.start_receiver()
+        sender = transport.sender()
+        for m in xyz_execution.messages:
+            sender.send(m)
+        sender.close()
+        received = transport.wait(timeout=10)
+        assert [m.event.eid for m in received] == [
+            m.event.eid for m in xyz_execution.messages]
+        assert [tuple(m.clock) for m in received] == [
+            tuple(m.clock) for m in xyz_execution.messages]
+
+    def test_observer_over_socket(self, xyz_execution):
+        transport = SocketTransport()
+        transport.start_receiver()
+        sender = transport.sender()
+        for m in xyz_execution.messages:
+            sender.send(m)
+        sender.close()
+        received = transport.wait(timeout=10)
+        obs = make_observer(xyz_execution, XYZ_VARS, spec=XYZ_PROPERTY)
+        obs.receive_many(received)
+        obs.finish()
+        assert len(obs.violations) == 1
+
+    def test_wait_without_receiver_errors(self):
+        transport = SocketTransport()
+        with pytest.raises(RuntimeError):
+            transport.wait()
+
+
+class TestCausalLog:
+    def test_causal_log_is_linear_extension_under_shuffle(self, xyz_execution):
+        from repro.core.causality import is_linear_extension
+
+        msgs = list(xyz_execution.messages)
+        for seed in range(6):
+            random.Random(seed).shuffle(msgs)
+            obs = Observer(2, {v: xyz_execution.initial_store[v]
+                               for v in ("x", "y", "z")}, causal_log=True)
+            obs.receive_many(msgs)
+            assert len(obs.causal_log) == 4
+            assert is_linear_extension(obs.causal_log)
+
+    def test_causal_log_disabled_by_default(self, xyz_execution):
+        obs = Observer(2, dict(xyz_execution.initial_store))
+        obs.receive_many(xyz_execution.messages)
+        assert obs.causal_log == []
+
+
+class TestSocketRobustness:
+    def _send_raw(self, transport, lines):
+        import socket as socket_mod
+
+        sock = socket_mod.create_connection((transport.host, transport.port))
+        sock.sendall("".join(line + "\n" for line in lines).encode())
+        sock.close()
+
+    def test_garbage_line_raises_in_strict_mode(self, xyz_execution):
+        transport = SocketTransport()
+        transport.start_receiver()
+        self._send_raw(transport, [xyz_execution.messages[0].to_json(),
+                                   "{not json"])
+        with pytest.raises(ValueError, match="malformed"):
+            transport.wait(timeout=10)
+
+    def test_lenient_mode_records_and_continues(self, xyz_execution):
+        transport = SocketTransport(strict=False)
+        transport.start_receiver()
+        good = [m.to_json() for m in xyz_execution.messages]
+        self._send_raw(transport, good[:2] + ["garbage"] + good[2:])
+        received = transport.wait(timeout=10)
+        assert len(received) == 4
+        assert len(transport.errors) == 1
+
+    def test_blank_lines_ignored(self, xyz_execution):
+        transport = SocketTransport()
+        transport.start_receiver()
+        self._send_raw(transport, ["", xyz_execution.messages[0].to_json(), ""])
+        assert len(transport.wait(timeout=10)) == 1

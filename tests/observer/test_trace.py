@@ -1,0 +1,81 @@
+"""Trace file round-trips and streaming writes."""
+
+import json
+
+import pytest
+
+from repro.observer.trace import Trace, TraceWriter, read_trace, write_trace
+from repro.sched import FixedScheduler, run_program
+from repro.workloads import XYZ_OBSERVED_SCHEDULE, xyz_program
+
+
+class TestRoundTrip:
+    def test_write_read(self, xyz_execution, tmp_path):
+        path = tmp_path / "xyz.trace"
+        n = write_trace(path, 2, xyz_execution.initial_store,
+                        xyz_execution.messages, program="xyz")
+        assert n == 4
+        trace = read_trace(path)
+        assert trace.n_threads == 2
+        assert trace.program == "xyz"
+        assert trace.initial == dict(xyz_execution.initial_store)
+        assert [m.event.eid for m in trace.messages] == [
+            m.event.eid for m in xyz_execution.messages]
+        assert [tuple(m.clock) for m in trace.messages] == [
+            tuple(m.clock) for m in xyz_execution.messages]
+
+    def test_streaming_writer_as_sink(self, tmp_path):
+        path = tmp_path / "stream.trace"
+        with TraceWriter(path, 2, {"x": -1, "y": 0, "z": 0},
+                         program="xyz") as w:
+            run_program(xyz_program(), FixedScheduler(XYZ_OBSERVED_SCHEDULE),
+                        sink=w.write)
+        trace = read_trace(path)
+        assert len(trace.messages) == 4
+
+    def test_analysis_from_trace(self, xyz_execution, tmp_path):
+        from repro.lattice import LevelByLevelBuilder
+        from repro.logic import Monitor
+        from repro.workloads import XYZ_PROPERTY
+
+        path = tmp_path / "t.trace"
+        write_trace(path, 2, xyz_execution.initial_store,
+                    xyz_execution.messages)
+        trace = read_trace(path)
+        monitor = Monitor(XYZ_PROPERTY)
+        initial = {v: trace.initial[v] for v in sorted(monitor.variables)}
+        b = LevelByLevelBuilder(trace.n_threads, initial, monitor)
+        b.feed_many(trace.messages)
+        b.finish()
+        assert len(b.violations) == 1
+
+
+class TestValidation:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.trace"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_trace(path)
+
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text('{"thread": 0}\n')
+        with pytest.raises(ValueError, match="header"):
+            read_trace(path)
+
+    def test_wrong_version(self, tmp_path):
+        path = tmp_path / "v99.trace"
+        path.write_text(json.dumps({"type": "header", "version": 99,
+                                    "n_threads": 1, "initial": {}}) + "\n")
+        with pytest.raises(ValueError, match="version"):
+            read_trace(path)
+
+    def test_write_after_close(self, tmp_path, xyz_execution):
+        w = TraceWriter(tmp_path / "t.trace", 2, {})
+        w.close()
+        with pytest.raises(RuntimeError):
+            w.write(xyz_execution.messages[0])
+
+    def test_trace_dataclass_validation(self):
+        with pytest.raises(ValueError):
+            Trace(n_threads=0, initial={}, messages=[])

@@ -1,0 +1,79 @@
+"""Program/op model tests."""
+
+import pytest
+
+from repro.sched.program import (
+    Acquire,
+    Internal,
+    Join,
+    Notify,
+    Program,
+    Read,
+    Release,
+    Spawn,
+    Wait,
+    Write,
+    straightline,
+)
+
+
+class TestOps:
+    def test_ops_are_frozen(self):
+        r = Read("x")
+        with pytest.raises(AttributeError):
+            r.var = "y"
+
+    def test_write_carries_label(self):
+        w = Write("x", 1, label="x := 1")
+        assert w.label == "x := 1"
+
+    def test_equality(self):
+        assert Read("x") == Read("x")
+        assert Write("x", 1) != Write("x", 2)
+        assert Acquire("L") != Release("L")
+        assert Wait("c") == Wait("c")
+        assert Notify("c") == Notify("c")
+        assert Join(2) == Join(2)
+
+    def test_spawn_holds_body(self):
+        def body():
+            yield Internal()
+
+        s = Spawn(body)
+        assert s.body is body
+
+
+class TestProgram:
+    def test_requires_threads(self):
+        with pytest.raises(ValueError):
+            Program(initial={}, threads=[])
+
+    def test_initial_copied(self):
+        init = {"x": 0}
+        p = Program(initial=init, threads=[straightline([Internal()])])
+        init["x"] = 99
+        assert p.initial["x"] == 0
+
+    def test_default_relevance_is_all_store_vars(self):
+        p = Program(initial={"a": 0, "b": 0},
+                    threads=[straightline([Internal()])])
+        assert p.default_relevance_vars() == frozenset({"a", "b"})
+
+    def test_explicit_relevance(self):
+        p = Program(initial={"a": 0, "b": 0},
+                    threads=[straightline([Internal()])],
+                    relevant_vars={"a"})
+        assert p.default_relevance_vars() == frozenset({"a"})
+
+    def test_spawn_returns_fresh_generators(self):
+        p = Program(initial={"x": 0},
+                    threads=[straightline([Write("x", 1), Write("x", 2)])])
+        g1 = p.spawn()[0]
+        g2 = p.spawn()[0]
+        assert next(g1) == Write("x", 1)
+        assert next(g2) == Write("x", 1)  # independent instance
+
+    def test_straightline_reusable(self):
+        body = straightline([Internal(), Read("x")])
+        assert list(body()) == [Internal(), Read("x")]
+        assert list(body()) == [Internal(), Read("x")]

@@ -1,0 +1,343 @@
+"""Tests for the deterministic scheduling substrate."""
+
+import pytest
+
+from repro.sched import (
+    Acquire,
+    DeadlockError,
+    FixedScheduler,
+    Internal,
+    Notify,
+    Program,
+    RandomScheduler,
+    Read,
+    Release,
+    RoundRobinScheduler,
+    StepLimitExceeded,
+    Wait,
+    Write,
+    explore_all,
+    run_program,
+    straightline,
+)
+from repro.workloads import (
+    landing_controller,
+    producer_consumer,
+    racy_counter,
+    xyz_program,
+)
+
+
+def two_internal_threads(k=2):
+    return Program(
+        initial={"x": 0},
+        threads=[straightline([Internal()] * k) for _ in range(2)],
+        name="internals",
+    )
+
+
+class TestRunProgram:
+    def test_records_every_event(self):
+        p = two_internal_threads(3)
+        r = run_program(p, FixedScheduler([], strict=False))
+        assert len(r.events) == 6
+        assert all(e.kind.name == "INTERNAL" for e in r.events)
+
+    def test_schedule_matches_events(self):
+        p = two_internal_threads(2)
+        r = run_program(p, FixedScheduler([0, 1, 0, 1]))
+        assert r.schedule == [0, 1, 0, 1]
+        assert [e.thread for e in r.events] == [0, 1, 0, 1]
+
+    def test_read_returns_store_value(self):
+        seen = []
+
+        def body():
+            v = yield Read("x")
+            seen.append(v)
+            yield Write("x", v + 10)
+            v2 = yield Read("x")
+            seen.append(v2)
+
+        p = Program(initial={"x": 5}, threads=[body])
+        r = run_program(p, FixedScheduler([], strict=False))
+        assert seen == [5, 15]
+        assert r.final_store["x"] == 15
+
+    def test_undeclared_variable_read_raises(self):
+        def body():
+            yield Read("nope")
+
+        p = Program(initial={"x": 0}, threads=[body])
+        with pytest.raises(KeyError):
+            run_program(p, FixedScheduler([], strict=False))
+
+    def test_undeclared_variable_write_raises(self):
+        def body():
+            yield Write("nope", 1)
+
+        p = Program(initial={"x": 0}, threads=[body])
+        with pytest.raises(KeyError):
+            run_program(p, FixedScheduler([], strict=False))
+
+    def test_replay_determinism(self):
+        p = xyz_program()
+        sched = [0, 0, 1, 1, 0, 0, 1, 1, 1, 0]
+        r1 = run_program(p, FixedScheduler(sched))
+        r2 = run_program(p, FixedScheduler(sched))
+        assert [e.eid for e in r1.events] == [e.eid for e in r2.events]
+        assert [tuple(m.clock) for m in r1.messages] == [tuple(m.clock) for m in r2.messages]
+        assert r1.final_store == r2.final_store
+
+    def test_step_limit(self):
+        def spinner():
+            while True:
+                v = yield Read("x")
+                yield Write("x", v)
+
+        p = Program(initial={"x": 0}, threads=[spinner])
+        with pytest.raises(StepLimitExceeded):
+            run_program(p, FixedScheduler([], strict=False), max_steps=50)
+
+    def test_sink_streams_messages(self):
+        got = []
+        run_program(xyz_program(), FixedScheduler([], strict=False), sink=got.append)
+        assert len(got) == 4
+
+    def test_state_sequence(self):
+        r = run_program(xyz_program(),
+                        FixedScheduler([0, 0, 1, 1, 0, 0, 1, 1, 1, 0]))
+        assert r.state_sequence(("x", "y", "z")) == [
+            (-1, 0, 0), (0, 0, 0), (0, 0, 1), (1, 0, 1), (1, 1, 1)]
+
+    def test_relevant_state_sequence_matches_messages(self):
+        r = run_program(xyz_program(),
+                        FixedScheduler([0, 0, 1, 1, 0, 0, 1, 1, 1, 0]))
+        seq = r.relevant_state_sequence(("x", "y", "z"))
+        assert len(seq) == len(r.messages) + 1
+
+
+class TestSchedulers:
+    def test_fixed_strict_rejects_infeasible(self):
+        p = two_internal_threads(1)
+        # thread 0 has one event; asking for it twice is infeasible
+        with pytest.raises(ValueError, match="infeasible"):
+            run_program(p, FixedScheduler([0, 0, 0]))
+
+    def test_fixed_nonstrict_falls_back(self):
+        p = two_internal_threads(1)
+        r = run_program(p, FixedScheduler([1, 1, 1], strict=False))
+        assert sorted(r.schedule) == [0, 1]
+
+    def test_round_robin_alternates(self):
+        p = two_internal_threads(2)
+        r = run_program(p, RoundRobinScheduler(quantum=1))
+        assert r.schedule == [0, 1, 0, 1]
+
+    def test_round_robin_quantum(self):
+        p = two_internal_threads(2)
+        r = run_program(p, RoundRobinScheduler(quantum=2))
+        assert r.schedule == [0, 0, 1, 1]
+
+    def test_round_robin_invalid_quantum(self):
+        with pytest.raises(ValueError):
+            RoundRobinScheduler(quantum=0)
+
+    def test_random_scheduler_is_seed_deterministic(self):
+        p = racy_counter(3, 2)
+        r1 = run_program(p, RandomScheduler(7))
+        r2 = run_program(p, RandomScheduler(7))
+        assert r1.schedule == r2.schedule
+
+    def test_random_scheduler_seeds_differ(self):
+        p = racy_counter(3, 2)
+        schedules = {tuple(run_program(p, RandomScheduler(s)).schedule)
+                     for s in range(8)}
+        assert len(schedules) > 1
+
+
+class TestLocks:
+    def test_mutual_exclusion(self):
+        """With the lock held, the other thread cannot enter."""
+
+        def body(tag):
+            def gen():
+                yield Acquire("L")
+                yield Write("owner", tag)
+                v = yield Read("owner")
+                assert v == tag, "critical section interleaved!"
+                yield Release("L")
+
+            return gen
+
+        p = Program(initial={"owner": 0, "L": 0},
+                    threads=[body(1), body(2)])
+        for ex in explore_all(p):
+            pass  # assertion inside the bodies does the checking
+
+    def test_double_acquire_is_error(self):
+        def body():
+            yield Acquire("L")
+            yield Acquire("L")
+
+        p = Program(initial={"L": 0}, threads=[body])
+        with pytest.raises(RuntimeError, match="re-acquiring"):
+            run_program(p, FixedScheduler([], strict=False))
+
+    def test_release_unheld_is_error(self):
+        def body():
+            yield Release("L")
+
+        p = Program(initial={"L": 0}, threads=[body])
+        with pytest.raises(RuntimeError, match="does not hold"):
+            run_program(p, FixedScheduler([], strict=False))
+
+    def test_deadlock_detected(self):
+        def left():
+            yield Acquire("A")
+            yield Internal()
+            yield Acquire("B")
+
+        def right():
+            yield Acquire("B")
+            yield Internal()
+            yield Acquire("A")
+
+        p = Program(initial={"A": 0, "B": 0}, threads=[left, right])
+        with pytest.raises(DeadlockError) as ei:
+            run_program(p, FixedScheduler([0, 1, 0, 1], strict=False))
+        assert set(ei.value.blocked) == {0, 1}
+
+    def test_lock_events_recorded_as_writes(self):
+        def body():
+            yield Acquire("L")
+            yield Release("L")
+
+        p = Program(initial={"L": 0}, threads=[body])
+        r = run_program(p, FixedScheduler([], strict=False))
+        assert [e.kind.is_write for e in r.events] == [True, True]
+
+
+class TestWaitNotify:
+    def test_wake_event_after_notify(self):
+        def notifier():
+            yield Notify("c")
+
+        def waiter():
+            yield Wait("c")
+            yield Internal()
+
+        p = Program(initial={"c": 0}, threads=[notifier, waiter])
+        r = run_program(p, FixedScheduler([], strict=False))
+        kinds = [e.kind.name for e in r.events]
+        assert kinds == ["NOTIFY", "WAKE", "INTERNAL"]
+
+    def test_sticky_notify_credit(self):
+        """A notify that precedes the wait still wakes it (documented
+        deviation from Java's lost-notification semantics)."""
+        def notifier():
+            yield Notify("c")
+
+        def waiter():
+            yield Internal()
+            yield Wait("c")
+            yield Internal()
+
+        p = Program(initial={"c": 0}, threads=[notifier, waiter])
+        # notifier runs first, then waiter
+        r = run_program(p, FixedScheduler([0, 1, 1, 1], strict=False))
+        assert r.events[-1].kind.name == "INTERNAL"
+
+    def test_wait_without_notify_deadlocks(self):
+        def waiter():
+            yield Wait("c")
+
+        p = Program(initial={"c": 0}, threads=[waiter])
+        with pytest.raises(DeadlockError):
+            run_program(p, FixedScheduler([], strict=False))
+
+    def test_notify_wakes_all_current_waiters(self):
+        def waiter():
+            yield Wait("c")
+            yield Internal()
+
+        def notifier():
+            yield Internal()
+            yield Notify("c")
+
+        p = Program(initial={"c": 0}, threads=[waiter, waiter, notifier])
+        # both waiters block during prefetch; the notifier's notify wakes both
+        r = run_program(p, FixedScheduler([2, 2], strict=False))
+        assert sum(1 for e in r.events if e.kind.name == "WAKE") == 2
+
+
+class TestExploreAll:
+    def test_counts_match_formula_for_independent_threads(self):
+        """Two threads of k internal events each: C(2k, k) interleavings."""
+        from math import comb
+
+        for k in (1, 2, 3):
+            p = two_internal_threads(k)
+            n = sum(1 for _ in explore_all(p))
+            assert n == comb(2 * k, k), k
+
+    def test_every_execution_unique(self):
+        p = racy_counter(2, 1)
+        sigs = [tuple(e.schedule) for e in explore_all(p)]
+        assert len(sigs) == len(set(sigs))
+
+    def test_max_executions_bounds(self):
+        p = two_internal_threads(3)
+        assert sum(1 for _ in explore_all(p, max_executions=4)) == 4
+
+    def test_finds_lost_update(self):
+        finals = {e.final_store["c"] for e in explore_all(racy_counter(2, 1))}
+        assert finals == {1, 2}
+
+    def test_locked_counter_never_loses_updates(self):
+        from repro.workloads import locked_counter
+
+        finals = {e.final_store["c"] for e in explore_all(locked_counter(2, 1))}
+        assert finals == {2}
+
+    def test_deadlocked_branches_are_skipped_but_explored(self):
+        def left():
+            yield Acquire("A")
+            yield Acquire("B")
+            yield Release("B")
+            yield Release("A")
+
+        def right():
+            yield Acquire("B")
+            yield Acquire("A")
+            yield Release("A")
+            yield Release("B")
+
+        p = Program(initial={"A": 0, "B": 0}, threads=[left, right])
+        results = list(explore_all(p))
+        # all yielded executions completed (no deadlock), both orders seen
+        assert results
+        assert all(len(e.events) == 8 for e in results)
+
+    def test_wait_notify_explorable(self):
+        n = sum(1 for _ in explore_all(producer_consumer(1), max_executions=10_000))
+        assert n > 0
+
+
+class TestProgramValidation:
+    def test_empty_program_rejected(self):
+        with pytest.raises(ValueError):
+            Program(initial={}, threads=[])
+
+    def test_scheduler_picking_nonrunnable_rejected(self):
+        class Bad(FixedScheduler):
+            def pick(self, runnable, step):
+                return 99
+
+        p = two_internal_threads(1)
+        with pytest.raises(ValueError, match="non-runnable"):
+            run_program(p, Bad([]))
+
+    def test_landing_controller_default_run_terminates(self):
+        r = run_program(landing_controller(), FixedScheduler([], strict=False))
+        assert r.final_store["landing"] in (0, 1)

@@ -1,0 +1,164 @@
+"""Dynamic thread creation/destruction (Spawn/Join) — the §2 extension."""
+
+import pytest
+
+from repro.core import CausalityIndex
+from repro.lattice import ComputationLattice
+from repro.sched import (
+    DeadlockError,
+    FixedScheduler,
+    Join,
+    Program,
+    RandomScheduler,
+    Spawn,
+    Write,
+    explore_all,
+    run_program,
+)
+
+
+def child_writer(var="c", value=1):
+    def body():
+        yield Write(var, value)
+
+    return body
+
+
+def spawn_join_program():
+    def parent():
+        yield Write("p", 1)
+        idx = yield Spawn(child_writer())
+        yield Write("p", 2)
+        yield Join(idx)
+        yield Write("p", 3)
+
+    return Program(initial={"p": 0, "c": 0}, threads=[parent],
+                   relevant_vars=frozenset({"p", "c"}), name="spawn-join")
+
+
+class TestSpawn:
+    def test_thread_count_grows(self):
+        r = run_program(spawn_join_program(), FixedScheduler([], strict=False))
+        assert r.n_threads == 2
+
+    def test_clocks_padded_to_final_width(self):
+        r = run_program(spawn_join_program(), FixedScheduler([], strict=False))
+        assert all(m.clock.width == 2 for m in r.messages)
+
+    def test_spawn_edge(self):
+        """Everything before the spawn precedes everything the child does."""
+        r = run_program(spawn_join_program(), FixedScheduler([], strict=False))
+        idx = CausalityIndex(2, r.messages)
+        by = {m.event.label: m for m in r.messages}
+        assert idx.precedes(by["p=1"], by["c=1"])
+
+    def test_join_edge(self):
+        """Everything the child did precedes everything after the join."""
+        r = run_program(spawn_join_program(), FixedScheduler([], strict=False))
+        idx = CausalityIndex(2, r.messages)
+        by = {m.event.label: m for m in r.messages}
+        assert idx.precedes(by["c=1"], by["p=3"])
+
+    def test_child_concurrent_with_parent_between(self):
+        r = run_program(spawn_join_program(), FixedScheduler([], strict=False))
+        idx = CausalityIndex(2, r.messages)
+        by = {m.event.label: m for m in r.messages}
+        assert idx.concurrent(by["p=2"], by["c=1"])
+
+    def test_exhaustive_exploration_with_spawn(self):
+        # c=1 can land before or after p=2, and the exit/join ordering adds
+        # one more interleaving: 3 total
+        n = sum(1 for _ in explore_all(spawn_join_program()))
+        assert n == 3
+
+    def test_lattice_over_spawned_computation(self):
+        r = run_program(spawn_join_program(), FixedScheduler([], strict=False))
+        lat = ComputationLattice(2, {"p": 0, "c": 0}, r.messages)
+        assert lat.count_runs() == 2  # c=1 before/after p=2; p=3 always last
+
+    def test_nested_spawn(self):
+        def grandchild():
+            yield Write("g", 1)
+
+        def child():
+            idx = yield Spawn(grandchild)
+            yield Join(idx)
+            yield Write("c", 1)
+
+        def parent():
+            idx = yield Spawn(child)
+            yield Join(idx)
+            yield Write("p", 1)
+
+        p = Program(initial={"p": 0, "c": 0, "g": 0}, threads=[parent],
+                    relevant_vars=frozenset({"p", "c", "g"}))
+        r = run_program(p, FixedScheduler([], strict=False))
+        assert r.n_threads == 3
+        idx = CausalityIndex(3, r.messages)
+        by = {m.event.label: m for m in r.messages}
+        assert idx.precedes(by["g=1"], by["c=1"])
+        assert idx.precedes(by["c=1"], by["p=1"])
+
+    def test_multiple_children_concurrent(self):
+        def parent():
+            a = yield Spawn(child_writer("a"))
+            b = yield Spawn(child_writer("b"))
+            yield Join(a)
+            yield Join(b)
+
+        p = Program(initial={"a": 0, "b": 0}, threads=[parent],
+                    relevant_vars=frozenset({"a", "b"}))
+        r = run_program(p, FixedScheduler([], strict=False))
+        assert r.n_threads == 3
+        idx = CausalityIndex(3, r.messages)
+        by = {m.event.label: m for m in r.messages}
+        assert idx.concurrent(by["a=1"], by["b=1"])
+
+    def test_spawn_under_random_schedules_theorem3(self):
+        from repro.core.vectorclock import lt
+
+        for seed in range(5):
+            r = run_program(spawn_join_program(), RandomScheduler(seed))
+            comp = r.computation()
+            by_eid = {m.event.eid: m for m in r.messages}
+            for a, b, truth in comp.relevant_pairs():
+                ma, mb = by_eid[a.eid], by_eid[b.eid]
+                assert ma.causally_precedes(mb) == truth
+                assert lt(tuple(ma.clock), tuple(mb.clock)) == truth
+
+
+class TestJoinErrors:
+    def test_join_unknown_thread(self):
+        def parent():
+            yield Join(7)
+
+        p = Program(initial={"x": 0}, threads=[parent])
+        with pytest.raises(ValueError, match="unknown thread"):
+            run_program(p, FixedScheduler([], strict=False))
+
+    def test_join_static_thread_rejected(self):
+        def a():
+            yield Join(1)
+
+        def b():
+            yield Write("x", 1)
+
+        p = Program(initial={"x": 0}, threads=[a, b])
+        with pytest.raises(ValueError, match="static thread"):
+            # run b first so the join becomes runnable
+            run_program(p, FixedScheduler([1], strict=False))
+
+    def test_join_never_finishing_child_deadlocks(self):
+        def stuck_child():
+            from repro.sched import Wait
+
+            yield Wait("never")
+
+        def parent():
+            idx = yield Spawn(stuck_child)
+            yield Join(idx)
+
+        p = Program(initial={"x": 0}, threads=[parent])
+        with pytest.raises(DeadlockError) as ei:
+            run_program(p, FixedScheduler([], strict=False))
+        assert any("join" in why for why in ei.value.blocked.values())

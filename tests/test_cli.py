@@ -1,0 +1,141 @@
+"""CLI tests (python -m repro ...)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    lines: list[str] = []
+    code = main(list(argv), out=lines.append)
+    return code, "\n".join(lines)
+
+
+class TestDemo:
+    def test_landing_predicts(self):
+        code, out = run_cli("demo", "landing")
+        assert code == 1
+        assert "PREDICTED" in out
+        assert "counterexample" in out
+        assert "6 states, 3 runs" in out
+
+    def test_xyz_predicts(self):
+        code, out = run_cli("demo", "xyz")
+        assert code == 1
+        assert "observed run: OK" in out
+        assert "violations (observed or predicted): 1" in out
+
+    def test_clean_spec_exits_zero(self):
+        code, out = run_cli("demo", "xyz", "--spec", "x >= -1")
+        assert code == 0
+        assert "no violation" in out
+
+    def test_seeded_schedule(self):
+        code, out = run_cli("demo", "landing", "--seed", "3")
+        assert code in (0, 1)
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("demo", "nope")
+
+
+class TestRecordCheck:
+    def test_record_then_check(self, tmp_path):
+        trace = str(tmp_path / "t.trace")
+        code, out = run_cli("record", "xyz", trace)
+        assert code == 0
+        assert "recorded 4 messages" in out
+        code, out = run_cli("check", trace, "--spec",
+                            "(x > 0) -> [y == 0, y > z)")
+        assert code == 1
+        assert "violations: 1" in out
+
+    def test_check_clean_spec(self, tmp_path):
+        trace = str(tmp_path / "t.trace")
+        run_cli("record", "xyz", trace)
+        code, out = run_cli("check", trace, "--spec", "x >= -1")
+        assert code == 0
+
+
+class TestRender:
+    def test_text_render(self):
+        code, out = run_cli("render", "landing")
+        assert code == 0
+        assert "Level 0:" in out
+        assert "T1:" in out
+
+    def test_dot_render(self):
+        code, out = run_cli("render", "xyz", "--dot")
+        assert code == 0
+        assert out.startswith("digraph")
+
+
+class TestRaces:
+    def test_counter_races(self):
+        code, out = run_cli("races", "counter")
+        assert code == 1
+        assert "races: 3" in out
+
+    def test_clean_workload(self):
+        code, out = run_cli("races", "xyz")
+        # xyz has unsynchronized accesses to x from both threads: races
+        assert code in (0, 1)
+        assert "program:" in out
+
+
+class TestRunMiniLang:
+    SRC = (
+        "shared int landing = 0, approved = 0, radio = 1;\n"
+        "thread controller {\n"
+        "    if (radio == 0) { approved = 0; } else { approved = 1; }\n"
+        "    if (approved == 1) { landing = 1; }\n"
+        "}\n"
+        "thread watchdog {\n"
+        "    local int i = 0;\n"
+        "    while (radio == 1 && i < 3) {\n"
+        "        skip; i = i + 1;\n"
+        "        if (i == 2) { radio = 0; }\n"
+        "    }\n"
+        "}\n"
+    )
+
+    def test_run_with_spec(self, tmp_path):
+        src = tmp_path / "controller.ml"
+        src.write_text(self.SRC)
+        code, out = run_cli(
+            "run", str(src), "--spec",
+            "start(landing == 1) -> [approved == 1, radio == 0)",
+        )
+        assert code == 1
+        assert "violations (observed or predicted): 1" in out
+        assert "counterexample" in out
+
+    def test_run_without_spec(self, tmp_path):
+        src = tmp_path / "p.ml"
+        src.write_text("shared int x = 0;\nthread t { x = 7; }\n")
+        code, out = run_cli("run", str(src))
+        assert code == 0
+        assert "'x': 7" in out
+
+    def test_run_with_seed(self, tmp_path):
+        src = tmp_path / "p.ml"
+        src.write_text(self.SRC)
+        code, out = run_cli("run", str(src), "--seed", "3")
+        assert code == 0
+
+
+class TestExplore:
+    def test_landing_exploration(self):
+        code, out = run_cli("explore", "landing")
+        assert code == 1
+        assert "interleavings explored:" in out
+        assert "witness schedule:" in out
+
+    def test_limit_truncates(self):
+        code, out = run_cli("explore", "landing", "--limit", "3")
+        assert "(truncated)" in out
+
+    def test_clean_spec(self):
+        code, out = run_cli("explore", "xyz", "--spec", "x >= -1")
+        assert code == 0
+        assert "violating interleavings: 0" in out

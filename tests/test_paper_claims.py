@@ -1,0 +1,222 @@
+"""The paper's claims, one executable test each.
+
+This module is the reproduction's table of contents: every §-level claim of
+Roşu & Sen (IPDPS/PADTAD 2004) asserted in one place, with the quote it
+corresponds to.  Deeper coverage of each claim lives in the per-module
+suites; EXPERIMENTS.md records the measured numbers.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis import detect, predict
+from repro.core import AlgorithmA, Computation, all_accesses, relevant_writes
+from repro.core.distributed import DistributedInterpretation
+from repro.core.vectorclock import lt
+from repro.lattice import ComputationLattice, LevelByLevelBuilder
+from repro.logic import Monitor
+from repro.sched import FixedScheduler, RandomScheduler, run_program
+from repro.workloads import (
+    LANDING_OBSERVED_SCHEDULE,
+    LANDING_PROPERTY,
+    LANDING_VARS,
+    XYZ_OBSERVED_SCHEDULE,
+    XYZ_PROPERTY,
+    landing_controller,
+    random_program,
+    xyz_program,
+)
+
+
+class TestSection1:
+    def test_predicts_errors_from_successful_executions(self):
+        """'one can predict errors that can potentially occur in other
+        possible runs of the multithreaded program' — the headline."""
+        ex = run_program(landing_controller(),
+                         FixedScheduler(LANDING_OBSERVED_SCHEDULE))
+        assert detect(ex, LANDING_PROPERTY).ok          # successful run
+        assert predict(ex, LANDING_PROPERTY).violations  # bug found anyway
+
+    def test_no_source_needed_for_callers(self):
+        """'A bytecode instrumentation package is used, so the Java source
+        code of the tested programs is not necessary' — our analogue: the
+        AST instrumentor rewrites the target function only; callers and
+        helpers run unmodified."""
+        from repro.instrument import InstrumentedRuntime, instrument_function
+        from tests.instrument.test_rewriter import _uses_helper
+
+        rt = InstrumentedRuntime({"x": 0})
+        f = instrument_function(_uses_helper, {"x"}, rt)
+        assert f() == 42 and rt.store["x"] == 42
+
+
+class TestSection2:
+    def test_read_read_permutable(self):
+        """'multiple consecutive reads of the same variable can be permuted
+        without changing the actual computation' (§1/§2.2)."""
+        a = AlgorithmA(2, relevance=all_accesses())
+        m0 = a.on_read(0, "x")
+        m1 = a.on_read(1, "x")
+        assert m0.concurrent_with(m1)
+
+    def test_write_involved_pairs_ordered(self):
+        """'if two events access a shared variable x and one of them is a
+        write, then the most recent one causally depends on the former'."""
+        from repro.core.computation import execution_from_specs
+
+        for kinds in (("w", "r"), ("r", "w"), ("w", "w")):
+            comp = Computation(execution_from_specs(
+                [(0, kinds[0], "x"), (1, kinds[1], "x")]))
+            assert comp.precedes((0, 1), (1, 1)), kinds
+
+    def test_dynamic_threads_supported(self):
+        """'can be easily extended to systems consisting of a variable
+        number of threads' (§2)."""
+        from repro.sched import Join, Program, Spawn, Write
+
+        def child():
+            yield Write("c", 1)
+
+        def parent():
+            idx = yield Spawn(child)
+            yield Join(idx)
+            yield Write("p", 1)
+
+        p = Program(initial={"p": 0, "c": 0}, threads=[parent])
+        ex = run_program(p, FixedScheduler([], strict=False))
+        assert ex.n_threads == 2 and ex.final_store == {"p": 1, "c": 1}
+
+
+class TestSection3:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_theorem_3(self, seed):
+        """'e ⊳ e' iff V[i] ≤ V'[i] iff V < V'' — against the independent
+        §2.2 oracle."""
+        program = random_program(random.Random(seed), n_threads=3,
+                                 n_vars=3, ops_per_thread=5)
+        ex = run_program(program, RandomScheduler(seed))
+        comp = ex.computation()
+        by = {m.event.eid: m for m in ex.messages}
+        for a, b, truth in comp.relevant_pairs():
+            assert by[a.eid].causally_precedes(by[b.eid]) == truth
+            assert lt(tuple(by[a.eid].clock), tuple(by[b.eid].clock)) == truth
+
+    def test_vw_leq_va_invariant(self):
+        """'note that V^w_x ≤ V^a_x at any time' (§3.2)."""
+        from repro.core.vectorclock import leq
+
+        a = AlgorithmA(2)
+        for t, k, v in [(0, "w", "x"), (1, "r", "x"), (1, "w", "y"),
+                        (0, "r", "y"), (1, "w", "x")]:
+            (a.on_write if k == "w" else a.on_read)(t, v, 0)
+            for var in a.variables:
+                assert leq(a.write_clock(var), a.access_clock(var))
+
+    def test_synchronization_as_writes(self):
+        """'locks are considered as shared variables and a write event is
+        generated whenever a lock is acquired or released' (§3.1)."""
+        a = AlgorithmA(2, relevance=relevant_writes({"c"}))
+        a.on_acquire(0, "L")
+        m1 = a.on_write(0, "c", 1)
+        a.on_release(0, "L")
+        a.on_acquire(1, "L")
+        m2 = a.on_write(1, "c", 2)
+        assert m1.causally_precedes(m2)
+
+    def test_distributed_interpretation_almost(self):
+        """§3.2: the message-passing interpretation with a hidden read
+        request produces the same clocks as Algorithm A."""
+        algo, dist = AlgorithmA(2), DistributedInterpretation(2)
+        for t, k, v in [(0, "w", "x"), (1, "r", "x"), (1, "w", "y"),
+                        (0, "r", "y"), (0, "w", "x")]:
+            for impl in (algo, dist):
+                (impl.on_write if k == "w" else impl.on_read)(t, v, 0)
+        assert algo.thread_clock(0) == dist.thread_clock(0)
+        assert algo.thread_clock(1) == dist.thread_clock(1)
+        assert algo.write_clock("x") == dist.write_clock("x")
+
+
+class TestSection4:
+    def test_observed_sequence_is_one_run_of_the_lattice(self, xyz_execution):
+        """'the observed sequence of events is just one such run'."""
+        initial = {v: xyz_execution.initial_store[v] for v in ("x", "y", "z")}
+        lat = ComputationLattice(2, initial, xyz_execution.messages)
+        observed = tuple(m.event.eid for m in xyz_execution.messages)
+        assert observed in {
+            tuple(m.event.eid for m in run.messages) for run in lat.runs()
+        }
+
+    def test_any_delivery_order_accepted(self, xyz_execution):
+        """'The observer therefore receives messages ⟨e, i, V⟩ in any
+        order'."""
+        msgs = list(xyz_execution.messages)
+        for seed in range(5):
+            random.Random(seed).shuffle(msgs)
+            b = LevelByLevelBuilder(2, {"x": -1, "y": 0, "z": 0},
+                                    Monitor(XYZ_PROPERTY))
+            b.feed_many(msgs)
+            b.finish()
+            assert len(b.violations) == 1
+
+    def test_two_levels_resident(self):
+        """'at most two consecutive levels in the computation lattice need
+        to be stored at any moment'."""
+        from repro.sched.program import Program, Write, straightline
+
+        p = Program(
+            initial={f"v{t}": 0 for t in range(3)},
+            threads=[straightline([Write(f"v{t}", k) for k in range(5)])
+                     for t in range(3)],
+        )
+        ex = run_program(p, FixedScheduler([], strict=False))
+        initial = {v: 0 for v in p.initial}
+        full = ComputationLattice(3, initial, ex.messages)
+        widths = [len(lv) for lv in full.levels()]
+        bound = max(widths[i] + widths[i + 1] for i in range(len(widths) - 1))
+        b = LevelByLevelBuilder(3, initial, track_paths=False)
+        b.feed_many(ex.messages)
+        b.finish()
+        assert b.stats.peak_resident_cuts <= bound < len(full)
+
+    def test_example1_two_violations(self, landing_execution):
+        """'it is shown how JMPAX is able to predict two safety violations
+        from a single successful execution' (Example 1 / Fig. 5)."""
+        report = predict(landing_execution, LANDING_PROPERTY, mode="full")
+        assert report.observed_ok
+        assert report.nodes == 6 and report.n_runs == 3
+        assert len(report.violations) == 2
+
+    def test_example2_rightmost_run_violates(self, xyz_execution):
+        """'another possible run of the same computation is the rightmost
+        one, which violates the safety property ... JPAX and JAVA-MAC fail
+        to detect this violation' (Example 2 / Fig. 6)."""
+        assert detect(xyz_execution, XYZ_PROPERTY).ok  # the baseline misses
+        report = predict(xyz_execution, XYZ_PROPERTY, mode="full")
+        assert len(report.violations) == 1
+        assert [m.event.label for m in report.violations[0].messages] == [
+            "x=0", "y=1", "z=1", "x=1"]
+
+    def test_liveness_lassos(self):
+        """'to search for paths of the form uv ... and then to check
+        whether uv^ω satisfies the liveness property' (§4)."""
+        from repro.analysis import predict_liveness_violations
+        from repro.sched.program import Internal, Program, Write
+
+        def toggler():
+            for _ in range(2):
+                yield Write("busy", 1)
+                yield Internal()
+                yield Write("busy", 0)
+
+        def signaler():
+            yield Internal()
+            yield Write("go", 1)
+
+        p = Program(initial={"busy": 0, "go": 0},
+                    threads=[toggler, signaler],
+                    relevant_vars=frozenset({"busy", "go"}))
+        ex = run_program(p, FixedScheduler([], strict=False))
+        lat = ComputationLattice(2, {"busy": 0, "go": 0}, ex.messages)
+        assert predict_liveness_violations(lat, "eventually(go == 1)")
+        assert not predict_liveness_violations(lat, "eventually(busy == 0)")

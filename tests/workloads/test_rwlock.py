@@ -1,0 +1,93 @@
+"""Readers-writer and barrier workload tests."""
+
+import pytest
+
+from repro.analysis import detect, find_races, model_check, predict
+from repro.core import all_accesses
+from repro.lattice import ComputationLattice
+from repro.sched import FixedScheduler, RandomScheduler, run_program
+from repro.workloads import RW_PROPERTY, barrier_program, readers_writer
+
+
+def clean_racy_execution():
+    """Observed run with the reader entirely before the writer: clean."""
+    p = readers_writer(safe=False)
+    return p, run_program(p, FixedScheduler([1] * 6 + [0] * 20, strict=False))
+
+
+class TestReadersWriter:
+    def test_racy_predicts_torn_observation(self):
+        _p, ex = clean_racy_execution()
+        assert detect(ex, RW_PROPERTY).ok
+        report = predict(ex, RW_PROPERTY, mode="full")
+        assert report.predicted
+        # torn state: observation pulse lands between lo=k and hi=k
+        v = report.violations[0]
+        last = v.states[-1]
+        assert last["lo"] != last["hi"]
+
+    def test_safe_variant_clean_in_every_run(self):
+        p = readers_writer(safe=True)
+        ex = run_program(p, FixedScheduler([1] * 8 + [0] * 20, strict=False))
+        report = predict(ex, RW_PROPERTY, mode="full")
+        assert report.ok
+
+    def test_safe_variant_model_checked_clean(self):
+        result = model_check(readers_writer(safe=True, writes=1),
+                             RW_PROPERTY, max_executions=50_000)
+        assert result.ok
+
+    def test_racy_variant_model_check_finds_it(self):
+        result = model_check(readers_writer(safe=False, writes=1),
+                             RW_PROPERTY, max_executions=50_000)
+        assert result.violating_runs > 0
+
+    def test_racy_variant_has_data_races(self):
+        p = readers_writer(safe=False, writes=1)
+        ex = run_program(p, RandomScheduler(0), relevance=all_accesses(),
+                         sync_only_clocks=True)
+        races = find_races(ex)
+        assert any(r.var in ("lo", "hi") for r in races)
+
+    def test_safe_variant_has_no_races(self):
+        p = readers_writer(safe=True, writes=1)
+        ex = run_program(p, RandomScheduler(0), relevance=all_accesses(),
+                         sync_only_clocks=True)
+        assert find_races(ex) == []
+
+    def test_multiple_readers(self):
+        p = readers_writer(n_readers=2, safe=True, writes=1)
+        ex = run_program(p, FixedScheduler([], strict=False))
+        assert ex.n_threads == 3
+
+
+class TestBarrier:
+    def test_all_workers_finish(self):
+        for seed in range(6):
+            ex = run_program(barrier_program(3), RandomScheduler(seed))
+            assert ex.final_store["arrived"] == 3
+            assert all(ex.final_store[f"done{i}"] == 1 for i in range(3))
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            barrier_program(1)
+
+    def test_no_done_before_all_arrivals_in_any_run(self):
+        """The lattice proof: in every consistent run, every done-write
+        comes after the third arrival."""
+        p = barrier_program(3)
+        ex = run_program(p, FixedScheduler([], strict=False))
+        variables = sorted(p.default_relevance_vars())
+        initial = {v: ex.initial_store[v] for v in variables}
+        lat = ComputationLattice(3, initial, ex.messages)
+        for run in lat.runs():
+            arrived = 0
+            for m in run.messages:
+                if m.event.var == "arrived":
+                    arrived = m.event.value
+                elif str(m.event.var).startswith("done"):
+                    assert arrived == 3, run.pretty(variables)
+
+    def test_barrier_scales(self):
+        ex = run_program(barrier_program(5), RandomScheduler(2))
+        assert ex.final_store["arrived"] == 5

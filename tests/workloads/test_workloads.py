@@ -1,0 +1,145 @@
+"""Sanity tests for the workload generators."""
+
+import random
+
+import pytest
+
+from repro.sched import FixedScheduler, RandomScheduler, explore_all, run_program
+from repro.workloads import (
+    AUDIT_PROPERTY,
+    landing_controller,
+    locked_counter,
+    peterson_like,
+    producer_consumer,
+    racy_counter,
+    random_execution_specs,
+    random_program,
+    transfer_program,
+    xyz_program,
+)
+
+
+class TestLanding:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            landing_controller(radio_down_iteration=4, max_radio_checks=4)
+
+    def test_radio_always_ends_down_or_loop_exits(self):
+        for seed in range(5):
+            ex = run_program(landing_controller(), RandomScheduler(seed))
+            assert ex.final_store["radio"] in (0, 1)
+
+    def test_denied_landing_path(self):
+        """If the radio is down before approval, landing never starts."""
+        ex = run_program(landing_controller(radio_down_iteration=0),
+                         FixedScheduler([1, 1, 1] + [0] * 5, strict=False))
+        assert ex.final_store["approved"] == 0
+        assert ex.final_store["landing"] == 0
+
+
+class TestCounters:
+    def test_racy_counter_param_validation(self):
+        with pytest.raises(ValueError):
+            racy_counter(0)
+        with pytest.raises(ValueError):
+            locked_counter(1, 0)
+
+    def test_locked_counter_always_exact(self):
+        for seed in range(5):
+            ex = run_program(locked_counter(3, 2), RandomScheduler(seed))
+            assert ex.final_store["c"] == 6
+
+    def test_racy_counter_can_lose_updates(self):
+        finals = {ex.final_store["c"]
+                  for ex in explore_all(racy_counter(2, 1))}
+        assert 1 in finals and 2 in finals
+
+    def test_peterson_like_runs(self):
+        for seed in range(5):
+            ex = run_program(peterson_like(), RandomScheduler(seed))
+            assert ex.final_store["flag0"] == 0
+            assert ex.final_store["flag1"] == 0
+
+
+class TestBank:
+    def test_final_conservation_always(self):
+        for ex in explore_all(transfer_program(amounts=(30,)),
+                              max_executions=5000):
+            assert ex.final_store["a"] + ex.final_store["b"] == 100
+
+    def test_locked_variant_never_violates_audit(self):
+        from repro.analysis import detect
+
+        for ex in explore_all(transfer_program(amounts=(30,), locked=True),
+                              max_executions=5000):
+            assert detect(ex, AUDIT_PROPERTY).ok
+
+    def test_unlocked_variant_sometimes_violates(self):
+        from repro.analysis import detect
+
+        results = [detect(ex, AUDIT_PROPERTY).ok
+                   for ex in explore_all(transfer_program(amounts=(30,)))]
+        assert any(results) and not all(results)
+
+
+class TestProducerConsumer:
+    def test_items_delivered_in_order(self):
+        for seed in range(5):
+            ex = run_program(producer_consumer(3), RandomScheduler(seed))
+            assert ex.final_store["consumed"] == 3
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            producer_consumer(0)
+
+
+class TestRandomPrograms:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            random_program(random.Random(0), n_threads=0)
+        with pytest.raises(ValueError):
+            random_program(random.Random(0), write_ratio=1.5)
+
+    def test_deterministic_for_seed(self):
+        p1 = random_program(random.Random(7), ops_per_thread=6)
+        p2 = random_program(random.Random(7), ops_per_thread=6)
+        e1 = run_program(p1, FixedScheduler([], strict=False))
+        e2 = run_program(p2, FixedScheduler([], strict=False))
+        assert [e.eid for e in e1.events] == [e.eid for e in e2.events]
+        assert e1.final_store == e2.final_store
+
+    def test_relevant_subset(self):
+        p = random_program(random.Random(3), n_vars=4, relevant_subset=2)
+        assert p.default_relevance_vars() == frozenset({"v0", "v1"})
+
+    def test_ops_per_thread_respected(self):
+        p = random_program(random.Random(1), n_threads=3, ops_per_thread=5)
+        ex = run_program(p, FixedScheduler([], strict=False))
+        assert len(ex.events) == 15
+
+    def test_write_values_unique(self):
+        """Writes carry unique values so lost updates are observable."""
+        p = random_program(random.Random(9), n_threads=2, ops_per_thread=8,
+                           write_ratio=1.0, internal_ratio=0.0)
+        ex = run_program(p, FixedScheduler([], strict=False))
+        values = [e.value for e in ex.events if e.kind.is_write]
+        assert len(values) == len(set(values))
+
+    def test_random_execution_specs_shape(self):
+        specs = random_execution_specs(random.Random(2), n_events=20)
+        assert len(specs) == 20
+        from repro.core.computation import execution_from_specs, Computation
+
+        Computation(execution_from_specs(specs))  # must validate
+
+
+class TestXyz:
+    def test_values_computed_from_reads(self):
+        # serial T1-then-T2: x=0, y=1, then z reads x=0 -> z=1, x=1
+        ex = run_program(xyz_program(), FixedScheduler([0] * 5 + [1] * 5))
+        assert ex.final_store == {"x": 1, "y": 1, "z": 1}
+
+    def test_alternative_order_changes_values(self):
+        # serial T2-then-T1: z=0, x=0, then T1: x=1, y=2
+        ex = run_program(xyz_program(), FixedScheduler([1] * 5 + [0] * 5))
+        assert ex.final_store == {"x": 1, "y": 2, "z": 0}
