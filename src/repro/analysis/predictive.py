@@ -28,7 +28,33 @@ from ..logic.ast import Formula
 from ..logic.monitor import Monitor
 from ..sched.scheduler import ExecutionResult
 
-__all__ = ["PredictionReport", "predict", "predict_many", "OnlinePredictor"]
+__all__ = ["PredictionReport", "DegradedWindow", "predict", "predict_many",
+           "OnlinePredictor"]
+
+
+@dataclass(frozen=True)
+class DegradedWindow:
+    """A per-thread suffix of the computation the analysis never saw.
+
+    When the transport loses the message at 1-based relevant position
+    ``first_missing`` of ``thread``, every later message of that thread —
+    and everything causally after it — is outside the analyzed sub-lattice.
+    Verdicts touching cuts with ``cut[thread] >= first_missing`` are
+    therefore *unsound*: neither violations nor their absence can be
+    claimed there.  Verdicts on the analyzed prefix remain exact (the
+    delivered subset is a consistent cut of the full computation, so its
+    sub-lattice is a prefix of the full one).
+    """
+
+    thread: int
+    #: First 1-based relevant index of ``thread`` that was never analyzed.
+    first_missing: int
+    #: Number of messages of this thread that *were* analyzed.
+    analyzed: int
+
+    def pretty(self) -> str:
+        return (f"thread {self.thread}: sound through index {self.analyzed}, "
+                f"unsound from index {self.first_missing}")
 
 
 @dataclass
@@ -50,6 +76,15 @@ class PredictionReport:
     n_runs: int
     #: Resource stats (levels mode only).
     stats: Optional[BuilderStats] = field(default=None, repr=False)
+    #: Regions excluded from analysis because the transport lost messages
+    #: (empty for fault-free runs: the whole computation was analyzed).
+    degraded_windows: tuple[DegradedWindow, ...] = ()
+
+    @property
+    def sound_everywhere(self) -> bool:
+        """True when no region of the computation was excluded — verdicts
+        cover the entire lattice."""
+        return not self.degraded_windows
 
     @property
     def predicted(self) -> bool:
@@ -240,6 +275,48 @@ class OnlinePredictor:
     def finish(self) -> list[Violation]:
         self._builder.finish()
         return self._drain()
+
+    def finish_partial(
+        self,
+        delivered_counts: Sequence[int],
+        expected_counts: Optional[Sequence[int]] = None,
+    ) -> list[Violation]:
+        """Finish over a *delivered prefix* instead of the full stream.
+
+        Graceful-degradation path: the transport lost messages, and the
+        observer decided to stop waiting.  ``delivered_counts[i]`` is the
+        number of thread-``i`` messages actually fed to :meth:`feed` — a
+        consistent cut, because causal delivery only releases a message
+        once its whole causal past has been released.  The builder is told
+        each thread ends there, so the sub-lattice completes instead of
+        stalling on the gaps; verdicts on it are exact for the prefix.
+
+        ``expected_counts`` (the true per-thread totals, when known from
+        end-of-thread markers) determines the :attr:`degraded_windows`
+        accounting; without it any thread is conservatively marked degraded
+        from ``delivered + 1`` since the stream was cut short.
+        """
+        self._degraded = []
+        for i, delivered in enumerate(delivered_counts):
+            expected = (None if expected_counts is None
+                        else expected_counts[i])
+            if expected is not None and delivered > expected:
+                raise ValueError(
+                    f"thread {i}: delivered {delivered} > expected {expected}"
+                )
+            if expected is None or delivered < expected:
+                self._degraded.append(DegradedWindow(
+                    thread=i, first_missing=delivered + 1,
+                    analyzed=delivered,
+                ))
+            self._builder.mark_thread_done(i, delivered)
+        self._builder.finish()
+        return self._drain()
+
+    @property
+    def degraded_windows(self) -> tuple[DegradedWindow, ...]:
+        """Set by :meth:`finish_partial`; empty after a clean :meth:`finish`."""
+        return tuple(getattr(self, "_degraded", ()))
 
     def _drain(self) -> list[Violation]:
         new = self._builder.violations[self._reported:]

@@ -11,7 +11,9 @@ original tool:
 * ``races``   — happens-before data-race report for a workload;
 * ``analyze`` — every analysis in one report;
 * ``run``     — compile and predictively analyze a MiniLang source file;
-* ``explore`` — exhaustive interleaving enumeration (ground-truth model check).
+* ``explore`` — exhaustive interleaving enumeration (ground-truth model check);
+* ``observe`` — fault-tolerant observation over an imperfect channel
+  (seeded drop/duplication/corruption injection + health report).
 
 Examples::
 
@@ -21,6 +23,7 @@ Examples::
     python -m repro render landing --dot
     python -m repro races counter
     python -m repro run controller.ml --spec "start(landing == 1) -> [approved == 1, radio == 0)"
+    python -m repro observe xyz --faults drop=0.05,dup=0.02,corrupt=0.01 --fault-seed 7
 """
 
 from __future__ import annotations
@@ -235,6 +238,58 @@ def cmd_run(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     return 1 if report.violations else 0
 
 
+def cmd_observe(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    from .observer import FaultPlan, FaultyChannel, MultiChannel, Observer
+    from .observer import FifoChannel, ReorderingChannel
+
+    demo = DEMOS[args.workload]
+    spec = args.spec or demo.spec
+    execution = _run_demo(demo, args.seed)
+    try:
+        plan = FaultPlan.parse(args.faults, seed=args.fault_seed)
+    except ValueError as exc:
+        out(f"error: {exc}")
+        return 2
+    inner = {"fifo": lambda: FifoChannel(),
+             "reorder": lambda: ReorderingChannel(seed=plan.seed, window=4),
+             "multi": lambda: MultiChannel(k=2, seed=plan.seed)}[args.channel]()
+    channel = FaultyChannel(plan, inner=inner)
+    initial = {v: execution.initial_store[v] for v in demo.variables}
+    observer = Observer(execution.n_threads, initial, spec=spec,
+                        fault_tolerant=True, stall_threshold=args.stall)
+    totals = [0] * execution.n_threads
+    for m in execution.messages:
+        totals[m.thread] += 1
+        channel.put(m)
+        observer.consume(channel)
+    channel.close()
+    observer.consume(channel)
+    observer.finish(expected_totals=totals)
+
+    out(f"program: {execution.program_name}   spec: {spec}")
+    out(f"messages emitted: {len(execution.messages)}   "
+        f"injected faults: {channel.log.summary()}")
+    out("observer health:")
+    for line in observer.health.summary().splitlines():
+        out("  " + line)
+    out(f"violations (on the analyzed region): {len(observer.violations)}")
+    for v in observer.violations:
+        out("  counterexample: " + v.pretty(demo.variables))
+    if observer.health.degraded:
+        out("VERDICT: degraded — verdicts sound only outside the "
+            "quarantined windows")
+    else:
+        out("VERDICT: sound everywhere (all faults absorbed)")
+    return 1 if observer.violations else 0
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -278,6 +333,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--limit", type=int, default=100_000,
                    help="max interleavings to explore")
     p.set_defaults(fn=cmd_explore)
+
+    p = sub.add_parser("observe",
+                       help="fault-tolerant observation over a faulty channel")
+    _demo_arg(p)
+    p.add_argument("--spec", default=None, help="override the bundled spec")
+    p.add_argument("--faults", default="",
+                   help="fault spec, e.g. drop=0.05,dup=0.02,corrupt=0.01 "
+                        "(also: delay=, delay_max=, crash_after=)")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="seed for the fault-injection RNG")
+    p.add_argument("--stall", type=_positive_int, default=None,
+                   help="declare blocking gaps lost after this many stalled "
+                        "ingests (default: only at end of stream)")
+    p.add_argument("--channel", choices=("fifo", "reorder", "multi"),
+                   default="fifo", help="delivery-order model under the faults")
+    p.set_defaults(fn=cmd_observe)
 
     p = sub.add_parser("run", help="compile and analyze a MiniLang file")
     p.add_argument("source", help="MiniLang source file")

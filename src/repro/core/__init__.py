@@ -14,7 +14,7 @@ from .algorithm_a import AlgorithmA, all_accesses, relevant_writes
 from .causality import CausalityIndex, hasse_reduction, is_linear_extension
 from .computation import Computation, execution_from_specs
 from .distributed import DistributedInterpretation
-from .events import Event, EventKind, Message
+from .events import Envelope, Event, EventKind, Message
 from .vectorclock import ClockArena, MutableVectorClock, VectorClock
 
 __all__ = [
@@ -27,6 +27,7 @@ __all__ = [
     "Computation",
     "execution_from_specs",
     "DistributedInterpretation",
+    "Envelope",
     "Event",
     "EventKind",
     "Message",

@@ -16,12 +16,13 @@ from __future__ import annotations
 
 import enum
 import json
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Hashable, Optional
 
 from .vectorclock import VectorClock
 
-__all__ = ["EventKind", "Event", "Message", "VarName"]
+__all__ = ["EventKind", "Event", "Message", "Envelope", "VarName"]
 
 # Shared-variable names. Anything hashable works internally; strings are used
 # throughout examples and serialization.
@@ -202,3 +203,71 @@ class Message:
 
     def pretty(self) -> str:
         return f"⟨{self.event.pretty()}, T{self.thread + 1}, {tuple(self.clock)}⟩"
+
+    @property
+    def delivery_index(self) -> tuple[int, int]:
+        """``(thread, clock[thread])`` — the per-thread *relevant* position
+        the observer's delivery layer sequences on (1-based).  Distinct from
+        :attr:`Event.eid`, whose ``seq`` counts all events of the thread."""
+        return (self.thread, self.clock[self.thread])
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """Wire envelope around a :class:`Message`: sender sequence + checksum.
+
+    The paper's observer tolerates arbitrary *reordering* because per-thread
+    sequencing is encoded in the MVCs themselves; tolerating *loss,
+    duplication and corruption* needs two extra pieces of metadata that the
+    payload cannot carry for itself:
+
+    * ``seq`` — a monotone per-sender send index, so a reliable transport
+      can ack/retransmit and the observer can spot transport-level
+      duplicates even when the payload is unreadable;
+    * ``checksum`` — CRC-32 of the canonical payload JSON, computed at
+      send time, so the observer can detect payload corruption (a tampered
+      message then counts as a *loss* of its ``(thread, index)`` slot
+      rather than silently poisoning the lattice).
+
+    An envelope whose :attr:`ok` is False must never be unwrapped into the
+    analysis: its payload bytes are untrustworthy.
+    """
+
+    message: Message
+    seq: int
+    checksum: int
+
+    @staticmethod
+    def payload_checksum(message: Message) -> int:
+        return zlib.crc32(message.to_json().encode("utf-8"))
+
+    @classmethod
+    def wrap(cls, message: Message, seq: int) -> "Envelope":
+        return cls(message=message, seq=seq,
+                   checksum=cls.payload_checksum(message))
+
+    @property
+    def ok(self) -> bool:
+        """Does the payload still match the send-time checksum?"""
+        return self.checksum == self.payload_checksum(self.message)
+
+    @property
+    def thread(self) -> int:
+        """Routing key, so envelopes ride thread-sharded channels."""
+        return self.message.thread
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "type": "envelope",
+            "seq": self.seq,
+            "crc": self.checksum,
+            "payload": self.message.to_json(),
+        })
+
+    @classmethod
+    def from_json(cls, line: str) -> "Envelope":
+        d = json.loads(line)
+        if d.get("type") != "envelope":
+            raise ValueError("not an envelope record")
+        return cls(message=Message.from_json(d["payload"]),
+                   seq=d["seq"], checksum=d["crc"])

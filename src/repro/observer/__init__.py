@@ -10,7 +10,14 @@ from .channel import (
     deliver_all,
 )
 from .delivery import CausalDelivery
-from .observer import Observer
+from .faults import FaultLog, FaultPlan, FaultyChannel
+from .observer import Observer, ObserverHealth
+from .reliable import (
+    LossyWire,
+    ReliableReceiver,
+    ReliableSender,
+    ReliableTransportError,
+)
 from .trace import Trace, TraceWriter, read_trace, write_trace
 
 __all__ = [
@@ -22,7 +29,15 @@ __all__ = [
     "SocketTransport",
     "deliver_all",
     "CausalDelivery",
+    "FaultLog",
+    "FaultPlan",
+    "FaultyChannel",
     "Observer",
+    "ObserverHealth",
+    "LossyWire",
+    "ReliableReceiver",
+    "ReliableSender",
+    "ReliableTransportError",
     "Trace",
     "TraceWriter",
     "read_trace",

@@ -26,6 +26,7 @@ import json
 import random
 import socket
 import threading
+from collections import deque
 from typing import Iterable, Iterator, Optional
 
 from ..core.events import Message
@@ -60,7 +61,7 @@ class FifoChannel(Channel):
     """Exact emission-order delivery."""
 
     def __init__(self) -> None:
-        self._queue: list[Message] = []
+        self._queue: deque[Message] = deque()
         self._closed = False
 
     def put(self, msg: Message) -> None:
@@ -73,7 +74,7 @@ class FifoChannel(Channel):
 
     def drain(self) -> Iterator[Message]:
         while self._queue:
-            yield self._queue.pop(0)
+            yield self._queue.popleft()
 
 
 class ReorderingChannel(Channel):
@@ -126,7 +127,7 @@ class MultiChannel(Channel):
     def __init__(self, k: int = 2, seed: int = 0, route_by_thread: bool = True):
         if k < 1:
             raise ValueError("need at least one sub-channel")
-        self._queues: list[list[Message]] = [[] for _ in range(k)]
+        self._queues: list[deque[Message]] = [deque() for _ in range(k)]
         self._rng = random.Random(seed)
         self._route_by_thread = route_by_thread
         self._rr = 0
@@ -151,7 +152,7 @@ class MultiChannel(Channel):
             if not nonempty:
                 return
             q = self._rng.choice(nonempty)
-            yield q.pop(0)
+            yield q.popleft()
 
 
 def deliver_all(channel: Channel, messages: Iterable[Message]) -> list[Message]:
@@ -175,12 +176,20 @@ class SocketTransport:
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
-                 strict: bool = True):
+                 strict: bool = True, accept_timeout: Optional[float] = 30.0,
+                 recv_timeout: Optional[float] = 30.0):
         self._server = socket.create_server((host, port))
         self.host, self.port = self._server.getsockname()
         self._received: list[Message] = []
         self._thread: Optional[threading.Thread] = None
         self._strict = strict
+        self._accept_timeout = accept_timeout
+        self._recv_timeout = recv_timeout
+        self._closed = False
+        #: Set when accept() timed out: the sender never connected.
+        self.sender_never_connected = False
+        #: Set when the connection idled past ``recv_timeout`` mid-stream.
+        self.receive_timed_out = False
         #: Undecodable lines (recorded; re-raised by wait() when strict).
         self.errors: list[tuple[str, Exception]] = []
 
@@ -188,19 +197,31 @@ class SocketTransport:
         """Accept one sender connection and collect messages until EOF
         (runs in a daemon thread).  Malformed lines are recorded in
         :attr:`errors`; with ``strict=True`` (default) :meth:`wait`
-        re-raises the first one."""
+        re-raises the first one.  A sender that never connects within
+        ``accept_timeout``, or goes silent for ``recv_timeout`` mid-stream,
+        ends the loop with the corresponding flag set instead of blocking
+        forever."""
 
         def loop() -> None:
-            conn, _addr = self._server.accept()
-            with conn, conn.makefile("r", encoding="utf-8") as f:
-                for line in f:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    try:
-                        self._received.append(Message.from_json(line))
-                    except Exception as exc:  # noqa: BLE001 - recorded
-                        self.errors.append((line[:200], exc))
+            self._server.settimeout(self._accept_timeout)
+            try:
+                conn, _addr = self._server.accept()
+            except (socket.timeout, OSError):
+                self.sender_never_connected = True
+                return
+            conn.settimeout(self._recv_timeout)
+            try:
+                with conn, conn.makefile("r", encoding="utf-8") as f:
+                    for line in f:
+                        line = line.strip()
+                        if not line:
+                            continue
+                        try:
+                            self._received.append(Message.from_json(line))
+                        except Exception as exc:  # noqa: BLE001 - recorded
+                            self.errors.append((line[:200], exc))
+            except socket.timeout:
+                self.receive_timed_out = True
 
         self._thread = threading.Thread(target=loop, daemon=True)
         self._thread.start()
@@ -210,19 +231,43 @@ class SocketTransport:
 
     def wait(self, timeout: float = 10.0) -> list[Message]:
         """Wait for the sender to disconnect; return messages in arrival
-        order."""
+        order.  The server socket is released whatever the outcome."""
         if self._thread is None:
             raise RuntimeError("start_receiver was not called")
-        self._thread.join(timeout)
-        if self._thread.is_alive():
-            raise TimeoutError("socket receiver did not finish in time")
-        self._server.close()
+        try:
+            self._thread.join(timeout)
+            if self._thread.is_alive():
+                raise TimeoutError("socket receiver did not finish in time")
+        finally:
+            self.close()
+        if self.sender_never_connected:
+            raise ConnectionError(
+                f"no sender connected to {self.host}:{self.port} within "
+                f"{self._accept_timeout}s"
+            )
+        if self._strict and self.receive_timed_out:
+            raise TimeoutError(
+                f"sender went silent for more than {self._recv_timeout}s "
+                "mid-stream (crashed without closing?)"
+            )
         if self._strict and self.errors:
             line, exc = self.errors[0]
             raise ValueError(
                 f"malformed message line over the wire: {line!r}"
             ) from exc
         return list(self._received)
+
+    def close(self) -> None:
+        """Release the server socket (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._server.close()
+
+    def __enter__(self) -> "SocketTransport":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 class SocketSender:
@@ -240,3 +285,9 @@ class SocketSender:
         self._file.flush()
         self._file.close()
         self._sock.close()
+
+    def __enter__(self) -> "SocketSender":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -13,10 +13,32 @@ so the test is two integers per thread — no graph needed.
 Output is always a linear extension of ``⊳`` (property-tested under
 arbitrary arrival permutations); ties are broken by arrival order, so FIFO
 input passes through unchanged.
+
+Fault model (see ``observer.faults``): real channels also *lose*,
+*duplicate* and *corrupt* messages.  The buffer therefore
+
+* suppresses duplicate event ids (counted in :attr:`duplicates_dropped`)
+  instead of treating them as caller bugs — duplication is a normal
+  transport fault;
+* exposes the exact missing ``(thread, index)`` slots blocking progress
+  (:meth:`gaps`, :meth:`missing_for`) — per-thread sequencing from the
+  clocks makes gap detection precise, not heuristic;
+* lets the observer :meth:`declare_lost` a gap after a stall, which
+  *quarantines the causal cone* of the lost slot: every buffered or
+  future message whose clock shows the lost message in its causal past can
+  never be delivered soundly and is diverted to :attr:`quarantined`.
+  Messages concurrent with the loss keep flowing — graceful degradation
+  instead of a permanent stall.
+
+Held-back messages are indexed by the single ``(thread, index)`` slot they
+are currently waiting on, so a release does O(woken) work rather than
+rescanning the whole buffer (the buffer can hold thousands of messages
+behind one gap under heavy loss).
 """
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Iterable, Iterator, Optional
 
 from ..core.events import Message
@@ -41,18 +63,40 @@ class CausalDelivery:
         self._n = n_threads
         #: Number of messages already delivered per thread.
         self._delivered = [0] * n_threads
-        #: Held-back messages in arrival order.
-        self._buffer: list[Message] = []
+        #: Held-back messages, indexed by the one missing ``(thread, index)``
+        #: slot each is currently blocked on.  Keys are always the *next*
+        #: undelivered index of their thread, so there are at most
+        #: ``n_threads`` live buckets; bucket order is arrival order.
+        self._waiting: dict[tuple[int, int], list[Message]] = {}
         self._seen: set[tuple[int, int]] = set()
+        #: Delivery slots ``(thread, clock[thread])`` that have *arrived*
+        #: (delivered, parked or quarantined) — distinguishes a slot that is
+        #: merely blocked from one that never showed up at all.
+        self._seen_slots: set[tuple[int, int]] = set()
+        #: ``(thread, index)`` slots declared lost (never deliverable).
+        self._lost: set[tuple[int, int]] = set()
+        #: Messages causally after a lost slot — undeliverable, diverted.
+        self.quarantined: list[Message] = []
+        #: Duplicate offers suppressed (transport-level fault, not an error).
+        self.duplicates_dropped = 0
+        #: Messages that arrived *after* their slot was declared lost.
+        self.late_arrivals = 0
 
     @property
     def pending(self) -> int:
-        """Messages buffered but not yet deliverable."""
-        return len(self._buffer)
+        """Messages buffered but not yet deliverable (excludes quarantine)."""
+        return sum(len(b) for b in self._waiting.values())
 
     @property
     def delivered_counts(self) -> tuple[int, ...]:
         return tuple(self._delivered)
+
+    @property
+    def losses(self) -> tuple[tuple[int, int], ...]:
+        """Slots declared lost, sorted."""
+        return tuple(sorted(self._lost))
+
+    # -- deliverability -------------------------------------------------------
 
     def _deliverable(self, msg: Message) -> bool:
         clock = msg.clock.components
@@ -64,34 +108,125 @@ class CausalDelivery:
         # in-order within the sender's own stream
         return clock[sender] == self._delivered[sender] + 1
 
+    def _first_blocker(self, msg: Message) -> Optional[tuple[int, int]]:
+        """The next missing ``(thread, index)`` slot ``msg`` waits on, or
+        ``None`` when deliverable now."""
+        clock = msg.clock.components
+        sender = msg.thread
+        for j in range(self._n):
+            need = clock[j] - 1 if j == sender else clock[j]
+            if self._delivered[j] < need:
+                return (j, self._delivered[j] + 1)
+        if clock[sender] != self._delivered[sender] + 1:
+            return (sender, self._delivered[sender] + 1)
+        return None
+
+    def _in_lost_cone(self, msg: Message) -> bool:
+        """Is a lost slot in ``msg``'s causal past (or ``msg`` itself lost)?
+
+        A lost ``(j, k)`` taints exactly the messages with ``clock[j] >= k``:
+        by Theorem 3 causal ancestry is pointwise clock dominance, so the
+        test covers the whole cone — including transitive dependents —
+        without any graph walk.
+        """
+        for (j, k) in self._lost:
+            if msg.clock[j] >= k:
+                return True
+        return False
+
+    # -- ingestion ------------------------------------------------------------
+
     def offer(self, msg: Message) -> list[Message]:
         """Ingest one message; return everything that became deliverable,
-        in causal order."""
+        in causal order.  Duplicates are suppressed (counted), messages in
+        a lost slot's causal cone are quarantined."""
         if msg.clock.width != self._n:
             raise ValueError(
                 f"clock width {msg.clock.width} != delivery width {self._n}"
             )
         eid = msg.event.eid
         if eid in self._seen:
-            raise ValueError(f"duplicate message for event {eid}")
+            self.duplicates_dropped += 1
+            return []
         self._seen.add(eid)
-        self._buffer.append(msg)
+        self._seen_slots.add(msg.delivery_index)
+        if self._in_lost_cone(msg):
+            if msg.delivery_index in self._lost:
+                self.late_arrivals += 1
+            self.quarantined.append(msg)
+            return []
+        blocker = self._first_blocker(msg)
+        if blocker is not None:
+            self._waiting.setdefault(blocker, []).append(msg)
+            return []
         released: list[Message] = []
-        progress = True
-        while progress:
-            progress = False
-            for i, held in enumerate(self._buffer):
-                if self._deliverable(held):
-                    self._buffer.pop(i)
-                    self._delivered[held.thread] += 1
-                    released.append(held)
-                    progress = True
-                    break
+        self._deliver(msg, released)
         return released
+
+    def _deliver(self, msg: Message, released: list[Message]) -> None:
+        """Deliver ``msg`` and cascade through waiters it unblocks.
+
+        Iterative worklist: delivering slot ``(t, k)`` wakes exactly the
+        bucket keyed ``(t, k)``; each woken message is re-examined once and
+        either delivered (possibly waking further buckets) or re-parked on
+        its next missing slot.  Total work is O(releases × n_threads)."""
+        ready = deque([msg])
+        while ready:
+            m = ready.popleft()
+            self._delivered[m.thread] += 1
+            released.append(m)
+            woken = self._waiting.pop((m.thread, self._delivered[m.thread]), [])
+            for w in woken:
+                blocker = self._first_blocker(w)
+                if blocker is None:
+                    ready.append(w)
+                else:
+                    self._waiting.setdefault(blocker, []).append(w)
 
     def offer_many(self, msgs: Iterable[Message]) -> Iterator[Message]:
         for m in msgs:
             yield from self.offer(m)
+
+    # -- gap detection and loss declaration -----------------------------------
+
+    def gaps(self) -> list[tuple[int, int]]:
+        """The missing ``(thread, index)`` slots currently blocking buffered
+        messages, sorted.  Empty when nothing is held back."""
+        return sorted(self._waiting)
+
+    def arrived(self, slot: tuple[int, int]) -> bool:
+        """Has the message for this delivery slot ever shown up?"""
+        return slot in self._seen_slots
+
+    def declare_lost(self, slots: Iterable[tuple[int, int]]) -> list[Message]:
+        """Declare ``(thread, index)`` slots lost and quarantine their causal
+        cones.  Returns the messages newly quarantined.
+
+        A loss never *satisfies* a dependency, so no buffered message can
+        become deliverable here; survivors concurrent with every lost slot
+        simply stay parked on their existing gap.
+        """
+        newly = [s for s in slots if s not in self._lost]
+        for (j, k) in newly:
+            if k <= self._delivered[j]:
+                raise ValueError(
+                    f"slot ({j}, {k}) was already delivered; cannot be lost"
+                )
+            self._lost.add((j, k))
+        if not newly:
+            return []
+        evicted: list[Message] = []
+        for key in list(self._waiting):
+            bucket = self._waiting[key]
+            keep = []
+            for m in bucket:
+                (evicted if self._in_lost_cone(m) else keep).append(m)
+            if keep:
+                self._waiting[key] = keep
+            else:
+                del self._waiting[key]
+        self.quarantined.extend(evicted)
+        return evicted
 
     def missing_for(self, msg: Message) -> Optional[list[tuple[int, int]]]:
         """Diagnostic: which (thread, index) messages block ``msg``?

@@ -1,0 +1,232 @@
+"""Deterministic fault injection for the observer pipeline.
+
+The paper's channels (``observer.channel``) model *reordering* — the fault
+the MVC encoding tolerates for free.  Real wires also lose, duplicate,
+corrupt and delay messages, and senders crash mid-stream.
+:class:`FaultyChannel` composes over any existing :class:`Channel` and
+injects exactly those faults from a seeded RNG, while recording a
+ground-truth :class:`FaultLog` so tests can check that the observer's
+health report matches the injected plan *exactly* (no missed faults, no
+false positives).
+
+Messages are wrapped in :class:`~repro.core.events.Envelope` (send-time
+sequence number + CRC-32), because loss and corruption are only
+*detectable* downstream with that metadata: corruption tampering the
+payload leaves the send-time checksum stale, and the per-thread indices in
+the MVCs expose every dropped ``(thread, index)`` slot as a gap.
+
+Fault fates are mutually exclusive per message (one roll of the RNG
+decides), which keeps the ground-truth bookkeeping unambiguous:
+
+========  ==============================================================
+fate      effect
+========  ==============================================================
+drop      envelope never enters the inner channel
+dup       envelope enters the inner channel twice
+corrupt   payload tampered *after* the checksum was computed
+delay     envelope held back for 1..``delay_max`` subsequent ``put``s
+crash     sender dies: this and every later message is silently lost
+========  ==============================================================
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Optional, Union
+
+from ..core.events import Envelope, Message
+from .channel import Channel, FifoChannel
+
+__all__ = ["FaultPlan", "FaultLog", "FaultyChannel", "CORRUPTION_SENTINEL"]
+
+#: Marker value planted into a tampered payload (makes corruption visible to
+#: a human reading a hexdump; the checksum, not this value, detects it).
+CORRUPTION_SENTINEL = "☠corrupt"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Fault rates and knobs, all driven by one seeded RNG.
+
+    Rates are probabilities in ``[0, 1]`` and must sum to at most 1 (fates
+    are exclusive).  ``crash_after=k`` kills the sender after ``k``
+    messages have been offered (the ``k+1``-th and later are lost).
+    """
+
+    drop: float = 0.0
+    dup: float = 0.0
+    corrupt: float = 0.0
+    delay: float = 0.0
+    delay_max: int = 3
+    crash_after: Optional[int] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("drop", "dup", "corrupt", "delay"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} rate {rate} outside [0, 1]")
+        if self.drop + self.dup + self.corrupt + self.delay > 1.0 + 1e-9:
+            raise ValueError("fault rates must sum to at most 1")
+        if self.delay_max < 1:
+            raise ValueError("delay_max must be >= 1")
+        if self.crash_after is not None and self.crash_after < 0:
+            raise ValueError("crash_after must be >= 0")
+
+    @classmethod
+    def parse(cls, text: str, seed: int = 0) -> "FaultPlan":
+        """Parse a CLI-style spec: ``"drop=0.05,dup=0.02,corrupt=0.01"``.
+
+        Recognized keys: drop, dup, corrupt, delay, delay_max, crash_after.
+        """
+        kwargs: dict = {"seed": seed}
+        for part in filter(None, (p.strip() for p in text.split(","))):
+            if "=" not in part:
+                raise ValueError(f"bad fault spec {part!r} (expected key=value)")
+            key, _, value = part.partition("=")
+            key = key.strip()
+            if key in ("drop", "dup", "corrupt", "delay"):
+                kwargs[key] = float(value)
+            elif key in ("delay_max", "crash_after"):
+                kwargs[key] = int(value)
+            else:
+                raise ValueError(f"unknown fault kind {key!r}")
+        return cls(**kwargs)
+
+
+@dataclass
+class FaultLog:
+    """Ground truth of everything the channel did, keyed by the
+    ``(thread, index)`` delivery slot of each victim (``index`` is the
+    1-based per-thread relevant position ``clock[thread]``)."""
+
+    dropped: list[tuple[int, int]] = field(default_factory=list)
+    duplicated: list[tuple[int, int]] = field(default_factory=list)
+    corrupted: list[tuple[int, int]] = field(default_factory=list)
+    delayed: list[tuple[int, int]] = field(default_factory=list)
+    #: Send index at which the sender crashed (None = no crash).
+    crashed_at: Optional[int] = None
+    lost_to_crash: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def lost_slots(self) -> set[tuple[int, int]]:
+        """Every slot that never reaches the observer intact: dropped,
+        corrupted (payload unusable), or swallowed by the crash."""
+        return set(self.dropped) | set(self.corrupted) | set(self.lost_to_crash)
+
+    @property
+    def total_faults(self) -> int:
+        return (len(self.dropped) + len(self.duplicated) + len(self.corrupted)
+                + len(self.delayed) + len(self.lost_to_crash))
+
+    def summary(self) -> str:
+        parts = [f"dropped={len(self.dropped)}",
+                 f"duplicated={len(self.duplicated)}",
+                 f"corrupted={len(self.corrupted)}",
+                 f"delayed={len(self.delayed)}"]
+        if self.crashed_at is not None:
+            parts.append(f"crashed_at={self.crashed_at} "
+                         f"(+{len(self.lost_to_crash)} lost)")
+        return ", ".join(parts)
+
+
+class FaultyChannel(Channel):
+    """A :class:`Channel` decorator that injects faults on ``put``.
+
+    Wraps each message in an :class:`Envelope` before the fault roll, so
+    what travels the inner channel carries seq + checksum; :meth:`drain`
+    therefore yields **envelopes**, and the consumer must verify
+    :attr:`Envelope.ok` before unwrapping (``Observer`` in fault-tolerant
+    mode does).
+
+    The inner channel is any existing delivery-order model — FIFO,
+    reordering, multi-channel — so loss composes with reordering.
+    """
+
+    def __init__(self, plan: FaultPlan, inner: Optional[Channel] = None):
+        self.plan = plan
+        self.inner = inner if inner is not None else FifoChannel()
+        self.log = FaultLog()
+        self._rng = random.Random(plan.seed)
+        self._seq = 0
+        self._put_count = 0
+        self._crashed = False
+        # (release_at_put_count, tiebreak, envelope) min-heap of delayed sends
+        self._delayed: list[tuple[int, int, Envelope]] = []
+        self._tiebreak = 0
+        self._closed = False
+
+    # -- fault fates -----------------------------------------------------------
+
+    def _corrupt(self, env: Envelope) -> Envelope:
+        """Tamper the payload *without* refreshing the checksum."""
+        event = env.message.event
+        bad_event = replace(event, value=CORRUPTION_SENTINEL)
+        bad_msg = replace(env.message, event=bad_event)
+        return Envelope(message=bad_msg, seq=env.seq, checksum=env.checksum)
+
+    def put(self, msg: Message) -> None:
+        if self._closed:
+            raise RuntimeError("channel closed")
+        slot = msg.delivery_index
+        if self._crashed:
+            self.log.lost_to_crash.append(slot)
+            return
+        if (self.plan.crash_after is not None
+                and self._put_count >= self.plan.crash_after):
+            self._crashed = True
+            self.log.crashed_at = self._put_count
+            self.log.lost_to_crash.append(slot)
+            # a crashed sender also never flushes its delayed sends
+            self.log.lost_to_crash.extend(
+                env.message.delivery_index for _, _, env in self._delayed)
+            for _, _, env in self._delayed:
+                self.log.delayed.remove(env.message.delivery_index)
+            self._delayed.clear()
+            return
+        self._put_count += 1
+        env = Envelope.wrap(msg, self._seq)
+        self._seq += 1
+
+        u = self._rng.random()
+        p = self.plan
+        if u < p.drop:
+            self.log.dropped.append(slot)
+        elif u < p.drop + p.dup:
+            self.log.duplicated.append(slot)
+            self.inner.put(env)
+            self.inner.put(env)
+        elif u < p.drop + p.dup + p.corrupt:
+            self.log.corrupted.append(slot)
+            self.inner.put(self._corrupt(env))
+        elif u < p.drop + p.dup + p.corrupt + p.delay:
+            self.log.delayed.append(slot)
+            release_at = self._put_count + self._rng.randint(1, p.delay_max)
+            heapq.heappush(self._delayed,
+                           (release_at, self._tiebreak, env))
+            self._tiebreak += 1
+        else:
+            self.inner.put(env)
+        self._release_due()
+
+    def _release_due(self, flush_all: bool = False) -> None:
+        while self._delayed and (flush_all
+                                 or self._delayed[0][0] <= self._put_count):
+            _, _, env = heapq.heappop(self._delayed)
+            self.inner.put(env)
+
+    def close(self) -> None:
+        """Close: un-crashed senders flush their delayed sends first."""
+        if not self._crashed:
+            self._release_due(flush_all=True)
+        self._closed = True
+        self.inner.close()
+
+    def drain(self) -> Iterator[Union[Envelope, Message]]:
+        return self.inner.drain()
+
+    @property
+    def crashed(self) -> bool:
+        return self._crashed

@@ -5,20 +5,100 @@ them, reconstructs the relevant causality via Theorem 3, and (optionally)
 runs the predictive analyzer online.  The observer never assumes in-order
 delivery: per-thread sequencing comes from the clocks themselves
 (``clock[thread]`` is the event's 1-based relevant index).
+
+Fault tolerance (``fault_tolerant=True``) extends that to an *imperfect*
+wire.  The same per-thread sequencing that makes reordering harmless makes
+loss, duplication and corruption **detectable**:
+
+* a duplicate carries an event id already seen → suppressed and counted;
+* a corrupted :class:`~repro.core.events.Envelope` fails its send-time
+  checksum → counted, payload never trusted;
+* a lost message leaves a precise ``(thread, index)`` gap that blocks the
+  causal-delivery buffer → after a stall threshold (or at end of stream)
+  the gap is declared lost and its *causal cone* quarantined, while
+  monitoring continues on every region concurrent with the loss.
+
+The resulting verdict semantics is explicit in :class:`ObserverHealth`:
+verdicts on the delivered (non-quarantined) prefix are exactly those of a
+fault-free run — the delivered subset is a consistent cut, so its
+sub-lattice is a prefix of the full lattice — while quarantined windows
+are reported unsound rather than silently guessed at.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Mapping, Optional
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Optional, Sequence, Union
 
-from ..analysis.predictive import OnlinePredictor
+from ..analysis.predictive import DegradedWindow, OnlinePredictor
 from ..core.causality import CausalityIndex
-from ..core.events import Message, VarName
+from ..core.events import Envelope, Message, VarName
 from ..lattice.levels import BuilderStats, Violation
 from ..logic.monitor import Monitor
 from .channel import Channel
+from .delivery import CausalDelivery
 
-__all__ = ["Observer"]
+__all__ = ["Observer", "ObserverHealth"]
+
+
+@dataclass(frozen=True)
+class ObserverHealth:
+    """Fidelity report: what the observer saw, dropped and gave up on.
+
+    ``losses`` + ``quarantined`` + ``degraded_windows`` delimit exactly
+    where verdicts are unsound; everything else carries the same guarantees
+    as a fault-free run.
+    """
+
+    #: Messages/envelopes ingested, including duplicates and corrupt ones.
+    received: int
+    #: Messages released to the analysis in causal order.
+    delivered: int
+    #: Transport-level duplicates suppressed.
+    duplicates_dropped: int
+    #: Envelopes whose payload failed its send-time checksum.
+    corrupted: int
+    #: ``(thread, index)`` delivery slots declared lost.
+    losses: tuple[tuple[int, int], ...]
+    #: Messages discarded because a lost slot is in their causal past.
+    quarantined: int
+    #: Messages still buffered behind an undeclared gap.
+    pending: int
+    #: Messages that arrived after their slot had been declared lost.
+    late_arrivals: int
+    #: Per-thread suffixes excluded from analysis (see
+    #: :class:`~repro.analysis.predictive.DegradedWindow`).
+    degraded_windows: tuple[DegradedWindow, ...] = ()
+
+    @property
+    def degraded(self) -> bool:
+        """Did any fault force the observer to give up on part of the
+        computation?  (Duplicates alone do not degrade: they are absorbed
+        exactly.)"""
+        return bool(self.losses or self.quarantined or self.corrupted
+                    or self.degraded_windows)
+
+    @property
+    def sound_everywhere(self) -> bool:
+        """Verdicts cover the full computation with no excluded region."""
+        return not self.degraded and self.pending == 0
+
+    def summary(self) -> str:
+        lines = [
+            f"received={self.received} delivered={self.delivered} "
+            f"pending={self.pending}",
+            f"duplicates_dropped={self.duplicates_dropped} "
+            f"corrupted={self.corrupted} late_arrivals={self.late_arrivals}",
+            f"losses={list(self.losses)} quarantined={self.quarantined}",
+        ]
+        if self.degraded_windows:
+            lines.append("degraded windows:")
+            lines.extend(f"  {w.pretty()}" for w in self.degraded_windows)
+            lines.append("verdicts outside these windows are sound; inside "
+                         "them neither violation nor absence can be claimed")
+        elif self.sound_everywhere:
+            lines.append("all verdicts sound (no loss, no corruption)")
+        return "\n".join(lines)
 
 
 class Observer:
@@ -30,6 +110,13 @@ class Observer:
             instrumentor communicates it at startup, like JMPaX does).
         spec: optional safety specification; when given, violations are
             predicted online and collected in :attr:`violations`.
+        fault_tolerant: route ingestion through the causal-delivery buffer
+            and tolerate loss/duplication/corruption instead of raising.
+            The analyzer then only ever sees causally-delivered messages.
+        stall_threshold: in fault-tolerant mode, declare the currently
+            blocking gaps lost after this many consecutive ingests that
+            release nothing while messages are parked (None = only declare
+            losses at :meth:`finish`).
 
     Use :meth:`receive` directly, or :meth:`consume` to pull from a
     :class:`~repro.observer.channel.Channel`.
@@ -42,6 +129,8 @@ class Observer:
         spec: Optional[str | Monitor] = None,
         track_paths: bool = True,
         causal_log: bool = False,
+        fault_tolerant: bool = False,
+        stall_threshold: Optional[int] = None,
     ):
         self._n = n_threads
         self.causality = CausalityIndex(n_threads)
@@ -51,29 +140,80 @@ class Observer:
                 n_threads, initial_store, spec, track_paths=track_paths
             )
         self._received = 0
+        self._corrupted = 0
         self._finished = False
-        # Optional causally-ordered message log (a linear extension of ⊳,
-        # whatever the delivery order) — see observer.delivery.
-        self._delivery = None
+        self._tolerant = fault_tolerant
+        if stall_threshold is not None and stall_threshold < 1:
+            raise ValueError("stall_threshold must be >= 1 (or None)")
+        self._stall_threshold = stall_threshold
+        self._stalled_for = 0
+        self._degraded_windows: tuple[DegradedWindow, ...] = ()
+        # Causally-ordered message log (a linear extension of ⊳, whatever
+        # the delivery order) — always maintained in fault-tolerant mode,
+        # where it doubles as the analyzer's input stream.
+        self._delivery: Optional[CausalDelivery] = None
+        self._keep_log = causal_log or fault_tolerant
         self.causal_log: list[Message] = []
-        if causal_log:
-            from .delivery import CausalDelivery
-
+        if causal_log or fault_tolerant:
             self._delivery = CausalDelivery(n_threads)
 
     # -- ingestion ------------------------------------------------------------
 
-    def receive(self, msg: Message) -> list[Violation]:
-        """Ingest one message (any order); returns newly-predicted violations."""
+    def receive(self, item: Union[Message, Envelope]) -> list[Violation]:
+        """Ingest one message or envelope (any order); returns
+        newly-predicted violations.
+
+        In strict mode (the default) a corrupted envelope or duplicate
+        message raises — the perfect-channel contract of the original
+        pipeline.  In fault-tolerant mode both are counted and absorbed.
+        """
         if self._finished:
             raise RuntimeError("observer already finished")
-        self.causality.add(msg)
         self._received += 1
+        if isinstance(item, Envelope):
+            if not item.ok:
+                self._corrupted += 1
+                if not self._tolerant:
+                    raise ValueError(
+                        f"envelope seq={item.seq} failed its checksum "
+                        "(corrupt payload)"
+                    )
+                return []
+            msg = item.message
+        else:
+            msg = item
+        if self._tolerant and msg.event.eid in self.causality:
+            # duplicate: CausalDelivery counts it; nothing new to analyze
+            if self._delivery is not None:
+                self._delivery.offer(msg)
+            return []
+        self.causality.add(msg)
         if self._delivery is not None:
-            self.causal_log.extend(self._delivery.offer(msg))
+            released = self._delivery.offer(msg)
+            if self._keep_log:
+                self.causal_log.extend(released)
+            if self._tolerant:
+                self._check_stall(bool(released))
+                if self._predictor is not None:
+                    new: list[Violation] = []
+                    for r in released:
+                        new.extend(self._predictor.feed(r))
+                    return new
+                return []
         if self._predictor is not None:
             return self._predictor.feed(msg)
         return []
+
+    def _check_stall(self, released_any: bool) -> None:
+        assert self._delivery is not None
+        if released_any or self._delivery.pending == 0:
+            self._stalled_for = 0
+            return
+        self._stalled_for += 1
+        if (self._stall_threshold is not None
+                and self._stalled_for >= self._stall_threshold):
+            self._delivery.declare_lost(self._delivery.gaps())
+            self._stalled_for = 0
 
     def consume(self, channel: Channel) -> list[Violation]:
         """Drain whatever the channel currently delivers."""
@@ -82,18 +222,82 @@ class Observer:
             new.extend(self.receive(msg))
         return new
 
-    def receive_many(self, messages: Iterable[Message]) -> list[Violation]:
+    def receive_many(
+        self, messages: Iterable[Union[Message, Envelope]]
+    ) -> list[Violation]:
         new: list[Violation] = []
         for m in messages:
             new.extend(self.receive(m))
         return new
 
-    def finish(self) -> list[Violation]:
-        """End of stream: complete the lattice and final checks."""
+    def finish(
+        self, expected_totals: Optional[Sequence[int]] = None
+    ) -> list[Violation]:
+        """End of stream: complete the lattice and final checks.
+
+        In fault-tolerant mode, remaining gaps are declared lost —
+        precisely, when ``expected_totals`` (true per-thread message
+        counts, e.g. from end-of-thread markers) is given, every expected
+        slot that never arrived; otherwise every slot still blocking a
+        buffered message.  The analyzer then completes over the delivered
+        prefix and the excluded regions are reported in :attr:`health`.
+        """
         self._finished = True
-        if self._predictor is not None:
+        if not self._tolerant:
+            if self._predictor is not None:
+                return self._predictor.finish()
+            return []
+        return self._finish_tolerant(expected_totals)
+
+    def _finish_tolerant(
+        self, expected_totals: Optional[Sequence[int]]
+    ) -> list[Violation]:
+        d = self._delivery
+        assert d is not None
+        if expected_totals is not None:
+            if len(expected_totals) != self._n:
+                raise ValueError(
+                    f"expected_totals has {len(expected_totals)} entries "
+                    f"for {self._n} threads"
+                )
+            missing = [
+                (j, k)
+                for j in range(self._n)
+                for k in range(d.delivered_counts[j] + 1,
+                               expected_totals[j] + 1)
+                if not d.arrived((j, k)) and (j, k) not in set(d.losses)
+            ]
+            d.declare_lost(missing)
+        # Anything still parked waits on a chain of gaps that bottoms out at
+        # a slot that never arrived; declare those until the buffer drains.
+        while d.pending:
+            unseen = [s for s in d.gaps() if not d.arrived(s)]
+            if not unseen:  # pragma: no cover - impossible: ⊳ is well-founded
+                raise RuntimeError("delivery stalled on arrived slots only")
+            d.declare_lost(unseen)
+        degraded = bool(d.losses) or self._corrupted > 0
+        if self._predictor is None:
+            self._degraded_windows = self._windows_from_totals(
+                expected_totals) if degraded else ()
+            return []
+        if not degraded:
             return self._predictor.finish()
-        return []
+        new = self._predictor.finish_partial(
+            d.delivered_counts, expected_totals)
+        self._degraded_windows = self._predictor.degraded_windows
+        return new
+
+    def _windows_from_totals(
+        self, expected_totals: Optional[Sequence[int]]
+    ) -> tuple[DegradedWindow, ...]:
+        assert self._delivery is not None
+        out = []
+        for j, delivered in enumerate(self._delivery.delivered_counts):
+            expected = None if expected_totals is None else expected_totals[j]
+            if expected is None or delivered < expected:
+                out.append(DegradedWindow(
+                    thread=j, first_missing=delivered + 1, analyzed=delivered))
+        return tuple(out)
 
     # -- results ---------------------------------------------------------------
 
@@ -108,6 +312,28 @@ class Observer:
     @property
     def stats(self) -> Optional[BuilderStats]:
         return self._predictor.stats if self._predictor else None
+
+    @property
+    def health(self) -> ObserverHealth:
+        """Fidelity report (meaningful mainly in fault-tolerant mode)."""
+        d = self._delivery
+        if d is None:
+            return ObserverHealth(
+                received=self._received, delivered=self._received,
+                duplicates_dropped=0, corrupted=self._corrupted,
+                losses=(), quarantined=0, pending=0, late_arrivals=0,
+            )
+        return ObserverHealth(
+            received=self._received,
+            delivered=sum(d.delivered_counts),
+            duplicates_dropped=d.duplicates_dropped,
+            corrupted=self._corrupted,
+            losses=d.losses,
+            quarantined=len(d.quarantined),
+            pending=d.pending,
+            late_arrivals=d.late_arrivals,
+            degraded_windows=self._degraded_windows,
+        )
 
     def observed_order_consistent(self) -> bool:
         """Sanity check: received order is *some* linear extension of ⊳ when

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.events import Event, EventKind, Message
+from repro.core.events import Envelope, Event, EventKind, Message
 from repro.core.vectorclock import VectorClock
 
 
@@ -127,3 +127,41 @@ class TestMessage:
         a = Message(event=e, thread=0, clock=VectorClock((1,)), emit_index=1)
         b = Message(event=e, thread=0, clock=VectorClock((1,)), emit_index=2)
         assert a == b
+
+
+class TestEnvelope:
+    def _msg(self):
+        e = Event(thread=0, seq=2, kind=EventKind.WRITE, var="x", value=7,
+                  relevant=True)
+        return Message(event=e, thread=0, clock=VectorClock((2, 1)))
+
+    def test_wrap_checksum_verifies(self):
+        env = Envelope.wrap(self._msg(), seq=4)
+        assert env.ok
+        assert env.seq == 4
+        assert env.thread == 0
+
+    def test_tampered_payload_detected(self):
+        import dataclasses
+
+        env = Envelope.wrap(self._msg(), seq=0)
+        bad_event = dataclasses.replace(env.message.event, value=999)
+        bad = Envelope(
+            message=dataclasses.replace(env.message, event=bad_event),
+            seq=env.seq, checksum=env.checksum)
+        assert not bad.ok
+
+    def test_json_roundtrip_preserves_checksum(self):
+        env = Envelope.wrap(self._msg(), seq=3)
+        back = Envelope.from_json(env.to_json())
+        assert back.ok
+        assert back.seq == 3
+        assert back.message == env.message
+
+    def test_from_json_rejects_non_envelope(self):
+        with pytest.raises(ValueError, match="envelope"):
+            Envelope.from_json('{"type": "header"}')
+
+    def test_delivery_index_uses_relevant_position(self):
+        m = self._msg()
+        assert m.delivery_index == (0, 2)

@@ -93,3 +93,88 @@ class TestMultiChannel:
     def test_needs_at_least_one_queue(self):
         with pytest.raises(ValueError):
             MultiChannel(k=0)
+
+
+class TestSocketHardening:
+    """The transport must fail loudly and release its socket on every path."""
+
+    def test_never_connected_raises_and_frees_port(self):
+        import socket as socketlib
+
+        from repro.observer.channel import SocketTransport
+
+        transport = SocketTransport(accept_timeout=0.2)
+        transport.start_receiver()
+        with pytest.raises(ConnectionError, match="no sender connected"):
+            transport.wait(timeout=5.0)
+        assert transport.sender_never_connected
+        # the port must be reusable immediately — no leaked server socket
+        srv = socketlib.create_server((transport.host, transport.port))
+        srv.close()
+
+    def test_wait_without_start_rejected(self):
+        from repro.observer.channel import SocketTransport
+
+        transport = SocketTransport(accept_timeout=0.2)
+        with pytest.raises(RuntimeError, match="start_receiver"):
+            transport.wait()
+        transport.close()
+
+    def test_mid_stream_silence_times_out(self):
+        import socket as socketlib
+
+        from repro.observer.channel import SocketTransport
+
+        transport = SocketTransport(accept_timeout=5.0, recv_timeout=0.2)
+        transport.start_receiver()
+        # connect but never send or close: a crashed sender
+        sock = socketlib.create_connection((transport.host, transport.port))
+        try:
+            with pytest.raises(TimeoutError, match="silent"):
+                transport.wait(timeout=5.0)
+            assert transport.receive_timed_out
+        finally:
+            sock.close()
+
+    def test_lenient_mode_returns_partial_on_timeout(self):
+        from repro.observer.channel import SocketTransport
+
+        msgs = fake_messages(3)
+        transport = SocketTransport(accept_timeout=5.0, recv_timeout=0.2,
+                                    strict=False)
+        transport.start_receiver()
+        sender = transport.sender()
+        for m in msgs:
+            sender.send(m)
+        sender._file.flush()  # deliver without closing: then go silent
+        received = transport.wait(timeout=5.0)
+        assert transport.receive_timed_out
+        assert [m.event.eid for m in received] == [m.event.eid for m in msgs]
+        sender.close()
+
+    def test_malformed_line_recorded_and_raised_when_strict(self):
+        import socket as socketlib
+
+        from repro.observer.channel import SocketTransport
+
+        transport = SocketTransport(accept_timeout=5.0)
+        transport.start_receiver()
+        sock = socketlib.create_connection((transport.host, transport.port))
+        sock.sendall(b"this is not json\n")
+        sock.close()
+        with pytest.raises(ValueError, match="malformed"):
+            transport.wait(timeout=5.0)
+        assert transport.errors
+
+    def test_context_managers_close_both_ends(self):
+        from repro.observer.channel import SocketTransport
+
+        msgs = fake_messages(4)
+        with SocketTransport(accept_timeout=5.0) as transport:
+            transport.start_receiver()
+            with transport.sender() as sender:
+                for m in msgs:
+                    sender.send(m)
+            received = transport.wait(timeout=5.0)
+        assert len(received) == 4
+        transport.close()  # idempotent

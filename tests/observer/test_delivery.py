@@ -32,11 +32,20 @@ class TestBasics:
         with pytest.raises(ValueError, match="width"):
             d.offer(xyz_execution.messages[0])
 
-    def test_duplicate_rejected(self, xyz_execution):
+    def test_duplicate_suppressed_and_counted(self, xyz_execution):
+        """Duplication is a normal fault-model event, not a caller bug: the
+        second copy is dropped and counted, never re-delivered."""
         d = CausalDelivery(2)
-        d.offer(xyz_execution.messages[0])
-        with pytest.raises(ValueError, match="duplicate"):
-            d.offer(xyz_execution.messages[0])
+        assert d.offer(xyz_execution.messages[0]) != []
+        assert d.offer(xyz_execution.messages[0]) == []
+        assert d.duplicates_dropped == 1
+        # a duplicate of a still-buffered message is suppressed too
+        e1, e2, e4, e3 = xyz_execution.messages
+        d2 = CausalDelivery(2)
+        d2.offer(e4)
+        assert d2.offer(e4) == []
+        assert d2.duplicates_dropped == 1
+        assert d2.pending == 1
 
     def test_fifo_input_passes_through(self, xyz_execution):
         d = CausalDelivery(2)

@@ -139,3 +139,34 @@ class TestExplore:
         code, out = run_cli("explore", "xyz", "--spec", "x >= -1")
         assert code == 0
         assert "violating interleavings: 0" in out
+
+
+class TestObserve:
+    def test_clean_wire_is_sound(self):
+        code, out = run_cli("observe", "xyz", "--faults", "")
+        assert "all verdicts sound" in out
+        assert "VERDICT: sound everywhere" in out
+
+    def test_fault_injection_degrades_gracefully(self):
+        code, out = run_cli("observe", "landing", "--faults",
+                            "drop=0.9", "--fault-seed", "1")
+        assert "losses=" in out
+        assert "VERDICT: degraded" in out
+        assert "degraded windows:" in out
+
+    def test_duplicates_absorbed(self):
+        code, out = run_cli("observe", "xyz", "--faults", "dup=1.0")
+        assert "duplicates_dropped=4" in out
+        assert "VERDICT: sound everywhere" in out
+
+    def test_bad_fault_spec_exits_two(self):
+        code, out = run_cli("observe", "xyz", "--faults", "warble=0.1")
+        assert code == 2
+        assert "error:" in out
+
+    def test_reordering_channel_with_stall_threshold(self):
+        code, out = run_cli("observe", "landing", "--channel", "reorder",
+                            "--faults", "drop=0.2", "--fault-seed", "3",
+                            "--stall", "2")
+        assert "observer health:" in out
+        assert "VERDICT:" in out
