@@ -108,6 +108,83 @@ def test_mvc_kernel_numpy_benchmark(benchmark):
     benchmark(merge_loop)
 
 
+def test_obs_disabled_guard_overhead():
+    """The observability hooks must be ~free when off: the flag checks they
+    compile down to must cost <5% of one Algorithm A event.
+
+    Measured directly: (a) the per-event cost of the instrumented algorithm
+    with observability disabled, (b) the net cost of one disabled
+    ``if ENABLED:`` guard (loop cost subtracted), scaled by the four guard
+    evaluations on the per-event hot path (tracing gate + event counter +
+    join counter + message counter).
+    """
+    import time
+
+    from repro.obs import metrics, tracing
+
+    assert not metrics.ENABLED and not tracing.ENABLED
+
+    event_s = min(_timed(lambda: drive_algorithm(8, n_vars=8))
+                  for _ in range(5))
+    event_ns = event_s / N_EVENTS * 1e9
+
+    n = 1_000_000
+    t0 = time.perf_counter()
+    for _ in range(n):
+        if metrics.ENABLED:
+            raise AssertionError("metrics unexpectedly enabled")
+    guarded_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for _ in range(n):
+        pass
+    empty_s = time.perf_counter() - t0
+    guard_ns = max(0.0, (guarded_s - empty_s) / n * 1e9)
+
+    overhead = 4 * guard_ns / event_ns
+    table("E6 — disabled-observability guard overhead",
+          ["quantity", "value"],
+          [("per-event cost (obs off)", f"{event_ns:.0f} ns"),
+           ("one disabled guard", f"{guard_ns:.1f} ns"),
+           ("guards per event", "4"),
+           ("overhead", f"{overhead:.2%}")])
+    assert overhead < 0.05
+
+
+def test_obs_enabled_vs_disabled():
+    """Cost of turning the whole observability layer on (metrics + spans on
+    every event).  No hard budget — enabling is opt-in — but it must stay
+    within an order of magnitude of the plain run."""
+    from repro import obs
+
+    disabled_s = min(_timed(lambda: drive_algorithm(8, n_vars=8))
+                     for _ in range(5))
+    obs.enable(reset=True)
+    try:
+        enabled_s = min(_timed(lambda: drive_algorithm(8, n_vars=8))
+                        for _ in range(5))
+        events = obs.metrics.REGISTRY.counter("algoa.events").value
+    finally:
+        # disable but do NOT reset: --emit-json snapshots these counts
+        obs.disable()
+    assert events == 5 * N_EVENTS  # counters accumulate across the 5 reps
+    table("E6 — observability enabled vs disabled",
+          ["variant", "seconds", "per event"],
+          [("obs disabled", f"{disabled_s:.4f}",
+            f"{disabled_s / N_EVENTS * 1e9:.0f} ns"),
+           ("obs enabled", f"{enabled_s:.4f}",
+            f"{enabled_s / N_EVENTS * 1e9:.0f} ns"),
+           ("ratio", f"{enabled_s / disabled_s:.2f}x", "")])
+    assert enabled_s < disabled_s * 10
+
+
+def _timed(fn):
+    import time
+
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0
+
+
 def test_sync_only_mode_not_slower(benchmark):
     """sync_only_clocks skips the variable-clock merges for data accesses;
     it must never cost more than the full algorithm."""

@@ -8,6 +8,8 @@ them live) are the rows recorded in EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.sched import FixedScheduler, run_program
@@ -17,6 +19,30 @@ from repro.workloads import (
     landing_controller,
     xyz_program,
 )
+
+#: Every table printed this session, in order, for ``--emit-json``.
+_RECORDED_TABLES: list[dict] = []
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--emit-json", default=None, metavar="FILE",
+        help="write every benchmark table printed this session, plus a "
+             "snapshot of the repro.obs metrics registry, to FILE as JSON")
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = session.config.getoption("--emit-json")
+    if not path:
+        return
+    from repro.obs import metrics
+
+    payload = {
+        "tables": _RECORDED_TABLES,
+        "metrics": metrics.REGISTRY.snapshot(),
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, default=str)
 
 
 @pytest.fixture(scope="session")
@@ -31,6 +57,11 @@ def xyz_execution():
 
 def table(title: str, headers: list[str], rows: list[tuple]) -> None:
     """Print an aligned table (visible with ``pytest -s``)."""
+    _RECORDED_TABLES.append({
+        "title": title,
+        "headers": [str(h) for h in headers],
+        "rows": [[str(c) for c in r] for r in rows],
+    })
     widths = [max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
               for i, h in enumerate(headers)]
     print(f"\n== {title} ==")

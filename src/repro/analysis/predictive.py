@@ -24,6 +24,7 @@ from typing import Any, Iterable, Mapping, Optional, Sequence
 from ..core.events import Message, VarName
 from ..lattice.full import ComputationLattice
 from ..lattice.levels import BuilderStats, LevelByLevelBuilder, Violation
+from ..obs import tracing as _tracing
 from ..logic.ast import Formula
 from ..logic.monitor import Monitor
 from ..sched.scheduler import ExecutionResult
@@ -133,16 +134,20 @@ def predict(
     initial = _initial_state(execution.initial_store, variables)
 
     # Observed-run verdict (what a single-trace checker would conclude).
-    observed_states = [dict(zip(variables, t))
-                       for t in execution.relevant_state_sequence(variables)]
-    observed_ok, observed_idx = monitor.check_trace(observed_states)
+    with _tracing.span("predict.observed_check",
+                       program=execution.program_name):
+        observed_states = [dict(zip(variables, t))
+                           for t in execution.relevant_state_sequence(variables)]
+        observed_ok, observed_idx = monitor.check_trace(observed_states)
 
     if mode == "levels":
-        builder = LevelByLevelBuilder(
-            execution.n_threads, initial, monitor, track_paths=track_paths
-        )
-        builder.feed_many(execution.messages)
-        builder.finish()
+        with _tracing.span("predict.levels", program=execution.program_name,
+                           messages=len(execution.messages)):
+            builder = LevelByLevelBuilder(
+                execution.n_threads, initial, monitor, track_paths=track_paths
+            )
+            builder.feed_many(execution.messages)
+            builder.finish()
         return PredictionReport(
             program_name=execution.program_name,
             spec=str(monitor.formula),
@@ -154,21 +159,25 @@ def predict(
             stats=builder.stats,
         )
     if mode == "full":
-        lattice = ComputationLattice(execution.n_threads, initial, execution.messages)
-        violations: list[Violation] = []
-        checked = 0
-        for run in lattice.runs(limit=run_limit):
-            checked += 1
-            ok, k = monitor.check_trace([dict(s) for s in run.states])
-            if not ok:
-                violations.append(
-                    Violation(
-                        messages=run.messages[:k],
-                        states=run.states[: k + 1],
-                        cut=_cut_of_prefix(execution.n_threads, run.messages[:k]),
-                        monitor_state=None,
+        with _tracing.span("predict.full", program=execution.program_name,
+                           messages=len(execution.messages)):
+            lattice = ComputationLattice(execution.n_threads, initial,
+                                         execution.messages)
+            violations: list[Violation] = []
+            checked = 0
+            for run in lattice.runs(limit=run_limit):
+                checked += 1
+                ok, k = monitor.check_trace([dict(s) for s in run.states])
+                if not ok:
+                    violations.append(
+                        Violation(
+                            messages=run.messages[:k],
+                            states=run.states[: k + 1],
+                            cut=_cut_of_prefix(execution.n_threads,
+                                               run.messages[:k]),
+                            monitor_state=None,
+                        )
                     )
-                )
         return PredictionReport(
             program_name=execution.program_name,
             spec=str(monitor.formula),

@@ -13,7 +13,10 @@ original tool:
 * ``run``     — compile and predictively analyze a MiniLang source file;
 * ``explore`` — exhaustive interleaving enumeration (ground-truth model check);
 * ``observe`` — fault-tolerant observation over an imperfect channel
-  (seeded drop/duplication/corruption injection + health report).
+  (seeded drop/duplication/corruption injection + health report);
+* ``stats``   — profile a workload: run the full predictive pipeline with
+  metrics and tracing enabled, print the metric summary and span
+  hotspots, optionally export a Chrome/Perfetto trace.
 
 Examples::
 
@@ -24,6 +27,8 @@ Examples::
     python -m repro races counter
     python -m repro run controller.ml --spec "start(landing == 1) -> [approved == 1, radio == 0)"
     python -m repro observe xyz --faults drop=0.05,dup=0.02,corrupt=0.01 --fault-seed 7
+    python -m repro stats xyz --trace-out /tmp/xyz-trace.json
+    python -m repro observe landing --metrics --progress 2
 """
 
 from __future__ import annotations
@@ -239,32 +244,58 @@ def cmd_run(args: argparse.Namespace, out: Callable[[str], None]) -> int:
 
 
 def cmd_observe(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    from . import obs
     from .observer import FaultPlan, FaultyChannel, MultiChannel, Observer
     from .observer import FifoChannel, ReorderingChannel
 
     demo = DEMOS[args.workload]
     spec = args.spec or demo.spec
-    execution = _run_demo(demo, args.seed)
     try:
         plan = FaultPlan.parse(args.faults, seed=args.fault_seed)
     except ValueError as exc:
         out(f"error: {exc}")
         return 2
-    inner = {"fifo": lambda: FifoChannel(),
-             "reorder": lambda: ReorderingChannel(seed=plan.seed, window=4),
-             "multi": lambda: MultiChannel(k=2, seed=plan.seed)}[args.channel]()
-    channel = FaultyChannel(plan, inner=inner)
-    initial = {v: execution.initial_store[v] for v in demo.variables}
-    observer = Observer(execution.n_threads, initial, spec=spec,
-                        fault_tolerant=True, stall_threshold=args.stall)
-    totals = [0] * execution.n_threads
-    for m in execution.messages:
-        totals[m.thread] += 1
-        channel.put(m)
+
+    want_metrics = args.metrics
+    want_trace = args.trace_out is not None
+    if want_metrics:
+        obs.metrics.enable(reset=True)
+    if want_trace:
+        obs.tracing.enable(reset=True)
+    reporter = (obs.ProgressReporter(every=args.progress, out=out,
+                                     label="messages")
+                if args.progress else None)
+    try:
+        execution = _run_demo(demo, args.seed)
+        inner = {"fifo": lambda: FifoChannel(),
+                 "reorder": lambda: ReorderingChannel(seed=plan.seed, window=4),
+                 "multi": lambda: MultiChannel(k=2, seed=plan.seed)}[args.channel]()
+        channel = FaultyChannel(plan, inner=inner)
+        initial = {v: execution.initial_store[v] for v in demo.variables}
+        observer = Observer(execution.n_threads, initial, spec=spec,
+                            fault_tolerant=True, stall_threshold=args.stall)
+        totals = [0] * execution.n_threads
+        for m in execution.messages:
+            totals[m.thread] += 1
+            channel.put(m)
+            observer.consume(channel)
+            if reporter is not None:
+                health = observer.health
+                stats = observer.stats
+                reporter.tick(
+                    delivered=health.delivered, buffered=health.pending,
+                    level=stats.levels_completed if stats else 0)
+        channel.close()
         observer.consume(channel)
-    channel.close()
-    observer.consume(channel)
-    observer.finish(expected_totals=totals)
+        observer.finish(expected_totals=totals)
+        if reporter is not None:
+            reporter.final(delivered=observer.health.delivered,
+                           buffered=observer.health.pending)
+    finally:
+        if want_metrics:
+            obs.metrics.disable()
+        if want_trace:
+            obs.tracing.disable()
 
     out(f"program: {execution.program_name}   spec: {spec}")
     out(f"messages emitted: {len(execution.messages)}   "
@@ -275,12 +306,63 @@ def cmd_observe(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     out(f"violations (on the analyzed region): {len(observer.violations)}")
     for v in observer.violations:
         out("  counterexample: " + v.pretty(demo.variables))
+    if want_metrics:
+        out("metrics:")
+        for line in obs.metrics.REGISTRY.summary().splitlines():
+            out("  " + line)
+    if want_trace:
+        n = obs.tracing.TRACER.export_chrome(args.trace_out)
+        out(f"trace: {n} events written to {args.trace_out} "
+            "(load in chrome://tracing or ui.perfetto.dev)")
     if observer.health.degraded:
         out("VERDICT: degraded — verdicts sound only outside the "
             "quarantined windows")
     else:
         out("VERDICT: sound everywhere (all faults absorbed)")
     return 1 if observer.violations else 0
+
+
+def cmd_stats(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    """Profile one workload end to end: run it instrumented, analyze it
+    predictively with metrics + tracing on, and report where the time and
+    space went."""
+    import json as _json
+
+    from . import obs
+
+    demo = DEMOS[args.workload]
+    spec = args.spec or demo.spec
+    obs.enable(reset=True)
+    try:
+        with obs.tracing.TRACER.span("stats.workload", workload=args.workload):
+            execution = _run_demo(demo, args.seed)
+        report = predict(execution, spec, mode="levels")
+    finally:
+        obs.disable()
+
+    out(f"program: {execution.program_name}   spec: {spec}")
+    out(f"events: {len(execution.events)}   relevant messages: "
+        f"{len(execution.messages)}   threads: {execution.n_threads}")
+    out(f"lattice: {report.nodes} cuts expanded over "
+        f"{report.stats.levels_completed} levels   "
+        f"peak resident cuts: {report.stats.peak_resident_cuts}")
+    out(f"violations (observed or predicted): {len(report.violations)}")
+    out("")
+    out("metrics:")
+    for line in obs.metrics.REGISTRY.summary().splitlines():
+        out("  " + line)
+    out("")
+    out("span hotspots:")
+    for line in obs.tracing.TRACER.hotspots(top=args.top).splitlines():
+        out("  " + line)
+    if args.trace_out is not None:
+        n = obs.tracing.TRACER.export_chrome(args.trace_out)
+        out(f"trace: {n} events written to {args.trace_out} "
+            "(load in chrome://tracing or ui.perfetto.dev)")
+    if args.json:
+        out(_json.dumps(obs.metrics.REGISTRY.snapshot(), indent=2,
+                        default=str))
+    return 0
 
 
 def _positive_int(text: str) -> int:
@@ -348,7 +430,25 @@ def build_parser() -> argparse.ArgumentParser:
                         "ingests (default: only at end of stream)")
     p.add_argument("--channel", choices=("fifo", "reorder", "multi"),
                    default="fifo", help="delivery-order model under the faults")
+    p.add_argument("--metrics", action="store_true",
+                   help="collect pipeline metrics and print a summary")
+    p.add_argument("--trace-out", default=None, metavar="FILE",
+                   help="record spans and write a Chrome/Perfetto trace file")
+    p.add_argument("--progress", type=_positive_int, default=None, metavar="N",
+                   help="print a progress line every N messages ingested")
     p.set_defaults(fn=cmd_observe)
+
+    p = sub.add_parser("stats",
+                       help="profile a workload with metrics and tracing on")
+    _demo_arg(p)
+    p.add_argument("--spec", default=None, help="override the bundled spec")
+    p.add_argument("--trace-out", default=None, metavar="FILE",
+                   help="write a Chrome/Perfetto trace file")
+    p.add_argument("--json", action="store_true",
+                   help="also dump the raw metrics snapshot as JSON")
+    p.add_argument("--top", type=_positive_int, default=10,
+                   help="number of span hotspots to show (default 10)")
+    p.set_defaults(fn=cmd_stats)
 
     p = sub.add_parser("run", help="compile and analyze a MiniLang file")
     p.add_argument("source", help="MiniLang source file")

@@ -29,10 +29,40 @@ from typing import Any, Iterable, Mapping, Optional, Sequence
 
 from ..core.events import Message, VarName
 from ..logic.monitor import Monitor, MonitorState
+from ..obs import metrics as _metrics
+from ..obs import tracing as _tracing
 from .cut import Cut, MessageChains, apply_message
 from .full import Run
 
 __all__ = ["LevelByLevelBuilder", "Violation", "BuilderStats"]
+
+_C_LEVELS = _metrics.REGISTRY.counter(
+    "lattice.levels", unit="levels",
+    help="lattice levels fully expanded")
+_C_NODES = _metrics.REGISTRY.counter(
+    "lattice.nodes_expanded", unit="cuts",
+    help="lattice cuts expanded (sum of expanded level widths)")
+_C_MSTEPS = _metrics.REGISTRY.counter(
+    "lattice.monitor_steps", unit="steps",
+    help="monitor transitions requested ((state, valuation) lookups)")
+_C_MHITS = _metrics.REGISTRY.counter(
+    "lattice.monitor_cache_hits", unit="steps",
+    help="monitor transitions served from the step memo cache")
+_C_VIOLATIONS = _metrics.REGISTRY.counter(
+    "lattice.violations", unit="violations",
+    help="safety violations recorded (observed or predicted)")
+_H_WIDTH = _metrics.REGISTRY.histogram(
+    "lattice.level_width", unit="cuts",
+    help="cuts per expanded level (lattice breadth profile)")
+_H_STATES = _metrics.REGISTRY.histogram(
+    "lattice.level_states", unit="states",
+    help="(cut, monitor-state) pairs per expanded level")
+_G_FRONTIER = _metrics.REGISTRY.gauge(
+    "lattice.frontier_cuts", unit="cuts",
+    help="width of the current frontier (max = widest level seen)")
+_G_FSTATES = _metrics.REGISTRY.gauge(
+    "lattice.frontier_states", unit="states",
+    help="(cut, monitor-state) pairs resident in the current frontier")
 
 
 class _PathNode:
@@ -348,37 +378,46 @@ class LevelByLevelBuilder:
 
     def _advance(self) -> None:
         while not self._done and self._frontier and self._level_ready():
-            new_frontier: dict[Cut, _Node] = {}
-            progressed = False
-            for cut, node in self._frontier.items():
-                for i in range(self._n):
-                    m = self._chains.enabled_at(cut, i)
-                    if m is None:
-                        continue
-                    progressed = True
-                    succ = cut[:i] + (cut[i] + 1,) + cut[i + 1:]
-                    snode = new_frontier.get(succ)
-                    if snode is None:
-                        snode = _Node(self._projected(apply_message(node.state, m)))
-                        new_frontier[succ] = snode
-                    self._extend_monitors(node, snode, m, succ)
-            self.stats.nodes_expanded += len(self._frontier)
-            self.stats.levels_completed += 1
-            self._bump_peaks(
-                len(self._frontier) + len(new_frontier),
-                self._count_states(self._frontier) + self._count_states(new_frontier),
-            )
-            if not progressed:
-                # No cut had an enabled successor: computation fully explored.
-                self._done = True
-                return
-            if len(new_frontier) > self._max_frontier:
-                raise MemoryError(
-                    f"lattice frontier exceeded max_frontier="
-                    f"{self._max_frontier} at level {self._level + 1}"
+            with _tracing.span("lattice.level", level=self._level,
+                               cuts=len(self._frontier)):
+                new_frontier: dict[Cut, _Node] = {}
+                progressed = False
+                for cut, node in self._frontier.items():
+                    for i in range(self._n):
+                        m = self._chains.enabled_at(cut, i)
+                        if m is None:
+                            continue
+                        progressed = True
+                        succ = cut[:i] + (cut[i] + 1,) + cut[i + 1:]
+                        snode = new_frontier.get(succ)
+                        if snode is None:
+                            snode = _Node(self._projected(apply_message(node.state, m)))
+                            new_frontier[succ] = snode
+                        self._extend_monitors(node, snode, m, succ)
+                self.stats.nodes_expanded += len(self._frontier)
+                self.stats.levels_completed += 1
+                self._bump_peaks(
+                    len(self._frontier) + len(new_frontier),
+                    self._count_states(self._frontier) + self._count_states(new_frontier),
                 )
-            self._frontier = new_frontier  # previous level is GC'd here
-            self._level += 1
+                if _metrics.ENABLED:
+                    _C_LEVELS.inc()
+                    _C_NODES.inc(len(self._frontier))
+                    _H_WIDTH.observe(len(self._frontier))
+                    _H_STATES.observe(self._count_states(self._frontier))
+                    _G_FRONTIER.set(len(new_frontier))
+                    _G_FSTATES.set(self._count_states(new_frontier))
+                if not progressed:
+                    # No cut had an enabled successor: computation fully explored.
+                    self._done = True
+                    return
+                if len(new_frontier) > self._max_frontier:
+                    raise MemoryError(
+                        f"lattice frontier exceeded max_frontier="
+                        f"{self._max_frontier} at level {self._level + 1}"
+                    )
+                self._frontier = new_frontier  # previous level is GC'd here
+                self._level += 1
 
     def _extend_monitors(self, node: _Node, snode: _Node, m: Message, succ: Cut) -> None:
         if self._monitor is None:
@@ -390,6 +429,10 @@ class LevelByLevelBuilder:
         for ms, path in node.mstates.items():
             key = (ms, snode.state_key)
             hit = cache.get(key)
+            if _metrics.ENABLED:
+                _C_MSTEPS.inc()
+                if hit is not None:
+                    _C_MHITS.inc()
             if hit is None:
                 hit = self._monitor.step(ms, snode.state)
                 cache[key] = hit
@@ -407,6 +450,8 @@ class LevelByLevelBuilder:
         node: _Node,
         mstate: MonitorState,
     ) -> None:
+        if _metrics.ENABLED:
+            _C_VIOLATIONS.inc()
         msgs: tuple[Message, ...] = path.to_messages() if path is not None else ()
         states: list[Mapping[VarName, Any]] = [dict(self._initial)]
         for m in msgs:

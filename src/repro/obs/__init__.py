@@ -1,0 +1,67 @@
+"""Observability for the MVC monitoring pipeline: metrics, tracing, progress.
+
+The paper's observer computes interesting quantities — lattice level
+widths, causal-delivery buffer depth, vector-clock join counts — and
+throws them away.  This package keeps them:
+
+* :mod:`repro.obs.metrics` — a zero-dependency registry of counters,
+  gauges and histograms, threaded through Algorithm A, causal delivery,
+  the lattice builder, the fault injector and the reliable transport;
+* :mod:`repro.obs.tracing` — a structured span tracer (monotonic clock,
+  per-thread) with JSONL and Chrome-trace/Perfetto export;
+* :mod:`repro.obs.progress` — an opt-in periodic progress reporter for
+  long runs.
+
+Everything is **off by default and no-op-cheap when off**: each hook site
+in the pipeline costs one module-global check per event while disabled
+(bounded < 5% of the per-event budget by ``benchmarks/bench_overhead.py``).
+Enable collection with :func:`enable` (both subsystems) or per-subsystem
+via ``metrics.enable()`` / ``tracing.enable()``.
+
+The metric catalogue and span taxonomy are documented in
+``docs/OBSERVABILITY.md``; ``repro stats`` and ``repro observe
+--metrics/--trace-out/--progress`` expose all of it from the CLI.
+"""
+
+from . import metrics, tracing
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .progress import ProgressReporter
+from .tracing import Tracer
+
+__all__ = [
+    "metrics",
+    "tracing",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ProgressReporter",
+    "Tracer",
+    "enable",
+    "disable",
+    "enabled",
+    "reset",
+]
+
+
+def enable(reset: bool = False) -> None:
+    """Enable metrics *and* tracing (optionally resetting both first)."""
+    metrics.enable(reset=reset)
+    tracing.enable(reset=reset)
+
+
+def disable() -> None:
+    """Disable metrics and tracing; recorded data stays readable."""
+    metrics.disable()
+    tracing.disable()
+
+
+def enabled() -> bool:
+    """Is either subsystem currently collecting?"""
+    return metrics.ENABLED or tracing.ENABLED
+
+
+def reset() -> None:
+    """Zero all metrics and drop all spans (works while disabled)."""
+    metrics.reset()
+    tracing.reset()

@@ -1,0 +1,291 @@
+"""Zero-dependency metrics: counters, gauges and histograms for the pipeline.
+
+The original JMPaX observer is a black box — events go in, verdicts come
+out, and nothing explains why a run was slow or how large the computation
+lattice grew.  This module gives every layer of the reproduction a place to
+record those quantities: Algorithm A counts its events and vector-clock
+joins, :class:`~repro.observer.delivery.CausalDelivery` its buffer depth
+and release cascades, :class:`~repro.lattice.levels.LevelByLevelBuilder`
+its level widths and monitor-step cache hits, the fault injector and the
+reliable transport their fault and retransmission tallies.  The full
+catalogue (name, type, unit, emission site) lives in
+``docs/OBSERVABILITY.md``.
+
+Design constraints, in order:
+
+1. **Disabled means free.**  Collection is off by default; every hook site
+   in the pipeline is guarded by ``if metrics.ENABLED:`` — a single module
+   global load and branch, nothing else (``benchmarks/bench_overhead.py``
+   bounds the cost at well under 5% of the per-event budget).
+2. **Instruments are stable objects.**  Hot paths cache their
+   :class:`Counter`/:class:`Gauge`/:class:`Histogram` instances at module
+   import; :func:`reset` zeroes values *in place* so cached references
+   never go stale.  A consequence worth knowing: merely importing the
+   instrumented modules registers the whole catalogue (with zero values),
+   which is what makes the catalogue-completeness test in
+   ``tests/docs`` possible.
+3. **Zero dependencies.**  Plain Python, plain ints; snapshots are
+   JSON-able dicts.
+
+Thread-safety: increments are plain ``+=`` on Python ints.  Under the GIL
+this is accurate for the cooperative scheduler and at worst approximately
+lossy for free-running real threads — acceptable for telemetry, and the
+accuracy tests drive only the deterministic substrate.
+
+Usage::
+
+    from repro.obs import metrics
+
+    metrics.enable(reset=True)
+    ... run the pipeline ...
+    print(metrics.REGISTRY.summary())
+    data = metrics.REGISTRY.snapshot()     # JSON-able
+    metrics.disable()
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "ENABLED",
+    "enable",
+    "disable",
+    "enabled",
+    "reset",
+]
+
+#: Global fast-path guard.  Hook sites check this module attribute directly
+#: (``if metrics.ENABLED: ...``); everything behind the branch is skipped
+#: when collection is off.
+ENABLED = False
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonically increasing count (events ingested, joins, faults)."""
+
+    __slots__ = ("name", "unit", "help", "value")
+
+    def __init__(self, name: str, unit: str = "", help: str = ""):
+        self.name = name
+        self.unit = unit
+        self.help = help
+        self.value: Number = 0
+
+    def inc(self, n: Number = 1) -> None:
+        self.value += n
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def to_dict(self) -> dict:
+        return {"type": "counter", "value": self.value, "unit": self.unit,
+                "help": self.help}
+
+
+class Gauge:
+    """A point-in-time level (buffer depth, frontier size, in-flight window).
+
+    Tracks the most recent value and the high-water mark since the last
+    reset — for a buffer, ``max`` is usually the interesting number.
+    """
+
+    __slots__ = ("name", "unit", "help", "value", "max")
+
+    def __init__(self, name: str, unit: str = "", help: str = ""):
+        self.name = name
+        self.unit = unit
+        self.help = help
+        self.value: Number = 0
+        self.max: Number = 0
+
+    def set(self, v: Number) -> None:
+        self.value = v
+        if v > self.max:
+            self.max = v
+
+    def reset(self) -> None:
+        self.value = 0
+        self.max = 0
+
+    def to_dict(self) -> dict:
+        return {"type": "gauge", "value": self.value, "max": self.max,
+                "unit": self.unit, "help": self.help}
+
+
+class Histogram:
+    """A distribution of observed values (cascade lengths, level widths).
+
+    Bounded memory: alongside count/sum/min/max, values are bucketed by
+    power of two (bucket ``k`` counts observations ``v`` with
+    ``2**(k-1) < v <= 2**k``; bucket 0 counts ``v <= 0``), which is plenty
+    to see the shape of a cascade-length or level-width distribution
+    without storing samples.
+    """
+
+    __slots__ = ("name", "unit", "help", "count", "sum", "min", "max",
+                 "_buckets")
+
+    def __init__(self, name: str, unit: str = "", help: str = ""):
+        self.name = name
+        self.unit = unit
+        self.help = help
+        self.count = 0
+        self.sum: Number = 0
+        self.min: Optional[Number] = None
+        self.max: Optional[Number] = None
+        self._buckets: dict[int, int] = {}
+
+    def observe(self, v: Number) -> None:
+        self.count += 1
+        self.sum += v
+        if self.min is None or v < self.min:
+            self.min = v
+        if self.max is None or v > self.max:
+            self.max = v
+        k = 0 if v <= 0 else max(0, int(v - 1)).bit_length()
+        self._buckets[k] = self._buckets.get(k, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def buckets(self) -> dict[str, int]:
+        """Bucket counts keyed by their inclusive upper bound (``"le_8"``)."""
+        return {f"le_{2 ** k if k else 1}": n
+                for k, n in sorted(self._buckets.items())}
+
+    def reset(self) -> None:
+        self.count = 0
+        self.sum = 0
+        self.min = None
+        self.max = None
+        self._buckets.clear()
+
+    def to_dict(self) -> dict:
+        return {"type": "histogram", "count": self.count, "sum": self.sum,
+                "min": self.min, "max": self.max, "mean": self.mean,
+                "buckets": self.buckets(), "unit": self.unit,
+                "help": self.help}
+
+
+_Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Named instruments, get-or-create, with JSON-able snapshots.
+
+    One process-wide instance (:data:`REGISTRY`) backs the whole pipeline;
+    construct private registries only for tests of the registry itself.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, _Instrument] = {}
+
+    def _get(self, cls, name: str, unit: str, help: str) -> _Instrument:
+        inst = self._instruments.get(name)
+        if inst is None:
+            inst = cls(name, unit=unit, help=help)
+            self._instruments[name] = inst
+        elif not isinstance(inst, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(inst).__name__}, not {cls.__name__}"
+            )
+        return inst
+
+    def counter(self, name: str, unit: str = "", help: str = "") -> Counter:
+        return self._get(Counter, name, unit, help)
+
+    def gauge(self, name: str, unit: str = "", help: str = "") -> Gauge:
+        return self._get(Gauge, name, unit, help)
+
+    def histogram(self, name: str, unit: str = "", help: str = "") -> Histogram:
+        return self._get(Histogram, name, unit, help)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def names(self) -> list[str]:
+        return sorted(self._instruments)
+
+    def get(self, name: str) -> Optional[_Instrument]:
+        return self._instruments.get(name)
+
+    def reset(self) -> None:
+        """Zero every instrument *in place* — cached references stay valid."""
+        for inst in self._instruments.values():
+            inst.reset()
+
+    def snapshot(self) -> dict[str, dict]:
+        """All instruments as one JSON-able ``{name: {...}}`` dict."""
+        return {name: self._instruments[name].to_dict()
+                for name in sorted(self._instruments)}
+
+    def summary(self, nonzero_only: bool = True) -> str:
+        """Aligned human-readable table of current values."""
+        rows: list[tuple[str, str, str, str]] = []
+        for name in sorted(self._instruments):
+            inst = self._instruments[name]
+            if isinstance(inst, Counter):
+                if nonzero_only and not inst.value:
+                    continue
+                rows.append((name, "counter", str(inst.value), inst.unit))
+            elif isinstance(inst, Gauge):
+                if nonzero_only and not inst.value and not inst.max:
+                    continue
+                rows.append((name, "gauge",
+                             f"{inst.value} (max {inst.max})", inst.unit))
+            else:
+                if nonzero_only and not inst.count:
+                    continue
+                rows.append((
+                    name, "histogram",
+                    f"n={inst.count} mean={inst.mean:.2f} "
+                    f"min={inst.min} max={inst.max}", inst.unit,
+                ))
+        if not rows:
+            return "(no metrics recorded)"
+        headers = ("metric", "type", "value", "unit")
+        widths = [max(len(headers[i]), *(len(r[i]) for r in rows))
+                  for i in range(4)]
+        lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths))]
+        lines.extend("  ".join(c.ljust(w) for c, w in zip(r, widths))
+                     for r in rows)
+        return "\n".join(lines)
+
+
+#: The process-wide registry every pipeline hook records into.
+REGISTRY = MetricsRegistry()
+
+
+def enable(reset: bool = False) -> None:
+    """Turn collection on (optionally zeroing all instruments first)."""
+    global ENABLED
+    if reset:
+        REGISTRY.reset()
+    ENABLED = True
+
+
+def disable() -> None:
+    """Turn collection off; recorded values remain readable."""
+    global ENABLED
+    ENABLED = False
+
+
+def enabled() -> bool:
+    return ENABLED
+
+
+def reset() -> None:
+    REGISTRY.reset()

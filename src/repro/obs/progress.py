@@ -1,0 +1,99 @@
+"""Opt-in periodic progress reporting for long observer runs.
+
+A monitoring run over a big trace can be silent for minutes while the
+lattice grows.  :class:`ProgressReporter` emits a one-line status every
+``every`` ticks — throughput since the last report, plus whatever gauges
+the caller passes (buffered messages, lattice level, delivered count) —
+without the caller doing any clock math.  It is deliberately independent
+of the metrics registry: progress is an interactive convenience, not a
+recorded quantity, and it works whether or not collection is enabled.
+
+The CLI wires it to ``repro observe --progress N`` (a report every N
+ingested messages); library users tick it from any loop::
+
+    reporter = ProgressReporter(every=10_000, out=print)
+    for msg in stream:
+        observer.receive(msg)
+        reporter.tick(pending=observer.health.pending)
+    reporter.final(delivered=observer.health.delivered)
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+__all__ = ["ProgressReporter"]
+
+
+class ProgressReporter:
+    """Rate-annotated progress lines every ``every`` ticks.
+
+    Args:
+        every: emit a report each time the tick count crosses a multiple
+            of this (must be >= 1).
+        out: line sink (``print`` by default; the CLI passes its own).
+        label: what a tick is, for the report text ("events", "msgs", ...).
+        clock: monotonic time source, injectable for tests.
+    """
+
+    def __init__(
+        self,
+        every: int = 1000,
+        out: Callable[[str], None] = print,
+        label: str = "events",
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if every < 1:
+            raise ValueError("every must be >= 1")
+        self._every = every
+        self._out = out
+        self._label = label
+        self._clock = clock
+        self._count = 0
+        self._t0: Optional[float] = None
+        self._last_count = 0
+        self._last_t: Optional[float] = None
+        self.reports = 0
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def tick(self, n: int = 1, **fields) -> bool:
+        """Count ``n`` units of progress; report when a multiple of
+        ``every`` is crossed.  ``fields`` are appended ``key=value`` to the
+        report line.  Returns True when a report was emitted."""
+        now = self._clock()
+        if self._t0 is None:
+            self._t0 = self._last_t = now
+        before = self._count // self._every
+        self._count += n
+        if self._count // self._every == before:
+            return False
+        self._emit(now, fields, final=False)
+        return True
+
+    def final(self, **fields) -> None:
+        """Emit a closing summary line (overall rate since the first tick)."""
+        now = self._clock()
+        if self._t0 is None:
+            self._t0 = self._last_t = now
+        self._emit(now, fields, final=True)
+
+    def _emit(self, now: float, fields: dict, final: bool) -> None:
+        if final:
+            dt = now - (self._t0 or now)
+            done = self._count
+        else:
+            dt = now - (self._last_t if self._last_t is not None else now)
+            done = self._count - self._last_count
+        rate = done / dt if dt > 0 else float("inf")
+        rate_s = "inf" if rate == float("inf") else f"{rate:.0f}"
+        prefix = "progress (final)" if final else "progress"
+        parts = [f"{prefix}: {self._count} {self._label} ({rate_s}/s)"]
+        parts.extend(f"{k}={v}" for k, v in fields.items())
+        self._out("  ".join(parts))
+        self._last_count = self._count
+        self._last_t = now
+        self.reports += 1

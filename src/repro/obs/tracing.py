@@ -1,0 +1,245 @@
+"""Structured span tracing with JSONL and Chrome-trace export.
+
+Where :mod:`repro.obs.metrics` answers *how much*, spans answer *where the
+time went*: each span is a named, attributed interval on the monotonic
+clock, tagged with the OS thread that ran it.  The instrumented sites (the
+span taxonomy — see ``docs/OBSERVABILITY.md``) cover Algorithm A's event
+processing, the observer's ingestion, the predictive analyzer and the
+per-level lattice expansion, so a trace of a slow run shows directly
+whether the cost sits in clock bookkeeping, causal delivery or lattice
+construction.
+
+Two export formats:
+
+* :meth:`Tracer.export_jsonl` — one JSON object per line, trivially
+  greppable / loadable from pandas;
+* :meth:`Tracer.export_chrome` — the Chrome trace-event format (complete
+  ``"X"`` events), loadable as-is in ``chrome://tracing`` or
+  https://ui.perfetto.dev for a flame view.
+
+Like the metrics side, tracing is off by default and every call site is a
+cheap guard: :func:`span` returns a shared no-op context manager when
+:data:`ENABLED` is false, and the hottest site (Algorithm A's per-event
+span) additionally checks the flag before even calling :func:`span`.
+
+Usage::
+
+    from repro.obs import tracing
+
+    tracing.enable(reset=True)
+    with tracing.span("my.phase", items=n):
+        ...
+    tracing.TRACER.export_chrome("trace.json")   # load in Perfetto
+    tracing.disable()
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Optional
+
+__all__ = [
+    "Tracer",
+    "TRACER",
+    "ENABLED",
+    "span",
+    "instant",
+    "enable",
+    "disable",
+    "enabled",
+    "reset",
+]
+
+#: Global fast-path guard, same contract as ``metrics.ENABLED``.
+ENABLED = False
+
+
+class _NullSpan:
+    """Shared do-nothing context manager returned while tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """One live interval; records itself into the tracer on ``__exit__``."""
+
+    __slots__ = ("_tracer", "name", "category", "args", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, category: str, args: dict):
+        self._tracer = tracer
+        self.name = name
+        self.category = category
+        self.args = args
+
+    def __enter__(self) -> "_Span":
+        self._t0 = time.monotonic_ns()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        t1 = time.monotonic_ns()
+        self._tracer._record(self.name, self.category, self._t0, t1, self.args)
+
+
+class Tracer:
+    """Collects finished spans and instants; exports them in bulk.
+
+    Spans are stored as plain dicts with nanosecond monotonic timestamps
+    relative to the tracer epoch (set at construction / :meth:`reset`), so
+    a trace is meaningful across threads of one process.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.reset()
+
+    def reset(self) -> None:
+        """Drop all recorded spans and restart the epoch."""
+        with getattr(self, "_lock", threading.Lock()):
+            self.spans: list[dict] = []
+            self._epoch_ns = time.monotonic_ns()
+
+    # -- recording ------------------------------------------------------------
+
+    def span(self, name: str, category: str = "repro", **args) -> _Span:
+        """A context manager timing one interval.  Prefer the module-level
+        :func:`span` at call sites — it no-ops when tracing is disabled."""
+        return _Span(self, name, category, args)
+
+    def instant(self, name: str, category: str = "repro", **args) -> None:
+        """Record a zero-duration marker (a point event on the timeline)."""
+        now = time.monotonic_ns()
+        self._record(name, category, now, None, args)
+
+    def _record(self, name: str, category: str, t0: int, t1: Optional[int],
+                args: dict) -> None:
+        rec = {
+            "name": name,
+            "cat": category,
+            "ts_us": (t0 - self._epoch_ns) / 1000.0,
+            "dur_us": None if t1 is None else (t1 - t0) / 1000.0,
+            "tid": threading.get_ident() & 0xFFFF_FFFF,
+            "args": args,
+        }
+        with self._lock:
+            self.spans.append(rec)
+
+    # -- analysis -------------------------------------------------------------
+
+    def by_name(self) -> dict[str, dict]:
+        """Aggregate: per span name, call count and total/max duration (µs).
+        Instants count with zero duration."""
+        agg: dict[str, dict] = {}
+        with self._lock:
+            spans = list(self.spans)
+        for s in spans:
+            a = agg.setdefault(s["name"], {"count": 0, "total_us": 0.0,
+                                           "max_us": 0.0})
+            a["count"] += 1
+            d = s["dur_us"] or 0.0
+            a["total_us"] += d
+            if d > a["max_us"]:
+                a["max_us"] = d
+        return agg
+
+    def hotspots(self, top: int = 10) -> str:
+        """Aligned table of the ``top`` span names by total duration."""
+        agg = sorted(self.by_name().items(),
+                     key=lambda kv: -kv[1]["total_us"])[:top]
+        if not agg:
+            return "(no spans recorded)"
+        rows = [(name, str(a["count"]), f"{a['total_us'] / 1000.0:.3f}",
+                 f"{a['max_us'] / 1000.0:.3f}") for name, a in agg]
+        headers = ("span", "count", "total ms", "max ms")
+        widths = [max(len(headers[i]), *(len(r[i]) for r in rows))
+                  for i in range(4)]
+        lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths))]
+        lines.extend("  ".join(c.ljust(w) for c, w in zip(r, widths))
+                     for r in rows)
+        return "\n".join(lines)
+
+    # -- export ---------------------------------------------------------------
+
+    def export_jsonl(self, path: str) -> int:
+        """Write one JSON object per span; returns the number written."""
+        with self._lock:
+            spans = list(self.spans)
+        with open(path, "w", encoding="utf-8") as fh:
+            for s in spans:
+                fh.write(json.dumps(s, default=str) + "\n")
+        return len(spans)
+
+    def export_chrome(self, path: str) -> int:
+        """Write the Chrome trace-event format (``chrome://tracing`` /
+        Perfetto).  Completed spans become ``"X"`` (complete) events,
+        instants become ``"i"`` events; returns the number of events."""
+        with self._lock:
+            spans = list(self.spans)
+        events = []
+        for s in spans:
+            ev = {
+                "name": s["name"],
+                "cat": s["cat"],
+                "ts": s["ts_us"],
+                "pid": 1,
+                "tid": s["tid"],
+                "args": s["args"],
+            }
+            if s["dur_us"] is None:
+                ev["ph"] = "i"
+                ev["s"] = "t"
+            else:
+                ev["ph"] = "X"
+                ev["dur"] = s["dur_us"]
+            events.append(ev)
+        doc = {"traceEvents": events, "displayTimeUnit": "ms"}
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, default=str)
+        return len(events)
+
+
+#: The process-wide tracer every instrumented site records into.
+TRACER = Tracer()
+
+
+def span(name: str, category: str = "repro", **args):
+    """Module-level span entry point: a real span when tracing is enabled,
+    a shared no-op context manager otherwise."""
+    if not ENABLED:
+        return _NULL_SPAN
+    return TRACER.span(name, category, **args)
+
+
+def instant(name: str, category: str = "repro", **args) -> None:
+    if ENABLED:
+        TRACER.instant(name, category, **args)
+
+
+def enable(reset: bool = False) -> None:
+    global ENABLED
+    if reset:
+        TRACER.reset()
+    ENABLED = True
+
+
+def disable() -> None:
+    global ENABLED
+    ENABLED = False
+
+
+def enabled() -> bool:
+    return ENABLED
+
+
+def reset() -> None:
+    TRACER.reset()

@@ -17,6 +17,7 @@ from .reliable import (
     ReliableReceiver,
     ReliableSender,
     ReliableTransportError,
+    RetransmitConfig,
 )
 from .trace import Trace, TraceWriter, read_trace, write_trace
 
@@ -38,6 +39,7 @@ __all__ = [
     "ReliableReceiver",
     "ReliableSender",
     "ReliableTransportError",
+    "RetransmitConfig",
     "Trace",
     "TraceWriter",
     "read_trace",

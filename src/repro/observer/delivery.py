@@ -42,8 +42,34 @@ from collections import deque
 from typing import Iterable, Iterator, Optional
 
 from ..core.events import Message
+from ..obs import metrics as _metrics
 
 __all__ = ["CausalDelivery"]
+
+_C_OFFERED = _metrics.REGISTRY.counter(
+    "delivery.offered", unit="messages",
+    help="messages offered to the causal-delivery buffer")
+_C_RELEASED = _metrics.REGISTRY.counter(
+    "delivery.released", unit="messages",
+    help="messages released in causal order")
+_C_DUPLICATES = _metrics.REGISTRY.counter(
+    "delivery.duplicates", unit="messages",
+    help="duplicate offers suppressed (transport-level fault)")
+_C_QUARANTINED = _metrics.REGISTRY.counter(
+    "delivery.quarantined", unit="messages",
+    help="messages diverted because a lost slot is in their causal past")
+_C_LATE = _metrics.REGISTRY.counter(
+    "delivery.late_arrivals", unit="messages",
+    help="messages that arrived after their slot was declared lost")
+_C_LOSSES = _metrics.REGISTRY.counter(
+    "delivery.losses_declared", unit="slots",
+    help="(thread, index) delivery slots declared lost")
+_G_PENDING = _metrics.REGISTRY.gauge(
+    "delivery.pending", unit="messages",
+    help="buffer depth: messages parked behind a gap (max = high-water mark)")
+_H_CASCADE = _metrics.REGISTRY.histogram(
+    "delivery.release_cascade", unit="messages",
+    help="messages released per releasing offer (cascade length)")
 
 
 class CausalDelivery:
@@ -145,22 +171,36 @@ class CausalDelivery:
                 f"clock width {msg.clock.width} != delivery width {self._n}"
             )
         eid = msg.event.eid
+        if _metrics.ENABLED:
+            _C_OFFERED.inc()
         if eid in self._seen:
             self.duplicates_dropped += 1
+            if _metrics.ENABLED:
+                _C_DUPLICATES.inc()
             return []
         self._seen.add(eid)
         self._seen_slots.add(msg.delivery_index)
         if self._in_lost_cone(msg):
             if msg.delivery_index in self._lost:
                 self.late_arrivals += 1
+                if _metrics.ENABLED:
+                    _C_LATE.inc()
             self.quarantined.append(msg)
+            if _metrics.ENABLED:
+                _C_QUARANTINED.inc()
             return []
         blocker = self._first_blocker(msg)
         if blocker is not None:
             self._waiting.setdefault(blocker, []).append(msg)
+            if _metrics.ENABLED:
+                _G_PENDING.set(self.pending)
             return []
         released: list[Message] = []
         self._deliver(msg, released)
+        if _metrics.ENABLED:
+            _C_RELEASED.inc(len(released))
+            _H_CASCADE.observe(len(released))
+            _G_PENDING.set(self.pending)
         return released
 
     def _deliver(self, msg: Message, released: list[Message]) -> None:
@@ -213,6 +253,8 @@ class CausalDelivery:
                     f"slot ({j}, {k}) was already delivered; cannot be lost"
                 )
             self._lost.add((j, k))
+        if _metrics.ENABLED:
+            _C_LOSSES.inc(len(newly))
         if not newly:
             return []
         evicted: list[Message] = []
@@ -226,6 +268,9 @@ class CausalDelivery:
             else:
                 del self._waiting[key]
         self.quarantined.extend(evicted)
+        if _metrics.ENABLED:
+            _C_QUARANTINED.inc(len(evicted))
+            _G_PENDING.set(self.pending)
         return evicted
 
     def missing_for(self, msg: Message) -> Optional[list[tuple[int, int]]]:

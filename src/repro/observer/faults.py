@@ -37,9 +37,26 @@ from dataclasses import dataclass, field, replace
 from typing import Iterator, Optional, Union
 
 from ..core.events import Envelope, Message
+from ..obs import metrics as _metrics
 from .channel import Channel, FifoChannel
 
 __all__ = ["FaultPlan", "FaultLog", "FaultyChannel", "CORRUPTION_SENTINEL"]
+
+_C_DROPPED = _metrics.REGISTRY.counter(
+    "faults.dropped", unit="messages",
+    help="messages dropped by the fault injector")
+_C_DUPLICATED = _metrics.REGISTRY.counter(
+    "faults.duplicated", unit="messages",
+    help="messages duplicated by the fault injector")
+_C_CORRUPTED = _metrics.REGISTRY.counter(
+    "faults.corrupted", unit="messages",
+    help="messages payload-tampered by the fault injector")
+_C_DELAYED = _metrics.REGISTRY.counter(
+    "faults.delayed", unit="messages",
+    help="messages held back by the fault injector")
+_C_CRASH_LOST = _metrics.REGISTRY.counter(
+    "faults.crash_lost", unit="messages",
+    help="messages swallowed by an injected sender crash")
 
 #: Marker value planted into a tampered payload (makes corruption visible to
 #: a human reading a hexdump; the checksum, not this value, detects it).
@@ -168,11 +185,14 @@ class FaultyChannel(Channel):
         return Envelope(message=bad_msg, seq=env.seq, checksum=env.checksum)
 
     def put(self, msg: Message) -> None:
+        """Offer one message to the wire; the seeded RNG decides its fate."""
         if self._closed:
             raise RuntimeError("channel closed")
         slot = msg.delivery_index
         if self._crashed:
             self.log.lost_to_crash.append(slot)
+            if _metrics.ENABLED:
+                _C_CRASH_LOST.inc()
             return
         if (self.plan.crash_after is not None
                 and self._put_count >= self.plan.crash_after):
@@ -184,6 +204,10 @@ class FaultyChannel(Channel):
                 env.message.delivery_index for _, _, env in self._delayed)
             for _, _, env in self._delayed:
                 self.log.delayed.remove(env.message.delivery_index)
+            if _metrics.ENABLED:
+                # delayed→crashed messages stay counted in faults.delayed
+                # (counters are monotonic); the log moves them instead
+                _C_CRASH_LOST.inc(1 + len(self._delayed))
             self._delayed.clear()
             return
         self._put_count += 1
@@ -194,15 +218,23 @@ class FaultyChannel(Channel):
         p = self.plan
         if u < p.drop:
             self.log.dropped.append(slot)
+            if _metrics.ENABLED:
+                _C_DROPPED.inc()
         elif u < p.drop + p.dup:
             self.log.duplicated.append(slot)
+            if _metrics.ENABLED:
+                _C_DUPLICATED.inc()
             self.inner.put(env)
             self.inner.put(env)
         elif u < p.drop + p.dup + p.corrupt:
             self.log.corrupted.append(slot)
+            if _metrics.ENABLED:
+                _C_CORRUPTED.inc()
             self.inner.put(self._corrupt(env))
         elif u < p.drop + p.dup + p.corrupt + p.delay:
             self.log.delayed.append(slot)
+            if _metrics.ENABLED:
+                _C_DELAYED.inc()
             release_at = self._put_count + self._rng.randint(1, p.delay_max)
             heapq.heappush(self._delayed,
                            (release_at, self._tiebreak, env))
@@ -225,8 +257,10 @@ class FaultyChannel(Channel):
         self.inner.close()
 
     def drain(self) -> Iterator[Union[Envelope, Message]]:
+        """Yield whatever survived the faults, in the inner channel's order."""
         return self.inner.drain()
 
     @property
     def crashed(self) -> bool:
+        """Did the injected ``crash_after`` fire on this channel?"""
         return self._crashed

@@ -35,10 +35,19 @@ from ..core.causality import CausalityIndex
 from ..core.events import Envelope, Message, VarName
 from ..lattice.levels import BuilderStats, Violation
 from ..logic.monitor import Monitor
+from ..obs import metrics as _metrics
+from ..obs import tracing as _tracing
 from .channel import Channel
 from .delivery import CausalDelivery
 
 __all__ = ["Observer", "ObserverHealth"]
+
+_C_RECEIVED = _metrics.REGISTRY.counter(
+    "observer.received", unit="messages",
+    help="messages/envelopes ingested by the observer, faults included")
+_C_CORRUPTED = _metrics.REGISTRY.counter(
+    "observer.corrupted", unit="envelopes",
+    help="envelopes rejected because the payload failed its checksum")
 
 
 @dataclass(frozen=True)
@@ -170,9 +179,13 @@ class Observer:
         if self._finished:
             raise RuntimeError("observer already finished")
         self._received += 1
+        if _metrics.ENABLED:
+            _C_RECEIVED.inc()
         if isinstance(item, Envelope):
             if not item.ok:
                 self._corrupted += 1
+                if _metrics.ENABLED:
+                    _C_CORRUPTED.inc()
                 if not self._tolerant:
                     raise ValueError(
                         f"envelope seq={item.seq} failed its checksum "
@@ -218,8 +231,9 @@ class Observer:
     def consume(self, channel: Channel) -> list[Violation]:
         """Drain whatever the channel currently delivers."""
         new: list[Violation] = []
-        for msg in channel.drain():
-            new.extend(self.receive(msg))
+        with _tracing.span("observer.consume"):
+            for msg in channel.drain():
+                new.extend(self.receive(msg))
         return new
 
     def receive_many(
@@ -243,11 +257,12 @@ class Observer:
         prefix and the excluded regions are reported in :attr:`health`.
         """
         self._finished = True
-        if not self._tolerant:
-            if self._predictor is not None:
-                return self._predictor.finish()
-            return []
-        return self._finish_tolerant(expected_totals)
+        with _tracing.span("observer.finish"):
+            if not self._tolerant:
+                if self._predictor is not None:
+                    return self._predictor.finish()
+                return []
+            return self._finish_tolerant(expected_totals)
 
     def _finish_tolerant(
         self, expected_totals: Optional[Sequence[int]]

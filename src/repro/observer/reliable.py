@@ -41,12 +41,39 @@ import socket
 import threading
 import time
 import zlib
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from ..core.events import Message
+from ..obs import metrics as _metrics
 
-__all__ = ["ReliableSender", "ReliableReceiver", "LossyWire",
-           "ReliableTransportError"]
+__all__ = ["RetransmitConfig", "ReliableSender", "ReliableReceiver",
+           "LossyWire", "ReliableTransportError"]
+
+_C_FRAMES = _metrics.REGISTRY.counter(
+    "reliable.frames_sent", unit="frames",
+    help="data frames first-sent by the reliable sender")
+_C_RETRANS = _metrics.REGISTRY.counter(
+    "reliable.retransmissions", unit="frames",
+    help="frames retransmitted after an ack timeout")
+_C_HEARTBEATS = _metrics.REGISTRY.counter(
+    "reliable.heartbeats", unit="frames",
+    help="idle heartbeats sent")
+_C_ACKS = _metrics.REGISTRY.counter(
+    "reliable.acks", unit="frames",
+    help="acks received by the sender")
+_G_INFLIGHT = _metrics.REGISTRY.gauge(
+    "reliable.window_inflight", unit="frames",
+    help="unacked frames in flight (max = window pressure)")
+_C_RECV_MSGS = _metrics.REGISTRY.counter(
+    "reliable.recv_messages", unit="messages",
+    help="messages delivered in order by the reliable receiver")
+_C_RECV_DUPS = _metrics.REGISTRY.counter(
+    "reliable.recv_duplicates", unit="frames",
+    help="duplicate frames re-acked and dropped by the receiver")
+_C_RECV_CORRUPT = _metrics.REGISTRY.counter(
+    "reliable.recv_corrupt_frames", unit="frames",
+    help="frames the receiver rejected (bad JSON, shape or CRC)")
 
 
 class ReliableTransportError(RuntimeError):
@@ -56,6 +83,56 @@ class ReliableTransportError(RuntimeError):
 
 def _frame(obj: dict) -> bytes:
     return (json.dumps(obj) + "\n").encode("utf-8")
+
+
+@dataclass(frozen=True)
+class RetransmitConfig:
+    """Retransmission and flow-control knobs for :class:`ReliableSender`.
+
+    One frozen value object holds everything that shapes the sender's
+    recovery behavior, so deployments can pass a single tuned config
+    around (and tests can assert against it) instead of seven loose
+    keyword arguments.
+
+    Attributes:
+        timeout: initial per-send ack timeout, seconds.  Each retry
+            multiplies it by ``backoff``.
+        max_retries: retransmissions per frame before the sender declares
+            the contract broken (:class:`ReliableTransportError`).
+        backoff: exponential backoff multiplier (>= 1).
+        jitter: fraction of each backoff randomized, decorrelating retry
+            storms across senders; drawn from the seeded RNG.
+        window: maximum unacked frames in flight.  When full,
+            :meth:`ReliableSender.send` *blocks* — backpressure, so a slow
+            or dead receiver bounds the sender's buffer instead of
+            growing it.
+        heartbeat_interval: idle period (seconds) after which a heartbeat
+            frame is sent; ``None`` disables heartbeats.
+        seed: RNG seed for the jitter (reproducible retry schedules).
+    """
+
+    timeout: float = 0.05
+    max_retries: int = 10
+    backoff: float = 2.0
+    jitter: float = 0.1
+    window: int = 64
+    heartbeat_interval: Optional[float] = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.timeout <= 0:
+            raise ValueError("timeout must be positive")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must be >= 1")
+        if not 0.0 <= self.jitter:
+            raise ValueError("jitter must be >= 0")
+        if (self.heartbeat_interval is not None
+                and self.heartbeat_interval <= 0):
+            raise ValueError("heartbeat_interval must be positive or None")
 
 
 class LossyWire:
@@ -95,17 +172,15 @@ class ReliableSender:
 
     Args:
         host/port: the :class:`ReliableReceiver` address.
-        timeout: initial per-send ack timeout (seconds).
-        max_retries: retransmissions per frame before giving up.
-        backoff: multiplier applied to the timeout per retry.
-        jitter: fraction of the backoff randomized (decorrelates retry
-            storms; seeded for reproducibility).
-        window: max unacked frames in flight before :meth:`send` blocks.
-        heartbeat_interval: idle period after which a heartbeat frame is
-            sent (None disables heartbeats).
+        timeout/max_retries/backoff/jitter/window/heartbeat_interval/seed:
+            individual retransmission knobs; see :class:`RetransmitConfig`
+            for their semantics.
         wire: optional wrapper around the raw frame-send function — e.g.
             a :class:`LossyWire` — applied to data frames *and* heartbeats
             (acks travel the reverse direction and are not wrapped here).
+        config: a complete :class:`RetransmitConfig`; when given it takes
+            precedence over the individual keyword knobs.  The effective
+            configuration is always readable back as :attr:`config`.
     """
 
     def __init__(
@@ -121,22 +196,27 @@ class ReliableSender:
         seed: int = 0,
         wire: Optional[Callable[[Callable[[bytes], None]],
                                 Callable[[bytes], None]]] = None,
+        config: Optional[RetransmitConfig] = None,
     ):
-        if window < 1:
-            raise ValueError("window must be >= 1")
-        if max_retries < 0:
-            raise ValueError("max_retries must be >= 0")
+        if config is None:
+            config = RetransmitConfig(
+                timeout=timeout, max_retries=max_retries, backoff=backoff,
+                jitter=jitter, window=window,
+                heartbeat_interval=heartbeat_interval, seed=seed,
+            )
+        #: The effective (validated) retransmission configuration.
+        self.config = config
         self._sock = socket.create_connection((host, port))
         self._sock_lock = threading.Lock()
         self._raw_send = self._locked_send
         self._wire_send = wire(self._raw_send) if wire else self._raw_send
-        self._timeout = timeout
-        self._max_retries = max_retries
-        self._backoff = backoff
-        self._jitter = jitter
-        self._window = window
-        self._hb_interval = heartbeat_interval
-        self._rng = random.Random(seed)
+        self._timeout = config.timeout
+        self._max_retries = config.max_retries
+        self._backoff = config.backoff
+        self._jitter = config.jitter
+        self._window = config.window
+        self._hb_interval = config.heartbeat_interval
+        self._rng = random.Random(config.seed)
 
         self._cond = threading.Condition()
         #: seq -> (frame bytes, retries so far, next retransmit deadline)
@@ -179,6 +259,9 @@ class ReliableSender:
                     with self._cond:
                         if d.get("t") == "ack":
                             self._unacked.pop(d.get("seq"), None)
+                            if _metrics.ENABLED:
+                                _C_ACKS.inc()
+                                _G_INFLIGHT.set(len(self._unacked))
                             self._cond.notify_all()
                         elif d.get("t") == "finack":
                             self._fin_acked = True
@@ -212,11 +295,15 @@ class ReliableSender:
                     entry[1] += 1
                     entry[2] = self._deadline(entry[1])
                     self.retransmissions += 1
+                    if _metrics.ENABLED:
+                        _C_RETRANS.inc()
                     frame = entry[0]
                     self._transmit(frame)
                 if (self._hb_interval is not None and not overdue
                         and now - self._last_activity > self._hb_interval):
                     self.heartbeats_sent += 1
+                    if _metrics.ENABLED:
+                        _C_HEARTBEATS.inc()
                     self._last_activity = now
                     self._transmit(_frame({"t": "hb"}))
 
@@ -255,6 +342,9 @@ class ReliableSender:
             })
             self._unacked[seq] = [frame, 0, self._deadline(0)]
             self._last_activity = time.monotonic()
+            if _metrics.ENABLED:
+                _C_FRAMES.inc()
+                _G_INFLIGHT.set(len(self._unacked))
         self._transmit(frame)
         self._raise_if_failed()
 
@@ -361,6 +451,8 @@ class ReliableReceiver:
                         d = json.loads(line)
                     except ValueError:
                         self.corrupt_frames += 1
+                        if _metrics.ENABLED:
+                            _C_RECV_CORRUPT.inc()
                         continue
                     kind = d.get("t")
                     if kind == "msg":
@@ -380,13 +472,19 @@ class ReliableReceiver:
         seq, payload = d.get("seq"), d.get("payload")
         if not isinstance(seq, int) or not isinstance(payload, str):
             self.corrupt_frames += 1
+            if _metrics.ENABLED:
+                _C_RECV_CORRUPT.inc()
             return
         if zlib.crc32(payload.encode("utf-8")) != d.get("crc"):
             self.corrupt_frames += 1
+            if _metrics.ENABLED:
+                _C_RECV_CORRUPT.inc()
             return  # no ack: the sender will retransmit an intact copy
         with self._lock:
             if seq < self._next_deliver or seq in self._by_seq:
                 self.duplicates += 1
+                if _metrics.ENABLED:
+                    _C_RECV_DUPS.inc()
             else:
                 self._by_seq[seq] = payload
                 while self._next_deliver in self._by_seq:
@@ -397,6 +495,8 @@ class ReliableReceiver:
                         self.errors.append(f"seq {self._next_deliver}: {exc}")
                     else:
                         self._received.append(msg)
+                        if _metrics.ENABLED:
+                            _C_RECV_MSGS.inc()
                         if self._on_message is not None:
                             self._on_message(msg)
                     self._next_deliver += 1

@@ -1,0 +1,15 @@
+"""Fixtures for the observability tests: enable/disable around each test
+so the process-wide registry and tracer never leak state across tests."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture
+def obs_enabled():
+    """Metrics + tracing on (zeroed), guaranteed off and zeroed after."""
+    obs.enable(reset=True)
+    yield
+    obs.disable()
+    obs.reset()

@@ -1,0 +1,124 @@
+"""Unit tests for the zero-dependency metrics instruments and registry."""
+
+import json
+
+import pytest
+
+from repro.obs import metrics
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_and_reset(self):
+        c = Counter("c", unit="events")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        c.reset()
+        assert c.value == 0
+
+    def test_to_dict(self):
+        c = Counter("c", unit="events", help="h")
+        c.inc(2)
+        assert c.to_dict() == {"type": "counter", "value": 2,
+                               "unit": "events", "help": "h"}
+
+
+class TestGauge:
+    def test_tracks_high_water_mark(self):
+        g = Gauge("g")
+        g.set(3)
+        g.set(7)
+        g.set(2)
+        assert g.value == 2
+        assert g.max == 7
+        g.reset()
+        assert g.value == 0 and g.max == 0
+
+
+class TestHistogram:
+    def test_stats(self):
+        h = Histogram("h")
+        for v in (1, 2, 3, 8):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == 14
+        assert h.min == 1 and h.max == 8
+        assert h.mean == pytest.approx(3.5)
+
+    def test_power_of_two_buckets(self):
+        h = Histogram("h")
+        for v in (0, 1, 2, 3, 4, 8):
+            h.observe(v)
+        # v<=1 -> le_1; 1<v<=2 -> le_2; 2<v<=4 -> le_4; 4<v<=8 -> le_8
+        assert h.buckets() == {"le_1": 2, "le_2": 1, "le_4": 2, "le_8": 1}
+
+    def test_empty_mean_is_zero(self):
+        assert Histogram("h").mean == 0.0
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x")
+        b = reg.counter("x")
+        assert a is b
+        assert len(reg) == 1
+
+    def test_type_clash_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("x")
+
+    def test_reset_zeroes_in_place(self):
+        """Cached instrument references must survive a registry reset —
+        hot paths cache them at import time."""
+        reg = MetricsRegistry()
+        cached = reg.counter("x")
+        cached.inc(9)
+        reg.reset()
+        assert cached.value == 0
+        cached.inc()
+        assert reg.counter("x").value == 1
+
+    def test_snapshot_is_json_able(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(2)
+        reg.histogram("h").observe(5)
+        snap = json.loads(json.dumps(reg.snapshot()))
+        assert snap["c"]["value"] == 3
+        assert snap["g"]["max"] == 2
+        assert snap["h"]["count"] == 1
+
+    def test_summary_filters_zero_instruments(self):
+        reg = MetricsRegistry()
+        reg.counter("zero")
+        reg.counter("hot").inc()
+        text = reg.summary()
+        assert "hot" in text
+        assert "zero" not in text
+        assert "zero" in reg.summary(nonzero_only=False)
+
+    def test_empty_summary(self):
+        assert MetricsRegistry().summary() == "(no metrics recorded)"
+
+
+class TestModuleToggles:
+    def test_enable_disable(self):
+        assert not metrics.enabled()
+        metrics.enable()
+        try:
+            assert metrics.ENABLED and metrics.enabled()
+        finally:
+            metrics.disable()
+        assert not metrics.ENABLED
+
+    def test_enable_with_reset_zeroes_registry(self):
+        metrics.REGISTRY.counter("test.scratch").inc(5)
+        metrics.enable(reset=True)
+        try:
+            assert metrics.REGISTRY.counter("test.scratch").value == 0
+        finally:
+            metrics.disable()

@@ -1,0 +1,116 @@
+"""Metrics accuracy over the paper's fixed xyz workload, and the
+disabled-mode guarantee that the pipeline records nothing.
+
+The xyz run under ``XYZ_OBSERVED_SCHEDULE`` is fully deterministic, so the
+pipeline counters have exact expected values — not bounds.  Derivation:
+
+* 10 events reach Algorithm A (every access of the 10-statement program);
+* 4 of them are relevant writes -> 4 messages;
+* joins: each relevant write joins the access VC into the thread VC (4),
+  each read of a shared variable joins twice (thread<-var, var<-thread);
+  the schedule performs 4 such read joins -> 12 total;
+* the 4 messages over 2 threads build a 5-level lattice (levels 0..4 are
+  completed as frontiers), expanding 7 cuts, stepping monitors 9 times,
+  and finding exactly 1 (predicted) violation.
+"""
+
+from repro import obs
+from repro.analysis import predict
+from repro.obs import metrics, tracing
+from repro.sched import FixedScheduler, run_program
+from repro.workloads import XYZ_OBSERVED_SCHEDULE, XYZ_PROPERTY, xyz_program
+
+
+def run_xyz_pipeline():
+    execution = run_program(xyz_program(),
+                            FixedScheduler(XYZ_OBSERVED_SCHEDULE))
+    report = predict(execution, XYZ_PROPERTY, mode="levels")
+    return execution, report
+
+
+class TestAccuracy:
+    def test_xyz_counters_exact(self, obs_enabled):
+        _, report = run_xyz_pipeline()
+        reg = metrics.REGISTRY
+        assert reg.counter("algoa.events").value == 10
+        assert reg.counter("algoa.messages").value == 4
+        assert reg.counter("algoa.vc_joins").value == 12
+        assert reg.counter("lattice.levels").value == 5
+        assert reg.counter("lattice.nodes_expanded").value == 7
+        assert reg.counter("lattice.monitor_steps").value == 9
+        assert reg.counter("lattice.violations").value == 1
+
+    def test_counters_agree_with_builder_stats(self, obs_enabled):
+        """The metrics layer and BuilderStats count the same quantities
+        through independent code paths; they must agree exactly."""
+        execution, report = run_xyz_pipeline()
+        reg = metrics.REGISTRY
+        assert (reg.counter("lattice.nodes_expanded").value
+                == report.stats.nodes_expanded)
+        assert (reg.counter("lattice.levels").value
+                == report.stats.levels_completed)
+        assert reg.counter("algoa.messages").value == len(execution.messages)
+        assert reg.counter("lattice.violations").value == len(report.violations)
+
+    def test_xyz_distributions(self, obs_enabled):
+        run_xyz_pipeline()
+        reg = metrics.REGISTRY
+        width = reg.histogram("lattice.level_width")
+        assert width.count == 5
+        assert width.max == 2
+        assert width.mean == 7 / 5
+        assert reg.gauge("lattice.frontier_cuts").max == 2
+        assert reg.gauge("lattice.frontier_states").max == 3
+
+    def test_xyz_spans_recorded(self, obs_enabled):
+        run_xyz_pipeline()
+        agg = tracing.TRACER.by_name()
+        assert agg["algoa.process"]["count"] == 10
+        assert agg["lattice.level"]["count"] == 5
+        assert agg["predict.levels"]["count"] == 1
+        assert agg["predict.observed_check"]["count"] == 1
+
+    def test_causal_delivery_metrics(self, obs_enabled):
+        """Feed the 4 xyz messages through the observer (FIFO, no faults):
+        all offered messages release, nothing is lost or quarantined."""
+        from repro.observer import FifoChannel, Observer
+
+        execution, _ = run_xyz_pipeline()
+        channel = FifoChannel()
+        initial = {v: execution.initial_store[v] for v in ("x", "y", "z")}
+        observer = Observer(execution.n_threads, initial, spec=XYZ_PROPERTY,
+                            fault_tolerant=True)
+        for m in execution.messages:
+            channel.put(m)
+        channel.close()
+        observer.consume(channel)
+        observer.finish()
+        reg = metrics.REGISTRY
+        assert reg.counter("delivery.offered").value == 4
+        assert reg.counter("delivery.released").value == 4
+        assert reg.counter("delivery.losses_declared").value == 0
+        assert reg.counter("observer.received").value == 4
+        assert reg.histogram("delivery.release_cascade").count >= 1
+
+
+class TestDisabledNoOp:
+    def test_pipeline_records_nothing_when_disabled(self):
+        assert not metrics.ENABLED and not tracing.ENABLED
+        metrics.REGISTRY.reset()
+        tracing.TRACER.reset()
+        run_xyz_pipeline()
+        for name, data in metrics.REGISTRY.snapshot().items():
+            if data["type"] == "counter":
+                assert data["value"] == 0, name
+            elif data["type"] == "gauge":
+                assert data["value"] == 0 and data["max"] == 0, name
+            else:
+                assert data["count"] == 0, name
+        assert tracing.TRACER.spans == []
+
+    def test_obs_facade_toggles_both(self):
+        obs.enable(reset=True)
+        assert metrics.ENABLED and tracing.ENABLED
+        obs.disable()
+        assert not metrics.ENABLED and not tracing.ENABLED
+        assert not obs.enabled()

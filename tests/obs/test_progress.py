@@ -1,0 +1,74 @@
+"""Unit tests for the periodic progress reporter (injected clock)."""
+
+import pytest
+
+from repro.obs import ProgressReporter
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 100.0
+
+    def __call__(self):
+        return self.t
+
+
+def make(every=2, clock=None):
+    lines = []
+    clock = clock or FakeClock()
+    return ProgressReporter(every=every, out=lines.append,
+                            label="msgs", clock=clock), lines, clock
+
+
+class TestTick:
+    def test_reports_every_n_ticks(self):
+        reporter, lines, clock = make(every=2)
+        assert reporter.tick() is False
+        clock.t += 1.0
+        assert reporter.tick() is True
+        assert reporter.tick() is False
+        clock.t += 1.0
+        assert reporter.tick() is True
+        assert reporter.reports == 2
+        assert reporter.count == 4
+
+    def test_bulk_tick_crossing_reports_once(self):
+        reporter, lines, clock = make(every=10)
+        clock.t += 2.0
+        assert reporter.tick(25) is True
+        assert len(lines) == 1
+        assert "25 msgs" in lines[0]
+
+    def test_rate_is_since_last_report(self):
+        reporter, lines, clock = make(every=4)
+        reporter.tick()  # establishes t0
+        clock.t += 2.0
+        reporter.tick(3)  # 4 msgs in 2s since first tick
+        assert lines == ["progress: 4 msgs (2/s)"]
+
+    def test_fields_appended(self):
+        reporter, lines, clock = make(every=1)
+        clock.t += 1.0
+        reporter.tick(pending=7, level=3)
+        assert lines[0].endswith("pending=7  level=3")
+
+
+class TestFinal:
+    def test_final_uses_overall_rate(self):
+        reporter, lines, clock = make(every=100)
+        reporter.tick()
+        clock.t += 4.0
+        reporter.tick(7)
+        clock.t += 4.0
+        reporter.final(done=True)
+        assert lines == ["progress (final): 8 msgs (1/s)  done=True"]
+
+    def test_final_without_ticks(self):
+        reporter, lines, _ = make(every=5)
+        reporter.final()
+        assert lines == ["progress (final): 0 msgs (inf/s)"]
+
+
+def test_every_must_be_positive():
+    with pytest.raises(ValueError):
+        ProgressReporter(every=0)

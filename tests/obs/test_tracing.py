@@ -1,0 +1,107 @@
+"""Unit tests for span tracing and its two export formats."""
+
+import json
+
+from repro.obs import tracing
+from repro.obs.tracing import Tracer
+
+
+class TestDisabled:
+    def test_span_is_shared_noop(self):
+        assert not tracing.ENABLED
+        s1 = tracing.span("anything", foo=1)
+        s2 = tracing.span("else")
+        assert s1 is s2  # the shared null singleton — no allocation
+        with s1:
+            pass
+        assert tracing.TRACER.spans == []
+
+    def test_instant_noop(self):
+        tracing.TRACER.reset()
+        tracing.instant("marker")
+        assert tracing.TRACER.spans == []
+
+
+class TestRecording:
+    def test_span_records_name_args_duration(self, obs_enabled):
+        with tracing.span("phase.one", items=3):
+            pass
+        (rec,) = tracing.TRACER.spans
+        assert rec["name"] == "phase.one"
+        assert rec["cat"] == "repro"
+        assert rec["args"] == {"items": 3}
+        assert rec["dur_us"] is not None and rec["dur_us"] >= 0
+        assert rec["ts_us"] >= 0
+
+    def test_instant_has_no_duration(self, obs_enabled):
+        tracing.instant("marker", level=2)
+        (rec,) = tracing.TRACER.spans
+        assert rec["dur_us"] is None
+        assert rec["args"] == {"level": 2}
+
+    def test_by_name_aggregates(self, obs_enabled):
+        for _ in range(3):
+            with tracing.span("a"):
+                pass
+        with tracing.span("b"):
+            pass
+        agg = tracing.TRACER.by_name()
+        assert agg["a"]["count"] == 3
+        assert agg["b"]["count"] == 1
+        assert agg["a"]["total_us"] >= agg["a"]["max_us"]
+
+    def test_hotspots_table(self, obs_enabled):
+        with tracing.span("hot.path"):
+            pass
+        text = tracing.TRACER.hotspots()
+        assert "hot.path" in text
+        assert "total ms" in text
+
+    def test_hotspots_empty(self):
+        assert Tracer().hotspots() == "(no spans recorded)"
+
+    def test_reset_restarts_epoch(self, obs_enabled):
+        with tracing.span("x"):
+            pass
+        tracing.TRACER.reset()
+        assert tracing.TRACER.spans == []
+
+
+class TestExport:
+    def _record_some(self):
+        with tracing.TRACER.span("outer", n=1):
+            with tracing.TRACER.span("inner"):
+                pass
+        tracing.TRACER.instant("mark")
+
+    def test_jsonl_export(self, tmp_path, obs_enabled):
+        self._record_some()
+        path = tmp_path / "spans.jsonl"
+        n = tracing.TRACER.export_jsonl(str(path))
+        lines = path.read_text().splitlines()
+        assert len(lines) == n == 3
+        for line in lines:
+            rec = json.loads(line)
+            assert {"name", "cat", "ts_us", "dur_us", "tid", "args"} <= set(rec)
+
+    def test_chrome_export_schema(self, tmp_path, obs_enabled):
+        """The exported file must be a valid Chrome trace-event document
+        (JSON-object format) so chrome://tracing and Perfetto load it."""
+        self._record_some()
+        path = tmp_path / "trace.json"
+        n = tracing.TRACER.export_chrome(str(path))
+        doc = json.loads(path.read_text())
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        assert len(events) == n == 3
+        for ev in events:
+            assert {"name", "cat", "ts", "pid", "tid", "ph"} <= set(ev)
+            assert isinstance(ev["ts"], (int, float))
+            if ev["ph"] == "X":  # complete span
+                assert ev["dur"] >= 0
+            else:  # instant
+                assert ev["ph"] == "i"
+                assert ev["s"] == "t"
+        phases = sorted(ev["ph"] for ev in events)
+        assert phases == ["X", "X", "i"]

@@ -170,3 +170,83 @@ class TestObserve:
                             "--stall", "2")
         assert "observer health:" in out
         assert "VERDICT:" in out
+
+
+class TestObserveObservability:
+    def test_metrics_flag_prints_summary(self):
+        code, out = run_cli("observe", "xyz", "--metrics")
+        assert "metrics:" in out
+        assert "algoa.events" in out
+        assert "delivery.offered" in out
+        assert "observer.received" in out
+
+    def test_metrics_off_by_default(self):
+        from repro.obs import metrics
+
+        code, out = run_cli("observe", "xyz")
+        assert "metrics:" not in out
+        assert not metrics.ENABLED
+
+    def test_trace_out_writes_chrome_json(self, tmp_path):
+        import json
+
+        path = tmp_path / "trace.json"
+        code, out = run_cli("observe", "xyz", "--trace-out", str(path))
+        assert f"written to {path}" in out
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+        assert all("ph" in ev for ev in doc["traceEvents"])
+
+    def test_progress_lines(self):
+        code, out = run_cli("observe", "xyz", "--progress", "2")
+        assert "progress: 2 messages" in out
+        assert "progress (final): 4 messages" in out
+
+    def test_obs_state_restored_after_run(self):
+        from repro.obs import metrics, tracing
+
+        run_cli("observe", "xyz", "--metrics")
+        assert not metrics.ENABLED
+        assert not tracing.ENABLED
+
+
+class TestStats:
+    def test_stats_prints_metrics_and_hotspots(self):
+        code, out = run_cli("stats", "xyz")
+        assert code == 0
+        assert "metrics:" in out
+        assert "algoa.events" in out
+        assert "span hotspots:" in out
+        assert "algoa.process" in out
+        assert "lattice: 7 cuts expanded over 5 levels" in out
+
+    def test_stats_trace_out(self, tmp_path):
+        import json
+
+        path = tmp_path / "trace.json"
+        code, out = run_cli("stats", "xyz", "--trace-out", str(path))
+        assert code == 0
+        doc = json.loads(path.read_text())
+        names = {ev["name"] for ev in doc["traceEvents"]}
+        assert "algoa.process" in names
+        assert "lattice.level" in names
+
+    def test_stats_json_snapshot(self):
+        import json
+
+        code, out = run_cli("stats", "xyz", "--json")
+        start = out.index("{")
+        snap = json.loads(out[start:])
+        assert snap["algoa.events"]["value"] == 10
+
+    def test_stats_spec_override(self):
+        code, out = run_cli("stats", "xyz", "--spec", "x >= -1")
+        assert code == 0
+        assert "violations (observed or predicted): 0" in out
+
+    def test_stats_leaves_obs_disabled(self):
+        from repro.obs import metrics, tracing
+
+        run_cli("stats", "landing")
+        assert not metrics.ENABLED
+        assert not tracing.ENABLED
