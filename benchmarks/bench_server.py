@@ -1,0 +1,122 @@
+"""Multi-session analysis server throughput.
+
+The deployment question the server answers: how many attach→stream→verdict
+round-trips per second can one daemon sustain, and what does per-event
+ingestion cost once the reliable framing, the session queue and the worker
+pool are all in the path?  Sessions here run the paper's xyz workload, so
+each one exercises the full predictive pipeline (Algorithm A clocks in,
+lattice verdicts out).
+"""
+
+import threading
+import time
+
+from conftest import table
+
+from repro.sched import FixedScheduler, run_program
+from repro.server import AnalysisServer, ServerConfig, attach
+from repro.workloads import XYZ_OBSERVED_SCHEDULE, XYZ_PROPERTY, xyz_program
+
+N_SESSIONS = 16
+
+
+def _xyz_run():
+    execution = run_program(xyz_program(),
+                            FixedScheduler(XYZ_OBSERVED_SCHEDULE))
+    initial = {v: execution.initial_store[v] for v in ("x", "y", "z")}
+    return execution, initial
+
+
+def _run_session(srv, execution, initial):
+    session = attach(srv.host, srv.port, n_threads=execution.n_threads,
+                     initial=initial, spec=XYZ_PROPERTY, program="xyz")
+    for m in execution.messages:
+        session.send(m)
+    return session.close()
+
+
+def test_sessions_per_second_benchmark(benchmark):
+    execution, initial = _xyz_run()
+    with AnalysisServer(ServerConfig(port=0, workers=2,
+                                     max_sessions=N_SESSIONS)) as srv:
+
+        def sequential_sessions():
+            for _ in range(N_SESSIONS):
+                verdict = _run_session(srv, execution, initial)
+                assert verdict.state == "finished"
+            return N_SESSIONS
+
+        t0 = time.perf_counter()
+        n = benchmark(sequential_sessions)
+        elapsed = time.perf_counter() - t0
+    rate = n / elapsed
+    table("server session throughput (xyz workload, full round-trip)",
+          ["sessions", "mean s/batch", "sessions/s"],
+          [(n, f"{elapsed:.4f}", f"{rate:.1f}")])
+    assert rate > 1   # sanity floor: a session is well under a second
+
+
+def test_concurrent_sessions_benchmark(benchmark):
+    execution, initial = _xyz_run()
+    with AnalysisServer(ServerConfig(port=0, workers=4,
+                                     max_sessions=N_SESSIONS)) as srv:
+
+        def concurrent_sessions():
+            verdicts = [None] * N_SESSIONS
+
+            def client(i):
+                verdicts[i] = _run_session(srv, execution, initial)
+
+            threads = [threading.Thread(target=client, args=(i,))
+                       for i in range(N_SESSIONS)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert all(v is not None and v.state == "finished"
+                       for v in verdicts)
+            return N_SESSIONS
+
+        t0 = time.perf_counter()
+        n = benchmark(concurrent_sessions)
+        elapsed = time.perf_counter() - t0
+    rate = n / elapsed
+    table("server session throughput (16 concurrent clients)",
+          ["sessions", "mean s/batch", "sessions/s"],
+          [(n, f"{elapsed:.4f}", f"{rate:.1f}")])
+    assert rate > 1
+
+
+def test_server_event_throughput_benchmark(benchmark):
+    """Per-event cost through the whole ingest path, amortized over a
+    longer stream (no spec: isolates transport + queue + observer clocks
+    from lattice exploration)."""
+    import random
+
+    from repro.core import AlgorithmA
+
+    rng = random.Random(7)
+    algo = AlgorithmA(4)
+    for k in range(2_000):
+        algo.on_write(rng.randrange(4), f"v{k % 8}", k)
+    msgs = algo.emitted
+    initial = {f"v{i}": 0 for i in range(8)}
+
+    with AnalysisServer(ServerConfig(port=0, workers=2)) as srv:
+
+        def stream_all():
+            session = attach(srv.host, srv.port, n_threads=4,
+                             initial=initial, spec=None, program="firehose")
+            for m in msgs:
+                session.send(m)
+            verdict = session.close()
+            assert verdict.state == "finished"
+            assert verdict.analyzed == len(msgs)
+            return len(msgs)
+
+        t0 = time.perf_counter()
+        n = benchmark(stream_all)
+        elapsed = time.perf_counter() - t0
+    table("server event ingest (no spec, 4 threads)",
+          ["events", "mean s", "events/s"],
+          [(n, f"{elapsed:.4f}", f"{n / elapsed:.0f}")])

@@ -16,7 +16,13 @@ original tool:
   (seeded drop/duplication/corruption injection + health report);
 * ``stats``   — profile a workload: run the full predictive pipeline with
   metrics and tracing enabled, print the metric summary and span
-  hotspots, optionally export a Chrome/Perfetto trace.
+  hotspots, optionally export a Chrome/Perfetto trace;
+* ``serve``   — run the multi-session analysis server: one daemon
+  observing many instrumented programs concurrently;
+* ``attach``  — run a workload as a client of a running server, streaming
+  its events over the reliable transport;
+* ``sessions`` — query a running server's status endpoint: per-session
+  health, verdicts and metrics.
 
 Examples::
 
@@ -29,6 +35,9 @@ Examples::
     python -m repro observe xyz --faults drop=0.05,dup=0.02,corrupt=0.01 --fault-seed 7
     python -m repro stats xyz --trace-out /tmp/xyz-trace.json
     python -m repro observe landing --metrics --progress 2
+    python -m repro serve --port 4040 --max-sessions 8
+    python -m repro attach xyz --port 4040
+    python -m repro sessions --port 4040
 """
 
 from __future__ import annotations
@@ -365,6 +374,111 @@ def cmd_stats(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    """Run the multi-session analysis server until interrupted."""
+    import signal
+    import threading
+
+    from .server import AnalysisServer, ServerConfig
+
+    def on_end(record: dict) -> None:
+        verdict = (record["error"] if record["state"] == "failed"
+                   else f"{record['violations']} violation(s)")
+        out(f"session {record['session']} [{record['program']}] "
+            f"{record['state']}: {record['analyzed']} events analyzed, "
+            f"{verdict}")
+        sys.stdout.flush()
+
+    config = ServerConfig(
+        host=args.host, port=args.port, max_sessions=args.max_sessions,
+        max_queued_events=args.max_queued, workers=args.workers,
+        results_path=args.results)
+    server = AnalysisServer(config, on_session_end=on_end).start()
+    out(f"serving on {server.host}:{server.port} "
+        f"(max {config.max_sessions} sessions, {config.workers} workers)")
+    sys.stdout.flush()
+
+    stop = threading.Event()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(sig, lambda *_: stop.set())
+    stop.wait()
+    out("shutting down: draining live sessions ...")
+    sys.stdout.flush()
+    records = server.shutdown(drain=True)
+    finished = sum(r["state"] == "finished" for r in records)
+    failed = len(records) - finished
+    out(f"served {len(records)} session(s): {finished} finished, "
+        f"{failed} failed")
+    return 0
+
+
+def cmd_attach(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    """Run a bundled workload as a client of a running analysis server."""
+    from .server import ServerRejected, attach
+
+    demo = DEMOS[args.workload]
+    spec = args.spec or demo.spec
+    execution = _run_demo(demo, args.seed)
+    initial = {v: execution.initial_store[v] for v in demo.variables}
+    try:
+        session = attach(args.host, args.port,
+                         n_threads=execution.n_threads, initial=initial,
+                         spec=spec, program=args.workload)
+    except (ServerRejected, OSError) as exc:
+        out(f"error: attach to {args.host}:{args.port} failed: {exc}")
+        return 2
+    out(f"attached to {args.host}:{args.port} as session "
+        f"{session.session_id}")
+    with session:
+        for m in execution.messages:
+            session.send(m)
+    verdict = session.verdict
+    out(f"streamed {len(execution.messages)} messages   "
+        f"analyzed: {verdict.analyzed}   state: {verdict.state}")
+    out(f"violations (observed or predicted): {verdict.violations}")
+    for c in verdict.counterexamples:
+        out("  counterexample: " + c)
+    if verdict.state != "finished":
+        out(f"error: session ended {verdict.state}: {verdict.error}")
+        return 2
+    return 1 if verdict.violations else 0
+
+
+def cmd_sessions(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    """Query a running server's status endpoint."""
+    import json as _json
+
+    from .server import fetch_status
+
+    try:
+        status = fetch_status(args.host, args.port)
+    except OSError as exc:
+        out(f"error: status query to {args.host}:{args.port} failed: {exc}")
+        return 2
+    if args.json:
+        out(_json.dumps(status, indent=2, default=str))
+        return 0
+    srv = status["server"]
+    out(f"server {srv['host']}:{srv['port']} v{srv['version']}   "
+        f"up {srv['uptime_s']:.0f}s   "
+        f"sessions: {srv['active_sessions']}/{srv['max_sessions']} active, "
+        f"{srv['finished']} finished, {srv['failed']} failed, "
+        f"{srv['rejected']} rejected")
+    rows = status["sessions"]
+    if not rows:
+        out("no sessions yet")
+        return 0
+    out(f"{'id':>4}  {'program':<10} {'state':<10} {'events':>7} "
+        f"{'pending':>7} {'viol':>5}  detail")
+    for r in rows:
+        detail = r["error"] or (r["counterexamples"][0]
+                                if r["counterexamples"] else "")
+        out(f"{r['session']:>4}  {r['program']:<10} {r['state']:<10} "
+            f"{r['analyzed']:>7} {r['pending']:>7} {r['violations']:>5}  "
+            f"{detail}")
+    return 0
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -449,6 +563,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--top", type=_positive_int, default=10,
                    help="number of span hotspots to show (default 10)")
     p.set_defaults(fn=cmd_stats)
+
+    p = sub.add_parser("serve", help="run the multi-session analysis server")
+    p.add_argument("--host", default="127.0.0.1", help="listen address")
+    p.add_argument("--port", type=int, default=0,
+                   help="listen port (0 = ephemeral, printed at startup)")
+    p.add_argument("--max-sessions", type=_positive_int, default=16,
+                   help="admission bound on concurrent sessions (default 16)")
+    p.add_argument("--workers", type=_positive_int, default=2,
+                   help="analysis worker threads (default 2)")
+    p.add_argument("--max-queued", type=_positive_int, default=1024,
+                   help="per-session ingest queue bound (default 1024)")
+    p.add_argument("--results", default=None, metavar="FILE",
+                   help="append terminal session records to this JSONL file")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser("attach",
+                       help="stream a workload to a running analysis server")
+    _demo_arg(p)
+    p.add_argument("--host", default="127.0.0.1", help="server address")
+    p.add_argument("--port", type=int, required=True, help="server port")
+    p.add_argument("--spec", default=None, help="override the bundled spec")
+    p.set_defaults(fn=cmd_attach)
+
+    p = sub.add_parser("sessions",
+                       help="query a running server's status endpoint")
+    p.add_argument("--host", default="127.0.0.1", help="server address")
+    p.add_argument("--port", type=int, required=True, help="server port")
+    p.add_argument("--json", action="store_true",
+                   help="dump the raw status document as JSON")
+    p.set_defaults(fn=cmd_sessions)
 
     p = sub.add_parser("run", help="compile and analyze a MiniLang file")
     p.add_argument("source", help="MiniLang source file")

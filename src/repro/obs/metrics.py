@@ -27,10 +27,18 @@ Design constraints, in order:
 3. **Zero dependencies.**  Plain Python, plain ints; snapshots are
    JSON-able dicts.
 
-Thread-safety: increments are plain ``+=`` on Python ints.  Under the GIL
-this is accurate for the cooperative scheduler and at worst approximately
-lossy for free-running real threads — acceptable for telemetry, and the
-accuracy tests drive only the deterministic substrate.
+Thread-safety: every mutation (``inc``/``set``/``observe``/``reset``) takes
+the instrument's own lock, and registration goes through a registry lock —
+the multi-session analysis server increments these counters from many
+worker and reader threads at once, where unlocked ``+=`` on an instance
+attribute demonstrably loses updates (``tests/obs/test_threadsafety.py``
+is the stress test).  An uncontended ``threading.Lock`` costs well under a
+microsecond, and the hot-path sites are still guarded by ``ENABLED`` so
+the disabled pipeline pays nothing.
+
+Labels: instruments can carry a small set of ``labels`` (e.g. the server's
+per-session counters).  A labelled instrument is registered under
+``name{k=v,...}``; its catalogue identity is the base name.
 
 Usage::
 
@@ -45,13 +53,16 @@ Usage::
 
 from __future__ import annotations
 
-from typing import Optional, Union
+import threading
+from typing import Mapping, Optional, Union
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "labelled_name",
+    "base_name",
     "REGISTRY",
     "ENABLED",
     "enable",
@@ -68,26 +79,46 @@ ENABLED = False
 Number = Union[int, float]
 
 
+def labelled_name(name: str, labels: Mapping[str, object]) -> str:
+    """Registry key of a labelled instrument: ``name{k=v,...}``, keys
+    sorted so the same label set always maps to the same instrument."""
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+def base_name(name: str) -> str:
+    """Strip the label suffix: catalogue identity of an instrument."""
+    return name.split("{", 1)[0]
+
+
 class Counter:
     """A monotonically increasing count (events ingested, joins, faults)."""
 
-    __slots__ = ("name", "unit", "help", "value")
+    __slots__ = ("name", "unit", "help", "labels", "value", "_lock")
 
-    def __init__(self, name: str, unit: str = "", help: str = ""):
+    def __init__(self, name: str, unit: str = "", help: str = "",
+                 labels: Optional[Mapping[str, object]] = None):
         self.name = name
         self.unit = unit
         self.help = help
+        self.labels = dict(labels) if labels else None
         self.value: Number = 0
+        self._lock = threading.Lock()
 
     def inc(self, n: Number = 1) -> None:
-        self.value += n
+        with self._lock:
+            self.value += n
 
     def reset(self) -> None:
-        self.value = 0
+        with self._lock:
+            self.value = 0
 
     def to_dict(self) -> dict:
-        return {"type": "counter", "value": self.value, "unit": self.unit,
-                "help": self.help}
+        d = {"type": "counter", "value": self.value, "unit": self.unit,
+             "help": self.help}
+        if self.labels:
+            d["labels"] = dict(self.labels)
+        return d
 
 
 class Gauge:
@@ -97,27 +128,42 @@ class Gauge:
     reset — for a buffer, ``max`` is usually the interesting number.
     """
 
-    __slots__ = ("name", "unit", "help", "value", "max")
+    __slots__ = ("name", "unit", "help", "labels", "value", "max", "_lock")
 
-    def __init__(self, name: str, unit: str = "", help: str = ""):
+    def __init__(self, name: str, unit: str = "", help: str = "",
+                 labels: Optional[Mapping[str, object]] = None):
         self.name = name
         self.unit = unit
         self.help = help
+        self.labels = dict(labels) if labels else None
         self.value: Number = 0
         self.max: Number = 0
+        self._lock = threading.Lock()
 
     def set(self, v: Number) -> None:
-        self.value = v
-        if v > self.max:
-            self.max = v
+        with self._lock:
+            self.value = v
+            if v > self.max:
+                self.max = v
+
+    def add(self, n: Number = 1) -> None:
+        """Atomic relative adjustment (e.g. active-session count)."""
+        with self._lock:
+            self.value += n
+            if self.value > self.max:
+                self.max = self.value
 
     def reset(self) -> None:
-        self.value = 0
-        self.max = 0
+        with self._lock:
+            self.value = 0
+            self.max = 0
 
     def to_dict(self) -> dict:
-        return {"type": "gauge", "value": self.value, "max": self.max,
-                "unit": self.unit, "help": self.help}
+        d = {"type": "gauge", "value": self.value, "max": self.max,
+             "unit": self.unit, "help": self.help}
+        if self.labels:
+            d["labels"] = dict(self.labels)
+        return d
 
 
 class Histogram:
@@ -130,28 +176,32 @@ class Histogram:
     without storing samples.
     """
 
-    __slots__ = ("name", "unit", "help", "count", "sum", "min", "max",
-                 "_buckets")
+    __slots__ = ("name", "unit", "help", "labels", "count", "sum", "min",
+                 "max", "_buckets", "_lock")
 
-    def __init__(self, name: str, unit: str = "", help: str = ""):
+    def __init__(self, name: str, unit: str = "", help: str = "",
+                 labels: Optional[Mapping[str, object]] = None):
         self.name = name
         self.unit = unit
         self.help = help
+        self.labels = dict(labels) if labels else None
         self.count = 0
         self.sum: Number = 0
         self.min: Optional[Number] = None
         self.max: Optional[Number] = None
         self._buckets: dict[int, int] = {}
+        self._lock = threading.Lock()
 
     def observe(self, v: Number) -> None:
-        self.count += 1
-        self.sum += v
-        if self.min is None or v < self.min:
-            self.min = v
-        if self.max is None or v > self.max:
-            self.max = v
-        k = 0 if v <= 0 else max(0, int(v - 1)).bit_length()
-        self._buckets[k] = self._buckets.get(k, 0) + 1
+        with self._lock:
+            self.count += 1
+            self.sum += v
+            if self.min is None or v < self.min:
+                self.min = v
+            if self.max is None or v > self.max:
+                self.max = v
+            k = 0 if v <= 0 else max(0, int(v - 1)).bit_length()
+            self._buckets[k] = self._buckets.get(k, 0) + 1
 
     @property
     def mean(self) -> float:
@@ -163,17 +213,21 @@ class Histogram:
                 for k, n in sorted(self._buckets.items())}
 
     def reset(self) -> None:
-        self.count = 0
-        self.sum = 0
-        self.min = None
-        self.max = None
-        self._buckets.clear()
+        with self._lock:
+            self.count = 0
+            self.sum = 0
+            self.min = None
+            self.max = None
+            self._buckets.clear()
 
     def to_dict(self) -> dict:
-        return {"type": "histogram", "count": self.count, "sum": self.sum,
-                "min": self.min, "max": self.max, "mean": self.mean,
-                "buckets": self.buckets(), "unit": self.unit,
-                "help": self.help}
+        d = {"type": "histogram", "count": self.count, "sum": self.sum,
+             "min": self.min, "max": self.max, "mean": self.mean,
+             "buckets": self.buckets(), "unit": self.unit,
+             "help": self.help}
+        if self.labels:
+            d["labels"] = dict(self.labels)
+        return d
 
 
 _Instrument = Union[Counter, Gauge, Histogram]
@@ -188,27 +242,44 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._instruments: dict[str, _Instrument] = {}
+        self._lock = threading.Lock()
 
-    def _get(self, cls, name: str, unit: str, help: str) -> _Instrument:
-        inst = self._instruments.get(name)
-        if inst is None:
-            inst = cls(name, unit=unit, help=help)
-            self._instruments[name] = inst
-        elif not isinstance(inst, cls):
-            raise TypeError(
-                f"metric {name!r} already registered as "
-                f"{type(inst).__name__}, not {cls.__name__}"
-            )
-        return inst
+    def _get(self, cls, name: str, unit: str, help: str,
+             labels: Optional[Mapping[str, object]] = None) -> _Instrument:
+        key = labelled_name(name, labels) if labels else name
+        with self._lock:
+            inst = self._instruments.get(key)
+            if inst is None:
+                inst = cls(key, unit=unit, help=help, labels=labels)
+                self._instruments[key] = inst
+            elif not isinstance(inst, cls):
+                raise TypeError(
+                    f"metric {key!r} already registered as "
+                    f"{type(inst).__name__}, not {cls.__name__}"
+                )
+            return inst
 
-    def counter(self, name: str, unit: str = "", help: str = "") -> Counter:
-        return self._get(Counter, name, unit, help)
+    def counter(self, name: str, unit: str = "", help: str = "",
+                labels: Optional[Mapping[str, object]] = None) -> Counter:
+        return self._get(Counter, name, unit, help, labels)
 
-    def gauge(self, name: str, unit: str = "", help: str = "") -> Gauge:
-        return self._get(Gauge, name, unit, help)
+    def gauge(self, name: str, unit: str = "", help: str = "",
+              labels: Optional[Mapping[str, object]] = None) -> Gauge:
+        return self._get(Gauge, name, unit, help, labels)
 
-    def histogram(self, name: str, unit: str = "", help: str = "") -> Histogram:
-        return self._get(Histogram, name, unit, help)
+    def histogram(self, name: str, unit: str = "", help: str = "",
+                  labels: Optional[Mapping[str, object]] = None) -> Histogram:
+        return self._get(Histogram, name, unit, help, labels)
+
+    def unregister(self, name: str,
+                   labels: Optional[Mapping[str, object]] = None) -> bool:
+        """Drop one instrument (typically a labelled per-session one whose
+        session record has been evicted).  Returns whether it existed.
+        Never unregister the import-time-cached module instruments: cached
+        references would silently diverge from the registry."""
+        key = labelled_name(name, labels) if labels else name
+        with self._lock:
+            return self._instruments.pop(key, None) is not None
 
     def __contains__(self, name: str) -> bool:
         return name in self._instruments
@@ -217,26 +288,33 @@ class MetricsRegistry:
         return len(self._instruments)
 
     def names(self) -> list[str]:
-        return sorted(self._instruments)
+        with self._lock:
+            return sorted(self._instruments)
 
     def get(self, name: str) -> Optional[_Instrument]:
         return self._instruments.get(name)
 
     def reset(self) -> None:
         """Zero every instrument *in place* — cached references stay valid."""
-        for inst in self._instruments.values():
+        with self._lock:
+            instruments = list(self._instruments.values())
+        for inst in instruments:
             inst.reset()
 
     def snapshot(self) -> dict[str, dict]:
         """All instruments as one JSON-able ``{name: {...}}`` dict."""
-        return {name: self._instruments[name].to_dict()
-                for name in sorted(self._instruments)}
+        with self._lock:
+            instruments = dict(self._instruments)
+        return {name: instruments[name].to_dict()
+                for name in sorted(instruments)}
 
     def summary(self, nonzero_only: bool = True) -> str:
         """Aligned human-readable table of current values."""
+        with self._lock:
+            instruments = dict(self._instruments)
         rows: list[tuple[str, str, str, str]] = []
-        for name in sorted(self._instruments):
-            inst = self._instruments[name]
+        for name in sorted(instruments):
+            inst = instruments[name]
             if isinstance(inst, Counter):
                 if nonzero_only and not inst.value:
                     continue

@@ -105,7 +105,7 @@ class Tracer:
 
     def reset(self) -> None:
         """Drop all recorded spans and restart the epoch."""
-        with getattr(self, "_lock", threading.Lock()):
+        with self._lock:
             self.spans: list[dict] = []
             self._epoch_ns = time.monotonic_ns()
 

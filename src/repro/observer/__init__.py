@@ -13,13 +13,14 @@ from .delivery import CausalDelivery
 from .faults import FaultLog, FaultPlan, FaultyChannel
 from .observer import Observer, ObserverHealth
 from .reliable import (
+    FrameDecoder,
     LossyWire,
     ReliableReceiver,
     ReliableSender,
     ReliableTransportError,
     RetransmitConfig,
 )
-from .trace import Trace, TraceWriter, read_trace, write_trace
+from .trace import Trace, TraceFormatError, TraceWriter, read_trace, write_trace
 
 __all__ = [
     "Channel",
@@ -35,12 +36,14 @@ __all__ = [
     "FaultyChannel",
     "Observer",
     "ObserverHealth",
+    "FrameDecoder",
     "LossyWire",
     "ReliableReceiver",
     "ReliableSender",
     "ReliableTransportError",
     "RetransmitConfig",
     "Trace",
+    "TraceFormatError",
     "TraceWriter",
     "read_trace",
     "write_trace",

@@ -27,6 +27,8 @@ are reported unsound rather than silently guessed at.
 
 from __future__ import annotations
 
+import threading
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Any, Iterable, Mapping, Optional, Sequence, Union
 
@@ -126,6 +128,12 @@ class Observer:
             blocking gaps lost after this many consecutive ingests that
             release nothing while messages are parked (None = only declare
             losses at :meth:`finish`).
+        thread_safe: serialize :meth:`receive`/:meth:`consume`/:meth:`finish`
+            (and :attr:`health`) behind an internal lock, so the observer
+            may be driven from more than one thread — the analysis server
+            hands each session's observer between reader and worker
+            threads.  Off by default: single-threaded pipelines should not
+            pay for a lock per message.
 
     Use :meth:`receive` directly, or :meth:`consume` to pull from a
     :class:`~repro.observer.channel.Channel`.
@@ -140,7 +148,9 @@ class Observer:
         causal_log: bool = False,
         fault_tolerant: bool = False,
         stall_threshold: Optional[int] = None,
+        thread_safe: bool = False,
     ):
+        self._lock = threading.RLock() if thread_safe else nullcontext()
         self._n = n_threads
         self.causality = CausalityIndex(n_threads)
         self._predictor: Optional[OnlinePredictor] = None
@@ -176,6 +186,10 @@ class Observer:
         message raises — the perfect-channel contract of the original
         pipeline.  In fault-tolerant mode both are counted and absorbed.
         """
+        with self._lock:
+            return self._receive(item)
+
+    def _receive(self, item: Union[Message, Envelope]) -> list[Violation]:
         if self._finished:
             raise RuntimeError("observer already finished")
         self._received += 1
@@ -256,13 +270,14 @@ class Observer:
         buffered message.  The analyzer then completes over the delivered
         prefix and the excluded regions are reported in :attr:`health`.
         """
-        self._finished = True
-        with _tracing.span("observer.finish"):
-            if not self._tolerant:
-                if self._predictor is not None:
-                    return self._predictor.finish()
-                return []
-            return self._finish_tolerant(expected_totals)
+        with self._lock:
+            self._finished = True
+            with _tracing.span("observer.finish"):
+                if not self._tolerant:
+                    if self._predictor is not None:
+                        return self._predictor.finish()
+                    return []
+                return self._finish_tolerant(expected_totals)
 
     def _finish_tolerant(
         self, expected_totals: Optional[Sequence[int]]
@@ -331,6 +346,10 @@ class Observer:
     @property
     def health(self) -> ObserverHealth:
         """Fidelity report (meaningful mainly in fault-tolerant mode)."""
+        with self._lock:
+            return self._health()
+
+    def _health(self) -> ObserverHealth:
         d = self._delivery
         if d is None:
             return ObserverHealth(

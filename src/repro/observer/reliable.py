@@ -48,7 +48,7 @@ from ..core.events import Message
 from ..obs import metrics as _metrics
 
 __all__ = ["RetransmitConfig", "ReliableSender", "ReliableReceiver",
-           "LossyWire", "ReliableTransportError"]
+           "FrameDecoder", "LossyWire", "ReliableTransportError"]
 
 _C_FRAMES = _metrics.REGISTRY.counter(
     "reliable.frames_sent", unit="frames",
@@ -167,6 +167,118 @@ class LossyWire:
             self._send(data)
 
 
+class FrameDecoder:
+    """Receive-side frame state machine for **one** peer connection.
+
+    Owns exactly the transport concerns — CRC check, ack emission,
+    duplicate suppression and in-order reassembly by ``seq`` — and leaves
+    policy to the caller: every reassembled :class:`Message` is handed to
+    ``on_message`` in send order, and control frames the decoder does not
+    consume (``fin``, handshake frames, anything unknown) are *returned*
+    from :meth:`feed_line` so the caller decides how to answer them.
+    This is the piece :class:`ReliableReceiver` (single peer) and the
+    multi-session server (:mod:`repro.server`, one decoder per client
+    connection) share.
+
+    Args:
+        send: callable taking raw frame ``bytes`` — used to emit acks back
+            to this peer.
+        on_message: called with each :class:`Message` as it becomes
+            deliverable in seq order.  Exceptions propagate to the caller
+            of :meth:`feed_line` (the server uses this to abort a session
+            on overload without acking the frame that overflowed it).
+    """
+
+    def __init__(self, send: Callable[[bytes], None],
+                 on_message: Optional[Callable[[Message], None]] = None):
+        self._send = send
+        self._on_message = on_message
+        self._by_seq: dict[int, str] = {}
+        self._next_deliver = 0
+        self.expected_total: Optional[int] = None
+        self.duplicates = 0
+        self.corrupt_frames = 0
+        self.heartbeats = 0
+        self.last_heartbeat: Optional[float] = None
+        self.errors: list[str] = []
+
+    @property
+    def delivered(self) -> int:
+        """Messages handed to ``on_message`` so far (== next seq wanted)."""
+        return self._next_deliver
+
+    @property
+    def complete(self) -> bool:
+        """A fin has been seen and every seq before its count delivered."""
+        return (self.expected_total is not None
+                and self._next_deliver >= self.expected_total)
+
+    def feed_line(self, line: str) -> Optional[dict]:
+        """Consume one wire line.  Data/heartbeat frames are fully handled
+        here (returns ``None``); any other parsed frame is returned for the
+        caller to act on.  A ``fin`` frame records its count before being
+        returned.  Unparseable lines count as corrupt and return ``None``.
+        """
+        line = line.strip()
+        if not line:
+            return None
+        try:
+            d = json.loads(line)
+        except ValueError:
+            self.corrupt_frames += 1
+            if _metrics.ENABLED:
+                _C_RECV_CORRUPT.inc()
+            return None
+        if not isinstance(d, dict):
+            self.corrupt_frames += 1
+            if _metrics.ENABLED:
+                _C_RECV_CORRUPT.inc()
+            return None
+        kind = d.get("t")
+        if kind == "msg":
+            self._on_msg_frame(d)
+            return None
+        if kind == "hb":
+            self.heartbeats += 1
+            self.last_heartbeat = time.monotonic()
+            return None
+        if kind == "fin":
+            self.expected_total = d.get("count")
+        return d
+
+    def _on_msg_frame(self, d: dict) -> None:
+        seq, payload = d.get("seq"), d.get("payload")
+        if not isinstance(seq, int) or not isinstance(payload, str):
+            self.corrupt_frames += 1
+            if _metrics.ENABLED:
+                _C_RECV_CORRUPT.inc()
+            return
+        if zlib.crc32(payload.encode("utf-8")) != d.get("crc"):
+            self.corrupt_frames += 1
+            if _metrics.ENABLED:
+                _C_RECV_CORRUPT.inc()
+            return  # no ack: the sender will retransmit an intact copy
+        if seq < self._next_deliver or seq in self._by_seq:
+            self.duplicates += 1
+            if _metrics.ENABLED:
+                _C_RECV_DUPS.inc()
+        else:
+            self._by_seq[seq] = payload
+            while self._next_deliver in self._by_seq:
+                text = self._by_seq.pop(self._next_deliver)
+                try:
+                    msg = Message.from_json(text)
+                except Exception as exc:  # noqa: BLE001 - recorded
+                    self.errors.append(f"seq {self._next_deliver}: {exc}")
+                else:
+                    if _metrics.ENABLED:
+                        _C_RECV_MSGS.inc()
+                    if self._on_message is not None:
+                        self._on_message(msg)
+                self._next_deliver += 1
+        self._send(_frame({"t": "ack", "seq": seq}))
+
+
 class ReliableSender:
     """The instrumented-program side: send messages, survive a lossy wire.
 
@@ -181,12 +293,20 @@ class ReliableSender:
         config: a complete :class:`RetransmitConfig`; when given it takes
             precedence over the individual keyword knobs.  The effective
             configuration is always readable back as :attr:`config`.
+        sock: an already-connected socket to use instead of dialing
+            ``host:port`` — the multi-session client performs its
+            handshake synchronously and then hands the socket over.
+        on_frame: callback for reverse-direction frames the sender does
+            not consume itself (acks, finacks and heartbeats are handled
+            internally; an ``err`` frame fails the transport with the
+            peer's reason).  The server uses this channel to push the
+            session's final ``result`` frame back to the client.
     """
 
     def __init__(
         self,
-        host: str,
-        port: int,
+        host: Optional[str] = None,
+        port: Optional[int] = None,
         timeout: float = 0.05,
         max_retries: int = 10,
         backoff: float = 2.0,
@@ -197,6 +317,8 @@ class ReliableSender:
         wire: Optional[Callable[[Callable[[bytes], None]],
                                 Callable[[bytes], None]]] = None,
         config: Optional[RetransmitConfig] = None,
+        sock: Optional[socket.socket] = None,
+        on_frame: Optional[Callable[[dict], None]] = None,
     ):
         if config is None:
             config = RetransmitConfig(
@@ -206,7 +328,13 @@ class ReliableSender:
             )
         #: The effective (validated) retransmission configuration.
         self.config = config
-        self._sock = socket.create_connection((host, port))
+        self._on_frame = on_frame
+        if sock is not None:
+            self._sock = sock
+        elif host is not None and port is not None:
+            self._sock = socket.create_connection((host, port))
+        else:
+            raise ValueError("need either host+port or a connected sock")
         self._sock_lock = threading.Lock()
         self._raw_send = self._locked_send
         self._wire_send = wire(self._raw_send) if wire else self._raw_send
@@ -256,16 +384,28 @@ class ReliableSender:
                         d = json.loads(line)
                     except ValueError:
                         continue
+                    kind = d.get("t") if isinstance(d, dict) else None
                     with self._cond:
-                        if d.get("t") == "ack":
+                        if kind == "ack":
                             self._unacked.pop(d.get("seq"), None)
                             if _metrics.ENABLED:
                                 _C_ACKS.inc()
                                 _G_INFLIGHT.set(len(self._unacked))
                             self._cond.notify_all()
-                        elif d.get("t") == "finack":
+                            continue
+                        if kind == "finack":
                             self._fin_acked = True
                             self._cond.notify_all()
+                            continue
+                        if kind == "err":
+                            # the peer declared the stream dead (overload,
+                            # session failure): fail fast with its reason
+                            self._failed = (
+                                f"peer error: {d.get('reason', 'unknown')}")
+                            self._cond.notify_all()
+                            continue
+                    if self._on_frame is not None:
+                        self._on_frame(d)
         except OSError:
             pass
         with self._cond:
@@ -417,16 +557,43 @@ class ReliableReceiver:
         self._on_message = on_message
         self._thread: Optional[threading.Thread] = None
         self._received: list[Message] = []
-        self._by_seq: dict[int, str] = {}
-        self._next_deliver = 0
-        self._expected_total: Optional[int] = None
-        self._lock = threading.Lock()
+        self._decoder = FrameDecoder(send=lambda data: None,
+                                     on_message=self._deliver)
         self.sender_never_connected = False
-        self.duplicates = 0
-        self.corrupt_frames = 0
-        self.heartbeats = 0
-        self.last_heartbeat: Optional[float] = None
-        self.errors: list[str] = []
+
+    # decoder state, re-exported under the receiver's historical names
+    @property
+    def duplicates(self) -> int:
+        return self._decoder.duplicates
+
+    @property
+    def corrupt_frames(self) -> int:
+        return self._decoder.corrupt_frames
+
+    @property
+    def heartbeats(self) -> int:
+        return self._decoder.heartbeats
+
+    @property
+    def last_heartbeat(self) -> Optional[float]:
+        return self._decoder.last_heartbeat
+
+    @property
+    def errors(self) -> list[str]:
+        return self._decoder.errors
+
+    @property
+    def _expected_total(self) -> Optional[int]:
+        return self._decoder.expected_total
+
+    @property
+    def _next_deliver(self) -> int:
+        return self._decoder.delivered
+
+    def _deliver(self, msg: Message) -> None:
+        self._received.append(msg)
+        if self._on_message is not None:
+            self._on_message(msg)
 
     def start(self) -> None:
         self._thread = threading.Thread(target=self._loop, daemon=True)
@@ -440,72 +607,17 @@ class ReliableReceiver:
             self.sender_never_connected = True
             return
         conn.settimeout(self._accept_timeout)
+        self._decoder._send = conn.sendall
         try:
             with conn, conn.makefile("r", encoding="utf-8") as f:
-                sendall = conn.sendall
                 for line in f:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    try:
-                        d = json.loads(line)
-                    except ValueError:
-                        self.corrupt_frames += 1
-                        if _metrics.ENABLED:
-                            _C_RECV_CORRUPT.inc()
-                        continue
-                    kind = d.get("t")
-                    if kind == "msg":
-                        self._on_msg_frame(d, sendall)
-                    elif kind == "hb":
-                        self.heartbeats += 1
-                        self.last_heartbeat = time.monotonic()
-                    elif kind == "fin":
-                        self._expected_total = d.get("count")
-                        sendall(_frame({"t": "finack"}))
-                        if self._complete():
+                    frame = self._decoder.feed_line(line)
+                    if frame is not None and frame.get("t") == "fin":
+                        conn.sendall(_frame({"t": "finack"}))
+                        if self._decoder.complete:
                             return
         except (socket.timeout, OSError) as exc:
-            self.errors.append(f"receive loop ended: {exc!r}")
-
-    def _on_msg_frame(self, d: dict, sendall) -> None:
-        seq, payload = d.get("seq"), d.get("payload")
-        if not isinstance(seq, int) or not isinstance(payload, str):
-            self.corrupt_frames += 1
-            if _metrics.ENABLED:
-                _C_RECV_CORRUPT.inc()
-            return
-        if zlib.crc32(payload.encode("utf-8")) != d.get("crc"):
-            self.corrupt_frames += 1
-            if _metrics.ENABLED:
-                _C_RECV_CORRUPT.inc()
-            return  # no ack: the sender will retransmit an intact copy
-        with self._lock:
-            if seq < self._next_deliver or seq in self._by_seq:
-                self.duplicates += 1
-                if _metrics.ENABLED:
-                    _C_RECV_DUPS.inc()
-            else:
-                self._by_seq[seq] = payload
-                while self._next_deliver in self._by_seq:
-                    text = self._by_seq.pop(self._next_deliver)
-                    try:
-                        msg = Message.from_json(text)
-                    except Exception as exc:  # noqa: BLE001 - recorded
-                        self.errors.append(f"seq {self._next_deliver}: {exc}")
-                    else:
-                        self._received.append(msg)
-                        if _metrics.ENABLED:
-                            _C_RECV_MSGS.inc()
-                        if self._on_message is not None:
-                            self._on_message(msg)
-                    self._next_deliver += 1
-        sendall(_frame({"t": "ack", "seq": seq}))
-
-    def _complete(self) -> bool:
-        with self._lock:
-            return (self._expected_total is not None
-                    and self._next_deliver >= self._expected_total)
+            self._decoder.errors.append(f"receive loop ended: {exc!r}")
 
     def wait(self, timeout: float = 10.0) -> list[Message]:
         """Wait for the full stream (fin received and every seq delivered);

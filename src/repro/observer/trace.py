@@ -22,9 +22,26 @@ from typing import IO, Any, Iterable, Mapping, Optional
 
 from ..core.events import Message, VarName
 
-__all__ = ["Trace", "TraceWriter", "write_trace", "read_trace"]
+__all__ = ["Trace", "TraceFormatError", "TraceWriter", "write_trace",
+           "read_trace"]
 
 _VERSION = 1
+
+
+class TraceFormatError(ValueError):
+    """A trace file violates the format contract.
+
+    Always names the file and the 1-based line number of the offending
+    record, so a truncated upload or a hand-edited header is diagnosable
+    without opening the file.  Subclasses :class:`ValueError` so existing
+    callers that caught the old raw errors keep working.
+    """
+
+    def __init__(self, path: str | Path, lineno: int, problem: str):
+        super().__init__(f"{path}:{lineno}: {problem}")
+        self.path = str(path)
+        self.lineno = lineno
+        self.problem = problem
 
 
 @dataclass
@@ -101,26 +118,63 @@ def write_trace(
 
 
 def read_trace(path: str | Path) -> Trace:
-    """Load a trace file (header + messages)."""
+    """Load a trace file (header + messages).
+
+    Every way the file can be malformed — empty, unparseable JSON, a
+    missing or version-mismatched header, a record without the mandatory
+    message fields — raises :class:`TraceFormatError` naming the file and
+    the offending line, never a raw ``KeyError``/``JSONDecodeError``.
+    """
     with open(path, encoding="utf-8") as fh:
         first = fh.readline().strip()
         if not first:
-            raise ValueError(f"{path}: empty trace file")
-        header = json.loads(first)
-        if header.get("type") != "header":
-            raise ValueError(f"{path}: missing trace header")
-        if header.get("version") != _VERSION:
-            raise ValueError(
-                f"{path}: unsupported trace version {header.get('version')}"
-            )
-        messages = [
-            Message.from_json(line)
-            for line in fh
-            if line.strip()
-        ]
-    return Trace(
-        n_threads=header["n_threads"],
-        initial=dict(header["initial"]),
-        messages=messages,
-        program=header.get("program", "unknown"),
-    )
+            raise TraceFormatError(path, 1, "empty trace file")
+        try:
+            header = json.loads(first)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(
+                path, 1, f"header is not valid JSON ({exc.msg})") from exc
+        if not isinstance(header, dict) or header.get("type") != "header":
+            raise TraceFormatError(
+                path, 1, "missing trace header record "
+                         '(expected {"type": "header", ...})')
+        version = header.get("version")
+        if version != _VERSION:
+            raise TraceFormatError(
+                path, 1, f"unsupported trace version {version!r} "
+                         f"(this reader understands version {_VERSION})")
+        for key in ("n_threads", "initial"):
+            if key not in header:
+                raise TraceFormatError(
+                    path, 1, f"header lacks the mandatory {key!r} field")
+        if not isinstance(header["n_threads"], int):
+            raise TraceFormatError(
+                path, 1, f"header n_threads must be an integer, "
+                         f"got {header['n_threads']!r}")
+        messages = []
+        for lineno, line in enumerate(fh, start=2):
+            if not line.strip():
+                continue
+            try:
+                messages.append(Message.from_json(line))
+            except json.JSONDecodeError as exc:
+                raise TraceFormatError(
+                    path, lineno,
+                    f"message record is not valid JSON ({exc.msg})") from exc
+            except KeyError as exc:
+                raise TraceFormatError(
+                    path, lineno,
+                    f"message record lacks the mandatory {exc.args[0]!r} "
+                    "field") from exc
+            except (TypeError, ValueError) as exc:
+                raise TraceFormatError(
+                    path, lineno, f"malformed message record: {exc}") from exc
+    try:
+        return Trace(
+            n_threads=header["n_threads"],
+            initial=dict(header["initial"]),
+            messages=messages,
+            program=header.get("program", "unknown"),
+        )
+    except (TypeError, ValueError) as exc:
+        raise TraceFormatError(path, 1, f"invalid header: {exc}") from exc

@@ -1,0 +1,45 @@
+"""Multi-session analysis server: one daemon observing many programs.
+
+The paper's architecture (Fig. 1) pairs each instrumented program with its
+own observer process.  This package generalises that to a long-running
+daemon — ``repro serve`` — that accepts many concurrent client
+connections over the reliable transport, assigns each a *session* with its
+own :class:`~repro.observer.observer.Observer` and
+:class:`~repro.analysis.predictive.OnlinePredictor`, and analyses all of
+them on a bounded worker pool.  Sessions get explicit lifecycle states,
+admission control (attaches past capacity are rejected with a reason, not
+stalled), backpressure (bounded per-session ingest queues that withhold
+acks when full), graceful drain on shutdown, and a line-JSON status
+endpoint surfaced as ``repro sessions``.
+
+Client side: :func:`attach` opens a session and returns an
+:class:`AttachedSession` whose ``send`` slots in as Algorithm A's message
+sink; ``close`` completes the stream and returns the server's
+:class:`SessionVerdict`.
+"""
+
+from .client import (
+    AttachedSession,
+    ServerRejected,
+    SessionVerdict,
+    attach,
+    fetch_status,
+)
+from .daemon import AnalysisServer, ServerConfig
+from .protocol import PROTOCOL_VERSION, Hello, ProtocolError
+from .session import Session, SessionState
+
+__all__ = [
+    "AnalysisServer",
+    "ServerConfig",
+    "Session",
+    "SessionState",
+    "Hello",
+    "ProtocolError",
+    "PROTOCOL_VERSION",
+    "AttachedSession",
+    "SessionVerdict",
+    "ServerRejected",
+    "attach",
+    "fetch_status",
+]

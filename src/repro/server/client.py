@@ -1,0 +1,202 @@
+"""Client side of the multi-session analysis server.
+
+The instrumented program (or the ``repro attach`` CLI) uses this module to
+open a session: a synchronous one-line handshake, then the stock
+:class:`~repro.observer.reliable.ReliableSender` owns the socket and
+streams messages with acks, retransmission and backpressure exactly as in
+the two-process pipeline.  Closing the session completes the fin/finack
+handshake and returns the server's verdicts.
+
+Usage::
+
+    from repro.server import attach
+
+    with attach(port=4040, n_threads=2, initial={"x": -1, "y": 0, "z": 0},
+                spec=XYZ_PROPERTY, program="xyz") as session:
+        run_program(xyz_program(), scheduler, sink=session.send)
+    print(session.verdict.counterexamples)
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+from ..core.events import Message, VarName
+from ..observer.reliable import (
+    ReliableSender,
+    ReliableTransportError,
+    RetransmitConfig,
+)
+from .protocol import Hello, ProtocolError, encode_frame, read_frame_line
+
+__all__ = ["ServerRejected", "SessionVerdict", "AttachedSession", "attach",
+           "fetch_status"]
+
+
+class ServerRejected(ConnectionError):
+    """The server refused the attach; :attr:`reason` is its explanation
+    (capacity, shutdown in progress, malformed hello, bad spec)."""
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class SessionVerdict:
+    """The server's final word on one session."""
+
+    session: int
+    state: str
+    violations: int
+    counterexamples: tuple[str, ...] = ()
+    sound: bool = True
+    analyzed: int = 0
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """Finished cleanly with no predicted violation."""
+        return self.state == "finished" and self.violations == 0
+
+
+@dataclass(frozen=True)
+class _HandshakeReply:
+    session: int
+
+
+def _handshake(host: str, port: int, hello: Hello,
+               timeout: float) -> tuple[socket.socket, dict]:
+    sock = socket.create_connection((host, port), timeout=timeout)
+    try:
+        sock.sendall(encode_frame(hello.to_frame()))
+        reply = read_frame_line(sock)
+    except BaseException:
+        sock.close()
+        raise
+    kind = reply.get("t")
+    if kind == "reject":
+        sock.close()
+        raise ServerRejected(reply.get("reason", "rejected (no reason given)"))
+    return sock, reply
+
+
+class AttachedSession:
+    """A live session: ``send`` messages, ``close`` for the verdict.
+
+    Create via :func:`attach`.  The underlying reliable sender enforces
+    the bounded in-flight window, so a slow server backpressures the
+    instrumented program instead of buffering without bound; a server-side
+    overload or failure surfaces as :class:`ReliableTransportError`
+    carrying the server's reason.
+    """
+
+    def __init__(self, session_id: int, sender: ReliableSender,
+                 result_event: threading.Event, result_box: dict):
+        self.session_id = session_id
+        self._sender = sender
+        self._result_event = result_event
+        self._result_box = result_box
+        self.verdict: Optional[SessionVerdict] = None
+
+    def send(self, msg: Message) -> None:
+        """Stream one message (usable directly as Algorithm A's sink)."""
+        self._sender.send(msg)
+
+    def close(self, timeout: float = 30.0) -> SessionVerdict:
+        """Flush, complete the fin/finack handshake and return the server's
+        verdict.  Raises :class:`ReliableTransportError` if the stream
+        could not be completed or the server never produced a result."""
+        self._sender.close(timeout=timeout)
+        # the result frame precedes the finack on the wire, so it has
+        # already been captured by the sender's reader thread
+        if not self._result_event.wait(timeout=1.0):
+            raise ReliableTransportError(
+                f"session {self.session_id}: server acknowledged the stream "
+                "but sent no result frame")
+        d = self._result_box["frame"]
+        self.verdict = SessionVerdict(
+            session=d.get("session", self.session_id),
+            state=d.get("state", "unknown"),
+            violations=d.get("violations", 0),
+            counterexamples=tuple(d.get("counterexamples") or ()),
+            sound=bool(d.get("sound", False)),
+            analyzed=d.get("analyzed", 0),
+            error=d.get("error"),
+        )
+        return self.verdict
+
+    def abort(self) -> None:
+        """Drop the connection without the close handshake (the server
+        fails the session with ``connection lost``)."""
+        with self._sender._sock_lock:
+            sock = self._sender._sock
+            try:
+                # shutdown, not close: the sender's ack reader holds a
+                # makefile reference, so a bare close would be deferred
+                # until that thread exits -- which it only does on EOF
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            sock.close()
+
+    def __enter__(self) -> "AttachedSession":
+        return self
+
+    def __exit__(self, exc_type, *exc) -> None:
+        if exc_type is None:
+            self.close()
+        else:
+            self.abort()
+
+
+def attach(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    n_threads: int,
+    initial: Mapping[VarName, Any],
+    spec: Optional[str] = None,
+    program: str = "unknown",
+    fault_tolerant: bool = False,
+    config: Optional[RetransmitConfig] = None,
+    connect_timeout: float = 10.0,
+) -> AttachedSession:
+    """Open an analysis session on a running ``repro serve`` daemon.
+
+    Raises :class:`ServerRejected` when the server refuses (capacity,
+    shutdown, invalid spec/initial combination) — an explicit answer, by
+    design, rather than a hang.
+    """
+    hello = Hello(mode="attach", program=program, n_threads=n_threads,
+                  initial={str(k): v for k, v in initial.items()},
+                  spec=spec, fault_tolerant=fault_tolerant)
+    sock, reply = _handshake(host, port, hello, connect_timeout)
+    if reply.get("t") != "helloack" or not isinstance(
+            reply.get("session"), int):
+        sock.close()
+        raise ProtocolError(f"expected a helloack frame, got {reply!r}")
+    sock.settimeout(None)
+    result_event = threading.Event()
+    result_box: dict = {}
+
+    def on_frame(d: dict) -> None:
+        if d.get("t") == "result":
+            result_box["frame"] = d
+            result_event.set()
+
+    sender = ReliableSender(sock=sock, config=config, on_frame=on_frame)
+    return AttachedSession(reply["session"], sender, result_event, result_box)
+
+
+def fetch_status(host: str = "127.0.0.1", port: int = 0,
+                 timeout: float = 10.0) -> dict:
+    """One status round-trip: server health plus every session record."""
+    sock, reply = _handshake(host, port, Hello(mode="status"), timeout)
+    sock.close()
+    if reply.get("t") != "status":
+        raise ProtocolError(f"expected a status frame, got {reply!r}")
+    return reply

@@ -1,0 +1,511 @@
+"""The multi-session analysis server (``repro serve``).
+
+One long-lived daemon observes many instrumented programs at once.  Each
+client connection performs a one-line handshake
+(:mod:`repro.server.protocol`), gets admitted as a session or rejected
+with a reason, and then streams events over the exact
+:class:`~repro.observer.reliable.ReliableSender` framing of the
+two-process pipeline.  The moving parts:
+
+* an **accept loop** hands each connection to a dedicated reader thread —
+  ingestion (frame decode, CRC, dedup, acks) stays on the connection's own
+  thread and never blocks another session;
+* a bounded **worker pool** runs the lattice/predictive analysis off the
+  ingestion hot path; a session is serviced by at most one worker at a
+  time, so per-session event order is preserved without per-event locks;
+* a **session registry** tracks lifecycle (handshake → streaming →
+  draining → finished/failed) and keeps a bounded history of final
+  records for ``repro sessions``;
+* **admission control and backpressure**: at ``max_sessions`` the next
+  attach is rejected with an explicit reason; a session whose queue stays
+  full past ``overload_timeout`` is failed with an ``err`` frame instead
+  of silently stalling the wire;
+* **graceful shutdown**: stop accepting, give live sessions
+  ``drain_timeout`` to finish, flush every record (optionally to a JSONL
+  results file), then take the worker pool down.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from .. import __version__ as _repro_version
+from ..obs import metrics as _metrics
+from ..observer.reliable import FrameDecoder, _frame
+from .protocol import Hello, ProtocolError, encode_frame
+from .session import Session, SessionState
+
+__all__ = ["ServerConfig", "AnalysisServer"]
+
+_C_STARTED = _metrics.REGISTRY.counter(
+    "server.sessions_started", unit="sessions",
+    help="client attaches admitted (handshake completed)")
+_C_FINISHED = _metrics.REGISTRY.counter(
+    "server.sessions_finished", unit="sessions",
+    help="sessions that drained and finished their analysis cleanly")
+_C_FAILED = _metrics.REGISTRY.counter(
+    "server.sessions_failed", unit="sessions",
+    help="sessions that ended in failure (overload, lost connection, "
+         "analysis error, shutdown timeout)")
+_C_REJECTED = _metrics.REGISTRY.counter(
+    "server.sessions_rejected", unit="sessions",
+    help="attaches refused at the handshake (capacity, shutdown, bad hello)")
+_C_INGESTED = _metrics.REGISTRY.counter(
+    "server.events_ingested", unit="messages",
+    help="messages accepted off the wire across all sessions")
+_G_ACTIVE = _metrics.REGISTRY.gauge(
+    "server.active_sessions", unit="sessions",
+    help="sessions currently attached (max = concurrency high-water mark)")
+_H_SESSION_EVENTS = _metrics.REGISTRY.histogram(
+    "server.session_events", unit="messages",
+    help="per-session event count, observed when the session ends")
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Deployment knobs for :class:`AnalysisServer`.
+
+    Attributes:
+        host/port: listen address (port 0 = ephemeral, read back from
+            :attr:`AnalysisServer.port`).
+        max_sessions: admission bound on *concurrently attached* sessions;
+            the next attach is rejected with an explicit reason.
+        max_queued_events: per-session bound on events parked between the
+            reader thread and the worker pool.
+        workers: analysis worker threads (0 is legal and means nothing is
+            ever analyzed — useful only for backpressure tests).
+        batch: max events one worker services per scheduling turn; small
+            enough to interleave sessions fairly, large enough to amortize
+            the scheduling overhead.
+        overload_timeout: how long an ingest may block on a full queue
+            before the session is failed with an overload ``err`` frame.
+        drain_timeout: grace period for a draining session (end-of-stream
+            analysis) and for live sessions during shutdown.
+        io_timeout: per-connection socket timeout; a client silent for
+            this long (no data, no heartbeat) fails its session.
+        max_records: finished/failed session records kept for status
+            queries (oldest evicted first).
+        results_path: when set, every terminal session record is appended
+            to this JSONL file as it is sealed.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_sessions: int = 16
+    max_queued_events: int = 1024
+    workers: int = 2
+    batch: int = 64
+    overload_timeout: float = 2.0
+    drain_timeout: float = 30.0
+    io_timeout: float = 60.0
+    max_records: int = 256
+    results_path: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.max_sessions < 1:
+            raise ValueError("max_sessions must be >= 1")
+        if self.max_queued_events < 1:
+            raise ValueError("max_queued_events must be >= 1")
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0")
+        if self.batch < 1:
+            raise ValueError("batch must be >= 1")
+
+
+class _Overload(Exception):
+    """Internal: a session's ingest queue stayed full past the timeout."""
+
+
+class AnalysisServer:
+    """The daemon: accept loop + reader threads + analysis worker pool.
+
+    Args:
+        config: see :class:`ServerConfig`.
+        on_session_end: optional callback fired with each terminal session
+            record (the ``repro serve`` CLI prints these live).
+    """
+
+    def __init__(self, config: ServerConfig = ServerConfig(),
+                 on_session_end: Optional[Callable[[dict], None]] = None):
+        self.config = config
+        self._on_session_end = on_session_end
+        self._server: Optional[socket.socket] = None
+        self.host = config.host
+        self.port: Optional[int] = None
+        self._lock = threading.Lock()
+        self._sessions: dict[int, Session] = {}      # live (non-terminal)
+        self._records: list[dict] = []               # sealed, bounded
+        self._next_sid = 1
+        self._rejected = 0
+        self._draining = False
+        self._started_at = time.time()
+        self._tasks: "queue.Queue[Optional[Session]]" = queue.Queue()
+        self._threads: list[threading.Thread] = []
+        self._reader_threads: list[threading.Thread] = []
+        self._accept_thread: Optional[threading.Thread] = None
+        self._idle = threading.Condition(self._lock)
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> "AnalysisServer":
+        """Bind, start the accept loop and the worker pool."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._server = socket.create_server((self.config.host,
+                                             self.config.port))
+        self.host, self.port = self._server.getsockname()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-server-accept", daemon=True)
+        self._accept_thread.start()
+        for i in range(self.config.workers):
+            t = threading.Thread(target=self._worker_loop,
+                                 name=f"repro-server-worker-{i}", daemon=True)
+            t.start()
+            self._threads.append(t)
+        return self
+
+    def shutdown(self, drain: bool = True,
+                 timeout: Optional[float] = None) -> list[dict]:
+        """Stop accepting, drain live sessions, flush records, stop workers.
+
+        With ``drain`` (the default), live sessions get up to ``timeout``
+        (default: the config's ``drain_timeout``) to reach a terminal
+        state; stragglers are failed with reason ``server shutdown``.
+        Returns every session record the server holds, oldest first.
+        """
+        timeout = self.config.drain_timeout if timeout is None else timeout
+        with self._lock:
+            already = self._draining
+            self._draining = True
+        if not already and self._server is not None:
+            self._server.close()   # accept loop exits on the closed socket
+        if drain:
+            deadline = time.monotonic() + timeout
+            with self._lock:
+                live = list(self._sessions.values())
+            for s in live:
+                s.done.wait(max(0.0, deadline - time.monotonic()))
+        with self._lock:
+            live = list(self._sessions.values())
+        for s in live:
+            if s.fail("server shutdown"):
+                # tell the client why, then force its reader loop to end
+                conn = getattr(s, "conn", None)
+                if conn is not None:
+                    try:
+                        conn.sendall(encode_frame(
+                            {"t": "err", "reason": "server shutdown"}))
+                    except OSError:
+                        pass
+                    try:
+                        conn.shutdown(socket.SHUT_RDWR)
+                    except OSError:
+                        pass
+        # stop the pool: one poison pill per worker
+        for _ in self._threads:
+            self._tasks.put(None)
+        for t in self._threads:
+            t.join(timeout=5.0)
+        for t in list(self._reader_threads):
+            t.join(timeout=5.0)
+        announce = []
+        with self._lock:
+            for s in list(self._sessions.values()):
+                announce.append(self._seal_locked(s))
+            records = list(self._records)
+        for record in announce:
+            self._announce(record)
+        return records
+
+    def __enter__(self) -> "AnalysisServer":
+        return self.start() if self._server is None else self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # -- status ---------------------------------------------------------------
+
+    def status(self) -> dict:
+        """JSON-able health report: server gauges + every session record."""
+        with self._lock:
+            live = [s.record() for s in self._sessions.values()]
+            sealed = list(self._records)
+            active = len(self._sessions)
+            rejected = self._rejected
+        finished = sum(r["state"] == SessionState.FINISHED.value
+                       for r in sealed)
+        failed = sum(r["state"] == SessionState.FAILED.value for r in sealed)
+        doc = {
+            "t": "status",
+            "server": {
+                "version": _repro_version,
+                "host": self.host,
+                "port": self.port,
+                "uptime_s": round(time.time() - self._started_at, 3),
+                "active_sessions": active,
+                "max_sessions": self.config.max_sessions,
+                "workers": self.config.workers,
+                "draining": self._draining,
+                "finished": finished,
+                "failed": failed,
+                "rejected": rejected,
+            },
+            "sessions": sorted(sealed + live, key=lambda r: r["session"]),
+        }
+        if _metrics.ENABLED:
+            doc["metrics"] = _metrics.REGISTRY.snapshot()
+        return doc
+
+    def wait_idle(self, timeout: float = 10.0) -> bool:
+        """Block until no live session remains (for tests/benchmarks)."""
+        deadline = time.monotonic() + timeout
+        with self._idle:
+            while self._sessions:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._idle.wait(remaining)
+            return True
+
+    # -- accept / reader side -------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        assert self._server is not None
+        while True:
+            try:
+                conn, addr = self._server.accept()
+            except OSError:
+                return   # closed by shutdown
+            t = threading.Thread(
+                target=self._serve_connection, args=(conn, addr),
+                name=f"repro-server-conn-{addr[1]}", daemon=True)
+            self._reader_threads.append(t)
+            t.start()
+
+    def _serve_connection(self, conn: socket.socket, addr) -> None:
+        peer = f"{addr[0]}:{addr[1]}"
+        session: Optional[Session] = None
+        try:
+            conn.settimeout(self.config.io_timeout)
+            with conn, conn.makefile("r", encoding="utf-8") as reader:
+                line = reader.readline()
+                try:
+                    hello = Hello.from_frame(self._parse_hello_line(line))
+                except ProtocolError as exc:
+                    self._reject(conn, str(exc))
+                    return
+                if hello.mode == "status":
+                    conn.sendall(encode_frame(self.status()))
+                    return
+                session = self._admit(conn, hello, peer)
+                if session is None:
+                    return
+                self._stream(conn, reader, session)
+        except (OSError, ValueError) as exc:
+            if session is not None:
+                session.fail(f"connection lost: {exc!r}")
+        finally:
+            if session is not None:
+                self._retire(session)
+            try:
+                self._reader_threads.remove(threading.current_thread())
+            except ValueError:
+                pass
+
+    @staticmethod
+    def _parse_hello_line(line: str) -> dict:
+        if not line:
+            raise ProtocolError("connection closed before any handshake")
+        try:
+            d = json.loads(line)
+        except ValueError as exc:
+            raise ProtocolError(
+                f"handshake line is not valid JSON: {exc}") from exc
+        if not isinstance(d, dict):
+            raise ProtocolError("handshake frame must be a JSON object")
+        return d
+
+    def _reject(self, conn: socket.socket, reason: str) -> None:
+        with self._lock:
+            self._rejected += 1
+        if _metrics.ENABLED:
+            _C_REJECTED.inc()
+        try:
+            conn.sendall(encode_frame({"t": "reject", "reason": reason}))
+        except OSError:
+            pass
+
+    def _admit(self, conn: socket.socket, hello: Hello,
+               peer: str) -> Optional[Session]:
+        session: Optional[Session] = None
+        reason: Optional[str] = None
+        with self._lock:
+            if self._draining:
+                reason = "server is shutting down"
+            elif len(self._sessions) >= self.config.max_sessions:
+                reason = (f"server at capacity: {len(self._sessions)} of "
+                          f"{self.config.max_sessions} sessions in use")
+            else:
+                sid = self._next_sid
+                self._next_sid += 1
+                try:
+                    session = Session(
+                        sid, hello,
+                        max_queued=self.config.max_queued_events, peer=peer)
+                except Exception as exc:  # noqa: BLE001 - told to the client
+                    reason = f"session setup failed: {exc}"
+                else:
+                    self._sessions[sid] = session
+        if session is None:
+            self._reject(conn, reason or "rejected")
+            return None
+        session.conn = conn
+        sid = session.id
+        if _metrics.ENABLED:
+            _C_STARTED.inc()
+            _G_ACTIVE.add(1)
+            session.meter = _metrics.REGISTRY.counter(
+                "server.session.events", unit="messages",
+                help="events ingested by one session (labelled)",
+                labels={"session": sid})
+        conn.sendall(encode_frame({"t": "helloack", "session": sid}))
+        return session
+
+    def _stream(self, conn: socket.socket, reader,
+                session: Session) -> None:
+        """Post-handshake read loop: reliable frames in, acks out."""
+        meter = getattr(session, "meter", None)
+
+        def ingest(msg) -> None:
+            if not session.enqueue(msg, self.config.overload_timeout):
+                raise _Overload(
+                    f"session {session.id} overloaded: ingest queue held "
+                    f"{self.config.max_queued_events} events for more than "
+                    f"{self.config.overload_timeout}s"
+                    + ("" if session.error is None
+                       else f" ({session.error})"))
+            if _metrics.ENABLED:
+                _C_INGESTED.inc()
+                if meter is not None:
+                    meter.inc()
+            self._schedule(session)
+
+        decoder = FrameDecoder(send=conn.sendall, on_message=ingest)
+        try:
+            for line in reader:
+                frame = decoder.feed_line(line)
+                if frame is None:
+                    continue
+                if frame.get("t") == "fin" and decoder.complete:
+                    result_frame = self._finish_session(session)
+                    if result_frame is not None:
+                        conn.sendall(result_frame)
+                        conn.sendall(_frame({"t": "finack"}))
+                    # The close handshake is done; end the connection like
+                    # ReliableReceiver does (keeping it open would deadlock:
+                    # the client's socket close is deferred while its ack
+                    # reader still holds the makefile).
+                    return
+                # any other control frame mid-stream is ignored: the
+                # reliable sender only emits msg/hb/fin after the handshake
+        except _Overload as exc:
+            session.fail(str(exc))
+            try:
+                conn.sendall(encode_frame({"t": "err", "reason": str(exc)}))
+            except OSError:
+                pass
+
+    def _finish_session(self, session: Session) -> Optional[bytes]:
+        """End of stream: queue the fin, wait for the analysis to complete,
+        build the result frame."""
+        session.begin_drain()
+        self._schedule(session)
+        if self.config.workers == 0:
+            session.fail("no analysis workers configured")
+            return None
+        if not session.done.wait(self.config.drain_timeout):
+            session.fail(
+                f"drain timed out after {self.config.drain_timeout}s")
+            return None
+        record = session.record()
+        return encode_frame({
+            "t": "result",
+            "session": session.id,
+            "state": record["state"],
+            "violations": record["violations"],
+            "counterexamples": record["counterexamples"],
+            "sound": record["sound"],
+            "analyzed": record["analyzed"],
+            "error": record["error"],
+        })
+
+    def _retire(self, session: Session) -> None:
+        """Reader is done with the connection: ensure a terminal state and
+        move the session into the bounded record history."""
+        session.fail("connection closed mid-stream")   # no-op if terminal
+        with self._lock:
+            record = self._seal_locked(session)
+            self._idle.notify_all()
+        self._announce(record)
+
+    def _announce(self, record: Optional[dict]) -> None:
+        if record is not None and self._on_session_end is not None:
+            try:
+                self._on_session_end(record)
+            except Exception:  # noqa: BLE001 - callbacks must not kill readers
+                pass
+
+    def _seal_locked(self, session: Session) -> Optional[dict]:
+        if session.id not in self._sessions:
+            return None
+        del self._sessions[session.id]
+        record = session.seal()
+        self._records.append(record)
+        if _metrics.ENABLED:
+            _G_ACTIVE.add(-1)
+            _H_SESSION_EVENTS.observe(record["received"])
+            if record["state"] == SessionState.FINISHED.value:
+                _C_FINISHED.inc()
+            else:
+                _C_FAILED.inc()
+        while len(self._records) > self.config.max_records:
+            evicted = self._records.pop(0)
+            _metrics.REGISTRY.unregister(
+                "server.session.events", labels={"session": evicted["session"]})
+        if self.config.results_path:
+            try:
+                with open(self.config.results_path, "a",
+                          encoding="utf-8") as fh:
+                    fh.write(json.dumps(record, default=str) + "\n")
+            except OSError:
+                pass
+        return record
+
+    # -- worker pool ----------------------------------------------------------
+
+    def _schedule(self, session: Session) -> None:
+        """Put the session on the pool's run queue unless a worker already
+        holds it (exactly-one-worker-per-session invariant)."""
+        with self._lock:
+            if session.scheduled or not session.has_pending():
+                return
+            session.scheduled = True
+        self._tasks.put(session)
+
+    def _worker_loop(self) -> None:
+        while True:
+            session = self._tasks.get()
+            if session is None:
+                return
+            try:
+                session.process_batch(self.config.batch)
+            finally:
+                with self._lock:
+                    session.scheduled = False
+                self._schedule(session)

@@ -1,0 +1,172 @@
+"""Wire protocol of the multi-session analysis server.
+
+Everything rides the reliable transport's newline-delimited JSON framing
+(:mod:`repro.observer.reliable`): data frames (``msg``/``ack``/``hb``/
+``fin``/``finack``) are unchanged, and this module adds the *session*
+frames exchanged around them:
+
+============  =========  ====================================================
+frame         direction  meaning
+============  =========  ====================================================
+``hello``     C → S      first line on every connection: protocol version,
+                         mode (``attach`` or ``status``) and, for attaches,
+                         the session parameters (program name, thread count,
+                         initial shared store, optional spec)
+``helloack``  S → C      attach admitted; carries the assigned session id
+``reject``    S → C      attach refused (capacity, shutdown, bad hello);
+                         carries a human-readable reason — overload is an
+                         explicit answer, never a hang
+``err``       S → C      mid-stream failure (queue overload, analysis
+                         error); the client's reliable sender surfaces the
+                         reason as a :class:`ReliableTransportError`
+``result``    S → C      the session's final verdicts, sent after the
+                         server finishes the session's analysis and
+                         *before* the ``finack`` that completes the close
+                         handshake
+``status``    S → C      reply to a ``hello`` in status mode: one JSON line
+                         with server health and every session record
+============  =========  ====================================================
+
+The handshake is deliberately synchronous — one request line, one reply
+line — so the client can complete it before handing the socket to
+:class:`~repro.observer.reliable.ReliableSender`, whose ack-reader thread
+then owns the receive direction.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "Hello",
+    "encode_frame",
+    "read_frame_line",
+]
+
+#: Bumped on incompatible changes to the session frames; a server rejects
+#: hellos from a different major version with an explicit reason.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one handshake line — a hello carries a program name and
+#: an initial store, not a trace, so anything larger is a framing error.
+MAX_FRAME_BYTES = 1 << 20
+
+
+class ProtocolError(ValueError):
+    """A frame violates the session protocol (bad JSON, wrong shape,
+    incompatible version)."""
+
+
+def encode_frame(obj: dict) -> bytes:
+    """One wire line: compact JSON + newline."""
+    return (json.dumps(obj, separators=(",", ":")) + "\n").encode("utf-8")
+
+
+def read_frame_line(sock: socket.socket,
+                    max_bytes: int = MAX_FRAME_BYTES) -> dict:
+    """Read exactly one newline-terminated JSON frame from ``sock``.
+
+    Byte-at-a-time on purpose: the handshake is one line each way and must
+    not read ahead into the reliable stream that follows it (a buffered
+    reader would steal the first data frames).
+    """
+    buf = bytearray()
+    while True:
+        b = sock.recv(1)
+        if not b:
+            raise ProtocolError(
+                "connection closed mid-handshake "
+                f"(after {len(buf)} bytes, no newline)")
+        if b == b"\n":
+            break
+        buf += b
+        if len(buf) > max_bytes:
+            raise ProtocolError(f"handshake line exceeds {max_bytes} bytes")
+    try:
+        d = json.loads(buf.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"handshake line is not valid JSON: {exc}") from exc
+    if not isinstance(d, dict):
+        raise ProtocolError(f"handshake frame must be an object, got {d!r}")
+    return d
+
+
+@dataclass(frozen=True)
+class Hello:
+    """The client's opening frame, parsed and validated.
+
+    ``mode="attach"`` opens an analysis session; ``mode="status"`` asks for
+    one status line and closes.  ``initial`` must cover every variable the
+    spec mentions (checked server-side when the session's observer is
+    built, so a bad spec is a *reject with reason*, not a reader-thread
+    crash).
+    """
+
+    mode: str
+    program: str = "unknown"
+    n_threads: int = 0
+    initial: dict[str, Any] = field(default_factory=dict)
+    spec: Optional[str] = None
+    fault_tolerant: bool = False
+    version: int = PROTOCOL_VERSION
+
+    MODES = ("attach", "status")
+
+    def __post_init__(self) -> None:
+        if self.mode not in self.MODES:
+            raise ProtocolError(
+                f"unknown hello mode {self.mode!r} (expected one of "
+                f"{list(self.MODES)})")
+        if self.mode == "attach" and self.n_threads < 1:
+            raise ProtocolError(
+                f"attach hello needs n_threads >= 1, got {self.n_threads}")
+
+    def to_frame(self) -> dict:
+        d = {"t": "hello", "v": self.version, "mode": self.mode}
+        if self.mode == "attach":
+            d.update(program=self.program, n_threads=self.n_threads,
+                     initial=dict(self.initial), spec=self.spec,
+                     fault_tolerant=self.fault_tolerant)
+        return d
+
+    @classmethod
+    def from_frame(cls, d: dict) -> "Hello":
+        if d.get("t") != "hello":
+            raise ProtocolError(
+                f"expected a hello frame, got t={d.get('t')!r}")
+        version = d.get("v")
+        if version != PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"protocol version {version!r} not supported "
+                f"(this server speaks version {PROTOCOL_VERSION})")
+        mode = d.get("mode")
+        if not isinstance(mode, str):
+            raise ProtocolError("hello lacks a string 'mode' field")
+        if mode == "status":
+            return cls(mode="status", version=version)
+        n_threads = d.get("n_threads")
+        if not isinstance(n_threads, int):
+            raise ProtocolError("attach hello needs an integer n_threads")
+        initial = d.get("initial")
+        if not isinstance(initial, dict):
+            raise ProtocolError("attach hello needs an 'initial' object")
+        spec = d.get("spec")
+        if spec is not None and not isinstance(spec, str):
+            raise ProtocolError("hello 'spec' must be a string or null")
+        program = d.get("program", "unknown")
+        if not isinstance(program, str):
+            raise ProtocolError("hello 'program' must be a string")
+        return cls(
+            mode=mode,
+            program=program,
+            n_threads=n_threads,
+            initial=initial,
+            spec=spec,
+            fault_tolerant=bool(d.get("fault_tolerant", False)),
+            version=version,
+        )

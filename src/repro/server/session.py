@@ -1,0 +1,247 @@
+"""Sessions: one observed program inside the multi-session server.
+
+A session owns everything single-program about the pipeline — an
+:class:`~repro.observer.observer.Observer` (with its
+:class:`~repro.analysis.predictive.OnlinePredictor` when the client sent a
+spec) plus a bounded ingest queue between the connection's reader thread
+and the analysis worker pool.  Lifecycle::
+
+    HANDSHAKE ──▶ STREAMING ──▶ DRAINING ──▶ FINISHED
+                       │             │
+                       └─────────────┴─────▶ FAILED (overload, lost
+                                             connection, analysis error,
+                                             shutdown timeout)
+
+The reader thread *enqueues* (and blocks briefly when the queue is full —
+that unacked backlog is what backpressures the remote sender); a worker
+*drains* in batches and feeds the observer.  Exactly one worker services a
+session at a time (the pool's scheduled flag), so the observer only needs
+coarse thread safety, and per-session event order is the reliable
+transport's send order.
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from collections import deque
+from typing import Any, Optional
+
+from ..logic.monitor import Monitor
+from ..observer.observer import Observer
+from .protocol import Hello
+
+__all__ = ["SessionState", "Session"]
+
+#: Queue sentinel: end of stream, run ``Observer.finish`` next.
+_FIN = object()
+
+
+class SessionState(enum.Enum):
+    """Where a session is in its lifecycle."""
+
+    HANDSHAKE = "handshake"
+    STREAMING = "streaming"
+    DRAINING = "draining"
+    FINISHED = "finished"
+    FAILED = "failed"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (SessionState.FINISHED, SessionState.FAILED)
+
+
+class Session:
+    """One client's analysis run inside the server.
+
+    Args:
+        session_id: server-assigned id (monotone per server).
+        hello: the validated attach handshake.
+        max_queued: bound on events parked between reader and worker.
+        peer: remote address string, for the status report.
+
+    Construction builds the observer eagerly, so a spec whose variables are
+    absent from ``hello.initial`` raises here — the daemon turns that into
+    a handshake *reject* with the exception text as the reason.
+    """
+
+    def __init__(self, session_id: int, hello: Hello, max_queued: int = 1024,
+                 peer: str = ""):
+        if max_queued < 1:
+            raise ValueError("max_queued must be >= 1")
+        self.id = session_id
+        self.program = hello.program
+        self.spec = hello.spec
+        self.peer = peer
+        self.n_threads = hello.n_threads
+        self._monitor = Monitor(hello.spec) if hello.spec else None
+        self._variables = (sorted(self._monitor.variables)
+                           if self._monitor else [])
+        self.observer = Observer(
+            hello.n_threads,
+            hello.initial,
+            spec=self._monitor,
+            fault_tolerant=hello.fault_tolerant,
+            thread_safe=True,
+        )
+        self._max_queued = max_queued
+        self._queue: deque = deque()
+        self._cond = threading.Condition()
+        self._state = SessionState.STREAMING
+        self.error: Optional[str] = None
+        self.received = 0        # events accepted off the wire
+        self.analyzed = 0        # events fed to the observer
+        self.queue_high_water = 0
+        self.started_at = time.time()
+        self.finished_at: Optional[float] = None
+        self._t0 = time.monotonic()
+        self._elapsed: Optional[float] = None
+        self.done = threading.Event()
+        self._sealed: Optional[dict] = None
+        # daemon-owned plumbing: the connection socket, the optional
+        # labelled per-session counter, and the worker-pool scheduled flag
+        # (the latter guarded by the pool's lock, not ours)
+        self.conn = None
+        self.meter = None
+        self.scheduled = False
+
+    # -- state ----------------------------------------------------------------
+
+    @property
+    def state(self) -> SessionState:
+        return self._state
+
+    @property
+    def pending(self) -> int:
+        """Events parked between reader and worker right now."""
+        return len(self._queue)
+
+    def _enter_terminal(self, state: SessionState) -> None:
+        self._state = state
+        self.finished_at = time.time()
+        self._elapsed = time.monotonic() - self._t0
+        self.done.set()
+
+    def fail(self, reason: str) -> bool:
+        """Move to FAILED (idempotent; terminal states win).  Returns
+        whether this call performed the transition."""
+        with self._cond:
+            if self._state.terminal:
+                return False
+            self.error = reason
+            self._queue.clear()
+            self._enter_terminal(SessionState.FAILED)
+            self._cond.notify_all()
+            return True
+
+    # -- reader side ----------------------------------------------------------
+
+    def enqueue(self, msg: Any, timeout: float) -> bool:
+        """Park one message for the worker pool.
+
+        Blocks up to ``timeout`` while the queue is full — during that
+        window the reader is not acking, which is exactly the backpressure
+        signal the remote sender's bounded window responds to.  Returns
+        False if the queue is *still* full after the timeout (the caller
+        declares overload) or the session already left STREAMING.
+        """
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while (len(self._queue) >= self._max_queued
+                   and self._state is SessionState.STREAMING):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._cond.wait(remaining):
+                    if len(self._queue) >= self._max_queued:
+                        return False
+            if self._state is not SessionState.STREAMING:
+                return False
+            self._queue.append(msg)
+            self.received += 1
+            if len(self._queue) > self.queue_high_water:
+                self.queue_high_water = len(self._queue)
+            return True
+
+    def begin_drain(self) -> None:
+        """End of stream (fin seen, all frames delivered): no more
+        enqueues; the worker will run ``finish`` after the backlog."""
+        with self._cond:
+            if self._state is SessionState.STREAMING:
+                self._state = SessionState.DRAINING
+                self._queue.append(_FIN)
+                self._cond.notify_all()
+
+    # -- worker side ----------------------------------------------------------
+
+    def process_batch(self, max_batch: int = 64) -> bool:
+        """Drain up to ``max_batch`` queued events into the observer.
+
+        Runs on a worker-pool thread; never on the reader.  Returns whether
+        work remains queued.  Any exception out of the analysis marks the
+        session FAILED with the exception text.
+        """
+        for _ in range(max_batch):
+            with self._cond:
+                if self._state.terminal or not self._queue:
+                    return False
+                item = self._queue.popleft()
+                self._cond.notify_all()   # free queue space → reader resumes
+            try:
+                if item is _FIN:
+                    self.observer.finish()
+                    with self._cond:
+                        if not self._state.terminal:
+                            self._enter_terminal(SessionState.FINISHED)
+                    return False
+                self.observer.receive(item)
+                self.analyzed += 1
+            except Exception as exc:  # noqa: BLE001 - reported, not raised
+                self.fail(f"analysis error: {exc}")
+                return False
+        with self._cond:
+            return bool(self._queue) and not self._state.terminal
+
+    def has_pending(self) -> bool:
+        with self._cond:
+            return bool(self._queue) and not self._state.terminal
+
+    # -- results --------------------------------------------------------------
+
+    def violations_pretty(self) -> list[str]:
+        return [v.pretty(self._variables) for v in self.observer.violations]
+
+    def seal(self) -> dict:
+        """Freeze the final record and drop the observer (and its lattice
+        state) so a long-running server does not accumulate one analyzer
+        per finished session.  Only meaningful in a terminal state."""
+        if self._sealed is None:
+            self._sealed = self.record()
+            self.observer = None  # type: ignore[assignment]
+        return self._sealed
+
+    def record(self) -> dict:
+        """JSON-able status record — one line of ``repro sessions``."""
+        if self._sealed is not None:
+            return dict(self._sealed)
+        elapsed = (self._elapsed if self._elapsed is not None
+                   else time.monotonic() - self._t0)
+        health = self.observer.health
+        return {
+            "session": self.id,
+            "program": self.program,
+            "peer": self.peer,
+            "state": self._state.value,
+            "spec": self.spec,
+            "n_threads": self.n_threads,
+            "received": self.received,
+            "analyzed": self.analyzed,
+            "pending": self.pending,
+            "queue_high_water": self.queue_high_water,
+            "violations": len(self.observer.violations),
+            "counterexamples": self.violations_pretty(),
+            "sound": health.sound_everywhere,
+            "error": self.error,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "elapsed_s": round(elapsed, 6),
+        }

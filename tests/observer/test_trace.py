@@ -4,7 +4,13 @@ import json
 
 import pytest
 
-from repro.observer.trace import Trace, TraceWriter, read_trace, write_trace
+from repro.observer.trace import (
+    Trace,
+    TraceFormatError,
+    TraceWriter,
+    read_trace,
+    write_trace,
+)
 from repro.sched import FixedScheduler, run_program
 from repro.workloads import XYZ_OBSERVED_SCHEDULE, xyz_program
 
@@ -79,3 +85,66 @@ class TestValidation:
     def test_trace_dataclass_validation(self):
         with pytest.raises(ValueError):
             Trace(n_threads=0, initial={}, messages=[])
+
+
+class TestTraceFormatError:
+    """Malformed files raise TraceFormatError naming file and line."""
+
+    @staticmethod
+    def _good_header():
+        return json.dumps({"type": "header", "version": 1, "n_threads": 2,
+                           "initial": {"x": 0}}) + "\n"
+
+    def test_is_a_value_error(self):
+        assert issubclass(TraceFormatError, ValueError)
+
+    def test_header_not_json(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("not json at all\n")
+        with pytest.raises(TraceFormatError) as exc:
+            read_trace(path)
+        assert exc.value.lineno == 1
+        assert exc.value.path == str(path)
+        assert "not valid JSON" in exc.value.problem
+        assert str(path) + ":1:" in str(exc.value)
+
+    def test_bad_n_threads_type(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text(json.dumps({"type": "header", "version": 1,
+                                    "n_threads": "two", "initial": {}}) + "\n")
+        with pytest.raises(TraceFormatError, match="n_threads"):
+            read_trace(path)
+
+    def test_header_missing_initial(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text(json.dumps({"type": "header", "version": 1,
+                                    "n_threads": 2}) + "\n")
+        with pytest.raises(TraceFormatError, match="'initial'"):
+            read_trace(path)
+
+    def test_message_line_not_json(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text(self._good_header() + "{truncated\n")
+        with pytest.raises(TraceFormatError) as exc:
+            read_trace(path)
+        assert exc.value.lineno == 2
+
+    def test_message_line_missing_field(self, tmp_path, xyz_execution):
+        path = tmp_path / "t.trace"
+        good = json.loads(xyz_execution.messages[0].to_json())
+        del good["clock"]
+        path.write_text(self._good_header() + json.dumps(good) + "\n")
+        with pytest.raises(TraceFormatError) as exc:
+            read_trace(path)
+        assert exc.value.lineno == 2
+        assert "clock" in exc.value.problem
+
+    def test_line_number_counts_from_header(self, tmp_path, xyz_execution):
+        path = tmp_path / "t.trace"
+        lines = [self._good_header()]
+        lines += [m.to_json() + "\n" for m in xyz_execution.messages[:2]]
+        lines.append("broken\n")
+        path.write_text("".join(lines))
+        with pytest.raises(TraceFormatError) as exc:
+            read_trace(path)
+        assert exc.value.lineno == 4

@@ -1,0 +1,115 @@
+"""Soak: many simultaneous clients, verdicts identical to standalone.
+
+The acceptance bar for the server: with at least 8 clients streaming
+mixed workloads concurrently, every session finishes and its verdicts
+(count *and* counterexample text) match a standalone
+:class:`~repro.observer.observer.Observer` fed the same execution.
+"""
+
+import threading
+
+import pytest
+
+from repro.observer import Observer
+from repro.sched import RandomScheduler, run_program
+from repro.server import AnalysisServer, ServerConfig, attach
+from repro.workloads import (
+    AUDIT_PROPERTY,
+    LANDING_PROPERTY,
+    XYZ_PROPERTY,
+    landing_controller,
+    racy_counter,
+    transfer_program,
+    xyz_program,
+)
+
+_WORKLOADS = [
+    ("xyz", xyz_program, XYZ_PROPERTY, ("x", "y", "z")),
+    ("landing", landing_controller, LANDING_PROPERTY,
+     ("landing", "approved", "radio")),
+    ("bank", transfer_program, AUDIT_PROPERTY, ("a", "b", "audited")),
+    ("counter", lambda: racy_counter(2, 1), "c >= 0", ("c",)),
+]
+
+
+def _make_run(name, factory, spec, variables, seed):
+    execution = run_program(factory(), RandomScheduler(seed))
+    initial = {v: execution.initial_store[v] for v in variables}
+    observer = Observer(execution.n_threads, initial, spec=spec)
+    for m in execution.messages:
+        observer.receive(m)
+    observer.finish()
+    # the server prints counterexamples over sorted(spec variables)
+    expected = sorted(v.pretty(tuple(sorted(variables)))
+                      for v in observer.violations)
+    return execution, initial, expected
+
+
+class TestSoak:
+    @pytest.mark.parametrize("n_clients", [8])
+    def test_concurrent_clients_match_standalone(self, n_clients):
+        runs = []
+        for i in range(n_clients):
+            name, factory, spec, variables = _WORKLOADS[i % len(_WORKLOADS)]
+            runs.append((name, spec,
+                         *_make_run(name, factory, spec, variables, seed=i)))
+
+        config = ServerConfig(port=0, workers=3, max_sessions=n_clients,
+                              max_queued_events=64)
+        results = [None] * n_clients
+        errors = [None] * n_clients
+        barrier = threading.Barrier(n_clients)
+
+        with AnalysisServer(config) as srv:
+            def client(i):
+                name, spec, execution, initial, _ = runs[i]
+                try:
+                    session = attach(srv.host, srv.port,
+                                     n_threads=execution.n_threads,
+                                     initial=initial, spec=spec, program=name)
+                    barrier.wait(timeout=30)   # all sessions live at once
+                    for m in execution.messages:
+                        session.send(m)
+                    results[i] = session.close(timeout=60)
+                except Exception as exc:  # noqa: BLE001 - reported by assert
+                    errors[i] = exc
+
+            threads = [threading.Thread(target=client, args=(i,))
+                       for i in range(n_clients)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120)
+            assert not any(t.is_alive() for t in threads)
+
+        assert errors == [None] * n_clients
+        for i, verdict in enumerate(results):
+            name, spec, execution, initial, expected = runs[i]
+            assert verdict is not None, f"client {i} ({name}) got no verdict"
+            assert verdict.state == "finished", (name, verdict)
+            assert verdict.analyzed == len(execution.messages), (name, verdict)
+            assert verdict.sound, (name, verdict)
+            assert sorted(verdict.counterexamples) == expected, (
+                f"client {i} ({name}): server verdicts diverge from the "
+                f"standalone observer")
+
+    def test_sessions_overlap_for_real(self):
+        """The registry actually holds 8 concurrent sessions (the soak
+        above could in principle pass with serialized attaches)."""
+        n = 8
+        config = ServerConfig(port=0, workers=2, max_sessions=n)
+        with AnalysisServer(config) as srv:
+            name, factory, spec, variables = _WORKLOADS[0]
+            execution, initial, _ = _make_run(name, factory, spec, variables,
+                                              seed=1)
+            sessions = [attach(srv.host, srv.port,
+                               n_threads=execution.n_threads,
+                               initial=initial, spec=spec, program=name)
+                        for _ in range(n)]
+            with srv._lock:
+                live = len(srv._sessions)
+            assert live == n
+            for s in sessions:
+                for m in execution.messages:
+                    s.send(m)
+                assert s.close().state == "finished"

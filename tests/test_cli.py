@@ -250,3 +250,64 @@ class TestStats:
         run_cli("stats", "landing")
         assert not metrics.ENABLED
         assert not tracing.ENABLED
+
+
+class TestServerCommands:
+    @pytest.fixture
+    def server(self):
+        from repro.server import AnalysisServer, ServerConfig
+
+        with AnalysisServer(ServerConfig(port=0, workers=2)) as srv:
+            yield srv
+
+    def test_attach_streams_and_predicts(self, server):
+        code, out = run_cli("attach", "xyz", "--port", str(server.port))
+        assert code == 1
+        assert "attached to" in out
+        assert "state: finished" in out
+        assert "violations (observed or predicted): 1" in out
+        assert "counterexample" in out
+
+    def test_attach_clean_spec_exits_zero(self, server):
+        code, out = run_cli("attach", "xyz", "--port", str(server.port),
+                            "--spec", "x >= -1")
+        assert code == 0
+
+    def test_attach_connection_refused_exits_two(self):
+        # a freshly closed ephemeral port: nothing listens there
+        import socket
+
+        probe = socket.create_server(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        code, out = run_cli("attach", "xyz", "--port", str(port))
+        assert code == 2
+        assert "error" in out
+
+    def test_sessions_table(self, server):
+        run_cli("attach", "landing", "--port", str(server.port))
+        assert server.wait_idle(timeout=10.0)
+        code, out = run_cli("sessions", "--port", str(server.port))
+        assert code == 0
+        assert "1 finished" in out
+        assert "landing" in out
+
+    def test_sessions_json(self, server):
+        import json
+
+        run_cli("attach", "xyz", "--port", str(server.port))
+        assert server.wait_idle(timeout=10.0)
+        code, out = run_cli("sessions", "--port", str(server.port), "--json")
+        assert code == 0
+        doc = json.loads(out[out.index("{"):])
+        assert doc["t"] == "status"
+        assert doc["sessions"][0]["program"] == "xyz"
+
+    def test_sessions_no_server_exits_two(self):
+        import socket
+
+        probe = socket.create_server(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        code, out = run_cli("sessions", "--port", str(port))
+        assert code == 2
