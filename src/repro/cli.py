@@ -22,7 +22,11 @@ original tool:
 * ``attach``  — run a workload as a client of a running server, streaming
   its events over the reliable transport;
 * ``sessions`` — query a running server's status endpoint: per-session
-  health, verdicts and metrics.
+  health, verdicts and metrics;
+* ``lint``    — static shared-state soundness lint over Python/MiniLang
+  sources: reports accesses the instrumentor would miss (aliases,
+  closures, un-instrumented helpers, …) with stable SC-codes, plus
+  spec-relevance findings with ``--spec``.
 
 Examples::
 
@@ -38,6 +42,7 @@ Examples::
     python -m repro serve --port 4040 --max-sessions 8
     python -m repro attach xyz --port 4040
     python -m repro sessions --port 4040
+    python -m repro lint src/repro/workloads examples --json
 """
 
 from __future__ import annotations
@@ -479,6 +484,33 @@ def cmd_sessions(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    """Static shared-state soundness lint + spec-relevance report."""
+    import json as _json
+
+    from .staticcheck import lint_paths
+
+    try:
+        report = lint_paths(args.paths, spec=args.spec)
+    except OSError as exc:
+        out(f"error: {exc}")
+        return 2
+    if args.json or args.json_out:
+        doc = _json.dumps(report.to_json(), indent=2)
+        if args.json_out:
+            with open(args.json_out, "w", encoding="utf-8") as fh:
+                fh.write(doc + "\n")
+        if args.json:
+            out(doc)
+    if not args.json:
+        out(report.pretty())
+    if not report.ok:
+        return 1
+    if args.fail_on_warn and report.warnings:
+        return 1
+    return 0
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -593,6 +625,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="dump the raw status document as JSON")
     p.set_defaults(fn=cmd_sessions)
+
+    p = sub.add_parser(
+        "lint",
+        help="static shared-state soundness lint (see docs/STATIC.md)")
+    p.add_argument("paths", nargs="+",
+                   help="Python/MiniLang files or directories to analyze")
+    p.add_argument("--spec", default=None,
+                   help="specification for spec-relevance (SC113/SC203) "
+                        "findings")
+    p.add_argument("--json", action="store_true",
+                   help="emit the JSON report document instead of text")
+    p.add_argument("--json-out", default=None, metavar="FILE",
+                   help="also write the JSON report document to FILE")
+    p.add_argument("--fail-on-warn", action="store_true",
+                   help="exit 1 on WARN findings too (default: only ERROR)")
+    p.set_defaults(fn=cmd_lint)
 
     p = sub.add_parser("run", help="compile and analyze a MiniLang file")
     p.add_argument("source", help="MiniLang source file")

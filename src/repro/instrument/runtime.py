@@ -17,7 +17,7 @@ mentions in §2.
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable, Mapping, Optional
+from typing import Any, Callable, Iterable, Mapping, Optional
 
 from ..core.algorithm_a import AlgorithmA, RelevancePredicate
 from ..core.events import Event, EventKind, Message, VarName
@@ -35,6 +35,11 @@ class InstrumentedRuntime:
         relevance: Algorithm A's relevance predicate (default: every write).
         sink: callable receiving emitted messages (e.g. an
             :class:`~repro.observer.observer.Observer` or a socket sender).
+        relevant_only: spec-relevance slicing — accesses to shared data
+            variables *outside* this set update the store but generate no
+            events at all (neither Algorithm A processing nor the event
+            log).  Synchronization events are always recorded.  Compute
+            the set with :func:`repro.staticcheck.slice_python_functions`.
         max_threads: preallocated MVC width; indices grow dynamically
             beyond it.
     """
@@ -45,9 +50,12 @@ class InstrumentedRuntime:
         relevance: Optional[RelevancePredicate] = None,
         sink: Optional[Callable[[Message], None]] = None,
         sync_only_clocks: bool = False,
+        relevant_only: Optional[Iterable[VarName]] = None,
         max_threads: int = 4,
     ):
         self._store: dict[VarName, Any] = dict(initial)
+        self._relevant_only: Optional[frozenset[VarName]] = (
+            frozenset(relevant_only) if relevant_only is not None else None)
         self._lock = threading.RLock()
         self._algo = AlgorithmA(
             max_threads,
@@ -105,10 +113,16 @@ class InstrumentedRuntime:
             self._store[var] = value
             self.initial_store[var] = value
 
+    def _sliced_out(self, var: VarName) -> bool:
+        return (self._relevant_only is not None
+                and var not in self._relevant_only)
+
     def read(self, var: VarName) -> Any:
         with self._lock:
             if var not in self._store:
                 raise KeyError(f"undeclared shared variable {var!r}")
+            if self._sliced_out(var):
+                return self._store[var]
             value = self._store[var]
             self._record(EventKind.READ, var, value)
             return value
@@ -118,8 +132,25 @@ class InstrumentedRuntime:
             if var not in self._store:
                 raise KeyError(f"undeclared shared variable {var!r}")
             self._store[var] = value
-            self._record(EventKind.WRITE, var, value,
-                         label=label or f"{var}={value!r}")
+            if not self._sliced_out(var):
+                self._record(EventKind.WRITE, var, value,
+                             label=label or f"{var}={value!r}")
+            return value
+
+    def read_quiet(self, var: VarName) -> Any:
+        """Store read with no event — the sliced-out access path.  The
+        rewriter emits this for shared names outside ``relevant_only``."""
+        with self._lock:
+            if var not in self._store:
+                raise KeyError(f"undeclared shared variable {var!r}")
+            return self._store[var]
+
+    def write_quiet(self, var: VarName, value: Any) -> Any:
+        """Store write with no event — the sliced-out access path."""
+        with self._lock:
+            if var not in self._store:
+                raise KeyError(f"undeclared shared variable {var!r}")
+            self._store[var] = value
             return value
 
     def update(self, var: VarName, fn: Callable[[Any], Any]) -> Any:
@@ -221,6 +252,11 @@ class InstrumentedRuntime:
     @property
     def algorithm(self) -> AlgorithmA:
         return self._algo
+
+    @property
+    def relevant_only(self) -> Optional[frozenset[VarName]]:
+        """The active slicing set, or None when every access is recorded."""
+        return self._relevant_only
 
 
 class _InstrumentedLock:

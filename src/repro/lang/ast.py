@@ -33,7 +33,7 @@ operations, ``skip`` to an internal event.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional
 
 __all__ = [
@@ -75,9 +75,16 @@ class Num(Expr):
 
 @dataclass(frozen=True)
 class Name(Expr):
-    """A variable reference; shared vs local is resolved at compile time."""
+    """A variable reference; shared vs local is resolved at compile time.
+
+    ``line``/``col`` are source spans (1-based) recorded by the parser;
+    they are excluded from equality so structural AST comparisons ignore
+    where a node came from.
+    """
 
     ident: str
+    line: Optional[int] = field(default=None, compare=False, repr=False)
+    col: Optional[int] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -104,6 +111,8 @@ class Stmt:
 class Assign(Stmt):
     target: str
     value: Expr
+    line: Optional[int] = field(default=None, compare=False, repr=False)
+    col: Optional[int] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -112,6 +121,8 @@ class LocalDecl(Stmt):
 
     name: str
     value: Expr
+    line: Optional[int] = field(default=None, compare=False, repr=False)
+    col: Optional[int] = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)

@@ -78,13 +78,21 @@ _ARITH = {
 }
 
 
-def compile_source(text: str, name: str = "minilang") -> Program:
+def compile_source(text: str, name: str = "minilang",
+                   filename: str | None = None) -> Program:
     """Parse and compile MiniLang source into a runnable
-    :class:`~repro.sched.program.Program`."""
-    return compile_program(parse_source(text), name=name)
+    :class:`~repro.sched.program.Program`.
+
+    ``filename`` flows into every :class:`MiniLangError` span, giving the
+    compiler's static checks the same ``file:line:col`` diagnostics as the
+    parser and ``repro lint``.
+    """
+    return compile_program(parse_source(text, filename=filename), name=name,
+                           filename=filename)
 
 
-def compile_program(ast: ProgramAst, name: str = "minilang") -> Program:
+def compile_program(ast: ProgramAst, name: str = "minilang",
+                    filename: str | None = None) -> Program:
     """Compile a parsed MiniLang program.
 
     ``worker`` templates are not auto-started; ``spawn``/``join`` statements
@@ -93,7 +101,7 @@ def compile_program(ast: ProgramAst, name: str = "minilang") -> Program:
     shared = frozenset(ast.shared_names())
     templates = {th.name: th for th in ast.threads if th.template}
     for thread in ast.threads:
-        _check_thread(thread, shared, templates)
+        _check_thread(thread, shared, templates, filename=filename)
     bodies = [
         _make_body(thread, shared, templates)
         for thread in ast.threads
@@ -114,17 +122,23 @@ def _check_thread(
     thread: ThreadDef,
     shared: frozenset[str],
     templates: dict[str, ThreadDef] | None = None,
+    filename: str | None = None,
 ) -> None:
     templates = templates or {}
     locals_seen: set[str] = set()
+
+    def fail(node: object, message: str) -> None:
+        raise MiniLangError(
+            getattr(node, "line", None) or 0, message,
+            col=getattr(node, "col", None), filename=filename)
 
     def check_expr(e: Expr) -> None:
         if isinstance(e, Num):
             return
         if isinstance(e, Name):
             if e.ident not in shared and e.ident not in locals_seen:
-                raise MiniLangError(
-                    0,
+                fail(
+                    e,
                     f"thread {thread.name!r}: undefined variable {e.ident!r} "
                     f"(declare it 'shared int' or 'local int')",
                 )
@@ -142,23 +156,21 @@ def _check_thread(
         if isinstance(s, Assign):
             check_expr(s.value)
             if s.target not in shared and s.target not in locals_seen:
-                raise MiniLangError(
-                    0,
+                fail(
+                    s,
                     f"thread {thread.name!r}: assignment to undeclared "
                     f"variable {s.target!r}",
                 )
         elif isinstance(s, LocalDecl):
             check_expr(s.value)
             if s.name in shared:
-                raise MiniLangError(
-                    0,
+                fail(
+                    s,
                     f"thread {thread.name!r}: local {s.name!r} shadows a "
                     f"shared variable",
                 )
             if s.name in locals_seen:
-                raise MiniLangError(
-                    0, f"thread {thread.name!r}: duplicate local {s.name!r}"
-                )
+                fail(s, f"thread {thread.name!r}: duplicate local {s.name!r}")
             locals_seen.add(s.name)
         elif isinstance(s, If):
             check_expr(s.cond)
@@ -170,8 +182,8 @@ def _check_thread(
             check_block(s.body)
         elif isinstance(s, (SpawnStmt, JoinStmt)):
             if s.template not in templates:
-                raise MiniLangError(
-                    0,
+                fail(
+                    s,
                     f"thread {thread.name!r}: no worker template named "
                     f"{s.template!r}",
                 )

@@ -54,11 +54,35 @@ __all__ = ["parse_source", "MiniLangError"]
 
 
 class MiniLangError(ValueError):
-    """Syntax or semantic error in MiniLang source, with line information."""
+    """Syntax or semantic error in MiniLang source, with span information.
 
-    def __init__(self, line: int, message: str):
-        self.line = line
-        super().__init__(f"line {line}: {message}")
+    When a ``filename`` is known the rendered message uses the repository's
+    one true span format — ``file:line:col: message`` — matching
+    :class:`~repro.observer.trace.TraceFormatError` and the
+    ``repro.staticcheck`` diagnostics.  Without a filename it degrades to
+    ``line N[:col]: message`` (or the bare message when no line is known,
+    as in some semantic checks).
+    """
+
+    def __init__(self, line: int, message: str, *,
+                 col: Optional[int] = None,
+                 filename: Optional[str] = None):
+        self.line = line or 0
+        self.col = col
+        self.filename = filename
+        self.problem = message
+        if filename:
+            super().__init__(f"{filename}:{line or 1}:{col or 1}: {message}")
+        elif line and col:
+            super().__init__(f"line {line}:{col}: {message}")
+        elif line:
+            super().__init__(f"line {line}: {message}")
+        else:
+            super().__init__(message)
+
+    @property
+    def span(self) -> str:
+        return f"{self.filename or '<minilang>'}:{self.line or 1}:{self.col or 1}"
 
 
 _TOKEN_RE = re.compile(
@@ -78,25 +102,37 @@ _KEYWORDS = frozenset({
 })
 
 
+#: A lexed token: (kind, value, line, col) — line and col are 1-based.
+Token = tuple[str, str, int, int]
+
+
 class _Tokens:
-    def __init__(self, text: str):
-        self.items: list[tuple[str, str, int]] = []  # (kind, value, line)
+    def __init__(self, text: str, filename: Optional[str] = None):
+        self.filename = filename
+        self.items: list[Token] = []
         pos = 0
         line = 1
+        line_start = 0  # offset of the first character of the current line
         while pos < len(text):
             m = _TOKEN_RE.match(text, pos)
             if m is None:
-                raise MiniLangError(line, f"unexpected character {text[pos]!r}")
+                raise MiniLangError(
+                    line, f"unexpected character {text[pos]!r}",
+                    col=pos - line_start + 1, filename=filename)
             kind = m.lastgroup
             value = m.group()
-            line += value.count("\n")
+            col = pos - line_start + 1
+            newlines = value.count("\n")
+            if newlines:
+                line += newlines
+                line_start = pos + value.rindex("\n") + 1
             pos = m.end()
             if kind in ("ws", "comment"):
                 continue
-            self.items.append((kind, value, line))
+            self.items.append((kind, value, line, col))
         self.i = 0
 
-    def peek(self) -> Optional[tuple[str, str, int]]:
+    def peek(self) -> Optional[Token]:
         return self.items[self.i] if self.i < len(self.items) else None
 
     @property
@@ -104,10 +140,21 @@ class _Tokens:
         tok = self.peek()
         return tok[2] if tok else (self.items[-1][2] if self.items else 1)
 
-    def next(self) -> tuple[str, str, int]:
+    @property
+    def col(self) -> int:
+        tok = self.peek()
+        return tok[3] if tok else (self.items[-1][3] if self.items else 1)
+
+    def fail(self, message: str,
+             line: Optional[int] = None, col: Optional[int] = None):
+        raise MiniLangError(line if line is not None else self.line, message,
+                            col=col if col is not None else self.col,
+                            filename=self.filename)
+
+    def next(self) -> Token:
         tok = self.peek()
         if tok is None:
-            raise MiniLangError(self.line, "unexpected end of input")
+            self.fail("unexpected end of input")
         self.i += 1
         return tok
 
@@ -122,23 +169,25 @@ class _Tokens:
         tok = self.peek()
         if tok is None or tok[1] != value:
             found = tok[1] if tok else "end of input"
-            raise MiniLangError(
-                self.line, f"expected {what or value!r}, found {found!r}"
-            )
+            self.fail(f"expected {what or value!r}, found {found!r}")
         self.i += 1
 
     def ident(self, what: str = "identifier") -> str:
         tok = self.peek()
         if tok is None or tok[0] != "name" or tok[1] in _KEYWORDS:
             found = tok[1] if tok else "end of input"
-            raise MiniLangError(self.line, f"expected {what}, found {found!r}")
+            self.fail(f"expected {what}, found {found!r}")
         self.i += 1
         return tok[1]
 
 
-def parse_source(text: str) -> ProgramAst:
-    """Parse MiniLang source into a :class:`ProgramAst`."""
-    t = _Tokens(text)
+def parse_source(text: str, filename: Optional[str] = None) -> ProgramAst:
+    """Parse MiniLang source into a :class:`ProgramAst`.
+
+    ``filename``, when given, is carried into every :class:`MiniLangError`
+    so messages render as ``file:line:col: problem``.
+    """
+    t = _Tokens(text, filename=filename)
     shared: list[SharedDecl] = []
     threads: list[ThreadDef] = []
     while t.peek() is not None:
@@ -148,18 +197,16 @@ def parse_source(text: str) -> ProgramAst:
         elif tok[1] in ("thread", "worker"):
             threads.append(_thread_def(t))
         else:
-            raise MiniLangError(
-                t.line,
-                f"expected 'shared', 'thread' or 'worker', found {tok[1]!r}",
-            )
+            t.fail(
+                f"expected 'shared', 'thread' or 'worker', found {tok[1]!r}")
     if not any(not th.template for th in threads):
-        raise MiniLangError(t.line, "program declares no (non-template) threads")
+        t.fail("program declares no (non-template) threads")
     ast = ProgramAst(shared=tuple(shared), threads=tuple(threads))
     names = ast.shared_names()
     if len(names) != len(set(names)):
-        raise MiniLangError(1, "duplicate shared variable declaration")
+        t.fail("duplicate shared variable declaration", line=1, col=1)
     if len({th.name for th in threads}) != len(threads):
-        raise MiniLangError(1, "duplicate thread name")
+        t.fail("duplicate thread name", line=1, col=1)
     return ast
 
 
@@ -174,7 +221,8 @@ def _shared_decl(t: _Tokens) -> SharedDecl:
         neg = t.accept("-")
         tok = t.next()
         if tok[0] != "num":
-            raise MiniLangError(t.line, f"expected integer initializer, found {tok[1]!r}")
+            t.fail(f"expected integer initializer, found {tok[1]!r}",
+                   line=tok[2], col=tok[3])
         values.append(-int(tok[1]) if neg else int(tok[1]))
         if not t.accept(","):
             break
@@ -194,7 +242,7 @@ def _block(t: _Tokens) -> Block:
     stmts: list[Stmt] = []
     while not t.accept("}"):
         if t.peek() is None:
-            raise MiniLangError(t.line, "unterminated block ('}' missing)")
+            t.fail("unterminated block ('}' missing)")
         stmts.append(_stmt(t))
     return Block(statements=tuple(stmts))
 
@@ -213,7 +261,7 @@ def _stmt(t: _Tokens) -> Stmt:
         t.expect("=", "'=' with an initializer")
         value = _expr(t)
         t.expect(";")
-        return LocalDecl(name=name, value=value)
+        return LocalDecl(name=name, value=value, line=tok[2], col=tok[3])
     if tok[1] == "if":
         t.next()
         t.expect("(")
@@ -247,7 +295,7 @@ def _stmt(t: _Tokens) -> Stmt:
     t.expect("=", "'=' (assignment)")
     value = _expr(t)
     t.expect(";")
-    return Assign(target=target, value=value)
+    return Assign(target=target, value=value, line=tok[2], col=tok[3])
 
 
 # -- expressions --------------------------------------------------------------
@@ -311,7 +359,7 @@ def _term(t: _Tokens):
 def _factor(t: _Tokens):
     tok = t.peek()
     if tok is None:
-        raise MiniLangError(t.line, "expected an expression")
+        t.fail("expected an expression")
     if tok[1] == "-":
         t.next()
         return Unary("-", _factor(t))
@@ -323,10 +371,11 @@ def _factor(t: _Tokens):
         return Num(int(tok[1]))
     if tok[0] == "name" and tok[1] not in _KEYWORDS:
         t.next()
-        return Name(tok[1])
+        return Name(tok[1], line=tok[2], col=tok[3])
     if tok[1] == "(":
         t.next()
         e = _expr(t)
         t.expect(")")
         return e
-    raise MiniLangError(t.line, f"expected an expression, found {tok[1]!r}")
+    t.fail(f"expected an expression, found {tok[1]!r}",
+           line=tok[2], col=tok[3])

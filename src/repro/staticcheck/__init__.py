@@ -1,0 +1,64 @@
+"""Static shared-state analysis for instrumented programs.
+
+Two cooperating passes over program source, run *before* execution:
+
+* **Soundness lint** (:mod:`.soundness`) — escape analysis over every
+  function reachable from the instrumented entry points, reporting
+  shared-state accesses the AST rewriter would miss or miscompile
+  (aliases, closures, attribute mutation, un-instrumented helpers, …)
+  as :class:`~repro.staticcheck.diagnostics.Diagnostic` findings with
+  stable SC-codes and ``file:line:col`` spans.
+* **Spec-relevance slicer** (:mod:`.slicer`) — computes the
+  transitively-closed set of variables that can influence the
+  specification (JMPaX §4.1's "extract the shared variables from the
+  spec"), feeding the ``relevant_only=`` instrumentation mode.
+
+``repro lint`` is the CLI front door; docs/STATIC.md holds the
+diagnostic catalogue.
+"""
+
+from .diagnostics import (
+    CATALOGUE,
+    Diagnostic,
+    DiagnosticSpec,
+    JSON_SCHEMA_VERSION,
+    LintReport,
+    Severity,
+)
+from .slicer import (
+    SliceResult,
+    close_slice,
+    minilang_flows,
+    python_flows,
+    slice_minilang,
+    slice_python_functions,
+    spec_variables,
+)
+from .soundness import (
+    lint_function,
+    lint_minilang_source,
+    lint_path,
+    lint_paths,
+    lint_python_source,
+)
+
+__all__ = [
+    "CATALOGUE",
+    "Diagnostic",
+    "DiagnosticSpec",
+    "JSON_SCHEMA_VERSION",
+    "LintReport",
+    "Severity",
+    "SliceResult",
+    "close_slice",
+    "minilang_flows",
+    "python_flows",
+    "slice_minilang",
+    "slice_python_functions",
+    "spec_variables",
+    "lint_function",
+    "lint_minilang_source",
+    "lint_path",
+    "lint_paths",
+    "lint_python_source",
+]

@@ -1,0 +1,246 @@
+"""Diagnostic model for the static shared-state soundness checker.
+
+Every finding is a :class:`Diagnostic` with a stable code from the
+:data:`CATALOGUE`, an ERROR/WARN severity, and a ``file:line:col`` span —
+the same span format :class:`~repro.observer.trace.TraceFormatError` and
+:class:`~repro.lang.parser.MiniLangError` use, so every tool in the
+repository points at source the same way.
+
+Severity semantics (docs/STATIC.md has the full catalogue with repros):
+
+* **ERROR** — the AST rewriter would *miss or miscompile* a shared-state
+  access: the resulting event stream is unsound and Algorithm A's causal
+  order can no longer be trusted for this program.
+* **WARN** — the construct is instrumented correctly today but is fragile
+  (escaping closures, values handed to opaque callees) or wasteful
+  (instrumenting variables the specification never mentions).
+
+The JSON shape emitted by :meth:`LintReport.to_json` is a stable contract
+(``version`` is bumped on any incompatible change); CI publishes it as an
+artifact and tests pin the schema.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+__all__ = [
+    "Severity",
+    "Diagnostic",
+    "DiagnosticSpec",
+    "CATALOGUE",
+    "LintReport",
+    "JSON_SCHEMA_VERSION",
+]
+
+#: Bumped whenever the ``repro lint --json`` document shape changes
+#: incompatibly.  Consumers should reject versions they do not know.
+JSON_SCHEMA_VERSION = 1
+
+
+class Severity(enum.Enum):
+    ERROR = "error"
+    WARN = "warn"
+
+    def __str__(self) -> str:  # pragma: no cover - display sugar
+        return self.value
+
+
+@dataclass(frozen=True)
+class DiagnosticSpec:
+    """Catalogue entry: the invariant part of every diagnostic with a code."""
+
+    code: str
+    severity: Severity
+    title: str
+    summary: str
+
+
+#: The diagnostic catalogue.  Codes are stable API: tests, CI filters and
+#: the fixture-corpus manifest all reference them, so existing codes are
+#: never renumbered (retired codes are left reserved).
+#:
+#: SC1xx — Python functions registered with the AST instrumentor.
+#: SC2xx — MiniLang sources.
+CATALOGUE: dict[str, DiagnosticSpec] = {
+    spec.code: spec
+    for spec in [
+        DiagnosticSpec(
+            "SC101", Severity.ERROR, "shared-alias",
+            "a shared name is copied into a plain local alias; accesses "
+            "through the alias bypass the runtime and emit no events"),
+        DiagnosticSpec(
+            "SC102", Severity.ERROR, "shared-mutation",
+            "attribute/subscript store or mutating method call through a "
+            "shared binding; the mutation produces no WRITE event"),
+        DiagnosticSpec(
+            "SC103", Severity.WARN, "closure-capture",
+            "a lambda or nested def captures a shared name; accesses are "
+            "instrumented but execute on whatever thread later calls the "
+            "closure, which can misattribute events"),
+        DiagnosticSpec(
+            "SC104", Severity.ERROR, "default-arg-read",
+            "a shared name appears in the instrumented function's own "
+            "parameter defaults, which evaluate at definition time, "
+            "outside the monitored execution"),
+        DiagnosticSpec(
+            "SC105", Severity.ERROR, "comprehension-shadow",
+            "a comprehension target rebinds a shared name; reads inside "
+            "the comprehension silently switch to the loop variable"),
+        DiagnosticSpec(
+            "SC106", Severity.ERROR, "helper-escape",
+            "call into an un-instrumented helper whose body (transitively) "
+            "touches shared names; those accesses emit no events"),
+        DiagnosticSpec(
+            "SC107", Severity.ERROR, "global-decl",
+            "'global'/'nonlocal' declaration of a shared name; shared "
+            "variables live in the runtime, not module globals"),
+        DiagnosticSpec(
+            "SC108", Severity.ERROR, "param-shadow",
+            "a function or lambda parameter rebinds a shared name; reads "
+            "of the parameter would be miscompiled into runtime reads"),
+        DiagnosticSpec(
+            "SC109", Severity.WARN, "binding-shadow",
+            "a with/except/import binding rebinds a shared name, shadowing "
+            "it for the rest of the scope"),
+        DiagnosticSpec(
+            "SC110", Severity.ERROR, "del-shared",
+            "'del' of a shared name; shared variables cannot be unbound"),
+        DiagnosticSpec(
+            "SC111", Severity.ERROR, "destructuring-write",
+            "tuple/starred/for-target/walrus write to a shared name, a "
+            "pattern the rewriter does not instrument"),
+        DiagnosticSpec(
+            "SC112", Severity.WARN, "arg-escape",
+            "a shared value is passed to an unresolvable callee; if the "
+            "value is mutable the callee can mutate it invisibly"),
+        DiagnosticSpec(
+            "SC113", Severity.WARN, "spec-irrelevant",
+            "a shared variable is instrumented but outside the "
+            "specification's relevant slice; its events only cost "
+            "observer bandwidth"),
+        DiagnosticSpec(
+            "SC200", Severity.ERROR, "minilang-syntax",
+            "MiniLang source does not parse"),
+        DiagnosticSpec(
+            "SC201", Severity.ERROR, "minilang-undeclared",
+            "use of a name declared neither 'shared int' nor 'local int'"),
+        DiagnosticSpec(
+            "SC202", Severity.ERROR, "minilang-shadow",
+            "a local declaration rebinds a shared name"),
+        DiagnosticSpec(
+            "SC203", Severity.WARN, "minilang-irrelevant",
+            "a shared variable is outside the specification's relevant "
+            "slice"),
+    ]
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding, anchored to a ``file:line:col`` span.
+
+    ``symbol`` names the shared variable (or helper function) involved;
+    ``function`` the enclosing analyzed function, when known.
+    """
+
+    code: str
+    message: str
+    file: str
+    line: int
+    col: int = 1
+    symbol: Optional[str] = None
+    function: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.code not in CATALOGUE:
+            raise ValueError(f"unknown diagnostic code {self.code!r}")
+
+    @property
+    def severity(self) -> Severity:
+        return CATALOGUE[self.code].severity
+
+    @property
+    def title(self) -> str:
+        return CATALOGUE[self.code].title
+
+    @property
+    def span(self) -> str:
+        return f"{self.file}:{self.line}:{self.col}"
+
+    def pretty(self) -> str:
+        where = f" [in {self.function}]" if self.function else ""
+        return (f"{self.span}: {self.severity.value.upper()} {self.code} "
+                f"({self.title}) {self.message}{where}")
+
+    def to_json(self) -> dict:
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "title": self.title,
+            "message": self.message,
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+            "symbol": self.symbol,
+            "function": self.function,
+        }
+
+
+@dataclass
+class LintReport:
+    """Aggregated findings over one or more analyzed files."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    files: list[str] = field(default_factory=list)
+
+    def extend(self, diags: Iterable[Diagnostic]) -> None:
+        self.diagnostics.extend(diags)
+
+    def add_file(self, path: str) -> None:
+        if path not in self.files:
+            self.files.append(path)
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARN]
+
+    @property
+    def ok(self) -> bool:
+        """True when no ERROR-level finding exists (WARNs do not fail)."""
+        return not self.errors
+
+    def sorted(self) -> list[Diagnostic]:
+        return sorted(self.diagnostics,
+                      key=lambda d: (d.file, d.line, d.col, d.code))
+
+    def codes(self) -> frozenset[str]:
+        return frozenset(d.code for d in self.diagnostics)
+
+    def to_json(self) -> dict:
+        """The stable ``repro lint --json`` document."""
+        return {
+            "version": JSON_SCHEMA_VERSION,
+            "tool": "repro.staticcheck",
+            "files": list(self.files),
+            "summary": {
+                "files": len(self.files),
+                "errors": len(self.errors),
+                "warnings": len(self.warnings),
+                "ok": self.ok,
+            },
+            "diagnostics": [d.to_json() for d in self.sorted()],
+        }
+
+    def pretty(self) -> str:
+        lines = [d.pretty() for d in self.sorted()]
+        lines.append(
+            f"{len(self.files)} file(s): {len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s)")
+        return "\n".join(lines)

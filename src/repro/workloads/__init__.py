@@ -8,6 +8,11 @@ from .landing import (
     landing_controller,
 )
 from .landing import OBSERVED_SCHEDULE as LANDING_OBSERVED_SCHEDULE
+from .instrumented import (
+    LANDING_AST_PROPERTY,
+    LANDING_AST_SHARED,
+    run_instrumented_landing,
+)
 from .prodcons import handoff, producer_consumer
 from .random_programs import random_execution_specs, random_program
 from .rwlock import RW_PROPERTY, barrier_program, readers_writer
@@ -25,6 +30,9 @@ __all__ = [
     "LANDING_VARS",
     "LANDING_OBSERVED_SCHEDULE",
     "landing_controller",
+    "LANDING_AST_PROPERTY",
+    "LANDING_AST_SHARED",
+    "run_instrumented_landing",
     "handoff",
     "producer_consumer",
     "random_execution_specs",

@@ -1,0 +1,77 @@
+"""AST-instrumented landing controller: the rewriter route as a workload.
+
+The other workloads are generator programs for the cooperative scheduler;
+this one is the paper's headline pipeline end to end — *uninstrumented*
+Python thread functions, rewritten by :func:`instrument_function`, run on
+real threads.  It exists so the AST route has a first-class workload for
+the slicing parity tests, the benchmarks, and ``repro lint`` in CI (the
+linter discovers the entry points from the ``instrument_function`` call
+sites below).
+
+The thread bodies mirror Fig. 1's flight controller: the controller
+approves the landing off the radio signal while the watchdog clears the
+signal, plus an uninstrumentable-looking but perfectly sound amount of
+local computation (`ticks`) that slicing should ignore.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..instrument import InstrumentedRuntime, instrument_function
+from ..instrument.threads import run_threads, to_execution_result
+
+__all__ = [
+    "LANDING_AST_PROPERTY",
+    "LANDING_AST_SHARED",
+    "controller",
+    "radio_watchdog",
+    "run_instrumented_landing",
+]
+
+#: Same safety property as :mod:`repro.workloads.landing`, phrased over the
+#: variables the AST route instruments.
+LANDING_AST_PROPERTY = "start(landing == 1) -> [approved == 1, radio == 0)"
+
+LANDING_AST_SHARED = ("landing", "approved", "radio", "ticks")
+
+# repro-shared: landing, approved, radio, ticks
+_INITIAL = {"landing": 0, "approved": 0, "radio": 1, "ticks": 0}
+
+
+def controller() -> None:
+    # askLandingApproval(): decide off the radio signal.
+    if radio == 0:          # noqa: F821 - rewritten into runtime reads
+        approved = 0        # noqa: F841
+    else:
+        approved = 1        # noqa: F841
+    ticks = ticks + 1       # noqa: F821,F841 - bookkeeping, spec-irrelevant
+    if approved == 1:       # noqa: F821
+        landing = 1         # noqa: F841
+
+
+def radio_watchdog() -> None:
+    # checkRadio(): the signal drops; bookkeeping again.
+    local_polls = 2
+    ticks = ticks + local_polls  # noqa: F821,F841
+    radio = 0               # noqa: F841
+
+
+def run_instrumented_landing(
+    relevant_only: Optional[frozenset] = None,
+    sink=None,
+):
+    """Instrument both thread functions, run them on real threads, and
+    return ``(runtime, execution_result)``.
+
+    ``relevant_only`` flows into :func:`instrument_function`, so a sliced
+    run exercises the quiet access path end to end.
+    """
+    runtime = InstrumentedRuntime(dict(_INITIAL), sink=sink,
+                                  relevant_only=relevant_only)
+    t1 = instrument_function(controller, set(LANDING_AST_SHARED), runtime,
+                             relevant_only=relevant_only)
+    t2 = instrument_function(radio_watchdog, set(LANDING_AST_SHARED), runtime,
+                             relevant_only=relevant_only)
+    run_threads(runtime, [lambda rt: t1(), lambda rt: t2()])
+    return runtime, to_execution_result(runtime, "ast-landing")

@@ -207,6 +207,63 @@ def _floordiv_aug():
     return 0
 
 
+def _chained_aug():
+    # consecutive augmented assignments where each RHS reads other shared
+    # names — the written value must thread through the runtime store.
+    a += b  # noqa: F821
+    b += a  # noqa: F821
+    a += a  # noqa: F821
+    return 0
+
+
+def _walrus_shared():
+    if (x := 3) > 2:  # noqa: F821
+        pass
+
+
+def _comp_target_shared():
+    return [x for x in range(3)]  # noqa: F821
+
+
+def _comp_reads_shared():
+    return [i + x for i in range(3)]  # noqa: F821
+
+
+def _lambda_param_shadow():
+    f = lambda x: x + 1  # noqa: E731,F821
+    return f(1)
+
+
+def _nested_def_param_shadow():
+    def inner(x):
+        return x
+
+    return inner(1)
+
+
+def _with_as_shared():
+    with open("/dev/null") as x:  # noqa: F821
+        pass
+
+
+def _starred_target():
+    x, *rest = [1, 2, 3]  # noqa: F821,F841
+
+
+def _ann_assign():
+    x: int = 41  # noqa: F821
+    y: int  # bare annotation: neither read nor write
+    x += 1  # noqa: F821
+    return 0
+
+
+def _quiet_mix():
+    noise = noise + 1  # noqa: F821
+    x = noise * 10  # noqa: F821
+    noise += 1  # noqa: F821
+    return 0
+
+
 def _nested_reader():
     def helper():
         return x + 1  # noqa: F821 - shared read inside a nested function
@@ -227,3 +284,161 @@ class TestMorePatterns:
         f = instrument_function(_nested_reader, {"x", "y"}, rt)
         f()
         assert rt.store["y"] == 6
+
+    def test_chained_augmented_assignments(self):
+        rt = InstrumentedRuntime({"a": 1, "b": 2}, relevance=all_accesses())
+        f = instrument_function(_chained_aug, {"a", "b"}, rt)
+        f()
+        # a=1+2=3, b=2+3=5, a=3+3=6 — every read sees the prior write.
+        assert rt.store == {"a": 6, "b": 5}
+        kinds = [(e.kind.name, e.var) for e in rt.events]
+        assert kinds == [
+            ("READ", "a"), ("READ", "b"), ("WRITE", "a"),
+            ("READ", "b"), ("READ", "a"), ("WRITE", "b"),
+            ("READ", "a"), ("READ", "a"), ("WRITE", "a")]
+
+    def test_comprehension_reading_shared_allowed(self):
+        rt = InstrumentedRuntime({"x": 10}, relevance=all_accesses())
+        f = instrument_function(_comp_reads_shared, {"x"}, rt)
+        assert f() == [10, 11, 12]
+        assert [e.var for e in rt.events] == ["x", "x", "x"]
+
+    def test_ann_assign_shared(self):
+        rt = InstrumentedRuntime({"x": 0, "y": 0}, relevance=all_accesses())
+        f = instrument_function(_ann_assign, {"x", "y"}, rt)
+        f()
+        assert rt.store["x"] == 42
+        # bare `y: int` produced no event at all
+        assert all(e.var == "x" for e in rt.events)
+
+
+class TestScopeRebindRejections:
+    """Constructs that would silently rebind a shared name must be refused
+    (satellite: comprehensions, lambdas, nested defs — support or reject)."""
+
+    def test_walrus_target_rejected(self):
+        rt = InstrumentedRuntime({"x": 0})
+        with pytest.raises(InstrumentError, match=":="):
+            instrument_function(_walrus_shared, {"x"}, rt)
+
+    def test_comprehension_target_rejected(self):
+        rt = InstrumentedRuntime({"x": 0})
+        with pytest.raises(InstrumentError,
+                           match="comprehension target rebinds"):
+            instrument_function(_comp_target_shared, {"x"}, rt)
+
+    def test_lambda_param_shadow_rejected(self):
+        rt = InstrumentedRuntime({"x": 0})
+        with pytest.raises(InstrumentError, match="lambda parameter"):
+            instrument_function(_lambda_param_shadow, {"x"}, rt)
+
+    def test_nested_def_param_shadow_rejected(self):
+        rt = InstrumentedRuntime({"x": 0})
+        with pytest.raises(InstrumentError,
+                           match="nested function parameter"):
+            instrument_function(_nested_def_param_shadow, {"x"}, rt)
+
+    def test_with_as_rejected(self):
+        rt = InstrumentedRuntime({"x": 0})
+        with pytest.raises(InstrumentError, match="'with ... as' rebinds"):
+            instrument_function(_with_as_shared, {"x"}, rt)
+
+    def test_starred_target_rejected(self):
+        rt = InstrumentedRuntime({"x": 0})
+        with pytest.raises(InstrumentError, match="write pattern"):
+            instrument_function(_starred_target, {"x"}, rt)
+
+    def test_entry_param_shadow_rejected(self):
+        rt = InstrumentedRuntime({"acc": 0, "n": 0})
+        with pytest.raises(InstrumentError, match="shadows the shared"):
+            instrument_function(_with_args, {"acc", "n"}, rt)
+
+
+class TestErrorSpans:
+    """InstrumentError carries the offending construct's real file:line:col
+    in the repository's shared span format."""
+
+    def test_delete_span_points_into_this_file(self):
+        rt = InstrumentedRuntime({"x": 0})
+        with pytest.raises(InstrumentError) as exc:
+            instrument_function(_deleter, {"x"}, rt)
+        err = exc.value
+        assert err.filename.endswith("test_rewriter.py")
+        assert err.line == _deleter.__code__.co_firstlineno + 1
+        assert err.col >= 1
+        assert str(err).startswith(f"{err.filename}:{err.line}:{err.col}: ")
+        assert "cannot delete shared variable 'x'" in err.problem
+
+    def test_starred_span(self):
+        rt = InstrumentedRuntime({"x": 0})
+        with pytest.raises(InstrumentError) as exc:
+            instrument_function(_starred_target, {"x"}, rt)
+        assert exc.value.line == _starred_target.__code__.co_firstlineno + 1
+        assert "unsupported write pattern to shared variable 'x'" in \
+            exc.value.problem
+
+    def test_global_span(self):
+        rt = InstrumentedRuntime({"x": 0})
+        with pytest.raises(InstrumentError) as exc:
+            instrument_function(_globaler, {"x"}, rt)
+        assert exc.value.line == _globaler.__code__.co_firstlineno + 1
+
+    def test_traceback_lines_match_source_file(self):
+        # compile() gets the real filename + line offsets, so runtime
+        # tracebacks through instrumented code point at this file.
+        rt = InstrumentedRuntime({"x": 0})
+        f = instrument_function(_simple, {"x"}, rt)
+        assert f.__code__.co_filename.endswith("test_rewriter.py")
+        assert f.__code__.co_firstlineno == _simple.__code__.co_firstlineno
+
+
+class TestRelevantOnlySlicing:
+    def test_quiet_names_keep_store_coherent_without_events(self):
+        rt = InstrumentedRuntime({"noise": 0, "x": 0},
+                                 relevance=all_accesses(),
+                                 relevant_only={"x"})
+        f = instrument_function(_quiet_mix, {"noise", "x"}, rt,
+                                relevant_only={"x"})
+        f()
+        assert rt.store == {"noise": 2, "x": 10}
+        assert [e.var for e in rt.events] == ["x"]
+
+    def test_full_run_matches_sliced_store(self):
+        rt_full = InstrumentedRuntime({"noise": 0, "x": 0})
+        instrument_function(_quiet_mix, {"noise", "x"}, rt_full)()
+        rt_sliced = InstrumentedRuntime({"noise": 0, "x": 0},
+                                        relevant_only={"x"})
+        instrument_function(_quiet_mix, {"noise", "x"}, rt_sliced,
+                            relevant_only={"x"})()
+        assert rt_full.store == rt_sliced.store
+
+    def test_relevant_marker(self):
+        rt = InstrumentedRuntime({"noise": 0, "x": 0})
+        f = instrument_function(_quiet_mix, {"noise", "x"}, rt,
+                                relevant_only={"x"})
+        assert f.__instrumented_relevant__ == frozenset({"x"})
+
+    def test_relevant_only_must_be_subset_of_shared(self):
+        rt = InstrumentedRuntime({"x": 0})
+        with pytest.raises(InstrumentError, match="not in the shared set"):
+            instrument_function(_simple, {"x"}, rt, relevant_only={"ghost"})
+
+
+class TestRoundTripEquivalence:
+    """Instrumented functions compute exactly what the plain Python would."""
+
+    CASES = [
+        (_augmented, {"c": 5}, {"c": 16}),
+        (_chained_aug, {"a": 1, "b": 2}, {"a": 6, "b": 5}),
+        (_control_flow, {"flag": 0, "out": 0, "total": 0},
+         {"flag": 0, "out": 20, "total": 60}),
+        (_ann_assign, {"x": 0, "y": 9}, {"x": 42, "y": 9}),
+        (_while_loop, {"x": 5}, {"x": 0}),
+    ]
+
+    @pytest.mark.parametrize("fn,initial,expected", CASES,
+                             ids=[c[0].__name__ for c in CASES])
+    def test_final_store(self, fn, initial, expected):
+        rt = InstrumentedRuntime(dict(initial))
+        instrument_function(fn, set(initial), rt)()
+        assert rt.store == expected

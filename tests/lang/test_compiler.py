@@ -229,3 +229,34 @@ class TestSpawnJoin:
         ex = run_src(src)
         assert ex.n_threads == 3
         assert ex.final_store["n"] == 1
+
+
+class TestStaticCheckSpans:
+    """Compiler static checks reuse the parser span format: the error
+    points at the offending AST node with file:line:col."""
+
+    def test_undefined_variable_span(self):
+        with pytest.raises(MiniLangError) as excinfo:
+            compile_source("shared int x = 0;\n"
+                           "thread t {\n"
+                           "  x = ghost + 1;\n"
+                           "}", filename="prog.ml")
+        exc = excinfo.value
+        assert exc.line == 3
+        assert exc.col == 7  # column of 'ghost'
+        assert str(exc).startswith("prog.ml:3:7: ")
+
+    def test_shadow_span(self):
+        with pytest.raises(MiniLangError) as excinfo:
+            compile_source("shared int x = 0;\n"
+                           "thread t { local int x = 1; }")
+        assert excinfo.value.line == 2
+        assert "shadows" in excinfo.value.problem
+
+    def test_assignment_to_undeclared_span(self):
+        with pytest.raises(MiniLangError) as excinfo:
+            compile_source("shared int x = 0;\n"
+                           "thread t {\n"
+                           "  ghost = 1;\n"
+                           "}")
+        assert excinfo.value.line == 3

@@ -135,3 +135,64 @@ class TestExpressions:
     def test_name_reference(self):
         s = first_stmt("x = y;")
         assert s.value == Name("y")
+
+
+class TestErrorSpans:
+    """MiniLangError renders the repository's shared file:line:col span
+    format and carries structured .line/.col/.filename attributes."""
+
+    def test_col_points_at_offending_token(self):
+        try:
+            parse_source("shared int x = 0;\nthread t {\n  x = ;\n}")
+        except MiniLangError as exc:
+            assert exc.line == 3
+            assert exc.col == 7  # the ';' where an expression was expected
+        else:  # pragma: no cover
+            pytest.fail("expected MiniLangError")
+
+    def test_filename_prefixes_message(self):
+        with pytest.raises(MiniLangError) as excinfo:
+            parse_source("shared int x = 0;\nthread t { x = ; }",
+                         filename="prog.ml")
+        exc = excinfo.value
+        assert exc.filename == "prog.ml"
+        assert str(exc).startswith(f"prog.ml:{exc.line}:{exc.col}: ")
+        assert str(exc).endswith(exc.problem)
+
+    def test_span_property(self):
+        with pytest.raises(MiniLangError) as excinfo:
+            parse_source("shared int x = 0; $", filename="bad.ml")
+        assert excinfo.value.span == (
+            f"bad.ml:{excinfo.value.line}:{excinfo.value.col}")
+
+    def test_without_filename_renders_line_col(self):
+        with pytest.raises(MiniLangError) as excinfo:
+            parse_source("shared int x = 0;\nthread t { x = ; }")
+        exc = excinfo.value
+        assert str(exc).startswith(f"line {exc.line}:{exc.col}: ")
+
+    def test_unexpected_character_col(self):
+        with pytest.raises(MiniLangError) as excinfo:
+            parse_source("shared int x = 0; $")
+        assert excinfo.value.line == 1
+        assert excinfo.value.col == 19
+
+    def test_multiline_col_resets_per_line(self):
+        with pytest.raises(MiniLangError) as excinfo:
+            parse_source("shared int x = 0;\n// comment\n   $")
+        assert excinfo.value.line == 3
+        assert excinfo.value.col == 4
+
+    def test_name_nodes_carry_spans(self):
+        ast = parse_source("shared int x = 0, y = 0;\n"
+                           "thread t { x = y + 1; }")
+        stmt = ast.threads[0].body.statements[0]
+        assert (stmt.line, stmt.col) == (2, 12)
+        assert (stmt.value.left.line, stmt.value.left.col) == (2, 16)
+
+    def test_spans_do_not_break_equality(self):
+        # spans are compare=False metadata: structural equality still holds.
+        assert parse_source("shared int x = 0;\nthread t { x = x; }") == \
+            parse_source("shared int x = 0;\nthread t { x = x; }")
+        a = first_stmt("x = y;")
+        assert a.value == Name("y")

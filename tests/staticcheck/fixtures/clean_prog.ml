@@ -1,0 +1,12 @@
+shared int x = 0, y = 0;
+
+thread writer {
+    local int t = 3;
+    x = t + 1;
+    y = x * 2;
+}
+
+thread reader {
+    local int seen = 0;
+    seen = y;
+}

@@ -1,0 +1,15 @@
+"""A sound instrumented function: every construct here is supported."""
+# repro-shared: a, b
+# repro-instrument: worker
+
+
+def helper(v):
+    return v * 2            # touches no shared names: safe to call
+
+
+def worker():
+    a = a + 1               # noqa: F821,F841 - plain shared read/write
+    t = helper(5)
+    b = t                   # noqa: F841
+    if b > 3:               # noqa: F821
+        b = 0               # noqa: F841

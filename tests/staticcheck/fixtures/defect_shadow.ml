@@ -1,0 +1,6 @@
+shared int x = 0, y = 1;
+
+thread main {
+    local int x = 5;
+    y = x + 1;
+}

@@ -1,0 +1,5 @@
+shared int x = 0;
+
+thread main {
+    x = x + ;
+}

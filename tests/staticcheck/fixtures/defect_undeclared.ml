@@ -1,0 +1,6 @@
+shared int x = 0;
+
+thread main {
+    x = ghost + 1;
+    phantom = 2;
+}

@@ -1,0 +1,8 @@
+"""SC101: aliasing a shared name into a plain local."""
+# repro-shared: balance, audit
+# repro-instrument: worker
+
+
+def worker():
+    snapshot = balance      # noqa: F821 - alias: later accesses emit nothing
+    audit = snapshot + 1    # noqa: F821,F841

@@ -1,0 +1,9 @@
+"""SC112: shared value handed to an unresolvable callee (WARN)."""
+# repro-shared: buffer
+# repro-instrument: worker
+import json
+
+
+def worker():
+    json.dump(buffer, None)   # attribute call: fine (not a mutator name)
+    mystery(buffer)           # noqa: F821 - opaque callee may mutate it

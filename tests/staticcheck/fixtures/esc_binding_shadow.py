@@ -1,0 +1,8 @@
+"""SC109: with/except bindings shadow a shared name (WARN)."""
+# repro-shared: conn
+# repro-instrument: worker
+
+
+def worker():
+    with open("/dev/null") as conn:  # rebinds 'conn' for the whole scope
+        conn.read()

@@ -1,0 +1,9 @@
+"""SC103: a closure captures a shared name (WARN: misattribution risk)."""
+# repro-shared: counter
+# repro-instrument: worker
+
+
+def worker():
+    def bump():
+        return counter + 1  # noqa: F821 - runs on whichever thread calls it
+    return bump

@@ -1,0 +1,7 @@
+"""SC105: comprehension target rebinds a shared name."""
+# repro-shared: x
+# repro-instrument: worker
+
+
+def worker():
+    return [x * 2 for x in range(4)]  # target 'x' shadows the shared 'x'

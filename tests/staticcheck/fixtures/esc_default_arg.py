@@ -1,0 +1,7 @@
+"""SC104: shared read in the entry function's parameter default."""
+# repro-shared: limit
+# repro-instrument: worker
+
+
+def worker(cap=limit):      # noqa: F821 - evaluates at instrument time
+    return cap

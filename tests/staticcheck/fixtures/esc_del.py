@@ -1,0 +1,7 @@
+"""SC110: del of a shared name."""
+# repro-shared: cache
+# repro-instrument: worker
+
+
+def worker():
+    del cache               # noqa: F821 - shared variables cannot be unbound

@@ -1,0 +1,9 @@
+"""SC111: destructuring / loop-target / walrus writes to shared names."""
+# repro-shared: lo, hi, idx
+# repro-instrument: worker
+
+
+def worker():
+    lo, hi = 1, 2           # noqa: F841 - tuple write, not instrumented
+    for idx in range(3):    # loop target rebinds shared 'idx'
+        pass

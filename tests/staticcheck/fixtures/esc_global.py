@@ -1,0 +1,8 @@
+"""SC107: 'global' declaration of a shared name inside the entry."""
+# repro-shared: counter
+# repro-instrument: worker
+
+
+def worker():
+    global counter          # noqa: F824 - shared vars live in the runtime
+    counter = 1             # noqa: F841

@@ -1,0 +1,16 @@
+"""SC106: call into an un-instrumented helper that touches shared names."""
+# repro-shared: total
+# repro-instrument: worker
+
+
+def accumulate(v):
+    global total            # the helper body is never rewritten
+    total = total + v       # noqa: F821,F824
+
+
+def deep(v):
+    accumulate(v)           # transitive: deep -> accumulate -> total
+
+
+def worker():
+    deep(3)

@@ -1,0 +1,8 @@
+"""SC102: attribute/subscript mutation through a shared binding."""
+# repro-shared: queue, table
+# repro-instrument: worker
+
+
+def worker():
+    queue.append(1)         # noqa: F821 - READ recorded, mutation invisible
+    table["k"] = 2          # noqa: F821 - subscript store, no WRITE event

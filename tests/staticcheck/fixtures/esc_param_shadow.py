@@ -1,0 +1,9 @@
+"""SC108: a nested function's parameter rebinds a shared name."""
+# repro-shared: flag
+# repro-instrument: worker
+
+
+def worker():
+    def check(flag):        # body reads of 'flag' would be miscompiled
+        return flag + 1
+    return check(0)

@@ -1,0 +1,59 @@
+"""The seeded-defect corpus: every planted escape must be flagged.
+
+``manifest.json`` is the ground truth; CI runs the same check through
+``repro lint`` so the corpus cannot silently rot.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.staticcheck import CATALOGUE, Severity, lint_path, lint_paths
+
+FIXTURES = Path(__file__).parent / "fixtures"
+MANIFEST = json.loads((FIXTURES / "manifest.json").read_text())
+
+
+@pytest.mark.parametrize("name,expected", sorted(MANIFEST["defects"].items()))
+def test_seeded_defect_is_flagged(name, expected):
+    found = {d.code for d in lint_path(FIXTURES / name)}
+    missing = set(expected) - found
+    assert not missing, f"{name}: lint missed seeded defect(s) {missing}"
+
+
+@pytest.mark.parametrize("name", sorted(MANIFEST["clean"]))
+def test_clean_fixture_stays_clean(name):
+    diags = lint_path(FIXTURES / name)
+    assert diags == [], [d.pretty() for d in diags]
+
+
+def test_corpus_covers_at_least_ten_defect_kinds():
+    kinds = {code for codes in MANIFEST["defects"].values() for code in codes}
+    assert len(kinds) >= 10
+
+
+def test_every_finding_has_a_real_span():
+    report = lint_paths([FIXTURES])
+    for d in report.diagnostics:
+        assert d.line >= 1 and d.col >= 1
+        assert Path(d.file).name  # non-empty file component
+        assert d.code in CATALOGUE
+
+
+def test_directory_lint_aggregates_all_defects():
+    report = lint_paths([FIXTURES])
+    expected = {code for codes in MANIFEST["defects"].values()
+                for code in codes}
+    assert expected <= report.codes()
+    # ERROR-severity defects must make the report fail.
+    assert not report.ok
+    assert any(d.severity is Severity.WARN for d in report.diagnostics)
+
+
+def test_workloads_and_examples_are_clean():
+    """The acceptance bar: zero ERRORs on everything we ship instrumented."""
+    root = Path(__file__).resolve().parents[2]
+    report = lint_paths([root / "src" / "repro" / "workloads",
+                         root / "examples"])
+    assert report.ok, [d.pretty() for d in report.errors]

@@ -1,0 +1,121 @@
+"""``repro lint`` CLI: exit codes, text output, and the JSON contract."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.staticcheck import JSON_SCHEMA_VERSION
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: The stable shape of the ``repro lint --json`` document.  Bump
+#: JSON_SCHEMA_VERSION when changing any of this.
+TOP_LEVEL_KEYS = {"version", "tool", "files", "summary", "diagnostics"}
+SUMMARY_KEYS = {"files", "errors", "warnings", "ok"}
+DIAGNOSTIC_KEYS = {"code", "severity", "title", "message", "file", "line",
+                   "col", "symbol", "function"}
+
+
+def run_cli(argv):
+    lines = []
+    code = main(argv, out=lines.append)
+    return code, "\n".join(lines)
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self):
+        code, _ = run_cli(["lint", str(FIXTURES / "clean_worker.py")])
+        assert code == 0
+
+    def test_error_defect_exits_one(self):
+        code, _ = run_cli(["lint", str(FIXTURES / "esc_alias.py")])
+        assert code == 1
+
+    def test_warn_only_exits_zero_by_default(self):
+        code, _ = run_cli(["lint", str(FIXTURES / "esc_closure.py")])
+        assert code == 0
+
+    def test_fail_on_warn(self):
+        code, _ = run_cli(["lint", "--fail-on-warn",
+                           str(FIXTURES / "esc_closure.py")])
+        assert code == 1
+
+    def test_missing_path_exits_two(self):
+        code, out = run_cli(["lint", str(FIXTURES / "does_not_exist.py")])
+        assert code == 2
+        assert "error" in out
+
+
+class TestTextOutput:
+    def test_pretty_lines_carry_span_code_severity(self):
+        code, out = run_cli(["lint", str(FIXTURES / "esc_alias.py")])
+        assert code == 1
+        line = out.splitlines()[0]
+        assert "esc_alias.py:" in line
+        assert "SC101" in line
+        assert "ERROR" in line
+
+    def test_summary_line(self):
+        _, out = run_cli(["lint", str(FIXTURES / "clean_worker.py")])
+        assert "1 file(s): 0 error(s), 0 warning(s)" in out
+
+
+class TestJsonContract:
+    def test_schema_shape(self):
+        code, out = run_cli(["lint", "--json", str(FIXTURES)])
+        doc = json.loads(out)
+        assert set(doc) == TOP_LEVEL_KEYS
+        assert doc["version"] == JSON_SCHEMA_VERSION
+        assert doc["tool"] == "repro.staticcheck"
+        assert set(doc["summary"]) == SUMMARY_KEYS
+        assert doc["summary"]["errors"] > 0
+        assert doc["summary"]["ok"] is False
+        assert code == 1
+        for d in doc["diagnostics"]:
+            assert set(d) == DIAGNOSTIC_KEYS
+            assert d["severity"] in ("error", "warn")
+            assert d["line"] >= 1 and d["col"] >= 1
+
+    def test_diagnostics_sorted_by_location(self):
+        _, out = run_cli(["lint", "--json", str(FIXTURES)])
+        doc = json.loads(out)
+        keys = [(d["file"], d["line"], d["col"], d["code"])
+                for d in doc["diagnostics"]]
+        assert keys == sorted(keys)
+
+    def test_json_out_writes_file(self, tmp_path):
+        target = tmp_path / "report.json"
+        code, out = run_cli(["lint", "--json-out", str(target),
+                             str(FIXTURES / "clean_worker.py")])
+        assert code == 0
+        doc = json.loads(target.read_text())
+        assert doc["summary"]["ok"] is True
+        # text mode still printed the human summary
+        assert "0 error(s)" in out
+
+    def test_spec_flag_adds_relevance_findings(self, tmp_path):
+        src = tmp_path / "mod.py"
+        src.write_text(
+            "# repro-shared: x, noise\n"
+            "# repro-instrument: worker\n"
+            "def worker():\n"
+            "    x = x + 1\n"
+            "    noise = 7\n")
+        code, out = run_cli(["lint", "--json", "--spec", "x >= 0", str(src)])
+        doc = json.loads(out)
+        assert code == 0  # SC113 is WARN
+        assert [d["code"] for d in doc["diagnostics"]] == ["SC113"]
+
+
+class TestMiniLangThroughCli:
+    def test_ml_file_is_dispatched(self):
+        code, out = run_cli(["lint", str(FIXTURES / "defect_undeclared.ml")])
+        assert code == 1
+        assert "SC201" in out
+
+    def test_parse_error_span_in_message(self):
+        _, out = run_cli(["lint", str(FIXTURES / "defect_syntax.ml")])
+        # SC200 wraps the MiniLangError, whose text already carries the span.
+        assert "defect_syntax.ml:4" in out

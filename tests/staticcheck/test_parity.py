@@ -1,0 +1,135 @@
+"""Verdict parity: spec-sliced instrumentation must not change analyses.
+
+Two slicing mechanisms are exercised:
+
+* **predicate slicing** (cooperative scheduler route) — run the same
+  deterministic schedule with the default relevance vs the slice's
+  ``relevant_writes`` predicate and compare ``predict`` verdicts;
+* **quiet slicing** (AST route) — ``relevant_only=`` on
+  ``instrument_function``/``InstrumentedRuntime`` with a deterministic
+  sequential thread order.
+
+In both cases the slice always contains the spec's variables, so every
+message the monitor can see survives; the tests also assert the slice
+actually *removes* events somewhere (the paper's bandwidth win).
+"""
+
+import threading
+
+import pytest
+
+from repro.analysis import predict
+from repro.instrument import InstrumentedRuntime, instrument_function
+from repro.instrument.threads import to_execution_result
+from repro.sched import RandomScheduler, run_program
+from repro.staticcheck import close_slice, python_flows, spec_variables
+from repro.workloads import (
+    AUDIT_PROPERTY,
+    XYZ_PROPERTY,
+    handoff,
+    producer_consumer,
+    transfer_program,
+    xyz_program,
+)
+from repro.workloads.instrumented import (
+    LANDING_AST_SHARED,
+    controller,
+    radio_watchdog,
+)
+
+CASES = [
+    # (factory, spec, narrow_spec)
+    (xyz_program, XYZ_PROPERTY, "x >= -1"),
+    (transfer_program, AUDIT_PROPERTY, "audited == 0 || audited == 1"),
+    (lambda: producer_consumer(2), "consumed >= 0", "consumed >= 0"),
+    (handoff, "done == 0 || data == 42", "done == 0 || data == 42"),
+]
+
+
+def _slice_for(program_factory, spec):
+    program = program_factory()
+    shared = program.default_relevance_vars()
+    flows = python_flows(list(program.threads), shared)
+    return program, close_slice(spec_variables(spec), flows, shared=shared)
+
+
+def _verdict(execution, spec):
+    report = predict(execution, spec, mode="full")
+    return (report.observed_ok, bool(report.violations))
+
+
+class TestPredicateSlicingParity:
+    @pytest.mark.parametrize("factory,spec,narrow", CASES,
+                             ids=["xyz", "bank", "prodcons", "handoff"])
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    def test_verdicts_match(self, factory, spec, narrow, seed):
+        for used_spec in {spec, narrow}:
+            program, sl = _slice_for(factory, used_spec)
+            full = run_program(factory(), RandomScheduler(seed))
+            sliced = run_program(factory(), RandomScheduler(seed),
+                                 relevance=sl.predicate())
+            assert _verdict(full, used_spec) == _verdict(sliced, used_spec)
+            assert len(sliced.messages) <= len(full.messages)
+
+    def test_narrow_spec_reduces_messages_on_xyz(self):
+        _, sl = _slice_for(xyz_program, "x >= -1")
+        assert sl.irrelevant  # y/z sliced out
+        full = run_program(xyz_program(), RandomScheduler(3))
+        sliced = run_program(xyz_program(), RandomScheduler(3),
+                             relevance=sl.predicate())
+        assert len(sliced.messages) < len(full.messages)
+        assert _verdict(full, "x >= -1") == _verdict(sliced, "x >= -1")
+
+    def test_slice_always_contains_spec_vars(self):
+        for factory, spec, narrow in CASES:
+            for s in (spec, narrow):
+                _, sl = _slice_for(factory, s)
+                assert spec_variables(s) <= sl.relevant
+
+
+def _run_sequential(relevant_only):
+    """Deterministic AST-route run: controller fully precedes watchdog."""
+    rt = InstrumentedRuntime(
+        {"landing": 0, "approved": 0, "radio": 1, "ticks": 0},
+        relevant_only=relevant_only)
+    t1 = instrument_function(controller, set(LANDING_AST_SHARED), rt,
+                             relevant_only=relevant_only)
+    t2 = instrument_function(radio_watchdog, set(LANDING_AST_SHARED), rt,
+                             relevant_only=relevant_only)
+    rt.register_thread(0)
+    t1()
+    worker = threading.Thread(target=t2)
+    worker.start()
+    worker.join()
+    return rt, to_execution_result(rt, "ast-landing")
+
+
+class TestQuietSlicingParity:
+    SPEC = "start(landing == 1) -> [approved == 1, radio == 0)"
+
+    def test_verdict_parity_and_event_reduction(self):
+        _, full = _run_sequential(None)
+        _, sliced = _run_sequential(frozenset({"landing", "approved",
+                                               "radio"}))
+        assert _verdict(full, self.SPEC) == _verdict(sliced, self.SPEC)
+        # 'ticks' accesses disappear entirely from the sliced event log.
+        assert len(sliced.events) < len(full.events)
+        assert not any(e.var == "ticks" for e in sliced.events)
+        assert any(e.var == "ticks" for e in full.events)
+
+    def test_store_identical_under_slicing(self):
+        rt_full, _ = _run_sequential(None)
+        rt_sliced, _ = _run_sequential(frozenset({"landing", "approved",
+                                                  "radio"}))
+        assert rt_full.store == rt_sliced.store
+
+    def test_runtime_property_reports_slice(self):
+        rt, _ = _run_sequential(frozenset({"landing", "approved", "radio"}))
+        assert rt.relevant_only == {"landing", "approved", "radio"}
+
+    def test_quiet_paths_require_declared_names(self):
+        rt = InstrumentedRuntime({"x": 0})
+        with pytest.raises(KeyError):
+            rt.read_quiet("ghost")
+        with pytest.raises(KeyError):
+            rt.write_quiet("ghost", 1)

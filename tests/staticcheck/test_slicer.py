@@ -1,0 +1,179 @@
+"""Tests for the spec-relevance slicer."""
+
+from repro.logic.parser import parse as parse_spec
+from repro.staticcheck import (
+    close_slice,
+    minilang_flows,
+    python_flows,
+    slice_minilang,
+    slice_python_functions,
+    spec_variables,
+)
+from repro.workloads import XYZ_PROPERTY, xyz_program
+from repro.workloads.minilang_sources import LANDING_SOURCE
+
+
+class TestSpecVariables:
+    def test_from_string(self):
+        assert spec_variables("x > 0") == {"x"}
+
+    def test_from_formula(self):
+        assert spec_variables(parse_spec("a + b == 100")) == {"a", "b"}
+
+    def test_interval_operator(self):
+        assert spec_variables(XYZ_PROPERTY) == {"x", "y", "z"}
+
+
+class TestCloseSlice:
+    def test_no_flows_keeps_spec_vars(self):
+        r = close_slice({"x"}, {}, shared={"x", "y"})
+        assert r.relevant == {"x"}
+        assert r.irrelevant == {"y"}
+
+    def test_direct_flow(self):
+        r = close_slice({"x"}, {"x": {"y"}}, shared={"x", "y", "z"})
+        assert r.relevant == {"x", "y"}
+        assert r.irrelevant == {"z"}
+
+    def test_transitive_flow(self):
+        flows = {"x": {"y"}, "y": {"z"}, "z": set()}
+        r = close_slice({"x"}, flows, shared={"x", "y", "z", "w"})
+        assert r.relevant == {"x", "y", "z"}
+        assert r.irrelevant == {"w"}
+
+    def test_flow_into_irrelevant_var_ignored(self):
+        # w reads from x, but nothing makes w relevant.
+        r = close_slice({"x"}, {"w": {"x"}}, shared={"x", "w"})
+        assert r.relevant == {"x"}
+        assert r.irrelevant == {"w"}
+
+    def test_why_explanations(self):
+        r = close_slice({"x"}, {"x": {"y"}}, shared={"x", "y", "z"})
+        assert "specification" in r.why("x")
+        assert "relevant write" in r.why("y")
+        assert "no flow" in r.why("z")
+
+
+class TestPythonFlows:
+    def test_bare_name_flow(self):
+        src = """
+def worker():
+    t = a
+    b = t + 1
+"""
+        flows = python_flows([src], {"a", "b"})
+        assert flows["b"] == {"a"}
+
+    def test_runtime_call_flow(self):
+        src = """
+def worker(rt):
+    v = rt.read("a")
+    rt.write("b", v * 2)
+"""
+        flows = python_flows([src], {"a", "b"})
+        assert flows["b"] == {"a"}
+
+    def test_generator_yield_flow(self):
+        src = """
+def worker():
+    v = yield Read("a")
+    yield Write("b", v + 1)
+"""
+        flows = python_flows([src], {"a", "b"})
+        assert flows["b"] == {"a"}
+
+    def test_update_is_self_dependent(self):
+        src = """
+def worker(rt):
+    rt.update("c", lambda v: v + 1)
+"""
+        flows = python_flows([src], {"c"})
+        assert "c" in flows["c"]
+
+    def test_augassign_shared_self_dep(self):
+        src = """
+def worker():
+    c += a
+"""
+        flows = python_flows([src], {"a", "c"})
+        assert flows["c"] == {"a", "c"}
+
+    def test_loop_taint_fixpoint(self):
+        # Taint flows backwards through the loop: t picks up a only on the
+        # second traversal of the body.
+        src = """
+def worker():
+    t = 0
+    while t < 3:
+        b = t
+        t = a
+"""
+        flows = python_flows([src], {"a", "b"})
+        assert "a" in flows["b"]
+
+    def test_real_workload_xyz(self):
+        flows = python_flows([xyz_program], {"x", "y", "z"})
+        # xyz: x gets written constants, y reads x, z reads x.
+        assert "x" in flows.get("y", set())
+
+    def test_slice_narrow_spec_on_xyz(self):
+        r = slice_python_functions([xyz_program], {"x", "y", "z"}, "x >= -1")
+        assert "x" in r.relevant
+        assert r.irrelevant  # y and/or z drop out
+
+
+class TestMiniLangSlicing:
+    def test_flows_through_locals(self):
+        src = """
+shared int a = 0, b = 0;
+thread main {
+    local int t = a;
+    b = t + 1;
+}
+"""
+        r = slice_minilang(src, "b == 1")
+        assert r.relevant == {"a", "b"}
+
+    def test_irrelevant_variable_dropped(self):
+        src = """
+shared int a = 0, noise = 0;
+thread main {
+    a = a + 1;
+    noise = 9;
+}
+"""
+        r = slice_minilang(src, "a >= 0")
+        assert r.relevant == {"a"}
+        assert r.irrelevant == {"noise"}
+
+    def test_landing_source_full_slice(self):
+        r = slice_minilang(
+            LANDING_SOURCE,
+            "start(landing == 1) -> [approved == 1, radio == 0)")
+        # all three variables are spec-mentioned: nothing to slice.
+        assert r.relevant >= {"landing", "approved", "radio"}
+
+    def test_minilang_flows_shape(self):
+        from repro.lang.parser import parse_source
+
+        program = parse_source("""
+shared int a = 0, b = 0;
+thread main { b = a + 1; }
+""")
+        assert minilang_flows(program)["b"] == {"a"}
+
+    def test_predicate_matches_algorithm_a(self):
+        from repro.core.events import EventKind
+
+        r = close_slice({"x"}, {}, shared={"x", "y"})
+        pred = r.predicate()
+
+        class _E:
+            kind = EventKind.WRITE
+            var = "x"
+
+        class _E2:
+            kind = EventKind.WRITE
+            var = "y"
+
+        assert pred(_E()) and not pred(_E2())

@@ -1,0 +1,303 @@
+"""Tests for the escape-analysis soundness lint."""
+
+import pytest
+
+from repro.staticcheck import (
+    CATALOGUE,
+    Diagnostic,
+    Severity,
+    lint_function,
+    lint_minilang_source,
+    lint_python_source,
+)
+
+
+def codes(diags):
+    return {d.code for d in diags}
+
+
+class TestFunctionLint:
+    def test_clean_function_has_no_findings(self):
+        src = """
+def worker():
+    x = x + 1
+    y = x * 2
+"""
+        assert lint_function(src, {"x", "y"}) == []
+
+    def test_alias_sc101(self):
+        src = """
+def worker():
+    snap = x
+"""
+        diags = lint_function(src, {"x"})
+        assert codes(diags) == {"SC101"}
+        assert diags[0].symbol == "x"
+        assert diags[0].severity is Severity.ERROR
+
+    def test_tuple_unpack_alias_sc101(self):
+        src = """
+def worker():
+    a, b = x, 1
+"""
+        assert "SC101" in codes(lint_function(src, {"x"}))
+
+    def test_attribute_store_sc102(self):
+        src = """
+def worker():
+    shared.field = 1
+"""
+        assert codes(lint_function(src, {"shared"})) == {"SC102"}
+
+    def test_mutating_method_sc102(self):
+        src = """
+def worker():
+    q.append(3)
+"""
+        assert codes(lint_function(src, {"q"})) == {"SC102"}
+
+    def test_plain_attribute_read_is_sound(self):
+        # `x.value` through a read call is recorded; reads don't escape.
+        src = """
+def worker():
+    v = x.value
+"""
+        assert lint_function(src, {"x"}) == []
+
+    def test_closure_capture_sc103_is_warn(self):
+        src = """
+def worker():
+    f = lambda: x + 1
+"""
+        diags = lint_function(src, {"x"})
+        assert codes(diags) == {"SC103"}
+        assert diags[0].severity is Severity.WARN
+
+    def test_default_arg_sc104(self):
+        src = """
+def worker(cap=x):
+    return cap
+"""
+        assert "SC104" in codes(lint_function(src, {"x"}))
+
+    def test_comprehension_shadow_sc105(self):
+        src = """
+def worker():
+    return [x for x in range(3)]
+"""
+        assert codes(lint_function(src, {"x"})) == {"SC105"}
+
+    def test_comprehension_reading_shared_is_sound(self):
+        src = """
+def worker():
+    return [i + x for i in range(3)]
+"""
+        assert lint_function(src, {"x"}) == []
+
+    def test_global_sc107(self):
+        src = """
+def worker():
+    global x
+    x = 1
+"""
+        assert codes(lint_function(src, {"x"})) == {"SC107"}
+
+    def test_nested_param_shadow_sc108(self):
+        src = """
+def worker():
+    def inner(x):
+        return 1
+"""
+        assert "SC108" in codes(lint_function(src, {"x"}))
+
+    def test_with_binding_sc109(self):
+        src = """
+def worker():
+    with ctx() as x:
+        pass
+"""
+        assert "SC109" in codes(lint_function(src, {"x"}))
+
+    def test_del_sc110(self):
+        src = """
+def worker():
+    del x
+"""
+        assert codes(lint_function(src, {"x"})) == {"SC110"}
+
+    def test_destructuring_sc111(self):
+        src = """
+def worker():
+    x, y = 1, 2
+"""
+        assert codes(lint_function(src, {"x"})) == {"SC111"}
+
+    def test_walrus_sc111(self):
+        src = """
+def worker():
+    if (x := 3) > 2:
+        pass
+"""
+        assert codes(lint_function(src, {"x"})) == {"SC111"}
+
+    def test_arg_escape_sc112_for_unknown_callee(self):
+        src = """
+def worker():
+    mystery(x)
+"""
+        diags = lint_function(src, {"x"})
+        assert codes(diags) == {"SC112"}
+        assert diags[0].severity is Severity.WARN
+
+    def test_safe_builtins_not_flagged(self):
+        src = """
+def worker():
+    print(x)
+    n = len(x)
+"""
+        assert lint_function(src, {"x"}) == []
+
+    def test_spans_are_one_indexed(self):
+        src = """
+def worker():
+    snap = x
+"""
+        d = lint_function(src, {"x"})[0]
+        assert d.line == 3
+        assert d.col >= 1
+        assert d.span.endswith(f":{d.line}:{d.col}")
+
+
+class TestModuleLint:
+    def test_entries_from_instrument_function_literal(self):
+        src = '''
+def worker():
+    alias = x
+
+rt = InstrumentedRuntime({"x": 0})
+f = instrument_function(worker, {"x"}, rt)
+'''
+        assert codes(lint_python_source(src)) == {"SC101"}
+
+    def test_shared_from_runtime_dict_literal(self):
+        src = '''
+# repro-instrument: worker
+def worker():
+    alias = y
+
+rt = InstrumentedRuntime({"y": 0})
+'''
+        assert codes(lint_python_source(src)) == {"SC101"}
+
+    def test_directives(self):
+        src = '''
+# repro-shared: a
+# repro-instrument: worker
+def worker():
+    alias = a
+'''
+        assert codes(lint_python_source(src)) == {"SC101"}
+
+    def test_helper_escape_sc106_transitive(self):
+        src = '''
+# repro-shared: total
+# repro-instrument: worker
+def leaf(v):
+    total = total + v
+
+def mid(v):
+    leaf(v)
+
+def worker():
+    mid(1)
+'''
+        diags = lint_python_source(src)
+        assert codes(diags) == {"SC106"}
+        assert any(d.symbol == "mid" for d in diags)
+
+    def test_calls_between_instrumented_functions_ok(self):
+        src = '''
+# repro-shared: x
+# repro-instrument: worker, helper
+def helper():
+    x = x + 1
+
+def worker():
+    helper()
+'''
+        assert lint_python_source(src) == []
+
+    def test_no_entries_means_no_findings(self):
+        src = '''
+def library_code(q):
+    q.append(1)
+'''
+        assert lint_python_source(src) == []
+
+    def test_spec_relevance_sc113(self):
+        src = '''
+# repro-shared: x, noise
+# repro-instrument: worker
+def worker():
+    x = x + 1
+    noise = 7
+'''
+        diags = lint_python_source(src, spec="x >= 0")
+        assert codes(diags) == {"SC113"}
+        assert diags[0].symbol == "noise"
+        assert diags[0].severity is Severity.WARN
+
+
+class TestMiniLangLint:
+    def test_clean_program(self):
+        src = """
+shared int x = 0;
+thread main { x = x + 1; }
+"""
+        assert lint_minilang_source(src) == []
+
+    def test_syntax_error_sc200(self):
+        diags = lint_minilang_source("shared int x = ;")
+        assert codes(diags) == {"SC200"}
+
+    def test_undeclared_sc201(self):
+        src = """
+shared int x = 0;
+thread main { x = ghost + 1; }
+"""
+        diags = lint_minilang_source(src)
+        assert codes(diags) == {"SC201"}
+        assert diags[0].line == 3
+
+    def test_shadow_sc202(self):
+        src = """
+shared int x = 0;
+thread main { local int x = 1; }
+"""
+        assert codes(lint_minilang_source(src)) == {"SC202"}
+
+    def test_spec_relevance_sc203(self):
+        src = """
+shared int x = 0, noise = 0;
+thread main { x = x + 1; noise = 5; }
+"""
+        diags = lint_minilang_source(src, spec="x >= 0")
+        assert codes(diags) == {"SC203"}
+        assert diags[0].symbol == "noise"
+
+
+class TestDiagnosticModel:
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError, match="unknown diagnostic code"):
+            Diagnostic(code="SC999", message="m", file="f", line=1)
+
+    def test_catalogue_codes_are_namespaced(self):
+        for code in CATALOGUE:
+            assert code.startswith("SC1") or code.startswith("SC2")
+
+    def test_pretty_contains_span_and_code(self):
+        d = Diagnostic(code="SC101", message="boom", file="a.py", line=4,
+                       col=7)
+        assert "a.py:4:7" in d.pretty()
+        assert "SC101" in d.pretty()
+        assert "ERROR" in d.pretty()
