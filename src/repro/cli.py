@@ -26,7 +26,17 @@ original tool:
 * ``lint``    — static shared-state soundness lint over Python/MiniLang
   sources: reports accesses the instrumentor would miss (aliases,
   closures, un-instrumented helpers, …) with stable SC-codes, plus
-  spec-relevance findings with ``--spec``.
+  spec-relevance findings with ``--spec``;
+* ``archive`` — run a workload (or ingest an existing trace file) into a
+  trace archive: v2 segment file + catalog entry with the live verdict;
+* ``replay``  — deterministically replay archived traces through the
+  analysis pipeline; ``--all --expect-catalog`` is the regression-corpus
+  mode (any verdict drift fails), ``--spec`` re-analyzes under a
+  different property without re-running the program;
+* ``query``   — filter the archive catalog (program, verdict, spec text,
+  event counts);
+* ``gc``      — apply a retention policy to the archive (age / total
+  size / entry count).
 
 Examples::
 
@@ -39,10 +49,14 @@ Examples::
     python -m repro observe xyz --faults drop=0.05,dup=0.02,corrupt=0.01 --fault-seed 7
     python -m repro stats xyz --trace-out /tmp/xyz-trace.json
     python -m repro observe landing --metrics --progress 2
-    python -m repro serve --port 4040 --max-sessions 8
+    python -m repro serve --port 4040 --max-sessions 8 --archive /var/traces
     python -m repro attach xyz --port 4040
     python -m repro sessions --port 4040
     python -m repro lint src/repro/workloads examples --json
+    python -m repro archive /var/traces xyz --seed 7
+    python -m repro replay /var/traces --all --expect-catalog
+    python -m repro query /var/traces --verdict violation --json
+    python -m repro gc /var/traces --max-age-s 604800 --max-bytes 100000000
 """
 
 from __future__ import annotations
@@ -397,7 +411,7 @@ def cmd_serve(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     config = ServerConfig(
         host=args.host, port=args.port, max_sessions=args.max_sessions,
         max_queued_events=args.max_queued, workers=args.workers,
-        results_path=args.results)
+        results_path=args.results, archive_dir=args.archive)
     server = AnalysisServer(config, on_session_end=on_end).start()
     out(f"serving on {server.host}:{server.port} "
         f"(max {config.max_sessions} sessions, {config.workers} workers)")
@@ -511,6 +525,166 @@ def cmd_lint(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     return 0
 
 
+def cmd_archive(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    """Record a workload run (or ingest a trace file) into an archive."""
+    from .observer.trace import TraceFormatError, TraceHeader, iter_trace
+    from .store import TraceArchive
+
+    if (args.workload is None) == (args.import_trace is None):
+        out("error: give exactly one of a workload name or --import-trace")
+        return 2
+    archive = TraceArchive(args.dir)
+    if args.import_trace is not None:
+        try:
+            stream = iter_trace(args.import_trace)
+            header = next(stream)
+            assert isinstance(header, TraceHeader)
+            entry = archive.record_messages(
+                args.program or header.program, header.n_threads,
+                header.initial, stream, spec=args.spec)
+        except (OSError, TraceFormatError) as exc:
+            out(f"error: {exc}")
+            return 2
+    else:
+        demo = DEMOS[args.workload]
+        spec = args.spec or demo.spec
+        execution = _run_demo(demo, args.seed)
+        entry = archive.record_messages(
+            args.program or args.workload, execution.n_threads,
+            execution.initial_store, execution.messages, spec=spec)
+    out(f"archived {entry.id}: {entry.events} events, {entry.bytes} bytes, "
+        f"verdict {entry.verdict} ({entry.violations} violation(s))")
+    for c in entry.counterexamples:
+        out("  counterexample: " + c)
+    return 0
+
+
+def cmd_replay(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    """Deterministically replay archived traces; optionally enforce the
+    catalog verdicts (regression-corpus mode) or re-analyze with --spec."""
+    import json as _json
+
+    from .observer.trace import TraceFormatError
+    from .store import CatalogError, TraceArchive, replay_entry, verify_entry
+
+    if args.expect_catalog and args.spec is not None:
+        out("error: --expect-catalog replays under the recorded spec; "
+            "it cannot be combined with --spec")
+        return 2
+    if bool(args.all) == bool(args.ids):
+        out("error: give either --all or one or more trace ids")
+        return 2
+    try:
+        archive = TraceArchive(args.dir)
+        entries = (archive.entries() if args.all
+                   else [archive.get(i) for i in args.ids])
+    except (OSError, CatalogError) as exc:
+        out(f"error: {exc}")
+        return 2
+    if not entries:
+        out("archive holds no traces")
+        return 0
+    drifted = 0
+    violated = 0
+    results = []
+    for entry in entries:
+        try:
+            if args.expect_catalog:
+                problems = verify_entry(archive, entry)
+                if problems:
+                    drifted += 1
+                    out(f"{entry.id}: DRIFT")
+                    for p in problems:
+                        out(f"  {p}")
+                else:
+                    out(f"{entry.id}: OK — reproduced "
+                        f"{entry.violations} violation(s) over "
+                        f"{entry.events} events")
+                results.append({"id": entry.id, "drift": problems})
+            else:
+                r = replay_entry(archive, entry, spec=args.spec)
+                violated += bool(r.violations)
+                out(f"{entry.id}: {r.verdict} — {r.violations} violation(s) "
+                    f"over {r.events} events "
+                    f"({r.events_per_sec:,.0f} events/s)"
+                    + (f" under spec {args.spec!r}" if args.spec else ""))
+                for c in r.counterexamples:
+                    out("  counterexample: " + c)
+                results.append({
+                    "id": entry.id, "verdict": r.verdict,
+                    "violations": r.violations, "events": r.events,
+                    "counterexamples": list(r.counterexamples),
+                    "final_clocks": [list(c) for c in r.final_clocks],
+                    "sound": r.sound, "elapsed_s": round(r.elapsed_s, 6),
+                })
+        except (OSError, TraceFormatError, CatalogError, KeyError) as exc:
+            out(f"error: replay of {entry.id} failed: {exc}")
+            return 2
+    if args.json:
+        out(_json.dumps(results, indent=2))
+    if args.expect_catalog:
+        out(f"replayed {len(entries)} trace(s): "
+            + ("all verdicts reproduced exactly" if not drifted
+               else f"{drifted} DRIFTED"))
+        return 1 if drifted else 0
+    return 1 if violated else 0
+
+
+def cmd_query(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    """Filter the archive catalog."""
+    import json as _json
+
+    from .store import CatalogError, CatalogQuery, TraceArchive
+
+    try:
+        query = CatalogQuery(
+            program=args.program, spec_contains=args.spec_contains,
+            verdict=args.verdict, min_events=args.min_events,
+            max_events=args.max_events)
+        entries = TraceArchive(args.dir).entries(query)
+    except (OSError, CatalogError, ValueError) as exc:
+        out(f"error: {exc}")
+        return 2
+    if args.json:
+        out(_json.dumps([e.to_json() for e in entries], indent=2,
+                        default=str))
+        return 0
+    if not entries:
+        out("no matching traces")
+        return 0
+    out(f"{'id':<16} {'program':<10} {'threads':>7} {'events':>7} "
+        f"{'bytes':>9} {'verdict':<9} {'viol':>4}  spec")
+    for e in entries:
+        out(f"{e.id:<16} {e.program:<10} {e.n_threads:>7} {e.events:>7} "
+            f"{e.bytes:>9} {e.verdict:<9} {e.violations:>4}  "
+            f"{e.spec or ''}")
+    out(f"{len(entries)} trace(s)")
+    return 0
+
+
+def cmd_gc(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    """Apply the retention policy to an archive."""
+    from .store import CatalogError, RetentionPolicy, TraceArchive
+
+    try:
+        policy = RetentionPolicy(
+            max_age_s=args.max_age_s, max_total_bytes=args.max_bytes,
+            max_entries=args.keep)
+        archive = TraceArchive(args.dir)
+        report = archive.gc(policy, dry_run=args.dry_run)
+    except (OSError, CatalogError, ValueError) as exc:
+        out(f"error: {exc}")
+        return 2
+    if not policy.bounded:
+        out("warning: no retention bound given "
+            "(--max-age-s / --max-bytes / --keep); nothing to do")
+    for e in report.removed:
+        out(("would remove " if args.dry_run else "removed ")
+            + f"{e.id} ({e.bytes} bytes, {e.verdict})")
+    out(report.summary())
+    return 0
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
@@ -608,6 +782,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-session ingest queue bound (default 1024)")
     p.add_argument("--results", default=None, metavar="FILE",
                    help="append terminal session records to this JSONL file")
+    p.add_argument("--archive", default=None, metavar="DIR",
+                   help="persist every finished session into a trace "
+                        "archive rooted at DIR (see 'repro replay/query/gc')")
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("attach",
@@ -625,6 +802,74 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="dump the raw status document as JSON")
     p.set_defaults(fn=cmd_sessions)
+
+    p = sub.add_parser(
+        "archive",
+        help="record a workload run (or a trace file) into a trace archive")
+    p.add_argument("dir", help="archive directory (created if absent)")
+    p.add_argument("workload", nargs="?", choices=sorted(DEMOS),
+                   default=None, help="bundled workload to run and archive")
+    p.add_argument("--import-trace", default=None, metavar="FILE",
+                   help="ingest an existing trace file (v1 JSONL or v2) "
+                        "instead of running a workload")
+    p.add_argument("--program", default=None,
+                   help="program name for the catalog entry "
+                        "(default: workload name / trace header)")
+    p.add_argument("--spec", default=None,
+                   help="safety spec to analyze under while recording "
+                        "(default: the workload's bundled spec)")
+    p.add_argument("--seed", type=int, default=None,
+                   help="use a seeded random schedule instead of the "
+                        "paper's observed one")
+    p.set_defaults(fn=cmd_archive)
+
+    p = sub.add_parser(
+        "replay",
+        help="deterministically replay archived traces")
+    p.add_argument("dir", help="archive directory")
+    p.add_argument("ids", nargs="*",
+                   help="trace ids to replay (or use --all)")
+    p.add_argument("--all", action="store_true",
+                   help="replay every trace in the catalog")
+    p.add_argument("--spec", default=None,
+                   help="re-analyze under this spec instead of the "
+                        "recorded one")
+    p.add_argument("--expect-catalog", action="store_true",
+                   help="regression-corpus mode: fail (exit 1) unless every "
+                        "replay reproduces its catalog verdict bit-for-bit")
+    p.add_argument("--json", action="store_true",
+                   help="also dump the replay results as JSON")
+    p.set_defaults(fn=cmd_replay)
+
+    p = sub.add_parser("query", help="filter a trace archive's catalog")
+    p.add_argument("dir", help="archive directory")
+    p.add_argument("--program", default=None,
+                   help="exact program name to match")
+    p.add_argument("--spec-contains", default=None, metavar="TEXT",
+                   help="substring match against the recorded spec")
+    p.add_argument("--verdict", default=None,
+                   choices=("violation", "clean"), help="verdict to match")
+    p.add_argument("--min-events", type=int, default=None,
+                   help="minimum event count")
+    p.add_argument("--max-events", type=int, default=None,
+                   help="maximum event count")
+    p.add_argument("--json", action="store_true",
+                   help="emit matching catalog entries as JSON")
+    p.set_defaults(fn=cmd_query)
+
+    p = sub.add_parser(
+        "gc", help="apply a retention policy to a trace archive")
+    p.add_argument("dir", help="archive directory")
+    p.add_argument("--max-age-s", type=float, default=None, metavar="S",
+                   help="remove traces older than S seconds")
+    p.add_argument("--max-bytes", type=int, default=None, metavar="B",
+                   help="shrink the archive to at most B bytes (oldest "
+                        "traces removed first)")
+    p.add_argument("--keep", type=int, default=None, metavar="N",
+                   help="keep at most the N newest traces")
+    p.add_argument("--dry-run", action="store_true",
+                   help="report what would be removed without removing it")
+    p.set_defaults(fn=cmd_gc)
 
     p = sub.add_parser(
         "lint",

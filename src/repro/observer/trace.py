@@ -2,39 +2,59 @@
 
 JMPaX analyzes live socket streams; for a reusable tool it is equally
 useful to persist the instrumented run and analyze it later (or on another
-machine).  Format: JSON lines — a header record then one record per
-message::
+machine).  Two on-disk formats share one reader entry point:
 
-    {"type": "header", "version": 1, "n_threads": 2, "initial": {...},
-     "program": "landing-controller"}
-    {"thread": 0, "seq": 2, "kind": "write", ...}      # Message.to_json
+* **v1** (this module): JSON lines — a header record then one record per
+  message::
 
-The format is append-friendly: the instrumentation can stream records as
-Algorithm A emits them (see :class:`TraceWriter`).
+      {"type": "header", "version": 1, "n_threads": 2, "initial": {...},
+       "program": "landing-controller"}
+      {"thread": 0, "seq": 2, "kind": "write", ...}      # Message.to_json
+
+* **v2** (:mod:`repro.store.format`): binary-framed, CRC-checksummed,
+  gzip-compressed segments — the trace-archive format.  :func:`iter_trace`
+  and :func:`read_trace` sniff the magic bytes and read either.
+
+Both formats are append-friendly: the instrumentation can stream records
+as Algorithm A emits them (see :class:`TraceWriter` here and
+``repro.store.format.SegmentWriter`` for v2).
+
+Reading is streaming-first: :func:`iter_trace` yields the header then one
+message at a time, so replaying a multi-gigabyte archive never loads the
+whole file into memory; :func:`read_trace` is a convenience that drains
+the same generator into a :class:`Trace`.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import IO, Any, Iterable, Mapping, Optional
+from typing import IO, Any, Iterable, Iterator, Mapping, Optional, Union
 
 from ..core.events import Message, VarName
 
-__all__ = ["Trace", "TraceFormatError", "TraceWriter", "write_trace",
-           "read_trace"]
+__all__ = ["Trace", "TraceHeader", "TraceFormatError", "TraceWriter",
+           "write_trace", "read_trace", "iter_trace", "trace_version"]
 
 _VERSION = 1
+
+#: First bytes of a v2 (binary segment) trace file; anything else is
+#: treated as v1 JSON lines.  Defined here so sniffing does not import the
+#: store package; ``repro.store.format`` asserts it uses the same value.
+V2_MAGIC = b"RPROTRC2"
 
 
 class TraceFormatError(ValueError):
     """A trace file violates the format contract.
 
-    Always names the file and the 1-based line number of the offending
-    record, so a truncated upload or a hand-edited header is diagnosable
-    without opening the file.  Subclasses :class:`ValueError` so existing
-    callers that caught the old raw errors keep working.
+    Always names the file and a 1-based position of the offending record —
+    the *line number* for v1 JSONL traces, the *byte offset* of the
+    offending frame for v2 binary traces (the ``problem`` text says which)
+    — so a truncated upload or a hand-edited header is diagnosable without
+    opening the file.  Subclasses :class:`ValueError` so existing callers
+    that caught the old raw errors keep working.
     """
 
     def __init__(self, path: str | Path, lineno: int, problem: str):
@@ -42,6 +62,29 @@ class TraceFormatError(ValueError):
         self.path = str(path)
         self.lineno = lineno
         self.problem = problem
+
+    @property
+    def offset(self) -> int:
+        """Alias for :attr:`lineno` under its v2 meaning (byte offset)."""
+        return self.lineno
+
+
+@dataclass(frozen=True)
+class TraceHeader:
+    """The header record of a trace file, parsed and validated.
+
+    First item yielded by :func:`iter_trace`; carries everything the
+    observer needs before the first message arrives.
+    """
+
+    n_threads: int
+    initial: dict[VarName, Any] = field(default_factory=dict)
+    program: str = "unknown"
+    version: int = _VERSION
+
+    def __post_init__(self) -> None:
+        if self.n_threads <= 0:
+            raise ValueError("trace needs at least one thread")
 
 
 @dataclass
@@ -59,12 +102,19 @@ class Trace:
 
 
 class TraceWriter:
-    """Streaming writer: header first, then one line per message.
+    """Streaming v1 writer: header first, then one line per message.
 
     Usable as an Algorithm A sink::
 
         with TraceWriter(path, n_threads=2, initial=store) as w:
             run_program(program, scheduler, sink=w.write)
+
+    Durability contract: a clean :meth:`close` (or clean ``with`` exit)
+    flushes *and fsyncs* before closing, so a trace that a recorder claims
+    to have written survives a crash of the machine right after.  When the
+    body of the ``with`` raises instead, ``__exit__`` still closes the
+    underlying file (no leaked handle) but skips the fsync so the original
+    exception is never masked by a failing sync of a half-written file.
     """
 
     def __init__(
@@ -75,32 +125,60 @@ class TraceWriter:
         program: str = "unknown",
     ):
         self._fh: Optional[IO[str]] = open(path, "w", encoding="utf-8")
-        header = {
-            "type": "header",
-            "version": _VERSION,
-            "n_threads": n_threads,
-            "initial": dict(initial),
-            "program": program,
-        }
-        self._fh.write(json.dumps(header) + "\n")
+        try:
+            header = {
+                "type": "header",
+                "version": _VERSION,
+                "n_threads": n_threads,
+                "initial": dict(initial),
+                "program": program,
+            }
+            self._fh.write(json.dumps(header) + "\n")
+        except BaseException:
+            # e.g. a non-JSON-able initial store: don't leak the handle
+            self._abandon()
+            raise
         self.count = 0
 
     def write(self, msg: Message) -> None:
         if self._fh is None:
             raise RuntimeError("trace writer is closed")
-        self._fh.write(msg.to_json() + "\n")
+        try:
+            self._fh.write(msg.to_json() + "\n")
+        except BaseException:
+            self._abandon()
+            raise
         self.count += 1
 
     def close(self) -> None:
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        """Flush, fsync and close (idempotent)."""
+        fh, self._fh = self._fh, None
+        if fh is None:
+            return
+        try:
+            fh.flush()
+            os.fsync(fh.fileno())
+        finally:
+            fh.close()
+
+    def _abandon(self) -> None:
+        """Error path: close the handle without fsync, swallow close errors
+        so the in-flight exception stays primary."""
+        fh, self._fh = self._fh, None
+        if fh is not None:
+            try:
+                fh.close()
+            except OSError:
+                pass
 
     def __enter__(self) -> "TraceWriter":
         return self
 
-    def __exit__(self, *exc) -> None:
-        self.close()
+    def __exit__(self, exc_type, *exc) -> None:
+        if exc_type is not None:
+            self._abandon()
+        else:
+            self.close()
 
 
 def write_trace(
@@ -110,21 +188,45 @@ def write_trace(
     messages: Iterable[Message],
     program: str = "unknown",
 ) -> int:
-    """Write a complete trace; returns the number of messages written."""
+    """Write a complete v1 trace; returns the number of messages written."""
     with TraceWriter(path, n_threads, initial, program) as w:
         for m in messages:
             w.write(m)
         return w.count
 
 
-def read_trace(path: str | Path) -> Trace:
-    """Load a trace file (header + messages).
+def trace_version(path: str | Path) -> int:
+    """Sniff a trace file's format version (1 = JSONL, 2 = binary segments)
+    without parsing it."""
+    with open(path, "rb") as fh:
+        return 2 if fh.read(len(V2_MAGIC)) == V2_MAGIC else 1
 
-    Every way the file can be malformed — empty, unparseable JSON, a
-    missing or version-mismatched header, a record without the mandatory
-    message fields — raises :class:`TraceFormatError` naming the file and
-    the offending line, never a raw ``KeyError``/``JSONDecodeError``.
+
+def iter_trace(
+    path: str | Path,
+) -> Iterator[Union[TraceHeader, Message]]:
+    """Stream a trace file: yields the :class:`TraceHeader` first, then each
+    :class:`Message` in file order, reading incrementally — a multi-GB
+    archive never resides in memory.
+
+    Handles both formats: v1 JSON lines (this module) and v2 binary
+    segments (``repro.store.format``), dispatching on the magic bytes.
+
+    Every way the file can be malformed — empty, unparseable, a missing or
+    version-mismatched header, a record without the mandatory message
+    fields, a frame failing its checksum — raises
+    :class:`TraceFormatError` naming the file and the offending position,
+    never a raw ``KeyError``/``JSONDecodeError``.
     """
+    if trace_version(path) == 2:
+        from ..store.format import iter_trace_v2
+
+        yield from iter_trace_v2(path)
+        return
+    yield from _iter_trace_v1(path)
+
+
+def _iter_trace_v1(path: str | Path) -> Iterator[Union[TraceHeader, Message]]:
     with open(path, encoding="utf-8") as fh:
         first = fh.readline().strip()
         if not first:
@@ -151,12 +253,20 @@ def read_trace(path: str | Path) -> Trace:
             raise TraceFormatError(
                 path, 1, f"header n_threads must be an integer, "
                          f"got {header['n_threads']!r}")
-        messages = []
+        try:
+            yield TraceHeader(
+                n_threads=header["n_threads"],
+                initial=dict(header["initial"]),
+                program=header.get("program", "unknown"),
+                version=_VERSION,
+            )
+        except (TypeError, ValueError) as exc:
+            raise TraceFormatError(path, 1, f"invalid header: {exc}") from exc
         for lineno, line in enumerate(fh, start=2):
             if not line.strip():
                 continue
             try:
-                messages.append(Message.from_json(line))
+                yield Message.from_json(line)
             except json.JSONDecodeError as exc:
                 raise TraceFormatError(
                     path, lineno,
@@ -169,12 +279,22 @@ def read_trace(path: str | Path) -> Trace:
             except (TypeError, ValueError) as exc:
                 raise TraceFormatError(
                     path, lineno, f"malformed message record: {exc}") from exc
-    try:
-        return Trace(
-            n_threads=header["n_threads"],
-            initial=dict(header["initial"]),
-            messages=messages,
-            program=header.get("program", "unknown"),
-        )
-    except (TypeError, ValueError) as exc:
-        raise TraceFormatError(path, 1, f"invalid header: {exc}") from exc
+
+
+def read_trace(path: str | Path) -> Trace:
+    """Load a whole trace file (header + messages) into memory.
+
+    A convenience over :func:`iter_trace` — same format dispatch, same
+    :class:`TraceFormatError` contract; prefer the generator when the
+    trace may be large.
+    """
+    stream = iter_trace(path)
+    header = next(stream)
+    assert isinstance(header, TraceHeader)
+    messages = [m for m in stream if isinstance(m, Message)]
+    return Trace(
+        n_threads=header.n_threads,
+        initial=dict(header.initial),
+        messages=messages,
+        program=header.program,
+    )

@@ -93,6 +93,11 @@ class ServerConfig:
             queries (oldest evicted first).
         results_path: when set, every terminal session record is appended
             to this JSONL file as it is sealed.
+        archive_dir: when set, a :class:`~repro.store.archive.TraceArchive`
+            rooted there records every session: analyzed messages stream
+            into a v2 trace file and the catalog entry (verdict, final
+            clocks) is published when the session finishes.  Failed
+            sessions leave nothing behind.
     """
 
     host: str = "127.0.0.1"
@@ -106,6 +111,7 @@ class ServerConfig:
     io_timeout: float = 60.0
     max_records: int = 256
     results_path: Optional[str] = None
+    archive_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.max_sessions < 1:
@@ -135,6 +141,11 @@ class AnalysisServer:
                  on_session_end: Optional[Callable[[dict], None]] = None):
         self.config = config
         self._on_session_end = on_session_end
+        self.archive = None
+        if config.archive_dir is not None:
+            from ..store.archive import TraceArchive
+
+            self.archive = TraceArchive(config.archive_dir)
         self._server: Optional[socket.socket] = None
         self.host = config.host
         self.port: Optional[int] = None
@@ -367,6 +378,11 @@ class AnalysisServer:
             return None
         session.conn = conn
         sid = session.id
+        if self.archive is not None:
+            try:
+                session.attach_archive(self.archive)
+            except OSError:
+                pass   # an unwritable archive degrades recording, not analysis
         if _metrics.ENABLED:
             _C_STARTED.inc()
             _G_ACTIVE.add(1)

@@ -75,6 +75,7 @@ class Session:
         self.spec = hello.spec
         self.peer = peer
         self.n_threads = hello.n_threads
+        self.initial = dict(hello.initial)
         self._monitor = Monitor(hello.spec) if hello.spec else None
         self._variables = (sorted(self._monitor.variables)
                            if self._monitor else [])
@@ -105,6 +106,10 @@ class Session:
         self.conn = None
         self.meter = None
         self.scheduled = False
+        # trace-archive plumbing (repro.store): a PendingTrace when the
+        # daemon was configured with archive_dir, else None
+        self._pending = None
+        self.archive_id: Optional[str] = None
 
     # -- state ----------------------------------------------------------------
 
@@ -133,7 +138,50 @@ class Session:
             self._queue.clear()
             self._enter_terminal(SessionState.FAILED)
             self._cond.notify_all()
-            return True
+        # outside the condition: file I/O must not block enqueuers.  A
+        # failed session is never archived — the partial trace is removed.
+        self._abort_archive()
+        return True
+
+    # -- trace archive --------------------------------------------------------
+
+    def attach_archive(self, archive) -> None:
+        """Record this session into ``archive`` (a
+        :class:`~repro.store.archive.TraceArchive`): every analyzed message
+        is streamed into a pending trace, committed with the verdict when
+        the session finishes, aborted (file removed) when it fails."""
+        self._pending = archive.begin(
+            program=self.program, n_threads=self.n_threads,
+            initial=self.initial, spec=self.spec)
+        self.archive_id = self._pending.id
+
+    def _archive_write(self, msg) -> None:
+        pending = self._pending
+        if pending is None:
+            return
+        try:
+            pending.write(msg)
+        except (OSError, RuntimeError):
+            # a full disk (or a racing abort) degrades the archive, never
+            # the analysis: drop the recording, keep the session alive
+            self._pending = None
+            pending.abort()
+
+    def _commit_archive(self) -> None:
+        pending = self._pending
+        if pending is None:
+            return
+        try:
+            pending.commit(self.violations_pretty(),
+                           self.observer.health.sound_everywhere,
+                           time.monotonic() - self._t0)
+        except OSError:
+            pending.abort()
+
+    def _abort_archive(self) -> None:
+        pending, self._pending = self._pending, None
+        if pending is not None:
+            pending.abort()
 
     # -- reader side ----------------------------------------------------------
 
@@ -189,12 +237,17 @@ class Session:
             try:
                 if item is _FIN:
                     self.observer.finish()
+                    # archive the verdict before `done` is published: once
+                    # the reader sees `done` it may seal() and drop the
+                    # observer this commit still reads from
+                    self._commit_archive()
                     with self._cond:
                         if not self._state.terminal:
                             self._enter_terminal(SessionState.FINISHED)
                     return False
                 self.observer.receive(item)
                 self.analyzed += 1
+                self._archive_write(item)
             except Exception as exc:  # noqa: BLE001 - reported, not raised
                 self.fail(f"analysis error: {exc}")
                 return False
@@ -217,6 +270,7 @@ class Session:
         if self._sealed is None:
             self._sealed = self.record()
             self.observer = None  # type: ignore[assignment]
+            self._abort_archive()   # no-op when already committed/aborted
         return self._sealed
 
     def record(self) -> dict:
@@ -240,6 +294,7 @@ class Session:
             "violations": len(self.observer.violations),
             "counterexamples": self.violations_pretty(),
             "sound": health.sound_everywhere,
+            "archive": self.archive_id,
             "error": self.error,
             "started_at": self.started_at,
             "finished_at": self.finished_at,

@@ -1,0 +1,270 @@
+"""The trace archive: a durable, append-only store of analyzed sessions.
+
+Layout on disk::
+
+    <root>/
+      catalog.json          # the index (repro.store.catalog)
+      traces/
+        s000001-xyz.rpt     # v2 segment files, one per committed session
+        s000002-bank.rpt.part   # in-flight writer (never cataloged)
+
+Writing is two-phase so the catalog only ever names complete traces:
+
+1. :meth:`TraceArchive.begin` allocates an id and opens a
+   :class:`PendingTrace` streaming into ``<id>.rpt.part``;
+2. the pipeline calls :meth:`PendingTrace.write` per analyzed message
+   (tracking the final per-thread vector clocks as it goes);
+3. :meth:`PendingTrace.commit` seals the segment file, renames it to its
+   final name, and publishes the catalog entry — or :meth:`PendingTrace.abort`
+   deletes the partial file, leaving no trace of a failed session.
+
+All catalog mutation is serialized behind one archive-wide lock; the
+analysis server commits from its worker threads concurrently.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any, Mapping, Optional
+
+from ..core.events import Message, VarName
+from ..obs import metrics as _metrics
+from .catalog import (
+    VERDICT_CLEAN,
+    VERDICT_VIOLATION,
+    Catalog,
+    CatalogEntry,
+    CatalogQuery,
+)
+from .format import FORMAT_VERSION, SegmentWriter
+
+__all__ = ["TraceArchive", "PendingTrace"]
+
+_C_COMMITTED = _metrics.REGISTRY.counter(
+    "store.traces_committed", unit="traces",
+    help="sessions committed to the archive (catalog entries created)")
+_C_ABORTED = _metrics.REGISTRY.counter(
+    "store.traces_aborted", unit="traces",
+    help="in-flight archive writes abandoned (failed sessions)")
+_C_GCED = _metrics.REGISTRY.counter(
+    "store.traces_gced", unit="traces",
+    help="archived traces removed by retention GC")
+
+
+class PendingTrace:
+    """An in-flight archive write: a session being recorded.
+
+    Mirrors the Algorithm A sink shape (``write(msg)``), accumulates the
+    final per-thread vector clocks, and resolves to exactly one of
+    :meth:`commit` (trace published, catalog entry returned) or
+    :meth:`abort` (partial file removed).  Both are idempotent and
+    thread-safe — the server may race a worker's commit against a reader
+    thread's teardown.
+    """
+
+    def __init__(self, archive: "TraceArchive", trace_id: str,
+                 n_threads: int, initial: Mapping[VarName, Any],
+                 program: str, spec: Optional[str]):
+        self.archive = archive
+        self.id = trace_id
+        self.program = program
+        self.spec = spec
+        self.n_threads = n_threads
+        self._final_clocks: list[tuple[int, ...]] = [
+            (0,) * n_threads for _ in range(n_threads)]
+        self._part_path = archive.traces_dir / f"{trace_id}.rpt.part"
+        self._final_path = archive.traces_dir / f"{trace_id}.rpt"
+        self._writer: Optional[SegmentWriter] = SegmentWriter(
+            self._part_path, n_threads, initial, program=program,
+            events_per_segment=archive.events_per_segment)
+        self._lock = threading.Lock()
+        self._resolved = False
+
+    @property
+    def count(self) -> int:
+        w = self._writer
+        return w.count if w is not None else 0
+
+    def write(self, msg: Message) -> None:
+        """Append one analyzed message (not thread-safe against itself:
+        exactly one writer thread, the session's worker, calls this)."""
+        w = self._writer
+        if w is None:
+            raise RuntimeError(f"pending trace {self.id} already resolved")
+        w.write(msg)
+        self._final_clocks[msg.thread] = tuple(msg.clock)
+
+    @property
+    def final_clocks(self) -> tuple[tuple[int, ...], ...]:
+        """Final MVC per thread: the clock of each thread's last archived
+        message (all-zeros for silent threads)."""
+        return tuple(self._final_clocks)
+
+    def commit(self, counterexamples: list[str], sound: bool,
+               wall_time_s: float) -> Optional[CatalogEntry]:
+        """Seal the trace and publish its catalog entry.
+
+        Returns ``None`` when the trace was already resolved (a concurrent
+        abort won the race)."""
+        with self._lock:
+            if self._resolved:
+                return None
+            self._resolved = True
+            writer, self._writer = self._writer, None
+        writer.close()
+        os.replace(self._part_path, self._final_path)
+        entry = CatalogEntry(
+            id=self.id,
+            program=self.program,
+            spec=self.spec,
+            n_threads=self.n_threads,
+            events=writer.count,
+            verdict=VERDICT_VIOLATION if counterexamples else VERDICT_CLEAN,
+            violations=len(counterexamples),
+            counterexamples=tuple(counterexamples),
+            final_clocks=self.final_clocks,
+            sound=sound,
+            wall_time_s=round(wall_time_s, 6),
+            created_at=time.time(),
+            bytes=self._final_path.stat().st_size,
+            path=str(self._final_path.relative_to(self.archive.root)),
+            format=FORMAT_VERSION,
+        )
+        self.archive._publish(entry)
+        if _metrics.ENABLED:
+            _C_COMMITTED.inc()
+        return entry
+
+    def abort(self) -> None:
+        """Drop the partial file; no catalog entry is ever created."""
+        with self._lock:
+            if self._resolved:
+                return
+            self._resolved = True
+            writer, self._writer = self._writer, None
+        if writer is not None:
+            writer.abort()
+        if _metrics.ENABLED:
+            _C_ABORTED.inc()
+
+
+class TraceArchive:
+    """A directory of archived traces plus their catalog.
+
+    Args:
+        root: archive directory; created (with ``traces/``) if absent.
+        events_per_segment: segment granularity handed to the v2 writer.
+
+    Thread-safe: catalog reads and mutations are serialized behind one
+    lock, and every mutation persists the catalog atomically before
+    returning.
+    """
+
+    CATALOG_NAME = "catalog.json"
+
+    def __init__(self, root: str | Path, events_per_segment: int = 512):
+        self.root = Path(root)
+        self.traces_dir = self.root / "traces"
+        self.traces_dir.mkdir(parents=True, exist_ok=True)
+        self.events_per_segment = events_per_segment
+        self._lock = threading.RLock()
+        self._catalog = Catalog.load(self.root / self.CATALOG_NAME)
+
+    # -- recording ------------------------------------------------------------
+
+    def begin(self, program: str, n_threads: int,
+              initial: Mapping[VarName, Any],
+              spec: Optional[str] = None) -> PendingTrace:
+        """Open an in-flight recording (allocates and persists the id)."""
+        with self._lock:
+            trace_id = self._catalog.allocate_id(program)
+            self._catalog.save()   # ids survive a restart mid-recording
+        return PendingTrace(self, trace_id, n_threads, initial,
+                            program=program, spec=spec)
+
+    def _publish(self, entry: CatalogEntry) -> None:
+        with self._lock:
+            self._catalog.add(entry)
+            self._catalog.save()
+
+    def record_messages(self, program: str, n_threads: int,
+                        initial: Mapping[VarName, Any], messages,
+                        spec: Optional[str] = None) -> CatalogEntry:
+        """Archive a complete message stream in one call.
+
+        Runs the live pipeline (``Observer`` with causal delivery, plus the
+        predictor when ``spec`` is given) while streaming the messages into
+        a pending trace, then commits with the resulting verdict — the
+        ``repro archive`` CLI path.  ``messages`` may be any iterable,
+        including a lazy :func:`~repro.observer.trace.iter_trace` stream.
+        """
+        from ..logic.monitor import Monitor
+        from ..observer.observer import Observer
+
+        monitor = Monitor(spec) if spec else None
+        observer = Observer(n_threads, initial, spec=monitor,
+                            causal_log=True)
+        pending = self.begin(program, n_threads, initial, spec=spec)
+        t0 = time.perf_counter()
+        try:
+            for m in messages:
+                observer.receive(m)
+                pending.write(m)
+            observer.finish()
+        except BaseException:
+            pending.abort()
+            raise
+        variables = sorted(monitor.variables) if monitor else []
+        entry = pending.commit(
+            [v.pretty(variables) for v in observer.violations],
+            observer.health.sound_everywhere,
+            time.perf_counter() - t0)
+        assert entry is not None   # nothing else can resolve this pending
+        return entry
+
+    # -- queries --------------------------------------------------------------
+
+    def entries(self, query: Optional[CatalogQuery] = None
+                ) -> list[CatalogEntry]:
+        with self._lock:
+            return self._catalog.entries(query)
+
+    def get(self, entry_id: str) -> CatalogEntry:
+        with self._lock:
+            return self._catalog.get(entry_id)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._catalog)
+
+    def total_bytes(self) -> int:
+        with self._lock:
+            return self._catalog.total_bytes()
+
+    def path_of(self, entry: CatalogEntry) -> Path:
+        return self.root / entry.path
+
+    # -- removal --------------------------------------------------------------
+
+    def remove(self, entry_id: str) -> CatalogEntry:
+        """Drop one trace: catalog entry first (persisted), then the file —
+        a crash in between leaves an orphan file, never a dangling entry."""
+        with self._lock:
+            entry = self._catalog.remove(entry_id)
+            self._catalog.save()
+        try:
+            self.path_of(entry).unlink()
+        except OSError:
+            pass
+        if _metrics.ENABLED:
+            _C_GCED.inc()
+        return entry
+
+    def gc(self, policy, now: Optional[float] = None, dry_run: bool = False):
+        """Apply a retention policy; see :func:`repro.store.gc.collect`."""
+        from .gc import collect
+
+        return collect(self, policy, now=now, dry_run=dry_run)

@@ -1,0 +1,238 @@
+"""The archive catalog: one index record per archived trace.
+
+The catalog is what turns a directory of segment files into a queryable
+store: every committed trace gets a :class:`CatalogEntry` carrying the
+session identity (program, spec, thread count), the size of the trace
+(events, bytes), the **live verdict** (violation count, counterexample
+texts, soundness) and the **final per-thread vector clocks** — exactly the
+quantities the deterministic replay engine must reproduce bit-for-bit, so
+the catalog doubles as the expected-output side of the regression corpus
+(``repro replay --all --expect-catalog``).
+
+Persistence is one JSON document (``catalog.json`` at the archive root),
+written atomically (temp file + ``os.replace``) so a crash mid-save never
+leaves a truncated catalog next to intact trace files.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Iterable, Optional
+
+__all__ = ["CatalogEntry", "CatalogQuery", "Catalog", "CatalogError"]
+
+_CATALOG_VERSION = 1
+
+#: Catalog verdict strings (`CatalogEntry.verdict`).
+VERDICT_VIOLATION = "violation"
+VERDICT_CLEAN = "clean"
+
+
+class CatalogError(ValueError):
+    """The catalog file is missing, unparseable, or structurally wrong."""
+
+
+@dataclass(frozen=True)
+class CatalogEntry:
+    """One archived trace: identity, size, verdict, replay expectations."""
+
+    id: str
+    program: str
+    n_threads: int
+    events: int
+    #: ``"violation"`` or ``"clean"`` (derived from ``violations``).
+    verdict: str
+    #: Number of violations the live analysis reported.
+    violations: int
+    #: The live counterexamples, pretty-printed — replay must reproduce
+    #: this list exactly (same order, same text).
+    counterexamples: tuple[str, ...]
+    #: Final MVC of each thread (clock of its last archived message;
+    #: all-zeros for a thread that emitted nothing).
+    final_clocks: tuple[tuple[int, ...], ...]
+    #: Was the live analysis sound everywhere (no loss, no degradation)?
+    sound: bool
+    #: Wall-clock seconds the live analysis took (replay overhead baseline).
+    wall_time_s: float
+    #: Unix timestamp the entry was committed (GC's age input).
+    created_at: float
+    #: Size of the trace file in bytes (GC's size input).
+    bytes: int
+    #: Trace file path, relative to the archive root.
+    path: str
+    spec: Optional[str] = None
+    #: On-disk trace format version (2 for archive-written traces).
+    format: int = 2
+
+    def to_json(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "CatalogEntry":
+        try:
+            return cls(
+                id=doc["id"],
+                program=doc["program"],
+                n_threads=doc["n_threads"],
+                events=doc["events"],
+                verdict=doc["verdict"],
+                violations=doc["violations"],
+                counterexamples=tuple(doc["counterexamples"]),
+                final_clocks=tuple(tuple(c) for c in doc["final_clocks"]),
+                sound=doc["sound"],
+                wall_time_s=doc["wall_time_s"],
+                created_at=doc["created_at"],
+                bytes=doc["bytes"],
+                path=doc["path"],
+                spec=doc.get("spec"),
+                format=doc.get("format", 2),
+            )
+        except (KeyError, TypeError) as exc:
+            raise CatalogError(
+                f"malformed catalog entry {doc.get('id', '<no id>')!r}: "
+                f"{exc!r}") from exc
+
+
+@dataclass(frozen=True)
+class CatalogQuery:
+    """Filter over catalog entries — the ``repro query`` predicate.
+
+    All supplied conditions must hold (conjunction); ``None`` means
+    "don't care".  ``program`` is an exact match, ``spec_contains`` a
+    substring test on the spec text, ``since``/``before`` bound
+    ``created_at``.
+    """
+
+    program: Optional[str] = None
+    spec_contains: Optional[str] = None
+    verdict: Optional[str] = None
+    min_events: Optional[int] = None
+    max_events: Optional[int] = None
+    since: Optional[float] = None
+    before: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.verdict not in (None, VERDICT_VIOLATION, VERDICT_CLEAN):
+            raise ValueError(
+                f"verdict filter must be {VERDICT_VIOLATION!r} or "
+                f"{VERDICT_CLEAN!r}, got {self.verdict!r}")
+
+    def matches(self, entry: CatalogEntry) -> bool:
+        if self.program is not None and entry.program != self.program:
+            return False
+        if (self.spec_contains is not None
+                and self.spec_contains not in (entry.spec or "")):
+            return False
+        if self.verdict is not None and entry.verdict != self.verdict:
+            return False
+        if self.min_events is not None and entry.events < self.min_events:
+            return False
+        if self.max_events is not None and entry.events > self.max_events:
+            return False
+        if self.since is not None and entry.created_at < self.since:
+            return False
+        if self.before is not None and entry.created_at >= self.before:
+            return False
+        return True
+
+
+class Catalog:
+    """The archive's index document, with atomic persistence.
+
+    Not thread-safe by itself — :class:`~repro.store.archive.TraceArchive`
+    serializes access behind its own lock.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.next_seq = 1
+        self._entries: dict[str, CatalogEntry] = {}
+
+    # -- persistence ----------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Catalog":
+        """Read the catalog document; a missing file is an empty catalog."""
+        cat = cls(path)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except FileNotFoundError:
+            return cat
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CatalogError(f"cannot read catalog {path}: {exc}") from exc
+        if not isinstance(doc, dict) or doc.get("version") != _CATALOG_VERSION:
+            raise CatalogError(
+                f"catalog {path}: unsupported document version "
+                f"{doc.get('version') if isinstance(doc, dict) else doc!r}")
+        cat.next_seq = int(doc.get("next_seq", 1))
+        for raw in doc.get("entries", []):
+            entry = CatalogEntry.from_json(raw)
+            cat._entries[entry.id] = entry
+        return cat
+
+    def save(self) -> None:
+        """Atomically write the document (temp file + rename)."""
+        doc = {
+            "version": _CATALOG_VERSION,
+            "next_seq": self.next_seq,
+            "entries": [e.to_json() for e in self.entries()],
+        }
+        tmp = self.path.with_suffix(".json.tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, default=str)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+
+    # -- mutation -------------------------------------------------------------
+
+    def allocate_id(self, program: str) -> str:
+        """Mint a unique trace id: a monotone sequence number plus the
+        program name, e.g. ``s000003-xyz``."""
+        seq = self.next_seq
+        self.next_seq += 1
+        safe = "".join(c if c.isalnum() or c in "-_" else "-"
+                       for c in program) or "unknown"
+        return f"s{seq:06d}-{safe}"
+
+    def add(self, entry: CatalogEntry) -> None:
+        if entry.id in self._entries:
+            raise CatalogError(f"duplicate catalog id {entry.id!r}")
+        self._entries[entry.id] = entry
+
+    def remove(self, entry_id: str) -> CatalogEntry:
+        try:
+            return self._entries.pop(entry_id)
+        except KeyError as exc:
+            raise CatalogError(f"no catalog entry {entry_id!r}") from exc
+
+    # -- queries --------------------------------------------------------------
+
+    def get(self, entry_id: str) -> CatalogEntry:
+        try:
+            return self._entries[entry_id]
+        except KeyError as exc:
+            raise CatalogError(f"no catalog entry {entry_id!r}") from exc
+
+    def entries(
+        self, query: Optional[CatalogQuery] = None
+    ) -> list[CatalogEntry]:
+        """All (matching) entries, oldest first (by creation then id)."""
+        out: Iterable[CatalogEntry] = self._entries.values()
+        if query is not None:
+            out = (e for e in out if query.matches(e))
+        return sorted(out, key=lambda e: (e.created_at, e.id))
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, entry_id: str) -> bool:
+        return entry_id in self._entries
+
+    def total_bytes(self) -> int:
+        return sum(e.bytes for e in self._entries.values())

@@ -1,0 +1,402 @@
+"""Trace format v2: binary-framed, checksummed, gzip-compressed segments.
+
+The v1 JSONL format (:mod:`repro.observer.trace`) is ideal for eyeballing
+a short run but pays for it at archive scale: every message repeats its
+field names, nothing detects a flipped bit, and the only corruption signal
+is a JSON parse error somewhere downstream.  The archive format fixes all
+three while staying append-streamable (the writer emits a segment as soon
+as it fills — it never needs the whole trace in memory, and neither does
+the reader).
+
+Layout::
+
+    magic            8 bytes   b"RPROTRC2"
+    frame*           until EOF
+
+    frame  := type:u8  length:u32le  payload[length]  crc32(payload):u32le
+
+    type 0x01 HEADER   payload = UTF-8 JSON {"version": 2, "n_threads",
+                                 "initial", "program"}
+    type 0x02 SEGMENT  payload = gzip(UTF-8 newline-joined Message JSON
+                                 lines) — up to ``events_per_segment``
+                                 messages per segment
+    type 0x03 FOOTER   payload = UTF-8 JSON {"events": N, "segments": S}
+
+Integrity guarantees, in reading order:
+
+* a wrong magic is a :class:`TraceFormatError` at offset 0;
+* every frame's CRC-32 is verified *before* its payload is parsed or
+  decompressed — a flipped bit anywhere in a frame is reported as a
+  checksum mismatch at that frame's byte offset, and the payload is never
+  trusted;
+* truncation (EOF inside a frame) is reported at the byte offset where
+  the frame started;
+* the FOOTER's event count must match the number of messages actually
+  decoded — a trace missing its tail segments fails loudly even when
+  every surviving frame is intact;
+* a missing FOOTER (writer died before :meth:`SegmentWriter.close`) is
+  itself a format error: archives only contain committed traces.
+
+Errors reuse :class:`repro.observer.trace.TraceFormatError`; for this
+binary format the error's position field carries the **byte offset** of
+the offending frame (the ``problem`` text says so explicitly).
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import IO, Any, Iterator, Mapping, Optional, Union
+
+from ..core.events import Message, VarName
+from ..obs import metrics as _metrics
+from ..observer.trace import V2_MAGIC, TraceFormatError, TraceHeader
+
+__all__ = ["FORMAT_VERSION", "MAGIC", "SegmentWriter", "iter_trace_v2",
+           "read_trace_v2"]
+
+FORMAT_VERSION = 2
+MAGIC = V2_MAGIC
+assert len(MAGIC) == 8
+
+_FT_HEADER = 0x01
+_FT_SEGMENT = 0x02
+_FT_FOOTER = 0x03
+_FRAME_HEAD = struct.Struct("<BI")     # type, payload length
+_FRAME_CRC = struct.Struct("<I")
+
+#: Refuse absurd frame lengths up front so a corrupted length field cannot
+#: make the reader allocate gigabytes before the CRC check runs.
+MAX_FRAME_PAYLOAD = 1 << 28
+
+_C_SEGMENTS = _metrics.REGISTRY.counter(
+    "store.segments_written", unit="segments",
+    help="v2 trace segments flushed to archive files")
+_C_BYTES_RAW = _metrics.REGISTRY.counter(
+    "store.bytes_raw", unit="bytes",
+    help="uncompressed message bytes handed to the segment compressor")
+_C_BYTES_COMPRESSED = _metrics.REGISTRY.counter(
+    "store.bytes_compressed", unit="bytes",
+    help="compressed segment payload bytes written to archive files")
+_C_EVENTS_ARCHIVED = _metrics.REGISTRY.counter(
+    "store.events_archived", unit="messages",
+    help="messages written into v2 trace files")
+
+
+class SegmentWriter:
+    """Streaming v2 writer: magic + header frame, then gzip segments.
+
+    The v2 counterpart of :class:`~repro.observer.trace.TraceWriter`, with
+    the same sink shape (``write(msg)``) and the same durability contract:
+    a clean :meth:`close` flushes the last partial segment, writes the
+    footer, and fsyncs; an exception inside a ``with`` block still closes
+    the file handle (no leak) without masking the original error.
+    :meth:`abort` additionally unlinks the partial file — the archive uses
+    it for sessions that fail mid-stream.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        n_threads: int,
+        initial: Mapping[VarName, Any],
+        program: str = "unknown",
+        events_per_segment: int = 512,
+        compresslevel: int = 6,
+    ):
+        if events_per_segment < 1:
+            raise ValueError("events_per_segment must be >= 1")
+        self.path = Path(path)
+        self._per_segment = events_per_segment
+        self._level = compresslevel
+        self._buffer: list[str] = []
+        self.count = 0
+        self.segments = 0
+        self.bytes_raw = 0
+        self.bytes_written = len(MAGIC)
+        self._fh: Optional[IO[bytes]] = open(path, "wb")
+        try:
+            self._fh.write(MAGIC)
+            header = {"version": FORMAT_VERSION, "n_threads": n_threads,
+                      "initial": dict(initial), "program": program}
+            self._emit(_FT_HEADER, json.dumps(header).encode("utf-8"))
+        except BaseException:
+            self._abandon()
+            raise
+
+    # -- frame plumbing -------------------------------------------------------
+
+    def _emit(self, frame_type: int, payload: bytes) -> None:
+        assert self._fh is not None
+        self._fh.write(_FRAME_HEAD.pack(frame_type, len(payload)))
+        self._fh.write(payload)
+        self._fh.write(_FRAME_CRC.pack(zlib.crc32(payload)))
+        self.bytes_written += _FRAME_HEAD.size + len(payload) + _FRAME_CRC.size
+
+    def _flush_segment(self) -> None:
+        if not self._buffer:
+            return
+        raw = ("\n".join(self._buffer)).encode("utf-8")
+        payload = gzip.compress(raw, compresslevel=self._level)
+        self._emit(_FT_SEGMENT, payload)
+        self.segments += 1
+        self.bytes_raw += len(raw)
+        self._buffer.clear()
+        if _metrics.ENABLED:
+            _C_SEGMENTS.inc()
+            _C_BYTES_RAW.inc(len(raw))
+            _C_BYTES_COMPRESSED.inc(len(payload))
+
+    # -- sink interface -------------------------------------------------------
+
+    def write(self, msg: Message) -> None:
+        if self._fh is None:
+            raise RuntimeError("segment writer is closed")
+        try:
+            self._buffer.append(msg.to_json())
+            self.count += 1
+            if len(self._buffer) >= self._per_segment:
+                self._flush_segment()
+        except BaseException:
+            self._abandon()
+            raise
+        if _metrics.ENABLED:
+            _C_EVENTS_ARCHIVED.inc()
+
+    def close(self) -> None:
+        """Flush the tail segment, seal with the footer, fsync, close."""
+        fh = self._fh
+        if fh is None:
+            return
+        try:
+            self._flush_segment()
+            footer = {"events": self.count, "segments": self.segments}
+            self._emit(_FT_FOOTER, json.dumps(footer).encode("utf-8"))
+            self._fh = None
+            fh.flush()
+            os.fsync(fh.fileno())
+        finally:
+            self._fh = None
+            fh.close()
+
+    def abort(self) -> None:
+        """Error path: close without sealing and remove the partial file.
+        Idempotent; safe after :meth:`close` (then it does nothing)."""
+        if self._fh is None:
+            return
+        self._abandon()
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+    def _abandon(self) -> None:
+        fh, self._fh = self._fh, None
+        if fh is not None:
+            try:
+                fh.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "SegmentWriter":
+        return self
+
+    def __exit__(self, exc_type, *exc) -> None:
+        if exc_type is not None:
+            self._abandon()
+        else:
+            self.close()
+
+
+def _read_exact(fh: IO[bytes], n: int) -> Optional[bytes]:
+    """Read exactly n bytes, or None at clean EOF; raises on short reads
+    being distinguished by the caller (returns the partial chunk)."""
+    chunk = fh.read(n)
+    if not chunk:
+        return None
+    while len(chunk) < n:
+        more = fh.read(n - len(chunk))
+        if not more:
+            return chunk      # truncated: caller reports the offset
+        chunk += more
+    return chunk
+
+
+def _frames(path: str | Path, fh: IO[bytes]) -> Iterator[tuple[int, int, bytes]]:
+    """Yield ``(frame_offset, frame_type, payload)`` with the CRC already
+    verified; raises :class:`TraceFormatError` at the frame's byte offset
+    on any structural damage."""
+    offset = len(MAGIC)
+    while True:
+        head = _read_exact(fh, _FRAME_HEAD.size)
+        if head is None:
+            return
+        if len(head) < _FRAME_HEAD.size:
+            raise TraceFormatError(
+                path, offset,
+                f"truncated frame at byte offset {offset}: "
+                f"{len(head)} of {_FRAME_HEAD.size} header bytes")
+        frame_type, length = _FRAME_HEAD.unpack(head)
+        if length > MAX_FRAME_PAYLOAD:
+            raise TraceFormatError(
+                path, offset,
+                f"frame at byte offset {offset} declares an implausible "
+                f"payload of {length} bytes (corrupt length field?)")
+        body = _read_exact(fh, length + _FRAME_CRC.size)
+        got = 0 if body is None else len(body)
+        if got < length + _FRAME_CRC.size:
+            raise TraceFormatError(
+                path, offset,
+                f"truncated frame at byte offset {offset}: payload+crc is "
+                f"{got} of {length + _FRAME_CRC.size} bytes")
+        payload, crc_bytes = body[:length], body[length:]
+        (crc,) = _FRAME_CRC.unpack(crc_bytes)
+        if crc != zlib.crc32(payload):
+            raise TraceFormatError(
+                path, offset,
+                f"checksum mismatch in frame at byte offset {offset}: "
+                f"stored crc32={crc:#010x}, "
+                f"computed {zlib.crc32(payload):#010x}")
+        yield offset, frame_type, payload
+        offset += _FRAME_HEAD.size + length + _FRAME_CRC.size
+
+
+def _json_payload(path: str | Path, offset: int, payload: bytes,
+                  what: str) -> dict:
+    try:
+        doc = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise TraceFormatError(
+            path, offset,
+            f"{what} frame at byte offset {offset} is not valid JSON "
+            f"({exc})") from exc
+    if not isinstance(doc, dict):
+        raise TraceFormatError(
+            path, offset,
+            f"{what} frame at byte offset {offset} must be a JSON object")
+    return doc
+
+
+def iter_trace_v2(
+    path: str | Path,
+) -> Iterator[Union[TraceHeader, Message]]:
+    """Stream a v2 trace: yields :class:`TraceHeader` then each message.
+
+    Decompresses one segment at a time — peak memory is one segment, not
+    the trace.  All integrity violations raise :class:`TraceFormatError`
+    with the offending frame's byte offset.
+    """
+    with open(path, "rb") as fh:
+        if fh.read(len(MAGIC)) != MAGIC:
+            raise TraceFormatError(
+                path, 0, f"not a v2 trace file (magic {MAGIC!r} missing)")
+        events = 0
+        segments = 0
+        footer: Optional[dict] = None
+        saw_header = False
+        for offset, frame_type, payload in _frames(path, fh):
+            if footer is not None:
+                raise TraceFormatError(
+                    path, offset,
+                    f"frame at byte offset {offset} after the footer "
+                    "(the footer must be the final frame)")
+            if not saw_header:
+                if frame_type != _FT_HEADER:
+                    raise TraceFormatError(
+                        path, offset,
+                        f"first frame must be the header, got frame type "
+                        f"{frame_type:#04x} at byte offset {offset}")
+                doc = _json_payload(path, offset, payload, "header")
+                version = doc.get("version")
+                if version != FORMAT_VERSION:
+                    raise TraceFormatError(
+                        path, offset,
+                        f"unsupported trace version {version!r} (this "
+                        f"reader understands version {FORMAT_VERSION})")
+                for key in ("n_threads", "initial"):
+                    if key not in doc:
+                        raise TraceFormatError(
+                            path, offset,
+                            f"header lacks the mandatory {key!r} field")
+                if not isinstance(doc["n_threads"], int):
+                    raise TraceFormatError(
+                        path, offset,
+                        f"header n_threads must be an integer, "
+                        f"got {doc['n_threads']!r}")
+                try:
+                    yield TraceHeader(
+                        n_threads=doc["n_threads"],
+                        initial=dict(doc["initial"]),
+                        program=doc.get("program", "unknown"),
+                        version=FORMAT_VERSION,
+                    )
+                except (TypeError, ValueError) as exc:
+                    raise TraceFormatError(
+                        path, offset, f"invalid header: {exc}") from exc
+                saw_header = True
+                continue
+            if frame_type == _FT_SEGMENT:
+                try:
+                    raw = gzip.decompress(payload)
+                except (OSError, EOFError, zlib.error) as exc:
+                    raise TraceFormatError(
+                        path, offset,
+                        f"segment at byte offset {offset} failed to "
+                        f"decompress ({exc})") from exc
+                segments += 1
+                for line in raw.decode("utf-8").splitlines():
+                    if not line:
+                        continue
+                    try:
+                        msg = Message.from_json(line)
+                    except (KeyError, TypeError, ValueError) as exc:
+                        raise TraceFormatError(
+                            path, offset,
+                            f"segment at byte offset {offset} holds a "
+                            f"malformed message record: {exc}") from exc
+                    events += 1
+                    yield msg
+            elif frame_type == _FT_FOOTER:
+                footer = _json_payload(path, offset, payload, "footer")
+                if footer.get("events") != events:
+                    raise TraceFormatError(
+                        path, offset,
+                        f"footer declares {footer.get('events')!r} events "
+                        f"but {events} were decoded (missing or extra "
+                        "segments)")
+                if footer.get("segments") != segments:
+                    raise TraceFormatError(
+                        path, offset,
+                        f"footer declares {footer.get('segments')!r} "
+                        f"segments but {segments} were decoded")
+            else:
+                raise TraceFormatError(
+                    path, offset,
+                    f"unknown frame type {frame_type:#04x} at byte offset "
+                    f"{offset}")
+        if not saw_header:
+            raise TraceFormatError(
+                path, len(MAGIC), "empty v2 trace file (no header frame)")
+        if footer is None:
+            raise TraceFormatError(
+                path, len(MAGIC),
+                "v2 trace has no footer frame (writer closed uncleanly?)")
+
+
+def read_trace_v2(path: str | Path):
+    """Load a whole v2 trace into a :class:`~repro.observer.trace.Trace`."""
+    from ..observer.trace import Trace
+
+    stream = iter_trace_v2(path)
+    header = next(stream)
+    assert isinstance(header, TraceHeader)
+    return Trace(
+        n_threads=header.n_threads,
+        initial=dict(header.initial),
+        messages=[m for m in stream if isinstance(m, Message)],
+        program=header.program,
+    )

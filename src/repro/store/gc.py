@@ -1,0 +1,108 @@
+"""Retention GC: bound the archive by age, total size, and entry count.
+
+A production trace store cannot grow forever; this module implements the
+retention semantics documented in ``docs/STORE.md``:
+
+* **age** — entries older than ``max_age_s`` are always removed;
+* **size** — after the age pass, the *oldest* survivors are removed until
+  the catalog's total trace bytes fit under ``max_total_bytes``;
+* **count** — finally, the oldest survivors beyond ``max_entries`` go.
+
+Oldest-first is the only eviction order: the archive is append-only and a
+regression corpus, so the newest traces (the ones most likely to cover
+recent code) are always the last to go.  ``dry_run`` computes the victim
+set without touching disk — ``repro gc --dry-run`` prints it.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .catalog import CatalogEntry
+
+__all__ = ["RetentionPolicy", "GCReport", "plan", "collect"]
+
+
+@dataclass(frozen=True)
+class RetentionPolicy:
+    """What to keep.  ``None`` disables that bound; an all-``None`` policy
+    removes nothing (GC is a no-op, not a purge)."""
+
+    max_age_s: Optional[float] = None
+    max_total_bytes: Optional[int] = None
+    max_entries: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_age_s is not None and self.max_age_s < 0:
+            raise ValueError("max_age_s must be >= 0")
+        if self.max_total_bytes is not None and self.max_total_bytes < 0:
+            raise ValueError("max_total_bytes must be >= 0")
+        if self.max_entries is not None and self.max_entries < 0:
+            raise ValueError("max_entries must be >= 0")
+
+    @property
+    def bounded(self) -> bool:
+        return any(v is not None for v in
+                   (self.max_age_s, self.max_total_bytes, self.max_entries))
+
+
+@dataclass
+class GCReport:
+    """What one GC pass did (or, under ``dry_run``, would do)."""
+
+    removed: list[CatalogEntry] = field(default_factory=list)
+    kept: int = 0
+    bytes_freed: int = 0
+    dry_run: bool = False
+
+    def summary(self) -> str:
+        verb = "would remove" if self.dry_run else "removed"
+        return (f"{verb} {len(self.removed)} trace(s), "
+                f"{self.bytes_freed} bytes; {self.kept} kept")
+
+
+def plan(entries: list[CatalogEntry], policy: RetentionPolicy,
+         now: Optional[float] = None) -> list[CatalogEntry]:
+    """Pure victim selection: which of ``entries`` (any order) the policy
+    evicts, oldest first.  Separated from the I/O so it is unit-testable
+    against hand-built catalogs."""
+    now = time.time() if now is None else now
+    ordered = sorted(entries, key=lambda e: (e.created_at, e.id))
+    victims: list[CatalogEntry] = []
+    survivors: list[CatalogEntry] = []
+    for e in ordered:
+        if (policy.max_age_s is not None
+                and now - e.created_at > policy.max_age_s):
+            victims.append(e)
+        else:
+            survivors.append(e)
+    if policy.max_total_bytes is not None:
+        total = sum(e.bytes for e in survivors)
+        while survivors and total > policy.max_total_bytes:
+            oldest = survivors.pop(0)
+            victims.append(oldest)
+            total -= oldest.bytes
+    if policy.max_entries is not None:
+        while len(survivors) > policy.max_entries:
+            victims.append(survivors.pop(0))
+    return sorted(victims, key=lambda e: (e.created_at, e.id))
+
+
+def collect(archive, policy: RetentionPolicy, now: Optional[float] = None,
+            dry_run: bool = False) -> GCReport:
+    """Run one GC pass over ``archive`` (a
+    :class:`~repro.store.archive.TraceArchive`)."""
+    entries = archive.entries()
+    victims = plan(entries, policy, now=now)
+    report = GCReport(
+        removed=victims,
+        kept=len(entries) - len(victims),
+        bytes_freed=sum(e.bytes for e in victims),
+        dry_run=dry_run,
+    )
+    if not dry_run:
+        for e in victims:
+            archive.remove(e.id)
+    return report

@@ -1,0 +1,210 @@
+"""Deterministic replay: re-run an archived trace through the analyzer.
+
+The message stream *is* the analysis input — Algorithm A's messages carry
+the clocks, the values, everything (the paper's observer works "online or
+offline" for exactly this reason).  So feeding an archived stream back
+through the same pipeline — ``CausalDelivery`` → ``Observer`` →
+``OnlinePredictor`` — must reproduce the live verdict **bit-for-bit**:
+same violation count, same counterexample texts in the same order, same
+final per-thread vector clocks, same soundness claim.  Nothing about the
+analysis depends on wall time, thread scheduling, or the machine; only on
+the message sequence, and that is what the archive preserved.
+
+That determinism buys two capabilities:
+
+* **audit** — :func:`verify_entry` replays a trace and diffs the result
+  against its catalog entry; ``repro replay --all --expect-catalog`` does
+  it for the whole archive, turning it into a standing regression corpus
+  (any future change to the analyzer that drifts a verdict fails loudly);
+* **re-analysis** — :func:`replay_trace` with a *different* ``spec``
+  answers "would this recorded run have violated property Q?" without
+  re-running the program.
+
+Replay is streaming (built on :func:`~repro.observer.trace.iter_trace`):
+peak memory is one segment plus the analyzer's own two lattice levels.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+from ..core.events import Message
+from ..logic.monitor import Monitor
+from ..obs import metrics as _metrics
+from ..observer.observer import Observer
+from ..observer.trace import TraceHeader, iter_trace
+from .archive import TraceArchive
+from .catalog import CatalogEntry, CatalogQuery
+
+__all__ = ["ReplayResult", "ReplayReport", "replay_trace", "replay_entry",
+           "verify_entry", "verify_all"]
+
+_C_REPLAYED = _metrics.REGISTRY.counter(
+    "store.events_replayed", unit="messages",
+    help="archived messages fed back through the analysis pipeline")
+_G_REPLAY_RATE = _metrics.REGISTRY.gauge(
+    "store.replay_events_per_sec", unit="messages/s",
+    help="throughput of the most recent replay (events / wall seconds)")
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Outcome of one replay — the same quantities a catalog entry pins."""
+
+    program: str
+    spec: Optional[str]
+    n_threads: int
+    events: int
+    violations: int
+    counterexamples: tuple[str, ...]
+    final_clocks: tuple[tuple[int, ...], ...]
+    sound: bool
+    elapsed_s: float
+
+    @property
+    def verdict(self) -> str:
+        return "violation" if self.violations else "clean"
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+
+@dataclass
+class ReplayReport:
+    """Aggregate of a ``replay --all`` sweep over the archive."""
+
+    checked: int = 0
+    ok: int = 0
+    #: ``entry id -> list of human-readable drift descriptions``.
+    drifted: dict[str, list[str]] = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        return not self.drifted
+
+    def summary(self) -> str:
+        if self.clean:
+            return (f"replayed {self.checked} archived trace(s): "
+                    "all verdicts reproduced exactly")
+        lines = [f"replayed {self.checked} archived trace(s): "
+                 f"{len(self.drifted)} DRIFTED"]
+        for entry_id, problems in sorted(self.drifted.items()):
+            for p in problems:
+                lines.append(f"  {entry_id}: {p}")
+        return "\n".join(lines)
+
+
+def replay_trace(path: str | Path, spec: Optional[str] = None,
+                 program: Optional[str] = None) -> ReplayResult:
+    """Replay one trace file (v1 or v2) through the full pipeline.
+
+    ``spec=None`` replays without a predictor (clocks and delivery only);
+    a spec string re-analyzes the stream against that property.  The
+    observer routes every message through its causal-delivery buffer
+    (``causal_log=True``) — the exact ingestion path of a live session —
+    and the result carries the final per-thread vector clocks, taken from
+    each thread's last message.
+    """
+    stream = iter_trace(path)
+    header = next(stream)
+    assert isinstance(header, TraceHeader)
+    monitor = Monitor(spec) if spec else None
+    observer = Observer(header.n_threads, header.initial, spec=monitor,
+                        causal_log=True)
+    final_clocks = [(0,) * header.n_threads
+                    for _ in range(header.n_threads)]
+    events = 0
+    t0 = time.perf_counter()
+    for msg in stream:
+        assert isinstance(msg, Message)
+        observer.receive(msg)
+        final_clocks[msg.thread] = tuple(msg.clock)
+        events += 1
+    observer.finish()
+    elapsed = time.perf_counter() - t0
+    if _metrics.ENABLED:
+        _C_REPLAYED.inc(events)
+        _G_REPLAY_RATE.set(round(events / elapsed, 3) if elapsed > 0 else 0.0)
+    variables = sorted(monitor.variables) if monitor else []
+    counterexamples = tuple(v.pretty(variables)
+                            for v in observer.violations)
+    return ReplayResult(
+        program=program if program is not None else header.program,
+        spec=spec,
+        n_threads=header.n_threads,
+        events=events,
+        violations=len(counterexamples),
+        counterexamples=counterexamples,
+        final_clocks=tuple(final_clocks),
+        sound=observer.health.sound_everywhere,
+        elapsed_s=elapsed,
+    )
+
+
+def replay_entry(archive: TraceArchive,
+                 entry: Union[CatalogEntry, str],
+                 spec: Optional[str] = None) -> ReplayResult:
+    """Replay one archived trace.  ``spec=None`` means *the spec it was
+    recorded under* (the reproduce case); pass a different spec string to
+    re-analyze the same computation against a new property."""
+    if isinstance(entry, str):
+        entry = archive.get(entry)
+    effective = entry.spec if spec is None else spec
+    return replay_trace(archive.path_of(entry), spec=effective,
+                        program=entry.program)
+
+
+def verify_entry(archive: TraceArchive,
+                 entry: Union[CatalogEntry, str]) -> list[str]:
+    """Replay under the recorded spec and diff against the catalog entry.
+
+    Returns a list of human-readable drift descriptions — empty means the
+    verdict was reproduced bit-for-bit (count, counterexample texts,
+    final clocks, soundness, event count all equal).
+    """
+    if isinstance(entry, str):
+        entry = archive.get(entry)
+    result = replay_entry(archive, entry)
+    problems: list[str] = []
+    if result.events != entry.events:
+        problems.append(
+            f"event count drifted: catalog {entry.events}, "
+            f"replay {result.events}")
+    if result.violations != entry.violations:
+        problems.append(
+            f"violation count drifted: catalog {entry.violations}, "
+            f"replay {result.violations}")
+    if result.counterexamples != entry.counterexamples:
+        problems.append(
+            f"counterexamples drifted: catalog "
+            f"{list(entry.counterexamples)}, replay "
+            f"{list(result.counterexamples)}")
+    if result.final_clocks != entry.final_clocks:
+        problems.append(
+            f"final vector clocks drifted: catalog "
+            f"{[list(c) for c in entry.final_clocks]}, replay "
+            f"{[list(c) for c in result.final_clocks]}")
+    if result.sound != entry.sound:
+        problems.append(
+            f"soundness drifted: catalog {entry.sound}, "
+            f"replay {result.sound}")
+    return problems
+
+
+def verify_all(archive: TraceArchive,
+               query: Optional[CatalogQuery] = None) -> ReplayReport:
+    """The regression corpus: replay every (matching) archived trace and
+    collect verdict drift — ``repro replay --all --expect-catalog``."""
+    report = ReplayReport()
+    for entry in archive.entries(query):
+        report.checked += 1
+        problems = verify_entry(archive, entry)
+        if problems:
+            report.drifted[entry.id] = problems
+        else:
+            report.ok += 1
+    return report

@@ -71,6 +71,7 @@ def test_metric_catalogue_complete():
     import repro.observer.observer  # noqa: F401
     import repro.observer.reliable  # noqa: F401
     import repro.server.daemon  # noqa: F401
+    import repro.store  # noqa: F401 (format, archive, replay metrics)
     from repro.obs import metrics
 
     text = (REPO / "docs" / "OBSERVABILITY.md").read_text(encoding="utf-8")

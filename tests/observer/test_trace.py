@@ -1,14 +1,18 @@
-"""Trace file round-trips and streaming writes."""
+"""Trace file round-trips, streaming reads, and writer durability."""
 
 import json
 
 import pytest
 
+from repro.core.events import Message
 from repro.observer.trace import (
     Trace,
     TraceFormatError,
+    TraceHeader,
     TraceWriter,
+    iter_trace,
     read_trace,
+    trace_version,
     write_trace,
 )
 from repro.sched import FixedScheduler, run_program
@@ -54,6 +58,109 @@ class TestRoundTrip:
         b.feed_many(trace.messages)
         b.finish()
         assert len(b.violations) == 1
+
+
+class TestIterTrace:
+    """Streaming reads: header first, then messages, incrementally."""
+
+    def test_yields_header_then_messages(self, xyz_execution, tmp_path):
+        path = tmp_path / "t.trace"
+        write_trace(path, 2, xyz_execution.initial_store,
+                    xyz_execution.messages, program="xyz")
+        stream = iter_trace(path)
+        header = next(stream)
+        assert isinstance(header, TraceHeader)
+        assert header.n_threads == 2
+        assert header.program == "xyz"
+        assert header.version == 1
+        messages = list(stream)
+        assert all(isinstance(m, Message) for m in messages)
+        assert [m.to_json() for m in messages] == [
+            m.to_json() for m in xyz_execution.messages]
+
+    def test_is_lazy(self, xyz_execution, tmp_path):
+        path = tmp_path / "t.trace"
+        write_trace(path, 2, xyz_execution.initial_store,
+                    xyz_execution.messages)
+        stream = iter_trace(path)
+        next(stream)                       # header parsed...
+        next(stream)                       # ...one message parsed...
+        path.write_text("")                # generator holds its own handle
+        stream.close()                     # no error: nothing read eagerly
+
+    def test_bad_file_raises_on_first_next(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_text("broken\n")
+        with pytest.raises(TraceFormatError):
+            next(iter_trace(path))
+
+    def test_skips_blank_lines(self, xyz_execution, tmp_path):
+        path = tmp_path / "t.trace"
+        write_trace(path, 2, xyz_execution.initial_store,
+                    xyz_execution.messages)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("\n\n")
+        assert sum(isinstance(i, Message) for i in iter_trace(path)) == 4
+
+    def test_trace_version_sniffs_v1(self, xyz_execution, tmp_path):
+        path = tmp_path / "t.trace"
+        write_trace(path, 2, xyz_execution.initial_store,
+                    xyz_execution.messages)
+        assert trace_version(path) == 1
+
+    def test_header_validation(self):
+        with pytest.raises(ValueError):
+            TraceHeader(n_threads=0)
+
+
+class TestWriterDurability:
+    """close() flushes and fsyncs; error exits still close the handle."""
+
+    def test_close_fsyncs(self, tmp_path, xyz_execution, monkeypatch):
+        import repro.observer.trace as trace_mod
+
+        synced = []
+        real_fsync = trace_mod.os.fsync
+        monkeypatch.setattr(trace_mod.os, "fsync",
+                            lambda fd: (synced.append(fd), real_fsync(fd)))
+        w = TraceWriter(tmp_path / "t.trace", 2, {})
+        w.write(xyz_execution.messages[0])
+        w.close()
+        assert len(synced) == 1
+
+    def test_close_idempotent(self, tmp_path):
+        w = TraceWriter(tmp_path / "t.trace", 2, {})
+        w.close()
+        w.close()
+
+    def test_exit_closes_handle_on_error(self, tmp_path, xyz_execution):
+        with pytest.raises(RuntimeError, match="boom"):
+            with TraceWriter(tmp_path / "t.trace", 2, {}) as w:
+                w.write(xyz_execution.messages[0])
+                raise RuntimeError("boom")
+        assert w._fh is None
+        with pytest.raises(RuntimeError, match="closed"):
+            w.write(xyz_execution.messages[0])
+
+    def test_exit_on_error_skips_fsync(self, tmp_path, monkeypatch):
+        import repro.observer.trace as trace_mod
+
+        monkeypatch.setattr(
+            trace_mod.os, "fsync",
+            lambda fd: (_ for _ in ()).throw(AssertionError("fsync called")))
+        with pytest.raises(RuntimeError, match="boom"):
+            with TraceWriter(tmp_path / "t.trace", 2, {}):
+                raise RuntimeError("boom")
+
+    def test_failed_write_abandons_writer(self, tmp_path):
+        w = TraceWriter(tmp_path / "t.trace", 2, {})
+        with pytest.raises(AttributeError):
+            w.write(object())   # not a Message: to_json missing
+        assert w._fh is None    # handle closed, not leaked
+
+    def test_unserializable_initial_closes_handle(self, tmp_path):
+        with pytest.raises(TypeError):
+            TraceWriter(tmp_path / "t.trace", 2, {"x": object()})
 
 
 class TestValidation:

@@ -1,0 +1,38 @@
+"""Shared store fixtures: workload executions and a populated archive."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sched import FixedScheduler, RandomScheduler, run_program
+from repro.workloads import (
+    AUDIT_PROPERTY,
+    XYZ_PROPERTY,
+    racy_counter,
+    transfer_program,
+    xyz_program,
+)
+
+#: name -> (program factory, bundled spec) — the replay determinism matrix.
+WORKLOADS = {
+    "xyz": (xyz_program, XYZ_PROPERTY),
+    "bank": (transfer_program, AUDIT_PROPERTY),
+    "counter": (lambda: racy_counter(2, 1), "c >= 0"),
+}
+
+SEEDS = (0, 7, 1234)
+
+
+def run_workload(name, seed=None):
+    """Run a named workload under a seeded (or default) schedule."""
+    factory, spec = WORKLOADS[name]
+    scheduler = (RandomScheduler(seed) if seed is not None
+                 else FixedScheduler([], strict=False))
+    return run_program(factory(), scheduler), spec
+
+
+@pytest.fixture
+def archive(tmp_path):
+    from repro.store import TraceArchive
+
+    return TraceArchive(tmp_path / "archive")

@@ -1,0 +1,136 @@
+"""Catalog: entry serialization, queries, atomic persistence."""
+
+import json
+
+import pytest
+
+from repro.store.catalog import (
+    Catalog,
+    CatalogEntry,
+    CatalogError,
+    CatalogQuery,
+)
+
+
+def entry(eid="s000001-xyz", **kw):
+    base = dict(
+        id=eid, program="xyz", n_threads=2, events=4,
+        verdict="violation", violations=1,
+        counterexamples=("(-1, 0) --x=0--> (0, 0)",),
+        final_clocks=((2, 0), (1, 2)), sound=True,
+        wall_time_s=0.01, created_at=1000.0, bytes=300,
+        path=f"traces/{eid}.rpt", spec="x >= 0")
+    base.update(kw)
+    return CatalogEntry(**base)
+
+
+class TestEntry:
+    def test_json_round_trip(self):
+        e = entry()
+        doc = json.loads(json.dumps(e.to_json()))
+        assert CatalogEntry.from_json(doc) == e
+
+    def test_malformed_doc_rejected(self):
+        with pytest.raises(CatalogError, match="malformed"):
+            CatalogEntry.from_json({"id": "s1"})
+
+
+class TestQuery:
+    def test_all_none_matches_everything(self):
+        assert CatalogQuery().matches(entry())
+
+    def test_program_exact(self):
+        assert CatalogQuery(program="xyz").matches(entry())
+        assert not CatalogQuery(program="xy").matches(entry())
+
+    def test_spec_substring(self):
+        assert CatalogQuery(spec_contains="x >=").matches(entry())
+        assert not CatalogQuery(spec_contains="y").matches(entry())
+        assert not CatalogQuery(spec_contains="x").matches(
+            entry(spec=None))
+
+    def test_verdict(self):
+        assert CatalogQuery(verdict="violation").matches(entry())
+        assert not CatalogQuery(verdict="clean").matches(entry())
+
+    def test_verdict_validated(self):
+        with pytest.raises(ValueError, match="verdict"):
+            CatalogQuery(verdict="maybe")
+
+    def test_event_bounds(self):
+        assert CatalogQuery(min_events=4, max_events=4).matches(entry())
+        assert not CatalogQuery(min_events=5).matches(entry())
+        assert not CatalogQuery(max_events=3).matches(entry())
+
+    def test_time_bounds(self):
+        assert CatalogQuery(since=1000.0, before=1001.0).matches(entry())
+        assert not CatalogQuery(since=1000.5).matches(entry())
+        assert not CatalogQuery(before=1000.0).matches(entry())
+
+
+class TestCatalog:
+    def test_missing_file_is_empty(self, tmp_path):
+        cat = Catalog.load(tmp_path / "catalog.json")
+        assert len(cat) == 0
+        assert cat.next_seq == 1
+
+    def test_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "catalog.json"
+        cat = Catalog(path)
+        cat.add(entry("s000001-xyz", created_at=5.0))
+        cat.add(entry("s000002-bank", program="bank", created_at=2.0))
+        cat.next_seq = 3
+        cat.save()
+        loaded = Catalog.load(path)
+        assert loaded.next_seq == 3
+        # oldest first
+        assert [e.id for e in loaded.entries()] == [
+            "s000002-bank", "s000001-xyz"]
+        assert "s000001-xyz" in loaded
+        assert loaded.total_bytes() == 600
+
+    def test_save_is_atomic(self, tmp_path):
+        path = tmp_path / "catalog.json"
+        cat = Catalog(path)
+        cat.add(entry())
+        cat.save()
+        assert not path.with_suffix(".json.tmp").exists()
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "catalog.json"
+        path.write_text("{truncated")
+        with pytest.raises(CatalogError, match="cannot read"):
+            Catalog.load(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "catalog.json"
+        path.write_text(json.dumps({"version": 99, "entries": []}))
+        with pytest.raises(CatalogError, match="version"):
+            Catalog.load(path)
+
+    def test_allocate_id_monotone_and_safe(self, tmp_path):
+        cat = Catalog(tmp_path / "catalog.json")
+        assert cat.allocate_id("xyz") == "s000001-xyz"
+        assert cat.allocate_id("a b/c") == "s000002-a-b-c"
+        assert cat.allocate_id("") == "s000003-unknown"
+
+    def test_duplicate_id_rejected(self, tmp_path):
+        cat = Catalog(tmp_path / "catalog.json")
+        cat.add(entry())
+        with pytest.raises(CatalogError, match="duplicate"):
+            cat.add(entry())
+
+    def test_get_and_remove_unknown(self, tmp_path):
+        cat = Catalog(tmp_path / "catalog.json")
+        with pytest.raises(CatalogError, match="no catalog entry"):
+            cat.get("s999999-x")
+        with pytest.raises(CatalogError, match="no catalog entry"):
+            cat.remove("s999999-x")
+
+    def test_query_filters_entries(self, tmp_path):
+        cat = Catalog(tmp_path / "catalog.json")
+        cat.add(entry("s000001-xyz"))
+        cat.add(entry("s000002-bank", program="bank", verdict="clean",
+                      violations=0, counterexamples=()))
+        assert [e.id for e in cat.entries(CatalogQuery(verdict="clean"))] \
+            == ["s000002-bank"]

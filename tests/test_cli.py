@@ -311,3 +311,138 @@ class TestServerCommands:
         probe.close()
         code, out = run_cli("sessions", "--port", str(port))
         assert code == 2
+
+
+class TestStoreCommands:
+    """repro archive / replay / query / gc."""
+
+    @pytest.fixture
+    def populated(self, tmp_path):
+        root = str(tmp_path / "arch")
+        code, _ = run_cli("archive", root, "xyz")
+        assert code == 0
+        code, _ = run_cli("archive", root, "bank")
+        assert code == 0
+        return root
+
+    def test_archive_workload(self, tmp_path):
+        code, out = run_cli("archive", str(tmp_path / "a"), "xyz")
+        assert code == 0
+        assert "archived s000001-xyz" in out
+        assert "verdict violation" in out
+        assert "counterexample" in out
+
+    def test_archive_requires_one_source(self, tmp_path):
+        code, out = run_cli("archive", str(tmp_path / "a"))
+        assert code == 2
+        trace = str(tmp_path / "t.trace")
+        run_cli("record", "xyz", trace)
+        code, out = run_cli("archive", str(tmp_path / "a"), "xyz",
+                            "--import-trace", trace)
+        assert code == 2
+
+    def test_archive_import_trace(self, tmp_path):
+        trace = str(tmp_path / "t.trace")
+        run_cli("record", "xyz", trace)
+        code, out = run_cli("archive", str(tmp_path / "a"),
+                            "--import-trace", trace,
+                            "--spec", "(x > 0) -> [y == 0, y > z)")
+        assert code == 0
+        assert "verdict violation" in out
+
+    def test_archive_import_missing_file(self, tmp_path):
+        code, out = run_cli("archive", str(tmp_path / "a"),
+                            "--import-trace", str(tmp_path / "nope.trace"))
+        assert code == 2
+        assert "error" in out
+
+    def test_query_table_and_json(self, populated):
+        import json
+
+        code, out = run_cli("query", populated)
+        assert code == 0
+        assert "2 trace(s)" in out
+        code, out = run_cli("query", populated, "--program", "bank",
+                            "--json")
+        assert code == 0
+        doc = json.loads(out)
+        assert [e["program"] for e in doc] == ["bank"]
+
+    def test_query_empty(self, populated):
+        code, out = run_cli("query", populated, "--min-events", "999")
+        assert code == 0
+        assert "no matching traces" in out
+
+    def test_replay_expect_catalog(self, populated):
+        code, out = run_cli("replay", populated, "--all",
+                            "--expect-catalog")
+        assert code == 0
+        assert "all verdicts reproduced exactly" in out
+
+    def test_replay_expect_catalog_detects_drift(self, populated):
+        import json
+        from pathlib import Path
+
+        catalog = Path(populated) / "catalog.json"
+        doc = json.loads(catalog.read_text())
+        doc["entries"][0]["violations"] = 0
+        doc["entries"][0]["counterexamples"] = []
+        catalog.write_text(json.dumps(doc))
+        code, out = run_cli("replay", populated, "--all",
+                            "--expect-catalog")
+        assert code == 1
+        assert "DRIFT" in out
+
+    def test_replay_single_id_new_spec(self, populated):
+        code, out = run_cli("replay", populated, "s000001-xyz",
+                            "--spec", "x >= -1")
+        assert code == 0
+        assert "clean" in out
+
+    def test_replay_usage_errors(self, populated):
+        code, _ = run_cli("replay", populated)
+        assert code == 2
+        code, _ = run_cli("replay", populated, "s000001-xyz", "--all")
+        assert code == 2
+        code, _ = run_cli("replay", populated, "--all", "--expect-catalog",
+                          "--spec", "x >= 0")
+        assert code == 2
+
+    def test_replay_unknown_id(self, populated):
+        code, out = run_cli("replay", populated, "s999999-nope")
+        assert code == 2
+        assert "error" in out
+
+    def test_gc_dry_run_then_live(self, populated):
+        code, out = run_cli("gc", populated, "--keep", "1", "--dry-run")
+        assert code == 0
+        assert "would remove 1 trace(s)" in out
+        code, out = run_cli("gc", populated, "--keep", "1")
+        assert code == 0
+        assert "removed 1 trace(s)" in out
+        code, out = run_cli("query", populated)
+        assert "1 trace(s)" in out
+
+    def test_gc_unbounded_warns(self, populated):
+        code, out = run_cli("gc", populated)
+        assert code == 0
+        assert "warning" in out
+
+    def test_serve_archive_flag(self, tmp_path):
+        import threading
+
+        from repro.server import AnalysisServer, ServerConfig
+
+        # the CLI wires --archive straight into ServerConfig.archive_dir;
+        # drive the config path end-to-end through a real server
+        config = ServerConfig(port=0, archive_dir=str(tmp_path / "arch"))
+        server = AnalysisServer(config).start()
+        try:
+            code, out = run_cli("attach", "xyz", "--port", str(server.port))
+            assert code == 1
+        finally:
+            server.shutdown(drain=True)
+        code, out = run_cli("replay", str(tmp_path / "arch"), "--all",
+                            "--expect-catalog")
+        assert code == 0
+        assert "all verdicts reproduced exactly" in out
