@@ -408,13 +408,22 @@ def cmd_serve(args: argparse.Namespace, out: Callable[[str], None]) -> int:
             f"{verdict}")
         sys.stdout.flush()
 
-    config = ServerConfig(
-        host=args.host, port=args.port, max_sessions=args.max_sessions,
-        max_queued_events=args.max_queued, workers=args.workers,
-        results_path=args.results, archive_dir=args.archive)
+    try:
+        config = ServerConfig(
+            host=args.host, port=args.port, max_sessions=args.max_sessions,
+            max_queued_events=args.max_queued, workers=args.workers,
+            results_path=args.results, archive_dir=args.archive,
+            supervised=args.supervised, checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+            resume_timeout=args.resume_timeout, recover=args.recover)
+    except ValueError as exc:
+        out(f"error: {exc}")
+        return 2
     server = AnalysisServer(config, on_session_end=on_end).start()
+    mode = " supervised" if config.supervised else ""
     out(f"serving on {server.host}:{server.port} "
-        f"(max {config.max_sessions} sessions, {config.workers} workers)")
+        f"(max {config.max_sessions} sessions, {config.workers}{mode} "
+        f"workers)")
     sys.stdout.flush()
 
     stop = threading.Event()
@@ -442,7 +451,8 @@ def cmd_attach(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     try:
         session = attach(args.host, args.port,
                          n_threads=execution.n_threads, initial=initial,
-                         spec=spec, program=args.workload)
+                         spec=spec, program=args.workload,
+                         reconnect=args.resume)
     except (ServerRejected, OSError) as exc:
         out(f"error: attach to {args.host}:{args.port} failed: {exc}")
         return 2
@@ -785,6 +795,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--archive", default=None, metavar="DIR",
                    help="persist every finished session into a trace "
                         "archive rooted at DIR (see 'repro replay/query/gc')")
+    p.add_argument("--supervised", action="store_true",
+                   help="run each session's analysis in a supervised, "
+                        "journaled worker process (requires --checkpoint)")
+    p.add_argument("--checkpoint", default=None, metavar="DIR",
+                   dest="checkpoint_dir",
+                   help="directory for durable session journals "
+                        "(required by --supervised / --recover)")
+    p.add_argument("--checkpoint-every", type=_positive_int, default=128,
+                   help="journal fsync cadence in events (default 128)")
+    p.add_argument("--resume-timeout", type=float, default=0.0,
+                   metavar="SECS",
+                   help="keep a disconnected session resumable for this "
+                        "long before failing it (default 0 = fail at once)")
+    p.add_argument("--recover", action="store_true",
+                   help="on startup, readmit sessions journaled under "
+                        "--checkpoint by a previous daemon")
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("attach",
@@ -793,6 +819,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--host", default="127.0.0.1", help="server address")
     p.add_argument("--port", type=int, required=True, help="server port")
     p.add_argument("--spec", default=None, help="override the bundled spec")
+    p.add_argument("--resume", action="store_true",
+                   help="transparently reconnect and resume the session if "
+                        "the connection drops mid-stream")
     p.set_defaults(fn=cmd_attach)
 
     p = sub.add_parser("sessions",

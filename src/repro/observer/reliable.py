@@ -187,14 +187,21 @@ class FrameDecoder:
             deliverable in seq order.  Exceptions propagate to the caller
             of :meth:`feed_line` (the server uses this to abort a session
             on overload without acking the frame that overflowed it).
+        start_seq: first sequence number this decoder will deliver.  A
+            resumed session hands the peer's already-delivered count here,
+            so replayed frames below it are re-acked as duplicates instead
+            of being delivered twice.
     """
 
     def __init__(self, send: Callable[[bytes], None],
-                 on_message: Optional[Callable[[Message], None]] = None):
+                 on_message: Optional[Callable[[Message], None]] = None,
+                 start_seq: int = 0):
+        if start_seq < 0:
+            raise ValueError("start_seq must be >= 0")
         self._send = send
         self._on_message = on_message
         self._by_seq: dict[int, str] = {}
-        self._next_deliver = 0
+        self._next_deliver = start_seq
         self.expected_total: Optional[int] = None
         self.duplicates = 0
         self.corrupt_frames = 0
@@ -301,6 +308,10 @@ class ReliableSender:
             internally; an ``err`` frame fails the transport with the
             peer's reason).  The server uses this channel to push the
             session's final ``result`` frame back to the client.
+        first_seq: sequence number of the first frame this sender emits.
+            A resuming client sets it to the server's delivered count so
+            replayed messages keep their original sequence numbers (and
+            :meth:`close`'s fin count stays the absolute stream total).
     """
 
     def __init__(
@@ -319,7 +330,10 @@ class ReliableSender:
         config: Optional[RetransmitConfig] = None,
         sock: Optional[socket.socket] = None,
         on_frame: Optional[Callable[[dict], None]] = None,
+        first_seq: int = 0,
     ):
+        if first_seq < 0:
+            raise ValueError("first_seq must be >= 0")
         if config is None:
             config = RetransmitConfig(
                 timeout=timeout, max_retries=max_retries, backoff=backoff,
@@ -349,7 +363,7 @@ class ReliableSender:
         self._cond = threading.Condition()
         #: seq -> (frame bytes, retries so far, next retransmit deadline)
         self._unacked: dict[int, list] = {}
-        self._next_seq = 0
+        self._next_seq = first_seq
         self._failed: Optional[str] = None
         self._fin_acked = False
         self._closing = False
@@ -510,21 +524,31 @@ class ReliableSender:
                 )
             count = self._next_seq
         fin = _frame({"t": "fin", "count": count})
-        # fin itself rides the lossy wire: retry until finacked
+        # fin itself rides the lossy wire: retry until finacked.  Once the
+        # finack is in, the exchange has *succeeded* — the peer may close
+        # its end immediately after finacking, so a socket error raced by
+        # a retransmitted fin or a heartbeat must not fail the close.
         retries = 0
         while True:
             self._transmit(fin)
-            self._raise_if_failed()
             with self._cond:
-                if self._cond.wait_for(
-                        lambda: self._fin_acked or self._failed is not None,
-                        timeout=self._timeout * (self._backoff ** retries)):
+                self._cond.wait_for(
+                    lambda: self._fin_acked or self._failed is not None,
+                    timeout=self._timeout * (self._backoff ** retries))
+                if self._fin_acked:
                     break
+                self._raise_if_failed()
             retries += 1
             if retries > self._max_retries:
                 raise ReliableTransportError("fin never acknowledged")
-        self._raise_if_failed()
         with self._sock_lock:
+            # The ack-reader's makefile keeps the underlying fd alive past
+            # close(); shutdown pushes our FIN out now so the peer's
+            # post-finack drain sees EOF immediately instead of timing out.
+            try:
+                self._sock.shutdown(socket.SHUT_WR)
+            except OSError:
+                pass
             self._sock.close()
 
     def __enter__(self) -> "ReliableSender":

@@ -16,10 +16,21 @@ Client side: :func:`attach` opens a session and returns an
 :class:`AttachedSession` whose ``send`` slots in as Algorithm A's message
 sink; ``close`` completes the stream and returns the server's
 :class:`SessionVerdict`.
+
+Crash resilience (opt-in, ``docs/SERVER.md`` § Failure model & recovery):
+``ServerConfig(supervised=True, checkpoint_dir=...)`` runs each session's
+analysis in a supervised, journaled worker process
+(:mod:`repro.server.supervisor`, :mod:`repro.server.recovery`);
+``resume_timeout > 0`` plus a client-side :class:`ReconnectPolicy` lets a
+dropped connection re-attach by resume token and replay its unacked
+window; ``recover=True`` readmits journaled sessions after a daemon
+restart.
 """
 
 from .client import (
     AttachedSession,
+    ReconnectPolicy,
+    ResultTimeout,
     ServerRejected,
     SessionVerdict,
     attach,
@@ -27,19 +38,28 @@ from .client import (
 )
 from .daemon import AnalysisServer, ServerConfig
 from .protocol import PROTOCOL_VERSION, Hello, ProtocolError
+from .recovery import JournalError, SessionJournal, scan_journals
 from .session import Session, SessionState
+from .supervisor import SupervisedSession, SupervisorConfig
 
 __all__ = [
     "AnalysisServer",
     "ServerConfig",
     "Session",
     "SessionState",
+    "SupervisedSession",
+    "SupervisorConfig",
+    "SessionJournal",
+    "JournalError",
+    "scan_journals",
     "Hello",
     "ProtocolError",
     "PROTOCOL_VERSION",
     "AttachedSession",
     "SessionVerdict",
     "ServerRejected",
+    "ResultTimeout",
+    "ReconnectPolicy",
     "attach",
     "fetch_status",
 ]

@@ -7,6 +7,15 @@ streams messages with acks, retransmission and backpressure exactly as in
 the two-process pipeline.  Closing the session completes the fin/finack
 handshake and returns the server's verdicts.
 
+With a :class:`ReconnectPolicy` the session also survives the *connection*
+dying: every sent message is buffered until the server checkpoints it
+(``ckpt`` frames prune the buffer), and a transport failure triggers a
+transparent resume — reconnect with capped exponential backoff, present
+the resume token, and idempotently resend everything past the server's
+delivered count.  The server re-acks replayed duplicates, so the stream
+the analysis sees is exactly-once regardless of how many times the wire
+dropped.
+
 Usage::
 
     from repro.server import attach
@@ -21,10 +30,13 @@ from __future__ import annotations
 
 import socket
 import threading
-from dataclasses import dataclass, field
-from typing import Any, Mapping, Optional
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional, Union
 
 from ..core.events import Message, VarName
+from ..obs import metrics as _metrics
 from ..observer.reliable import (
     ReliableSender,
     ReliableTransportError,
@@ -32,8 +44,15 @@ from ..observer.reliable import (
 )
 from .protocol import Hello, ProtocolError, encode_frame, read_frame_line
 
-__all__ = ["ServerRejected", "SessionVerdict", "AttachedSession", "attach",
-           "fetch_status"]
+__all__ = ["ServerRejected", "ResultTimeout", "ReconnectPolicy",
+           "SessionVerdict", "AttachedSession", "attach", "fetch_status"]
+
+_C_RECONNECTS = _metrics.REGISTRY.counter(
+    "client.reconnects", unit="reconnects",
+    help="successful resume handshakes after a dropped connection")
+_C_RESENT = _metrics.REGISTRY.counter(
+    "client.resent_messages", unit="messages",
+    help="buffered messages replayed to the server during a resume")
 
 
 class ServerRejected(ConnectionError):
@@ -43,6 +62,37 @@ class ServerRejected(ConnectionError):
     def __init__(self, reason: str):
         super().__init__(reason)
         self.reason = reason
+
+
+class ResultTimeout(ReliableTransportError):
+    """The server acknowledged the whole stream (finack) but produced no
+    ``result`` frame within the caller's timeout."""
+
+
+@dataclass(frozen=True)
+class ReconnectPolicy:
+    """Re-attach behavior after a transport failure.
+
+    Attributes:
+        max_attempts: resume attempts per failure before giving up and
+            re-raising the original transport error.
+        backoff / backoff_cap: capped exponential delay before each
+            attempt (``backoff * 2**n``, at most ``backoff_cap``).
+        connect_timeout: per-attempt dial + handshake budget.
+    """
+
+    max_attempts: int = 6
+    backoff: float = 0.1
+    backoff_cap: float = 2.0
+    connect_timeout: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff < 0 or self.backoff_cap < 0:
+            raise ValueError("backoffs must be >= 0")
+        if self.connect_timeout <= 0:
+            raise ValueError("connect_timeout must be > 0")
 
 
 @dataclass(frozen=True)
@@ -55,17 +105,13 @@ class SessionVerdict:
     counterexamples: tuple[str, ...] = ()
     sound: bool = True
     analyzed: int = 0
+    final_clocks: tuple[tuple[int, ...], ...] = ()
     error: Optional[str] = None
 
     @property
     def ok(self) -> bool:
         """Finished cleanly with no predicted violation."""
         return self.state == "finished" and self.violations == 0
-
-
-@dataclass(frozen=True)
-class _HandshakeReply:
-    session: int
 
 
 def _handshake(host: str, port: int, hello: Hello,
@@ -92,31 +138,84 @@ class AttachedSession:
     instrumented program instead of buffering without bound; a server-side
     overload or failure surfaces as :class:`ReliableTransportError`
     carrying the server's reason.
+
+    With a reconnect policy, transport failures inside :meth:`send` and
+    :meth:`close` trigger a transparent resume instead; only a server-side
+    reject of the resume (session failed, token expired) re-raises the
+    original error.  ``send``/``close`` remain single-caller: the resume
+    buffer assumes the instrumented program streams from one thread, as
+    Algorithm A's sink does.
     """
 
-    def __init__(self, session_id: int, sender: ReliableSender,
-                 result_event: threading.Event, result_box: dict):
+    def __init__(self, session_id: int, sender: ReliableSender, *,
+                 host: str = "", port: int = 0, token: str = "",
+                 epoch: int = 1,
+                 reconnect: Optional[ReconnectPolicy] = None,
+                 config: Optional[RetransmitConfig] = None):
         self.session_id = session_id
         self._sender = sender
-        self._result_event = result_event
-        self._result_box = result_box
+        self._host, self._port = host, port
+        self._token, self.epoch = token, epoch
+        self._policy = reconnect
+        self._config = config
+        self._lock = threading.Lock()
+        self._buffer: deque[tuple[int, Message]] = deque()
+        self._seq = 0
+        self._result_event = threading.Event()
+        self._result_box: dict = {}
+        self.reconnects = 0
         self.verdict: Optional[SessionVerdict] = None
+
+    # Called from each sender's ack-reader thread with reverse frames the
+    # transport itself does not consume.
+    def _on_frame(self, d: dict) -> None:
+        kind = d.get("t")
+        if kind == "result":
+            self._result_box["frame"] = d
+            self._result_event.set()
+        elif kind == "ckpt":
+            n = d.get("n")
+            if isinstance(n, int):
+                with self._lock:
+                    while self._buffer and self._buffer[0][0] < n:
+                        self._buffer.popleft()
 
     def send(self, msg: Message) -> None:
         """Stream one message (usable directly as Algorithm A's sink)."""
-        self._sender.send(msg)
+        if self._policy is not None:
+            with self._lock:
+                self._buffer.append((self._seq, msg))
+        self._seq += 1
+        try:
+            self._sender.send(msg)
+        except (ReliableTransportError, OSError) as exc:
+            # _reattach replays the buffer — this message included — or
+            # raises; either way delivery is settled when it returns
+            self._reattach(exc)
 
     def close(self, timeout: float = 30.0) -> SessionVerdict:
         """Flush, complete the fin/finack handshake and return the server's
         verdict.  Raises :class:`ReliableTransportError` if the stream
-        could not be completed or the server never produced a result."""
-        self._sender.close(timeout=timeout)
-        # the result frame precedes the finack on the wire, so it has
-        # already been captured by the sender's reader thread
-        if not self._result_event.wait(timeout=1.0):
+        could not be completed, :class:`ResultTimeout` if the server
+        acknowledged it but never produced a result frame."""
+        attempts = self._policy.max_attempts if self._policy else 1
+        for _ in range(max(1, attempts)):
+            try:
+                self._sender.close(timeout=timeout)
+                break
+            except (ReliableTransportError, OSError) as exc:
+                self._reattach(exc)   # raises when resume is impossible
+        else:
             raise ReliableTransportError(
+                f"session {self.session_id}: close did not complete after "
+                f"{attempts} resume attempts")
+        # the result frame precedes the finack on the wire, so it normally
+        # has already been captured by the sender's reader thread; the wait
+        # honors the caller's own budget
+        if not self._result_event.wait(timeout=timeout):
+            raise ResultTimeout(
                 f"session {self.session_id}: server acknowledged the stream "
-                "but sent no result frame")
+                f"but sent no result frame within {timeout}s")
         d = self._result_box["frame"]
         self.verdict = SessionVerdict(
             session=d.get("session", self.session_id),
@@ -125,23 +224,83 @@ class AttachedSession:
             counterexamples=tuple(d.get("counterexamples") or ()),
             sound=bool(d.get("sound", False)),
             analyzed=d.get("analyzed", 0),
+            final_clocks=tuple(tuple(c) for c in d.get("final_clocks") or ()),
             error=d.get("error"),
         )
         return self.verdict
 
-    def abort(self) -> None:
-        """Drop the connection without the close handshake (the server
-        fails the session with ``connection lost``)."""
-        with self._sender._sock_lock:
-            sock = self._sender._sock
+    def _reattach(self, cause: BaseException) -> None:
+        """Resume the session on a fresh connection, replaying the unpruned
+        buffer.  Re-raises ``cause`` when reconnecting is off, rejected by
+        the server, or still failing after the policy's attempts."""
+        policy = self._policy
+        if policy is None:
+            raise cause
+        for attempt in range(policy.max_attempts):
+            time.sleep(min(policy.backoff * (2 ** attempt),
+                           policy.backoff_cap))
+            hello = Hello(mode="resume", session=self.session_id,
+                          token=self._token, epoch=self.epoch)
             try:
-                # shutdown, not close: the sender's ack reader holds a
-                # makefile reference, so a bare close would be deferred
-                # until that thread exits -- which it only does on EOF
-                sock.shutdown(socket.SHUT_RDWR)
+                sock, reply = _handshake(self._host, self._port, hello,
+                                         policy.connect_timeout)
+            except ServerRejected as rej:
+                # the server's answer is final — and `cause` usually
+                # carries the more informative server-side err reason
+                raise cause from rej
+            except (OSError, ProtocolError):
+                continue
+            delivered = reply.get("delivered")
+            epoch = reply.get("epoch")
+            if (reply.get("t") != "helloack"
+                    or not isinstance(delivered, int)
+                    or not isinstance(epoch, int)):
+                sock.close()
+                continue
+            sock.settimeout(None)
+            self._poison(self._sender)
+            sender = ReliableSender(sock=sock, config=self._config,
+                                    on_frame=self._on_frame,
+                                    first_seq=delivered)
+            self.epoch = epoch
+            with self._lock:
+                while self._buffer and self._buffer[0][0] < delivered:
+                    self._buffer.popleft()
+                replay = list(self._buffer)
+            try:
+                for _seq, msg in replay:
+                    sender.send(msg)
+            except (ReliableTransportError, OSError):
+                self._poison(sender)
+                continue
+            self._sender = sender
+            self.reconnects += 1
+            if _metrics.ENABLED:
+                _C_RECONNECTS.inc()
+                if replay:
+                    _C_RESENT.inc(len(replay))
+            return
+        raise cause
+
+    @staticmethod
+    def _poison(sender: ReliableSender) -> None:
+        """Make an abandoned sender's threads exit: kill its socket."""
+        with sender._sock_lock:
+            try:
+                sender._sock.shutdown(socket.SHUT_RDWR)
             except OSError:
                 pass
-            sock.close()
+            try:
+                sender._sock.close()
+            except OSError:
+                pass
+
+    def abort(self) -> None:
+        """Drop the connection without the close handshake (the server
+        fails the session with ``connection lost`` — or parks it for
+        resume when the server runs with a resume window)."""
+        self._policy = None
+        self._poison(self._sender)
 
     def __enter__(self) -> "AttachedSession":
         return self
@@ -164,13 +323,24 @@ def attach(
     fault_tolerant: bool = False,
     config: Optional[RetransmitConfig] = None,
     connect_timeout: float = 10.0,
+    reconnect: Union[ReconnectPolicy, bool, None] = None,
 ) -> AttachedSession:
     """Open an analysis session on a running ``repro serve`` daemon.
 
     Raises :class:`ServerRejected` when the server refuses (capacity,
     shutdown, invalid spec/initial combination) — an explicit answer, by
     design, rather than a hang.
+
+    ``reconnect`` (a :class:`ReconnectPolicy`, or ``True`` for the
+    defaults) makes the session survive dropped connections by resuming
+    with the server-issued token; it only helps against servers running
+    with ``resume_timeout > 0``, which also emit the ``ckpt`` frames that
+    bound the client-side resend buffer.
     """
+    if reconnect is True:
+        reconnect = ReconnectPolicy()
+    elif reconnect is False:
+        reconnect = None
     hello = Hello(mode="attach", program=program, n_threads=n_threads,
                   initial={str(k): v for k, v in initial.items()},
                   spec=spec, fault_tolerant=fault_tolerant)
@@ -180,16 +350,16 @@ def attach(
         sock.close()
         raise ProtocolError(f"expected a helloack frame, got {reply!r}")
     sock.settimeout(None)
-    result_event = threading.Event()
-    result_box: dict = {}
-
-    def on_frame(d: dict) -> None:
-        if d.get("t") == "result":
-            result_box["frame"] = d
-            result_event.set()
-
-    sender = ReliableSender(sock=sock, config=config, on_frame=on_frame)
-    return AttachedSession(reply["session"], sender, result_event, result_box)
+    session = AttachedSession(
+        reply["session"],
+        sender=None,  # type: ignore[arg-type]  # set below, same statement
+        host=host, port=port,
+        token=reply.get("token") or "",
+        epoch=reply.get("epoch") or 1,
+        reconnect=reconnect, config=config)
+    session._sender = ReliableSender(sock=sock, config=config,
+                                     on_frame=session._on_frame)
+    return session
 
 
 def fetch_status(host: str = "127.0.0.1", port: int = 0,

@@ -22,13 +22,24 @@ two-process pipeline.  The moving parts:
   of silently stalling the wire;
 * **graceful shutdown**: stop accepting, give live sessions
   ``drain_timeout`` to finish, flush every record (optionally to a JSONL
-  results file), then take the worker pool down.
+  results file), then take the worker pool down;
+* **crash resilience** (opt-in): ``supervised=True`` runs each session's
+  analysis in a restartable worker process journaled through
+  ``checkpoint_dir`` (:mod:`repro.server.supervisor` /
+  :mod:`repro.server.recovery`); ``resume_timeout > 0`` keeps a session
+  alive after its connection drops so the client can re-attach by resume
+  token; ``recover=True`` readmits journaled sessions after a daemon
+  restart.
 """
 
 from __future__ import annotations
 
+import errno as _errno
+import hmac
 import json
+import logging
 import queue
+import secrets
 import socket
 import threading
 import time
@@ -38,8 +49,14 @@ from typing import Callable, Optional
 from .. import __version__ as _repro_version
 from ..obs import metrics as _metrics
 from ..observer.reliable import FrameDecoder, _frame
+from ..observer.trace import TraceFormatError
+from ..store.format import read_trace_prefix
 from .protocol import Hello, ProtocolError, encode_frame
+from .recovery import SessionJournal, scan_journals
 from .session import Session, SessionState
+from .supervisor import SupervisedSession, SupervisorConfig
+
+_LOG = logging.getLogger("repro.server")
 
 __all__ = ["ServerConfig", "AnalysisServer"]
 
@@ -65,6 +82,25 @@ _G_ACTIVE = _metrics.REGISTRY.gauge(
 _H_SESSION_EVENTS = _metrics.REGISTRY.histogram(
     "server.session_events", unit="messages",
     help="per-session event count, observed when the session ends")
+_C_ACCEPT_ERRORS = _metrics.REGISTRY.counter(
+    "server.accept_errors", unit="errors",
+    help="accept() failures in the listener loop (labelled by errno)")
+_C_DETACHED = _metrics.REGISTRY.counter(
+    "server.sessions_detached", unit="sessions",
+    help="sessions that lost their connection and entered a resume window "
+         "instead of failing")
+_C_RESUMED = _metrics.REGISTRY.counter(
+    "server.sessions_resumed", unit="sessions",
+    help="detached sessions successfully reclaimed by a resume handshake")
+_C_RECOVERED = _metrics.REGISTRY.counter(
+    "server.sessions_recovered", unit="sessions",
+    help="journaled sessions readmitted by a daemon restart with "
+         "--recover")
+
+#: accept() errnos that mean the listening socket itself is gone —
+#: retrying would spin, so the loop exits.
+_FATAL_ACCEPT_ERRNOS = frozenset({_errno.EBADF, _errno.EINVAL,
+                                  _errno.ENOTSOCK})
 
 
 @dataclass(frozen=True)
@@ -98,6 +134,25 @@ class ServerConfig:
             into a v2 trace file and the catalog entry (verdict, final
             clocks) is published when the session finishes.  Failed
             sessions leave nothing behind.
+        supervised: run each session's analysis in a supervised worker
+            process journaled under ``checkpoint_dir``; crashed workers
+            are restarted and rebuilt from their journal
+            (:mod:`repro.server.supervisor`).
+        checkpoint_dir: root directory for per-session durable journals;
+            required by ``supervised`` and ``recover``.
+        checkpoint_every: journal fsync cadence, in events.
+        resume_timeout: how long a session survives after its connection
+            drops, waiting for the client to resume by token.  0 (the
+            default) disables re-attach: a dropped connection fails the
+            session, as before.
+        recover: at startup, scan ``checkpoint_dir`` and readmit every
+            journaled session as a detached supervised session awaiting
+            its client's resume.
+        heartbeat_timeout: supervisor-side silence threshold declaring a
+            worker dead.
+        max_restarts: per-session worker restart budget; exceeding it
+            fails the session with a reasoned ``err`` (crash-loop stop).
+        restart_backoff: base of the exponential restart backoff.
     """
 
     host: str = "127.0.0.1"
@@ -112,6 +167,14 @@ class ServerConfig:
     max_records: int = 256
     results_path: Optional[str] = None
     archive_dir: Optional[str] = None
+    supervised: bool = False
+    checkpoint_dir: Optional[str] = None
+    checkpoint_every: int = 128
+    resume_timeout: float = 0.0
+    recover: bool = False
+    heartbeat_timeout: float = 2.0
+    max_restarts: int = 3
+    restart_backoff: float = 0.1
 
     def __post_init__(self) -> None:
         if self.max_sessions < 1:
@@ -122,6 +185,29 @@ class ServerConfig:
             raise ValueError("workers must be >= 0")
         if self.batch < 1:
             raise ValueError("batch must be >= 1")
+        if (self.supervised or self.recover) and not self.checkpoint_dir:
+            raise ValueError(
+                "supervised/recover require a checkpoint_dir for the "
+                "session journals")
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
+        if self.resume_timeout < 0:
+            raise ValueError("resume_timeout must be >= 0")
+        if self.heartbeat_timeout <= 0:
+            raise ValueError("heartbeat_timeout must be > 0")
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+        if self.restart_backoff < 0:
+            raise ValueError("restart_backoff must be >= 0")
+
+    def supervisor_config(self) -> SupervisorConfig:
+        return SupervisorConfig(
+            heartbeat_interval=min(0.2, self.heartbeat_timeout / 4),
+            heartbeat_timeout=self.heartbeat_timeout,
+            max_restarts=self.max_restarts,
+            restart_backoff=self.restart_backoff,
+            checkpoint_every=self.checkpoint_every,
+        )
 
 
 class _Overload(Exception):
@@ -171,6 +257,8 @@ class AnalysisServer:
         self._server = socket.create_server((self.config.host,
                                              self.config.port))
         self.host, self.port = self._server.getsockname()
+        if self.config.recover:
+            self._recover_sessions()
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name="repro-server-accept", daemon=True)
         self._accept_thread.start()
@@ -180,6 +268,56 @@ class AnalysisServer:
             t.start()
             self._threads.append(t)
         return self
+
+    def _recover_sessions(self) -> None:
+        """Readmit every journaled session under ``checkpoint_dir`` as a
+        detached supervised session: its worker restarts immediately and
+        replays the journal; the client has a resume window of at least
+        ``drain_timeout`` to re-attach by token."""
+        journals, skipped = scan_journals(self.config.checkpoint_dir)
+        for name, why in skipped:
+            _LOG.warning("not recovering %s: %s", name, why)
+        sup = self.config.supervisor_config()
+        window = max(self.config.resume_timeout, self.config.drain_timeout)
+        for journal in journals:
+            meta = journal.meta
+            hello = Hello(
+                mode="attach", program=meta.program,
+                n_threads=meta.n_threads, initial=meta.initial,
+                spec=meta.spec, fault_tolerant=meta.fault_tolerant)
+            try:
+                durable = 0
+                if journal.events_path.exists():
+                    durable = len(read_trace_prefix(
+                        journal.events_path).messages)
+            except (TraceFormatError, OSError):
+                durable = 0
+            try:
+                session = SupervisedSession(
+                    meta.session, hello, journal, supervisor=sup,
+                    max_queued=self.config.max_queued_events,
+                    peer="recovered")
+            except Exception as exc:  # noqa: BLE001 - skip, don't crash boot
+                _LOG.warning("not recovering session %s: %r",
+                             meta.session, exc)
+                continue
+            session.token = meta.token
+            session.epoch = meta.epoch
+            session.restore_progress(durable)
+            with self._lock:
+                self._sessions[meta.session] = session
+                self._next_sid = max(self._next_sid, meta.session + 1)
+            if self.archive is not None:
+                session.attach_archive(self.archive)
+            if _metrics.ENABLED:
+                _C_RECOVERED.inc()
+                _G_ACTIVE.add(1)
+                session.meter = _metrics.REGISTRY.counter(
+                    "server.session.events", unit="messages",
+                    help="events ingested by one session (labelled)",
+                    labels={"session": meta.session})
+            session.start_worker()
+            self._detach(session, window, count=False)
 
     def shutdown(self, drain: bool = True,
                  timeout: Optional[float] = None) -> list[dict]:
@@ -195,7 +333,15 @@ class AnalysisServer:
             already = self._draining
             self._draining = True
         if not already and self._server is not None:
-            self._server.close()   # accept loop exits on the closed socket
+            # close() alone cannot release a listener with a thread parked
+            # in accept(): the in-flight syscall pins the kernel socket, so
+            # the port would stay in LISTEN and block a --recover rebind.
+            # shutdown() wakes the accept with EINVAL first.
+            try:
+                self._server.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            self._server.close()
         if drain:
             deadline = time.monotonic() + timeout
             with self._lock:
@@ -205,6 +351,9 @@ class AnalysisServer:
         with self._lock:
             live = list(self._sessions.values())
         for s in live:
+            timer, s.resume_timer = s.resume_timer, None
+            if timer is not None:
+                timer.cancel()
             if s.fail("server shutdown"):
                 # tell the client why, then force its reader loop to end
                 conn = getattr(s, "conn", None)
@@ -288,11 +437,38 @@ class AnalysisServer:
 
     def _accept_loop(self) -> None:
         assert self._server is not None
+        logged: set[int] = set()
         while True:
             try:
                 conn, addr = self._server.accept()
+            except OSError as exc:
+                with self._lock:
+                    if self._draining:
+                        return   # closed by shutdown
+                code = exc.errno if exc.errno is not None else -1
+                if _metrics.ENABLED:
+                    _metrics.REGISTRY.counter(
+                        "server.accept_errors", unit="errors",
+                        help="accept() failures in the listener loop "
+                             "(labelled by errno)",
+                        labels={"errno": code}).inc()
+                if code not in logged:
+                    logged.add(code)
+                    _LOG.warning(
+                        "accept() failed on %s:%s with errno %s (%s); "
+                        "further occurrences counted in "
+                        "server.accept_errors", self.host, self.port,
+                        code, exc)
+                if code in _FATAL_ACCEPT_ERRNOS:
+                    return   # the listening socket itself is gone
+                continue     # transient (EMFILE, ECONNABORTED, ...): retry
+            # accepted sockets share the listen port but don't inherit
+            # SO_REUSEADDR; without it, one lingering FIN_WAIT connection
+            # blocks a restarted daemon (--recover) from rebinding the port
+            try:
+                conn.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
             except OSError:
-                return   # closed by shutdown
+                pass
             t = threading.Thread(
                 target=self._serve_connection, args=(conn, addr),
                 name=f"repro-server-conn-{addr[1]}", daemon=True)
@@ -302,6 +478,8 @@ class AnalysisServer:
     def _serve_connection(self, conn: socket.socket, addr) -> None:
         peer = f"{addr[0]}:{addr[1]}"
         session: Optional[Session] = None
+        epoch = 0
+        reason = "connection closed mid-stream"
         try:
             conn.settimeout(self.config.io_timeout)
             with conn, conn.makefile("r", encoding="utf-8") as reader:
@@ -314,20 +492,120 @@ class AnalysisServer:
                 if hello.mode == "status":
                     conn.sendall(encode_frame(self.status()))
                     return
-                session = self._admit(conn, hello, peer)
-                if session is None:
-                    return
-                self._stream(conn, reader, session)
+                if hello.mode == "resume":
+                    resumed = self._resume(conn, hello, peer)
+                    if resumed is None:
+                        return
+                    session, start_seq = resumed
+                    epoch = session.epoch
+                    self._stream(conn, reader, session, start_seq=start_seq)
+                else:
+                    session = self._admit(conn, hello, peer)
+                    if session is None:
+                        return
+                    epoch = session.epoch
+                    self._stream(conn, reader, session)
         except (OSError, ValueError) as exc:
-            if session is not None:
-                session.fail(f"connection lost: {exc!r}")
+            reason = f"connection lost: {exc!r}"
         finally:
             if session is not None:
-                self._retire(session)
+                self._end_connection(session, epoch, reason)
             try:
                 self._reader_threads.remove(threading.current_thread())
             except ValueError:
                 pass
+
+    def _end_connection(self, session: Session, epoch: int,
+                        reason: str) -> None:
+        """A reader thread is done with its connection: retire, detach, or
+        stand aside if the session was already resumed elsewhere."""
+        with self._lock:
+            if session.epoch != epoch:
+                return   # a resume superseded this connection
+            resumable = (self.config.resume_timeout > 0
+                         and not session.state.terminal
+                         and not self._draining)
+        if resumable:
+            self._detach(session, self.config.resume_timeout)
+            return
+        session.fail(reason)   # no-op if terminal
+        self._retire(session)
+
+    def _detach(self, session: Session, window: float,
+                count: bool = True) -> None:
+        """Park a session whose connection dropped: analysis keeps going,
+        and an expiry timer fails it if no resume arrives in time."""
+        session.mark_detached()
+        if count and _metrics.ENABLED:
+            _C_DETACHED.inc()
+        epoch = session.epoch
+        timer = threading.Timer(
+            window, self._expire_detached, args=(session, epoch, window))
+        timer.daemon = True
+        session.resume_timer = timer
+        timer.start()
+
+    def _expire_detached(self, session: Session, epoch: int,
+                         window: float) -> None:
+        with self._lock:
+            if session.epoch != epoch or session.attached:
+                return   # resumed in the meantime
+        session.fail(
+            f"client did not resume within {window}s of disconnecting")
+        self._retire(session)
+
+    def _resume(self, conn: socket.socket, hello: Hello,
+                peer: str) -> Optional[tuple[Session, int]]:
+        """Validate a resume handshake and re-attach the session.
+
+        Returns ``(session, delivered)`` on success, ``None`` after a
+        reject.  A resume with an epoch older than the server's is allowed
+        only while the session is detached — that covers a client that
+        lost the helloack of a previous resume attempt — while a *live*
+        attachment can only be superseded by its own epoch (so a stolen
+        stale token cannot hijack a healthy connection).
+        """
+        reason: Optional[str] = None
+        with self._lock:
+            session = self._sessions.get(hello.session)
+            if session is None or session.state.terminal:
+                reason = (f"cannot resume session {hello.session}: "
+                          "no such live session")
+                session = None
+            elif not session.token or not hmac.compare_digest(
+                    session.token, hello.token):
+                reason = (f"cannot resume session {hello.session}: "
+                          "resume token mismatch")
+                session = None
+            elif hello.epoch > session.epoch or (
+                    hello.epoch < session.epoch and session.attached):
+                reason = (f"cannot resume session {hello.session}: "
+                          f"stale epoch {hello.epoch} "
+                          f"(session is at epoch {session.epoch})")
+                session = None
+            elif self._draining:
+                reason = "server is shutting down"
+                session = None
+        if session is None:
+            self._reject(conn, reason or "rejected")
+            return None
+        timer, session.resume_timer = session.resume_timer, None
+        if timer is not None:
+            timer.cancel()
+        epoch = session.resume(conn)
+        session.peer = peer
+        if session.supervised:
+            try:
+                session.journal.bump_epoch(epoch)
+            except OSError:
+                pass   # a stale persisted epoch is tolerated on re-recover
+        delivered = session.delivered_for_resume()
+        if _metrics.ENABLED:
+            _C_RESUMED.inc()
+        conn.sendall(encode_frame({
+            "t": "helloack", "session": session.id, "epoch": epoch,
+            "token": session.token, "delivered": delivered}))
+        return session, delivered
 
     @staticmethod
     def _parse_hello_line(line: str) -> dict:
@@ -365,13 +643,13 @@ class AnalysisServer:
             else:
                 sid = self._next_sid
                 self._next_sid += 1
+                token = secrets.token_hex(8)
                 try:
-                    session = Session(
-                        sid, hello,
-                        max_queued=self.config.max_queued_events, peer=peer)
+                    session = self._build_session(sid, hello, token, peer)
                 except Exception as exc:  # noqa: BLE001 - told to the client
                     reason = f"session setup failed: {exc}"
                 else:
+                    session.token = token
                     self._sessions[sid] = session
         if session is None:
             self._reject(conn, reason or "rejected")
@@ -390,13 +668,46 @@ class AnalysisServer:
                 "server.session.events", unit="messages",
                 help="events ingested by one session (labelled)",
                 labels={"session": sid})
-        conn.sendall(encode_frame({"t": "helloack", "session": sid}))
+        if session.supervised:
+            session.start_worker()
+        conn.sendall(encode_frame({
+            "t": "helloack", "session": sid, "epoch": session.epoch,
+            "token": session.token}))
         return session
 
+    def _build_session(self, sid: int, hello: Hello, token: str,
+                       peer: str) -> Session:
+        """Construct the right session flavor for this config (called
+        under the server lock; raising rejects the attach with reason)."""
+        if not self.config.supervised:
+            return Session(sid, hello,
+                           max_queued=self.config.max_queued_events,
+                           peer=peer)
+        journal = SessionJournal.create(
+            self.config.checkpoint_dir, session=sid, token=token,
+            program=hello.program, n_threads=hello.n_threads,
+            initial=hello.initial, spec=hello.spec,
+            fault_tolerant=hello.fault_tolerant)
+        try:
+            return SupervisedSession(
+                sid, hello, journal, supervisor=self.config.supervisor_config(),
+                max_queued=self.config.max_queued_events, peer=peer)
+        except Exception:
+            journal.delete()
+            raise
+
     def _stream(self, conn: socket.socket, reader,
-                session: Session) -> None:
-        """Post-handshake read loop: reliable frames in, acks out."""
+                session: Session, start_seq: int = 0) -> None:
+        """Post-handshake read loop: reliable frames in, acks out.
+
+        All writes to the connection go through the session's io lock
+        (:meth:`Session.send_bytes`) because checkpoint and error frames
+        from supervisor threads share the socket with our acks.
+        ``start_seq`` is nonzero on a resumed connection: the decoder then
+        re-acks the already-delivered prefix as duplicates.
+        """
         meter = getattr(session, "meter", None)
+        resumable = self.config.resume_timeout > 0 and not session.supervised
 
         def ingest(msg) -> None:
             if not session.enqueue(msg, self.config.overload_timeout):
@@ -410,9 +721,16 @@ class AnalysisServer:
                 _C_INGESTED.inc()
                 if meter is not None:
                     meter.inc()
+            if (resumable
+                    and session.received % self.config.checkpoint_every == 0):
+                # in-process sessions hold everything in memory, so for
+                # connection-drop resumes "accepted" is as durable as it
+                # gets: let the client prune its resend buffer
+                session.send_frame({"t": "ckpt", "n": session.received})
             self._schedule(session)
 
-        decoder = FrameDecoder(send=conn.sendall, on_message=ingest)
+        decoder = FrameDecoder(send=session.send_bytes, on_message=ingest,
+                               start_seq=start_seq)
         try:
             for line in reader:
                 frame = decoder.feed_line(line)
@@ -421,12 +739,9 @@ class AnalysisServer:
                 if frame.get("t") == "fin" and decoder.complete:
                     result_frame = self._finish_session(session)
                     if result_frame is not None:
-                        conn.sendall(result_frame)
-                        conn.sendall(_frame({"t": "finack"}))
-                    # The close handshake is done; end the connection like
-                    # ReliableReceiver does (keeping it open would deadlock:
-                    # the client's socket close is deferred while its ack
-                    # reader still holds the makefile).
+                        session.send_bytes(result_frame)
+                        session.send_bytes(_frame({"t": "finack"}))
+                        self._drain_to_eof(conn, reader, session)
                     return
                 # any other control frame mid-stream is ignored: the
                 # reliable sender only emits msg/hb/fin after the handshake
@@ -437,12 +752,35 @@ class AnalysisServer:
             except OSError:
                 pass
 
+    @staticmethod
+    def _drain_to_eof(conn: socket.socket, reader, session: Session) -> None:
+        """Read the connection dry after finack, until the client closes it.
+
+        Closing while unread fin retransmits sit in the receive buffer
+        makes the kernel answer with RST, which flushes the peer's receive
+        queue — the finack can be discarded before the client ever reads
+        it.  Consuming to EOF (re-acking any late fin, in case the finack
+        itself was lost) guarantees the client observed the handshake
+        complete before the socket goes away.
+        """
+        try:
+            conn.settimeout(5.0)
+            for line in reader:
+                try:
+                    frame = json.loads(line)
+                except ValueError:
+                    continue
+                if frame.get("t") == "fin":
+                    session.send_frame({"t": "finack"})
+        except (OSError, ValueError):
+            pass
+
     def _finish_session(self, session: Session) -> Optional[bytes]:
         """End of stream: queue the fin, wait for the analysis to complete,
         build the result frame."""
         session.begin_drain()
         self._schedule(session)
-        if self.config.workers == 0:
+        if self.config.workers == 0 and not session.supervised:
             session.fail("no analysis workers configured")
             return None
         if not session.done.wait(self.config.drain_timeout):
@@ -458,6 +796,7 @@ class AnalysisServer:
             "counterexamples": record["counterexamples"],
             "sound": record["sound"],
             "analyzed": record["analyzed"],
+            "final_clocks": record["final_clocks"],
             "error": record["error"],
         })
 

@@ -9,20 +9,35 @@ frames exchanged around them:
 frame         direction  meaning
 ============  =========  ====================================================
 ``hello``     C → S      first line on every connection: protocol version,
-                         mode (``attach`` or ``status``) and, for attaches,
-                         the session parameters (program name, thread count,
-                         initial shared store, optional spec)
-``helloack``  S → C      attach admitted; carries the assigned session id
-``reject``    S → C      attach refused (capacity, shutdown, bad hello);
-                         carries a human-readable reason — overload is an
-                         explicit answer, never a hang
+                         mode (``attach``, ``resume`` or ``status``) and,
+                         for attaches, the session parameters (program
+                         name, thread count, initial shared store, optional
+                         spec); a resume instead names the session id, its
+                         resume token and the client's last known epoch
+``helloack``  S → C      attach admitted; carries the assigned session id,
+                         the session *epoch* (incremented on every
+                         (re)attach) and the *resume token* the client must
+                         present to reclaim the session after a drop.  On a
+                         resume it additionally carries ``delivered`` — the
+                         server's delivered count, i.e. the sequence number
+                         the client must resend from
+``reject``    S → C      attach refused (capacity, shutdown, bad hello,
+                         unknown session / bad token on resume); carries a
+                         human-readable reason — overload is an explicit
+                         answer, never a hang
 ``err``       S → C      mid-stream failure (queue overload, analysis
-                         error); the client's reliable sender surfaces the
-                         reason as a :class:`ReliableTransportError`
-``result``    S → C      the session's final verdicts, sent after the
-                         server finishes the session's analysis and
-                         *before* the ``finack`` that completes the close
-                         handshake
+                         error, worker crash loop); the client's reliable
+                         sender surfaces the reason as a
+                         :class:`ReliableTransportError`
+``ckpt``      S → C      durability checkpoint: ``n`` events of this
+                         session are journaled to disk; the client may
+                         prune its resume buffer below ``n`` (the server
+                         will never ask for them again, even after a daemon
+                         restart)
+``result``    S → C      the session's final verdicts (including the final
+                         per-thread vector clocks), sent after the server
+                         finishes the session's analysis and *before* the
+                         ``finack`` that completes the close handshake
 ``status``    S → C      reply to a ``hello`` in status mode: one JSON line
                          with server health and every session record
 ============  =========  ====================================================
@@ -31,6 +46,15 @@ The handshake is deliberately synchronous — one request line, one reply
 line — so the client can complete it before handing the socket to
 :class:`~repro.observer.reliable.ReliableSender`, whose ack-reader thread
 then owns the receive direction.
+
+Resume semantics: the session *epoch* counts connections (1 on first
+attach, +1 per successful resume), so a stale reader thread or a stale
+client can always be told apart from the current one; the *token* is a
+random capability string minted at admission — presenting it is what
+authorizes a reconnecting client to reclaim the session.  Replayed
+``msg`` frames below the server's ``delivered`` count are re-acked as
+duplicates by the frame decoder, which makes resending the whole unacked
+window idempotent.
 """
 
 from __future__ import annotations
@@ -114,8 +138,13 @@ class Hello:
     spec: Optional[str] = None
     fault_tolerant: bool = False
     version: int = PROTOCOL_VERSION
+    #: Resume-mode fields: the session being reclaimed, its capability
+    #: token, and the epoch the client last saw (staleness check).
+    session: int = 0
+    token: str = ""
+    epoch: int = 0
 
-    MODES = ("attach", "status")
+    MODES = ("attach", "resume", "status")
 
     def __post_init__(self) -> None:
         if self.mode not in self.MODES:
@@ -125,6 +154,16 @@ class Hello:
         if self.mode == "attach" and self.n_threads < 1:
             raise ProtocolError(
                 f"attach hello needs n_threads >= 1, got {self.n_threads}")
+        if self.mode == "resume":
+            if self.session < 1:
+                raise ProtocolError(
+                    f"resume hello needs a session id >= 1, "
+                    f"got {self.session}")
+            if not self.token:
+                raise ProtocolError("resume hello needs a resume token")
+            if self.epoch < 1:
+                raise ProtocolError(
+                    f"resume hello needs an epoch >= 1, got {self.epoch}")
 
     def to_frame(self) -> dict:
         d = {"t": "hello", "v": self.version, "mode": self.mode}
@@ -132,6 +171,9 @@ class Hello:
             d.update(program=self.program, n_threads=self.n_threads,
                      initial=dict(self.initial), spec=self.spec,
                      fault_tolerant=self.fault_tolerant)
+        elif self.mode == "resume":
+            d.update(session=self.session, token=self.token,
+                     epoch=self.epoch)
         return d
 
     @classmethod
@@ -149,6 +191,18 @@ class Hello:
             raise ProtocolError("hello lacks a string 'mode' field")
         if mode == "status":
             return cls(mode="status", version=version)
+        if mode == "resume":
+            session = d.get("session")
+            if not isinstance(session, int):
+                raise ProtocolError("resume hello needs an integer session")
+            token = d.get("token")
+            if not isinstance(token, str):
+                raise ProtocolError("resume hello needs a string token")
+            epoch = d.get("epoch")
+            if not isinstance(epoch, int):
+                raise ProtocolError("resume hello needs an integer epoch")
+            return cls(mode="resume", session=session, token=token,
+                       epoch=epoch, version=version)
         n_threads = d.get("n_threads")
         if not isinstance(n_threads, int):
             raise ProtocolError("attach hello needs an integer n_threads")

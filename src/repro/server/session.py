@@ -18,11 +18,19 @@ that unacked backlog is what backpressures the remote sender); a worker
 session at a time (the pool's scheduled flag), so the observer only needs
 coarse thread safety, and per-session event order is the reliable
 transport's send order.
+
+Orthogonal to the lifecycle, a session tracks its *attachment*: which
+client connection (if any) currently owns it, authenticated by a resume
+token and versioned by an epoch that increments on every (re)attach.
+When the daemon is configured with a resume window, a dropped connection
+*detaches* the session (analysis keeps running on whatever is queued)
+instead of failing it, and a reconnecting client reclaims it by token.
 """
 
 from __future__ import annotations
 
 import enum
+import json
 import threading
 import time
 from collections import deque
@@ -110,6 +118,20 @@ class Session:
         # daemon was configured with archive_dir, else None
         self._pending = None
         self.archive_id: Optional[str] = None
+        # attachment: which connection owns this session.  The epoch
+        # counts (re)attaches; the token authenticates a resume; the io
+        # lock serializes everything written to the current conn (acks
+        # from the reader thread, ckpt/err frames from other threads).
+        self.token: str = ""
+        self.epoch = 1
+        self.attached = True
+        self.resume_timer = None        # daemon-managed threading.Timer
+        self._io_lock = threading.Lock()
+        self.final_clocks: list[tuple[int, ...]] = [
+            (0,) * hello.n_threads for _ in range(hello.n_threads)]
+        #: True for sessions whose analysis runs in a supervised
+        #: subprocess (repro.server.supervisor) rather than on the pool.
+        self.supervised = False
 
     # -- state ----------------------------------------------------------------
 
@@ -127,6 +149,60 @@ class Session:
         self.finished_at = time.time()
         self._elapsed = time.monotonic() - self._t0
         self.done.set()
+
+    # -- connection io --------------------------------------------------------
+
+    def send_bytes(self, data: bytes) -> bool:
+        """Write raw bytes to the currently attached connection under the
+        per-session io lock (acks, ckpt and err frames come from different
+        threads).  Detached or dead connections are a silent no-op — the
+        reliable transport's retransmit/resume machinery recovers."""
+        with self._io_lock:
+            conn = self.conn
+            if conn is None:
+                return False
+            try:
+                conn.sendall(data)
+                return True
+            except OSError:
+                return False
+
+    def send_frame(self, obj: dict) -> bool:
+        return self.send_bytes(
+            (json.dumps(obj, separators=(",", ":")) + "\n").encode("utf-8"))
+
+    # -- attachment -----------------------------------------------------------
+
+    def mark_detached(self) -> None:
+        """The owning connection dropped but the session survives inside
+        its resume window: analysis keeps draining the queue, a resume
+        with the right token reclaims it."""
+        with self._io_lock:
+            self.attached = False
+            self.conn = None
+
+    def resume(self, conn) -> int:
+        """Attach a new connection, bumping the epoch.  Closes any stale
+        connection first (waking its blocked reader).  Returns the new
+        epoch."""
+        with self._io_lock:
+            old, self.conn = self.conn, conn
+            self.attached = True
+            self.epoch += 1
+            epoch = self.epoch
+        if old is not None and old is not conn:
+            try:
+                old.close()
+            except OSError:
+                pass
+        return epoch
+
+    def delivered_for_resume(self) -> int:
+        """How many ``msg`` frames a resuming client may skip.
+
+        For an in-process session every accepted event lives in our queue
+        or observer, so the received count is safe to re-ack from."""
+        return self.received
 
     def fail(self, reason: str) -> bool:
         """Move to FAILED (idempotent; terminal states win).  Returns
@@ -247,6 +323,7 @@ class Session:
                     return False
                 self.observer.receive(item)
                 self.analyzed += 1
+                self.final_clocks[item.thread] = tuple(item.clock)
                 self._archive_write(item)
             except Exception as exc:  # noqa: BLE001 - reported, not raised
                 self.fail(f"analysis error: {exc}")
@@ -294,6 +371,9 @@ class Session:
             "violations": len(self.observer.violations),
             "counterexamples": self.violations_pretty(),
             "sound": health.sound_everywhere,
+            "final_clocks": [list(c) for c in self.final_clocks],
+            "epoch": self.epoch,
+            "attached": self.attached,
             "archive": self.archive_id,
             "error": self.error,
             "started_at": self.started_at,

@@ -27,9 +27,18 @@ Format spec, catalog schema, retention semantics and the determinism
 guarantee are documented in ``docs/STORE.md``.
 """
 
-from .archive import PendingTrace, TraceArchive
+from .archive import CatalogRebuildReport, PendingTrace, TraceArchive
 from .catalog import Catalog, CatalogEntry, CatalogError, CatalogQuery
-from .format import FORMAT_VERSION, SegmentWriter, iter_trace_v2, read_trace_v2
+from .format import (
+    FORMAT_VERSION,
+    SegmentWriter,
+    TraceMeta,
+    TracePrefix,
+    iter_trace_v2,
+    read_trace_meta,
+    read_trace_prefix,
+    read_trace_v2,
+)
 from .gc import GCReport, RetentionPolicy
 from .replay import (
     ReplayReport,
@@ -47,10 +56,15 @@ __all__ = [
     "CatalogEntry",
     "CatalogError",
     "CatalogQuery",
+    "CatalogRebuildReport",
     "FORMAT_VERSION",
     "SegmentWriter",
+    "TraceMeta",
+    "TracePrefix",
     "iter_trace_v2",
     "read_trace_v2",
+    "read_trace_meta",
+    "read_trace_prefix",
     "RetentionPolicy",
     "GCReport",
     "ReplayResult",

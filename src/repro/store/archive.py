@@ -25,23 +25,28 @@ analysis server commits from its worker threads concurrently.
 from __future__ import annotations
 
 import os
+import re
+import shutil
 import threading
 import time
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Mapping, Optional
 
 from ..core.events import Message, VarName
 from ..obs import metrics as _metrics
+from ..observer.trace import TraceFormatError
 from .catalog import (
     VERDICT_CLEAN,
     VERDICT_VIOLATION,
     Catalog,
     CatalogEntry,
+    CatalogError,
     CatalogQuery,
 )
-from .format import FORMAT_VERSION, SegmentWriter
+from .format import FORMAT_VERSION, SegmentWriter, read_trace_meta
 
-__all__ = ["TraceArchive", "PendingTrace"]
+__all__ = ["TraceArchive", "PendingTrace", "CatalogRebuildReport"]
 
 _C_COMMITTED = _metrics.REGISTRY.counter(
     "store.traces_committed", unit="traces",
@@ -52,6 +57,12 @@ _C_ABORTED = _metrics.REGISTRY.counter(
 _C_GCED = _metrics.REGISTRY.counter(
     "store.traces_gced", unit="traces",
     help="archived traces removed by retention GC")
+_C_REBUILT = _metrics.REGISTRY.counter(
+    "store.catalog_rebuilds", unit="rebuilds",
+    help="corrupt catalog.json files quarantined and rebuilt from trace "
+         "footers on archive open")
+
+_ID_SEQ = re.compile(r"^s(\d{6})-")
 
 
 class PendingTrace:
@@ -114,7 +125,22 @@ class PendingTrace:
                 return None
             self._resolved = True
             writer, self._writer = self._writer, None
-        writer.close()
+        # the verdict is embedded in the footer too, so a lost catalog.json
+        # can be rebuilt from the trace files alone (file size and path are
+        # recomputable from the file itself and deliberately omitted)
+        extras = {
+            "program": self.program,
+            "spec": self.spec,
+            "n_threads": self.n_threads,
+            "verdict": VERDICT_VIOLATION if counterexamples else VERDICT_CLEAN,
+            "violations": len(counterexamples),
+            "counterexamples": list(counterexamples),
+            "final_clocks": [list(c) for c in self.final_clocks],
+            "sound": sound,
+            "wall_time_s": round(wall_time_s, 6),
+            "created_at": time.time(),
+        }
+        writer.close(extra=extras)
         os.replace(self._part_path, self._final_path)
         entry = CatalogEntry(
             id=self.id,
@@ -122,13 +148,13 @@ class PendingTrace:
             spec=self.spec,
             n_threads=self.n_threads,
             events=writer.count,
-            verdict=VERDICT_VIOLATION if counterexamples else VERDICT_CLEAN,
+            verdict=extras["verdict"],
             violations=len(counterexamples),
             counterexamples=tuple(counterexamples),
             final_clocks=self.final_clocks,
             sound=sound,
-            wall_time_s=round(wall_time_s, 6),
-            created_at=time.time(),
+            wall_time_s=extras["wall_time_s"],
+            created_at=extras["created_at"],
             bytes=self._final_path.stat().st_size,
             path=str(self._final_path.relative_to(self.archive.root)),
             format=FORMAT_VERSION,
@@ -151,6 +177,19 @@ class PendingTrace:
             _C_ABORTED.inc()
 
 
+@dataclass
+class CatalogRebuildReport:
+    """What happened when a corrupt ``catalog.json`` was rebuilt."""
+
+    #: Where the damaged document was moved (never deleted).
+    quarantined_to: str
+    #: Entries reconstructed from trace footers.
+    rebuilt: int = 0
+    #: ``(filename, reason)`` for traces that could not be re-indexed
+    #: (sealed by a pre-footer-extras writer, or damaged).
+    skipped: list[tuple[str, str]] = field(default_factory=list)
+
+
 class TraceArchive:
     """A directory of archived traces plus their catalog.
 
@@ -161,6 +200,13 @@ class TraceArchive:
     Thread-safe: catalog reads and mutations are serialized behind one
     lock, and every mutation persists the catalog atomically before
     returning.
+
+    A truncated or otherwise unreadable ``catalog.json`` does not prevent
+    the archive from opening: the damaged document is *quarantined*
+    (renamed alongside, never deleted) and the catalog is rebuilt from the
+    verdicts embedded in each sealed trace's footer —
+    :attr:`last_rebuild` reports what was recovered and what had to be
+    skipped.
     """
 
     CATALOG_NAME = "catalog.json"
@@ -171,7 +217,72 @@ class TraceArchive:
         self.traces_dir.mkdir(parents=True, exist_ok=True)
         self.events_per_segment = events_per_segment
         self._lock = threading.RLock()
-        self._catalog = Catalog.load(self.root / self.CATALOG_NAME)
+        #: Set when this open had to quarantine and rebuild the catalog.
+        self.last_rebuild: Optional[CatalogRebuildReport] = None
+        try:
+            self._catalog = Catalog.load(self.root / self.CATALOG_NAME)
+        except CatalogError:
+            self._catalog, self.last_rebuild = self._rebuild_catalog()
+
+    # -- catalog recovery -----------------------------------------------------
+
+    def _quarantine_catalog(self) -> Path:
+        src = self.root / self.CATALOG_NAME
+        dst = self.root / (self.CATALOG_NAME + ".quarantined")
+        n = 1
+        while dst.exists():
+            dst = self.root / (self.CATALOG_NAME + f".quarantined.{n}")
+            n += 1
+        os.replace(src, dst)
+        return dst
+
+    def _rebuild_catalog(self) -> tuple[Catalog, CatalogRebuildReport]:
+        """The corrupt-catalog recovery path: move the damaged document
+        aside and re-index every sealed trace from its footer verdict."""
+        quarantined = self._quarantine_catalog()
+        report = CatalogRebuildReport(quarantined_to=str(quarantined))
+        catalog = Catalog(self.root / self.CATALOG_NAME)
+        max_seq = 0
+        for trace_path in sorted(self.traces_dir.glob("*.rpt")):
+            trace_id = trace_path.stem
+            m = _ID_SEQ.match(trace_id)
+            if m:
+                max_seq = max(max_seq, int(m.group(1)))
+            try:
+                meta = read_trace_meta(trace_path)
+            except (TraceFormatError, OSError) as exc:
+                report.skipped.append((trace_path.name, str(exc)))
+                continue
+            if meta.catalog is None:
+                report.skipped.append(
+                    (trace_path.name,
+                     "no catalog extras in footer (sealed by an older "
+                     "writer); re-import with 'repro archive --import-trace'"))
+                continue
+            try:
+                entry = self._entry_from_footer(trace_id, trace_path, meta)
+                catalog.add(entry)
+            except (CatalogError, KeyError, TypeError, ValueError) as exc:
+                report.skipped.append((trace_path.name, repr(exc)))
+                continue
+            report.rebuilt += 1
+        catalog.next_seq = max_seq + 1
+        catalog.save()
+        if _metrics.ENABLED:
+            _C_REBUILT.inc()
+        return catalog, report
+
+    def _entry_from_footer(self, trace_id: str, trace_path: Path,
+                           meta) -> CatalogEntry:
+        doc = dict(meta.catalog)
+        doc.setdefault("program", meta.header.program)
+        doc.setdefault("n_threads", meta.header.n_threads)
+        doc["id"] = trace_id           # the filename is authoritative
+        doc["events"] = meta.events
+        doc["bytes"] = trace_path.stat().st_size
+        doc["path"] = str(trace_path.relative_to(self.root))
+        doc["format"] = FORMAT_VERSION
+        return CatalogEntry.from_json(doc)
 
     # -- recording ------------------------------------------------------------
 
@@ -224,6 +335,45 @@ class TraceArchive:
             time.perf_counter() - t0)
         assert entry is not None   # nothing else can resolve this pending
         return entry
+
+    def adopt_sealed(self, sealed_path: str | Path,
+                     wall_time_s: Optional[float] = None) -> CatalogEntry:
+        """Move an externally sealed v2 trace into the archive and publish
+        its catalog entry from the verdict embedded in its footer.
+
+        This is how the crash-resilient server promotes a finished
+        session's durable journal: the worker seals the journal file
+        (footer + catalog extras) in its own process, then the daemon
+        adopts it here.  Raises :class:`TraceFormatError` if the file is
+        unsealed, :class:`~repro.store.catalog.CatalogError` if its footer
+        carries no catalog extras.
+        """
+        sealed_path = Path(sealed_path)
+        meta = read_trace_meta(sealed_path)
+        if meta.catalog is None:
+            raise CatalogError(
+                f"{sealed_path}: footer has no embedded catalog extras; "
+                "cannot adopt without a verdict")
+        with self._lock:
+            trace_id = self._catalog.allocate_id(
+                meta.catalog.get("program", meta.header.program))
+            self._catalog.save()
+        final = self.traces_dir / f"{trace_id}.rpt"
+        shutil.move(str(sealed_path), final)
+        if wall_time_s is not None:
+            meta = TraceArchive._with_wall_time(meta, wall_time_s)
+        entry = self._entry_from_footer(trace_id, final, meta)
+        self._publish(entry)
+        if _metrics.ENABLED:
+            _C_COMMITTED.inc()
+        return entry
+
+    @staticmethod
+    def _with_wall_time(meta, wall_time_s: float):
+        doc = dict(meta.catalog)
+        doc["wall_time_s"] = round(wall_time_s, 6)
+        return type(meta)(header=meta.header, events=meta.events,
+                          segments=meta.segments, catalog=doc)
 
     # -- queries --------------------------------------------------------------
 

@@ -1,0 +1,161 @@
+"""Supervised sessions: worker processes, crash restarts, crash loops.
+
+With ``ServerConfig(supervised=True, checkpoint_dir=...)`` each session's
+analysis runs in a spawned worker process.  The supervisor must (a) be
+invisible when nothing crashes — verdict parity with a standalone
+observer, (b) restart a SIGKILLed worker and recover through the journal
+with the same verdict, and (c) give up on a crash loop with a reasoned
+error instead of hanging the client.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.observer import Observer
+from repro.observer.reliable import ReliableTransportError
+from repro.server import AnalysisServer, ServerConfig, attach
+from repro.workloads import XYZ_PROPERTY, XYZ_VARS
+
+
+@pytest.fixture
+def xyz_initial(xyz_execution):
+    return {v: xyz_execution.initial_store[v] for v in XYZ_VARS}
+
+
+def _standalone(execution, initial, spec):
+    obs = Observer(execution.n_threads, initial, spec=spec)
+    for m in execution.messages:
+        obs.receive(m)
+    obs.finish()
+    return sorted(v.pretty(tuple(sorted(initial))) for v in obs.violations)
+
+
+def _config(tmp_path, **kw):
+    kw.setdefault("port", 0)
+    kw.setdefault("workers", 1)
+    kw.setdefault("supervised", True)
+    kw.setdefault("checkpoint_dir", str(tmp_path / "ckpt"))
+    kw.setdefault("checkpoint_every", 2)
+    kw.setdefault("drain_timeout", 60.0)
+    return ServerConfig(**kw)
+
+
+def _worker_pid(server, session_id, deadline=10.0):
+    end = time.monotonic() + deadline
+    while time.monotonic() < end:
+        sess = server._sessions.get(session_id)
+        proc = getattr(sess, "_proc", None) if sess else None
+        if proc is not None and proc.pid is not None and proc.is_alive():
+            return proc.pid
+        time.sleep(0.02)
+    raise RuntimeError("no live worker process")
+
+
+class TestSupervisedParity:
+    def test_clean_run_matches_standalone(self, tmp_path, xyz_execution,
+                                          xyz_initial):
+        records = []
+        with AnalysisServer(_config(tmp_path),
+                            on_session_end=records.append) as srv:
+            session = attach(srv.host, srv.port,
+                             n_threads=xyz_execution.n_threads,
+                             initial=xyz_initial, spec=XYZ_PROPERTY,
+                             program="xyz")
+            for m in xyz_execution.messages:
+                session.send(m)
+            verdict = session.close(timeout=60.0)
+
+        expected = _standalone(xyz_execution, xyz_initial, XYZ_PROPERTY)
+        assert verdict.state == "finished"
+        assert verdict.analyzed == len(xyz_execution.messages)
+        assert sorted(verdict.counterexamples) == expected
+        assert verdict.sound
+        assert verdict.final_clocks   # supervised results carry clocks
+        [record] = records
+        assert record["supervised"] is True
+        assert record["restarts"] == 0
+        # terminal sessions clean their journals up
+        assert list((tmp_path / "ckpt").iterdir()) == []
+
+    def test_journal_archive_promotion(self, tmp_path, xyz_execution,
+                                       xyz_initial):
+        from repro.store import TraceArchive
+
+        config = _config(tmp_path, archive_dir=str(tmp_path / "arch"))
+        with AnalysisServer(config) as srv:
+            session = attach(srv.host, srv.port,
+                             n_threads=xyz_execution.n_threads,
+                             initial=xyz_initial, spec=XYZ_PROPERTY,
+                             program="xyz")
+            for m in xyz_execution.messages:
+                session.send(m)
+            session.close(timeout=60.0)
+        [entry] = TraceArchive(tmp_path / "arch").entries()
+        assert entry.program == "xyz"
+        assert entry.verdict == "violation"
+        assert entry.events == len(xyz_execution.messages)
+
+
+class TestWorkerCrash:
+    def test_sigkill_mid_stream_recovers_with_parity(self, tmp_path,
+                                                     xyz_execution,
+                                                     xyz_initial):
+        records = []
+        with AnalysisServer(_config(tmp_path),
+                            on_session_end=records.append) as srv:
+            session = attach(srv.host, srv.port,
+                             n_threads=xyz_execution.n_threads,
+                             initial=xyz_initial, spec=XYZ_PROPERTY,
+                             program="xyz")
+            half = len(xyz_execution.messages) // 2
+            for m in xyz_execution.messages[:half]:
+                session.send(m)
+            os.kill(_worker_pid(srv, session.session_id), signal.SIGKILL)
+            for m in xyz_execution.messages[half:]:
+                session.send(m)
+            verdict = session.close(timeout=60.0)
+
+        expected = _standalone(xyz_execution, xyz_initial, XYZ_PROPERTY)
+        assert verdict.state == "finished"
+        assert verdict.analyzed == len(xyz_execution.messages)
+        assert sorted(verdict.counterexamples) == expected
+        [record] = records
+        assert record["restarts"] >= 1
+
+    def test_crash_loop_fails_with_reason_not_hang(self, tmp_path,
+                                                   xyz_execution,
+                                                   xyz_initial):
+        records = []
+        config = _config(tmp_path, max_restarts=1, restart_backoff=0.05,
+                         drain_timeout=30.0)
+        with AnalysisServer(config, on_session_end=records.append) as srv:
+            session = attach(srv.host, srv.port,
+                             n_threads=xyz_execution.n_threads,
+                             initial=xyz_initial, spec=XYZ_PROPERTY,
+                             program="xyz")
+            session.send(xyz_execution.messages[0])
+            # kill every worker incarnation until the budget is exhausted
+            started = time.monotonic()
+            deadline = started + config.drain_timeout
+            failed = None
+            while time.monotonic() < deadline and failed is None:
+                try:
+                    os.kill(_worker_pid(srv, session.session_id,
+                                        deadline=2.0), signal.SIGKILL)
+                except RuntimeError:
+                    pass
+                sess = srv._sessions.get(session.session_id)
+                if sess is not None and sess.done.is_set():
+                    failed = sess.record()
+                time.sleep(0.05)
+            assert failed is not None, "crash loop never resolved"
+            assert "crash loop" in failed["error"]
+            assert "restart budget" in failed["error"]
+            # the client is told, not left hanging
+            with pytest.raises((ReliableTransportError, OSError)):
+                for m in xyz_execution.messages[1:]:
+                    session.send(m)
+                session.close(timeout=30.0)

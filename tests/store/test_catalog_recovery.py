@@ -1,0 +1,128 @@
+"""Catalog corruption recovery: quarantine and rebuild from trace footers.
+
+A truncated, garbled or non-JSON ``catalog.json`` must never brick the
+archive: opening quarantines the damaged document (renamed, never
+deleted) and re-indexes every sealed trace from the verdict embedded in
+its footer, reporting what was rebuilt and what had to be skipped.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import metrics as _metrics
+from repro.store import TraceArchive
+
+from .conftest import run_workload
+
+
+def _populate(root, n=3):
+    """Record ``n`` xyz runs into a fresh archive; return their entries."""
+    archive = TraceArchive(root)
+    entries = []
+    for seed in range(n):
+        execution, _ = run_workload("xyz", seed=seed)
+        pending = archive.begin("xyz", execution.n_threads,
+                                execution.initial_store)
+        for m in execution.messages:
+            pending.write(m)
+        entries.append(pending.commit([f"cx-{seed}"], True, 0.5))
+    return archive, entries
+
+
+def _corrupt(root, damage):
+    path = root / TraceArchive.CATALOG_NAME
+    if damage == "truncated":
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+    elif damage == "garbage":
+        path.write_text("{this is not json", encoding="utf-8")
+    elif damage == "empty":
+        path.write_text("", encoding="utf-8")
+    return path
+
+
+class TestCatalogRecovery:
+    @pytest.mark.parametrize("damage", ["truncated", "garbage", "empty"])
+    def test_corrupt_catalog_is_quarantined_and_rebuilt(self, tmp_path,
+                                                        damage):
+        root = tmp_path / "archive"
+        _, entries = _populate(root)
+        corrupt_bytes = _corrupt(root, damage).read_bytes()
+
+        reopened = TraceArchive(root)
+        report = reopened.last_rebuild
+        assert report is not None
+        assert report.rebuilt == len(entries)
+        assert report.skipped == []
+        # the damaged document is preserved verbatim, next to the rebuilt one
+        quarantined = root / (TraceArchive.CATALOG_NAME + ".quarantined")
+        assert str(quarantined) == report.quarantined_to
+        assert quarantined.read_bytes() == corrupt_bytes
+
+        # rebuilt entries match the originals where the footer is
+        # authoritative (verdict, counterexamples, events)
+        by_id = {e.id: e for e in reopened.entries()}
+        assert set(by_id) == {e.id for e in entries}
+        for orig in entries:
+            got = by_id[orig.id]
+            assert got.verdict == orig.verdict
+            assert got.counterexamples == orig.counterexamples
+            assert got.events == orig.events
+            assert got.n_threads == orig.n_threads
+            assert got.path == orig.path
+
+    def test_rebuild_does_not_reuse_trace_ids(self, tmp_path):
+        root = tmp_path / "archive"
+        _, entries = _populate(root)
+        _corrupt(root, "garbage")
+        reopened = TraceArchive(root)
+        execution, _ = run_workload("xyz", seed=99)
+        pending = reopened.begin("xyz", execution.n_threads,
+                                 execution.initial_store)
+        assert pending.id not in {e.id for e in entries}
+        pending.abort()
+
+    def test_damaged_trace_is_skipped_with_reason(self, tmp_path):
+        root = tmp_path / "archive"
+        archive, entries = _populate(root, n=2)
+        victim = archive.path_of(entries[0])
+        victim.write_bytes(victim.read_bytes()[:40])   # tear the trace too
+        _corrupt(root, "truncated")
+
+        reopened = TraceArchive(root)
+        report = reopened.last_rebuild
+        assert report.rebuilt == 1
+        assert [name for name, _ in report.skipped] == [victim.name]
+        assert {e.id for e in reopened.entries()} == {entries[1].id}
+
+    def test_repeated_corruption_numbers_quarantines(self, tmp_path):
+        root = tmp_path / "archive"
+        _populate(root, n=1)
+        _corrupt(root, "garbage")
+        TraceArchive(root)
+        _corrupt(root, "garbage")
+        second = TraceArchive(root)
+        assert second.last_rebuild.quarantined_to.endswith(".quarantined.1")
+
+    def test_clean_open_reports_no_rebuild_and_metric_counts(self, tmp_path):
+        root = tmp_path / "archive"
+        _populate(root, n=1)
+        assert TraceArchive(root).last_rebuild is None
+
+        _metrics.enable(reset=True)
+        try:
+            before = _metrics.REGISTRY.get("store.catalog_rebuilds").value
+            _corrupt(root, "garbage")
+            TraceArchive(root)
+            after = _metrics.REGISTRY.get("store.catalog_rebuilds").value
+        finally:
+            _metrics.disable()
+        assert after == before + 1
+
+    def test_rebuilt_catalog_is_valid_json_on_disk(self, tmp_path):
+        root = tmp_path / "archive"
+        _populate(root)
+        _corrupt(root, "truncated")
+        TraceArchive(root)
+        with open(root / TraceArchive.CATALOG_NAME, encoding="utf-8") as fh:
+            json.load(fh)   # must not raise
