@@ -50,10 +50,13 @@ WORKLOADS = [
 FAULTS = ("worker-kill", "conn-drop")
 
 
-def control(factory, spec, variables, seed):
+def control(factory, spec, variables, seed, backend="flat"):
     """Undisturbed run: execution + expected verdict from a standalone
-    Observer (the same ground truth the soak tests use)."""
-    execution = run_program(factory(), RandomScheduler(seed))
+    Observer (the same ground truth the soak tests use).  ``backend``
+    picks Algorithm A's clock representation for the instrumented run —
+    verdict parity must hold whichever backend produced the stream."""
+    execution = run_program(factory(), RandomScheduler(seed),
+                            clock_backend=backend)
     initial = {v: execution.initial_store[v] for v in variables}
     observer = Observer(execution.n_threads, initial, spec=spec)
     clocks = [tuple([0] * execution.n_threads)
@@ -91,9 +94,10 @@ def drop_connection(session):
         pass
 
 
-def run_case(name, factory, spec, variables, seed, fault, ckpt_dir):
+def run_case(name, factory, spec, variables, seed, fault, ckpt_dir,
+             backend="flat"):
     execution, initial, expected, clocks = control(
-        factory, spec, variables, seed)
+        factory, spec, variables, seed, backend)
     config = ServerConfig(
         port=0, workers=2, supervised=True, checkpoint_dir=ckpt_dir,
         checkpoint_every=4, resume_timeout=10.0, drain_timeout=60.0)
@@ -135,6 +139,10 @@ def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--seeds", type=int, default=3,
                     help="seeds per workload per fault (default 3)")
+    ap.add_argument("--backend", default="flat",
+                    choices=("flat", "tree", "auto"),
+                    help="clock backend for the instrumented control run "
+                         "(default flat); tree must give identical verdicts")
     args = ap.parse_args()
 
     failures = 0
@@ -147,7 +155,7 @@ def main() -> int:
                     try:
                         problems = run_case(
                             name, factory, spec, variables, seed, fault,
-                            ckpt)
+                            ckpt, backend=args.backend)
                     except Exception as exc:  # noqa: BLE001 - smoke harness
                         problems = [f"exception: {exc!r}"]
                 tag = f"{name:<8} seed={seed} {fault:<11}"

@@ -9,6 +9,7 @@ them live) are the rows recorded in EXPERIMENTS.md.
 from __future__ import annotations
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -29,6 +30,10 @@ def pytest_addoption(parser):
         "--emit-json", default=None, metavar="FILE",
         help="write every benchmark table printed this session, plus a "
              "snapshot of the repro.obs metrics registry, to FILE as JSON")
+    parser.addoption(
+        "--quick", action="store_true", default=False,
+        help="reduced problem sizes and relaxed throughput floors — the "
+             "CI perf-smoke configuration, not for committed baselines")
 
 
 def pytest_sessionfinish(session, exitstatus):
@@ -43,6 +48,60 @@ def pytest_sessionfinish(session, exitstatus):
     }
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, default=str)
+
+
+@pytest.fixture(scope="session")
+def quick(request) -> bool:
+    """True when the session runs with ``--quick`` (CI perf-smoke)."""
+    return bool(request.config.getoption("--quick"))
+
+
+#: Repo root — where the committed ``BENCH_*.json`` baselines live.
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def load_baseline(name: str) -> dict:
+    """Read a committed ``BENCH_*.json`` baseline, failing *clearly*.
+
+    A missing or schema-mismatched baseline is an actionable setup problem
+    (regenerate and commit the file), not a bug in the caller — so this
+    fails the test with a one-line instruction instead of a traceback.
+    """
+    path = REPO_ROOT / name
+    regen = (f"regenerate with: PYTHONPATH=src python -m pytest -s "
+             f"benchmarks/<bench> --emit-json {name}  (see docs/PERFORMANCE.md)")
+    if not path.exists():
+        pytest.fail(f"benchmark baseline {name} is missing from the repo "
+                    f"root — {regen}", pytrace=False)
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        pytest.fail(f"benchmark baseline {name} is not valid JSON "
+                    f"({exc}) — {regen}", pytrace=False)
+    if not isinstance(data, dict) or not isinstance(data.get("tables"), list) \
+            or not isinstance(data.get("metrics"), dict):
+        pytest.fail(f"benchmark baseline {name} has the wrong shape "
+                    f"(expected {{'tables': [...], 'metrics': {{...}}}}, "
+                    f"got top-level keys "
+                    f"{sorted(data) if isinstance(data, dict) else type(data).__name__}) "
+                    f"— {regen}", pytrace=False)
+    for i, t in enumerate(data["tables"]):
+        if not isinstance(t, dict) or not {"title", "headers", "rows"} <= set(t):
+            pytest.fail(f"benchmark baseline {name} table #{i} is malformed "
+                        f"(needs title/headers/rows) — {regen}", pytrace=False)
+    return data
+
+
+def baseline_table(data: dict, title_prefix: str, name: str) -> dict:
+    """First table whose title starts with ``title_prefix``; clear failure
+    when the baseline predates the table."""
+    for t in data["tables"]:
+        if t["title"].startswith(title_prefix):
+            return t
+    pytest.fail(
+        f"benchmark baseline {name} has no table titled '{title_prefix}…' — "
+        f"it predates the current bench; regenerate and commit it",
+        pytrace=False)
 
 
 @pytest.fixture(scope="session")

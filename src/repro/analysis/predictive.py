@@ -277,6 +277,14 @@ class OnlinePredictor:
         self._builder.feed(msg)
         return self._drain()
 
+    def feed_batch(self, msgs: Sequence[Message]) -> list[Violation]:
+        """Consume many messages at once; returns violations newly
+        discovered by the batch.  Same final state and violation set as
+        feeding them one by one (the builder advances once at the end
+        instead of after each message)."""
+        self._builder.feed_many(msgs)
+        return self._drain()
+
     def mark_thread_done(self, thread: int, total_relevant: int) -> list[Violation]:
         self._builder.mark_thread_done(thread, total_relevant)
         return self._drain()

@@ -105,10 +105,11 @@ DEMOS = {
 }
 
 
-def _run_demo(demo: _Demo, seed: Optional[int] = None):
+def _run_demo(demo: _Demo, seed: Optional[int] = None,
+              backend: str = "flat"):
     scheduler = (RandomScheduler(seed) if seed is not None
                  else FixedScheduler(demo.schedule or [], strict=False))
-    return run_program(demo.factory(), scheduler)
+    return run_program(demo.factory(), scheduler, clock_backend=backend)
 
 
 def _demo_arg(parser: argparse.ArgumentParser) -> None:
@@ -363,7 +364,7 @@ def cmd_stats(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     obs.enable(reset=True)
     try:
         with obs.tracing.TRACER.span("stats.workload", workload=args.workload):
-            execution = _run_demo(demo, args.seed)
+            execution = _run_demo(demo, args.seed, backend=args.backend)
         report = predict(execution, spec, mode="levels")
     finally:
         obs.disable()
@@ -778,6 +779,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also dump the raw metrics snapshot as JSON")
     p.add_argument("--top", type=_positive_int, default=10,
                    help="number of span hotspots to show (default 10)")
+    p.add_argument("--backend", choices=("flat", "tree", "auto"),
+                   default="flat",
+                   help="vector-clock backend for the instrumented run "
+                        "(see docs/PERFORMANCE.md)")
     p.set_defaults(fn=cmd_stats)
 
     p = sub.add_parser("serve", help="run the multi-session analysis server")

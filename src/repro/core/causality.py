@@ -62,6 +62,31 @@ class CausalityIndex:
         self._arena.append(msg.clock)
         return idx
 
+    def add_batch(self, msgs: Sequence[Message]) -> int:
+        """Insert many messages with one arena write; returns the index of
+        the first.  Same checks as :meth:`add` (duplicates — including
+        within the batch — and width mismatches reject the offending
+        message before anything past it is inserted)."""
+        start = len(self._msgs)
+        accepted: list[Message] = []
+        try:
+            for msg in msgs:
+                if msg.clock.width != self._n:
+                    raise ValueError(
+                        f"message clock width {msg.clock.width} != index "
+                        f"width {self._n}"
+                    )
+                eid = msg.event.eid
+                if eid in self._by_eid:
+                    raise ValueError(f"duplicate message for event {eid}")
+                self._by_eid[eid] = start + len(accepted)
+                accepted.append(msg)
+        finally:
+            if accepted:
+                self._msgs.extend(accepted)
+                self._arena.extend([m.clock for m in accepted])
+        return start
+
     def __len__(self) -> int:
         return len(self._msgs)
 

@@ -1,0 +1,410 @@
+"""Tree clocks — sublinear vector-clock joins for Algorithm A's hot path.
+
+Flat MVC joins (``MutableVectorClock.merge``) are O(n) pointwise maxima on
+*every* access event, and ``algoa.vc_joins`` shows them dominating the
+instrumentation cost as thread counts grow.  The tree clock data structure
+(Mathur, Tunç, Pavlogiannis, Viswanathan — *Tree Clocks: An Efficient Data
+Structure for Dynamic Race Prediction*, arXiv 2201.06325) makes the join
+cost proportional to the **knowledge actually transferred**: each clock
+keeps, besides the flat component values, a rooted tree recording *through
+whom* each component was learned, and a join walks only the subtrees whose
+values changed — unchanged subtrees are skipped with one integer compare.
+
+Soundness adaptation for Algorithm A
+------------------------------------
+
+The published tree clock targets happens-before race detection, where lock
+clocks are only ever *copies* of thread clocks.  Algorithm A (paper Fig. 2)
+also **joins into** variable clocks (step 2's ``V^a_x <- max{V^a_x, V_i}``),
+and lets *irrelevant* events merge clocks without ticking the thread's
+visible component.  Both break the classic pruning invariant, which uses
+component values as versions of a thread's knowledge: two different
+knowledge states can then share one visible component value, and a pruned
+join would silently drop the difference.
+
+This implementation therefore versions knowledge with **internal epochs**
+instead of visible components:
+
+* every mutation of a thread clock first bumps its root's *epoch*
+  (``eclk``), so each epoch value names at most one knowledge state;
+* tree nodes carry ``(tid, eclk, vclk, aclk)`` — the epoch, the *visible*
+  relevant-event count (the paper's MVC component, what :meth:`snapshot`
+  emits), and the parent's epoch at attachment time;
+* pruning compares epochs only; visible components ride along as payload.
+
+Variable clocks (``V^a_x``/``V^w_x``) have no events of their own, so they
+are *rootless* — permanently: their top level is a list of thread-rooted
+subtrees, and they never mint epochs.  Epochs for thread ``t`` are
+allocated **only** by ``t``'s own clock; a variable clock that invented
+epoch values for some thread's node would collide with that thread's
+genuine epochs and re-enable exactly the unsound pruning the epochs exist
+to prevent (caught by the property tests during development).  A join
+**into** a variable clock attaches the source's root subtree at the top
+level with an *unprunable* edge (``aclk = None``) — nobody's epoch versions
+the variable clock's aggregate state, so that edge is always examined (one
+O(1) epoch compare) — while every edge *inside* the subtree keeps its
+(sound, prunable) thread-epoch annotation.  Stale top-level shells left by
+earlier accesses disappear as their nodes are re-adopted into newer
+subtrees.
+
+The invariant maintained by every operation, and the only property pruning
+relies on, is per-edge::
+
+    for an edge (p -> c, aclk=a) in any clock:
+        thread p.tid's own clock, at its epoch a, already knew every
+        (tid, value) pair recorded in the subtree currently under c
+
+Epochs never leave the process: messages still carry plain
+:class:`~repro.core.vectorclock.VectorClock` snapshots of the visible
+components, so the wire format, the observer and the archive are
+unaffected.  The equivalence with flat clocks is property-tested over
+randomized Algorithm-A-shaped operation soups in
+``tests/core/test_treeclock.py`` and gated end-to-end by differential
+replay in ``benchmarks/bench_treeclock.py``.
+
+Complexity: a join that transfers nothing costs O(1) per top-level subtree
+of the source (one epoch compare); in general a join costs O(nodes whose
+value actually changed).  For workloads with access locality that is O(1)
+per event where flat clocks pay O(n); for a single variable hammered by
+all n threads every transfer genuinely carries O(n) new components and the
+tree's higher per-node constant loses to the flat zip — the crossover is
+measured in ``BENCH_treeclock.json`` and discussed in
+``docs/PERFORMANCE.md``.  Nodes form intrusive doubly-linked sibling
+lists, so detaching and re-attaching a node during a join is O(1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from .vectorclock import VectorClock
+
+__all__ = ["TreeClock"]
+
+# Node layout (plain lists beat __slots__ objects on the per-event path).
+# ``aclk`` is the parent's epoch at attachment, or None for an unprunable
+# top-level edge.  Siblings form an intrusive doubly-linked list headed at
+# the parent's ``first_child``, kept in descending-aclk order so a pruned
+# scan can stop at the first stale edge; prepend and unlink are O(1).
+_TID, _ECLK, _VCLK, _ACLK, _PARENT, _FIRST, _PREV, _NEXT = range(8)
+
+
+def _new_node(tid: int) -> list:
+    return [tid, 0, 0, 0, None, None, None, None]
+
+
+class TreeClock:
+    """A multithreaded vector clock with joins sublinear in clock width.
+
+    Drop-in for :class:`~repro.core.vectorclock.MutableVectorClock` at
+    Algorithm A's call sites: ``increment``, ``merge``, ``copy_from``,
+    ``snapshot``, ``grow``, indexing and iteration all behave identically
+    on the *visible* components.  Restrictions (checked loudly):
+
+    * ``merge``/``copy_from`` accept only other :class:`TreeClock`\\ s —
+      a raw sequence carries no provenance, and merging it would poison
+      the pruning metadata (use the flat backend for that pattern);
+    * ``copy_from(src)`` requires ``self <= src`` pointwise (always true
+      at Algorithm A's copy sites; verified when
+      :attr:`check_preconditions` is on);
+    * only the owning thread's component can be incremented.
+
+    Args:
+        width: number of threads (may :meth:`grow`).
+        root: owning thread index for a *thread* clock (``V_i``), or
+            ``None`` for a rootless *variable* clock (``V^a_x``/``V^w_x``).
+    """
+
+    __slots__ = ("_n", "_flat", "_eflat", "_nodes", "_root", "_topsent")
+
+    #: When True, :meth:`copy_from` verifies its ``self <= other``
+    #: precondition on every call.  The check is O(n) — the very cost the
+    #: tree exists to avoid — so it is off by default and switched on by
+    #: the property tests (``tests/core/test_treeclock.py``).
+    check_preconditions = False
+
+    def __init__(self, width: int, root: Optional[int] = None):
+        if width <= 0:
+            raise ValueError("clock width must be positive")
+        if root is not None and not 0 <= root < width:
+            raise ValueError(f"root {root} out of range for width {width}")
+        self._n = width
+        #: Visible MVC components (the paper's V[j]).
+        self._flat = [0] * width
+        #: Epoch view: latest known epoch of each thread's clock.
+        self._eflat = [0] * width
+        #: tid -> node (or None), for every thread we have a tree node for.
+        self._nodes: list = [None] * width
+        self._root: Optional[list] = None
+        #: Sentinel whose child chain is the top level of a rootless clock.
+        self._topsent = _new_node(-1)
+        if root is not None:
+            node = _new_node(root)
+            self._nodes[root] = node
+            self._root = node
+
+    # -- flat protocol (identical to MutableVectorClock) ----------------------
+
+    @property
+    def width(self) -> int:
+        return self._n
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __getitem__(self, j: int) -> int:
+        return self._flat[j]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._flat)
+
+    def __repr__(self) -> str:
+        r = self._root[_TID] if self._root is not None else None
+        return f"TC(root={r}, {tuple(self._flat)})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, TreeClock):
+            return self._flat == other._flat
+        if isinstance(other, VectorClock):
+            return tuple(self._flat) == other.components
+        if isinstance(other, (list, tuple)):
+            return self._flat == list(other)
+        from .vectorclock import MutableVectorClock
+
+        if isinstance(other, MutableVectorClock):
+            return self._flat == list(other)
+        return NotImplemented
+
+    def snapshot(self) -> VectorClock:
+        """Freeze the visible components (what a message carries)."""
+        return VectorClock._from_trusted(tuple(self._flat))
+
+    def grow(self, new_width: int) -> None:
+        """Extend with zero components (dynamic thread creation)."""
+        if new_width < self._n:
+            raise ValueError("clocks cannot shrink")
+        pad = new_width - self._n
+        if pad:
+            self._flat.extend([0] * pad)
+            self._eflat.extend([0] * pad)
+            self._nodes.extend([None] * pad)
+            self._n = new_width
+
+    # -- mutation --------------------------------------------------------------
+
+    def increment(self, index: int) -> None:
+        """``V[index] += 1`` — step 1 of Algorithm A.  Only the owning
+        thread of a rooted clock may tick (its own component)."""
+        root = self._root
+        if root is None or root[_TID] != index:
+            raise ValueError(
+                f"tree clock rooted at "
+                f"{None if root is None else root[_TID]} cannot increment "
+                f"component {index}; only the owning thread ticks its clock"
+            )
+        # A new knowledge state: bump the epoch with the visible component.
+        root[_ECLK] += 1
+        root[_VCLK] += 1
+        self._eflat[index] = root[_ECLK]
+        self._flat[index] = root[_VCLK]
+
+    def merge(self, other: "TreeClock") -> bool:
+        """In-place join ``V <- max{V, other}`` (steps 2 and 3).
+
+        Returns True when the whole join was satisfied by O(1)-per-subtree
+        epoch compares (nothing to learn) — the ``algoa.vc_join_fast``
+        signal.
+        """
+        if not isinstance(other, TreeClock):
+            raise TypeError(
+                "TreeClock.merge requires another TreeClock (raw sequences "
+                "carry no provenance; use the flat backend for that)"
+            )
+        if other._n > self._n:
+            self.grow(other._n)
+        elif other._n < self._n:
+            raise ValueError(f"clock width mismatch: {self._n} vs {other._n}")
+        root = self._root
+        if root is not None:
+            # Every mutation of a rooted clock is a new knowledge state.
+            root[_ECLK] += 1
+            self._eflat[root[_TID]] = root[_ECLK]
+        eflat = self._eflat
+        fast = True
+        src = other._root
+        if src is not None:
+            if src[_ECLK] > eflat[src[_TID]]:
+                self._adopt(src)
+                fast = False
+        else:
+            src = other._topsent[_FIRST]
+            while src is not None:
+                # Unprunable top-level edges: always examine the subtree
+                # root; its epoch decides in O(1) whether to descend.
+                if src[_ECLK] > eflat[src[_TID]]:
+                    self._adopt(src)
+                    fast = False
+                src = src[_NEXT]
+        return fast
+
+    def _adopt(self, top: list) -> None:
+        """Copy the updated part of a source subtree into this clock.
+
+        ``top`` is a node of *another* clock whose epoch exceeds ours.
+        Our node for each adopted tid is unlinked (O(1)), refreshed and
+        re-linked at its mirrored position; the scan of a source node's
+        children stops at the first edge whose ``aclk`` is at or below our
+        *old* epoch view of that node's tid — by the edge invariant
+        everything from there on is already known.  Skipped nodes keep
+        whatever position (and children) they already had in our tree,
+        which preserves the edge invariant: it speaks about genuine thread
+        states, not about where a node currently sits.
+        """
+        flat, eflat, nodes = self._flat, self._eflat, self._nodes
+        # (source node, our old epoch view of its tid, our copy's parent);
+        # parent None means attach at our top.
+        stack = [(top, eflat[top[_TID]], None)]
+        while stack:
+            s, old_epoch, parent = stack.pop()
+            tid = s[_TID]
+            node = nodes[tid]
+            if node is None:
+                node = _new_node(tid)
+                nodes[tid] = node
+            else:
+                # O(1) unlink from its current sibling chain.
+                p = node[_PARENT]
+                if p is not None:
+                    nxt = node[_NEXT]
+                    prv = node[_PREV]
+                    if prv is None:
+                        p[_FIRST] = nxt
+                    else:
+                        prv[_NEXT] = nxt
+                    if nxt is not None:
+                        nxt[_PREV] = prv
+            node[_ECLK] = s[_ECLK]
+            eflat[tid] = s[_ECLK]
+            v = s[_VCLK]
+            node[_VCLK] = v
+            if v > flat[tid]:
+                flat[tid] = v
+            # Attach: mirrored position, or our top for the subtree root.
+            if parent is None:
+                root = self._root
+                if root is not None:
+                    # Sound: the root epoch was bumped for this very merge,
+                    # so anyone later learning it learns this state too.
+                    node[_ACLK] = root[_ECLK]
+                    parent = root
+                else:
+                    node[_ACLK] = None
+                    parent = self._topsent
+            else:
+                # The source edge's aclk: its invariant transfers verbatim.
+                node[_ACLK] = s[_ACLK]
+            node[_PARENT] = parent
+            first = parent[_FIRST]
+            node[_PREV] = None
+            node[_NEXT] = first
+            if first is not None:
+                first[_PREV] = node
+            parent[_FIRST] = node
+            # Scan source children (descending aclk).  Pushing in scan
+            # order and popping in reverse prepends ascending, restoring
+            # descending order under our copy.
+            c = s[_FIRST]
+            while c is not None:
+                aclk = c[_ACLK]
+                if aclk is not None and aclk <= old_epoch:
+                    break  # the rest of the chain is already known
+                if c[_ECLK] > eflat[c[_TID]]:
+                    stack.append((c, eflat[c[_TID]], node))
+                c = c[_NEXT]
+
+    def copy_from(self, other: "TreeClock") -> None:
+        """In-place assignment ``V <- other`` (the chained writes of step 3).
+
+        Requires ``self <= other`` pointwise — true by construction at
+        Algorithm A's copy sites, where the source was just merged with
+        the target.  Under that precondition a join IS the assignment on
+        the visible components, so this delegates to :meth:`merge`.  No
+        structural re-rooting happens: a variable clock stays rootless
+        (it must never mint epochs for another thread's tid — see the
+        module docstring), and stale top-level shells it accumulates cost
+        O(1) each to skip and vanish as their nodes are re-adopted.
+        """
+        if not isinstance(other, TreeClock):
+            raise TypeError("TreeClock.copy_from requires another TreeClock")
+        if self.check_preconditions:
+            if other._n >= self._n and any(
+                a > b for a, b in zip(self._flat, other._flat)
+            ):
+                raise ValueError(
+                    "TreeClock.copy_from requires self <= other pointwise "
+                    "(merge the target into the source first, as Algorithm "
+                    "A's steps do)"
+                )
+        self.merge(other)
+
+    # -- diagnostics -----------------------------------------------------------
+
+    def _tops(self) -> list:
+        """Top-level nodes: the root, or the rootless top chain."""
+        if self._root is not None:
+            return [self._root]
+        out = []
+        c = self._topsent[_FIRST]
+        while c is not None:
+            out.append(c)
+            c = c[_NEXT]
+        return out
+
+    def _children(self, node: list) -> list:
+        out = []
+        c = node[_FIRST]
+        while c is not None:
+            out.append(c)
+            c = c[_NEXT]
+        return out
+
+    def tree_depth(self) -> int:
+        """Height of the deepest subtree (diagnostic / test support)."""
+        best = 0
+        stack = [(t, 1) for t in self._tops()]
+        while stack:
+            node, d = stack.pop()
+            if d > best:
+                best = d
+            stack.extend((c, d + 1) for c in self._children(node))
+        return best
+
+    def check_invariants(self) -> None:
+        """Structural self-check used by the property tests."""
+        seen: set[int] = set()
+        for top in self._tops():
+            stack = [top]
+            while stack:
+                node = stack.pop()
+                tid = node[_TID]
+                assert tid not in seen, f"tid {tid} appears twice"
+                seen.add(tid)
+                assert self._nodes[tid] is node
+                assert node[_VCLK] == self._flat[tid]
+                assert node[_ECLK] == self._eflat[tid]
+                children = self._children(node)
+                aclks = [c[_ACLK] for c in children]
+                finite = [a for a in aclks if a is not None]
+                assert finite == sorted(finite, reverse=True), (
+                    f"children of {tid} out of aclk order: {aclks}"
+                )
+                prev = None
+                for c in children:
+                    assert c[_PARENT] is node
+                    assert c[_PREV] is prev
+                    prev = c
+                    stack.append(c)
+        for tid in range(self._n):
+            node = self._nodes[tid]
+            assert node is None or tid in seen, f"node {tid} unreachable"
+        assert sum(1 for v in self._flat if v) <= len(seen) or not seen

@@ -44,6 +44,10 @@ __all__ = [
     "lt",
     "concurrent",
     "join",
+    "CLOCK_BACKENDS",
+    "resolve_clock_backend",
+    "make_thread_clock",
+    "make_var_clock",
 ]
 
 
@@ -101,6 +105,19 @@ class VectorClock:
         self._c = c
 
     # -- construction ------------------------------------------------------
+
+    @classmethod
+    def _from_trusted(cls, components: tuple[int, ...]) -> "VectorClock":
+        """Wrap an already-validated tuple without re-checking it.
+
+        ``MutableVectorClock.snapshot``/``TreeClock.snapshot`` call this on
+        every emitted message; the public constructor's per-component
+        validation was ~28% of Algorithm A's event cost (bench_treeclock).
+        Internal use only — callers guarantee a tuple of non-negative ints.
+        """
+        vc = cls.__new__(cls)
+        vc._c = components
+        return vc
 
     @classmethod
     def zero(cls, width: int) -> "VectorClock":
@@ -262,7 +279,7 @@ class MutableVectorClock:
 
     def snapshot(self) -> VectorClock:
         """Freeze the current value for inclusion in a message."""
-        return VectorClock(self._c)
+        return VectorClock._from_trusted(tuple(self._c))
 
     def grow(self, new_width: int) -> None:
         """Extend with zero components (dynamic thread creation support)."""
@@ -341,6 +358,29 @@ class ClockArena:
         )
         return (self._data[: self._size] >= c).all(axis=1)
 
+    def extend(self, clocks: Sequence[Sequence[int]]) -> int:
+        """Bulk :meth:`append`; returns the row index of the first clock.
+
+        One capacity check and one numpy assignment for the whole batch —
+        the batched observer path (``Observer.receive_batch``) uses this to
+        amortize the per-row dispatch cost of :meth:`append`.
+        """
+        k = len(clocks)
+        if k == 0:
+            return self._size
+        for c in clocks:
+            if len(c) != self._width:
+                raise ValueError("clock width mismatch")
+        while self._size + k > self._data.shape[0]:
+            self._data = np.vstack([self._data, np.zeros_like(self._data)])
+        first = self._size
+        self._data[first : first + k, :] = [
+            c.components if isinstance(c, VectorClock) else list(c)
+            for c in clocks
+        ]
+        self._size += k
+        return first
+
     def pairwise_leq(self) -> np.ndarray:
         """Full ``(m, m)`` boolean matrix ``L[a, b] = (arena[a] <= arena[b])``.
 
@@ -349,3 +389,57 @@ class ClockArena:
         """
         live = self._data[: self._size]
         return (live[:, None, :] <= live[None, :, :]).all(axis=2)
+
+
+# -- clock backend seam --------------------------------------------------------
+#
+# Algorithm A's in-place clocks come in two flavours behind one seam:
+#
+# * ``"flat"`` — :class:`MutableVectorClock`; O(n) joins, lowest constant
+#   factor.  Best at small thread counts.
+# * ``"tree"`` — :class:`repro.core.treeclock.TreeClock`; joins touch only
+#   the changed subtree (O(1) when nothing transferred).  Wins as the
+#   thread count grows; see ``BENCH_treeclock.json`` for the crossover.
+# * ``"auto"`` — flat below :data:`AUTO_TREE_THRESHOLD` threads, tree at or
+#   above it (threshold picked from the measured crossover).
+#
+# Only the *process-local* clocks are backend-specific: messages always
+# carry immutable :class:`VectorClock` snapshots, so the observer, wire
+# format and archive are unaffected by the choice.
+
+CLOCK_BACKENDS = ("flat", "tree", "auto")
+
+#: Thread count at which ``"auto"`` switches from flat to tree clocks
+#: (measured flat-vs-tree crossover, benchmarks/bench_treeclock.py).
+AUTO_TREE_THRESHOLD = 16
+
+
+def resolve_clock_backend(backend: str, n_threads: int) -> str:
+    """Normalize a backend name to ``"flat"`` or ``"tree"``."""
+    if backend == "auto":
+        return "tree" if n_threads >= AUTO_TREE_THRESHOLD else "flat"
+    if backend not in ("flat", "tree"):
+        raise ValueError(
+            f"unknown clock backend {backend!r}; choose one of {CLOCK_BACKENDS}"
+        )
+    return backend
+
+
+def make_thread_clock(backend: str, width: int, owner: int):
+    """A thread clock ``V_i`` for the resolved ``backend`` (rooted at its
+    owning thread for the tree backend)."""
+    if backend == "tree":
+        from .treeclock import TreeClock
+
+        return TreeClock(width, root=owner)
+    return MutableVectorClock(width)
+
+
+def make_var_clock(backend: str, width: int):
+    """A variable clock ``V^a_x``/``V^w_x`` (rootless for the tree
+    backend: variables have no events of their own)."""
+    if backend == "tree":
+        from .treeclock import TreeClock
+
+        return TreeClock(width)
+    return MutableVectorClock(width)

@@ -212,8 +212,22 @@ class LevelByLevelBuilder:
         self._advance()
 
     def feed_many(self, msgs: Iterable[Message]) -> None:
+        """Buffer many messages, then advance once.
+
+        State-identical to calling :meth:`feed` per message — expansion is
+        monotone in the buffered set, so deferring :meth:`_advance` to the
+        end reaches exactly the same frontier/violations — but skips the
+        per-message O(frontier × n) readiness scans, which dominate when
+        large batches arrive (the end-to-end batching path).
+        """
+        if self._closed:
+            raise RuntimeError("cannot feed a closed builder")
+        inserted = 0
         for m in msgs:
-            self.feed(m)
+            self._chains.insert(m)
+            inserted += 1
+        self.stats.messages_buffered += inserted
+        self._advance()
 
     def mark_thread_done(self, thread: int, total_relevant: int) -> None:
         """Declare that ``thread`` will emit exactly ``total_relevant``

@@ -246,6 +246,119 @@ class Observer:
             self._delivery.declare_lost(self._delivery.gaps())
             self._stalled_for = 0
 
+    def receive_batch(
+        self, items: Sequence[Union[Message, Envelope]]
+    ) -> list[Violation]:
+        """Ingest a batch of messages/envelopes in order; returns the
+        violations newly predicted by the batch.
+
+        Semantically identical to calling :meth:`receive` once per item —
+        same causality index, delivery releases, causal log, predictor
+        state, violations and counters — but amortized: one arena write
+        (:meth:`CausalityIndex.add_batch`), one delivery pass
+        (:meth:`CausalDelivery.offer_batch`) and one lattice advance
+        (:meth:`OnlinePredictor.feed_batch`) per batch instead of per
+        message.  In strict mode a corrupt envelope, width mismatch or
+        duplicate raises exactly where the per-item loop would: every item
+        before it has been fully processed.
+
+        Fault-tolerant observers with a ``stall_threshold`` fall back to
+        per-item ingestion — stall accounting is defined per ingest call,
+        and batching would change *when* gaps get declared lost.
+        """
+        with self._lock:
+            if self._tolerant and self._stall_threshold is not None:
+                new: list[Violation] = []
+                for item in items:
+                    new.extend(self._receive(item))
+                return new
+            return self._receive_batch(items)
+
+    def _receive_batch(
+        self, items: Sequence[Union[Message, Envelope]]
+    ) -> list[Violation]:
+        if self._finished:
+            raise RuntimeError("observer already finished")
+        new: list[Violation] = []
+        msgs: list[Message] = []
+        batch_eids: set[tuple[int, int]] = set()
+
+        def flush() -> None:
+            if msgs:
+                new.extend(self._analyze_batch(msgs))
+                msgs.clear()
+                batch_eids.clear()
+
+        for item in items:
+            self._received += 1
+            if _metrics.ENABLED:
+                _C_RECEIVED.inc()
+            if isinstance(item, Envelope):
+                if not item.ok:
+                    self._corrupted += 1
+                    if _metrics.ENABLED:
+                        _C_CORRUPTED.inc()
+                    if not self._tolerant:
+                        flush()  # items before the corrupt one still count
+                        raise ValueError(
+                            f"envelope seq={item.seq} failed its checksum "
+                            "(corrupt payload)"
+                        )
+                    continue
+                msg = item.message
+            else:
+                msg = item
+            # Pre-validate here so _analyze_batch never raises mid-segment
+            # (which would commit the causality prefix without feeding the
+            # predictor — a state the per-item loop can never reach).
+            if msg.clock.width != self._n:
+                flush()
+                raise ValueError(
+                    f"message clock width {msg.clock.width} != index "
+                    f"width {self._n}"
+                )
+            eid = msg.event.eid
+            if not self._tolerant and (
+                eid in self.causality or eid in batch_eids
+            ):
+                flush()
+                raise ValueError(f"duplicate message for event {eid}")
+            batch_eids.add(eid)
+            msgs.append(msg)
+        flush()
+        return new
+
+    def _analyze_batch(self, msgs: list[Message]) -> list[Violation]:
+        if self._tolerant:
+            # duplicates (vs the index or within the batch) are absorbed by
+            # the delivery buffer, exactly as in the per-item path
+            fresh: list[Message] = []
+            fresh_eids: set[tuple[int, int]] = set()
+            for m in msgs:
+                eid = m.event.eid
+                if eid not in self.causality and eid not in fresh_eids:
+                    fresh_eids.add(eid)
+                    fresh.append(m)
+            if fresh:
+                self.causality.add_batch(fresh)
+            assert self._delivery is not None
+            released = self._delivery.offer_batch(msgs)
+            if self._keep_log:
+                self.causal_log.extend(released)
+            if self._predictor is not None and released:
+                return self._predictor.feed_batch(released)
+            return []
+        self.causality.add_batch(msgs)
+        if self._delivery is not None:
+            released = self._delivery.offer_batch(msgs)
+            if self._keep_log:
+                self.causal_log.extend(released)
+        if self._predictor is not None:
+            # strict mode feeds the predictor raw arrivals (not releases),
+            # matching the per-item path
+            return self._predictor.feed_batch(msgs)
+        return []
+
     def rebuild(self, messages: Iterable[Union[Message, Envelope]]) -> int:
         """Crash-recovery hook: replay an archived prefix to reconstruct
         state.

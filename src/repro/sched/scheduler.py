@@ -273,6 +273,7 @@ def run_program(
     sink: Optional[Callable[[Message], None]] = None,
     record_choices: Optional[list[tuple[tuple[int, ...], int]]] = None,
     sync_only_clocks: bool = False,
+    clock_backend: str = "flat",
 ) -> ExecutionResult:
     """Execute ``program`` under ``scheduler`` with Algorithm A attached.
 
@@ -283,6 +284,9 @@ def run_program(
         sink: streamed to the observer as messages are emitted (online mode).
         record_choices: if given, appends ``(runnable_tuple, chosen)`` per
             step — the hook :func:`explore_all` uses to branch.
+        clock_backend: Algorithm A's clock representation — ``"flat"``,
+            ``"tree"`` or ``"auto"`` (see ``docs/PERFORMANCE.md``); never
+            changes emitted messages, only the cost of computing them.
 
     Raises:
         DeadlockError: if all unfinished threads are blocked (this is itself
@@ -298,6 +302,7 @@ def run_program(
         sink=sink,
         dynamic_threads=True,  # Spawn ops may add threads mid-run
         sync_only_clocks=sync_only_clocks,
+        clock_backend=clock_backend,
     )
 
     store: dict[VarName, Any] = dict(program.initial)

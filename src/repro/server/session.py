@@ -300,34 +300,45 @@ class Session:
     def process_batch(self, max_batch: int = 64) -> bool:
         """Drain up to ``max_batch`` queued events into the observer.
 
-        Runs on a worker-pool thread; never on the reader.  Returns whether
-        work remains queued.  Any exception out of the analysis marks the
-        session FAILED with the exception text.
+        Runs on a worker-pool thread; never on the reader.  The backlog is
+        popped as one chunk (stopping at the fin sentinel) and handed to
+        :meth:`Observer.receive_batch`, so the whole chunk costs one arena
+        write and one lattice advance instead of one per event.  Returns
+        whether work remains queued.  Any exception out of the analysis
+        marks the session FAILED with the exception text.
         """
-        for _ in range(max_batch):
-            with self._cond:
-                if self._state.terminal or not self._queue:
-                    return False
-                item = self._queue.popleft()
-                self._cond.notify_all()   # free queue space → reader resumes
-            try:
-                if item is _FIN:
-                    self.observer.finish()
-                    # archive the verdict before `done` is published: once
-                    # the reader sees `done` it may seal() and drop the
-                    # observer this commit still reads from
-                    self._commit_archive()
-                    with self._cond:
-                        if not self._state.terminal:
-                            self._enter_terminal(SessionState.FINISHED)
-                    return False
-                self.observer.receive(item)
-                self.analyzed += 1
-                self.final_clocks[item.thread] = tuple(item.clock)
-                self._archive_write(item)
-            except Exception as exc:  # noqa: BLE001 - reported, not raised
-                self.fail(f"analysis error: {exc}")
+        with self._cond:
+            if self._state.terminal or not self._queue:
                 return False
+            batch: list = []
+            saw_fin = False
+            while self._queue and len(batch) < max_batch:
+                item = self._queue.popleft()
+                if item is _FIN:
+                    saw_fin = True
+                    break
+                batch.append(item)
+            self._cond.notify_all()   # freed queue space → reader resumes
+        try:
+            if batch:
+                self.observer.receive_batch(batch)
+                self.analyzed += len(batch)
+                for item in batch:
+                    self.final_clocks[item.thread] = tuple(item.clock)
+                    self._archive_write(item)
+            if saw_fin:
+                self.observer.finish()
+                # archive the verdict before `done` is published: once the
+                # reader sees `done` it may seal() and drop the observer
+                # this commit still reads from
+                self._commit_archive()
+                with self._cond:
+                    if not self._state.terminal:
+                        self._enter_terminal(SessionState.FINISHED)
+                return False
+        except Exception as exc:  # noqa: BLE001 - reported, not raised
+            self.fail(f"analysis error: {exc}")
+            return False
         with self._cond:
             return bool(self._queue) and not self._state.terminal
 

@@ -1,0 +1,342 @@
+"""TreeClock property tests: flat-equivalence over Algorithm-A-shaped ops.
+
+The tree clock (``repro.core.treeclock``) must be bit-for-bit
+indistinguishable from :class:`~repro.core.vectorclock.MutableVectorClock`
+on the *visible* components under every operation sequence Algorithm A can
+produce.  These tests drive both backends with the same randomized op
+soups (shadow testing), check structural invariants after every step, and
+close with message-level parity of whole executions run on each backend.
+
+``TreeClock.check_preconditions`` is switched on for the duration of the
+module so the O(n) ``copy_from`` precondition is verified at every call.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.algorithm_a import AlgorithmA
+from repro.core.treeclock import TreeClock
+from repro.core.vectorclock import (
+    AUTO_TREE_THRESHOLD,
+    CLOCK_BACKENDS,
+    MutableVectorClock,
+    VectorClock,
+    make_thread_clock,
+    make_var_clock,
+    resolve_clock_backend,
+)
+from repro.sched import FixedScheduler, RandomScheduler, run_program
+from repro.workloads import (
+    LANDING_OBSERVED_SCHEDULE,
+    XYZ_OBSERVED_SCHEDULE,
+    landing_controller,
+    producer_consumer,
+    racy_counter,
+    transfer_program,
+    xyz_program,
+)
+
+
+@pytest.fixture(autouse=True)
+def _strict_preconditions():
+    old = TreeClock.check_preconditions
+    TreeClock.check_preconditions = True
+    yield
+    TreeClock.check_preconditions = old
+
+
+# -- shadow harness: every tree clock mirrored by a flat clock ----------------
+
+
+class _Shadowed:
+    """A TreeClock and a MutableVectorClock driven in lockstep."""
+
+    def __init__(self, width: int, root=None):
+        self.tree = TreeClock(width, root=root)
+        self.flat = MutableVectorClock(width)
+
+    def increment(self, j: int) -> None:
+        self.tree.increment(j)
+        self.flat.increment(j)
+
+    def merge(self, other: "_Shadowed") -> None:
+        self.tree.merge(other.tree)
+        self.flat.merge(other.flat)
+
+    def copy_from(self, other: "_Shadowed") -> None:
+        self.tree.copy_from(other.tree)
+        self.flat.copy_from(other.flat)
+
+    def assert_agrees(self) -> None:
+        self.tree.check_invariants()
+        assert list(self.tree) == list(self.flat), (
+            f"tree {list(self.tree)} != flat {list(self.flat)}"
+        )
+
+
+def _run_soup(n_threads, n_vars, n_ops, seed, write_prob=0.5,
+              relevant_prob=0.5, locality=0.0):
+    """Drive shadowed clocks through a random Algorithm-A-shaped op soup.
+
+    Mirrors ``AlgorithmA._process`` exactly: a *relevant* event increments
+    first; a write does ``vi.merge(va); va.copy_from(vi); vw.copy_from(vi)``
+    and a read does ``vi.merge(vw); va.merge(vi)``.  ``locality`` biases
+    each thread toward a home variable (the regime where subtree skipping
+    pays off).
+    """
+    rng = random.Random(seed)
+    threads = [_Shadowed(n_threads, root=i) for i in range(n_threads)]
+    access = [_Shadowed(n_threads) for _ in range(n_vars)]
+    write = [_Shadowed(n_threads) for _ in range(n_vars)]
+    for _ in range(n_ops):
+        t = rng.randrange(n_threads)
+        if locality and rng.random() < locality:
+            x = t % n_vars
+        else:
+            x = rng.randrange(n_vars)
+        vi, va, vw = threads[t], access[x], write[x]
+        if rng.random() < relevant_prob:
+            vi.increment(t)
+        if rng.random() < write_prob:
+            vi.merge(va)
+            va.copy_from(vi)
+            vw.copy_from(vi)
+        else:
+            vi.merge(vw)
+            va.merge(vi)
+        vi.assert_agrees()
+        va.assert_agrees()
+        vw.assert_agrees()
+    return threads, access, write
+
+
+class TestRandomOpSoups:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_small_soups_agree(self, seed):
+        _run_soup(n_threads=4, n_vars=3, n_ops=400, seed=seed)
+
+    @pytest.mark.parametrize("write_prob", [0.05, 0.5, 0.95])
+    @pytest.mark.parametrize("n_threads", [2, 8, 64])
+    def test_shapes_across_write_ratios(self, n_threads, write_prob):
+        _run_soup(n_threads=n_threads, n_vars=max(2, n_threads // 2),
+                  n_ops=600, seed=write_prob * 100 + n_threads,
+                  write_prob=write_prob)
+
+    def test_high_locality_soup(self):
+        # the tree's fast-path regime: threads mostly touch a home variable
+        _run_soup(n_threads=16, n_vars=16, n_ops=1500, seed=7,
+                  locality=0.95)
+
+    def test_mostly_irrelevant_soup(self):
+        # irrelevant accesses merge clocks without ticking — the case that
+        # breaks component-value versioning and motivated internal epochs
+        _run_soup(n_threads=8, n_vars=4, n_ops=800, seed=11,
+                  relevant_prob=0.1)
+
+
+class TestDegenerateShapes:
+    def test_chain_deep_tree(self):
+        """Token passed around a ring: knowledge chains thread -> thread."""
+        n = 32
+        threads = [_Shadowed(n, root=i) for i in range(n)]
+        token_a = _Shadowed(n)
+        token_w = _Shadowed(n)
+        for lap in range(3):
+            for t in range(n):
+                vi = threads[t]
+                vi.increment(t)
+                vi.merge(token_w)
+                token_a.merge(vi)
+                vi.merge(token_a)
+                token_a.copy_from(vi)
+                token_w.copy_from(vi)
+                for c in (vi, token_a, token_w):
+                    c.assert_agrees()
+        assert threads[n - 1].tree.tree_depth() >= 1
+        assert list(threads[n - 1].tree)[0] >= 1
+
+    def test_star_wide_tree(self):
+        """Hub thread merges every spoke: one node fans out wide."""
+        n = 64
+        hub = _Shadowed(n, root=0)
+        spokes = [_Shadowed(n, root=i) for i in range(1, n)]
+        shared_a = _Shadowed(n)
+        shared_w = _Shadowed(n)
+        for s in spokes:
+            s.increment(s.tree._root[0])
+            s.merge(shared_a)
+            shared_a.copy_from(s)
+            shared_w.copy_from(s)
+        hub.increment(0)
+        hub.merge(shared_w)
+        shared_a.merge(hub)
+        hub.assert_agrees()
+        shared_a.assert_agrees()
+        assert list(hub.tree) == [1] * n
+
+    def test_single_thread_degenerate(self):
+        one = _Shadowed(1, root=0)
+        va, vw = _Shadowed(1), _Shadowed(1)
+        for _ in range(50):
+            one.increment(0)
+            one.merge(va)
+            va.copy_from(one)
+            vw.copy_from(one)
+            one.assert_agrees()
+        assert list(one.tree) == [50]
+
+    def test_grow_mid_stream(self):
+        a = _Shadowed(2, root=0)
+        b = _Shadowed(2, root=1)
+        va = _Shadowed(2)
+        a.increment(0)
+        va.copy_from(a)
+        for c in (a, b, va):
+            c.tree.grow(4)
+            c.flat.grow(4)
+        b.increment(1)
+        b.merge(va)
+        va.copy_from(b)
+        for c in (a, b, va):
+            c.assert_agrees()
+        assert list(b.tree) == [1, 1, 0, 0]
+
+
+class TestTreeClockAPI:
+    def test_flat_protocol(self):
+        tc = TreeClock(3, root=1)
+        tc.increment(1)
+        assert tc.width == 3 and len(tc) == 3
+        assert tc[1] == 1 and list(tc) == [0, 1, 0]
+        assert tc == [0, 1, 0] and tc == (0, 1, 0)
+        assert tc == VectorClock((0, 1, 0))
+        mvc = MutableVectorClock(3)
+        mvc.increment(1)
+        assert tc == mvc
+        assert tc.snapshot() == VectorClock((0, 1, 0))
+        assert "TC(root=1" in repr(tc)
+
+    def test_only_owner_increments(self):
+        tc = TreeClock(3, root=1)
+        with pytest.raises(ValueError):
+            tc.increment(0)
+        with pytest.raises(ValueError):
+            TreeClock(3).increment(0)  # rootless never ticks
+
+    def test_merge_rejects_raw_sequences(self):
+        tc = TreeClock(2, root=0)
+        with pytest.raises(TypeError):
+            tc.merge([1, 1])
+        with pytest.raises(TypeError):
+            tc.copy_from([1, 1])
+
+    def test_merge_width_mismatch(self):
+        wide = TreeClock(3, root=0)
+        narrow = TreeClock(2, root=1)
+        with pytest.raises(ValueError):
+            wide.merge(narrow)
+        narrow.merge(wide)  # growing direction is fine
+        assert narrow.width == 3
+
+    def test_copy_from_precondition_enforced(self):
+        a = TreeClock(2, root=0)
+        b = TreeClock(2, root=1)
+        a.increment(0)
+        b.copy_from(a)  # [0,0] <= [1,0]: fine
+        b.increment(1)
+        with pytest.raises(ValueError):
+            b.copy_from(a)  # b = [1,1] !<= a = [1,0]
+
+    def test_merge_fast_flag(self):
+        a = TreeClock(4, root=0)
+        b = TreeClock(4, root=1)
+        b.increment(1)
+        assert a.merge(b) is False   # learned something
+        assert a.merge(b) is True    # nothing new: O(1) skip
+        va = TreeClock(4)
+        assert va.merge(b) is False
+        assert va.merge(b) is True
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            TreeClock(0)
+        with pytest.raises(ValueError):
+            TreeClock(2, root=5)
+
+
+class TestBackendSeam:
+    def test_resolve(self):
+        assert resolve_clock_backend("flat", 256) == "flat"
+        assert resolve_clock_backend("tree", 2) == "tree"
+        assert resolve_clock_backend("auto", AUTO_TREE_THRESHOLD) == "tree"
+        assert resolve_clock_backend("auto", AUTO_TREE_THRESHOLD - 1) == "flat"
+        with pytest.raises(ValueError):
+            resolve_clock_backend("quantum", 2)
+
+    def test_factories(self):
+        assert isinstance(make_thread_clock("tree", 4, 1), TreeClock)
+        assert isinstance(make_thread_clock("flat", 4, 1), MutableVectorClock)
+        assert isinstance(make_var_clock("tree", 4), TreeClock)
+        assert make_var_clock("tree", 4)._root is None
+        assert isinstance(make_var_clock("flat", 4), MutableVectorClock)
+        assert set(CLOCK_BACKENDS) == {"flat", "tree", "auto"}
+
+    def test_algorithm_a_exposes_backend(self):
+        assert AlgorithmA(2, {"x"}, clock_backend="tree").clock_backend == "tree"
+        assert AlgorithmA(2, {"x"}).clock_backend == "flat"
+        with pytest.raises(ValueError):
+            AlgorithmA(2, {"x"}, clock_backend="nope")
+
+
+# -- message-level parity: whole executions on each backend -------------------
+
+
+_WORKLOADS = [
+    ("landing", lambda: landing_controller(),
+     lambda: FixedScheduler(LANDING_OBSERVED_SCHEDULE)),
+    ("xyz", lambda: xyz_program(),
+     lambda: FixedScheduler(XYZ_OBSERVED_SCHEDULE)),
+    ("racy_counter", lambda: racy_counter(increments=20),
+     lambda: RandomScheduler(3)),
+    ("prodcons", lambda: producer_consumer(items=8),
+     lambda: RandomScheduler(5)),
+    ("transfer", lambda: transfer_program(),
+     lambda: RandomScheduler(9)),
+]
+
+
+class TestExecutionParity:
+    @pytest.mark.parametrize("name,prog,sched", _WORKLOADS,
+                             ids=[w[0] for w in _WORKLOADS])
+    def test_messages_identical_across_backends(self, name, prog, sched):
+        flat = run_program(prog(), sched(), clock_backend="flat")
+        tree = run_program(prog(), sched(), clock_backend="tree")
+        assert [m.event.eid for m in flat.messages] == \
+               [m.event.eid for m in tree.messages]
+        assert [tuple(m.clock) for m in flat.messages] == \
+               [tuple(m.clock) for m in tree.messages]
+        assert flat.final_store == tree.final_store
+        fa, ta = flat.algorithm, tree.algorithm
+        for i in range(fa.n_threads):
+            assert fa.thread_clock(i) == ta.thread_clock(i)
+        for x in sorted(fa.variables):
+            assert fa.access_clock(x) == ta.access_clock(x)
+            assert fa.write_clock(x) == ta.write_clock(x)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_schedules_agree(self, seed):
+        flat = run_program(racy_counter(increments=15),
+                           RandomScheduler(seed), clock_backend="flat")
+        tree = run_program(racy_counter(increments=15),
+                           RandomScheduler(seed), clock_backend="tree")
+        assert [tuple(m.clock) for m in flat.messages] == \
+               [tuple(m.clock) for m in tree.messages]
+
+    def test_auto_backend_runs(self):
+        ex = run_program(racy_counter(increments=5), RandomScheduler(0),
+                         clock_backend="auto")
+        assert ex.algorithm.clock_backend in ("flat", "tree")
+        assert ex.messages

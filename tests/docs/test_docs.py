@@ -6,7 +6,9 @@ CI ``docs`` job:
   files or long-running workloads freely);
 * every intra-repo markdown link must point at a file that exists;
 * every metric registered by the pipeline must be documented in the
-  docs/OBSERVABILITY.md catalogue.
+  docs/OBSERVABILITY.md catalogue;
+* every committed BENCH_*.json baseline must be documented in
+  docs/PERFORMANCE.md, along with the harness options that regenerate it.
 """
 
 import re
@@ -84,6 +86,25 @@ def test_metric_catalogue_complete():
         if metrics.base_name(name) not in text
     ]
     assert not missing, f"metrics absent from OBSERVABILITY.md: {missing}"
+
+
+def test_performance_guide_documents_baselines():
+    """Every committed ``BENCH_*.json`` baseline must be named (with a
+    reading guide) in docs/PERFORMANCE.md, and the guide must describe
+    the harness options that regenerate and smoke-test them."""
+    text = (REPO / "docs" / "PERFORMANCE.md").read_text(encoding="utf-8")
+    baselines = sorted(p.name for p in REPO.glob("BENCH_*.json"))
+    assert baselines, "no committed BENCH_*.json baselines at the repo root"
+    missing = [b for b in baselines if b not in text]
+    assert not missing, (
+        f"baselines not documented in docs/PERFORMANCE.md: {missing}")
+    for opt in ("--emit-json", "--quick", "--benchmark-disable"):
+        assert opt in text, (
+            f"harness option {opt} is not described in docs/PERFORMANCE.md")
+    # the backend-evaluation metrics the guide tells readers to watch
+    for name in ("algoa.vc_join_fast", "delivery.batch_size"):
+        assert name in text, (
+            f"metric {name} is not mentioned in docs/PERFORMANCE.md")
 
 
 def test_span_taxonomy_documented():
