@@ -106,10 +106,20 @@ DEMOS = {
 
 
 def _run_demo(demo: _Demo, seed: Optional[int] = None,
-              backend: str = "flat"):
+              backend: str = "flat", relevance=None):
     scheduler = (RandomScheduler(seed) if seed is not None
                  else FixedScheduler(demo.schedule or [], strict=False))
-    return run_program(demo.factory(), scheduler, clock_backend=backend)
+    return run_program(demo.factory(), scheduler, relevance=relevance,
+                       clock_backend=backend)
+
+
+def _engine_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine", action="append", default=None, dest="engines",
+        metavar="SEL",
+        help="analysis engine selection, repeatable: 'ltl[:FORMULA]', "
+             "'atomicity', 'pattern:STEPS' (default: one LTL engine under "
+             "the spec; see docs/ENGINES.md)")
 
 
 def _demo_arg(parser: argparse.ArgumentParser) -> None:
@@ -295,14 +305,19 @@ def cmd_observe(args: argparse.Namespace, out: Callable[[str], None]) -> int:
                                      label="messages")
                 if args.progress else None)
     try:
-        execution = _run_demo(demo, args.seed)
+        # engines beyond the LTL default need the sync and read events in
+        # the stream, so widen Algorithm A's relevance to every access
+        execution = _run_demo(
+            demo, args.seed,
+            relevance=all_accesses() if args.engines else None)
         inner = {"fifo": lambda: FifoChannel(),
                  "reorder": lambda: ReorderingChannel(seed=plan.seed, window=4),
                  "multi": lambda: MultiChannel(k=2, seed=plan.seed)}[args.channel]()
         channel = FaultyChannel(plan, inner=inner)
         initial = {v: execution.initial_store[v] for v in demo.variables}
         observer = Observer(execution.n_threads, initial, spec=spec,
-                            fault_tolerant=True, stall_threshold=args.stall)
+                            fault_tolerant=True, stall_threshold=args.stall,
+                            engines=args.engines)
         totals = [0] * execution.n_threads
         for m in execution.messages:
             totals[m.thread] += 1
@@ -332,9 +347,17 @@ def cmd_observe(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     out("observer health:")
     for line in observer.health.summary().splitlines():
         out("  " + line)
-    out(f"violations (on the analyzed region): {len(observer.violations)}")
-    for v in observer.violations:
-        out("  counterexample: " + v.pretty(demo.variables))
+    verdicts = observer.engine_verdicts()
+    counterexamples = observer.counterexamples()
+    if args.engines:
+        out("engine verdicts:")
+        for v in verdicts:
+            out(f"  {v.qualified} [{v.spec}]: {v.verdict} "
+                f"({v.violations} finding(s))")
+    out(f"violations (on the analyzed region): "
+        f"{sum(v.violations for v in verdicts)}")
+    for c in counterexamples:
+        out("  counterexample: " + c)
     if want_metrics:
         out("metrics:")
         for line in obs.metrics.REGISTRY.summary().splitlines():
@@ -348,7 +371,7 @@ def cmd_observe(args: argparse.Namespace, out: Callable[[str], None]) -> int:
             "quarantined windows")
     else:
         out("VERDICT: sound everywhere (all faults absorbed)")
-    return 1 if observer.violations else 0
+    return 1 if any(v.violations for v in verdicts) else 0
 
 
 def cmd_stats(args: argparse.Namespace, out: Callable[[str], None]) -> int:
@@ -416,7 +439,8 @@ def cmd_serve(args: argparse.Namespace, out: Callable[[str], None]) -> int:
             results_path=args.results, archive_dir=args.archive,
             supervised=args.supervised, checkpoint_dir=args.checkpoint_dir,
             checkpoint_every=args.checkpoint_every,
-            resume_timeout=args.resume_timeout, recover=args.recover)
+            resume_timeout=args.resume_timeout, recover=args.recover,
+            default_engines=tuple(args.engines or ()))
     except ValueError as exc:
         out(f"error: {exc}")
         return 2
@@ -447,12 +471,15 @@ def cmd_attach(args: argparse.Namespace, out: Callable[[str], None]) -> int:
 
     demo = DEMOS[args.workload]
     spec = args.spec or demo.spec
-    execution = _run_demo(demo, args.seed)
+    execution = _run_demo(
+        demo, args.seed,
+        relevance=all_accesses() if args.engines else None)
     initial = {v: execution.initial_store[v] for v in demo.variables}
     try:
         session = attach(args.host, args.port,
                          n_threads=execution.n_threads, initial=initial,
                          spec=spec, program=args.workload,
+                         engines=args.engines,
                          reconnect=args.resume)
     except (ServerRejected, OSError) as exc:
         out(f"error: attach to {args.host}:{args.port} failed: {exc}")
@@ -465,6 +492,12 @@ def cmd_attach(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     verdict = session.verdict
     out(f"streamed {len(execution.messages)} messages   "
         f"analyzed: {verdict.analyzed}   state: {verdict.state}")
+    if verdict.engines and args.engines:
+        out("engine verdicts:")
+        for doc in verdict.engines:
+            out(f"  {doc['engine']}@{doc['version']} [{doc.get('spec')}]: "
+                f"{'violation' if doc['violations'] else 'clean'} "
+                f"({doc['violations']} finding(s))")
     out(f"violations (observed or predicted): {verdict.violations}")
     for c in verdict.counterexamples:
         out("  counterexample: " + c)
@@ -552,17 +585,21 @@ def cmd_archive(args: argparse.Namespace, out: Callable[[str], None]) -> int:
             assert isinstance(header, TraceHeader)
             entry = archive.record_messages(
                 args.program or header.program, header.n_threads,
-                header.initial, stream, spec=args.spec)
+                header.initial, stream, spec=args.spec,
+                engines=args.engines)
         except (OSError, TraceFormatError) as exc:
             out(f"error: {exc}")
             return 2
     else:
         demo = DEMOS[args.workload]
         spec = args.spec or demo.spec
-        execution = _run_demo(demo, args.seed)
+        execution = _run_demo(
+            demo, args.seed,
+            relevance=all_accesses() if args.engines else None)
         entry = archive.record_messages(
             args.program or args.workload, execution.n_threads,
-            execution.initial_store, execution.messages, spec=spec)
+            execution.initial_store, execution.messages, spec=spec,
+            engines=args.engines)
     out(f"archived {entry.id}: {entry.events} events, {entry.bytes} bytes, "
         f"verdict {entry.verdict} ({entry.violations} violation(s))")
     for c in entry.counterexamples:
@@ -595,38 +632,50 @@ def cmd_replay(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     if not entries:
         out("archive holds no traces")
         return 0
+    # --json emits the result document alone (the query convention);
+    # the per-trace progress lines are for humans
+    say = (lambda line: None) if args.json else out
     drifted = 0
     violated = 0
     results = []
     for entry in entries:
         try:
             if args.expect_catalog:
-                problems = verify_entry(archive, entry)
+                problems = verify_entry(archive, entry,
+                                        extra_engines=args.engines or ())
                 if problems:
                     drifted += 1
-                    out(f"{entry.id}: DRIFT")
+                    say(f"{entry.id}: DRIFT")
                     for p in problems:
-                        out(f"  {p}")
+                        say(f"  {p}")
                 else:
-                    out(f"{entry.id}: OK — reproduced "
+                    say(f"{entry.id}: OK — reproduced "
                         f"{entry.violations} violation(s) over "
                         f"{entry.events} events")
                 results.append({"id": entry.id, "drift": problems})
             else:
-                r = replay_entry(archive, entry, spec=args.spec)
+                r = replay_entry(archive, entry, spec=args.spec,
+                                 engines=args.engines)
                 violated += bool(r.violations)
-                out(f"{entry.id}: {r.verdict} — {r.violations} violation(s) "
+                say(f"{entry.id}: {r.verdict} — {r.violations} violation(s) "
                     f"over {r.events} events "
                     f"({r.events_per_sec:,.0f} events/s)"
                     + (f" under spec {args.spec!r}" if args.spec else ""))
+                if args.engines:
+                    for doc in r.engines:
+                        say(f"  {doc['engine']}@{doc['version']} "
+                            f"[{doc.get('spec')}]: "
+                            f"{'violation' if doc['violations'] else 'clean'} "
+                            f"({doc['violations']} finding(s))")
                 for c in r.counterexamples:
-                    out("  counterexample: " + c)
+                    say("  counterexample: " + c)
                 results.append({
                     "id": entry.id, "verdict": r.verdict,
                     "violations": r.violations, "events": r.events,
                     "counterexamples": list(r.counterexamples),
                     "final_clocks": [list(c) for c in r.final_clocks],
                     "sound": r.sound, "elapsed_s": round(r.elapsed_s, 6),
+                    "engines": list(r.engines),
                 })
         except (OSError, TraceFormatError, CatalogError, KeyError) as exc:
             out(f"error: replay of {entry.id} failed: {exc}")
@@ -634,7 +683,7 @@ def cmd_replay(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     if args.json:
         out(_json.dumps(results, indent=2))
     if args.expect_catalog:
-        out(f"replayed {len(entries)} trace(s): "
+        say(f"replayed {len(entries)} trace(s): "
             + ("all verdicts reproduced exactly" if not drifted
                else f"{drifted} DRIFTED"))
         return 1 if drifted else 0
@@ -650,8 +699,8 @@ def cmd_query(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     try:
         query = CatalogQuery(
             program=args.program, spec_contains=args.spec_contains,
-            verdict=args.verdict, min_events=args.min_events,
-            max_events=args.max_events)
+            verdict=args.verdict, engine=args.engine,
+            min_events=args.min_events, max_events=args.max_events)
         entries = TraceArchive(args.dir).entries(query)
     except (OSError, CatalogError, ValueError) as exc:
         out(f"error: {exc}")
@@ -664,11 +713,11 @@ def cmd_query(args: argparse.Namespace, out: Callable[[str], None]) -> int:
         out("no matching traces")
         return 0
     out(f"{'id':<16} {'program':<10} {'threads':>7} {'events':>7} "
-        f"{'bytes':>9} {'verdict':<9} {'viol':>4}  spec")
+        f"{'bytes':>9} {'verdict':<9} {'viol':>4} {'engine':<12}  spec")
     for e in entries:
         out(f"{e.id:<16} {e.program:<10} {e.n_threads:>7} {e.events:>7} "
-            f"{e.bytes:>9} {e.verdict:<9} {e.violations:>4}  "
-            f"{e.spec or ''}")
+            f"{e.bytes:>9} {e.verdict:<9} {e.violations:>4} "
+            f"{e.engine:<12}  {e.spec or ''}")
     out(f"{len(entries)} trace(s)")
     return 0
 
@@ -767,6 +816,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="record spans and write a Chrome/Perfetto trace file")
     p.add_argument("--progress", type=_positive_int, default=None, metavar="N",
                    help="print a progress line every N messages ingested")
+    _engine_arg(p)
     p.set_defaults(fn=cmd_observe)
 
     p = sub.add_parser("stats",
@@ -816,6 +866,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--recover", action="store_true",
                    help="on startup, readmit sessions journaled under "
                         "--checkpoint by a previous daemon")
+    _engine_arg(p)
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("attach",
@@ -827,6 +878,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resume", action="store_true",
                    help="transparently reconnect and resume the session if "
                         "the connection drops mid-stream")
+    _engine_arg(p)
     p.set_defaults(fn=cmd_attach)
 
     p = sub.add_parser("sessions",
@@ -855,6 +907,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=None,
                    help="use a seeded random schedule instead of the "
                         "paper's observed one")
+    _engine_arg(p)
     p.set_defaults(fn=cmd_archive)
 
     p = sub.add_parser(
@@ -870,9 +923,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "recorded one")
     p.add_argument("--expect-catalog", action="store_true",
                    help="regression-corpus mode: fail (exit 1) unless every "
-                        "replay reproduces its catalog verdict bit-for-bit")
+                        "replay reproduces its catalog verdict bit-for-bit "
+                        "(with --engine: extra engines run alongside, the "
+                        "diff stays on the recorded ones)")
     p.add_argument("--json", action="store_true",
                    help="also dump the replay results as JSON")
+    _engine_arg(p)
     p.set_defaults(fn=cmd_replay)
 
     p = sub.add_parser("query", help="filter a trace archive's catalog")
@@ -883,6 +939,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="substring match against the recorded spec")
     p.add_argument("--verdict", default=None,
                    choices=("violation", "clean"), help="verdict to match")
+    p.add_argument("--engine", default=None, metavar="NAME",
+                   help="match traces analyzed by this engine: a bare name "
+                        "('atomicity') matches any version, 'atomicity@1' "
+                        "exactly")
     p.add_argument("--min-events", type=int, default=None,
                    help="minimum event count")
     p.add_argument("--max-events", type=int, default=None,

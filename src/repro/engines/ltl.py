@@ -1,0 +1,106 @@
+"""Past-time LTL prediction as a bus engine.
+
+A thin adapter: :class:`~repro.analysis.predictive.OnlinePredictor` is
+ported onto the :class:`~repro.engines.base.AnalysisEngine` interface
+**unchanged** — same lattice builder, same violation objects, same
+counterexample text — so a single-engine bus is bit-for-bit equivalent to
+the pre-bus ``Observer → OnlinePredictor`` pipeline (gated by the
+differential-replay corpus).  The lattice buffers and reorders messages
+internally, so this is the one engine that tolerates raw arrival order
+(``requires_order=False``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional, Sequence
+
+from ..analysis.predictive import OnlinePredictor
+from ..core.events import VarName
+from ..lattice.levels import BuilderStats, Violation
+from ..logic.monitor import Monitor
+from .base import AnalysisEngine, EngineError, register_engine
+from .bus import BusEvent
+
+__all__ = ["LtlEngine"]
+
+
+class LtlEngine(AnalysisEngine):
+    """Predictive past-time LTL checking (the paper's analysis)."""
+
+    name = "ltl"
+    version = "1"
+    requires_order = False
+
+    def __init__(self, n_threads: int, initial: Mapping[VarName, Any],
+                 spec: "str | Monitor", track_paths: bool = True):
+        super().__init__()
+        self._spec_text = spec if isinstance(spec, str) else None
+        self._predictor = OnlinePredictor(n_threads, initial, spec,
+                                          track_paths=track_paths)
+        monitor = self._predictor._monitor
+        self._variables = sorted(monitor.variables)
+        if self._spec_text is None:
+            self._spec_text = str(monitor.formula)
+
+    # -- streaming ------------------------------------------------------------
+
+    def feed(self, ev: BusEvent) -> list[Violation]:
+        return self._predictor.feed(ev.msg)
+
+    def feed_batch(self, evs: Sequence[BusEvent]) -> list[Violation]:
+        return self._predictor.feed_batch([ev.msg for ev in evs])
+
+    def finish(self) -> list[Violation]:
+        self._finished = True
+        return self._predictor.finish()
+
+    def finish_partial(
+        self,
+        delivered_counts: Sequence[int],
+        expected_counts: Optional[Sequence[int]] = None,
+    ) -> list[Violation]:
+        """The predictor has native partial semantics (it closes the
+        delivered sub-lattice); reuse it and adopt its window accounting."""
+        self._finished = True
+        new = self._predictor.finish_partial(delivered_counts,
+                                             expected_counts)
+        self._degraded = self._predictor.degraded_windows
+        return new
+
+    # -- results --------------------------------------------------------------
+
+    @property
+    def violations(self) -> list[Violation]:
+        return self._predictor.violations
+
+    @property
+    def stats(self) -> BuilderStats:
+        return self._predictor.stats
+
+    def counterexamples(self) -> list[str]:
+        return [v.pretty(self._variables)
+                for v in self._predictor.violations]
+
+    def spec_text(self) -> str:
+        return self._spec_text
+
+    def snapshot(self) -> dict:
+        d = super().snapshot()
+        s = self._predictor.stats
+        d.update(levels=s.levels_completed, nodes=s.nodes_expanded,
+                 buffered=s.messages_buffered)
+        return d
+
+
+def _make_ltl(arg: Optional[str], n_threads: int,
+              initial: Mapping[VarName, Any],
+              default_spec: Optional[str]) -> LtlEngine:
+    spec = arg or default_spec
+    if not spec:
+        raise EngineError(
+            "the ltl engine needs a specification: pass one inline "
+            "('ltl:<formula>') or give the session a spec")
+    return LtlEngine(n_threads, initial, spec)
+
+
+register_engine("ltl", _make_ltl)

@@ -32,9 +32,12 @@ from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Any, Iterable, Mapping, Optional, Sequence, Union
 
-from ..analysis.predictive import DegradedWindow, OnlinePredictor
+from ..analysis.predictive import DegradedWindow
 from ..core.causality import CausalityIndex
 from ..core.events import Envelope, Message, VarName
+from ..engines.base import AnalysisEngine, EngineVerdict, make_engine
+from ..engines.bus import AnalysisBus
+from ..engines.ltl import LtlEngine
 from ..lattice.levels import BuilderStats, Violation
 from ..logic.monitor import Monitor
 from ..obs import metrics as _metrics
@@ -123,8 +126,20 @@ class Observer:
         n_threads: MVC width of the monitored program.
         initial_store: the program's initial shared-variable valuation (the
             instrumentor communicates it at startup, like JMPaX does).
-        spec: optional safety specification; when given, violations are
-            predicted online and collected in :attr:`violations`.
+        spec: optional safety specification; when given (and ``engines`` is
+            not), past-time LTL violations are predicted online and
+            collected in :attr:`violations`.
+        engines: explicit analysis selection — engine selection strings
+            (``"ltl"``, ``"ltl:<formula>"``, ``"atomicity"``,
+            ``"pattern:<steps>"``; see :mod:`repro.engines`) and/or
+            already-built :class:`~repro.engines.base.AnalysisEngine`
+            instances.  All engines ride one :class:`AnalysisBus`: clocks
+            are computed once per delivered message and fanned out.  When
+            any engine requires causal order, ingestion is routed through
+            the causal-delivery buffer even in strict mode; a pure-LTL
+            strict observer keeps the classic raw-arrival feed (the lattice
+            reorders internally), so the single-engine pipeline is
+            bit-for-bit the pre-bus one.
         fault_tolerant: route ingestion through the causal-delivery buffer
             and tolerate loss/duplication/corruption instead of raising.
             The analyzer then only ever sees causally-delivered messages.
@@ -153,15 +168,24 @@ class Observer:
         fault_tolerant: bool = False,
         stall_threshold: Optional[int] = None,
         thread_safe: bool = False,
+        engines: Optional[Sequence[Union[str, AnalysisEngine]]] = None,
     ):
         self._lock = threading.RLock() if thread_safe else nullcontext()
         self._n = n_threads
         self.causality = CausalityIndex(n_threads)
-        self._predictor: Optional[OnlinePredictor] = None
-        if spec is not None:
-            self._predictor = OnlinePredictor(
-                n_threads, initial_store, spec, track_paths=track_paths
-            )
+        built: list[AnalysisEngine] = []
+        if engines is not None:
+            for sel in engines:
+                if isinstance(sel, AnalysisEngine):
+                    built.append(sel)
+                else:
+                    built.append(make_engine(sel, n_threads, initial_store,
+                                             default_spec=spec))
+        elif spec is not None:
+            # classic single-analysis observer
+            built.append(LtlEngine(n_threads, initial_store, spec,
+                                   track_paths=track_paths))
+        needs_order = any(e.requires_order for e in built)
         self._received = 0
         self._corrupted = 0
         self._finished = False
@@ -173,18 +197,26 @@ class Observer:
         self._degraded_windows: tuple[DegradedWindow, ...] = ()
         # Causally-ordered message log (a linear extension of ⊳, whatever
         # the delivery order) — always maintained in fault-tolerant mode,
-        # where it doubles as the analyzer's input stream.
+        # where it doubles as the analyses' input stream, and whenever an
+        # engine requires causally-ordered input.
         self._delivery: Optional[CausalDelivery] = None
         self._keep_log = causal_log or fault_tolerant
         self.causal_log: list[Message] = []
-        if causal_log or fault_tolerant:
+        if causal_log or fault_tolerant or needs_order:
             self._delivery = CausalDelivery(n_threads)
+        # Feed the bus from delivery releases whenever required (any
+        # order-requiring engine, or fault tolerance); the strict pure-LTL
+        # observer keeps feeding raw arrivals — the pre-bus pipeline.
+        self._feed_releases = fault_tolerant or needs_order
+        self._bus = AnalysisBus(n_threads, built,
+                                ordered=self._feed_releases)
 
     # -- ingestion ------------------------------------------------------------
 
-    def receive(self, item: Union[Message, Envelope]) -> list[Violation]:
+    def receive(self, item: Union[Message, Envelope]) -> list[Any]:
         """Ingest one message or envelope (any order); returns
-        newly-predicted violations.
+        newly-discovered findings (violations, atomicity findings, pattern
+        matches — concatenated in engine order).
 
         In strict mode (the default) a corrupted envelope or duplicate
         message raises — the perfect-channel contract of the original
@@ -193,7 +225,7 @@ class Observer:
         with self._lock:
             return self._receive(item)
 
-    def _receive(self, item: Union[Message, Envelope]) -> list[Violation]:
+    def _receive(self, item: Union[Message, Envelope]) -> list[Any]:
         if self._finished:
             raise RuntimeError("observer already finished")
         self._received += 1
@@ -225,15 +257,12 @@ class Observer:
                 self.causal_log.extend(released)
             if self._tolerant:
                 self._check_stall(bool(released))
-                if self._predictor is not None:
-                    new: list[Violation] = []
-                    for r in released:
-                        new.extend(self._predictor.feed(r))
-                    return new
-                return []
-        if self._predictor is not None:
-            return self._predictor.feed(msg)
-        return []
+            if self._feed_releases:
+                new: list[Any] = []
+                for r in released:
+                    new.extend(self._bus.feed(r))
+                return new
+        return self._bus.feed(msg)
 
     def _check_stall(self, released_any: bool) -> None:
         assert self._delivery is not None
@@ -248,16 +277,17 @@ class Observer:
 
     def receive_batch(
         self, items: Sequence[Union[Message, Envelope]]
-    ) -> list[Violation]:
+    ) -> list[Any]:
         """Ingest a batch of messages/envelopes in order; returns the
-        violations newly predicted by the batch.
+        findings newly discovered by the batch.
 
         Semantically identical to calling :meth:`receive` once per item —
-        same causality index, delivery releases, causal log, predictor
-        state, violations and counters — but amortized: one arena write
+        same causality index, delivery releases, causal log, engine
+        state, findings and counters — but amortized: one arena write
         (:meth:`CausalityIndex.add_batch`), one delivery pass
-        (:meth:`CausalDelivery.offer_batch`) and one lattice advance
-        (:meth:`OnlinePredictor.feed_batch`) per batch instead of per
+        (:meth:`CausalDelivery.offer_batch`) and one bus fan-out
+        (:meth:`AnalysisBus.feed_batch`, which annotates the batch once
+        and advances every engine once) per batch instead of per
         message.  In strict mode a corrupt envelope, width mismatch or
         duplicate raises exactly where the per-item loop would: every item
         before it has been fully processed.
@@ -268,7 +298,7 @@ class Observer:
         """
         with self._lock:
             if self._tolerant and self._stall_threshold is not None:
-                new: list[Violation] = []
+                new: list[Any] = []
                 for item in items:
                     new.extend(self._receive(item))
                 return new
@@ -276,10 +306,10 @@ class Observer:
 
     def _receive_batch(
         self, items: Sequence[Union[Message, Envelope]]
-    ) -> list[Violation]:
+    ) -> list[Any]:
         if self._finished:
             raise RuntimeError("observer already finished")
-        new: list[Violation] = []
+        new: list[Any] = []
         msgs: list[Message] = []
         batch_eids: set[tuple[int, int]] = set()
 
@@ -328,7 +358,7 @@ class Observer:
         flush()
         return new
 
-    def _analyze_batch(self, msgs: list[Message]) -> list[Violation]:
+    def _analyze_batch(self, msgs: list[Message]) -> list[Any]:
         if self._tolerant:
             # duplicates (vs the index or within the batch) are absorbed by
             # the delivery buffer, exactly as in the per-item path
@@ -345,19 +375,20 @@ class Observer:
             released = self._delivery.offer_batch(msgs)
             if self._keep_log:
                 self.causal_log.extend(released)
-            if self._predictor is not None and released:
-                return self._predictor.feed_batch(released)
+            if released:
+                return self._bus.feed_batch(released)
             return []
         self.causality.add_batch(msgs)
+        released = None
         if self._delivery is not None:
             released = self._delivery.offer_batch(msgs)
             if self._keep_log:
                 self.causal_log.extend(released)
-        if self._predictor is not None:
-            # strict mode feeds the predictor raw arrivals (not releases),
-            # matching the per-item path
-            return self._predictor.feed_batch(msgs)
-        return []
+        if self._feed_releases:
+            return self._bus.feed_batch(released) if released else []
+        # strict mode feeds the bus raw arrivals (not releases), matching
+        # the per-item path
+        return self._bus.feed_batch(msgs)
 
     def rebuild(self, messages: Iterable[Union[Message, Envelope]]) -> int:
         """Crash-recovery hook: replay an archived prefix to reconstruct
@@ -383,9 +414,9 @@ class Observer:
             _C_REBUILT.inc(n)
         return n
 
-    def consume(self, channel: Channel) -> list[Violation]:
+    def consume(self, channel: Channel) -> list[Any]:
         """Drain whatever the channel currently delivers."""
-        new: list[Violation] = []
+        new: list[Any] = []
         with _tracing.span("observer.consume"):
             for msg in channel.drain():
                 new.extend(self.receive(msg))
@@ -393,36 +424,34 @@ class Observer:
 
     def receive_many(
         self, messages: Iterable[Union[Message, Envelope]]
-    ) -> list[Violation]:
-        new: list[Violation] = []
+    ) -> list[Any]:
+        new: list[Any] = []
         for m in messages:
             new.extend(self.receive(m))
         return new
 
     def finish(
         self, expected_totals: Optional[Sequence[int]] = None
-    ) -> list[Violation]:
-        """End of stream: complete the lattice and final checks.
+    ) -> list[Any]:
+        """End of stream: every engine completes its final checks.
 
         In fault-tolerant mode, remaining gaps are declared lost —
         precisely, when ``expected_totals`` (true per-thread message
         counts, e.g. from end-of-thread markers) is given, every expected
         slot that never arrived; otherwise every slot still blocking a
-        buffered message.  The analyzer then completes over the delivered
+        buffered message.  Every engine then completes over the delivered
         prefix and the excluded regions are reported in :attr:`health`.
         """
         with self._lock:
             self._finished = True
             with _tracing.span("observer.finish"):
                 if not self._tolerant:
-                    if self._predictor is not None:
-                        return self._predictor.finish()
-                    return []
+                    return self._bus.finish()
                 return self._finish_tolerant(expected_totals)
 
     def _finish_tolerant(
         self, expected_totals: Optional[Sequence[int]]
-    ) -> list[Violation]:
+    ) -> list[Any]:
         d = self._delivery
         assert d is not None
         if expected_totals is not None:
@@ -447,28 +476,11 @@ class Observer:
                 raise RuntimeError("delivery stalled on arrived slots only")
             d.declare_lost(unseen)
         degraded = bool(d.losses) or self._corrupted > 0
-        if self._predictor is None:
-            self._degraded_windows = self._windows_from_totals(
-                expected_totals) if degraded else ()
-            return []
         if not degraded:
-            return self._predictor.finish()
-        new = self._predictor.finish_partial(
-            d.delivered_counts, expected_totals)
-        self._degraded_windows = self._predictor.degraded_windows
+            return self._bus.finish()
+        new = self._bus.finish_partial(d.delivered_counts, expected_totals)
+        self._degraded_windows = self._bus.degraded_windows
         return new
-
-    def _windows_from_totals(
-        self, expected_totals: Optional[Sequence[int]]
-    ) -> tuple[DegradedWindow, ...]:
-        assert self._delivery is not None
-        out = []
-        for j, delivered in enumerate(self._delivery.delivered_counts):
-            expected = None if expected_totals is None else expected_totals[j]
-            if expected is None or delivered < expected:
-                out.append(DegradedWindow(
-                    thread=j, first_missing=delivered + 1, analyzed=delivered))
-        return tuple(out)
 
     # -- results ---------------------------------------------------------------
 
@@ -477,12 +489,44 @@ class Observer:
         return self._received
 
     @property
+    def bus(self) -> AnalysisBus:
+        return self._bus
+
+    @property
+    def engines(self) -> tuple[AnalysisEngine, ...]:
+        return self._bus.engines
+
+    def engine_verdicts(self) -> list[EngineVerdict]:
+        """One :class:`EngineVerdict` per engine, in registration order."""
+        with self._lock:
+            return self._bus.verdicts()
+
+    def counterexamples(self) -> list[str]:
+        """Pretty-printed findings of every engine, in engine order."""
+        with self._lock:
+            out: list[str] = []
+            for e in self._bus.engines:
+                out.extend(e.counterexamples())
+            return out
+
+    @property
+    def _ltl(self) -> Optional[LtlEngine]:
+        for e in self._bus.engines:
+            if isinstance(e, LtlEngine):
+                return e
+        return None
+
+    @property
     def violations(self) -> list[Violation]:
-        return self._predictor.violations if self._predictor else []
+        """The LTL engine's violations (back-compat accessor; use
+        :meth:`engine_verdicts` for the full multi-engine picture)."""
+        ltl = self._ltl
+        return ltl.violations if ltl is not None else []
 
     @property
     def stats(self) -> Optional[BuilderStats]:
-        return self._predictor.stats if self._predictor else None
+        ltl = self._ltl
+        return ltl.stats if ltl is not None else None
 
     @property
     def health(self) -> ObserverHealth:

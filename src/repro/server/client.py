@@ -33,7 +33,7 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Mapping, Optional, Union
+from typing import Any, Mapping, Optional, Sequence, Union
 
 from ..core.events import Message, VarName
 from ..obs import metrics as _metrics
@@ -107,6 +107,9 @@ class SessionVerdict:
     analyzed: int = 0
     final_clocks: tuple[tuple[int, ...], ...] = ()
     error: Optional[str] = None
+    #: Per-engine verdict documents (:meth:`EngineVerdict.to_json` shape),
+    #: in engine order; empty when talking to a pre-bus server.
+    engines: tuple[dict, ...] = ()
 
     @property
     def ok(self) -> bool:
@@ -226,6 +229,7 @@ class AttachedSession:
             analyzed=d.get("analyzed", 0),
             final_clocks=tuple(tuple(c) for c in d.get("final_clocks") or ()),
             error=d.get("error"),
+            engines=tuple(d.get("engines") or ()),
         )
         return self.verdict
 
@@ -321,6 +325,7 @@ def attach(
     spec: Optional[str] = None,
     program: str = "unknown",
     fault_tolerant: bool = False,
+    engines: Optional[Sequence[str]] = None,
     config: Optional[RetransmitConfig] = None,
     connect_timeout: float = 10.0,
     reconnect: Union[ReconnectPolicy, bool, None] = None,
@@ -343,7 +348,8 @@ def attach(
         reconnect = None
     hello = Hello(mode="attach", program=program, n_threads=n_threads,
                   initial={str(k): v for k, v in initial.items()},
-                  spec=spec, fault_tolerant=fault_tolerant)
+                  spec=spec, fault_tolerant=fault_tolerant,
+                  engines=tuple(engines or ()))
     sock, reply = _handshake(host, port, hello, connect_timeout)
     if reply.get("t") != "helloack" or not isinstance(
             reply.get("session"), int):

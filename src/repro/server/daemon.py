@@ -175,6 +175,10 @@ class ServerConfig:
     heartbeat_timeout: float = 2.0
     max_restarts: int = 3
     restart_backoff: float = 0.1
+    #: Engine selections applied to sessions whose hello names none
+    #: (see :mod:`repro.engines`); empty keeps the classic single-LTL
+    #: pipeline driven by the hello's spec.
+    default_engines: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.max_sessions < 1:
@@ -284,7 +288,8 @@ class AnalysisServer:
             hello = Hello(
                 mode="attach", program=meta.program,
                 n_threads=meta.n_threads, initial=meta.initial,
-                spec=meta.spec, fault_tolerant=meta.fault_tolerant)
+                spec=meta.spec, fault_tolerant=meta.fault_tolerant,
+                engines=meta.engines)
             try:
                 durable = 0
                 if journal.events_path.exists():
@@ -682,16 +687,19 @@ class AnalysisServer:
         if not self.config.supervised:
             return Session(sid, hello,
                            max_queued=self.config.max_queued_events,
-                           peer=peer)
+                           peer=peer,
+                           default_engines=self.config.default_engines)
         journal = SessionJournal.create(
             self.config.checkpoint_dir, session=sid, token=token,
             program=hello.program, n_threads=hello.n_threads,
             initial=hello.initial, spec=hello.spec,
-            fault_tolerant=hello.fault_tolerant)
+            fault_tolerant=hello.fault_tolerant,
+            engines=hello.engines or self.config.default_engines)
         try:
             return SupervisedSession(
                 sid, hello, journal, supervisor=self.config.supervisor_config(),
-                max_queued=self.config.max_queued_events, peer=peer)
+                max_queued=self.config.max_queued_events, peer=peer,
+                default_engines=self.config.default_engines)
         except Exception:
             journal.delete()
             raise
@@ -798,6 +806,7 @@ class AnalysisServer:
             "analyzed": record["analyzed"],
             "final_clocks": record["final_clocks"],
             "error": record["error"],
+            "engines": record.get("engines", []),
         })
 
     def _retire(self, session: Session) -> None:

@@ -137,6 +137,9 @@ class Hello:
     initial: dict[str, Any] = field(default_factory=dict)
     spec: Optional[str] = None
     fault_tolerant: bool = False
+    #: Engine selection strings (see :mod:`repro.engines`); empty means
+    #: the server's default pipeline (a single LTL engine under ``spec``).
+    engines: tuple[str, ...] = ()
     version: int = PROTOCOL_VERSION
     #: Resume-mode fields: the session being reclaimed, its capability
     #: token, and the epoch the client last saw (staleness check).
@@ -171,6 +174,8 @@ class Hello:
             d.update(program=self.program, n_threads=self.n_threads,
                      initial=dict(self.initial), spec=self.spec,
                      fault_tolerant=self.fault_tolerant)
+            if self.engines:
+                d["engines"] = list(self.engines)
         elif self.mode == "resume":
             d.update(session=self.session, token=self.token,
                      epoch=self.epoch)
@@ -215,6 +220,11 @@ class Hello:
         program = d.get("program", "unknown")
         if not isinstance(program, str):
             raise ProtocolError("hello 'program' must be a string")
+        engines = d.get("engines", [])
+        if not (isinstance(engines, list)
+                and all(isinstance(e, str) and e for e in engines)):
+            raise ProtocolError(
+                "hello 'engines' must be a list of non-empty strings")
         return cls(
             mode=mode,
             program=program,
@@ -222,5 +232,6 @@ class Hello:
             initial=initial,
             spec=spec,
             fault_tolerant=bool(d.get("fault_tolerant", False)),
+            engines=tuple(engines),
             version=version,
         )

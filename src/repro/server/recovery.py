@@ -40,7 +40,7 @@ import os
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Mapping, Optional
+from typing import Any, Mapping, Optional, Sequence
 
 from ..core.events import Message
 from ..logic.monitor import Monitor
@@ -91,6 +91,9 @@ class JournalMeta:
     fault_tolerant: bool
     created_at: float
     version: int = META_VERSION
+    #: Engine selection strings (see :mod:`repro.engines`); empty means
+    #: the classic single-LTL pipeline implied by ``spec``.
+    engines: tuple[str, ...] = ()
 
     def to_json(self) -> dict:
         return {
@@ -104,6 +107,7 @@ class JournalMeta:
             "spec": self.spec,
             "fault_tolerant": self.fault_tolerant,
             "created_at": self.created_at,
+            "engines": list(self.engines),
         }
 
     @classmethod
@@ -122,6 +126,7 @@ class JournalMeta:
                 spec=d["spec"],
                 fault_tolerant=bool(d["fault_tolerant"]),
                 created_at=float(d["created_at"]),
+                engines=tuple(d.get("engines") or ()),
             )
         except (KeyError, TypeError, ValueError) as exc:
             raise JournalError(f"malformed journal meta: {exc!r}") from exc
@@ -149,13 +154,15 @@ class SessionJournal:
     def create(cls, root: str | Path, *, session: int, token: str,
                program: str, n_threads: int,
                initial: Mapping[str, Any], spec: Optional[str],
-               fault_tolerant: bool, epoch: int = 1) -> "SessionJournal":
+               fault_tolerant: bool, epoch: int = 1,
+               engines: Sequence[str] = ()) -> "SessionJournal":
         directory = Path(root) / f"session-{token}"
         directory.mkdir(parents=True, exist_ok=False)
         meta = JournalMeta(
             session=session, token=token, epoch=epoch, program=program,
             n_threads=n_threads, initial=dict(initial), spec=spec,
-            fault_tolerant=fault_tolerant, created_at=time.time())
+            fault_tolerant=fault_tolerant, created_at=time.time(),
+            engines=tuple(engines))
         _atomic_write_json(directory / META_NAME, meta.to_json())
         return cls(directory, meta)
 
@@ -320,4 +327,5 @@ def build_observer(meta: JournalMeta) -> Observer:
         spec=Monitor(meta.spec) if meta.spec else None,
         fault_tolerant=meta.fault_tolerant,
         thread_safe=True,
+        engines=list(meta.engines) or None,
     )

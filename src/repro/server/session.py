@@ -34,7 +34,7 @@ import json
 import threading
 import time
 from collections import deque
-from typing import Any, Optional
+from typing import Any, Optional, Sequence
 
 from ..logic.monitor import Monitor
 from ..observer.observer import Observer
@@ -75,7 +75,8 @@ class Session:
     """
 
     def __init__(self, session_id: int, hello: Hello, max_queued: int = 1024,
-                 peer: str = ""):
+                 peer: str = "",
+                 default_engines: Sequence[str] = ()):
         if max_queued < 1:
             raise ValueError("max_queued must be >= 1")
         self.id = session_id
@@ -85,14 +86,17 @@ class Session:
         self.n_threads = hello.n_threads
         self.initial = dict(hello.initial)
         self._monitor = Monitor(hello.spec) if hello.spec else None
-        self._variables = (sorted(self._monitor.variables)
-                           if self._monitor else [])
+        # engine selection: the client's hello wins, then the server's
+        # configured default pipeline, then the classic spec→LTL observer
+        self.engines_requested: tuple[str, ...] = (
+            hello.engines or tuple(default_engines))
         self.observer = Observer(
             hello.n_threads,
             hello.initial,
             spec=self._monitor,
             fault_tolerant=hello.fault_tolerant,
             thread_safe=True,
+            engines=list(self.engines_requested) or None,
         )
         self._max_queued = max_queued
         self._queue: deque = deque()
@@ -250,7 +254,8 @@ class Session:
         try:
             pending.commit(self.violations_pretty(),
                            self.observer.health.sound_everywhere,
-                           time.monotonic() - self._t0)
+                           time.monotonic() - self._t0,
+                           engines=self.observer.engine_verdicts())
         except OSError:
             pending.abort()
 
@@ -349,7 +354,12 @@ class Session:
     # -- results --------------------------------------------------------------
 
     def violations_pretty(self) -> list[str]:
-        return [v.pretty(self._variables) for v in self.observer.violations]
+        """Every engine's pretty-printed findings, in engine order (equal
+        to the classic LTL counterexample list for single-LTL sessions)."""
+        return self.observer.counterexamples()
+
+    def engine_verdicts_json(self) -> list[dict]:
+        return [v.to_json() for v in self.observer.engine_verdicts()]
 
     def seal(self) -> dict:
         """Freeze the final record and drop the observer (and its lattice
@@ -368,6 +378,7 @@ class Session:
         elapsed = (self._elapsed if self._elapsed is not None
                    else time.monotonic() - self._t0)
         health = self.observer.health
+        verdicts = self.observer.engine_verdicts()
         return {
             "session": self.id,
             "program": self.program,
@@ -379,8 +390,9 @@ class Session:
             "analyzed": self.analyzed,
             "pending": self.pending,
             "queue_high_water": self.queue_high_water,
-            "violations": len(self.observer.violations),
+            "violations": sum(v.violations for v in verdicts),
             "counterexamples": self.violations_pretty(),
+            "engines": [v.to_json() for v in verdicts],
             "sound": health.sound_everywhere,
             "final_clocks": [list(c) for c in self.final_clocks],
             "epoch": self.epoch,

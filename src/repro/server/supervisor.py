@@ -40,7 +40,7 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any, Optional, Sequence
 
 from ..core.events import Message
 from ..logic.monitor import Monitor
@@ -120,10 +120,10 @@ def _worker_main(journal_dir: str, inbox, outbox, checkpoint_every: int,
     journal = SessionJournal.open_dir(journal_dir)
     meta = journal.meta
     monitor = Monitor(meta.spec) if meta.spec else None
-    variables = sorted(monitor.variables) if monitor else []
     observer = Observer(
         meta.n_threads, meta.initial, spec=monitor,
-        fault_tolerant=meta.fault_tolerant, thread_safe=True)
+        fault_tolerant=meta.fault_tolerant, thread_safe=True,
+        engines=list(meta.engines) or None)
     recovered = journal.recover_and_open()
     observer.rebuild(recovered)
     clocks: list[list[int]] = [[0] * meta.n_threads
@@ -169,30 +169,38 @@ def _worker_main(journal_dir: str, inbox, outbox, checkpoint_every: int,
                 except Exception as exc:  # noqa: BLE001
                     outbox.put(("fatal", f"analysis error: {exc}"))
                     return
-                counterexamples = [v.pretty(variables)
-                                   for v in observer.violations]
+                verdicts = observer.engine_verdicts()
+                counterexamples = observer.counterexamples()
+                violations = sum(v.violations for v in verdicts)
                 sound = observer.health.sound_everywhere
                 wall = max(0.0, time.time() - meta.created_at)
+                primary = verdicts[0] if verdicts else None
                 journal.seal(extra={
                     "program": meta.program,
                     "spec": meta.spec,
                     "n_threads": meta.n_threads,
-                    "verdict": (VERDICT_VIOLATION if counterexamples
+                    "verdict": (VERDICT_VIOLATION if violations
                                 else VERDICT_CLEAN),
-                    "violations": len(counterexamples),
+                    "violations": violations,
                     "counterexamples": counterexamples,
                     "final_clocks": [list(c) for c in clocks],
                     "sound": sound,
                     "wall_time_s": round(wall, 6),
                     "created_at": time.time(),
+                    "engine": primary.engine if primary else "none",
+                    "engine_version": primary.version if primary else "1",
+                    "engines": [v.qualified for v in verdicts],
+                    "engine_spec": primary.spec if primary else None,
+                    "engine_specs": [v.spec for v in verdicts],
                 })
                 outbox.put(("result", {
                     "analyzed": stats["analyzed"],
-                    "violations": len(observer.violations),
+                    "violations": violations,
                     "counterexamples": counterexamples,
                     "sound": sound,
                     "final_clocks": [list(c) for c in clocks],
                     "wall_time_s": round(wall, 6),
+                    "engines": [v.to_json() for v in verdicts],
                 }))
                 return
             msg = Message.from_json(text)
@@ -226,8 +234,10 @@ class SupervisedSession(Session):
 
     def __init__(self, session_id: int, hello, journal: SessionJournal,
                  supervisor: Optional[SupervisorConfig] = None,
-                 max_queued: int = 1024, peer: str = ""):
-        super().__init__(session_id, hello, max_queued=max_queued, peer=peer)
+                 max_queued: int = 1024, peer: str = "",
+                 default_engines: Sequence[str] = ()):
+        super().__init__(session_id, hello, max_queued=max_queued, peer=peer,
+                         default_engines=default_engines)
         # the base constructor validated the spec against the initial
         # store by building an observer; the analysis lives in the worker,
         # so drop the parent copy rather than keep a dead lattice around
@@ -538,6 +548,7 @@ class SupervisedSession(Session):
             "counterexamples": list(result.get("counterexamples", [])),
             "sound": bool(result.get("sound", True)),
             "final_clocks": [list(c) for c in self.final_clocks],
+            "engines": list(result.get("engines", [])),
             "epoch": self.epoch,
             "attached": self.attached,
             "supervised": True,

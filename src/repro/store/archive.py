@@ -115,8 +115,16 @@ class PendingTrace:
         return tuple(self._final_clocks)
 
     def commit(self, counterexamples: list[str], sound: bool,
-               wall_time_s: float) -> Optional[CatalogEntry]:
+               wall_time_s: float,
+               engines: Optional[list] = None) -> Optional[CatalogEntry]:
         """Seal the trace and publish its catalog entry.
+
+        ``engines`` is the per-engine attribution — a list of
+        :class:`~repro.engines.base.EngineVerdict` (or anything with
+        ``engine``/``version``/``spec``/``qualified``), in verdict order;
+        the first engine is the primary one named in the catalog.  Without
+        it the entry is attributed to the classic pipeline (``ltl`` when a
+        spec was given, ``none`` otherwise).
 
         Returns ``None`` when the trace was already resolved (a concurrent
         abort won the race)."""
@@ -125,6 +133,18 @@ class PendingTrace:
                 return None
             self._resolved = True
             writer, self._writer = self._writer, None
+        if engines:
+            primary = engines[0]
+            engine, engine_version = primary.engine, primary.version
+            engine_spec = primary.spec
+            qualified = [v.qualified for v in engines]
+            engine_specs = [v.spec for v in engines]
+        else:
+            engine = "ltl" if self.spec else "none"
+            engine_version = "1"
+            engine_spec = self.spec
+            qualified = [f"{engine}@{engine_version}"] if self.spec else []
+            engine_specs = [self.spec] if self.spec else []
         # the verdict is embedded in the footer too, so a lost catalog.json
         # can be rebuilt from the trace files alone (file size and path are
         # recomputable from the file itself and deliberately omitted)
@@ -139,6 +159,11 @@ class PendingTrace:
             "sound": sound,
             "wall_time_s": round(wall_time_s, 6),
             "created_at": time.time(),
+            "engine": engine,
+            "engine_version": engine_version,
+            "engines": qualified,
+            "engine_spec": engine_spec,
+            "engine_specs": engine_specs,
         }
         writer.close(extra=extras)
         os.replace(self._part_path, self._final_path)
@@ -158,6 +183,11 @@ class PendingTrace:
             bytes=self._final_path.stat().st_size,
             path=str(self._final_path.relative_to(self.archive.root)),
             format=FORMAT_VERSION,
+            engine=engine,
+            engine_version=engine_version,
+            engines=tuple(qualified),
+            engine_spec=engine_spec,
+            engine_specs=tuple(engine_specs),
         )
         self.archive._publish(entry)
         if _metrics.ENABLED:
@@ -303,11 +333,13 @@ class TraceArchive:
 
     def record_messages(self, program: str, n_threads: int,
                         initial: Mapping[VarName, Any], messages,
-                        spec: Optional[str] = None) -> CatalogEntry:
+                        spec: Optional[str] = None,
+                        engines: Optional[list[str]] = None) -> CatalogEntry:
         """Archive a complete message stream in one call.
 
-        Runs the live pipeline (``Observer`` with causal delivery, plus the
-        predictor when ``spec`` is given) while streaming the messages into
+        Runs the live pipeline (``Observer`` with causal delivery, feeding
+        the analysis bus — a single LTL engine when only ``spec`` is given,
+        or the selected ``engines``) while streaming the messages into
         a pending trace, then commits with the resulting verdict — the
         ``repro archive`` CLI path.  ``messages`` may be any iterable,
         including a lazy :func:`~repro.observer.trace.iter_trace` stream.
@@ -317,7 +349,7 @@ class TraceArchive:
 
         monitor = Monitor(spec) if spec else None
         observer = Observer(n_threads, initial, spec=monitor,
-                            causal_log=True)
+                            causal_log=True, engines=engines)
         pending = self.begin(program, n_threads, initial, spec=spec)
         t0 = time.perf_counter()
         try:
@@ -328,11 +360,11 @@ class TraceArchive:
         except BaseException:
             pending.abort()
             raise
-        variables = sorted(monitor.variables) if monitor else []
         entry = pending.commit(
-            [v.pretty(variables) for v in observer.violations],
+            observer.counterexamples(),
             observer.health.sound_everywhere,
-            time.perf_counter() - t0)
+            time.perf_counter() - t0,
+            engines=observer.engine_verdicts())
         assert entry is not None   # nothing else can resolve this pending
         return entry
 

@@ -66,6 +66,21 @@ class CatalogEntry:
     spec: Optional[str] = None
     #: On-disk trace format version (2 for archive-written traces).
     format: int = 2
+    #: Primary analysis engine the verdict came from (``"ltl"`` for every
+    #: pre-bus entry with a spec, ``"none"`` for spec-less recordings).
+    engine: str = "ltl"
+    #: The primary engine's version string.
+    engine_version: str = "1"
+    #: Every engine that analyzed the stream, as ``name@version``
+    #: attribution strings, in verdict order (empty for pre-bus entries).
+    engines: tuple[str, ...] = ()
+    #: The primary engine's own specification text (the LTL formula, the
+    #: pattern string, or a fixed description for spec-less engines).
+    engine_spec: Optional[str] = None
+    #: Every engine's specification text, parallel to ``engines`` — what
+    #: deterministic replay needs to rebuild the exact pipeline
+    #: (:func:`repro.store.replay.selections_for_entry`).
+    engine_specs: tuple[Optional[str], ...] = ()
 
     def to_json(self) -> dict:
         return asdict(self)
@@ -73,6 +88,14 @@ class CatalogEntry:
     @classmethod
     def from_json(cls, doc: dict) -> "CatalogEntry":
         try:
+            spec = doc.get("spec")
+            engine = doc.get("engine") or ("ltl" if spec else "none")
+            engine_version = doc.get("engine_version", "1")
+            if "engines" in doc:
+                engines = tuple(doc["engines"])
+            else:   # pre-bus document: attribute the primary engine
+                engines = ((f"{engine}@{engine_version}",)
+                           if engine != "none" else ())
             return cls(
                 id=doc["id"],
                 program=doc["program"],
@@ -87,8 +110,13 @@ class CatalogEntry:
                 created_at=doc["created_at"],
                 bytes=doc["bytes"],
                 path=doc["path"],
-                spec=doc.get("spec"),
+                spec=spec,
                 format=doc.get("format", 2),
+                engine=engine,
+                engine_version=engine_version,
+                engines=engines,
+                engine_spec=doc.get("engine_spec", spec),
+                engine_specs=tuple(doc.get("engine_specs") or ()),
             )
         except (KeyError, TypeError) as exc:
             raise CatalogError(
@@ -103,12 +131,15 @@ class CatalogQuery:
     All supplied conditions must hold (conjunction); ``None`` means
     "don't care".  ``program`` is an exact match, ``spec_contains`` a
     substring test on the spec text, ``since``/``before`` bound
-    ``created_at``.
+    ``created_at``.  ``engine`` matches an entry analyzed by that engine:
+    a bare name (``"atomicity"``) matches any version, a qualified
+    ``"atomicity@1"`` matches exactly.
     """
 
     program: Optional[str] = None
     spec_contains: Optional[str] = None
     verdict: Optional[str] = None
+    engine: Optional[str] = None
     min_events: Optional[int] = None
     max_events: Optional[int] = None
     since: Optional[float] = None
@@ -128,6 +159,8 @@ class CatalogQuery:
             return False
         if self.verdict is not None and entry.verdict != self.verdict:
             return False
+        if self.engine is not None and not self._engine_matches(entry):
+            return False
         if self.min_events is not None and entry.events < self.min_events:
             return False
         if self.max_events is not None and entry.events > self.max_events:
@@ -137,6 +170,14 @@ class CatalogQuery:
         if self.before is not None and entry.created_at >= self.before:
             return False
         return True
+
+    def _engine_matches(self, entry: CatalogEntry) -> bool:
+        want = self.engine
+        names = set(entry.engines)
+        names.add(f"{entry.engine}@{entry.engine_version}")
+        if "@" in want:
+            return want in names
+        return any(q.partition("@")[0] == want for q in names)
 
 
 class Catalog:

@@ -29,7 +29,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Optional, Union
+from typing import Optional, Sequence, Union
 
 from ..core.events import Message
 from ..logic.monitor import Monitor
@@ -40,7 +40,7 @@ from .archive import TraceArchive
 from .catalog import CatalogEntry, CatalogQuery
 
 __all__ = ["ReplayResult", "ReplayReport", "replay_trace", "replay_entry",
-           "verify_entry", "verify_all"]
+           "verify_entry", "verify_all", "selections_for_entry"]
 
 _C_REPLAYED = _metrics.REGISTRY.counter(
     "store.events_replayed", unit="messages",
@@ -63,6 +63,10 @@ class ReplayResult:
     final_clocks: tuple[tuple[int, ...], ...]
     sound: bool
     elapsed_s: float
+    #: Per-engine verdict documents (:meth:`EngineVerdict.to_json` shape),
+    #: in engine order; ``violations``/``counterexamples`` above are their
+    #: aggregation.
+    engines: tuple[dict, ...] = ()
 
     @property
     def verdict(self) -> str:
@@ -99,22 +103,26 @@ class ReplayReport:
 
 
 def replay_trace(path: str | Path, spec: Optional[str] = None,
-                 program: Optional[str] = None) -> ReplayResult:
+                 program: Optional[str] = None,
+                 engines: Optional[Sequence[str]] = None) -> ReplayResult:
     """Replay one trace file (v1 or v2) through the full pipeline.
 
     ``spec=None`` replays without a predictor (clocks and delivery only);
-    a spec string re-analyzes the stream against that property.  The
-    observer routes every message through its causal-delivery buffer
-    (``causal_log=True``) — the exact ingestion path of a live session —
-    and the result carries the final per-thread vector clocks, taken from
-    each thread's last message.
+    a spec string re-analyzes the stream against that property.
+    ``engines`` selects explicit analysis engines (see
+    :mod:`repro.engines`) instead of the spec-implied single LTL engine —
+    the differential-replay case.  The observer routes every message
+    through its causal-delivery buffer (``causal_log=True``) — the exact
+    ingestion path of a live session — and the result carries the final
+    per-thread vector clocks, taken from each thread's last message.
     """
     stream = iter_trace(path)
     header = next(stream)
     assert isinstance(header, TraceHeader)
     monitor = Monitor(spec) if spec else None
     observer = Observer(header.n_threads, header.initial, spec=monitor,
-                        causal_log=True)
+                        causal_log=True,
+                        engines=list(engines) if engines else None)
     final_clocks = [(0,) * header.n_threads
                     for _ in range(header.n_threads)]
     events = 0
@@ -129,60 +137,118 @@ def replay_trace(path: str | Path, spec: Optional[str] = None,
     if _metrics.ENABLED:
         _C_REPLAYED.inc(events)
         _G_REPLAY_RATE.set(round(events / elapsed, 3) if elapsed > 0 else 0.0)
-    variables = sorted(monitor.variables) if monitor else []
-    counterexamples = tuple(v.pretty(variables)
-                            for v in observer.violations)
+    verdicts = observer.engine_verdicts()
+    counterexamples = tuple(observer.counterexamples())
     return ReplayResult(
         program=program if program is not None else header.program,
         spec=spec,
         n_threads=header.n_threads,
         events=events,
-        violations=len(counterexamples),
+        violations=sum(v.violations for v in verdicts),
         counterexamples=counterexamples,
         final_clocks=tuple(final_clocks),
         sound=observer.health.sound_everywhere,
         elapsed_s=elapsed,
+        engines=tuple(v.to_json() for v in verdicts),
     )
+
+
+def selections_for_entry(entry: CatalogEntry) -> tuple[list[str], list[str]]:
+    """Reconstruct the engine selection strings a catalog entry was
+    analyzed under, for bit-for-bit reproduction.
+
+    Returns ``(selections, missing)``: ``selections`` are the strings to
+    pass back to :func:`replay_trace`, in the entry's verdict order;
+    ``missing`` names engines whose selection cannot be rebuilt from the
+    catalog (an unknown engine name, or an entry written before per-engine
+    spec recording whose non-primary spec text was not retained).
+    """
+    specs: tuple[Optional[str], ...]
+    if len(entry.engine_specs) == len(entry.engines):
+        specs = entry.engine_specs
+    else:   # entry predates per-engine spec recording: primary only
+        specs = tuple(
+            entry.spec if q.partition("@")[0] == "ltl"
+            else (entry.engine_spec
+                  if q.partition("@")[0] == entry.engine else None)
+            for q in entry.engines)
+    selections: list[str] = []
+    missing: list[str] = []
+    for qualified, spec_text in zip(entry.engines, specs):
+        name = qualified.partition("@")[0]
+        if name == "atomicity":
+            selections.append("atomicity")
+        elif name in ("ltl", "pattern") and spec_text:
+            selections.append(f"{name}:{spec_text}")
+        else:
+            missing.append(qualified)
+    return selections, missing
 
 
 def replay_entry(archive: TraceArchive,
                  entry: Union[CatalogEntry, str],
-                 spec: Optional[str] = None) -> ReplayResult:
+                 spec: Optional[str] = None,
+                 engines: Optional[Sequence[str]] = None) -> ReplayResult:
     """Replay one archived trace.  ``spec=None`` means *the spec it was
     recorded under* (the reproduce case); pass a different spec string to
-    re-analyze the same computation against a new property."""
+    re-analyze the same computation against a new property, or ``engines``
+    to run an explicit engine pipeline over it."""
     if isinstance(entry, str):
         entry = archive.get(entry)
     effective = entry.spec if spec is None else spec
     return replay_trace(archive.path_of(entry), spec=effective,
-                        program=entry.program)
+                        program=entry.program, engines=engines)
 
 
 def verify_entry(archive: TraceArchive,
-                 entry: Union[CatalogEntry, str]) -> list[str]:
-    """Replay under the recorded spec and diff against the catalog entry.
+                 entry: Union[CatalogEntry, str],
+                 extra_engines: Sequence[str] = ()) -> list[str]:
+    """Replay under the recorded engine pipeline and diff against the
+    catalog entry.
 
     Returns a list of human-readable drift descriptions — empty means the
     verdict was reproduced bit-for-bit (count, counterexample texts,
-    final clocks, soundness, event count all equal).
+    final clocks, soundness, event count all equal).  ``extra_engines``
+    run additional engines alongside the recorded ones (differential
+    replay); their findings are reported by the caller via the result, and
+    the catalog diff stays restricted to the recorded engines' verdicts.
     """
     if isinstance(entry, str):
         entry = archive.get(entry)
-    result = replay_entry(archive, entry)
+    recorded, missing = selections_for_entry(entry)
+    extras = [e for e in extra_engines if e not in recorded]
+    if recorded or extras:
+        result = replay_entry(archive, entry, engines=recorded + extras)
+    else:   # pre-engine entry: the classic spec-implied pipeline
+        result = replay_entry(archive, entry)
     problems: list[str] = []
     if result.events != entry.events:
         problems.append(
             f"event count drifted: catalog {entry.events}, "
             f"replay {result.events}")
-    if result.violations != entry.violations:
+    if missing:
         problems.append(
-            f"violation count drifted: catalog {entry.violations}, "
-            f"replay {result.violations}")
-    if result.counterexamples != entry.counterexamples:
-        problems.append(
-            f"counterexamples drifted: catalog "
-            f"{list(entry.counterexamples)}, replay "
-            f"{list(result.counterexamples)}")
+            f"cannot reconstruct engine selection(s) {missing} from the "
+            "catalog (only the primary engine's spec is recorded); "
+            "verdict not reproducible")
+    else:
+        # the recorded engines come first in the replay pipeline, so their
+        # verdicts are the first len(recorded) documents (all of them for
+        # a pre-engine entry)
+        docs = (result.engines[:len(recorded)] if recorded
+                else result.engines)
+        violations = sum(d["violations"] for d in docs)
+        counterexamples = tuple(
+            c for d in docs for c in d["counterexamples"])
+        if violations != entry.violations:
+            problems.append(
+                f"violation count drifted: catalog {entry.violations}, "
+                f"replay {violations}")
+        if counterexamples != entry.counterexamples:
+            problems.append(
+                f"counterexamples drifted: catalog "
+                f"{list(entry.counterexamples)}, replay "
+                f"{list(counterexamples)}")
     if result.final_clocks != entry.final_clocks:
         problems.append(
             f"final vector clocks drifted: catalog "
@@ -196,13 +262,14 @@ def verify_entry(archive: TraceArchive,
 
 
 def verify_all(archive: TraceArchive,
-               query: Optional[CatalogQuery] = None) -> ReplayReport:
+               query: Optional[CatalogQuery] = None,
+               extra_engines: Sequence[str] = ()) -> ReplayReport:
     """The regression corpus: replay every (matching) archived trace and
     collect verdict drift — ``repro replay --all --expect-catalog``."""
     report = ReplayReport()
     for entry in archive.entries(query):
         report.checked += 1
-        problems = verify_entry(archive, entry)
+        problems = verify_entry(archive, entry, extra_engines=extra_engines)
         if problems:
             report.drifted[entry.id] = problems
         else:

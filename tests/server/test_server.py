@@ -135,15 +135,26 @@ class TestAdmissionControl:
             for m in xyz_execution.messages:
                 first.send(m)
             assert first.close().state == "finished"
-            # the slot freed: a new attach is admitted again
-            second = attach(srv.host, srv.port,
-                            n_threads=xyz_execution.n_threads,
-                            initial=xyz_initial, spec=XYZ_PROPERTY)
+            # the slot frees once the reader retires the finished session,
+            # which races our finack — poll briefly instead of flaking
+            deadline = time.monotonic() + 5.0
+            while True:
+                try:
+                    second = attach(srv.host, srv.port,
+                                    n_threads=xyz_execution.n_threads,
+                                    initial=xyz_initial, spec=XYZ_PROPERTY)
+                    break
+                except ServerRejected:
+                    if time.monotonic() >= deadline:
+                        raise
+                    time.sleep(0.05)
             for m in xyz_execution.messages:
                 second.send(m)
             assert second.close().state == "finished"
             status = fetch_status(srv.host, srv.port)
-            assert status["server"]["rejected"] == 1
+            # at least the explicit reject above; retries of the second
+            # attach may have been counted too
+            assert status["server"]["rejected"] >= 1
 
     def test_bad_spec_rejected_with_reason(self, srv_factory=None):
         with AnalysisServer(ServerConfig(port=0, workers=1)) as srv:

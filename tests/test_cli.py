@@ -399,6 +399,16 @@ class TestStoreCommands:
         assert code == 0
         assert "clean" in out
 
+    def test_replay_json_is_pure(self, populated):
+        import json
+
+        code, out = run_cli("replay", populated, "--all",
+                            "--engine", "atomicity", "--json")
+        assert code == 0
+        results = json.loads(out)  # no progress lines before the document
+        assert len(results) == 2
+        assert all(r["engines"][0]["engine"] == "atomicity" for r in results)
+
     def test_replay_usage_errors(self, populated):
         code, _ = run_cli("replay", populated)
         assert code == 2
