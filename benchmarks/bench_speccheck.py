@@ -1,0 +1,125 @@
+"""Spec consistency checking (ISSUE 9) — latency vs formula size.
+
+``repro spec check`` sits on two latency-sensitive paths: the CLI's
+up-front ``--spec``/``--engine`` validation and the ``serve
+--strict-specs`` handshake gate, where every attach pays one full
+consistency check before a session is admitted.  This benchmark measures
+check_formula latency against formula size (atoms, temporal depth) and
+pins the budget the handshake integration relies on: every spec we ship
+(demo registry + workload ``*_PROPERTY`` constants + pattern demos) must
+check in **under 100 ms**.  Shape expected: latency grows with the
+number of distinct atoms (the representative-state count is exponential
+in distinct comparisons, capped by ``max_states``), not with plain
+formula length; shipped specs sit well under the budget.
+"""
+
+import time
+
+from conftest import table
+
+from repro.cli import DEMOS
+from repro.staticcheck.speccheck import (
+    SpecCheckOptions,
+    check_pattern,
+    check_spec_text,
+)
+from repro.workloads import AUDIT_PROPERTY, LANDING_PROPERTY, XYZ_PROPERTY
+
+BUDGET_MS = 100.0
+
+#: Synthetic families, indexed by size n.
+FAMILIES = {
+    # n conjoined atoms over one variable: atom count grows, signatures don't
+    "and-chain": lambda n: " and ".join(f"x >= {-i}" for i in range(n)),
+    # n distinct variables: representative states grow fastest here
+    "multi-var": lambda n: " and ".join(f"v{i} >= 0" for i in range(n)),
+    # temporal nesting depth n
+    "once-tower": lambda n: "once(" * n + "x == 1" + ")" * n,
+    # n chained intervals
+    "intervals": lambda n: " and ".join(
+        f"[a{i} == 1, b{i} == 1)" for i in range(n)),
+}
+
+SIZES = (1, 2, 3, 4)
+
+
+def timed_check(spec, options=None):
+    start = time.perf_counter()
+    result = check_spec_text(spec, options=options)
+    elapsed_ms = (time.perf_counter() - start) * 1000
+    return result, elapsed_ms
+
+
+def shipped_specs():
+    """Every spec a user gets without writing one: demo registry +
+    workload property constants + a representative pattern selection."""
+    specs = {name: demo.spec for name, demo in DEMOS.items()}
+    specs["LANDING_PROPERTY"] = LANDING_PROPERTY
+    specs["XYZ_PROPERTY"] = XYZ_PROPERTY
+    specs["AUDIT_PROPERTY"] = AUDIT_PROPERTY
+    try:
+        from repro.workloads import RW_PROPERTY
+        specs["RW_PROPERTY"] = RW_PROPERTY
+    except ImportError:
+        pass
+    specs["pattern demo"] = "pattern:W(x);R(y);W(x)"
+    return specs
+
+
+def test_speccheck_latency_vs_formula_size():
+    rows = []
+    for family, make in FAMILIES.items():
+        for n in SIZES:
+            spec = make(n)
+            result, elapsed_ms = timed_check(spec)
+            rows.append([family, n, len(result.variables),
+                         len(result.domain), result.subformulas_checked,
+                         f"{elapsed_ms:.2f}"])
+    table("spec check latency vs formula size",
+          ["family", "n", "vars", "domain", "subformulas", "ms"],
+          rows)
+    # shape: every synthetic family stays checkable in interactive time
+    for family, n, *_rest, ms in rows:
+        assert float(ms) < 10 * BUDGET_MS, (family, n, ms)
+
+
+def test_shipped_specs_under_handshake_budget():
+    """The acceptance bar: every shipped spec checks in < 100 ms, so
+    --strict-specs costs at most one spare round-trip at the handshake."""
+    rows = []
+    worst = 0.0
+    for name, spec in sorted(shipped_specs().items()):
+        result, elapsed_ms = timed_check(spec)
+        worst = max(worst, elapsed_ms)
+        rows.append([name, result.kind,
+                     "ok" if result.ok else "FINDINGS",
+                     f"{elapsed_ms:.2f}"])
+        assert result.ok, (name, [d.pretty() for d in result.diagnostics])
+        assert elapsed_ms < BUDGET_MS, (
+            f"{name} took {elapsed_ms:.1f}ms, budget is {BUDGET_MS}ms")
+    rows.append(["(worst)", "", "", f"{worst:.2f}"])
+    table("shipped specs vs the 100ms handshake budget",
+          ["spec", "kind", "verdict", "ms"], rows)
+
+
+def test_pattern_checks_are_cheap():
+    start = time.perf_counter()
+    for _ in range(100):
+        check_pattern("W(x);R(y)@T2;W(x)=1")
+    per_check_ms = (time.perf_counter() - start) * 10
+    table("pattern check amortized cost",
+          ["steps", "checks", "ms/check"],
+          [[3, 100, f"{per_check_ms:.3f}"]])
+    assert per_check_ms < BUDGET_MS
+
+
+def test_horizon_knob_scales_linearly_not_explosively():
+    rows = []
+    spec = LANDING_PROPERTY
+    for horizon in (3, 5, 8, 12):
+        opts = SpecCheckOptions(horizon=horizon)
+        result, elapsed_ms = timed_check(spec, options=opts)
+        assert result.ok and len(result.witness) == horizon
+        rows.append([horizon, len(result.witness), f"{elapsed_ms:.2f}"])
+    table("witness horizon vs latency (landing spec)",
+          ["horizon", "witness len", "ms"], rows)

@@ -27,6 +27,9 @@ original tool:
   sources: reports accesses the instrumentor would miss (aliases,
   closures, un-instrumented helpers, …) with stable SC-codes, plus
   spec-relevance findings with ``--spec``;
+* ``spec check`` — static spec consistency: proves specs satisfiable,
+  falsifiable and non-vacuous before they reach a fleet, with
+  synthesized witness/counter traces and SC3xx diagnostics;
 * ``archive`` — run a workload (or ingest an existing trace file) into a
   trace archive: v2 segment file + catalog entry with the live verdict;
 * ``replay``  — deterministically replay archived traces through the
@@ -53,6 +56,8 @@ Examples::
     python -m repro attach xyz --port 4040
     python -m repro sessions --port 4040
     python -m repro lint src/repro/workloads examples --json
+    python -m repro spec check --demos --scan src/repro/workloads
+    python -m repro spec check "ltl:x == 0 and x == 1" --json
     python -m repro archive /var/traces xyz --seed 7
     python -m repro replay /var/traces --all --expect-catalog
     python -m repro query /var/traces --verdict violation --json
@@ -113,6 +118,34 @@ def _run_demo(demo: _Demo, seed: Optional[int] = None,
                        clock_backend=backend)
 
 
+def _spec_usage_errors(args: argparse.Namespace,
+                       out: Callable[[str], None]) -> bool:
+    """Up-front syntax validation of ``--spec`` / ``--engine`` arguments.
+
+    Returns True (and prints the parse span) when any is malformed, so
+    commands exit 1 with a pointed error instead of a traceback deep in
+    monitor or engine construction.
+    """
+    from .staticcheck.speccheck import (
+        validate_selection_syntax,
+        validate_spec_syntax,
+    )
+
+    bad = False
+    spec = getattr(args, "spec", None)
+    if spec is not None:
+        problem = validate_spec_syntax(spec)
+        if problem is not None:
+            out(f"error: invalid --spec: {problem}")
+            bad = True
+    for sel in getattr(args, "engines", None) or ():
+        problem = validate_selection_syntax(sel, default_spec=spec)
+        if problem is not None:
+            out(f"error: invalid --engine {sel!r}: {problem}")
+            bad = True
+    return bad
+
+
 def _engine_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--engine", action="append", default=None, dest="engines",
@@ -131,6 +164,8 @@ def _demo_arg(parser: argparse.ArgumentParser) -> None:
 
 
 def cmd_demo(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    if _spec_usage_errors(args, out):
+        return 1
     demo = DEMOS[args.workload]
     spec = args.spec or demo.spec
     execution = _run_demo(demo, args.seed)
@@ -165,14 +200,20 @@ def cmd_record(args: argparse.Namespace, out: Callable[[str], None]) -> int:
 
 
 def cmd_check(args: argparse.Namespace, out: Callable[[str], None]) -> int:
-    trace = read_trace(args.trace)
     if not args.spec:
         out("error: --spec is required for check")
         return 2
+    if _spec_usage_errors(args, out):
+        return 1
+    trace = read_trace(args.trace)
     from .lattice import LevelByLevelBuilder
     from .logic import Monitor
 
-    monitor = Monitor(args.spec)
+    try:
+        monitor = Monitor(args.spec)
+    except ValueError as exc:
+        out(f"error: invalid --spec: {exc}")
+        return 1
     initial = {v: trace.initial[v] for v in sorted(monitor.variables)}
     builder = LevelByLevelBuilder(trace.n_threads, initial, monitor)
     builder.feed_many(trace.messages)
@@ -203,6 +244,8 @@ def cmd_render(args: argparse.Namespace, out: Callable[[str], None]) -> int:
 
 
 def cmd_analyze(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    if _spec_usage_errors(args, out):
+        return 1
     demo = DEMOS[args.workload]
     scheduler = (RandomScheduler(args.seed) if args.seed is not None
                  else FixedScheduler(demo.schedule or [], strict=False))
@@ -239,6 +282,8 @@ def cmd_races(args: argparse.Namespace, out: Callable[[str], None]) -> int:
 
 
 def cmd_explore(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    if _spec_usage_errors(args, out):
+        return 1
     from .analysis import model_check
 
     demo = DEMOS[args.workload]
@@ -255,6 +300,8 @@ def cmd_explore(args: argparse.Namespace, out: Callable[[str], None]) -> int:
 
 
 def cmd_run(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    if _spec_usage_errors(args, out):
+        return 1
     from .lang import compile_source
 
     with open(args.source, encoding="utf-8") as fh:
@@ -283,6 +330,8 @@ def cmd_run(args: argparse.Namespace, out: Callable[[str], None]) -> int:
 
 
 def cmd_observe(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    if _spec_usage_errors(args, out):
+        return 1
     from . import obs
     from .observer import FaultPlan, FaultyChannel, MultiChannel, Observer
     from .observer import FifoChannel, ReorderingChannel
@@ -380,6 +429,8 @@ def cmd_stats(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     space went."""
     import json as _json
 
+    if _spec_usage_errors(args, out):
+        return 1
     from . import obs
 
     demo = DEMOS[args.workload]
@@ -422,6 +473,8 @@ def cmd_serve(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     import signal
     import threading
 
+    if _spec_usage_errors(args, out):
+        return 1
     from .server import AnalysisServer, ServerConfig
 
     def on_end(record: dict) -> None:
@@ -440,7 +493,8 @@ def cmd_serve(args: argparse.Namespace, out: Callable[[str], None]) -> int:
             supervised=args.supervised, checkpoint_dir=args.checkpoint_dir,
             checkpoint_every=args.checkpoint_every,
             resume_timeout=args.resume_timeout, recover=args.recover,
-            default_engines=tuple(args.engines or ()))
+            default_engines=tuple(args.engines or ()),
+            strict_specs=args.strict_specs)
     except ValueError as exc:
         out(f"error: {exc}")
         return 2
@@ -467,6 +521,8 @@ def cmd_serve(args: argparse.Namespace, out: Callable[[str], None]) -> int:
 
 def cmd_attach(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     """Run a bundled workload as a client of a running analysis server."""
+    if _spec_usage_errors(args, out):
+        return 1
     from .server import ServerRejected, attach
 
     demo = DEMOS[args.workload]
@@ -547,11 +603,96 @@ def cmd_lint(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     import json as _json
 
     from .staticcheck import lint_paths
+    from .staticcheck.speccheck import check_spec_text
 
+    spec_diags = []
+    lint_spec = args.spec
+    if args.spec is not None:
+        # cross-wire the spec-consistency pass: its SC3xx findings land in
+        # the same report as the slicing/soundness ones
+        spec_result = check_spec_text(args.spec)
+        spec_diags = spec_result.diagnostics
+        if "SC300" in spec_result.codes():
+            lint_spec = None    # unparseable: lint without spec-relevance
     try:
-        report = lint_paths(args.paths, spec=args.spec)
+        report = lint_paths(args.paths, spec=lint_spec)
     except OSError as exc:
         out(f"error: {exc}")
+        return 2
+    report.extend(spec_diags)
+    if args.json or args.json_out:
+        doc = _json.dumps(report.to_json(), indent=2)
+        if args.json_out:
+            with open(args.json_out, "w", encoding="utf-8") as fh:
+                fh.write(doc + "\n")
+        if args.json:
+            out(doc)
+    if not args.json:
+        out(report.pretty())
+    if not report.ok:
+        return 1
+    if args.fail_on_warn and report.warnings:
+        return 1
+    return 0
+
+
+def cmd_spec_check(args: argparse.Namespace,
+                   out: Callable[[str], None]) -> int:
+    """Static spec consistency: satisfiability, falsifiability, vacuity,
+    with synthesized witness/counter traces (see docs/SPECCHECK.md)."""
+    import glob as _glob
+    import json as _json
+    import os as _os
+
+    from .staticcheck.speccheck import (
+        SpecCheckOptions,
+        SpecCheckReport,
+        check_spec_file,
+        check_spec_text,
+        scan_python_specs,
+    )
+
+    try:
+        options = SpecCheckOptions(horizon=args.horizon,
+                                   max_values=args.values,
+                                   extra_values=tuple(args.value or ()))
+    except ValueError as exc:
+        out(f"error: {exc}")
+        return 2
+    report = SpecCheckReport()
+    had_input = False
+    for target in args.targets:
+        had_input = True
+        try:
+            if _os.path.isdir(target):
+                for path in sorted(_glob.glob(
+                        _os.path.join(target, "**", "*.spec"),
+                        recursive=True)):
+                    for r in check_spec_file(path, options=options):
+                        report.add(r)
+            elif _os.path.isfile(target):
+                for r in check_spec_file(target, options=options):
+                    report.add(r)
+            else:
+                report.add(check_spec_text(target, options=options))
+        except OSError as exc:
+            out(f"error: {exc}")
+            return 2
+    if args.demos:
+        had_input = True
+        for name in sorted(DEMOS):
+            report.add(check_spec_text(DEMOS[name].spec,
+                                       file=f"<demo:{name}>",
+                                       options=options))
+    if args.scan:
+        had_input = True
+        for src in scan_python_specs(args.scan):
+            report.add(check_spec_text(src.text, file=src.file,
+                                       line=src.line, col=src.col,
+                                       options=options))
+    if not had_input:
+        out("error: nothing to check — give a spec string, a .spec "
+            "file/directory, --demos, or --scan PATH")
         return 2
     if args.json or args.json_out:
         doc = _json.dumps(report.to_json(), indent=2)
@@ -571,6 +712,8 @@ def cmd_lint(args: argparse.Namespace, out: Callable[[str], None]) -> int:
 
 def cmd_archive(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     """Record a workload run (or ingest a trace file) into an archive."""
+    if _spec_usage_errors(args, out):
+        return 1
     from .observer.trace import TraceFormatError, TraceHeader, iter_trace
     from .store import TraceArchive
 
@@ -612,6 +755,8 @@ def cmd_replay(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     catalog verdicts (regression-corpus mode) or re-analyze with --spec."""
     import json as _json
 
+    if _spec_usage_errors(args, out):
+        return 1
     from .observer.trace import TraceFormatError
     from .store import CatalogError, TraceArchive, replay_entry, verify_entry
 
@@ -866,6 +1011,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--recover", action="store_true",
                    help="on startup, readmit sessions journaled under "
                         "--checkpoint by a previous daemon")
+    p.add_argument("--strict-specs", action="store_true",
+                   help="run 'repro spec check' on every hello's spec and "
+                        "engine selections; reject inconsistent/vacuous "
+                        "specs at handshake instead of burning a worker "
+                        "(see docs/SPECCHECK.md)")
     _engine_arg(p)
     p.set_defaults(fn=cmd_serve)
 
@@ -980,6 +1130,42 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fail-on-warn", action="store_true",
                    help="exit 1 on WARN findings too (default: only ERROR)")
     p.set_defaults(fn=cmd_lint)
+
+    p = sub.add_parser(
+        "spec",
+        help="specification tooling: 'spec check' is the static "
+             "consistency pass (see docs/SPECCHECK.md)")
+    spec_sub = p.add_subparsers(dest="spec_command", required=True)
+    p = spec_sub.add_parser(
+        "check",
+        help="prove specs satisfiable/falsifiable/non-vacuous before "
+             "deployment, with witness and counter traces")
+    p.add_argument("targets", nargs="*", metavar="TARGET",
+                   help="a spec or engine-selection string, a .spec file "
+                        "(one spec per line, # comments), or a directory "
+                        "searched recursively for *.spec files")
+    p.add_argument("--demos", action="store_true",
+                   help="also check every bundled demo workload's spec")
+    p.add_argument("--scan", action="append", default=None, metavar="PATH",
+                   help="scan Python sources under PATH for spec string "
+                        "literals (*_PROPERTY/*_SPEC assignments, spec= "
+                        "and engines= arguments); repeatable")
+    p.add_argument("--horizon", type=_positive_int, default=5,
+                   help="witness-trace length bound in steps (default 5)")
+    p.add_argument("--values", type=_positive_int, default=8,
+                   help="per-variable candidate-domain size cap (default 8)")
+    p.add_argument("--value", type=int, action="append", default=None,
+                   metavar="N",
+                   help="extra integer merged into every variable's "
+                        "candidate domain; repeatable (escape hatch for "
+                        "non-linear arithmetic)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the JSON report document instead of text")
+    p.add_argument("--json-out", default=None, metavar="FILE",
+                   help="also write the JSON report document to FILE")
+    p.add_argument("--fail-on-warn", action="store_true",
+                   help="exit 1 on WARN findings too (default: only ERROR)")
+    p.set_defaults(fn=cmd_spec_check)
 
     p = sub.add_parser("run", help="compile and analyze a MiniLang file")
     p.add_argument("source", help="MiniLang source file")

@@ -50,13 +50,36 @@ __all__ = ["parse", "ParseError"]
 
 
 class ParseError(ValueError):
-    """Raised on malformed specifications, with position information."""
+    """Raised on malformed specifications, with position information.
 
-    def __init__(self, text: str, pos: int, message: str):
+    Carries the same ``file:line:col`` span contract as
+    :class:`~repro.lang.parser.MiniLangError`: ``line``/``col`` are
+    1-based, ``filename`` is optional (specs are usually inline strings),
+    and :attr:`span` renders them the way every other tool in the
+    repository points at source.  The rendered message keeps the caret
+    pointer into the offending text.
+    """
+
+    def __init__(self, text: str, pos: int, message: str,
+                 *, filename: Optional[str] = None):
         self.text = text
         self.pos = pos
-        pointer = " " * pos + "^"
-        super().__init__(f"{message}\n  {text}\n  {pointer}")
+        self.problem = message
+        self.filename = filename
+        prefix = text[:pos]
+        self.line = prefix.count("\n") + 1
+        self.col = pos - (prefix.rfind("\n") + 1) + 1
+        lines = text.splitlines() or [""]
+        src_line = lines[min(self.line - 1, len(lines) - 1)]
+        pointer = " " * (self.col - 1) + "^"
+        head = (f"{filename}:{self.line}:{self.col}: {message}" if filename
+                else f"{message}")
+        super().__init__(f"{head}\n  {src_line}\n  {pointer}")
+
+    @property
+    def span(self) -> str:
+        """``file:line:col`` of the error (``<spec>`` for inline strings)."""
+        return f"{self.filename or '<spec>'}:{self.line}:{self.col}"
 
 
 _TOKEN_RE = re.compile(
@@ -132,14 +155,25 @@ class _Tokens:
         self.i = mark
 
 
-def parse(text: str) -> Formula:
-    """Parse a specification string into a :class:`~repro.logic.ast.Formula`."""
-    toks = _Tokens(text)
-    f = _iff(toks)
-    tok = toks.peek()
-    if tok is not None:
-        raise ParseError(text, tok[2], f"trailing input starting at {tok[1]!r}")
-    return f
+def parse(text: str, filename: Optional[str] = None) -> Formula:
+    """Parse a specification string into a :class:`~repro.logic.ast.Formula`.
+
+    ``filename`` (optional) is attached to any :class:`ParseError` so its
+    span reads ``file:line:col`` like MiniLang errors do.
+    """
+    try:
+        toks = _Tokens(text)
+        f = _iff(toks)
+        tok = toks.peek()
+        if tok is not None:
+            raise ParseError(text, tok[2],
+                             f"trailing input starting at {tok[1]!r}")
+        return f
+    except ParseError as exc:
+        if filename is not None and exc.filename is None:
+            raise ParseError(exc.text, exc.pos, exc.problem,
+                             filename=filename) from None
+        raise
 
 
 def _iff(t: _Tokens) -> Formula:

@@ -96,6 +96,10 @@ _C_RECOVERED = _metrics.REGISTRY.counter(
     "server.sessions_recovered", unit="sessions",
     help="journaled sessions readmitted by a daemon restart with "
          "--recover")
+_C_SPEC_REJECTED = _metrics.REGISTRY.counter(
+    "server.specs_rejected", unit="sessions",
+    help="attaches refused by --strict-specs: the hello carried an "
+         "inconsistent or vacuous specification (SC3xx)")
 
 #: accept() errnos that mean the listening socket itself is gone —
 #: retrying would spin, so the loop exits.
@@ -153,6 +157,12 @@ class ServerConfig:
         max_restarts: per-session worker restart budget; exceeding it
             fails the session with a reasoned ``err`` (crash-loop stop).
         restart_backoff: base of the exponential restart backoff.
+        strict_specs: run the static spec-consistency pass
+            (:func:`repro.staticcheck.speccheck.strict_reject_reason`) on
+            every hello's spec and engine selections; an unsatisfiable,
+            trivially-true, or vacuous spec is rejected at the handshake
+            with a reasoned ``reject`` frame instead of burning a worker
+            (docs/SPECCHECK.md).
     """
 
     host: str = "127.0.0.1"
@@ -179,6 +189,7 @@ class ServerConfig:
     #: (see :mod:`repro.engines`); empty keeps the classic single-LTL
     #: pipeline driven by the hello's spec.
     default_engines: tuple[str, ...] = ()
+    strict_specs: bool = False
 
     def __post_init__(self) -> None:
         if self.max_sessions < 1:
@@ -637,6 +648,16 @@ class AnalysisServer:
 
     def _admit(self, conn: socket.socket, hello: Hello,
                peer: str) -> Optional[Session]:
+        if self.config.strict_specs:
+            from ..staticcheck.speccheck import strict_reject_reason
+
+            bad = strict_reject_reason(
+                hello.spec, hello.engines or self.config.default_engines)
+            if bad is not None:
+                if _metrics.ENABLED:
+                    _C_SPEC_REJECTED.inc()
+                self._reject(conn, bad)
+                return None
         session: Optional[Session] = None
         reason: Optional[str] = None
         with self._lock:

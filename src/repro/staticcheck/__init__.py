@@ -12,9 +12,13 @@ Two cooperating passes over program source, run *before* execution:
   transitively-closed set of variables that can influence the
   specification (JMPaX §4.1's "extract the shared variables from the
   spec"), feeding the ``relevant_only=`` instrumentation mode.
+* **Spec consistency checker** (:mod:`.speccheck`) — bounded
+  satisfiability / falsifiability / vacuity analysis of specification
+  formulas and ``pattern:STEPS`` engine selections, with synthesized
+  witness and counter traces (SC3xx codes, ``repro spec check``).
 
-``repro lint`` is the CLI front door; docs/STATIC.md holds the
-diagnostic catalogue.
+``repro lint`` / ``repro spec check`` are the CLI front doors;
+docs/STATIC.md and docs/SPECCHECK.md hold the diagnostic catalogues.
 """
 
 from .diagnostics import (
@@ -41,6 +45,23 @@ from .soundness import (
     lint_paths,
     lint_python_source,
 )
+from .speccheck import (
+    STRICT_REJECT_WARNS,
+    SpecCheckOptions,
+    SpecCheckReport,
+    SpecCheckResult,
+    SpecSource,
+    WitnessTrace,
+    check_formula,
+    check_pattern,
+    check_selection,
+    check_spec_file,
+    check_spec_text,
+    scan_python_specs,
+    strict_reject_reason,
+    validate_selection_syntax,
+    validate_spec_syntax,
+)
 
 __all__ = [
     "CATALOGUE",
@@ -61,4 +82,19 @@ __all__ = [
     "lint_path",
     "lint_paths",
     "lint_python_source",
+    "STRICT_REJECT_WARNS",
+    "SpecCheckOptions",
+    "SpecCheckReport",
+    "SpecCheckResult",
+    "SpecSource",
+    "WitnessTrace",
+    "check_formula",
+    "check_pattern",
+    "check_selection",
+    "check_spec_file",
+    "check_spec_text",
+    "scan_python_specs",
+    "strict_reject_reason",
+    "validate_selection_syntax",
+    "validate_spec_syntax",
 ]

@@ -64,6 +64,7 @@ class DiagnosticSpec:
 #:
 #: SC1xx — Python functions registered with the AST instrumentor.
 #: SC2xx — MiniLang sources.
+#: SC3xx — specification consistency (``repro spec check``, docs/SPECCHECK.md).
 CATALOGUE: dict[str, DiagnosticSpec] = {
     spec.code: spec
     for spec in [
@@ -134,6 +135,51 @@ CATALOGUE: dict[str, DiagnosticSpec] = {
             "SC203", Severity.WARN, "minilang-irrelevant",
             "a shared variable is outside the specification's relevant "
             "slice"),
+        DiagnosticSpec(
+            "SC300", Severity.ERROR, "spec-syntax",
+            "the specification does not parse (or names an unknown "
+            "engine); nothing downstream can run"),
+        DiagnosticSpec(
+            "SC301", Severity.ERROR, "spec-unsat",
+            "the formula is unsatisfiable within the explored value "
+            "domain: every trace violates it at the first state, so "
+            "every monitored session reports a violation immediately"),
+        DiagnosticSpec(
+            "SC302", Severity.WARN, "spec-trivial",
+            "the formula is trivially true: no reachable valuation ever "
+            "produces a False verdict, so monitoring it can never find "
+            "anything"),
+        DiagnosticSpec(
+            "SC303", Severity.WARN, "spec-vacuous",
+            "a subformula never matters: replacing it by either true or "
+            "false leaves the property equivalent on every explored "
+            "trace"),
+        DiagnosticSpec(
+            "SC304", Severity.WARN, "spec-interval-empty",
+            "an interval [p, q) subformula never opens: it is constantly "
+            "false on every explored trace (q subsumes p, or p is "
+            "unreachable)"),
+        DiagnosticSpec(
+            "SC305", Severity.WARN, "spec-constant",
+            "a non-literal subformula is constant on every explored "
+            "trace; the branch it guards is dead"),
+        DiagnosticSpec(
+            "SC306", Severity.WARN, "spec-mixed-fragment",
+            "the formula mixes past- and future-time operators; neither "
+            "the online monitor nor the lasso checker supports the mix, "
+            "so consistency cannot be proven"),
+        DiagnosticSpec(
+            "SC310", Severity.ERROR, "pattern-syntax",
+            "the pattern:STEPS selection does not parse"),
+        DiagnosticSpec(
+            "SC311", Severity.ERROR, "pattern-step-unreachable",
+            "a pattern step can never match any event (thread @T0 — "
+            "threads are 1-based — or a value constraint on a lock "
+            "acquire/release, which carries no value)"),
+        DiagnosticSpec(
+            "SC312", Severity.WARN, "pattern-trivial",
+            "a single-step pattern matches on the first qualifying event; "
+            "no predictive ordering is involved"),
     ]
 }
 

@@ -1,0 +1,1074 @@
+"""Static consistency, vacuity, and witness synthesis for specifications.
+
+``repro spec check`` — the pre-flight pass ROADMAP open item 2 asks for:
+prove, *before* a fleet of sessions monitors a spec, that it is
+
+(a) **satisfiable** within a bounded horizon,
+(b) **falsifiable** (not trivially true), and
+(c) **non-vacuous** — no subformula that never matters,
+
+and ship evidence with every verdict: a concrete witness trace for
+satisfiable specs, a counter-trace for falsifiable ones, both printed in
+the same step/valuation format the predictor's counterexamples use and
+re-checked through :class:`~repro.logic.monitor.Monitor` before being
+reported.
+
+Method (zero dependencies — the tableau/SMT design of the
+Consistency_Check line of work adapted to small-scope enumeration):
+
+* **Value domain.** Per-variable candidate values are derived from the
+  formula's integer constants: ``{c-1, c, c+1}`` for each constant ``c``
+  plus ``{0, 1}``.  Comparisons over integers are order-theoretic, so any
+  satisfiable/falsifiable atom valuation is realized by values adjacent
+  to a constant (documented caveat: non-linear arithmetic like
+  ``x // 3 == 2`` may need ``--values`` to extend the domain).
+* **Representative states.**  The full product of candidate values is
+  deduplicated by *atom signature* (the truth vector of the formula's
+  comparisons): monitor transitions depend only on atom values, so one
+  concrete state per signature suffices — and doubles as the concrete
+  valuation printed in witnesses.
+* **Past fragment** (monitorable online): the synthesized monitor is a
+  finite automaton over ``MonitorState``; exhaustive BFS over
+  (monitor-state × representative-state) transitions decides
+  satisfiability (an all-True path exists), falsifiability (a False
+  verdict is reachable) and per-subformula constancy *exactly* within
+  the explored domain.  Witness = a longest all-True path up to the
+  horizon; counter-trace = a shortest path ending in a False verdict.
+* **Future fragment**: bounded lasso enumeration ``u · vω`` over the
+  representative states, evaluated by
+  :func:`~repro.logic.lasso.evaluate_lasso` (satisfiable) and its
+  negation (falsifiable).
+* **Vacuity** — the standard mutation check: subformula ``g`` never
+  matters iff ``φ[g←true] ≡ φ ≡ φ[g←false]``; equivalence is decided by
+  a product-automaton BFS (past) or over the enumerated lassos (future).
+
+Findings are :class:`~repro.staticcheck.diagnostics.Diagnostic` values in
+the SC3xx range; docs/SPECCHECK.md holds the catalogue and the
+bounded-horizon caveat.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import re
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Sequence, Union
+
+from ..logic.ast import (
+    Always,
+    And,
+    Atom,
+    BinArith,
+    Bool,
+    Compare,
+    Const,
+    End,
+    Eventually,
+    Expr,
+    Formula,
+    Historically,
+    Iff,
+    Implies,
+    Interval,
+    Next,
+    Not,
+    Once,
+    Or,
+    Prev,
+    Since,
+    Start,
+    Until,
+    is_past_time,
+    subformulas,
+    variables_of,
+)
+from ..logic.lasso import evaluate_lasso
+from ..logic.monitor import Monitor
+from ..logic.parser import ParseError, parse
+from .diagnostics import Diagnostic, JSON_SCHEMA_VERSION, Severity
+
+__all__ = [
+    "SpecCheckOptions",
+    "SpecCheckResult",
+    "SpecCheckReport",
+    "SpecSource",
+    "WitnessTrace",
+    "candidate_domain",
+    "representative_states",
+    "check_formula",
+    "check_pattern",
+    "check_selection",
+    "check_spec_text",
+    "check_spec_file",
+    "scan_python_specs",
+    "strict_reject_reason",
+    "validate_spec_syntax",
+    "validate_selection_syntax",
+    "STRICT_REJECT_WARNS",
+]
+
+_PAST_TYPES = (Prev, Once, Historically, Since, Interval, Start, End)
+_FUTURE_TYPES = (Always, Eventually, Until, Next)
+_UNARY_TYPES = (Not, Prev, Once, Historically, Start, End,
+                Always, Eventually, Next)
+_BINARY_TYPES = (And, Or, Implies, Iff, Since, Until)
+
+#: WARN codes that :func:`strict_reject_reason` treats as fatal at the
+#: server handshake: a trivially-true, vacuous, or never-opening spec
+#: burns a worker for nothing even though it "works".
+STRICT_REJECT_WARNS = frozenset({"SC302", "SC303", "SC304"})
+
+#: Engine-selection prefixes recognized by :func:`check_spec_text`.
+_SELECTION_NAMES = ("ltl", "pattern", "atomicity")
+
+
+@dataclass(frozen=True)
+class SpecCheckOptions:
+    """Bounds for the (deliberately bounded) exploration.
+
+    Attributes:
+        horizon: target witness-trace length (steps) for satisfiable specs.
+        max_values: per-variable candidate-domain size cap.
+        max_states: cap on full valuations enumerated while collecting
+            representative states.
+        max_mstates: cap on monitor states visited per BFS.
+        lasso_prefix / lasso_loop: bounds on ``|u|`` / ``|v|`` for the
+            future-fragment lasso search.
+        max_lassos: cap on lassos enumerated for the future fragment.
+        extra_values: extra integers merged into every variable's domain
+            (the ``--values`` escape hatch for non-linear arithmetic).
+    """
+
+    horizon: int = 5
+    max_values: int = 8
+    max_states: int = 4096
+    max_mstates: int = 20000
+    lasso_prefix: int = 2
+    lasso_loop: int = 2
+    max_lassos: int = 4096
+    extra_values: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.horizon < 1:
+            raise ValueError("horizon must be >= 1")
+        if self.lasso_loop < 1:
+            raise ValueError("lasso_loop must be >= 1")
+
+
+@dataclass(frozen=True)
+class SpecSource:
+    """A spec string found in source (by :func:`scan_python_specs`)."""
+
+    file: str
+    line: int
+    col: int
+    text: str
+
+
+@dataclass(frozen=True)
+class WitnessTrace:
+    """A concrete trace of variable valuations, one tuple per step.
+
+    ``loop_start`` is set for lasso witnesses (``u · vω``: the loop begins
+    at that index); ``violation_index`` for counter-traces (the step whose
+    verdict is False).  :meth:`pretty` renders the same arrow-joined
+    valuation tuples as the predictor's counterexamples
+    (:meth:`repro.lattice.full.Run.pretty`).
+    """
+
+    variables: tuple[str, ...]
+    states: tuple[tuple[int, ...], ...]
+    loop_start: Optional[int] = None
+    violation_index: Optional[int] = None
+
+    def as_states(self) -> list[dict[str, int]]:
+        return [dict(zip(self.variables, vals)) for vals in self.states]
+
+    def __len__(self) -> int:
+        return len(self.states)
+
+    def pretty(self) -> str:
+        cells = [str(tuple(vals)) for vals in self.states]
+        if self.loop_start is None:
+            return " --> ".join(cells)
+        prefix = cells[: self.loop_start]
+        loop = cells[self.loop_start:]
+        body = "[ " + " --> ".join(loop) + " ]ω"
+        return " --> ".join(prefix + [body]) if prefix else body
+
+    def to_json(self) -> dict:
+        return {
+            "variables": list(self.variables),
+            "states": [list(vals) for vals in self.states],
+            "loop_start": self.loop_start,
+            "violation_index": self.violation_index,
+        }
+
+
+@dataclass
+class SpecCheckResult:
+    """The verdict for one spec (one formula, pattern, or selection)."""
+
+    spec: str
+    kind: str                       # "ltl" | "ltl-future" | "pattern" | "atomicity"
+    file: str = "<spec>"
+    line: int = 1
+    col: int = 1
+    satisfiable: Optional[bool] = None
+    falsifiable: Optional[bool] = None
+    vacuous: tuple[str, ...] = ()
+    witness: Optional[WitnessTrace] = None
+    counter: Optional[WitnessTrace] = None
+    witness_verified: Optional[bool] = None
+    counter_verified: Optional[bool] = None
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    variables: tuple[str, ...] = ()
+    domain: tuple[int, ...] = ()
+    subformulas_checked: int = 0
+    capped: bool = False
+    notes: tuple[str, ...] = ()
+    elapsed_ms: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not any(d.severity is Severity.ERROR for d in self.diagnostics)
+
+    @property
+    def span(self) -> str:
+        return f"{self.file}:{self.line}:{self.col}"
+
+    def codes(self) -> frozenset[str]:
+        return frozenset(d.code for d in self.diagnostics)
+
+    def to_json(self) -> dict:
+        return {
+            "spec": self.spec,
+            "kind": self.kind,
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+            "satisfiable": self.satisfiable,
+            "falsifiable": self.falsifiable,
+            "vacuous": list(self.vacuous),
+            "witness": self.witness.to_json() if self.witness else None,
+            "counter": self.counter.to_json() if self.counter else None,
+            "witness_verified": self.witness_verified,
+            "counter_verified": self.counter_verified,
+            "variables": list(self.variables),
+            "domain": list(self.domain),
+            "subformulas_checked": self.subformulas_checked,
+            "capped": self.capped,
+            "notes": list(self.notes),
+            "elapsed_ms": round(self.elapsed_ms, 3),
+            "ok": self.ok,
+            "diagnostics": [d.to_json() for d in self.diagnostics],
+        }
+
+    def pretty(self) -> str:
+        def yn(v: Optional[bool]) -> str:
+            return "-" if v is None else ("yes" if v else "NO")
+
+        lines = [f"{self.span}: {self.kind} spec {self.spec!r}"]
+        if self.kind in ("ltl", "ltl-future"):
+            sat = f"  satisfiable: {yn(self.satisfiable)}"
+            if self.witness is not None:
+                sat += f" — witness length {len(self.witness)}"
+            lines.append(sat)
+            fal = f"  falsifiable: {yn(self.falsifiable)}"
+            if self.counter is not None:
+                fal += (f" — counter-trace length {len(self.counter)} "
+                        f"(violates at step "
+                        f"{(self.counter.violation_index or 0) + 1})")
+            lines.append(fal)
+            if self.subformulas_checked:
+                vac = (f"  vacuity: {self.subformulas_checked} "
+                       f"subformula(s) checked"
+                       + (", none vacuous" if not self.vacuous
+                          else f", vacuous: {', '.join(self.vacuous)}"))
+                lines.append(vac)
+            if self.witness is not None:
+                lines.append(f"  variables: ({', '.join(self.variables)})")
+                lines.append(f"  witness:   {self.witness.pretty()}")
+            if self.counter is not None:
+                lines.append(f"  counter:   {self.counter.pretty()}")
+        for n in self.notes:
+            lines.append(f"  note: {n}")
+        for d in self.diagnostics:
+            lines.append("  " + d.pretty())
+        return "\n".join(lines)
+
+
+@dataclass
+class SpecCheckReport:
+    """Aggregated results; same exit-code/JSON contract as ``repro lint``."""
+
+    results: list[SpecCheckResult] = field(default_factory=list)
+
+    def add(self, result: SpecCheckResult) -> None:
+        self.results.append(result)
+
+    @property
+    def diagnostics(self) -> list[Diagnostic]:
+        return [d for r in self.results for d in r.diagnostics]
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is Severity.WARN]
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def codes(self) -> frozenset[str]:
+        return frozenset(d.code for d in self.diagnostics)
+
+    def to_json(self) -> dict:
+        return {
+            "version": JSON_SCHEMA_VERSION,
+            "tool": "repro.staticcheck.speccheck",
+            "summary": {
+                "specs": len(self.results),
+                "errors": len(self.errors),
+                "warnings": len(self.warnings),
+                "ok": self.ok,
+            },
+            "specs": [r.to_json() for r in self.results],
+            "diagnostics": [
+                d.to_json()
+                for d in sorted(self.diagnostics,
+                                key=lambda d: (d.file, d.line, d.col, d.code))
+            ],
+        }
+
+    def pretty(self) -> str:
+        lines = [r.pretty() for r in self.results]
+        lines.append(
+            f"{len(self.results)} spec(s): {len(self.errors)} error(s), "
+            f"{len(self.warnings)} warning(s)")
+        return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Domain derivation and representative states
+# ---------------------------------------------------------------------------
+
+
+def _expr_constants(e: Expr) -> set[int]:
+    if isinstance(e, Const):
+        return {e.value} if isinstance(e.value, int) else set()
+    if isinstance(e, BinArith):
+        return _expr_constants(e.left) | _expr_constants(e.right)
+    return set()
+
+
+def candidate_domain(formula: Formula,
+                     options: Optional[SpecCheckOptions] = None) -> tuple[int, ...]:
+    """Candidate values shared by every variable: constants ± 1 plus {0, 1}."""
+    opts = options or SpecCheckOptions()
+    consts: set[int] = set()
+    for g in subformulas(formula):
+        if isinstance(g, Compare):
+            consts |= _expr_constants(g.left) | _expr_constants(g.right)
+    values = {0, 1} | set(opts.extra_values)
+    for c in consts:
+        values |= {c - 1, c, c + 1}
+    ordered = sorted(values)
+    if len(ordered) > opts.max_values:
+        # keep the constants themselves first, then 0/1, then neighbours
+        keep = sorted(consts | {0, 1} | set(opts.extra_values))[: opts.max_values]
+        rest = [v for v in ordered if v not in set(keep)]
+        ordered = sorted(set(keep) | set(rest[: opts.max_values - len(keep)]))
+    return tuple(ordered)
+
+
+def representative_states(
+    formula: Formula,
+    options: Optional[SpecCheckOptions] = None,
+) -> tuple[list[dict[str, int]], bool]:
+    """One concrete valuation per reachable atom signature.
+
+    Returns ``(states, capped)`` — ``capped`` is True when the product
+    enumeration hit :attr:`SpecCheckOptions.max_states` before finishing
+    (verdicts are then relative to the explored subset).
+    """
+    opts = options or SpecCheckOptions()
+    variables = sorted(variables_of(formula))
+    atoms = [g for g in _dedup_nodes(formula) if isinstance(g, Compare)]
+    domain = candidate_domain(formula, opts)
+    reps: dict[tuple[bool, ...], dict[str, int]] = {}
+    capped = False
+    for n, combo in enumerate(itertools.product(domain, repeat=len(variables))):
+        if n >= opts.max_states:
+            capped = True
+            break
+        state = dict(zip(variables, combo))
+        sig = tuple(a.test(state) for a in atoms)
+        if sig not in reps:
+            reps[sig] = state
+    return list(reps.values()), capped
+
+
+def _dedup_nodes(formula: Formula) -> list[Formula]:
+    """Post-order subformulas, deduplicated by identity (Monitor's order)."""
+    out: list[Formula] = []
+    seen: set[int] = set()
+    for n in subformulas(formula):
+        if id(n) not in seen:
+            seen.add(id(n))
+            out.append(n)
+    return out
+
+
+def _replace(node: Formula, target: Formula, repl: Formula) -> Formula:
+    """Rebuild ``node`` with the (identity-matched) ``target`` replaced."""
+    if node is target:
+        return repl
+    if isinstance(node, _UNARY_TYPES):
+        return type(node)(_replace(node.operand, target, repl))
+    if isinstance(node, _BINARY_TYPES):
+        return type(node)(_replace(node.left, target, repl),
+                          _replace(node.right, target, repl))
+    if isinstance(node, Interval):
+        return Interval(_replace(node.start, target, repl),
+                        _replace(node.stop, target, repl))
+    return node  # Bool / Compare / Atom leaves
+
+
+# ---------------------------------------------------------------------------
+# Past fragment: monitor-automaton reachability
+# ---------------------------------------------------------------------------
+
+
+def _explore_past(monitor: Monitor, states: Sequence[Mapping[str, int]],
+                  opts: SpecCheckOptions):
+    """Exhaustive BFS over the monitor automaton.
+
+    Returns ``(visited, first_false, capped)`` where ``visited`` maps each
+    reachable monitor state to ``(parent_mstate, state_index)`` (parent is
+    ``None`` for step-1 states) and ``first_false`` is the first reached
+    monitor state whose root verdict is False (BFS order ⇒ shortest).
+    """
+    visited: dict = {}
+    queue: deque = deque()
+    first_false = None
+    capped = False
+    frontier = [(None, i) for i in range(len(states))]
+    for parent, i in frontier:
+        m, _ok = monitor.step(parent, states[i])
+        if m not in visited:
+            visited[m] = (parent, i)
+            queue.append(m)
+            if first_false is None and not m[monitor._root]:
+                first_false = m
+    while queue:
+        if len(visited) >= opts.max_mstates:
+            capped = True
+            break
+        m = queue.popleft()
+        for i, s in enumerate(states):
+            m2, _ok = monitor.step(m, s)
+            if m2 not in visited:
+                visited[m2] = (m, i)
+                queue.append(m2)
+                if first_false is None and not m2[monitor._root]:
+                    first_false = m2
+    return visited, first_false, capped
+
+
+def _path_to(visited: dict, mstate) -> list[int]:
+    """State-index path from the initial state to ``mstate`` (via parents)."""
+    path: list[int] = []
+    m = mstate
+    while m is not None:
+        parent, i = visited[m]
+        path.append(i)
+        m = parent
+    path.reverse()
+    return path
+
+
+def _longest_true_path(monitor: Monitor, states: Sequence[Mapping[str, int]],
+                       horizon: int) -> list[int]:
+    """Longest all-True-verdict path (≤ horizon), by memoized DFS."""
+    memo: dict = {}
+
+    def dfs(m, remaining: int) -> list[int]:
+        if remaining == 0:
+            return []
+        key = (m, remaining)
+        if key in memo:
+            return memo[key]
+        memo[key] = []          # cycle guard while computing
+        best: list[int] = []
+        for i, s in enumerate(states):
+            m2, ok = monitor.step(m, s)
+            if not ok:
+                continue
+            sub = dfs(m2, remaining - 1)
+            if len(sub) + 1 > len(best):
+                best = [i] + sub
+                if len(best) == remaining:
+                    break
+        memo[key] = best
+        return best
+
+    return dfs(None, horizon)
+
+
+def _equivalent_past(f1: Formula, f2: Formula,
+                     states: Sequence[Mapping[str, int]],
+                     opts: SpecCheckOptions) -> bool:
+    """Product-automaton equivalence: same verdict on every explored trace."""
+    m1, m2 = Monitor(f1), Monitor(f2)
+    visited: set = {(None, None)}
+    queue: deque = deque([(None, None)])
+    while queue:
+        a, b = queue.popleft()
+        for s in states:
+            a2, ok1 = m1.step(a, s)
+            b2, ok2 = m2.step(b, s)
+            if ok1 != ok2:
+                return False
+            if (a2, b2) not in visited:
+                if len(visited) >= opts.max_mstates:
+                    return True        # bounded: no difference found
+                visited.add((a2, b2))
+                queue.append((a2, b2))
+    return True
+
+
+def _trace_from_indices(variables: Sequence[str],
+                        states: Sequence[Mapping[str, int]],
+                        indices: Sequence[int], **kw) -> WitnessTrace:
+    return WitnessTrace(
+        variables=tuple(variables),
+        states=tuple(tuple(states[i][v] for v in variables) for i in indices),
+        **kw)
+
+
+# ---------------------------------------------------------------------------
+# Future fragment: bounded lasso enumeration
+# ---------------------------------------------------------------------------
+
+
+def _enumerate_lassos(n_states: int, opts: SpecCheckOptions):
+    """Yield ``(u_indices, v_indices)`` shapes in size order, capped."""
+    budget = opts.max_lassos
+    for total in range(1, opts.lasso_prefix + opts.lasso_loop + 1):
+        for lv in range(1, min(opts.lasso_loop, total) + 1):
+            lu = total - lv
+            if lu > opts.lasso_prefix:
+                continue
+            for combo in itertools.product(range(n_states), repeat=total):
+                if budget <= 0:
+                    return
+                budget -= 1
+                yield combo[:lu], combo[lu:]
+
+
+def _check_future(formula: Formula, result: SpecCheckResult,
+                  states: Sequence[Mapping[str, int]],
+                  opts: SpecCheckOptions) -> None:
+    variables = tuple(sorted(variables_of(formula)))
+    negated = Not(formula)
+    witness = counter = None
+    exhausted = True
+    count = 0
+    for u_idx, v_idx in _enumerate_lassos(len(states), opts):
+        count += 1
+        u = [states[i] for i in u_idx]
+        v = [states[i] for i in v_idx]
+        if witness is None and evaluate_lasso(formula, u, v):
+            witness = _trace_from_indices(
+                variables, states, list(u_idx) + list(v_idx),
+                loop_start=len(u_idx))
+        if counter is None and evaluate_lasso(negated, u, v):
+            counter = _trace_from_indices(
+                variables, states, list(u_idx) + list(v_idx),
+                loop_start=len(u_idx))
+        if witness is not None and counter is not None:
+            break
+    else:
+        exhausted = count < opts.max_lassos
+    result.satisfiable = witness is not None
+    result.falsifiable = counter is not None
+    result.witness = witness
+    result.counter = counter
+    if witness is not None:
+        result.witness_verified = evaluate_lasso(
+            formula, witness.as_states()[: witness.loop_start],
+            witness.as_states()[witness.loop_start:])
+    if counter is not None:
+        result.counter_verified = evaluate_lasso(
+            negated, counter.as_states()[: counter.loop_start],
+            counter.as_states()[counter.loop_start:])
+    if not exhausted:
+        result.capped = True
+        result.notes += (
+            f"lasso search capped at {opts.max_lassos} candidates; "
+            "unsat/trivial verdicts suppressed",)
+    if witness is None and exhausted:
+        result.diagnostics.append(_diag(
+            "SC301", result,
+            f"no lasso u·vω with |u| <= {opts.lasso_prefix}, "
+            f"|v| <= {opts.lasso_loop} over domain {result.domain} "
+            f"satisfies the formula"))
+    if counter is None and exhausted and witness is not None:
+        result.diagnostics.append(_diag(
+            "SC302", result,
+            f"every lasso within bounds satisfies the formula; "
+            f"monitoring it can never report a violation"))
+    # vacuity over a smaller lasso sample (bounded equivalence)
+    sample: list[tuple] = []
+    for u_idx, v_idx in _enumerate_lassos(len(states), opts):
+        sample.append(([states[i] for i in u_idx],
+                       [states[i] for i in v_idx]))
+        if len(sample) >= 256:
+            break
+    candidates = [g for g in _dedup_nodes(formula)
+                  if g is not formula and not isinstance(g, Bool)]
+    result.subformulas_checked = len(candidates)
+    for g in candidates:
+        top = _replace(formula, g, Bool(True))
+        bot = _replace(formula, g, Bool(False))
+        if (all(evaluate_lasso(top, u, v) == evaluate_lasso(formula, u, v)
+                for u, v in sample)
+                and all(evaluate_lasso(bot, u, v)
+                        == evaluate_lasso(formula, u, v)
+                        for u, v in sample)):
+            result.vacuous += (str(g),)
+            result.diagnostics.append(_diag(
+                "SC303", result,
+                f"subformula {g} never matters: replacing it by true or "
+                f"false leaves the property equivalent on every "
+                f"enumerated lasso"))
+
+
+# ---------------------------------------------------------------------------
+# The checkers
+# ---------------------------------------------------------------------------
+
+
+def _diag(code: str, result: SpecCheckResult, message: str) -> Diagnostic:
+    return Diagnostic(code, message, result.file, result.line, result.col,
+                      symbol=result.spec if len(result.spec) < 60 else None)
+
+
+def check_formula(
+    formula: Union[Formula, str],
+    *,
+    file: str = "<spec>",
+    line: int = 1,
+    col: int = 1,
+    options: Optional[SpecCheckOptions] = None,
+    spec_text: Optional[str] = None,
+) -> SpecCheckResult:
+    """Run the full consistency/vacuity analysis on one LTL formula."""
+    opts = options or SpecCheckOptions()
+    started = time.perf_counter()
+    text = spec_text if spec_text is not None else (
+        formula if isinstance(formula, str) else str(formula))
+    result = SpecCheckResult(spec=text, kind="ltl",
+                             file=file, line=line, col=col)
+    if isinstance(formula, str):
+        try:
+            formula = parse(formula,
+                            filename=None if file == "<spec>" else file)
+        except ParseError as exc:
+            result.line = line + exc.line - 1
+            result.col = exc.col if exc.line > 1 else col + exc.col - 1
+            result.diagnostics.append(_diag(
+                "SC300", result, f"specification does not parse: "
+                f"{exc.problem}"))
+            result.elapsed_ms = (time.perf_counter() - started) * 1000
+            return result
+
+    nodes = _dedup_nodes(formula)
+    if any(isinstance(g, Atom) for g in nodes):
+        result.notes += ("formula contains an opaque Atom predicate; "
+                         "consistency is not statically checkable",)
+        result.elapsed_ms = (time.perf_counter() - started) * 1000
+        return result
+    has_past = any(isinstance(g, _PAST_TYPES) for g in nodes)
+    has_future = any(isinstance(g, _FUTURE_TYPES) for g in nodes)
+    if has_past and has_future:
+        result.kind = "ltl-mixed"
+        result.diagnostics.append(_diag(
+            "SC306", result,
+            "formula mixes past- and future-time operators; neither the "
+            "online monitor nor the lasso checker supports the mix"))
+        result.elapsed_ms = (time.perf_counter() - started) * 1000
+        return result
+
+    states, capped = representative_states(formula, opts)
+    result.variables = tuple(sorted(variables_of(formula)))
+    result.domain = candidate_domain(formula, opts)
+    result.capped = capped
+    if capped:
+        result.notes += (
+            f"state enumeration capped at {opts.max_states} valuations; "
+            "verdicts are relative to the explored subset",)
+
+    if has_future:
+        result.kind = "ltl-future"
+        _check_future(formula, result, states, opts)
+        result.elapsed_ms = (time.perf_counter() - started) * 1000
+        return result
+
+    monitor = Monitor(formula)
+    visited, first_false, bfs_capped = _explore_past(monitor, states, opts)
+    result.capped = result.capped or bfs_capped
+
+    # (a) satisfiability + witness: a longest all-True path up to horizon
+    witness_idx = _longest_true_path(monitor, states, opts.horizon)
+    result.satisfiable = bool(witness_idx)
+    if witness_idx:
+        result.witness = _trace_from_indices(result.variables, states,
+                                             witness_idx)
+        ok, _k = monitor.check_trace(result.witness.as_states())
+        result.witness_verified = ok
+    elif not result.capped:
+        result.diagnostics.append(_diag(
+            "SC301", result,
+            f"no valuation over domain {result.domain} satisfies the "
+            f"formula at the first state: every monitored trace violates "
+            f"it immediately"))
+
+    # (b) falsifiability + counter-trace (shortest path to a False verdict)
+    result.falsifiable = first_false is not None
+    if first_false is not None:
+        cex_idx = _path_to(visited, first_false)
+        result.counter = _trace_from_indices(
+            result.variables, states, cex_idx,
+            violation_index=len(cex_idx) - 1)
+        ok, k = monitor.check_trace(result.counter.as_states())
+        result.counter_verified = (not ok) and k == len(cex_idx) - 1
+    elif not result.capped and result.satisfiable:
+        result.diagnostics.append(_diag(
+            "SC302", result,
+            f"no reachable valuation over domain {result.domain} ever "
+            f"produces a False verdict: the property is trivially true"))
+
+    # (c) constancy: per-subformula observed values across all reachable
+    # monitor states (SC304 for intervals, SC305 otherwise)
+    observed: list[set[bool]] = [set() for _ in range(monitor.width)]
+    for m in visited:
+        for i, v in enumerate(m):
+            observed[i].add(v)
+    for i, node in enumerate(monitor._nodes):
+        if node is formula or isinstance(node, Bool):
+            continue
+        if len(observed[i]) == 1 and not result.capped:
+            value = next(iter(observed[i]))
+            if isinstance(node, Interval):
+                result.diagnostics.append(_diag(
+                    "SC304", result,
+                    f"interval {node} never opens: it is constantly "
+                    f"false on every explored trace"))
+            else:
+                result.diagnostics.append(_diag(
+                    "SC305", result,
+                    f"subformula {node} is constantly "
+                    f"{'true' if value else 'false'} on every explored "
+                    f"trace; the branch it guards is dead"))
+
+    # (c') vacuity: the mutation check, per proper non-literal subformula
+    candidates = [g for g in nodes
+                  if g is not formula and not isinstance(g, Bool)]
+    result.subformulas_checked = len(candidates)
+    for g in candidates:
+        top = _replace(formula, g, Bool(True))
+        bot = _replace(formula, g, Bool(False))
+        if (_equivalent_past(formula, top, states, opts)
+                and _equivalent_past(formula, bot, states, opts)):
+            result.vacuous += (str(g),)
+            result.diagnostics.append(_diag(
+                "SC303", result,
+                f"subformula {g} never matters: replacing it by true or "
+                f"false leaves the property equivalent on every explored "
+                f"trace"))
+    result.elapsed_ms = (time.perf_counter() - started) * 1000
+    return result
+
+
+def check_pattern(
+    steps_text: str,
+    *,
+    file: str = "<spec>",
+    line: int = 1,
+    col: int = 1,
+) -> SpecCheckResult:
+    """Static checks for a ``pattern:STEPS`` engine spec."""
+    from ..core.events import EventKind
+    from ..engines.base import EngineError
+    from ..engines.pattern import parse_pattern
+
+    started = time.perf_counter()
+    result = SpecCheckResult(spec=f"pattern:{steps_text}", kind="pattern",
+                             file=file, line=line, col=col)
+    try:
+        steps = parse_pattern(steps_text)
+    except EngineError as exc:
+        result.diagnostics.append(_diag("SC310", result, str(exc)))
+        result.elapsed_ms = (time.perf_counter() - started) * 1000
+        return result
+
+    lock_kinds = {EventKind.ACQUIRE, EventKind.RELEASE}
+    for idx, step in enumerate(steps, start=1):
+        if step.thread is not None and step.thread < 0:
+            result.diagnostics.append(_diag(
+                "SC311", result,
+                f"step {idx} ({step.text!r}) can never match: threads "
+                f"are 1-based, @T0 names no thread"))
+        if (step.value is not None and set(step.kinds) <= lock_kinds
+                and step.value != "None"):
+            result.diagnostics.append(_diag(
+                "SC311", result,
+                f"step {idx} ({step.text!r}) can never match: lock "
+                f"acquire/release events carry no value"))
+    if len(steps) == 1 and not result.diagnostics:
+        result.diagnostics.append(_diag(
+            "SC312", result,
+            "single-step pattern: it matches on the first qualifying "
+            "event, no predictive ordering is involved"))
+    result.satisfiable = result.ok
+    result.falsifiable = True      # a stream with no matching events is clean
+    if result.ok:
+        chain = " ; ".join(s.text for s in steps)
+        result.notes += (
+            f"realizable witness: any single-thread schedule emitting "
+            f"{chain} in program order",)
+    result.elapsed_ms = (time.perf_counter() - started) * 1000
+    return result
+
+
+def check_selection(
+    selection: str,
+    *,
+    default_spec: Optional[str] = None,
+    file: str = "<spec>",
+    line: int = 1,
+    col: int = 1,
+    options: Optional[SpecCheckOptions] = None,
+) -> SpecCheckResult:
+    """Check one ``--engine`` selection string (``ltl[:F]`` etc.)."""
+    from ..engines.base import ENGINE_FACTORIES, EngineError, parse_engine_spec
+    from ..engines import atomicity, ltl, pattern  # noqa: F401 (register)
+
+    result = SpecCheckResult(spec=selection, kind="ltl",
+                             file=file, line=line, col=col)
+    try:
+        name, arg = parse_engine_spec(selection)
+    except EngineError as exc:
+        result.diagnostics.append(_diag("SC300", result, str(exc)))
+        return result
+    if name == "ltl":
+        formula = arg if arg is not None else default_spec
+        if formula is None:
+            result.diagnostics.append(_diag(
+                "SC300", result,
+                "ltl selection names no formula and no session spec is "
+                "available to default to"))
+            return result
+        inner = check_formula(formula, file=file, line=line, col=col,
+                              options=options, spec_text=selection)
+        return inner
+    if name == "pattern":
+        if arg is None:
+            result.kind = "pattern"
+            result.diagnostics.append(_diag(
+                "SC310", result, "pattern selection names no steps"))
+            return result
+        return check_pattern(arg, file=file, line=line, col=col)
+    if name in ENGINE_FACTORIES:
+        result.kind = name
+        result.notes += (f"engine {name!r} carries no specification; "
+                         "nothing to check",)
+        return result
+    result.diagnostics.append(_diag(
+        "SC300", result,
+        f"unknown engine {name!r} (available: "
+        f"{', '.join(sorted(ENGINE_FACTORIES))})"))
+    return result
+
+
+def check_spec_text(
+    text: str,
+    *,
+    default_spec: Optional[str] = None,
+    file: str = "<spec>",
+    line: int = 1,
+    col: int = 1,
+    options: Optional[SpecCheckOptions] = None,
+) -> SpecCheckResult:
+    """Dispatch: an engine-selection string or a bare LTL formula."""
+    head = text.split(":", 1)[0].strip().lower()
+    if head in _SELECTION_NAMES:
+        return check_selection(text, default_spec=default_spec, file=file,
+                               line=line, col=col, options=options)
+    return check_formula(text, file=file, line=line, col=col,
+                         options=options)
+
+
+def check_spec_file(
+    path: str,
+    *,
+    options: Optional[SpecCheckOptions] = None,
+) -> list[SpecCheckResult]:
+    """Check every spec in a file: one selection or formula per line,
+    ``#`` comments and blank lines ignored."""
+    results: list[SpecCheckResult] = []
+    with open(path, encoding="utf-8") as fh:
+        for i, raw in enumerate(fh, start=1):
+            text = raw.strip()
+            if not text or text.startswith("#"):
+                continue
+            results.append(check_spec_text(text, file=path, line=i,
+                                           options=options))
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Scanning Python sources for spec literals
+# ---------------------------------------------------------------------------
+
+_SPEC_NAME_RE = re.compile(r"(_PROPERTY|_SPEC)$|^(spec|SPEC)$")
+
+
+def scan_python_specs(paths: Iterable[str]) -> list[SpecSource]:
+    """Find spec string literals in Python sources.
+
+    Picks up assignments to names matching ``*_PROPERTY`` / ``*_SPEC`` /
+    ``spec``, ``spec="..."`` keyword arguments, and string elements of
+    ``engines=[...]`` keyword lists — each with its real ``file:line:col``.
+    """
+    import ast as _pyast
+
+    found: list[SpecSource] = []
+    seen: set[tuple[str, int, int]] = set()
+
+    def emit(fname: str, node, text: str) -> None:
+        key = (fname, node.lineno, node.col_offset + 1)
+        if key not in seen and isinstance(text, str) and text.strip():
+            seen.add(key)
+            found.append(SpecSource(fname, node.lineno,
+                                    node.col_offset + 1, text))
+
+    def walk_file(fname: str) -> None:
+        try:
+            with open(fname, encoding="utf-8") as fh:
+                tree = _pyast.parse(fh.read(), filename=fname)
+        except (OSError, SyntaxError):
+            return
+        for node in _pyast.walk(tree):
+            targets = []
+            if isinstance(node, _pyast.Assign):
+                targets = node.targets
+            elif isinstance(node, _pyast.AnnAssign) and node.value is not None:
+                targets = [node.target]
+            for t in targets:
+                if (isinstance(t, _pyast.Name)
+                        and _SPEC_NAME_RE.search(t.id)
+                        and isinstance(node.value, _pyast.Constant)
+                        and isinstance(node.value.value, str)):
+                    emit(fname, node.value, node.value.value)
+            if isinstance(node, _pyast.Call):
+                for kw in node.keywords:
+                    if (kw.arg == "spec"
+                            and isinstance(kw.value, _pyast.Constant)
+                            and isinstance(kw.value.value, str)):
+                        emit(fname, kw.value, kw.value.value)
+                    if (kw.arg == "engines"
+                            and isinstance(kw.value, (_pyast.List,
+                                                      _pyast.Tuple))):
+                        for el in kw.value.elts:
+                            if (isinstance(el, _pyast.Constant)
+                                    and isinstance(el.value, str)):
+                                emit(fname, el, el.value)
+
+    for path in paths:
+        if os.path.isdir(path):
+            for root, _dirs, files in os.walk(path):
+                for f in sorted(files):
+                    if f.endswith(".py"):
+                        walk_file(os.path.join(root, f))
+        elif path.endswith(".py"):
+            walk_file(path)
+    found.sort(key=lambda s: (s.file, s.line, s.col))
+    return found
+
+
+# ---------------------------------------------------------------------------
+# CLI / server validation entry points
+# ---------------------------------------------------------------------------
+
+
+def validate_spec_syntax(spec: str) -> Optional[str]:
+    """Parse-only validation; returns a span'd error message or None."""
+    try:
+        parse(spec)
+    except ParseError as exc:
+        return f"{exc.span}: {exc}"
+    return None
+
+
+def validate_selection_syntax(selection: str,
+                              default_spec: Optional[str] = None,
+                              ) -> Optional[str]:
+    """Parse-only validation of an ``--engine`` selection string."""
+    from ..engines.base import ENGINE_FACTORIES, EngineError, parse_engine_spec
+    from ..engines import atomicity, ltl, pattern  # noqa: F401 (register)
+
+    try:
+        name, arg = parse_engine_spec(selection)
+    except EngineError as exc:
+        return str(exc)
+    if name not in ENGINE_FACTORIES:
+        return (f"unknown engine {name!r} (available: "
+                f"{', '.join(sorted(ENGINE_FACTORIES))})")
+    if name == "ltl" and arg is not None:
+        err = validate_spec_syntax(arg)
+        if err:
+            return err
+    if name == "pattern":
+        from ..engines.pattern import parse_pattern
+        if arg is None:
+            return "pattern selection names no steps"
+        try:
+            parse_pattern(arg)
+        except EngineError as exc:
+            return str(exc)
+    return None
+
+
+def strict_reject_reason(
+    spec: Optional[str],
+    engines: Sequence[str] = (),
+    options: Optional[SpecCheckOptions] = None,
+) -> Optional[str]:
+    """The ``serve --strict-specs`` handshake gate.
+
+    Returns a human-readable rejection reason when the session's spec (or
+    any of its engine selections) carries an ERROR-level finding or one of
+    :data:`STRICT_REJECT_WARNS`; None admits the session.
+    """
+    results: list[SpecCheckResult] = []
+    if engines:
+        for sel in engines:
+            results.append(check_selection(sel, default_spec=spec,
+                                           options=options))
+    elif spec:
+        results.append(check_formula(spec, options=options))
+    for r in results:
+        for d in r.diagnostics:
+            if d.severity is Severity.ERROR or d.code in STRICT_REJECT_WARNS:
+                return (f"spec rejected by strict-specs: {d.code} "
+                        f"({d.title}) {d.message}")
+    return None

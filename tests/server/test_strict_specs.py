@@ -1,0 +1,77 @@
+"""``serve --strict-specs``: inconsistent specs die at the handshake."""
+
+import pytest
+
+from repro.server import AnalysisServer, ServerConfig, ServerRejected, attach
+from repro.workloads import XYZ_PROPERTY, XYZ_VARS
+
+UNSAT = "x == 0 and x == 1"
+TRIVIAL = "x == 0 or x != 0"
+
+
+@pytest.fixture
+def xyz_initial(xyz_execution):
+    return {v: xyz_execution.initial_store[v] for v in XYZ_VARS}
+
+
+def _stream(server, execution, initial, spec, **kw):
+    session = attach(server.host, server.port,
+                     n_threads=execution.n_threads, initial=initial,
+                     spec=spec, **kw)
+    for m in execution.messages:
+        session.send(m)
+    return session.close()
+
+
+class TestStrictSpecs:
+    def test_unsat_spec_rejected_at_handshake(self, xyz_execution,
+                                              xyz_initial):
+        cfg = ServerConfig(port=0, workers=1, strict_specs=True)
+        with AnalysisServer(cfg) as srv:
+            with pytest.raises(ServerRejected) as exc:
+                attach(srv.host, srv.port,
+                       n_threads=xyz_execution.n_threads,
+                       initial=xyz_initial, spec=UNSAT)
+            assert "strict-specs" in str(exc.value)
+            assert "SC301" in str(exc.value)
+
+    def test_trivial_spec_rejected(self, xyz_execution, xyz_initial):
+        cfg = ServerConfig(port=0, workers=1, strict_specs=True)
+        with AnalysisServer(cfg) as srv:
+            with pytest.raises(ServerRejected) as exc:
+                attach(srv.host, srv.port,
+                       n_threads=xyz_execution.n_threads,
+                       initial=xyz_initial, spec=TRIVIAL)
+            assert "SC302" in str(exc.value)
+
+    def test_bad_engine_selection_rejected(self, xyz_execution, xyz_initial):
+        cfg = ServerConfig(port=0, workers=1, strict_specs=True)
+        with AnalysisServer(cfg) as srv:
+            with pytest.raises(ServerRejected) as exc:
+                attach(srv.host, srv.port,
+                       n_threads=xyz_execution.n_threads,
+                       initial=xyz_initial, spec=XYZ_PROPERTY,
+                       engines=["ltl:" + UNSAT])
+            assert "SC301" in str(exc.value)
+
+    def test_clean_spec_admitted_and_analyzed(self, xyz_execution,
+                                              xyz_initial):
+        cfg = ServerConfig(port=0, workers=1, strict_specs=True)
+        with AnalysisServer(cfg) as srv:
+            verdict = _stream(srv, xyz_execution, xyz_initial, XYZ_PROPERTY)
+        assert verdict.state == "finished"
+        assert verdict.violations == 1
+
+    def test_rejection_counts_in_status(self, xyz_execution, xyz_initial):
+        cfg = ServerConfig(port=0, workers=1, strict_specs=True)
+        with AnalysisServer(cfg) as srv:
+            with pytest.raises(ServerRejected):
+                attach(srv.host, srv.port,
+                       n_threads=xyz_execution.n_threads,
+                       initial=xyz_initial, spec=UNSAT)
+            assert srv.status()["server"]["rejected"] == 1
+
+    def test_default_off_admits_unsat_spec(self, xyz_execution, xyz_initial):
+        with AnalysisServer(ServerConfig(port=0, workers=1)) as srv:
+            verdict = _stream(srv, xyz_execution, xyz_initial, UNSAT)
+        assert verdict.state == "finished"   # burns the worker, as before

@@ -292,8 +292,9 @@ class TestDiagnosticModel:
             Diagnostic(code="SC999", message="m", file="f", line=1)
 
     def test_catalogue_codes_are_namespaced(self):
+        # SC1xx python escapes, SC2xx MiniLang, SC3xx spec consistency
         for code in CATALOGUE:
-            assert code.startswith("SC1") or code.startswith("SC2")
+            assert code.startswith(("SC1", "SC2", "SC3"))
 
     def test_pretty_contains_span_and_code(self):
         d = Diagnostic(code="SC101", message="boom", file="a.py", line=4,

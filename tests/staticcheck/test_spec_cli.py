@@ -1,0 +1,165 @@
+"""CLI contract for ``repro spec check`` and the up-front --spec/--engine
+validation on the other commands (exit 1 with a parse span, no traceback)."""
+
+import json
+from pathlib import Path
+
+from repro.cli import main
+
+CORPUS = Path(__file__).parent / "spec_corpus"
+
+
+def run_cli(*argv):
+    lines: list[str] = []
+    code = main(list(argv), out=lines.append)
+    return code, "\n".join(lines)
+
+
+class TestSpecCheck:
+    def test_clean_spec_exits_zero(self):
+        code, out = run_cli(
+            "spec", "check",
+            "start(landing == 1) -> [approved == 1, radio == 0)")
+        assert code == 0
+        assert "satisfiable: yes" in out
+        assert "witness:" in out and "-->" in out
+
+    def test_unsat_spec_exits_one(self):
+        code, out = run_cli("spec", "check", "ltl:x == 0 and x == 1")
+        assert code == 1
+        assert "SC301" in out
+
+    def test_warn_only_exits_zero_without_flag(self):
+        code, out = run_cli("spec", "check", "x == 0 or x != 0")
+        assert code == 0
+        assert "SC302" in out
+
+    def test_fail_on_warn(self):
+        code, _ = run_cli("spec", "check", "x == 0 or x != 0",
+                          "--fail-on-warn")
+        assert code == 1
+
+    def test_demos_all_clean(self):
+        code, out = run_cli("spec", "check", "--demos")
+        assert code == 0
+        assert "0 error(s), 0 warning(s)" in out
+
+    def test_corpus_directory(self):
+        code, out = run_cli("spec", "check", str(CORPUS))
+        assert code == 1
+        for c in ("SC300", "SC301", "SC302", "SC303", "SC304", "SC305",
+                  "SC306", "SC310", "SC311", "SC312"):
+            assert c in out, f"missing {c}"
+
+    def test_json_document(self):
+        code, out = run_cli("spec", "check", "ltl:x == 0 and x == 1",
+                            "--json")
+        assert code == 1
+        doc = json.loads(out)
+        assert doc["tool"] == "repro.staticcheck.speccheck"
+        assert doc["summary"]["errors"] == 1
+        assert doc["diagnostics"][0]["code"] == "SC301"
+
+    def test_json_out_writes_file(self, tmp_path):
+        target = tmp_path / "report.json"
+        code, out = run_cli("spec", "check", "--demos",
+                            "--json-out", str(target))
+        assert code == 0
+        doc = json.loads(target.read_text())
+        assert doc["summary"]["ok"]
+        assert "spec(s):" in out   # text report still printed
+
+    def test_scan_workloads_clean(self):
+        root = Path(__file__).resolve().parents[2]
+        code, out = run_cli(
+            "spec", "check",
+            "--scan", str(root / "src" / "repro" / "workloads"))
+        assert code == 0
+        assert "0 error(s)" in out
+
+    def test_no_input_is_usage_error(self):
+        code, out = run_cli("spec", "check")
+        assert code == 2
+        assert "nothing to check" in out
+
+    def test_engine_selection_target(self):
+        code, out = run_cli("spec", "check", "pattern:W(x);R(y)@T0")
+        assert code == 1
+        assert "SC311" in out
+
+
+class TestUpfrontValidation:
+    def test_check_malformed_spec_exits_one_with_span(self, tmp_path):
+        trace = str(tmp_path / "t.trace")
+        run_cli("record", "xyz", trace)
+        code, out = run_cli("check", trace, "--spec", "x ==")
+        assert code == 1
+        assert "invalid --spec" in out
+        assert "<spec>:1:" in out
+
+    def test_check_future_spec_rejected_cleanly(self, tmp_path):
+        trace = str(tmp_path / "t.trace")
+        run_cli("record", "xyz", trace)
+        code, out = run_cli("check", trace, "--spec", "eventually(x == 1)")
+        assert code == 1
+        assert "invalid --spec" in out
+
+    def test_observe_malformed_spec(self):
+        code, out = run_cli("observe", "xyz", "--spec", "y == ")
+        assert code == 1
+        assert "invalid --spec" in out
+
+    def test_observe_bad_engine_formula(self):
+        code, out = run_cli("observe", "xyz", "--engine", "ltl:x ==")
+        assert code == 1
+        assert "invalid --engine" in out
+        assert "<spec>:1:" in out
+
+    def test_observe_bad_pattern_engine(self):
+        code, out = run_cli("observe", "xyz",
+                            "--engine", "pattern:W(x);;R(y)")
+        assert code == 1
+        assert "invalid --engine" in out
+
+    def test_demo_malformed_spec(self):
+        code, out = run_cli("demo", "landing", "--spec", "not")
+        assert code == 1
+        assert "invalid --spec" in out
+
+    def test_replay_bad_engine(self, tmp_path):
+        code, out = run_cli("replay", str(tmp_path), "--all",
+                            "--engine", "nosuch")
+        assert code == 1
+        assert "invalid --engine" in out
+
+    def test_run_malformed_spec(self, tmp_path):
+        src = tmp_path / "p.ml"
+        src.write_text("shared int x\nthread:\n  x = 1\n")
+        code, out = run_cli("run", str(src), "--spec", "x >=")
+        assert code == 1
+        assert "invalid --spec" in out
+
+
+class TestLintCrossWire:
+    def test_lint_spec_findings_merged(self, tmp_path):
+        clean = tmp_path / "empty.py"
+        clean.write_text("")
+        code, out = run_cli("lint", str(clean),
+                            "--spec", "x == 0 and x == 1")
+        assert code == 1
+        assert "SC301" in out
+
+    def test_lint_unparseable_spec_reports_sc300(self, tmp_path):
+        clean = tmp_path / "empty.py"
+        clean.write_text("")
+        code, out = run_cli("lint", str(clean), "--spec", "x ==")
+        assert code == 1
+        assert "SC300" in out
+
+    def test_lint_clean_spec_stays_clean(self, tmp_path):
+        clean = tmp_path / "empty.py"
+        clean.write_text("")
+        code, out = run_cli(
+            "lint", str(clean),
+            "--spec", "start(landing == 1) -> [approved == 1, radio == 0)")
+        assert code == 0

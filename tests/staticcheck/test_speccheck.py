@@ -1,0 +1,356 @@
+"""Unit and property tests for the spec consistency checker.
+
+The load-bearing guarantee: every verdict ships *verified* evidence.
+Witness traces are re-run through :class:`repro.logic.Monitor` (or the
+lasso oracle) before being reported, and the property tests below assert
+that contract over randomly generated formulas.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.logic import Monitor
+from repro.logic.lasso import evaluate_lasso
+from repro.logic.parser import ParseError, parse
+from repro.staticcheck import Severity
+from repro.staticcheck.speccheck import (
+    STRICT_REJECT_WARNS,
+    SpecCheckOptions,
+    SpecCheckReport,
+    candidate_domain,
+    check_formula,
+    check_pattern,
+    check_selection,
+    check_spec_file,
+    check_spec_text,
+    representative_states,
+    scan_python_specs,
+    strict_reject_reason,
+    validate_selection_syntax,
+    validate_spec_syntax,
+)
+
+LANDING = "start(landing == 1) -> [approved == 1, radio == 0)"
+XYZ = "(x > 0) -> [y == 0, y > z)"
+
+
+class TestDomain:
+    def test_constants_and_neighbours(self):
+        dom = candidate_domain(parse("x == 5"))
+        assert {4, 5, 6, 0, 1} <= set(dom)
+
+    def test_extra_values_merged(self):
+        opts = SpecCheckOptions(extra_values=(42,))
+        assert 42 in candidate_domain(parse("x == 0"), opts)
+
+    def test_representative_states_cover_all_signatures(self):
+        f = parse("x == 0 or x == 1")
+        states, capped = representative_states(f)
+        assert not capped
+        sigs = {(s["x"] == 0, s["x"] == 1) for s in states}
+        # both-true is impossible; the other three signatures must appear
+        assert sigs == {(True, False), (False, True), (False, False)}
+
+
+class TestPastFragment:
+    @pytest.mark.parametrize("spec", [
+        LANDING, XYZ, "c >= 0", "a + b == 100",
+        "start(audited == 1) -> a + b == 100",
+        "start(observed == 1) -> lo == hi",
+    ])
+    def test_shipped_specs_are_consistent(self, spec):
+        r = check_formula(spec)
+        assert r.satisfiable and r.falsifiable
+        assert not r.vacuous
+        assert r.diagnostics == []
+        assert r.witness_verified and r.counter_verified
+
+    def test_witness_satisfies_spec_through_monitor(self):
+        r = check_formula(LANDING)
+        ok, _ = Monitor(LANDING).check_trace(r.witness.as_states())
+        assert ok
+        assert len(r.witness) == SpecCheckOptions().horizon
+
+    def test_counter_violates_at_reported_step(self):
+        r = check_formula(LANDING)
+        ok, k = Monitor(LANDING).check_trace(r.counter.as_states())
+        assert not ok
+        assert k == r.counter.violation_index
+
+    def test_unsat_flagged_with_error(self):
+        r = check_formula("x == 0 and x == 1")
+        assert r.satisfiable is False
+        assert r.codes() == {"SC301"}
+        assert not r.ok
+
+    def test_unsat_temporal(self):
+        r = check_formula("historically(x == 0) and once(x == 1)")
+        assert "SC301" in r.codes()
+
+    def test_trivially_true_flagged(self):
+        r = check_formula("x == 0 or x != 0")
+        assert r.falsifiable is False
+        assert "SC302" in r.codes()
+        assert r.ok   # WARN only
+
+    def test_vacuous_subformula_named(self):
+        r = check_formula("(y == 1 or true) and x == 0")
+        assert "SC303" in r.codes()
+        assert any("y == 1" in v for v in r.vacuous)
+
+    def test_interval_never_opens(self):
+        r = check_formula("y == 1 or [x == 1, x >= 1)")
+        assert "SC304" in r.codes()
+        # the q-mutant is one-sided, so this must NOT double-report SC303
+        assert "SC303" not in r.codes()
+
+    def test_dead_branch_constant(self):
+        r = check_formula("(x == 0 and x == 1) or y == 1")
+        assert "SC305" in r.codes()
+
+    def test_mixed_fragment_refused(self):
+        r = check_formula("once(x == 1) and eventually(x == 0)")
+        assert r.kind == "ltl-mixed"
+        assert r.codes() == {"SC306"}
+        assert r.satisfiable is None
+
+    def test_parse_error_becomes_sc300(self):
+        r = check_formula("x ==")
+        assert r.codes() == {"SC300"}
+        assert not r.ok
+
+    def test_witness_format_is_arrow_joined_tuples(self):
+        r = check_formula("c >= 0")
+        assert " --> ".join(str((v,)) for v in
+                            (s["c"] for s in r.witness.as_states())) \
+            == r.witness.pretty()
+
+
+class TestFutureFragment:
+    def test_eventually_has_lasso_witness(self):
+        r = check_formula("eventually(go == 1)")
+        assert r.kind == "ltl-future"
+        assert r.satisfiable and r.falsifiable
+        assert r.witness.loop_start is not None
+        assert "ω" in r.witness.pretty()
+        assert r.witness_verified and r.counter_verified
+
+    def test_always_eventually(self):
+        r = check_formula("always(eventually(go == 1))")
+        assert r.satisfiable and r.falsifiable
+        assert r.diagnostics == []
+
+    def test_future_tautology_flagged(self):
+        r = check_formula("eventually(x == 0 or x != 0)")
+        assert "SC302" in r.codes()
+
+    def test_future_unsat_flagged(self):
+        r = check_formula("always(x == 0 and x == 1)")
+        assert "SC301" in r.codes()
+
+    def test_lasso_witness_replays_through_oracle(self):
+        r = check_formula("always(eventually(go == 1))")
+        states = r.witness.as_states()
+        u, v = states[: r.witness.loop_start], states[r.witness.loop_start:]
+        assert evaluate_lasso(parse("always(eventually(go == 1))"), u, v)
+
+
+class TestPattern:
+    def test_clean_multi_step(self):
+        r = check_pattern("W(x);R(y);W(x)")
+        assert r.ok and r.satisfiable
+        assert any("realizable witness" in n for n in r.notes)
+
+    def test_thread_zero_unreachable(self):
+        r = check_pattern("W(x);R(y)@T0")
+        assert "SC311" in r.codes()
+        assert r.satisfiable is False
+
+    def test_lock_value_unreachable(self):
+        r = check_pattern("ACQ(l)=1;W(x)")
+        assert "SC311" in r.codes()
+
+    def test_single_step_trivial(self):
+        r = check_pattern("ANY(x)")
+        assert r.codes() == {"SC312"}
+        assert r.ok   # WARN only
+
+    def test_syntax_error(self):
+        r = check_pattern("W(x);;R(y)")
+        assert r.codes() == {"SC310"}
+
+
+class TestSelectionsAndDispatch:
+    def test_ltl_selection_inherits_default_spec(self):
+        r = check_selection("ltl", default_spec="x == 0 and x == 1")
+        assert "SC301" in r.codes()
+
+    def test_ltl_selection_without_any_spec(self):
+        r = check_selection("ltl")
+        assert "SC300" in r.codes()
+
+    def test_unknown_engine(self):
+        r = check_selection("bogus:x")
+        assert "SC300" in r.codes()
+
+    def test_atomicity_carries_no_spec(self):
+        r = check_selection("atomicity")
+        assert r.ok and r.diagnostics == []
+
+    def test_text_dispatch(self):
+        assert check_spec_text("pattern:ANY(x)").kind == "pattern"
+        assert check_spec_text(LANDING).kind == "ltl"
+        assert check_spec_text("ltl:" + LANDING).kind == "ltl"
+
+    def test_spec_file_lines_and_spans(self, tmp_path):
+        p = tmp_path / "specs.spec"
+        p.write_text("# comment\n\nx == 0 and x == 1\nltl:x ==\n")
+        results = check_spec_file(str(p))
+        assert [r.line for r in results] == [3, 4]
+        assert results[0].codes() == {"SC301"}
+        assert results[1].codes() == {"SC300"}
+
+    def test_scan_python_specs(self, tmp_path):
+        p = tmp_path / "mod.py"
+        p.write_text(
+            'MY_PROPERTY = "x == 0"\n'
+            'run(spec="y >= 1", engines=["pattern:W(x);R(y)"])\n')
+        found = scan_python_specs([str(tmp_path)])
+        assert sorted(s.text for s in found) == [
+            "pattern:W(x);R(y)", "x == 0", "y >= 1"]
+        assert all(s.line >= 1 and s.col >= 1 for s in found)
+
+
+class TestReportAndValidation:
+    def test_report_json_contract(self):
+        report = SpecCheckReport()
+        report.add(check_formula("x == 0 and x == 1"))
+        report.add(check_formula(LANDING))
+        doc = report.to_json()
+        assert doc["tool"] == "repro.staticcheck.speccheck"
+        assert doc["summary"]["specs"] == 2
+        assert doc["summary"]["errors"] == 1
+        assert not doc["summary"]["ok"]
+        assert doc["specs"][1]["witness"]["states"]
+
+    def test_validate_spec_syntax_returns_span(self):
+        msg = validate_spec_syntax("x ==")
+        assert msg is not None and "<spec>:1:" in msg
+        assert validate_spec_syntax(LANDING) is None
+
+    def test_validate_selection_syntax(self):
+        assert validate_selection_syntax("ltl") is None
+        assert validate_selection_syntax("atomicity") is None
+        assert validate_selection_syntax("pattern:W(x)") is None
+        assert validate_selection_syntax("pattern") is not None
+        assert validate_selection_syntax("bogus") is not None
+        assert validate_selection_syntax("ltl:x ==") is not None
+
+    def test_strict_reject_reasons(self):
+        assert strict_reject_reason(LANDING) is None
+        bad = strict_reject_reason("x == 0 and x == 1")
+        assert bad is not None and "SC301" in bad
+        warn = strict_reject_reason("x == 0 or x != 0")
+        assert warn is not None and "SC302" in warn
+        assert strict_reject_reason(None) is None
+        sel = strict_reject_reason(None, engines=("ltl:x == 0 and x == 1",))
+        assert sel is not None and "SC301" in sel
+        assert STRICT_REJECT_WARNS == {"SC302", "SC303", "SC304"}
+
+
+class TestParseErrorSpans:
+    def test_inline_span_defaults(self):
+        with pytest.raises(ParseError) as exc:
+            parse("x ==")
+        assert exc.value.span == "<spec>:1:1"
+        assert exc.value.line == 1
+
+    def test_filename_threads_into_message(self):
+        with pytest.raises(ParseError) as exc:
+            parse("x ==\ny == 1 and", filename="props.spec")
+        assert exc.value.filename == "props.spec"
+        assert exc.value.span.startswith("props.spec:")
+        assert "props.spec:" in str(exc.value)
+
+    def test_multiline_position(self):
+        with pytest.raises(ParseError) as exc:
+            parse("x == 0\nand y ===")
+        assert exc.value.line == 2
+        assert exc.value.col >= 1
+        assert "^" in str(exc.value)
+
+
+# ---------------------------------------------------------------------------
+# Property tests: evidence is always verified
+# ---------------------------------------------------------------------------
+
+_VARS = ("x", "y")
+
+
+def _atoms():
+    return st.builds(
+        lambda v, op, c: f"{v} {op} {c}",
+        st.sampled_from(_VARS),
+        st.sampled_from(("==", "!=", "<", "<=", ">", ">=")),
+        st.integers(min_value=-2, max_value=2))
+
+
+def _past_formulas(depth=2):
+    def extend(children):
+        unary = st.builds(lambda op, f: f"{op}({f})",
+                          st.sampled_from(("not", "prev", "once",
+                                           "historically", "start", "end")),
+                          children)
+        binary = st.builds(lambda op, f, g: f"({f}) {op} ({g})",
+                           st.sampled_from(("and", "or", "->")),
+                           children, children)
+        interval = st.builds(lambda p, q: f"[{p}, {q})", children, children)
+        return unary | binary | interval
+    return st.recursive(_atoms(), extend, max_leaves=6)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_past_formulas())
+def test_property_witness_always_satisfies(spec):
+    r = check_formula(spec, options=SpecCheckOptions(horizon=4))
+    if r.witness is not None:
+        ok, _ = Monitor(spec).check_trace(r.witness.as_states())
+        assert ok, (spec, r.witness.pretty())
+        assert r.witness_verified
+
+
+@settings(max_examples=60, deadline=None)
+@given(_past_formulas())
+def test_property_counter_always_violates(spec):
+    r = check_formula(spec, options=SpecCheckOptions(horizon=4))
+    if r.counter is not None:
+        ok, k = Monitor(spec).check_trace(r.counter.as_states())
+        assert not ok, (spec, r.counter.pretty())
+        assert k == r.counter.violation_index
+        assert r.counter_verified
+
+
+@settings(max_examples=40, deadline=None)
+@given(_past_formulas())
+def test_property_unsat_means_no_state_works(spec):
+    """SC301 is exact within the domain: every representative state must
+    yield a False verdict at step 1."""
+    r = check_formula(spec)
+    if r.satisfiable is False and not r.capped:
+        f = parse(spec)
+        states, _ = representative_states(f)
+        monitor = Monitor(f)
+        for s in states:
+            _, ok = monitor.step(None, s)
+            assert not ok, (spec, s)
+
+
+@settings(max_examples=40, deadline=None)
+@given(_past_formulas())
+def test_property_errors_only_unsat_or_syntax(spec):
+    """Generated formulas always parse; ERROR findings can only be SC301."""
+    r = check_formula(spec)
+    errors = {d.code for d in r.diagnostics
+              if d.severity is Severity.ERROR}
+    assert errors <= {"SC301"}

@@ -1,0 +1,61 @@
+"""The seeded spec-defect corpus: every planted inconsistency must be
+flagged.
+
+``spec_corpus/manifest.json`` is the ground truth; CI runs the same
+check through ``repro spec check`` so the corpus cannot silently rot.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.staticcheck import CATALOGUE
+from repro.staticcheck.speccheck import check_spec_file
+
+CORPUS = Path(__file__).parent / "spec_corpus"
+MANIFEST = json.loads((CORPUS / "manifest.json").read_text())
+
+
+def _codes(name):
+    results = check_spec_file(str(CORPUS / name))
+    return {code for r in results for code in r.codes()}
+
+
+@pytest.mark.parametrize("name,expected", sorted(MANIFEST["defects"].items()))
+def test_seeded_defect_is_flagged(name, expected):
+    found = _codes(name)
+    missing = set(expected) - found
+    assert not missing, f"{name}: spec check missed seeded defect(s) {missing}"
+
+
+@pytest.mark.parametrize("name", sorted(MANIFEST["clean"]))
+def test_clean_spec_stays_clean(name):
+    results = check_spec_file(str(CORPUS / name))
+    diags = [d for r in results for d in r.diagnostics]
+    assert diags == [], [d.pretty() for d in diags]
+    assert all(r.satisfiable for r in results)
+
+
+def test_corpus_covers_at_least_ten_defect_kinds():
+    kinds = {code for codes in MANIFEST["defects"].values() for code in codes}
+    assert len(kinds) >= 10
+    assert all(k in CATALOGUE for k in kinds)
+
+
+def test_corpus_has_at_least_ten_defect_specs():
+    assert len(MANIFEST["defects"]) >= 10
+
+
+def test_every_finding_has_the_corpus_file_span():
+    for name in MANIFEST["defects"]:
+        for r in check_spec_file(str(CORPUS / name)):
+            for d in r.diagnostics:
+                assert d.file.endswith(name)
+                assert d.line >= 1 and d.col >= 1
+
+
+def test_manifest_lists_every_corpus_file():
+    on_disk = {p.name for p in CORPUS.glob("*.spec")}
+    in_manifest = set(MANIFEST["defects"]) | set(MANIFEST["clean"])
+    assert on_disk == in_manifest
