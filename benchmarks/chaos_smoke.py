@@ -14,9 +14,18 @@ Parity means: violation count, counterexample text, *and* final vector
 clocks all match a standalone Observer fed the same execution.  Run by
 the ``chaos-smoke`` CI job; exits non-zero on any mismatch.
 
+With ``--fleet`` a third fault joins, injected against a supervised
+2-shard :class:`~repro.fleet.AnalysisFleet` instead of a bare daemon:
+
+* ``shard-kill``   — SIGKILL the whole shard *daemon* owning the session
+  (looked up from the session-id stride) half way through the stream.
+  The fleet supervisor must respawn the slot with recovery, the client's
+  resume must be routed to the reborn shard, and the verdict must match.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/chaos_smoke.py --seeds 3
+    PYTHONPATH=src python benchmarks/chaos_smoke.py --seeds 2 --fleet
 """
 
 from __future__ import annotations
@@ -48,6 +57,7 @@ WORKLOADS = [
 ]
 
 FAULTS = ("worker-kill", "conn-drop")
+FLEET_FAULTS = ("shard-kill", "conn-drop")
 
 
 def control(factory, spec, variables, seed, backend="flat"):
@@ -135,6 +145,63 @@ def run_case(name, factory, spec, variables, seed, fault, ckpt_dir,
     return problems
 
 
+def run_fleet_case(name, factory, spec, variables, seed, fault, ckpt_dir,
+                   backend="flat"):
+    """Same parity contract as :func:`run_case`, but the stream goes
+    through a 2-shard fleet and ``shard-kill`` takes out the *owning
+    shard daemon* (found via the session-id stride) rather than one
+    session worker."""
+    from repro.fleet import AnalysisFleet, FleetConfig, shard_of_session
+    from repro.observer.reliable import RetransmitConfig
+
+    execution, initial, expected, clocks = control(
+        factory, spec, variables, seed, backend)
+    config = FleetConfig(
+        shards=2, workers=1, supervised=True, checkpoint_dir=ckpt_dir,
+        checkpoint_every=4, resume_timeout=15.0, drain_timeout=60.0,
+        heartbeat_interval=0.1, heartbeat_timeout=1.0,
+        restart_backoff=0.05, restart_backoff_cap=0.2)
+    problems = []
+    with AnalysisFleet(config) as fleet:
+        session = attach(
+            fleet.host, fleet.port, n_threads=execution.n_threads,
+            initial=initial, spec=spec, program=name, fault_tolerant=True,
+            config=RetransmitConfig(window=64),
+            reconnect=ReconnectPolicy(max_attempts=10, backoff=0.1))
+        half = max(1, len(execution.messages) // 2)
+        for m in execution.messages[:half]:
+            session.send(m)
+        if fault == "shard-kill":
+            slot = shard_of_session(session.session_id)
+            if fleet.supervisor.kill_shard(slot) is None:
+                problems.append(f"no live shard {slot} to kill")
+        else:
+            drop_connection(session)
+        for m in execution.messages[half:]:
+            session.send(m)
+        verdict = session.close(timeout=60.0)
+        router = fleet.status()["fleet"]["router"]
+
+    if verdict.state != "finished":
+        problems.append(f"state={verdict.state} error={verdict.error}")
+    if verdict.analyzed != len(execution.messages):
+        problems.append(
+            f"analyzed {verdict.analyzed} != {len(execution.messages)}")
+    got = sorted(verdict.counterexamples)
+    if got != expected:
+        problems.append(f"counterexamples {got} != {expected}")
+    if verdict.violations != len(expected):
+        problems.append(
+            f"violations {verdict.violations} != {len(expected)}")
+    if tuple(tuple(c) for c in verdict.final_clocks) != clocks:
+        problems.append(
+            f"final clocks {verdict.final_clocks} != {clocks}")
+    if fault == "shard-kill" and router["shard_restarts"] < 1:
+        problems.append("shard-kill injected but the supervisor "
+                        "recorded no restart")
+    return problems
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--seeds", type=int, default=3,
@@ -143,17 +210,22 @@ def main() -> int:
                     choices=("flat", "tree", "auto"),
                     help="clock backend for the instrumented control run "
                          "(default flat); tree must give identical verdicts")
+    ap.add_argument("--fleet", action="store_true",
+                    help="inject against a supervised 2-shard fleet "
+                         "(shard-kill + conn-drop) instead of one daemon")
     args = ap.parse_args()
 
+    faults = FLEET_FAULTS if args.fleet else FAULTS
+    runner = run_fleet_case if args.fleet else run_case
     failures = 0
     total = 0
     for name, factory, spec, variables in WORKLOADS:
         for seed in range(args.seeds):
-            for fault in FAULTS:
+            for fault in faults:
                 total += 1
                 with tempfile.TemporaryDirectory() as ckpt:
                     try:
-                        problems = run_case(
+                        problems = runner(
                             name, factory, spec, variables, seed, fault,
                             ckpt, backend=args.backend)
                     except Exception as exc:  # noqa: BLE001 - smoke harness

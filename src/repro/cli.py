@@ -23,6 +23,12 @@ original tool:
   its events over the reliable transport;
 * ``sessions`` — query a running server's status endpoint: per-session
   health, verdicts and metrics;
+* ``fleet serve`` — run the sharded analysis fleet: one router port in
+  front of N shard daemons with consistent-hash placement, admission
+  spill, and supervised restart-with-recovery (docs/FLEET.md);
+* ``status``  — fleet-wide status table: router counters, per-shard
+  health and generation, and every session across the fleet (degrades
+  to the single-daemon view against a plain ``repro serve``);
 * ``lint``    — static shared-state soundness lint over Python/MiniLang
   sources: reports accesses the instrumentor would miss (aliases,
   closures, un-instrumented helpers, …) with stable SC-codes, plus
@@ -55,6 +61,8 @@ Examples::
     python -m repro serve --port 4040 --max-sessions 8 --archive /var/traces
     python -m repro attach xyz --port 4040
     python -m repro sessions --port 4040
+    python -m repro fleet serve --port 4050 --shards 4 --supervised --checkpoint /var/ckpt
+    python -m repro status --port 4050
     python -m repro lint src/repro/workloads examples --json
     python -m repro spec check --demos --scan src/repro/workloads
     python -m repro spec check "ltl:x == 0 and x == 1" --json
@@ -563,16 +571,51 @@ def cmd_attach(args: argparse.Namespace, out: Callable[[str], None]) -> int:
     return 1 if verdict.violations else 0
 
 
-def cmd_sessions(args: argparse.Namespace, out: Callable[[str], None]) -> int:
-    """Query a running server's status endpoint."""
-    import json as _json
+def _fetch_status_or_explain(host: str, port: int,
+                             out: Callable[[str], None]):
+    """One status round-trip with human-readable failure modes (instead
+    of a raw OSError traceback); returns None after printing the error."""
+    import socket
 
     from .server import fetch_status
 
     try:
-        status = fetch_status(args.host, args.port)
+        return fetch_status(host, port)
+    except ConnectionRefusedError:
+        out(f"error: no daemon is listening on {host}:{port} — is "
+            f"'repro serve' (or 'repro fleet serve') running there?")
+    except socket.timeout:
+        out(f"error: {host}:{port} did not answer the status query in "
+            f"time; the daemon may be overloaded or the port may belong "
+            f"to something else")
     except OSError as exc:
-        out(f"error: status query to {args.host}:{args.port} failed: {exc}")
+        out(f"error: status query to {host}:{port} failed: {exc}")
+    return None
+
+
+def _print_session_table(rows: list[dict], out: Callable[[str], None],
+                         with_shard: bool = False) -> None:
+    if not rows:
+        out("no sessions yet")
+        return
+    shard_col = f"{'shard':>5} " if with_shard else ""
+    out(f"{'id':>9}  {shard_col}{'program':<10} {'state':<10} "
+        f"{'events':>7} {'pending':>7} {'viol':>5}  detail")
+    for r in rows:
+        detail = r["error"] or (r["counterexamples"][0]
+                                if r["counterexamples"] else "")
+        shard_val = (f"{r.get('shard', '?'):>5} " if with_shard else "")
+        out(f"{r['session']:>9}  {shard_val}{r['program']:<10} "
+            f"{r['state']:<10} {r['analyzed']:>7} {r['pending']:>7} "
+            f"{r['violations']:>5}  {detail}")
+
+
+def cmd_sessions(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    """Query a running server's status endpoint."""
+    import json as _json
+
+    status = _fetch_status_or_explain(args.host, args.port, out)
+    if status is None:
         return 2
     if args.json:
         out(_json.dumps(status, indent=2, default=str))
@@ -583,18 +626,116 @@ def cmd_sessions(args: argparse.Namespace, out: Callable[[str], None]) -> int:
         f"sessions: {srv['active_sessions']}/{srv['max_sessions']} active, "
         f"{srv['finished']} finished, {srv['failed']} failed, "
         f"{srv['rejected']} rejected")
-    rows = status["sessions"]
-    if not rows:
-        out("no sessions yet")
+    _print_session_table(status["sessions"], out,
+                         with_shard="fleet" in status)
+    return 0
+
+
+def cmd_status(args: argparse.Namespace, out: Callable[[str], None]) -> int:
+    """Fleet-wide status: router counters, per-shard health, every session.
+
+    Against a plain single daemon (no ``fleet`` section in the status
+    document) it degrades to the ``repro sessions`` view.
+    """
+    import json as _json
+
+    status = _fetch_status_or_explain(args.host, args.port, out)
+    if status is None:
+        return 2
+    if args.json:
+        out(_json.dumps(status, indent=2, default=str))
         return 0
-    out(f"{'id':>4}  {'program':<10} {'state':<10} {'events':>7} "
-        f"{'pending':>7} {'viol':>5}  detail")
-    for r in rows:
-        detail = r["error"] or (r["counterexamples"][0]
-                                if r["counterexamples"] else "")
-        out(f"{r['session']:>4}  {r['program']:<10} {r['state']:<10} "
-            f"{r['analyzed']:>7} {r['pending']:>7} {r['violations']:>5}  "
-            f"{detail}")
+    srv = status["server"]
+    fleet = status.get("fleet")
+    if fleet is None:
+        out(f"single daemon {srv['host']}:{srv['port']} v{srv['version']} "
+            f"(no fleet section; showing its own status)")
+        out(f"up {srv['uptime_s']:.0f}s   "
+            f"sessions: {srv['active_sessions']}/{srv['max_sessions']} "
+            f"active, {srv['finished']} finished, {srv['failed']} failed, "
+            f"{srv['rejected']} rejected")
+        _print_session_table(status["sessions"], out)
+        return 0
+    router = fleet["router"]
+    shards = fleet["shards"]
+    up = sum(r["state"] == "up" for r in shards)
+    out(f"fleet {srv['host']}:{srv['port']} v{srv['version']}   "
+        f"up {srv['uptime_s']:.0f}s   shards: {up}/{len(shards)} up   "
+        f"sessions: {srv['active_sessions']}/{srv['max_sessions']} active, "
+        f"{srv['finished']} finished, {srv['failed']} failed, "
+        f"{srv['rejected']} rejected")
+    out(f"router: {router['routed_sessions']} routed, "
+        f"{router['spills']} spills, {router['rejects']} rejects, "
+        f"{router['rebalanced_sessions']} rebalanced, "
+        f"{router['shard_restarts']} shard restarts")
+    out(f"{'shard':>5}  {'state':<12} {'address':<21} {'gen':>3} "
+        f"{'restarts':>8} {'active':>9} {'finished':>8} {'failed':>6} "
+        f"{'rejected':>8}")
+    for r in shards:
+        addr = (f"{r['host']}:{r['port']}" if "host" in r else "-")
+        active = (f"{r['active_sessions']}/{r['max_sessions']}"
+                  if "active_sessions" in r else "-")
+        out(f"{r['shard']:>5}  {r['state']:<12} {addr:<21} "
+            f"{r.get('generation', '-'):>3} {r['restarts']:>8} "
+            f"{active:>9} {r.get('finished', '-'):>8} "
+            f"{r.get('failed', '-'):>6} {r.get('rejected', '-'):>8}")
+    out("")
+    _print_session_table(status["sessions"], out, with_shard=True)
+    return 0
+
+
+def cmd_fleet_serve(args: argparse.Namespace,
+                    out: Callable[[str], None]) -> int:
+    """Run the sharded analysis fleet until interrupted."""
+    import signal
+    import threading
+
+    if _spec_usage_errors(args, out):
+        return 1
+    from .fleet import FleetConfig, AnalysisFleet
+
+    try:
+        config = FleetConfig(
+            host=args.host, port=args.port, shards=args.shards,
+            max_sessions=args.max_sessions,
+            max_queued_events=args.max_queued, workers=args.workers,
+            results_path=args.results, archive_dir=args.archive,
+            supervised=args.supervised, checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every,
+            resume_timeout=args.resume_timeout,
+            default_engines=tuple(args.engines or ()),
+            strict_specs=args.strict_specs)
+    except ValueError as exc:
+        out(f"error: {exc}")
+        return 2
+    try:
+        fleet = AnalysisFleet(config).start()
+    except RuntimeError as exc:
+        out(f"error: fleet failed to start: {exc}")
+        return 2
+    mode = " supervised" if config.supervised else ""
+    out(f"fleet serving on {fleet.host}:{fleet.port} "
+        f"({config.shards} shards, {config.max_sessions} sessions x "
+        f"{config.workers}{mode} workers each)")
+    for row in fleet.supervisor.snapshot():
+        if row["state"] == "up":
+            out(f"  shard {row['shard']}: {row['host']}:{row['port']} "
+                f"(pid {row['pid']})")
+    sys.stdout.flush()
+
+    stop = threading.Event()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(sig, lambda *_: stop.set())
+    stop.wait()
+    out("shutting down: draining shards ...")
+    sys.stdout.flush()
+    final = fleet.status()
+    fleet.shutdown()
+    router = final["fleet"]["router"]
+    out(f"fleet served {router['routed_sessions']} session(s): "
+        f"{final['server']['finished']} finished, "
+        f"{final['server']['failed']} failed, {router['spills']} spills, "
+        f"{router['shard_restarts']} shard restarts")
     return 0
 
 
@@ -1038,6 +1179,60 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="dump the raw status document as JSON")
     p.set_defaults(fn=cmd_sessions)
+
+    p = sub.add_parser(
+        "fleet", help="sharded analysis fleet (see docs/FLEET.md)")
+    fleet_sub = p.add_subparsers(dest="fleet_command", required=True)
+    p = fleet_sub.add_parser(
+        "serve",
+        help="run N shard daemons behind one consistent-hash router port")
+    p.add_argument("--host", default="127.0.0.1", help="router address")
+    p.add_argument("--port", type=int, default=0,
+                   help="router port (0 = ephemeral, printed at startup)")
+    p.add_argument("--shards", type=_positive_int, default=2,
+                   help="shard daemon processes to run (default 2)")
+    p.add_argument("--max-sessions", type=_positive_int, default=16,
+                   help="admission bound per shard (default 16); the "
+                        "fleet admits shards x this many sessions")
+    p.add_argument("--workers", type=_positive_int, default=2,
+                   help="analysis worker threads per shard (default 2)")
+    p.add_argument("--max-queued", type=_positive_int, default=1024,
+                   help="per-session ingest queue bound (default 1024)")
+    p.add_argument("--results", default=None, metavar="FILE",
+                   help="shards append terminal session records to this "
+                        "JSONL file")
+    p.add_argument("--archive", default=None, metavar="DIR",
+                   help="fleet archive root: shard N records under "
+                        "DIR/shard-NN with trace ids namespaced shNN-")
+    p.add_argument("--supervised", action="store_true",
+                   help="supervised, journaled session workers on every "
+                        "shard (requires --checkpoint); also what makes "
+                        "sessions survive whole-shard crashes")
+    p.add_argument("--checkpoint", default=None, metavar="DIR",
+                   dest="checkpoint_dir",
+                   help="root for per-shard session journals "
+                        "(required by --supervised)")
+    p.add_argument("--checkpoint-every", type=_positive_int, default=128,
+                   help="journal fsync cadence in events (default 128)")
+    p.add_argument("--resume-timeout", type=float, default=30.0,
+                   metavar="SECS",
+                   help="per-shard resume window for disconnected "
+                        "sessions (default 30; clients re-attach through "
+                        "the router after a shard restart)")
+    p.add_argument("--strict-specs", action="store_true",
+                   help="shards reject inconsistent/vacuous specs at "
+                        "handshake (see docs/SPECCHECK.md)")
+    _engine_arg(p)
+    p.set_defaults(fn=cmd_fleet_serve)
+
+    p = sub.add_parser(
+        "status",
+        help="fleet-wide status table from a router (or one daemon)")
+    p.add_argument("--host", default="127.0.0.1", help="router address")
+    p.add_argument("--port", type=int, required=True, help="router port")
+    p.add_argument("--json", action="store_true",
+                   help="dump the raw status document as JSON")
+    p.set_defaults(fn=cmd_status)
 
     p = sub.add_parser(
         "archive",

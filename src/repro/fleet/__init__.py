@@ -1,0 +1,29 @@
+"""The sharded analysis fleet: ``repro.server`` scaled horizontally.
+
+One :class:`~repro.fleet.router.AnalysisFleet` runs N full analysis
+daemons (*shards*) as separate OS processes behind a single router port.
+The router speaks the existing session protocol, so clients attach to a
+fleet exactly as they would to one daemon; sessions are placed by
+consistent hashing with per-shard admission spill, shard crashes are
+healed by a supervising restart-with-recovery loop, and clients ride
+through them with the ordinary resume-token re-attach.  See
+``docs/FLEET.md`` for the architecture and ``repro fleet serve`` for the
+CLI entry point.
+"""
+
+from .config import SESSION_STRIDE, FleetConfig, shard_of_session
+from .hashring import HashRing, stable_hash
+from .router import AnalysisFleet, FleetRouter, merge_metric_snapshots
+from .shards import ShardSupervisor
+
+__all__ = [
+    "SESSION_STRIDE",
+    "FleetConfig",
+    "shard_of_session",
+    "HashRing",
+    "stable_hash",
+    "AnalysisFleet",
+    "FleetRouter",
+    "merge_metric_snapshots",
+    "ShardSupervisor",
+]

@@ -1,0 +1,122 @@
+"""Consistent hash ring for placing sessions on analysis shards.
+
+The router places each new session on a shard by hashing a per-session
+routing key onto a ring of virtual nodes.  Virtual nodes (``vnodes`` per
+shard) smooth the distribution so that adding or removing one shard
+moves only ~1/N of the keyspace instead of reshuffling everything.
+
+Hashing uses sha1 over the key bytes (not Python's builtin ``hash``,
+which is salted per process and would make placement non-deterministic
+across router restarts).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+__all__ = ["HashRing", "stable_hash"]
+
+
+def stable_hash(key: str) -> int:
+    """A process-independent 64-bit hash of *key*."""
+    digest = hashlib.sha1(key.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """A consistent hash ring mapping string keys to member node ids.
+
+    Nodes are arbitrary hashable identifiers (the fleet uses shard
+    indices).  Each node owns ``vnodes`` points on the ring; a key maps
+    to the owner of the first point at or after the key's hash,
+    wrapping around.
+    """
+
+    def __init__(self, nodes: Iterable[int] = (), vnodes: int = 64) -> None:
+        if vnodes < 1:
+            raise ValueError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = vnodes
+        self._points: List[int] = []  # sorted vnode hashes
+        self._owners: Dict[int, int] = {}  # vnode hash -> node id
+        self._nodes: List[int] = []
+        for node in nodes:
+            self.add(node)
+
+    # -- membership ------------------------------------------------------
+
+    @property
+    def nodes(self) -> Tuple[int, ...]:
+        return tuple(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: int) -> bool:
+        return node in self._nodes
+
+    def add(self, node: int) -> None:
+        """Add *node* to the ring (no-op if already present)."""
+        if node in self._nodes:
+            return
+        self._nodes.append(node)
+        for replica in range(self.vnodes):
+            point = stable_hash(f"node:{node}:vnode:{replica}")
+            # sha1 collisions across distinct vnode labels are not a
+            # realistic concern, but keep the first owner if one occurs
+            # so add/remove stays symmetric.
+            if point not in self._owners:
+                self._owners[point] = node
+                bisect.insort(self._points, point)
+
+    def remove(self, node: int) -> None:
+        """Remove *node* from the ring (no-op if absent)."""
+        if node not in self._nodes:
+            return
+        self._nodes.remove(node)
+        for replica in range(self.vnodes):
+            point = stable_hash(f"node:{node}:vnode:{replica}")
+            if self._owners.get(point) == node:
+                del self._owners[point]
+                index = bisect.bisect_left(self._points, point)
+                if index < len(self._points) and self._points[index] == point:
+                    del self._points[index]
+
+    # -- lookup ----------------------------------------------------------
+
+    def node_for(self, key: str) -> int:
+        """Return the node that owns *key*."""
+        if not self._points:
+            raise LookupError("hash ring is empty")
+        index = bisect.bisect_right(self._points, stable_hash(key))
+        if index == len(self._points):
+            index = 0
+        return self._owners[self._points[index]]
+
+    def preference(self, key: str) -> List[int]:
+        """All distinct nodes in ring order starting at *key*'s owner.
+
+        The router walks this list when the preferred shard is full or
+        down: the first entry is ``node_for(key)``, later entries are
+        the spill targets, and every live node appears exactly once.
+        """
+        if not self._points:
+            return []
+        start = bisect.bisect_right(self._points, stable_hash(key))
+        seen: List[int] = []
+        for offset in range(len(self._points)):
+            point = self._points[(start + offset) % len(self._points)]
+            owner = self._owners[point]
+            if owner not in seen:
+                seen.append(owner)
+                if len(seen) == len(self._nodes):
+                    break
+        return seen
+
+    def distribution(self, keys: Sequence[str]) -> Dict[int, int]:
+        """Count how many of *keys* map to each node (diagnostics)."""
+        counts: Dict[int, int] = {node: 0 for node in self._nodes}
+        for key in keys:
+            counts[self.node_for(key)] += 1
+        return counts

@@ -368,9 +368,20 @@ def attach(
     return session
 
 
-def fetch_status(host: str = "127.0.0.1", port: int = 0,
+def fetch_status(host: str = "127.0.0.1", port: Optional[int] = None,
                  timeout: float = 10.0) -> dict:
-    """One status round-trip: server health plus every session record."""
+    """One status round-trip: server health plus every session record.
+
+    ``port`` is required (keyword or positional): there is no default
+    daemon port, and dialing port 0 can never reach one.  Against a fleet
+    router the reply additionally carries a ``fleet`` section with
+    per-shard health (docs/FLEET.md).
+    """
+    if not port:
+        raise ValueError(
+            "fetch_status needs the daemon's port, e.g. "
+            "fetch_status(port=4040) — there is no default and port 0 is "
+            "never routable")
     sock, reply = _handshake(host, port, Hello(mode="status"), timeout)
     sock.close()
     if reply.get("t") != "status":

@@ -163,6 +163,14 @@ class ServerConfig:
             trivially-true, or vacuous spec is rejected at the handshake
             with a reasoned ``reject`` frame instead of burning a worker
             (docs/SPECCHECK.md).
+        session_id_base: first session id this daemon mints.  A fleet
+            (:mod:`repro.fleet`) gives each shard a disjoint stride of the
+            id space so a session id alone identifies its shard — that is
+            how the router routes resume handshakes without a routing
+            table.  The default of 1 keeps single-daemon ids unchanged.
+        archive_namespace: prefix applied to every trace id this daemon's
+            archive allocates (e.g. ``sh00``), so per-shard archive
+            directories share one fleet-wide catalog id namespace.
     """
 
     host: str = "127.0.0.1"
@@ -190,8 +198,12 @@ class ServerConfig:
     #: pipeline driven by the hello's spec.
     default_engines: tuple[str, ...] = ()
     strict_specs: bool = False
+    session_id_base: int = 1
+    archive_namespace: str = ""
 
     def __post_init__(self) -> None:
+        if self.session_id_base < 1:
+            raise ValueError("session_id_base must be >= 1")
         if self.max_sessions < 1:
             raise ValueError("max_sessions must be >= 1")
         if self.max_queued_events < 1:
@@ -246,14 +258,15 @@ class AnalysisServer:
         if config.archive_dir is not None:
             from ..store.archive import TraceArchive
 
-            self.archive = TraceArchive(config.archive_dir)
+            self.archive = TraceArchive(config.archive_dir,
+                                        namespace=config.archive_namespace)
         self._server: Optional[socket.socket] = None
         self.host = config.host
         self.port: Optional[int] = None
         self._lock = threading.Lock()
         self._sessions: dict[int, Session] = {}      # live (non-terminal)
         self._records: list[dict] = []               # sealed, bounded
-        self._next_sid = 1
+        self._next_sid = config.session_id_base
         self._rejected = 0
         self._draining = False
         self._started_at = time.time()
@@ -503,7 +516,7 @@ class AnalysisServer:
                 try:
                     hello = Hello.from_frame(self._parse_hello_line(line))
                 except ProtocolError as exc:
-                    self._reject(conn, str(exc))
+                    self._reject(conn, str(exc), why="bad-hello")
                     return
                 if hello.mode == "status":
                     conn.sendall(encode_frame(self.status()))
@@ -603,7 +616,9 @@ class AnalysisServer:
                 reason = "server is shutting down"
                 session = None
         if session is None:
-            self._reject(conn, reason or "rejected")
+            self._reject(conn, reason or "rejected",
+                         why="draining" if reason == "server is shutting down"
+                         else "resume")
             return None
         timer, session.resume_timer = session.resume_timer, None
         if timer is not None:
@@ -636,13 +651,25 @@ class AnalysisServer:
             raise ProtocolError("handshake frame must be a JSON object")
         return d
 
-    def _reject(self, conn: socket.socket, reason: str) -> None:
+    def _reject(self, conn: socket.socket, reason: str,
+                why: str = "other") -> None:
+        """Refuse a handshake.  ``why`` is the structured category — it
+        labels ``server.rejects{reason=}`` and rides on the reject frame so
+        the fleet router can tell a capacity reject (spill to the next
+        shard) from a terminal one (forward to the client)."""
         with self._lock:
             self._rejected += 1
         if _metrics.ENABLED:
             _C_REJECTED.inc()
+            _metrics.REGISTRY.counter(
+                "server.rejects", unit="sessions",
+                help="handshake rejects by structured cause (labelled: "
+                     "capacity, overload, strict-spec, draining, bad-hello, "
+                     "resume, setup)",
+                labels={"reason": why}).inc()
         try:
-            conn.sendall(encode_frame({"t": "reject", "reason": reason}))
+            conn.sendall(encode_frame(
+                {"t": "reject", "reason": reason, "why": why}))
         except OSError:
             pass
 
@@ -656,16 +683,19 @@ class AnalysisServer:
             if bad is not None:
                 if _metrics.ENABLED:
                     _C_SPEC_REJECTED.inc()
-                self._reject(conn, bad)
+                self._reject(conn, bad, why="strict-spec")
                 return None
         session: Optional[Session] = None
         reason: Optional[str] = None
+        why = "other"
         with self._lock:
             if self._draining:
                 reason = "server is shutting down"
+                why = "draining"
             elif len(self._sessions) >= self.config.max_sessions:
                 reason = (f"server at capacity: {len(self._sessions)} of "
                           f"{self.config.max_sessions} sessions in use")
+                why = "capacity"
             else:
                 sid = self._next_sid
                 self._next_sid += 1
@@ -674,11 +704,12 @@ class AnalysisServer:
                     session = self._build_session(sid, hello, token, peer)
                 except Exception as exc:  # noqa: BLE001 - told to the client
                     reason = f"session setup failed: {exc}"
+                    why = "setup"
                 else:
                     session.token = token
                     self._sessions[sid] = session
         if session is None:
-            self._reject(conn, reason or "rejected")
+            self._reject(conn, reason or "rejected", why=why)
             return None
         session.conn = conn
         sid = session.id
@@ -775,6 +806,13 @@ class AnalysisServer:
                 # any other control frame mid-stream is ignored: the
                 # reliable sender only emits msg/hb/fin after the handshake
         except _Overload as exc:
+            if _metrics.ENABLED:
+                _metrics.REGISTRY.counter(
+                    "server.rejects", unit="sessions",
+                    help="handshake rejects by structured cause (labelled: "
+                         "capacity, overload, strict-spec, draining, "
+                         "bad-hello, resume, setup)",
+                    labels={"reason": "overload"}).inc()
             session.fail(str(exc))
             try:
                 conn.sendall(encode_frame({"t": "err", "reason": str(exc)}))

@@ -23,8 +23,13 @@ frame         direction  meaning
                          the client must resend from
 ``reject``    S → C      attach refused (capacity, shutdown, bad hello,
                          unknown session / bad token on resume); carries a
-                         human-readable reason — overload is an explicit
-                         answer, never a hang
+                         human-readable ``reason`` plus a structured
+                         ``why`` category (``capacity``, ``draining``,
+                         ``strict-spec``, ``bad-hello``, ``resume``,
+                         ``setup``) that the fleet router uses to decide
+                         between spilling to another shard and forwarding
+                         the refusal — overload is an explicit answer,
+                         never a hang
 ``err``       S → C      mid-stream failure (queue overload, analysis
                          error, worker crash loop); the client's reliable
                          sender surfaces the reason as a

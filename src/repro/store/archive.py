@@ -62,7 +62,9 @@ _C_REBUILT = _metrics.REGISTRY.counter(
     help="corrupt catalog.json files quarantined and rebuilt from trace "
          "footers on archive open")
 
-_ID_SEQ = re.compile(r"^s(\d{6})-")
+# Trace-id sequence extractor; tolerates an optional shard namespace
+# prefix (``sh00-s000001-xyz``) in front of the classic ``s000001-xyz``.
+_ID_SEQ = re.compile(r"^(?:[A-Za-z0-9_]+-)??s(\d{6})-")
 
 
 class PendingTrace:
@@ -226,6 +228,10 @@ class TraceArchive:
     Args:
         root: archive directory; created (with ``traces/``) if absent.
         events_per_segment: segment granularity handed to the v2 writer.
+        namespace: prefix for every allocated trace id (e.g. ``sh00`` →
+            ``sh00-s000001-xyz``).  A fleet gives each shard's archive
+            directory its own namespace so the per-shard catalogs share
+            one fleet-wide id space and query results never collide.
 
     Thread-safe: catalog reads and mutations are serialized behind one
     lock, and every mutation persists the catalog atomically before
@@ -241,11 +247,13 @@ class TraceArchive:
 
     CATALOG_NAME = "catalog.json"
 
-    def __init__(self, root: str | Path, events_per_segment: int = 512):
+    def __init__(self, root: str | Path, events_per_segment: int = 512,
+                 namespace: str = ""):
         self.root = Path(root)
         self.traces_dir = self.root / "traces"
         self.traces_dir.mkdir(parents=True, exist_ok=True)
         self.events_per_segment = events_per_segment
+        self.namespace = namespace
         self._lock = threading.RLock()
         #: Set when this open had to quarantine and rebuild the catalog.
         self.last_rebuild: Optional[CatalogRebuildReport] = None
@@ -321,7 +329,8 @@ class TraceArchive:
               spec: Optional[str] = None) -> PendingTrace:
         """Open an in-flight recording (allocates and persists the id)."""
         with self._lock:
-            trace_id = self._catalog.allocate_id(program)
+            trace_id = self._catalog.allocate_id(program,
+                                                 namespace=self.namespace)
             self._catalog.save()   # ids survive a restart mid-recording
         return PendingTrace(self, trace_id, n_threads, initial,
                             program=program, spec=spec)
@@ -388,7 +397,8 @@ class TraceArchive:
                 "cannot adopt without a verdict")
         with self._lock:
             trace_id = self._catalog.allocate_id(
-                meta.catalog.get("program", meta.header.program))
+                meta.catalog.get("program", meta.header.program),
+                namespace=self.namespace)
             self._catalog.save()
         final = self.traces_dir / f"{trace_id}.rpt"
         shutil.move(str(sealed_path), final)

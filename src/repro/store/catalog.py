@@ -232,14 +232,20 @@ class Catalog:
 
     # -- mutation -------------------------------------------------------------
 
-    def allocate_id(self, program: str) -> str:
+    def allocate_id(self, program: str, namespace: str = "") -> str:
         """Mint a unique trace id: a monotone sequence number plus the
-        program name, e.g. ``s000003-xyz``."""
+        program name, e.g. ``s000003-xyz``.  A nonempty ``namespace``
+        prefixes the id (``sh00-s000003-xyz``) so several archive
+        directories — one per fleet shard — share one id namespace."""
         seq = self.next_seq
         self.next_seq += 1
         safe = "".join(c if c.isalnum() or c in "-_" else "-"
                        for c in program) or "unknown"
-        return f"s{seq:06d}-{safe}"
+        prefix = ""
+        if namespace:
+            prefix = "".join(c if c.isalnum() or c == "_" else "-"
+                             for c in namespace).strip("-") + "-"
+        return f"{prefix}s{seq:06d}-{safe}"
 
     def add(self, entry: CatalogEntry) -> None:
         if entry.id in self._entries:

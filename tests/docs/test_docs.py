@@ -67,6 +67,8 @@ def test_metric_catalogue_complete():
     OBSERVABILITY.md catalogue.  Importing the instrumented modules is
     enough: instruments register at import time, values stay zero."""
     import repro.core.algorithm_a  # noqa: F401
+    import repro.fleet.router  # noqa: F401
+    import repro.fleet.shards  # noqa: F401
     import repro.lattice.levels  # noqa: F401
     import repro.observer.delivery  # noqa: F401
     import repro.observer.faults  # noqa: F401

@@ -317,3 +317,87 @@ class TestServerMetrics:
         labelled = [n for n in snap
                     if metrics.base_name(n) == "server.session.events"]
         assert len(labelled) == 2
+
+
+class TestStatusPortIsExplicit:
+    def test_fetch_status_requires_a_port(self):
+        # port 0 is never routable; the old default silently dialled it
+        with pytest.raises(ValueError, match="port"):
+            fetch_status()
+        with pytest.raises(ValueError, match="port"):
+            fetch_status("127.0.0.1", 0)
+
+
+class TestRejectCategories:
+    def test_capacity_reject_carries_a_why_category(self, xyz_execution,
+                                                    xyz_initial):
+        # routers spill on why == "capacity" and must not have to parse
+        # the human-facing reason string
+        import socket
+
+        from repro.server.protocol import Hello, encode_frame, \
+            read_frame_line
+
+        with AnalysisServer(ServerConfig(port=0, workers=1,
+                                         max_sessions=1)) as srv:
+            holder = attach(srv.host, srv.port,
+                            n_threads=xyz_execution.n_threads,
+                            initial=xyz_initial, spec=XYZ_PROPERTY)
+            try:
+                hello = Hello(mode="attach",
+                              n_threads=xyz_execution.n_threads,
+                              initial={str(k): v
+                                       for k, v in xyz_initial.items()},
+                              spec=XYZ_PROPERTY)
+                with socket.create_connection((srv.host, srv.port)) as sock:
+                    sock.sendall(encode_frame(hello.to_frame()))
+                    reply = read_frame_line(sock)
+            finally:
+                for m in xyz_execution.messages:
+                    holder.send(m)
+                holder.close()
+        assert reply["t"] == "reject"
+        assert reply["why"] == "capacity"
+        assert "capacity" in reply["reason"]
+
+    def test_bad_hello_reject_category(self):
+        import socket
+
+        from repro.server.protocol import read_frame_line
+
+        with AnalysisServer(ServerConfig(port=0, workers=1)) as srv:
+            with socket.create_connection((srv.host, srv.port)) as sock:
+                sock.sendall(b'{"t":"hello","v":999,"mode":"attach"}\n')
+                reply = read_frame_line(sock)
+        assert reply["t"] == "reject"
+        assert reply["why"] == "bad-hello"
+
+    def test_rejects_metric_is_labelled_by_reason(self, xyz_execution,
+                                                  xyz_initial):
+        from repro.obs import metrics
+
+        metrics.enable()
+        metrics.REGISTRY.reset()
+        try:
+            with AnalysisServer(ServerConfig(port=0, workers=1,
+                                             max_sessions=1)) as srv:
+                holder = attach(srv.host, srv.port,
+                                n_threads=xyz_execution.n_threads,
+                                initial=xyz_initial, spec=XYZ_PROPERTY)
+                try:
+                    with pytest.raises(ServerRejected):
+                        attach(srv.host, srv.port,
+                               n_threads=xyz_execution.n_threads,
+                               initial=xyz_initial, spec=XYZ_PROPERTY)
+                finally:
+                    for m in xyz_execution.messages:
+                        holder.send(m)
+                    holder.close()
+                assert srv.wait_idle(timeout=10.0)
+                snap = metrics.REGISTRY.snapshot()
+        finally:
+            metrics.disable()
+        labelled = {n: v["value"] for n, v in snap.items()
+                    if metrics.base_name(n) == "server.rejects"}
+        assert sum(labelled.values()) >= 1
+        assert any("reason=capacity" in n for n in labelled)
